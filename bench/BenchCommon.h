@@ -1,0 +1,117 @@
+//===- bench/BenchCommon.h - Shared benchmark scaffolding -------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the benchmark harnesses that regenerate the paper's
+/// tables and figures. Overhead is measured in deterministic simulated
+/// cycles (the VM's cost model), so results are exactly reproducible; each
+/// binary also registers google-benchmark timings for the host-side
+/// pipeline stages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_BENCH_BENCHCOMMON_H
+#define TRACEBACK_BENCH_BENCHCOMMON_H
+
+#include "core/Session.h"
+#include "lang/CodeGen.h"
+#include "support/Text.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace traceback {
+namespace bench {
+
+/// Compiles MiniLang or dies.
+inline Module compileBench(const std::string &Source,
+                           const std::string &Name,
+                           Technology Tech = Technology::Native) {
+  Module M;
+  std::string Error;
+  if (!minilang::compileMiniLang(Source, Name + ".ml", Name, Tech, M,
+                                 Error)) {
+    std::fprintf(stderr, "bench compile error: %s\n", Error.c_str());
+    std::abort();
+  }
+  return M;
+}
+
+/// Outcome of one workload run.
+struct RunOutcome {
+  uint64_t Cycles = 0;
+  std::string Output;
+  InstrumentStats Stats;
+};
+
+/// A quiet policy: no snaps, no timestamps — pure probe overhead.
+inline RtPolicy quietPolicy() {
+  RtPolicy P;
+  P.SnapOnAnyException = false;
+  P.SnapOnUnhandled = false;
+  P.SnapOnApi = false;
+  P.TimestampInterval = 0;
+  return P;
+}
+
+/// Runs \p M to completion in a fresh single-process world.
+/// \p Opts applies when \p Instrument is set.
+inline RunOutcome runWorkload(const Module &M, bool Instrument,
+                              const InstrumentOptions &Opts = {},
+                              const RtPolicy &Policy = quietPolicy()) {
+  Deployment D;
+  D.Policy = Policy;
+  Machine *Host = D.addMachine("bench");
+  Process *P = Host->createProcess("workload");
+  std::string Error;
+  RunOutcome Out;
+  LoadedModule *LM = nullptr;
+  if (Instrument) {
+    Module Instr;
+    if (!D.instrumentOnly(M, Opts, Instr, Error, &Out.Stats)) {
+      std::fprintf(stderr, "bench instrument error: %s\n", Error.c_str());
+      std::abort();
+    }
+    D.runtimeFor(*P, M.Tech);
+    LM = P->loadModule(Instr, Error);
+  } else {
+    LM = P->loadModule(M, Error);
+  }
+  if (!LM || !P->start("main")) {
+    std::fprintf(stderr, "bench setup error: %s\n", Error.c_str());
+    std::abort();
+  }
+  World::RunResult R = D.world().run(2'000'000'000ull);
+  if (R != World::RunResult::AllExited) {
+    std::fprintf(stderr, "bench workload did not exit cleanly\n");
+    std::abort();
+  }
+  Out.Cycles = P->CyclesUsed;
+  Out.Output = P->Output;
+  return Out;
+}
+
+/// Geometric mean.
+inline double geoMean(const std::vector<double> &Values) {
+  double LogSum = 0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return Values.empty() ? 0.0 : std::exp(LogSum / Values.size());
+}
+
+inline void printRule(int Width = 64) {
+  for (int I = 0; I < Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace traceback
+
+#endif // TRACEBACK_BENCH_BENCHCOMMON_H

@@ -1,0 +1,141 @@
+//===- bench/bench_baselines.cpp - Baseline comparison --------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// Quantifies the paper's qualitative comparisons (sections 2.1 and 7):
+//  - the naive one-word-per-block tracer TraceBack improves on,
+//  - Ball-Larus path profiling: cheaper, but aggregates — no temporal
+//    order, nothing recoverable at a crash,
+//  - TraceBack: full recent control-flow history at moderate cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "baselines/BallLarus.h"
+#include "baselines/NaiveTracer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace traceback;
+using namespace traceback::bench;
+
+namespace {
+
+const char *KernelSrc = R"(
+fn classify(v) {
+  if (v < 64) { return 0; }
+  if (v < 192) { return 1; }
+  return 2;
+}
+fn main() export {
+  var s = 1;
+  for (var i = 0; i < 6000; i = i + 1) {
+    var k = classify(s & 255);
+    if (k == 0) { s = s * 5 + 1; }
+    else { if (k == 1) { s = s ^ (s >> 3); } else { s = s - 7; } }
+    s = s & 1048575;
+  }
+  print(s);
+}
+)";
+
+uint64_t runModuleCycles(const Module &M) {
+  Deployment D;
+  D.Policy = quietPolicy();
+  Machine *Host = D.addMachine("bench");
+  Process *P = Host->createProcess("k");
+  std::string Error;
+  if (!P->loadModule(M, Error) || !P->start("main")) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    std::abort();
+  }
+  D.world().run();
+  return P->CyclesUsed;
+}
+
+void printComparison() {
+  Module Orig = compileBench(KernelSrc, "kernel");
+  std::string Error;
+
+  uint64_t Plain = runModuleCycles(Orig);
+
+  RunOutcome TraceBack = runWorkload(Orig, true);
+
+  Module NaiveMod;
+  MapFile NaiveMap;
+  InstrumentStats NaiveStats;
+  if (!naiveInstrumentModule(Orig, NaiveMod, NaiveMap, &NaiveStats, Error))
+    std::abort();
+  // The naive tracer still needs the runtime's buffers.
+  Deployment DN;
+  DN.Policy = quietPolicy();
+  Machine *HostN = DN.addMachine("bench");
+  Process *PN = HostN->createProcess("k");
+  DN.runtimeFor(*PN, Technology::Native);
+  if (!PN->loadModule(NaiveMod, Error) || !PN->start("main"))
+    std::abort();
+  DN.world().run();
+  uint64_t Naive = PN->CyclesUsed;
+
+  BallLarusResult Bl;
+  if (!ballLarusInstrument(Orig, Bl, Error))
+    std::abort();
+  uint64_t BlCycles = runModuleCycles(Bl.Out);
+
+  std::printf("Baseline comparison (same kernel, simulated cycles)\n");
+  printRule(76);
+  std::printf("%-22s %12s %7s %-30s\n", "Scheme", "cycles", "ratio",
+              "what a crash leaves behind");
+  printRule(76);
+  std::printf("%-22s %12llu %7.3f %-30s\n", "uninstrumented",
+              static_cast<unsigned long long>(Plain), 1.0, "nothing");
+  std::printf("%-22s %12llu %7.3f %-30s\n", "Ball-Larus paths",
+              static_cast<unsigned long long>(BlCycles),
+              static_cast<double>(BlCycles) / Plain,
+              "aggregate counts only");
+  std::printf("%-22s %12llu %7.3f %-30s\n", "TraceBack (DAG-tiled)",
+              static_cast<unsigned long long>(TraceBack.Cycles),
+              static_cast<double>(TraceBack.Cycles) / Plain,
+              "recent line-by-line history");
+  std::printf("%-22s %12llu %7.3f %-30s\n", "naive word-per-block",
+              static_cast<unsigned long long>(Naive),
+              static_cast<double>(Naive) / Plain,
+              "recent history, fewer lines/KB");
+  printRule(76);
+  std::printf("Paper: TraceBack sits between aggregate path profiling and "
+              "naive full tracing;\nit \"compares favorably to previous "
+              "approaches that report small integer factor\nslowdowns "
+              "[WPP] or 87%% average slowdown [interprocedural path "
+              "profiling]\".\n\n");
+
+  // Record volume: naive writes one word per block; DAG tiling compresses.
+  std::printf("Static probe placement on this kernel:\n");
+  std::printf("  TraceBack: %u heavyweight + %u lightweight probes over "
+              "%u blocks (%u DAGs)\n",
+              TraceBack.Stats.NumHeavyProbes,
+              TraceBack.Stats.NumLightProbes, TraceBack.Stats.NumBlocks,
+              TraceBack.Stats.NumDags);
+  std::printf("  Naive:     %u heavyweight probes (one per block)\n\n",
+              NaiveStats.NumHeavyProbes);
+}
+
+void BM_BallLarusInstrument(benchmark::State &State) {
+  Module M = compileBench(KernelSrc, "kernel_gb");
+  for (auto _ : State) {
+    BallLarusResult R;
+    std::string Error;
+    bool Ok = ballLarusInstrument(M, R, Error);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_BallLarusInstrument);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,120 @@
+//===- bench/bench_compression.cpp - Buffer compressibility ---------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// Section 2.1 claims: "trace buffers are themselves readily compressible
+// by a factor of 10 or more for ease of archiving or transmission." This
+// bench compresses the raw buffers of real snaps from several workload
+// shapes and reports the ratios.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Compress.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace traceback;
+using namespace traceback::bench;
+
+namespace {
+
+std::vector<uint8_t> captureBufferBytes(const char *Src, const char *Name) {
+  Module M = compileBench(Src, Name);
+  Deployment D;
+  D.Policy = quietPolicy();
+  D.Policy.SnapOnApi = true;
+  Machine *Host = D.addMachine("bench");
+  Process *P = Host->createProcess(Name);
+  std::string Error;
+  if (!D.deploy(*P, M, true, Error) || !P->start("main"))
+    std::abort();
+  D.world().run();
+  // Only buffers that actually hold trace data; unused main buffers are
+  // all zeros and would flatter the ratio.
+  std::vector<uint8_t> Bytes;
+  for (const SnapBufferImage &B : D.snaps().back().Buffers)
+    if (B.OwnerThread != 0)
+      Bytes.insert(Bytes.end(), B.Raw.begin(), B.Raw.end());
+  return Bytes;
+}
+
+const char *TightLoop = R"(
+fn main() export {
+  var s = 0;
+  for (var i = 0; i < 30000; i = i + 1) { s = s + i; }
+  snap(1);
+}
+)";
+
+const char *Branchy = R"(
+fn main() export {
+  var s = 1;
+  for (var i = 0; i < 12000; i = i + 1) {
+    if (s & 1) { s = 3 * s + 1; } else { s = s >> 1; }
+    if (s < 2) { s = i + 7; }
+  }
+  snap(1);
+}
+)";
+
+const char *CallHeavy = R"(
+fn a(x) { return x + 1; }
+fn b(x) { return a(x) * 2; }
+fn c(x) { return b(x) ^ 5; }
+fn main() export {
+  var s = 0;
+  for (var i = 0; i < 4000; i = i + 1) { s = s + c(i); }
+  snap(1);
+}
+)";
+
+void printCompression() {
+  struct Case {
+    const char *Name;
+    const char *Src;
+  } Cases[] = {{"tight loop", TightLoop},
+               {"branchy", Branchy},
+               {"call-heavy", CallHeavy}};
+  std::printf("Trace buffer compressibility (LZSS)\n");
+  printRule();
+  std::printf("%-12s %12s %12s %8s\n", "workload", "raw bytes", "packed",
+              "ratio");
+  printRule();
+  for (const Case &C : Cases) {
+    std::vector<uint8_t> Raw = captureBufferBytes(C.Src, C.Name);
+    std::vector<uint8_t> Packed = lzCompress(Raw);
+    std::vector<uint8_t> Back;
+    if (!lzDecompress(Packed, Back) || Back != Raw) {
+      std::fprintf(stderr, "compression round trip failed\n");
+      std::abort();
+    }
+    std::printf("%-12s %12zu %12zu %7.1fx\n", C.Name, Raw.size(),
+                Packed.size(),
+                static_cast<double>(Raw.size()) / Packed.size());
+  }
+  printRule();
+  std::printf("Paper: \"readily compressible by a factor of 10 or "
+              "more\".\n\n");
+}
+
+void BM_CompressTraceBuffer(benchmark::State &State) {
+  std::vector<uint8_t> Raw = captureBufferBytes(Branchy, "bm");
+  for (auto _ : State) {
+    auto Packed = lzCompress(Raw);
+    benchmark::DoNotOptimize(Packed.data());
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          Raw.size());
+}
+BENCHMARK(BM_CompressTraceBuffer);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printCompression();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,173 @@
+//===- bench/bench_fig1_records.cpp - Figure 1 / probe costs --------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// Figure 1 defines the trace record format; this bench quantifies what the
+// format buys: record encode/decode throughput (host side), the guest-side
+// cost of the two probe flavors (the paper's "heavyweight" 8-instruction
+// helper and "lightweight" 2-instruction OR), and the paper's section 2.1
+// claim that the scheme yields "roughly one line of source code per byte
+// of trace buffer".
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "reconstruct/Reconstructor.h"
+#include "runtime/TraceRecord.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace traceback;
+using namespace traceback::bench;
+
+namespace {
+
+// Guest-side probe microcosts: run a loop body with known probe counts and
+// difference the cycle counts.
+void printProbeCosts() {
+  // One loop, two variants: the flat variant's body is a single DAG with
+  // no extra bits; the branchy variant adds two lightweight-probed blocks
+  // per iteration.
+  const char *Flat = R"(
+fn main() export {
+  var s = 0;
+  for (var i = 0; i < 10000; i = i + 1) {
+    s = s + i;
+  }
+  print(s & 65535);
+}
+)";
+  const char *Branchy = R"(
+fn main() export {
+  var s = 0;
+  for (var i = 0; i < 10000; i = i + 1) {
+    if (i & 1) { s = s + i; } else { s = s + 2; }
+  }
+  print(s & 65535);
+}
+)";
+  Module FlatMod = compileBench(Flat, "flat");
+  Module BranchyMod = compileBench(Branchy, "branchy");
+
+  RunOutcome FlatPlain = runWorkload(FlatMod, false);
+  RunOutcome FlatTraced = runWorkload(FlatMod, true);
+  RunOutcome BranchyPlain = runWorkload(BranchyMod, false);
+  RunOutcome BranchyTraced = runWorkload(BranchyMod, true);
+
+  double HeavyPerIter =
+      (static_cast<double>(FlatTraced.Cycles) - FlatPlain.Cycles) / 10000.0;
+  double BranchyOverhead =
+      (static_cast<double>(BranchyTraced.Cycles) - BranchyPlain.Cycles) /
+      10000.0;
+
+  std::printf("Probe cost model (cycles/loop iteration):\n");
+  printRule();
+  std::printf("  heavyweight probe (loop header DAG record): %6.1f\n",
+              HeavyPerIter);
+  std::printf("  branchy iteration (heavy + lightweight bits): %5.1f\n",
+              BranchyOverhead);
+  std::printf("  lightweight increment over flat:             %5.1f\n",
+              BranchyOverhead - HeavyPerIter);
+  std::printf("Paper: heavyweight = 8 instructions (2 loads, 2 stores), "
+              "lightweight = 2 instructions.\n\n");
+}
+
+// Lines of history per trace-buffer byte (section 2.1: ~1 line/byte).
+void printLinesPerByte() {
+  const char *Src = R"(
+fn main() export {
+  var s = 0;
+  for (var i = 0; i < 4000; i = i + 1) {
+    if (i & 1) { s = s + i; }
+    else { if (i & 2) { s = s ^ i; } else { s = s + 3; } }
+    s = s & 1048575;
+  }
+  snap(1);
+}
+)";
+  Module M = compileBench(Src, "hist");
+  Deployment D;
+  D.Policy = quietPolicy();
+  D.Policy.SnapOnApi = true;
+  const uint32_t BufBytes = 16 * 1024;
+  D.Policy.BufferBytes = BufBytes;
+  Machine *Host = D.addMachine("bench");
+  Process *P = Host->createProcess("hist");
+  std::string Error;
+  if (!D.deploy(*P, M, true, Error) || !P->start("main")) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    std::abort();
+  }
+  D.world().run();
+  ReconstructedTrace T = D.reconstruct(D.snaps().back());
+  uint64_t Lines = 0;
+  for (const ThreadTrace &Th : T.Threads)
+    for (const TraceEvent &E : Th.Events)
+      if (E.EventKind == TraceEvent::Kind::Line)
+        Lines += E.Repeat;
+  std::printf("History density: %llu source lines from a %u-byte buffer "
+              "(%.2f lines/byte).\n",
+              static_cast<unsigned long long>(Lines), BufBytes,
+              static_cast<double>(Lines) / BufBytes);
+  std::printf("Paper: \"roughly one line of source code per byte of trace "
+              "buffer\".\n\n");
+}
+
+void BM_EncodeExtRecord(benchmark::State &State) {
+  ExtRecord R;
+  R.Type = ExtType::Sync;
+  R.Inline = 2;
+  R.Payload = {0x123456789abcdef0ull, 42, 7, 99999};
+  for (auto _ : State) {
+    auto Words = encodeExtRecord(R);
+    benchmark::DoNotOptimize(Words.data());
+  }
+}
+BENCHMARK(BM_EncodeExtRecord);
+
+void BM_DecodeExtRecord(benchmark::State &State) {
+  ExtRecord R;
+  R.Type = ExtType::Sync;
+  R.Payload = {1, 2, 3, 4};
+  auto Words = encodeExtRecord(R);
+  for (auto _ : State) {
+    ExtRecord Out;
+    size_t Pos = 0;
+    bool Ok = decodeExtRecord(Words.data(), Words.size(), Pos, Out);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_DecodeExtRecord);
+
+void BM_DecodeDagPathDiamondChain(benchmark::State &State) {
+  // A DAG with 10 bit blocks in a chain of diamonds.
+  MapDag D;
+  MapBlock Root;
+  Root.Succs = {1, 2};
+  D.Blocks.push_back(Root);
+  for (int I = 0; I < 10; ++I) {
+    MapBlock B;
+    B.BitIndex = static_cast<int8_t>(I);
+    if (I + 2 < 11)
+      B.Succs = {static_cast<uint16_t>(I + 2)};
+    D.Blocks.push_back(B);
+  }
+  uint32_t Bits = 0b0101010101;
+  for (auto _ : State) {
+    auto Path = decodeDagPath(D, Bits & 0x3FF);
+    benchmark::DoNotOptimize(Path.data());
+  }
+}
+BENCHMARK(BM_DecodeDagPathDiamondChain);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printProbeCosts();
+  printLinesPerByte();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,540 @@
+//===- bench/bench_table1_specint.cpp - Paper Table 1 ---------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// Regenerates Table 1: "SPECint2000 performance for native code (Normal)
+// and its instrumented version (TraceBack)". The paper's 15 benchmarks are
+// replaced by synthetic kernels with the same *structural* character
+// (which is what determines probe overhead): tight small-block loops with
+// register pressure (gzip), branchy small blocks with dense calls
+// (gcc/perlbmk), memory-bound long blocks (art/equake/mcf), call-heavy
+// object code (eon/vortex), and mixes. The paper reports ratios between
+// 1.10 and 2.50 with geometric mean 1.59 and ~60% text growth; the shape
+// to reproduce is: memory-bound lowest, interpreter/compression-style
+// tightest loops highest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "isa/Assembler.h"
+#include "vm/Syscalls.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace traceback;
+using namespace traceback::bench;
+
+namespace {
+
+struct Kernel {
+  const char *Name;
+  double PaperRatio; ///< The ratio the paper reports for this program.
+  Module Mod;
+};
+
+// --- Kernel sources --------------------------------------------------------
+// Long straight-line bodies -> few probes per cycle of work (low ratio).
+// Tight loops / dense branches / many calls -> probe-dominated (high).
+
+// art (paper 1.10): streaming sweeps over a large array, long blocks.
+const char *ArtSrc = R"(
+fn main() export {
+  var n = 512;
+  var a = alloc(8 * n);
+  for (var i = 0; i < n; i = i + 1) { a[i] = i * 2654435761; }
+  var acc = 0;
+  for (var pass = 0; pass < 24; pass = pass + 1) {
+    for (var i = 0; i < n; i = i + 1) {
+      var v = a[i];
+      var w = v ^ (v >> 7);
+      var x = w * 3 + 12345;
+      var y = x ^ (x << 5);
+      var z = y + (y >> 11);
+      var q = z * 5 + 7;
+      var r = q ^ (q >> 3);
+      var s = r + v;
+      var t = s * 2 + x;
+      var u = t ^ z;
+      acc = acc + u;
+      a[i] = u;
+    }
+  }
+  print(acc & 65535);
+}
+)";
+
+// equake (1.12): stencil over neighbors, long arithmetic blocks.
+const char *EquakeSrc = R"(
+fn main() export {
+  var n = 256;
+  var a = alloc(8 * (n + 2));
+  for (var i = 0; i < n + 2; i = i + 1) { a[i] = i * 31 + 7; }
+  var acc = 0;
+  for (var t = 0; t < 40; t = t + 1) {
+    for (var i = 1; i <= n; i = i + 1) {
+      var left = a[i - 1];
+      var mid = a[i];
+      var right = a[i + 1];
+      var lap = left + right - 2 * mid;
+      var v1 = mid + lap / 4;
+      var v2 = v1 * 1007 + 33;
+      var v3 = v2 ^ (v2 >> 9);
+      var v4 = v3 + left * 3;
+      var v5 = v4 - right;
+      var v6 = v5 ^ mid;
+      a[i] = v6 % 1000003;
+      acc = acc + v6;
+    }
+  }
+  print(acc & 65535);
+}
+)";
+
+// mcf (1.21): pointer chasing, loads dominate, medium blocks.
+const char *McfSrc = R"(
+fn main() export {
+  var n = 1024;
+  var nxt = alloc(8 * n);
+  var val = alloc(8 * n);
+  for (var i = 0; i < n; i = i + 1) {
+    nxt[i] = (i * 769 + 13) % n;
+    val[i] = i * 3;
+  }
+  var acc = 0;
+  var cur = 0;
+  for (var s = 0; s < 18000; s = s + 1) {
+    var v = val[cur];
+    var w = v + s;
+    var u = w ^ (w >> 4);
+    acc = acc + u;
+    val[cur] = u % 1000003;
+    cur = nxt[cur];
+  }
+  print(acc & 65535);
+}
+)";
+
+// ammp (1.23): numeric loop, medium blocks, occasional branch.
+const char *AmmpSrc = R"(
+fn main() export {
+  var acc = 1;
+  for (var i = 0; i < 9000; i = i + 1) {
+    var f = acc * 5 + i;
+    var g = f ^ (f >> 6);
+    var h = g * 3 - i;
+    var k = h + (g >> 2);
+    acc = k % 1000003;
+    if (acc < 0) { acc = 0 - acc; }
+  }
+  print(acc);
+}
+)";
+
+// mesa (1.18): arithmetic pipeline, long blocks with a rare branch.
+const char *MesaSrc = R"(
+fn main() export {
+  var acc = 7;
+  for (var i = 0; i < 7000; i = i + 1) {
+    var x = acc + i;
+    var a = x * 13 + 1;
+    var b = a ^ (a >> 5);
+    var c = b * 7 + x;
+    var d = c ^ (c << 3);
+    var e = d + b;
+    var f = e * 3 ^ d;
+    var g = f + (e >> 7);
+    acc = g % 2000003;
+    if (i % 512 == 0) { acc = acc + 11; }
+  }
+  print(acc);
+}
+)";
+
+// vpr (1.48): mixed placement-style loop: arithmetic plus frequent
+// two-way decisions.
+const char *VprSrc = R"(
+fn cost(a, b) {
+  var d = a - b;
+  if (d < 0) { d = 0 - d; }
+  return d + (a ^ b) % 17;
+}
+fn main() export {
+  var acc = 0;
+  var pos = 5;
+  for (var i = 0; i < 3500; i = i + 1) {
+    var trial = (pos * 1103515245 + 12345) % 4096;
+    var c = cost(pos, trial);
+    if (c % 3 == 0) {
+      pos = trial;
+      acc = acc + c;
+    } else {
+      acc = acc + 1;
+    }
+  }
+  print(acc & 65535);
+}
+)";
+
+// bzip2 (1.72): byte shuffling with inner conditionals, small blocks.
+const char *Bzip2Src = R"(
+fn swap(buf, i, a, b) {
+  storeb(buf + i, b);
+  storeb(buf + i + 1, a);
+  return 1;
+}
+fn main() export {
+  var n = 1400;
+  var buf = alloc(n + 8);
+  for (var i = 0; i < n; i = i + 1) { storeb(buf + i, (i * 37) & 255); }
+  var acc = 0;
+  for (var pass = 0; pass < 7; pass = pass + 1) {
+    for (var i = 0; i + 1 < n; i = i + 1) {
+      var a = loadb(buf + i);
+      var b = loadb(buf + i + 1);
+      if (a > b) {
+        acc = acc + swap(buf, i, a, b);
+      } else {
+        acc = acc + (a & 1);
+      }
+    }
+  }
+  print(acc & 65535);
+}
+)";
+
+// crafty (1.77): bit-twiddling search with branchy evaluation and calls.
+const char *CraftySrc = R"(
+fn eval(b) {
+  var score = 0;
+  if (b & 1) { score = score + 3; }
+  if (b & 2) { score = score - 1; }
+  if (b & 4) { score = score + 5; }
+  if (b & 8) { score = score ^ 2; }
+  return score + ((b >> 4) & 7);
+}
+fn search(board, depth) {
+  if (depth == 0) { return eval(board); }
+  var best = 0 - 100000;
+  for (var m = 0; m < 4; m = m + 1) {
+    var nb = (board * 6364136223846793005 + m) >> 3;
+    var v = 0 - search(nb, depth - 1);
+    if (v > best) { best = v; }
+  }
+  return best;
+}
+fn main() export {
+  var acc = 0;
+  for (var g = 0; g < 7; g = g + 1) {
+    acc = acc + search(g * 977 + 3, 4);
+  }
+  print(acc & 65535);
+}
+)";
+
+// eon (1.70): many small "method" calls per unit of work.
+const char *EonSrc = R"(
+fn dot(a, b) { return (a * b) & 1048575; }
+fn scale(a, k) { return (a * k + 7) & 1048575; }
+fn reflect(v, n) { return v - 2 * dot(v, n); }
+fn shade(v) {
+  var d = dot(v, 31);
+  var s = scale(d, 5);
+  var r = reflect(s, 3);
+  return r + 1;
+}
+fn main() export {
+  var acc = 0;
+  for (var ray = 0; ray < 2600; ray = ray + 1) {
+    acc = acc + shade(ray ^ acc);
+  }
+  print(acc & 65535);
+}
+)";
+
+// gap (1.74): list walking with branchy small blocks and helper calls.
+const char *GapSrc = R"(
+fn hash(x) { return (x * 2654435761) & 511; }
+fn step(v) {
+  if (v & 1) { return 3 * v + 1; }
+  return v >> 1;
+}
+fn main() export {
+  var n = 512;
+  var tbl = alloc(8 * n);
+  var acc = 0;
+  for (var i = 0; i < 6000; i = i + 1) {
+    var h = hash(i + acc);
+    var v = tbl[h];
+    if (v == 0) {
+      tbl[h] = i + 1;
+    } else {
+      tbl[h] = step(v);
+      acc = acc + 1;
+    }
+  }
+  print(acc & 65535);
+}
+)";
+
+// parser (1.84): recursive-descent-style dispatch, tiny blocks + calls.
+const char *ParserSrc = R"(
+fn classify(c) {
+  if (c < 10) { return 0; }
+  if (c < 20) { return 1; }
+  if (c < 26) { return 2; }
+  return 3;
+}
+fn parse(tok, depth) {
+  if (depth == 0) { return 1; }
+  var k = classify(tok % 32);
+  if (k == 0) { return 1 + parse(tok / 2 + 3, depth - 1); }
+  if (k == 1) { return 2 + parse(tok * 3 + 1, depth - 1); }
+  if (k == 2) {
+    return parse(tok / 3, depth - 1) + parse(tok + 5, depth - 1);
+  }
+  return 1;
+}
+fn main() export {
+  var acc = 0;
+  for (var s = 0; s < 120; s = s + 1) {
+    acc = acc + parse(s * 37 + 11, 7);
+  }
+  print(acc & 65535);
+}
+)";
+
+// gcc (1.98): dense multiway decisions, tiny blocks, helper calls.
+const char *GccSrc = R"(
+fn fold(op, a, b) {
+  if (op == 0) { return a + b; }
+  if (op == 1) { return a - b; }
+  if (op == 2) { return a ^ b; }
+  if (op == 3) { return a & b; }
+  if (op == 4) { return a | b; }
+  return a;
+}
+fn main() export {
+  var acc = 1;
+  for (var i = 0; i < 4200; i = i + 1) {
+    var op = acc & 7;
+    if (op > 4) { op = i & 3; }
+    acc = fold(op, acc, i) & 1048575;
+    if (acc & 1) { acc = acc + 3; }
+  }
+  print(acc & 65535);
+}
+)";
+
+// vortex (2.13): object-database style: per-record chains of tiny
+// accessor calls.
+const char *VortexSrc = R"(
+fn get_a(rec) { return load(rec); }
+fn get_b(rec) { return load(rec + 8); }
+fn set_a(rec, v) { return store(rec, v); }
+fn set_b(rec, v) { return store(rec + 8, v); }
+fn touch(rec) {
+  var a = get_a(rec);
+  var b = get_b(rec);
+  if (a > b) { set_a(rec, b); } else { set_b(rec, a + 1); }
+  var c = get_a(rec);
+  set_b(rec, c ^ b);
+  return a + b + c;
+}
+fn main() export {
+  var n = 64;
+  var heap = alloc(16 * n);
+  var acc = 0;
+  for (var i = 0; i < 2600; i = i + 1) {
+    var rec = heap + 16 * (i % n);
+    acc = acc + touch(rec);
+  }
+  print(acc & 65535);
+}
+)";
+
+// perlbmk (2.50): interpreter dispatch: the tightest blocks of all, with
+// a call per opcode.
+const char *PerlSrc = R"(
+fn op_add(s) { return s + 1; }
+fn op_mul(s) { return s * 3; }
+fn op_xor(s) { return s ^ 255; }
+fn op_shr(s) { return s >> 1; }
+fn fetch(s, pc) { return (s ^ pc) & 3; }
+fn tick(s) { return s + 1; }
+fn main() export {
+  var s = 12345;
+  for (var pc = 0; pc < 5200; pc = pc + 1) {
+    var op = fetch(tick(s), pc);
+    if (op == 0) { s = op_add(s); }
+    else { if (op == 1) { s = op_mul(s); }
+    else { if (op == 2) { s = op_xor(s); }
+    else { s = op_shr(s); } } }
+    s = s & 1048575;
+  }
+  print(s);
+}
+)";
+
+// gzip (1.97): hand-written assembly longest_match-style loop that keeps
+// r10/r11 live, so heavyweight probes must spill/restore — the exact
+// effect the paper blames for gzip's slowdown (section 6).
+const char *GzipAsm = R"(.module gzip
+.file "deflate.c"
+.func main export
+.line 10
+  movi r0, 4096
+  sys $SysAlloc
+  mov r12, r0          ; window
+  movi r4, 0
+.line 11
+fill:
+  mov r5, r4
+  muli r5, r5, 251
+  addi r5, r5, 17
+  andi r5, r5, 255
+  mov r6, r12
+  add r6, r6, r4
+  st8 [r6], r5
+  addi r4, r4, 1
+  movi r5, 4096
+  cmplt r6, r4, r5
+  brnz r6, fill
+.line 12
+  movi r9, 0           ; best_len accumulator
+  movi r8, 0           ; outer position
+outer:
+  mov r10, r12         ; scan pointer (live across blocks!)
+  add r10, r10, r8
+  movi r11, 0          ; match length (live across blocks!)
+.line 13
+inner:
+  mov r4, r10
+  add r4, r4, r11
+  ld8 r5, [r4]
+  addi r4, r4, 97
+  ld8 r6, [r4]
+  xor r7, r5, r6
+  shli r7, r7, 2
+  add r9, r9, r7
+  and r7, r5, r6
+  shri r7, r7, 1
+  add r9, r9, r7
+  xori r9, r9, 5
+  cmpeq r7, r5, r6
+  brz r7, nomatch
+  addi r11, r11, 1
+  movi r5, 64
+  cmplt r7, r11, r5
+  brnz r7, inner
+.line 14
+nomatch:
+  add r9, r9, r11
+  addi r8, r8, 7
+  movi r5, 3800
+  cmplt r7, r8, r5
+  brnz r7, outer
+.line 15
+  mov r0, r9
+  sys $SysPrintInt
+  halt
+.endfunc
+)";
+
+std::vector<Kernel> buildKernels() {
+  Assembler Asm(syscallAssemblerConstants());
+  Module Gzip;
+  std::string Error;
+  if (!Asm.assemble(GzipAsm, Gzip, Error)) {
+    std::fprintf(stderr, "gzip kernel: %s\n", Error.c_str());
+    std::abort();
+  }
+  return {
+      {"ammp", 1.23, compileBench(AmmpSrc, "ammp")},
+      {"art", 1.10, compileBench(ArtSrc, "art")},
+      {"bzip2", 1.72, compileBench(Bzip2Src, "bzip2")},
+      {"crafty", 1.77, compileBench(CraftySrc, "crafty")},
+      {"eon", 1.70, compileBench(EonSrc, "eon")},
+      {"equake", 1.12, compileBench(EquakeSrc, "equake")},
+      {"gap", 1.74, compileBench(GapSrc, "gap")},
+      {"gcc", 1.98, compileBench(GccSrc, "gcc")},
+      {"gzip", 1.97, Gzip},
+      {"mcf", 1.21, compileBench(McfSrc, "mcf")},
+      {"mesa", 1.18, compileBench(MesaSrc, "mesa")},
+      {"parser", 1.84, compileBench(ParserSrc, "parser")},
+      {"perlbmk", 2.50, compileBench(PerlSrc, "perlbmk")},
+      {"vortex", 2.13, compileBench(VortexSrc, "vortex")},
+      {"vpr", 1.48, compileBench(VprSrc, "vpr")},
+  };
+}
+
+void printTable1() {
+  std::vector<Kernel> Kernels = buildKernels();
+  std::printf("Table 1: SPECint2000-analog overhead "
+              "(simulated kilocycles)\n");
+  printRule();
+  std::printf("%-10s %10s %10s %7s %9s %8s\n", "Test", "Normal",
+              "TraceBack", "Ratio", "PaperRef", "TextGrow");
+  printRule();
+  std::vector<double> Ratios;
+  std::vector<double> Growths;
+  for (Kernel &K : Kernels) {
+    RunOutcome Plain = runWorkload(K.Mod, false);
+    RunOutcome Traced = runWorkload(K.Mod, true);
+    if (Plain.Output != Traced.Output) {
+      std::fprintf(stderr, "%s: output mismatch!\n", K.Name);
+      std::abort();
+    }
+    double Ratio = static_cast<double>(Traced.Cycles) /
+                   static_cast<double>(Plain.Cycles);
+    Ratios.push_back(Ratio);
+    double Growth = Traced.Stats.textGrowth() - 1.0;
+    Growths.push_back(Growth);
+    std::printf("%-10s %10.1f %10.1f %7.2f %9.2f %7.0f%%\n", K.Name,
+                Plain.Cycles / 1000.0, Traced.Cycles / 1000.0, Ratio,
+                K.PaperRatio, Growth * 100);
+  }
+  printRule();
+  double Geo = geoMean(Ratios);
+  double AvgGrowth = 0;
+  for (double G : Growths)
+    AvgGrowth += G;
+  AvgGrowth /= Growths.size();
+  std::printf("%-10s %10s %10s %7.2f %9.2f %7.0f%%\n", "Geo Mean", "", "",
+              Geo, 1.59, AvgGrowth * 100);
+  std::printf("\nPaper: ratios 1.10-2.50, geomean 1.59, ~60%% text "
+              "growth.\n\n");
+}
+
+// --- google-benchmark timings of the host-side pipeline -------------------
+
+void BM_InstrumentModule(benchmark::State &State) {
+  Module M = compileBench(GccSrc, "gcc_gb");
+  for (auto _ : State) {
+    Module Out;
+    MapFile Map;
+    std::string Error;
+    InstrumentOptions Opts;
+    bool Ok = instrumentModule(M, Opts, Out, Map, nullptr, Error);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_InstrumentModule);
+
+void BM_InterpretKernel(benchmark::State &State) {
+  Module M = compileBench(AmmpSrc, "ammp_gb");
+  for (auto _ : State) {
+    RunOutcome Out = runWorkload(M, false);
+    benchmark::DoNotOptimize(Out.Cycles);
+  }
+}
+BENCHMARK(BM_InterpretKernel);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,172 @@
+//===- bench/bench_table3_specjbb.cpp - Paper Table 3 ---------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// Regenerates Table 3: "Performance of SPECJbb" — a server-side Java-style
+// warehouse transaction workload compiled as a *managed* module, which the
+// instrumenter splits at source-line boundaries (exact exception lines,
+// paper section 2.4). Three host configurations (the paper's Win/Lin/Sun
+// boxes, modeled as machines with different clock rates) each run with 1
+// and 5 warehouses (worker threads). The paper reports 16-25% throughput
+// reduction, slightly worse with more warehouses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace traceback;
+using namespace traceback::bench;
+
+namespace {
+
+// Warehouse transaction mix: order entry (allocation + data structure
+// updates), payment (arithmetic + a lock), stock level (array scan).
+// Managed code spends real time in runtime services (alloc, locks), which
+// is why the overhead band sits far below SPECint's.
+const char *JbbSrc = R"(
+fn new_order(wh, id) {
+  var order = alloc(256);
+  store(order, id * 977 + wh * 31 + (id ^ wh));
+  store(order + 8, wh * 1103515245 + 12345 + (id >> 2));
+  var items = 3 + (id & 3);
+  var total = 0;
+  for (var i = 0; i < items; i = i + 1) {
+    var line = alloc(128);
+    store(line, (id * 31 + i * 17 + wh) ^ (id >> 3) ^ (i * 2654435761));
+    total = (total + (load(line) & 1023) * 3 + (total >> 5)) & 1048575;
+  }
+  store(order + 16, total * 7 + items * 13 + (total >> 3));
+  return total;
+}
+fn payment(wh, amount) {
+  lock(wh);
+  var t = (amount * 100 / 97) + (amount >> 3) * 5 + (amount ^ wh) % 89;
+  var fee = (t & 255) + (t >> 9) * 3 + ((t ^ amount) & 127);
+  unlock(wh);
+  return t + fee;
+}
+fn stock_level(inv, n, threshold) {
+  var low = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var level = inv[i] + (inv[i] >> 4) * 3 - ((inv[i] ^ i) & 63);
+    if (level < threshold) { low = low + 1 + (level & 3); }
+  }
+  return low;
+}
+fn warehouse(arg) {
+  var wh = load(arg);
+  var txns = load(arg + 8);
+  var inv = alloc(8 * 64);
+  for (var i = 0; i < 64; i = i + 1) { inv[i] = (i * 7919) & 4095; }
+  var score = 0;
+  for (var t = 0; t < txns; t = t + 1) {
+    var kind = (t * 2654435761 + wh) & 7;
+    if (kind < 4) {
+      score = score + new_order(wh, t);
+    } else { if (kind < 6) {
+      score = score + payment(wh, t & 8191);
+    } else {
+      score = score + stock_level(inv, 64, 2048);
+    } }
+  }
+  store(arg + 16, score);
+  return score;
+}
+fn main() export {
+  var warehouses = load(4096);
+  var txns = load(4104);
+  var args = alloc(32 * warehouses);
+  var tids = alloc(8 * warehouses);
+  for (var w = 0; w < warehouses; w = w + 1) {
+    var a = args + 32 * w;
+    store(a, w + 1);
+    store(a + 8, txns);
+    tids[w] = spawn(addr_of(warehouse), a);
+  }
+  var total = 0;
+  for (var w = 0; w < warehouses; w = w + 1) {
+    join(tids[w]);
+    total = total + load(args + 32 * w + 16);
+  }
+  print(total & 65535);
+}
+)";
+
+struct SystemConfig {
+  const char *Name;
+  const char *Os;
+  uint64_t RateNum, RateDen; ///< Clock rate relative to global cycles.
+  double Paper1W, Paper5W;
+};
+
+/// Runs the warehouse workload; returns throughput (transactions per
+/// megacycle of wall time).
+double runJbb(const SystemConfig &Sys, int Warehouses, bool Instrument) {
+  Deployment D;
+  D.Policy = quietPolicy();
+  Machine *M = D.addMachine(Sys.Name, Sys.Os, 0, Sys.RateNum, Sys.RateDen);
+  Process *P = M->createProcess("jbb");
+  // Parameter block read by main().
+  P->Mem.map(4096, 64);
+  const uint64_t Txns = 300;
+  P->Mem.write64(4096, static_cast<uint64_t>(Warehouses));
+  P->Mem.write64(4104, Txns);
+
+  Module Mod = compileBench(JbbSrc, "specjbb", Technology::Managed);
+  std::string Error;
+  if (!D.deploy(*P, Mod, Instrument, Error)) {
+    std::fprintf(stderr, "jbb bench: %s\n", Error.c_str());
+    std::abort();
+  }
+  P->start("main");
+  uint64_t Start = M->nowGlobal();
+  if (D.world().run(4'000'000'000ull) != World::RunResult::AllExited)
+    std::abort();
+  uint64_t Wall = M->nowGlobal() - Start;
+  return static_cast<double>(Warehouses) * Txns * 1e6 /
+         static_cast<double>(Wall);
+}
+
+void printTable3() {
+  SystemConfig Systems[] = {
+      {"win-p3-550", "winnt", 55, 100, 1.164, 1.207},
+      {"lin-p3-600", "redhat7", 60, 100, 1.223, 1.229},
+      {"sun-us2-450", "solaris9", 45, 100, 1.240, 1.249},
+  };
+  std::printf("Table 3: SPECjbb-analog throughput (managed technology, "
+              "per-line probes)\n");
+  printRule(72);
+  std::printf("%-16s %4s %10s %10s %7s %9s\n", "System", "WH", "Normal",
+              "TraceBack", "Ratio", "PaperRef");
+  printRule(72);
+  for (const SystemConfig &Sys : Systems) {
+    for (int WH : {1, 5}) {
+      double Normal = runJbb(Sys, WH, false);
+      double Traced = runJbb(Sys, WH, true);
+      std::printf("%-16s %3dW %10.1f %10.1f %7.3f %9.3f\n", Sys.Name, WH,
+                  Normal, Traced, Normal / Traced,
+                  WH == 1 ? Sys.Paper1W : Sys.Paper5W);
+    }
+  }
+  printRule(72);
+  std::printf("Paper: instrumentation reduces SPECJbb throughput by "
+              "16%%-25%%.\n\n");
+}
+
+void BM_JbbInstrumented1W(benchmark::State &State) {
+  SystemConfig Sys{"bench", "simos", 1, 1, 0, 0};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runJbb(Sys, 1, true));
+}
+BENCHMARK(BM_JbbInstrumented1W)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

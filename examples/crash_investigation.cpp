@@ -1,0 +1,123 @@
+//===- examples/crash_investigation.cpp - The Fidelity memcpy story -------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// Reproduces the paper's Fidelity anecdote (section 6.1): "numerous calls
+// to memcpy were overwriting allocated buffers and corrupting neighboring
+// data structures", in a process that is eventually killed hard. The trace
+// survives `kill -9` thanks to sub-buffering (section 3.2), and the
+// history shows the memcpy calls with bad lengths.
+//
+//   ./build/examples/crash_investigation
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Session.h"
+#include "lang/CodeGen.h"
+#include "reconstruct/Views.h"
+
+#include <cstdio>
+
+using namespace traceback;
+
+// Application code: a record cache whose entry size calculation is wrong
+// for one record kind, so memcpy overruns into the neighboring entry's
+// header and eventually corrupts the free list.
+static const char *AppSource = R"(
+import memcpy;
+import memset;
+fn entry_size(kind) {
+  if (kind == 0) { return 16; }
+  if (kind == 1) { return 32; }
+  return 24;                      // BUG: kind 2 records are 40 bytes.
+}
+fn put_record(cache, slot, src, kind) {
+  var dst = cache + slot * 40;
+  memcpy(dst, src, 40);           // Copies 40 into a 24-byte estimate...
+  return entry_size(kind);
+}
+fn main() export {
+  var cache = alloc(40 * 32);
+  var scratch = alloc(64);
+  memset(scratch, 7, 40);
+  var used = 0;
+  for (var i = 0; i < 200; i = i + 1) {
+    var kind = i % 3;
+    used = used + put_record(cache, i % 32, scratch, kind);
+    if (used > 100000) { used = 0; }
+    yield();
+  }
+  print(used);
+}
+)";
+
+int main() {
+  std::printf("=== crash investigation: runaway memcpy + kill -9 ===\n\n");
+
+  Deployment D;
+  // Production-style policy: modest buffers, sub-buffering on.
+  D.Policy.BufferBytes = 8 * 1024;
+  D.Policy.SubBufferCount = 4;
+  Machine *Host = D.addMachine("prod-db", "simos");
+  Process *P = Host->createProcess("recordcache");
+
+  std::string Error;
+  // libtbc (memcpy & friends) is deployed *instrumented* too, as the
+  // paper instruments entire applications including their dlls.
+  if (!D.deploy(*P, buildLibTbc(), /*Instrument=*/true, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+  Module App;
+  if (!minilang::compileMiniLang(AppSource, "cache.ml", "recordcache",
+                                 Technology::Native, App, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+  if (!D.deploy(*P, App, /*Instrument=*/true, Error) || !P->start("main")) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+
+  // The ops team watches it misbehave for a while, then kills it dead.
+  for (int Slice = 0; Slice < 4000; ++Slice)
+    D.world().stepSlice();
+  std::printf("[1] process is misbehaving; operator runs kill -9\n");
+  D.world().sendSignal(*P, SigKill);
+  std::printf("[2] hard-killed: no exit hooks ran, thread buffer cursors "
+              "lost\n");
+
+  // The service process copies the trace buffers out of the dead image
+  // (they live in the memory-mapped file).
+  ServiceDaemon *Daemon = D.daemonFor(*Host);
+  std::vector<SnapFile> PostMortem = Daemon->collectPostMortem(*P);
+  std::printf("[3] service process collected %zu snap(s) post mortem\n\n",
+              PostMortem.size());
+
+  ReconstructedTrace Trace = D.reconstruct(PostMortem.at(0));
+  const ThreadTrace *Main = Trace.threadById(1);
+  if (!Main) {
+    std::fprintf(stderr, "no trace recovered\n");
+    return 1;
+  }
+
+  std::printf("--- recovered history (tail; %s) ---\n",
+              Main->Truncated ? "ring overwrote older records"
+                              : "complete");
+  std::string Flat = renderFlatTrace(*Main);
+  size_t Lines = 0, Cut = 0;
+  for (size_t I = Flat.size(); I-- > 0;)
+    if (Flat[I] == '\n' && ++Lines == 20) {
+      Cut = I + 1;
+      break;
+    }
+  std::printf("%s", Flat.substr(Cut).c_str());
+
+  std::printf("\nDiagnosis: the history shows put_record (cache.ml:12) "
+              "calling memcpy (tbc.c:10-13)\nwith a fixed 40-byte copy "
+              "while entry_size() returned 24 for kind-2 records —\nthe "
+              "neighboring record's header is overwritten on every third "
+              "insert. The trace\nsurvived kill -9 because each filled "
+              "sub-buffer was committed before the kill.\n");
+  return 0;
+}

@@ -1,0 +1,278 @@
+//===- analysis/CFG.cpp - Control-flow graph recovery ---------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include "support/Text.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace traceback;
+
+const BasicBlock *FunctionCFG::blockContaining(uint32_t Off) const {
+  for (const BasicBlock &B : Blocks)
+    if (Off >= B.StartOffset && Off < B.EndOffset)
+      return &B;
+  return nullptr;
+}
+
+namespace {
+/// Returns the branch target code offset of \p D, assuming it is a
+/// pc-relative branch.
+uint32_t branchTarget(const DecodedInsn &D) {
+  return static_cast<uint32_t>(static_cast<int64_t>(D.Offset) +
+                               opcodeSize(D.Insn.Op) + D.Insn.Imm);
+}
+} // namespace
+
+bool traceback::buildCFGs(const Module &M, std::vector<FunctionCFG> &Out,
+                          std::string &Error,
+                          const std::vector<uint32_t> *ExtraLeaders) {
+  Out.clear();
+  std::vector<DecodedInsn> Insns;
+  if (!decodeAll(M.Code, Insns)) {
+    Error = formatv("module %s: code section fails to decode",
+                    M.Name.c_str());
+    return false;
+  }
+  if (Insns.empty())
+    return true;
+
+  // Map from code offset to instruction index for target validation.
+  std::map<uint32_t, size_t> AtOffset;
+  for (size_t I = 0; I < Insns.size(); ++I)
+    AtOffset.emplace(Insns[I].Offset, I);
+
+  // Function boundaries from the symbol table.
+  struct FuncSpan {
+    std::string Name;
+    uint32_t Start, End;
+  };
+  std::vector<FuncSpan> Funcs;
+  {
+    std::vector<const Symbol *> FnSyms;
+    for (const Symbol &S : M.Symbols)
+      if (S.IsFunction)
+        FnSyms.push_back(&S);
+    std::sort(FnSyms.begin(), FnSyms.end(),
+              [](const Symbol *A, const Symbol *B) {
+                return A->Offset < B->Offset;
+              });
+    // Drop duplicate offsets (a .func plus an alias label).
+    for (size_t I = 0; I < FnSyms.size(); ++I) {
+      if (!Funcs.empty() && Funcs.back().Start == FnSyms[I]->Offset)
+        continue;
+      Funcs.push_back({FnSyms[I]->Name, FnSyms[I]->Offset, 0});
+    }
+    if (Funcs.empty() || Funcs.front().Start != 0)
+      Funcs.insert(Funcs.begin(),
+                   {"<anon>", 0, 0}); // Code before the first symbol.
+    for (size_t I = 0; I < Funcs.size(); ++I)
+      Funcs[I].End = I + 1 < Funcs.size()
+                         ? Funcs[I + 1].Start
+                         : static_cast<uint32_t>(M.Code.size());
+  }
+
+  // Address-taken code offsets: anything a reloc can point at.
+  std::set<uint32_t> AddressTaken;
+  for (const CodeReloc &R : M.CodeRelocs) {
+    const Symbol *S = M.findSymbol(R.SymbolName);
+    if (S && S->IsFunction)
+      AddressTaken.insert(S->Offset + static_cast<uint32_t>(R.Addend));
+  }
+  for (const DataReloc &R : M.Relocs) {
+    const Symbol *S = M.findSymbol(R.SymbolName);
+    if (S && S->IsFunction)
+      AddressTaken.insert(S->Offset);
+  }
+  // Exported functions can be called from other modules.
+  for (const Symbol &S : M.Symbols)
+    if (S.IsFunction && S.Exported)
+      AddressTaken.insert(S.Offset);
+
+  std::set<uint32_t> HandlerEntries;
+  for (const EhEntry &E : M.EhTable)
+    HandlerEntries.insert(E.Handler);
+
+  // ----- Leader discovery -----------------------------------------------
+  std::set<uint32_t> Leaders;
+  for (const FuncSpan &F : Funcs)
+    Leaders.insert(F.Start);
+  for (uint32_t Off : AddressTaken)
+    Leaders.insert(Off);
+  for (uint32_t Off : HandlerEntries)
+    Leaders.insert(Off);
+  if (ExtraLeaders)
+    for (uint32_t Off : *ExtraLeaders)
+      if (AtOffset.count(Off))
+        Leaders.insert(Off);
+
+  for (const DecodedInsn &D : Insns) {
+    const Instruction &I = D.Insn;
+    uint32_t Next = D.Offset + opcodeSize(I.Op);
+    if (isRelBranch(I.Op)) {
+      uint32_t T = branchTarget(D);
+      if (!AtOffset.count(T)) {
+        Error = formatv("module %s: branch at %u targets mid-instruction %u",
+                        M.Name.c_str(), D.Offset, T);
+        return false;
+      }
+      Leaders.insert(T);
+      Leaders.insert(Next); // Fallthrough (or the point after an uncond br).
+    } else if (isTerminator(I.Op) || isCall(I.Op)) {
+      // Call return points are leaders: TraceBack puts a heavyweight probe
+      // there (section 2.2). Terminators end blocks too.
+      Leaders.insert(Next);
+      if (I.Op == Opcode::Call) {
+        uint32_t T = branchTarget(D);
+        if (!AtOffset.count(T)) {
+          Error = formatv("module %s: call at %u targets mid-instruction %u",
+                          M.Name.c_str(), D.Offset, T);
+          return false;
+        }
+        Leaders.insert(T);
+        // A called point is an external entry to its flow graph even when
+        // it is not a declared function symbol.
+        AddressTaken.insert(T);
+      }
+    }
+  }
+
+  // ----- Per-function block construction ---------------------------------
+  for (const FuncSpan &F : Funcs) {
+    if (F.Start == F.End)
+      continue;
+    FunctionCFG CFG;
+    CFG.Name = F.Name;
+    CFG.StartOffset = F.Start;
+    CFG.EndOffset = F.End;
+
+    // Block start offsets inside this function.
+    std::vector<uint32_t> Starts;
+    for (auto It = Leaders.lower_bound(F.Start);
+         It != Leaders.end() && *It < F.End; ++It)
+      Starts.push_back(*It);
+    assert(!Starts.empty() && Starts.front() == F.Start);
+
+    for (size_t BI = 0; BI < Starts.size(); ++BI) {
+      BasicBlock B;
+      B.Index = static_cast<uint32_t>(BI);
+      B.StartOffset = Starts[BI];
+      B.EndOffset = BI + 1 < Starts.size() ? Starts[BI + 1] : F.End;
+      size_t II = AtOffset.at(B.StartOffset);
+      while (II < Insns.size() && Insns[II].Offset < B.EndOffset) {
+        B.Insns.push_back(Insns[II]);
+        ++II;
+      }
+      assert(!B.Insns.empty() && "empty basic block");
+      B.IsFunctionEntry = B.StartOffset == F.Start;
+      B.IsAddressTaken = AddressTaken.count(B.StartOffset) != 0;
+      B.IsHandlerEntry = HandlerEntries.count(B.StartOffset) != 0;
+      CFG.BlockAtOffset.emplace(B.StartOffset, B.Index);
+      CFG.Blocks.push_back(std::move(B));
+    }
+
+    // Edges.
+    for (BasicBlock &B : CFG.Blocks) {
+      const DecodedInsn &Last = B.Insns.back();
+      const Instruction &I = Last.Insn;
+      uint32_t Next = Last.Offset + opcodeSize(I.Op);
+      auto AddEdge = [&](uint32_t TargetOff) {
+        auto It = CFG.BlockAtOffset.find(TargetOff);
+        if (It == CFG.BlockAtOffset.end()) {
+          // Branch out of the function span (tail branch). Treat like an
+          // unknown exit.
+          B.HasUnknownExit = true;
+          return;
+        }
+        B.Succs.push_back(It->second);
+      };
+
+      if (isCondBranch(I.Op)) {
+        AddEdge(branchTarget(Last));
+        AddEdge(Next);
+      } else if (I.Op == Opcode::BrS || I.Op == Opcode::BrL) {
+        AddEdge(branchTarget(Last));
+      } else if (I.Op == Opcode::JmpInd) {
+        B.HasIndirectExit = true;
+      } else if (isTerminator(I.Op)) {
+        B.HasUnknownExit = true; // Ret/Halt/Trap.
+      } else if (isCall(I.Op)) {
+        if (Next < F.End)
+          AddEdge(Next);
+        else
+          B.HasUnknownExit = true;
+      } else {
+        // Fallthrough into the next leader.
+        if (Next < F.End)
+          AddEdge(Next);
+        else
+          B.HasUnknownExit = true;
+      }
+    }
+
+    // Mark call-return points and fill predecessor lists.
+    for (BasicBlock &B : CFG.Blocks)
+      if (B.endsInCall())
+        for (uint32_t S : B.Succs)
+          CFG.Blocks[S].IsCallReturnPoint = true;
+    for (BasicBlock &B : CFG.Blocks)
+      for (uint32_t S : B.Succs)
+        CFG.Blocks[S].Preds.push_back(B.Index);
+
+    markBackEdgeTargets(CFG);
+    Out.push_back(std::move(CFG));
+  }
+  return true;
+}
+
+void traceback::markBackEdgeTargets(FunctionCFG &F) {
+  if (F.Blocks.empty())
+    return;
+  enum Color : uint8_t { White, Gray, Black };
+  std::vector<Color> Colors(F.Blocks.size(), White);
+
+  // Iterative DFS from every root (entry plus address-taken/handler blocks,
+  // which can be entered without passing through block 0).
+  struct Frame {
+    uint32_t Block;
+    size_t NextSucc;
+  };
+  auto DfsFrom = [&](uint32_t Root) {
+    if (Colors[Root] != White)
+      return;
+    std::vector<Frame> Stack;
+    Stack.push_back({Root, 0});
+    Colors[Root] = Gray;
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      BasicBlock &B = F.Blocks[Top.Block];
+      if (Top.NextSucc < B.Succs.size()) {
+        uint32_t S = B.Succs[Top.NextSucc++];
+        if (Colors[S] == Gray)
+          F.Blocks[S].IsBackEdgeTarget = true;
+        else if (Colors[S] == White) {
+          Colors[S] = Gray;
+          Stack.push_back({S, 0});
+        }
+      } else {
+        Colors[Top.Block] = Black;
+        Stack.pop_back();
+      }
+    }
+  };
+
+  DfsFrom(0);
+  for (BasicBlock &B : F.Blocks)
+    if (B.IsAddressTaken || B.IsHandlerEntry)
+      DfsFrom(B.Index);
+  // Unreachable blocks (e.g. data-driven targets we cannot see) still need
+  // processing so tiling terminates.
+  for (BasicBlock &B : F.Blocks)
+    DfsFrom(B.Index);
+}

@@ -1,0 +1,91 @@
+//===- analysis/CFG.h - Control-flow graph recovery -------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recovers per-function control-flow graphs from a module's code section.
+///
+/// This is the front half of the binary rewriting pipeline (paper section
+/// 2): code and data live in separate sections (the paper relies on "known
+/// techniques" for the separation), code is decoded and split into basic
+/// blocks, and control-flow edges are recovered from the branch
+/// displacements. Address-taken code symbols (callbacks, jump tables) and
+/// exception handlers are marked because they are mandatory DAG headers.
+///
+/// Calls terminate basic blocks here: TraceBack places a heavyweight probe
+/// at every call return point (paper section 2.2), so the return point
+/// must begin a block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_ANALYSIS_CFG_H
+#define TRACEBACK_ANALYSIS_CFG_H
+
+#include "isa/Encoding.h"
+#include "isa/Module.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// A basic block of decoded instructions.
+struct BasicBlock {
+  uint32_t Index = 0;
+  /// Instructions with their original code offsets.
+  std::vector<DecodedInsn> Insns;
+  uint32_t StartOffset = 0;
+  uint32_t EndOffset = 0; ///< One past the last instruction byte.
+
+  std::vector<uint32_t> Succs;
+  std::vector<uint32_t> Preds;
+
+  bool IsFunctionEntry = false;
+  bool IsCallReturnPoint = false; ///< Immediately follows a call.
+  bool IsHandlerEntry = false;    ///< EH handler target.
+  bool IsAddressTaken = false;    ///< Possible indirect branch/call target.
+  bool IsBackEdgeTarget = false;  ///< Loop header.
+  /// Block ends in JmpInd: successors are unknowable statically.
+  bool HasIndirectExit = false;
+  /// Block ends in Ret/Halt/Trap (no successors) or leaves the function.
+  bool HasUnknownExit = false;
+
+  const Instruction &lastInsn() const { return Insns.back().Insn; }
+  bool endsInCall() const { return isCall(lastInsn().Op); }
+};
+
+/// The CFG of one function.
+struct FunctionCFG {
+  std::string Name;
+  uint32_t StartOffset = 0;
+  uint32_t EndOffset = 0;
+  std::vector<BasicBlock> Blocks; ///< Block 0 is the function entry.
+  std::map<uint32_t, uint32_t> BlockAtOffset;
+
+  const BasicBlock *blockContaining(uint32_t Off) const;
+};
+
+/// Recovers the CFGs of every function in \p M. Returns false (with a
+/// diagnostic in \p Error) if the code section fails to decode or a branch
+/// targets the middle of an instruction.
+///
+/// \p ExtraLeaders optionally forces additional block boundaries (the
+/// managed-technology instrumenter splits blocks at source-line starts so
+/// each line gets its own path bit, reproducing the per-line probes Java
+/// needs for exact exception lines — paper section 2.4).
+bool buildCFGs(const Module &M, std::vector<FunctionCFG> &Out,
+               std::string &Error,
+               const std::vector<uint32_t> *ExtraLeaders = nullptr);
+
+/// Marks BasicBlock::IsBackEdgeTarget via DFS back-edge detection. Every
+/// cycle in the CFG passes through at least one marked block, which is what
+/// DAG tiling needs (a DAG must be acyclic).
+void markBackEdgeTargets(FunctionCFG &F);
+
+} // namespace traceback
+
+#endif // TRACEBACK_ANALYSIS_CFG_H

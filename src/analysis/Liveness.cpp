@@ -1,0 +1,90 @@
+//===- analysis/Liveness.cpp - Register liveness --------------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include <cassert>
+
+using namespace traceback;
+
+static constexpr uint16_t AllRegs = 0xFFFF;
+
+Liveness::Liveness(const FunctionCFG &F) : F(F) {
+  size_t N = F.Blocks.size();
+  LiveIn.assign(N, 0);
+  LiveOut.assign(N, 0);
+
+  // Transfer function per block: LiveIn = Use | (LiveOut & ~Def), computed
+  // by a backward scan over the block's instructions.
+  auto Transfer = [&](const BasicBlock &B, uint16_t Out) {
+    uint16_t Live = Out;
+    for (size_t I = B.Insns.size(); I-- > 0;) {
+      const Instruction &Insn = B.Insns[I].Insn;
+      Live = static_cast<uint16_t>(Live & ~Insn.regDefs());
+      Live = static_cast<uint16_t>(Live | Insn.regUses());
+    }
+    return Live;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t BI = N; BI-- > 0;) {
+      const BasicBlock &B = F.Blocks[BI];
+      uint16_t Out = 0;
+      // Ret/Halt/Trap end the function: nothing is live after them (their
+      // own uses — R0, SP — flow through the transfer function). Indirect
+      // exits and tail branches out of the function escape the analysis,
+      // so everything is assumed live there.
+      Opcode LastOp = B.lastInsn().Op;
+      bool EndsFunction = LastOp == Opcode::Ret || LastOp == Opcode::Halt ||
+                          LastOp == Opcode::Trap;
+      if ((B.HasIndirectExit || B.HasUnknownExit) && !EndsFunction)
+        Out = AllRegs;
+      for (uint32_t S : B.Succs)
+        Out |= LiveIn[S];
+      // Blocks that can be entered from outside (handlers, address-taken)
+      // do not change their own live-out, but their live-in is what
+      // callers of liveBefore() see, so nothing extra is needed here.
+      uint16_t In = Transfer(B, Out);
+      if (Out != LiveOut[BI] || In != LiveIn[BI]) {
+        LiveOut[BI] = Out;
+        LiveIn[BI] = In;
+        Changed = true;
+      }
+    }
+  }
+}
+
+uint16_t Liveness::liveBefore(uint32_t BlockIndex, size_t InsnIndex) const {
+  const BasicBlock &B = F.Blocks[BlockIndex];
+  assert(InsnIndex <= B.Insns.size());
+  uint16_t Live = LiveOut[BlockIndex];
+  for (size_t I = B.Insns.size(); I-- > InsnIndex;) {
+    const Instruction &Insn = B.Insns[I].Insn;
+    Live = static_cast<uint16_t>(Live & ~Insn.regDefs());
+    Live = static_cast<uint16_t>(Live | Insn.regUses());
+  }
+  return Live;
+}
+
+std::vector<unsigned> Liveness::findDeadRegs(uint32_t BlockIndex,
+                                             size_t InsnIndex,
+                                             unsigned Want) const {
+  uint16_t Live = liveBefore(BlockIndex, InsnIndex);
+  std::vector<unsigned> Result;
+  // Preference order: the conventional probe scratch registers first, then
+  // the other temporaries, then argument registers. Never SP or FP.
+  static const unsigned Preference[] = {10, 11, 9, 8, 7, 6, 5, 4,
+                                        3,  2,  1, 0, 12, 13};
+  for (unsigned R : Preference) {
+    if (Result.size() >= Want)
+      break;
+    if (!(Live & (1u << R)))
+      Result.push_back(R);
+  }
+  return Result;
+}

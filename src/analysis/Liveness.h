@@ -1,0 +1,60 @@
+//===- analysis/Liveness.h - Register liveness ------------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward register-liveness dataflow over a FunctionCFG.
+///
+/// The paper notes that TraceBack "uses well-known compiler algorithms
+/// like liveness analysis to allow instrumentation code to make use of
+/// architectural registers" (section 2). Probes need scratch registers;
+/// where none is dead at the probe site, the instrumenter spills with
+/// Push/Pop — exactly the spill/restore the paper blames for part of the
+/// gzip slowdown (section 6).
+///
+/// The analysis is conservative at control-flow the rewriter cannot see:
+/// blocks with indirect or unknown exits are assumed to have every
+/// register live out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_ANALYSIS_LIVENESS_H
+#define TRACEBACK_ANALYSIS_LIVENESS_H
+
+#include "analysis/CFG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace traceback {
+
+/// Per-function liveness facts.
+class Liveness {
+public:
+  /// Runs the dataflow to a fixpoint over \p F.
+  explicit Liveness(const FunctionCFG &F);
+
+  /// Registers live on entry to block \p BlockIndex.
+  uint16_t liveIn(uint32_t BlockIndex) const { return LiveIn[BlockIndex]; }
+
+  /// Registers live immediately before instruction \p InsnIndex of block
+  /// \p BlockIndex (InsnIndex may equal the block size, meaning live-out).
+  uint16_t liveBefore(uint32_t BlockIndex, size_t InsnIndex) const;
+
+  /// Picks up to \p Want registers dead at the given program point,
+  /// preferring the probe-scratch registers R10/R11 and never returning
+  /// SP/FP. Returns the registers found (possibly fewer than \p Want).
+  std::vector<unsigned> findDeadRegs(uint32_t BlockIndex, size_t InsnIndex,
+                                     unsigned Want) const;
+
+private:
+  const FunctionCFG &F;
+  std::vector<uint16_t> LiveIn;
+  std::vector<uint16_t> LiveOut;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_ANALYSIS_LIVENESS_H

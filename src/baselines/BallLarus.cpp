@@ -1,0 +1,422 @@
+//===- baselines/BallLarus.cpp - Ball-Larus path profiling ----------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Path numbering follows Ball & Larus (MICRO-29, 1996) on a per-function
+// acyclic region graph. Edges removed from the region DAG (back edges,
+// edges out of call blocks, edges into path-start blocks) are "terminal":
+// they carry a counter update; their targets are path starts that reset
+// the path register. Every block's outgoing edges are ordered and valued
+// with prefix sums of their contributions (numPaths(target) for DAG edges,
+// 1 for terminal edges), which assigns each acyclic path a unique index.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/BallLarus.h"
+
+#include "analysis/CFG.h"
+#include "isa/Builder.h"
+#include "support/Text.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace traceback;
+
+namespace {
+
+constexpr unsigned PathReg = 9;   // Running path sum.
+constexpr unsigned Scratch0 = 10; // Counter update scratch.
+constexpr unsigned Scratch1 = 11;
+
+struct EdgeKey {
+  uint32_t From;
+  uint32_t To;
+  bool operator<(const EdgeKey &O) const {
+    return From != O.From ? From < O.From : To < O.To;
+  }
+};
+
+/// Per-function Ball-Larus analysis.
+struct FuncAnalysis {
+  std::set<EdgeKey> BackEdges;
+  std::set<uint32_t> PathStarts;
+  std::vector<uint64_t> NumPaths;        // Per block.
+  std::map<EdgeKey, uint64_t> EdgeVal;   // All outgoing edges.
+  std::map<EdgeKey, bool> EdgeTerminal;  // Terminal edges carry updates.
+  std::map<uint32_t, uint64_t> EntryVal; // Path-start reset values.
+  std::map<uint32_t, uint64_t> ExitVal;  // Ret/unknown-exit update value.
+  uint64_t TotalPaths = 0;
+};
+
+void findBackEdges(const FunctionCFG &F, std::set<EdgeKey> &Out) {
+  enum Color : uint8_t { White, Gray, Black };
+  std::vector<Color> Colors(F.Blocks.size(), White);
+  struct Frame {
+    uint32_t Block;
+    size_t Next;
+  };
+  auto Dfs = [&](uint32_t Root) {
+    if (Colors[Root] != White)
+      return;
+    std::vector<Frame> Stack{{Root, 0}};
+    Colors[Root] = Gray;
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      const BasicBlock &B = F.Blocks[Top.Block];
+      if (Top.Next < B.Succs.size()) {
+        uint32_t S = B.Succs[Top.Next++];
+        if (Colors[S] == Gray)
+          Out.insert({Top.Block, S});
+        else if (Colors[S] == White) {
+          Colors[S] = Gray;
+          Stack.push_back({S, 0});
+        }
+      } else {
+        Colors[Top.Block] = Black;
+        Stack.pop_back();
+      }
+    }
+  };
+  for (uint32_t I = 0; I < F.Blocks.size(); ++I)
+    Dfs(I);
+}
+
+bool analyzeFunction(const FunctionCFG &F, uint64_t MaxPaths,
+                     FuncAnalysis &A, std::string &Error) {
+  size_t N = F.Blocks.size();
+  findBackEdges(F, A.BackEdges);
+
+  // Path starts: the entry, back-edge targets, call-return points and
+  // address-taken blocks (each begins a fresh acyclic region path).
+  for (const BasicBlock &B : F.Blocks)
+    if (B.IsFunctionEntry || B.IsCallReturnPoint || B.IsAddressTaken ||
+        B.IsBackEdgeTarget)
+      A.PathStarts.insert(B.Index);
+  A.PathStarts.insert(0);
+
+  auto IsDagEdge = [&](uint32_t U, uint32_t V) {
+    if (A.BackEdges.count({U, V}))
+      return false;
+    if (F.Blocks[U].endsInCall())
+      return false;
+    if (A.PathStarts.count(V))
+      return false;
+    return true;
+  };
+
+  // numPaths via reverse topological order over DAG edges: iterate to a
+  // fixpoint (the DAG is acyclic so one pass in reverse RPO suffices; a
+  // simple worklist is robust to our block order).
+  A.NumPaths.assign(N, 0);
+  bool Changed = true;
+  int Guard = 0;
+  while (Changed) {
+    Changed = false;
+    if (++Guard > static_cast<int>(N) + 2) {
+      Error = formatv("function %s: region graph is not acyclic",
+                      F.Name.c_str());
+      return false;
+    }
+    for (size_t I = N; I-- > 0;) {
+      const BasicBlock &B = F.Blocks[I];
+      uint64_t Sum = 0;
+      bool AnyEdge = false;
+      for (uint32_t S : B.Succs) {
+        AnyEdge = true;
+        if (IsDagEdge(B.Index, S))
+          Sum += A.NumPaths[S];
+        else
+          Sum += 1; // Terminal edge: one path ends here.
+      }
+      if (!AnyEdge)
+        Sum = 1; // Ret / unknown exit.
+      if (Sum != A.NumPaths[I]) {
+        A.NumPaths[I] = Sum;
+        Changed = true;
+      }
+    }
+  }
+
+  // Edge values: prefix sums of contributions, in successor order.
+  for (const BasicBlock &B : F.Blocks) {
+    uint64_t Prefix = 0;
+    for (uint32_t S : B.Succs) {
+      EdgeKey E{B.Index, S};
+      A.EdgeVal[E] = Prefix;
+      bool Terminal = !IsDagEdge(B.Index, S);
+      A.EdgeTerminal[E] = Terminal;
+      Prefix += Terminal ? 1 : A.NumPaths[S];
+    }
+    if (B.Succs.empty())
+      A.ExitVal[B.Index] = 0;
+  }
+
+  // ENTRY edge values: each path start gets a distinct region base.
+  uint64_t Base = 0;
+  for (uint32_t S : A.PathStarts) {
+    A.EntryVal[S] = Base;
+    Base += A.NumPaths[S];
+  }
+  A.TotalPaths = Base;
+  if (A.TotalPaths > MaxPaths) {
+    Error = formatv("function %s has %llu paths, exceeding the limit",
+                    F.Name.c_str(),
+                    static_cast<unsigned long long>(A.TotalPaths));
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool traceback::ballLarusInstrument(const Module &Orig,
+                                    BallLarusResult &Result,
+                                    std::string &Error, uint64_t MaxPaths) {
+  if (!Orig.EhTable.empty()) {
+    Error = "Ball-Larus baseline does not support exception tables";
+    return false;
+  }
+  if (Orig.Instrumented) {
+    Error = "module is already instrumented";
+    return false;
+  }
+
+  std::vector<FunctionCFG> CFGs;
+  if (!buildCFGs(Orig, CFGs, Error))
+    return false;
+
+  std::vector<FuncAnalysis> Analyses(CFGs.size());
+  uint64_t TotalPaths = 0;
+  for (size_t I = 0; I < CFGs.size(); ++I) {
+    if (!analyzeFunction(CFGs[I], MaxPaths, Analyses[I], Error))
+      return false;
+    Result.Functions.push_back(
+        {CFGs[I].Name, TotalPaths, Analyses[I].TotalPaths});
+    TotalPaths += Analyses[I].TotalPaths;
+  }
+  Result.TotalPaths = TotalPaths;
+
+  // ----- Re-emission ------------------------------------------------------
+  ModuleBuilder B(Orig.Name, Orig.Tech);
+  for (const std::string &F : Orig.Files)
+    B.fileIndex(F);
+
+  std::map<uint32_t, Label> BlockLabels;
+  for (const FunctionCFG &F : CFGs)
+    for (const BasicBlock &Blk : F.Blocks)
+      BlockLabels.emplace(Blk.StartOffset, B.makeLabel());
+
+  std::map<uint32_t, const CodeReloc *> RelocByImm;
+  for (const CodeReloc &R : Orig.CodeRelocs)
+    RelocByImm.emplace(R.CodeOffset, &R);
+
+  std::multimap<uint32_t, const Symbol *> FuncSymsAt;
+  for (const Symbol &S : Orig.Symbols)
+    if (S.IsFunction)
+      FuncSymsAt.emplace(S.Offset, &S);
+
+  // Counter update: counters[FuncBase + r9 + Val]++.
+  auto EmitCounterUpdate = [&](uint64_t FuncBase, uint64_t Val) {
+    B.emitLea(Scratch0, "__bl_counters",
+              static_cast<int64_t>(FuncBase) * 8);
+    B.emit(Instruction::aluI(Opcode::AddI, Scratch1, PathReg,
+                             static_cast<int32_t>(Val)));
+    B.emit(Instruction::aluI(Opcode::ShlI, Scratch1, Scratch1, 3));
+    B.emit(Instruction::alu(Opcode::Add, Scratch0, Scratch0, Scratch1));
+    B.emit(Instruction::load(Opcode::Ld, Scratch1, Scratch0, 0));
+    B.emit(Instruction::aluI(Opcode::AddI, Scratch1, Scratch1, 1));
+    B.emit(Instruction::store(Opcode::St, Scratch0, 0, Scratch1));
+  };
+
+  struct PendingStub {
+    Label StubLabel;
+    Label Target;
+    uint64_t FuncBase;
+    uint64_t Val;
+  };
+
+  for (size_t FI = 0; FI < CFGs.size(); ++FI) {
+    const FunctionCFG &F = CFGs[FI];
+    const FuncAnalysis &A = Analyses[FI];
+    uint64_t FuncBase = Result.Functions[FI].Base;
+    std::vector<PendingStub> Stubs;
+
+    for (const BasicBlock &Blk : F.Blocks) {
+      B.bind(BlockLabels.at(Blk.StartOffset));
+      auto SymRange = FuncSymsAt.equal_range(Blk.StartOffset);
+      for (auto It = SymRange.first; It != SymRange.second; ++It)
+        B.beginFunction(It->second->Name, It->second->Exported);
+
+      if (auto L = Orig.lineForOffset(Blk.StartOffset))
+        B.setLine(L->FileIndex, L->Line);
+
+      // Path starts reset the path register to their region base.
+      if (A.PathStarts.count(Blk.Index))
+        B.emit(Instruction::movI(
+            PathReg, static_cast<int64_t>(A.EntryVal.at(Blk.Index))));
+
+      // Classify this block's outgoing edges.
+      const DecodedInsn &Last = Blk.Insns.back();
+      bool LastIsCtl = isRelBranch(Last.Insn.Op) ||
+                       isTerminator(Last.Insn.Op) || isCall(Last.Insn.Op);
+
+      auto EdgeTargetLabel = [&](uint32_t SuccIdx) -> Label {
+        const BasicBlock &SuccBlk = F.Blocks[SuccIdx];
+        EdgeKey E{Blk.Index, SuccIdx};
+        if (A.EdgeTerminal.count(E) && A.EdgeTerminal.at(E)) {
+          Label Stub = B.makeLabel();
+          Stubs.push_back({Stub, BlockLabels.at(SuccBlk.StartOffset),
+                           FuncBase, A.EdgeVal.at(E)});
+          return Stub;
+        }
+        // DAG edge: inline increment happens elsewhere (values of first
+        // edges are 0; a taken DAG edge with nonzero value also goes
+        // through a stub that only adds).
+        uint64_t Val = A.EdgeVal.count(E) ? A.EdgeVal.at(E) : 0;
+        if (Val != 0) {
+          Label Stub = B.makeLabel();
+          // Increment-only stub: reuse PendingStub with Target and mark
+          // Val with the high bit meaning "add only".
+          Stubs.push_back({Stub, BlockLabels.at(SuccBlk.StartOffset),
+                           FuncBase, Val | (1ull << 63)});
+          return Stub;
+        }
+        return BlockLabels.at(SuccBlk.StartOffset);
+      };
+
+      for (size_t II = 0; II < Blk.Insns.size(); ++II) {
+        const DecodedInsn &D = Blk.Insns[II];
+        const Instruction &I = D.Insn;
+        bool IsLast = II + 1 == Blk.Insns.size();
+        if (auto L = Orig.lineForOffset(D.Offset))
+          B.setLine(L->FileIndex, L->Line);
+
+        // Updates that must precede the terminal instruction.
+        if (IsLast && LastIsCtl) {
+          if (isCall(I.Op)) {
+            // Path ends at the call (first successor-edge value prefix).
+            uint64_t Val = 0;
+            if (!Blk.Succs.empty())
+              Val = A.EdgeVal.at({Blk.Index, Blk.Succs[0]});
+            (void)Val;
+            EmitCounterUpdate(FuncBase, 0);
+          } else if (I.Op == Opcode::Ret || I.Op == Opcode::Halt ||
+                     I.Op == Opcode::Trap || I.Op == Opcode::JmpInd) {
+            EmitCounterUpdate(FuncBase, 0);
+          }
+        }
+
+        uint32_t NextOff = D.Offset + opcodeSize(I.Op);
+        auto ResolveTarget = [&]() -> uint32_t {
+          return static_cast<uint32_t>(static_cast<int64_t>(NextOff) +
+                                       I.Imm);
+        };
+
+        switch (I.Op) {
+        case Opcode::BrS:
+        case Opcode::BrL: {
+          uint32_t TargetOff = ResolveTarget();
+          auto It = F.BlockAtOffset.find(TargetOff);
+          if (It != F.BlockAtOffset.end())
+            B.emitBr(EdgeTargetLabel(It->second));
+          else
+            B.emitBr(BlockLabels.at(TargetOff));
+          break;
+        }
+        case Opcode::BrzS:
+        case Opcode::BrzL:
+        case Opcode::BrnzS:
+        case Opcode::BrnzL: {
+          uint32_t TargetOff = ResolveTarget();
+          Opcode LongForm = (I.Op == Opcode::BrzS || I.Op == Opcode::BrzL)
+                                ? Opcode::BrzL
+                                : Opcode::BrnzL;
+          auto It = F.BlockAtOffset.find(TargetOff);
+          Label T = It != F.BlockAtOffset.end()
+                        ? EdgeTargetLabel(It->second)
+                        : BlockLabels.at(TargetOff);
+          B.emitBrCond(LongForm, I.Rs, T);
+          break;
+        }
+        case Opcode::Call:
+          B.emitCall(BlockLabels.at(ResolveTarget()));
+          break;
+        case Opcode::MovI: {
+          auto RIt = RelocByImm.find(D.Offset + 2);
+          if (RIt != RelocByImm.end())
+            B.emitLea(I.Rd, RIt->second->SymbolName, RIt->second->Addend);
+          else
+            B.emit(I);
+          break;
+        }
+        default:
+          B.emit(I);
+          break;
+        }
+      }
+
+      // Fallthrough edge handling: emitted between this block and the
+      // next; jumps from elsewhere land after it, on the block label.
+      if (!LastIsCtl || isCondBranch(Blk.Insns.back().Insn.Op) ||
+          isCall(Blk.Insns.back().Insn.Op)) {
+        // Which successor is the fallthrough? It is the one whose start
+        // offset equals the end of this block.
+        for (uint32_t S : Blk.Succs) {
+          if (F.Blocks[S].StartOffset != Blk.EndOffset)
+            continue;
+          EdgeKey E{Blk.Index, S};
+          if (!A.EdgeTerminal.count(E))
+            break;
+          uint64_t Val = A.EdgeVal.at(E);
+          if (A.EdgeTerminal.at(E)) {
+            if (!Blk.endsInCall()) // Call blocks updated pre-call.
+              EmitCounterUpdate(FuncBase, Val);
+          } else if (Val != 0) {
+            B.emit(Instruction::aluI(Opcode::AddI, PathReg, PathReg,
+                                     static_cast<int32_t>(Val)));
+          }
+          break;
+        }
+      }
+    }
+
+    // Materialize the edge stubs at the end of the function.
+    for (const PendingStub &S : Stubs) {
+      B.bind(S.StubLabel);
+      if (S.Val & (1ull << 63)) {
+        B.emit(Instruction::aluI(Opcode::AddI, PathReg, PathReg,
+                                 static_cast<int32_t>(S.Val & ~(1ull << 63))));
+      } else {
+        EmitCounterUpdate(S.FuncBase, S.Val);
+      }
+      B.emitBr(S.Target);
+    }
+  }
+
+  // Counter table.
+  B.defineDataSymbol("__bl_counters", /*Exported=*/true);
+  B.addData(std::vector<uint8_t>(static_cast<size_t>(TotalPaths) * 8, 0));
+
+  if (!B.finalize(Result.Out, Error))
+    return false;
+  // Carry the original data (the counter table was appended after it).
+  std::vector<uint8_t> CounterData = std::move(Result.Out.Data);
+  Result.Out.Data = Orig.Data;
+  // Fix the counter symbol's offset: defineDataSymbol recorded it
+  // relative to the builder's (otherwise empty) data section.
+  for (Symbol &S : Result.Out.Symbols)
+    if (S.Name == "__bl_counters")
+      S.Offset = static_cast<uint32_t>(Orig.Data.size());
+  Result.Out.Data.insert(Result.Out.Data.end(), CounterData.begin(),
+                         CounterData.end());
+  Result.Out.Relocs = Orig.Relocs;
+  Result.Out.Imports = Orig.Imports;
+  for (const Symbol &S : Orig.Symbols)
+    if (!S.IsFunction)
+      Result.Out.Symbols.push_back(S);
+  return true;
+}

@@ -1,0 +1,60 @@
+//===- baselines/BallLarus.h - Ball-Larus path profiling --------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Ball–Larus path profiler (the paper's reference [4]), implemented as
+/// a comparison baseline: cheap aggregate path *frequencies* rather than a
+/// temporal trace.
+///
+/// The paper explains why TraceBack does not use this algorithm (section
+/// 7): path profiling keeps the running path sum in a register and only
+/// materializes it at path ends, so "it is generally not possible to
+/// recover the register state at the point of an exception" — a crash
+/// mid-path loses exactly the information first-fault diagnosis needs.
+/// The `bench_baselines` harness shows both sides: BL's lower overhead and
+/// its zero forensic value at a crash.
+///
+/// Simplifications relative to production BL (documented, benign for the
+/// overhead comparison): the path register is R9 and the counter-update
+/// scratch registers are R10/R11, which the MiniLang code generator leaves
+/// free; modules with exception tables are rejected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_BASELINES_BALLLARUS_H
+#define TRACEBACK_BASELINES_BALLLARUS_H
+
+#include "isa/Module.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// Result of Ball–Larus instrumentation.
+struct BallLarusResult {
+  Module Out;
+  /// Total number of static paths across all functions; the counter table
+  /// (data symbol "__bl_counters") has this many 8-byte slots.
+  uint64_t TotalPaths = 0;
+  /// Per-function (name, first counter index, path count).
+  struct FuncPaths {
+    std::string Name;
+    uint64_t Base;
+    uint64_t Count;
+  };
+  std::vector<FuncPaths> Functions;
+};
+
+/// Instruments \p Orig with Ball–Larus path counting. Fails on modules
+/// with EH tables or with functions whose path count exceeds \p MaxPaths.
+bool ballLarusInstrument(const Module &Orig, BallLarusResult &Result,
+                         std::string &Error, uint64_t MaxPaths = 1 << 20);
+
+} // namespace traceback
+
+#endif // TRACEBACK_BASELINES_BALLLARUS_H

@@ -1,0 +1,17 @@
+//===- baselines/NaiveTracer.cpp - One-word-per-block tracer --------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/NaiveTracer.h"
+
+using namespace traceback;
+
+bool traceback::naiveInstrumentModule(const Module &Orig, Module &Out,
+                                      MapFile &Map, InstrumentStats *Stats,
+                                      std::string &Error) {
+  InstrumentOptions Opts;
+  Opts.Tile.EveryBlockIsHeader = true;
+  return instrumentModule(Orig, Opts, Out, Map, Stats, Error);
+}

@@ -1,0 +1,34 @@
+//===- baselines/NaiveTracer.h - One-word-per-block tracer ------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "simple approach to instrumentation" the paper describes and
+/// rejects in section 2.1: "modify each block to append its address to a
+/// trace buffer. While this works, it fails to take advantage of the
+/// constrained execution orders imposed by the flow graph... unnecessarily
+/// voluminous at one word per block."
+///
+/// Implemented as degenerate DAG tiling — every block becomes a heavyweight
+/// probe site — so the baseline runs on the exact same runtime and
+/// reconstruction machinery and the comparison isolates the probe-placement
+/// strategy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_BASELINES_NAIVETRACER_H
+#define TRACEBACK_BASELINES_NAIVETRACER_H
+
+#include "instrument/Instrumenter.h"
+
+namespace traceback {
+
+/// Instruments \p Orig with one heavyweight record per basic block.
+bool naiveInstrumentModule(const Module &Orig, Module &Out, MapFile &Map,
+                           InstrumentStats *Stats, std::string &Error);
+
+} // namespace traceback
+
+#endif // TRACEBACK_BASELINES_NAIVETRACER_H

@@ -1,0 +1,60 @@
+//===- core/DynamicCode.cpp - Dynamic-code instrumentation cache ----------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DynamicCode.h"
+
+#include "core/FileIO.h"
+#include "support/MD5.h"
+
+using namespace traceback;
+
+InstrumentationCache::InstrumentationCache(std::string CacheDir)
+    : CacheDir(std::move(CacheDir)) {}
+
+std::string InstrumentationCache::keyFor(const Module &Orig) const {
+  // Hash the full original image: a rebuilt page (different source)
+  // yields a different key and is re-instrumented (section 3.4).
+  std::vector<uint8_t> Bytes = Orig.serialize();
+  return MD5::hash(Bytes.data(), Bytes.size()).toHex();
+}
+
+bool InstrumentationCache::instrument(const Module &Orig,
+                                      const InstrumentOptions &Opts,
+                                      Module &OutModule, MapFile &OutMap,
+                                      std::string &Error) {
+  std::string Key = keyFor(Orig);
+
+  if (auto It = Entries.find(Key); It != Entries.end()) {
+    ++Hits;
+    OutModule = It->second.Instrumented;
+    OutMap = It->second.Map;
+    return true;
+  }
+
+  // On-disk lookup (another process may have instrumented this page).
+  if (!CacheDir.empty()) {
+    Module Cached;
+    MapFile CachedMap;
+    if (loadModule(CacheDir + "/" + Key + ".tbo", Cached) &&
+        loadMapFile(CacheDir + "/" + Key + ".tbmap", CachedMap)) {
+      ++Hits;
+      Entries[Key] = {Cached, CachedMap};
+      OutModule = std::move(Cached);
+      OutMap = std::move(CachedMap);
+      return true;
+    }
+  }
+
+  ++Misses;
+  if (!instrumentModule(Orig, Opts, OutModule, OutMap, nullptr, Error))
+    return false;
+  Entries[Key] = {OutModule, OutMap};
+  if (!CacheDir.empty()) {
+    saveModule(OutModule, CacheDir + "/" + Key + ".tbo");
+    saveMapFile(OutMap, CacheDir + "/" + Key + ".tbmap");
+  }
+  return true;
+}

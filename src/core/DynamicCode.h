@@ -1,0 +1,61 @@
+//===- core/DynamicCode.h - Dynamic-code instrumentation cache --*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamically-generated-code path (paper section 3.4): web servers
+/// compile .aspx/.jsp pages into fresh modules at request time; the
+/// TraceBack runtime instruments them before use and keeps the results in
+/// an on-disk cache keyed by module checksum, so subsequent processes skip
+/// the instrumentation cost. When a page is rebuilt (different checksum),
+/// it is re-instrumented.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_CORE_DYNAMICCODE_H
+#define TRACEBACK_CORE_DYNAMICCODE_H
+
+#include "instrument/Instrumenter.h"
+#include "isa/Module.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace traceback {
+
+/// Cache of instrumented modules keyed by the *original* module's content
+/// hash. Optionally persisted to a directory (one .tbo/.tbmap pair per
+/// entry), modeling the paper's on-disk cache.
+class InstrumentationCache {
+public:
+  /// \p CacheDir: directory for persistence; empty keeps the cache purely
+  /// in memory.
+  explicit InstrumentationCache(std::string CacheDir = "");
+
+  /// Returns the instrumented module + mapfile for \p Orig, instrumenting
+  /// on a miss. Returns false with \p Error on instrumentation failure.
+  bool instrument(const Module &Orig, const InstrumentOptions &Opts,
+                  Module &OutModule, MapFile &OutMap, std::string &Error);
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  std::string keyFor(const Module &Orig) const;
+
+  struct Entry {
+    Module Instrumented;
+    MapFile Map;
+  };
+  std::string CacheDir;
+  std::map<std::string, Entry> Entries;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_CORE_DYNAMICCODE_H

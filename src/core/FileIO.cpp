@@ -1,0 +1,76 @@
+//===- core/FileIO.cpp - On-disk artifact persistence ---------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FileIO.h"
+
+#include <cstdio>
+
+using namespace traceback;
+
+bool traceback::readFileBytes(const std::string &Path,
+                              std::vector<uint8_t> &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  Out.clear();
+  uint8_t Buf[65536];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.insert(Out.end(), Buf, Buf + N);
+  bool Ok = !std::ferror(F);
+  std::fclose(F);
+  return Ok;
+}
+
+bool traceback::writeFileBytes(const std::string &Path,
+                               const std::vector<uint8_t> &In) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = In.empty() || std::fwrite(In.data(), 1, In.size(), F) == In.size();
+  Ok = std::fclose(F) == 0 && Ok;
+  return Ok;
+}
+
+bool traceback::readFileText(const std::string &Path, std::string &Out) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes))
+    return false;
+  Out.assign(Bytes.begin(), Bytes.end());
+  return true;
+}
+
+bool traceback::writeFileText(const std::string &Path,
+                              const std::string &In) {
+  return writeFileBytes(Path, std::vector<uint8_t>(In.begin(), In.end()));
+}
+
+bool traceback::saveModule(const Module &M, const std::string &Path) {
+  return writeFileBytes(Path, M.serialize());
+}
+
+bool traceback::loadModule(const std::string &Path, Module &Out) {
+  std::vector<uint8_t> Bytes;
+  return readFileBytes(Path, Bytes) && Module::deserialize(Bytes, Out);
+}
+
+bool traceback::saveMapFile(const MapFile &M, const std::string &Path) {
+  return writeFileBytes(Path, M.serialize());
+}
+
+bool traceback::loadMapFile(const std::string &Path, MapFile &Out) {
+  std::vector<uint8_t> Bytes;
+  return readFileBytes(Path, Bytes) && MapFile::deserialize(Bytes, Out);
+}
+
+bool traceback::saveSnap(const SnapFile &S, const std::string &Path) {
+  return writeFileBytes(Path, S.serialize());
+}
+
+bool traceback::loadSnap(const std::string &Path, SnapFile &Out) {
+  std::vector<uint8_t> Bytes;
+  return readFileBytes(Path, Bytes) && SnapFile::deserialize(Bytes, Out);
+}

@@ -1,0 +1,45 @@
+//===- core/FileIO.h - On-disk artifact persistence -------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reading/writing the deployment artifacts the paper keeps on disk:
+/// instrumented modules, mapfiles (emitted "alongside the instrumented
+/// executable", section 2.1), snap files (section 3.6) and policy files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_CORE_FILEIO_H
+#define TRACEBACK_CORE_FILEIO_H
+
+#include "instrument/MapFile.h"
+#include "isa/Module.h"
+#include "runtime/Snap.h"
+
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// Reads an entire file; false on I/O error.
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Out);
+
+/// Writes (truncates) a file; false on I/O error.
+bool writeFileBytes(const std::string &Path, const std::vector<uint8_t> &In);
+
+bool readFileText(const std::string &Path, std::string &Out);
+bool writeFileText(const std::string &Path, const std::string &In);
+
+// Typed wrappers.
+bool saveModule(const Module &M, const std::string &Path);
+bool loadModule(const std::string &Path, Module &Out);
+bool saveMapFile(const MapFile &M, const std::string &Path);
+bool loadMapFile(const std::string &Path, MapFile &Out);
+bool saveSnap(const SnapFile &S, const std::string &Path);
+bool loadSnap(const std::string &Path, SnapFile &Out);
+
+} // namespace traceback
+
+#endif // TRACEBACK_CORE_FILEIO_H

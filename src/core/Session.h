@@ -1,0 +1,116 @@
+//===- core/Session.h - End-to-end TraceBack deployment ---------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `Deployment` is the public entry point tying the pipeline together:
+/// instrument modules (collecting mapfiles), create machines/processes,
+/// attach per-technology TraceBack runtimes, run the world, gather snaps,
+/// and reconstruct traces. The examples and benches are written against
+/// this API.
+///
+/// Typical use:
+/// \code
+///   Deployment D;
+///   Machine *M = D.addMachine("web01");
+///   Process *P = M->createProcess("server");
+///   D.deploy(*P, MyModule, /*Instrument=*/true);
+///   P->start("main");
+///   D.world().run();
+///   for (const SnapFile &S : D.snaps())
+///     puts(renderFaultView(S, D.reconstruct(S)).c_str());
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_CORE_SESSION_H
+#define TRACEBACK_CORE_SESSION_H
+
+#include "distributed/ServiceDaemon.h"
+#include "instrument/Instrumenter.h"
+#include "reconstruct/Reconstructor.h"
+#include "reconstruct/Trace.h"
+#include "runtime/Runtime.h"
+#include "vm/World.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// Owns a simulated world plus all TraceBack machinery attached to it.
+class Deployment {
+public:
+  Deployment();
+  ~Deployment();
+
+  World &world() { return W; }
+
+  /// Creates a machine with an optional skewed/drifting clock and its
+  /// service daemon (section 3.6.1).
+  Machine *addMachine(const std::string &Name,
+                      const std::string &OsName = "simos",
+                      int64_t ClockOffset = 0, uint64_t RateNum = 1,
+                      uint64_t RateDen = 1);
+
+  /// Instruments \p Orig (storing the mapfile), ensures a runtime for the
+  /// module's technology is attached to \p P, and loads the instrumented
+  /// module. With \p Instrument false the module is loaded as-is
+  /// (untraced code paths, section 1). Returns the loaded module or null
+  /// with \p Error set.
+  LoadedModule *deploy(Process &P, const Module &Orig, bool Instrument,
+                       std::string &Error);
+  LoadedModule *deploy(Process &P, const Module &Orig, bool Instrument,
+                       const InstrumentOptions &Opts, std::string &Error);
+
+  /// Instruments without loading (for tests/benches that drive loading
+  /// themselves). The mapfile is still registered.
+  bool instrumentOnly(const Module &Orig, const InstrumentOptions &Opts,
+                      Module &Out, std::string &Error,
+                      InstrumentStats *Stats = nullptr);
+
+  /// Ensures \p P has a runtime for \p Tech attached; returns it.
+  TracebackRuntime *runtimeFor(Process &P, Technology Tech);
+
+  /// Service daemon of a machine (heartbeats, group snaps).
+  ServiceDaemon *daemonFor(Machine &M);
+
+  /// All snaps produced so far, in arrival order.
+  const std::vector<SnapFile> &snaps() const { return Snaps; }
+  std::vector<SnapFile> &snaps() { return Snaps; }
+
+  ReconstructedTrace reconstruct(const SnapFile &Snap) const;
+
+  MapFileStore &maps() { return Maps; }
+
+  /// Policy applied to runtimes created after the change.
+  RtPolicy Policy;
+  /// Optional DAG base file consulted by new runtimes.
+  DagBaseFile BaseFile;
+  bool UseBaseFile = false;
+
+private:
+  class Collector;
+
+  World W;
+  MapFileStore Maps;
+  std::vector<SnapFile> Snaps;
+  std::unique_ptr<Collector> Sink;
+  std::vector<std::unique_ptr<TracebackRuntime>> Runtimes;
+  std::vector<std::unique_ptr<ServiceDaemon>> Daemons;
+};
+
+/// TB-ISA assembly source of "libtbc", the tiny C-runtime-style native
+/// module (memcpy, strcpy, memset, strlen) used by the crash examples —
+/// including the classic unbounded-strcpy overflow of Figure 5.
+std::string libTbcSource();
+
+/// Assembles libtbc. Aborts on internal error (the source is a constant).
+Module buildLibTbc();
+
+} // namespace traceback
+
+#endif // TRACEBACK_CORE_SESSION_H

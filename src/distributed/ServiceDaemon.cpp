@@ -1,0 +1,89 @@
+//===- distributed/ServiceDaemon.cpp - Per-machine service process --------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "distributed/ServiceDaemon.h"
+
+using namespace traceback;
+
+void ServiceDaemon::watch(Process &P, TracebackRuntime &RT,
+                          const std::string &Group) {
+  Processes.push_back({&P, &RT, Group, 0, false});
+}
+
+void ServiceDaemon::onSnap(const SnapFile &Snap) {
+  if (Downstream)
+    Downstream->onSnap(Snap);
+  // Group snaps are best-effort and must not recurse: peers are snapped
+  // with reason GroupPeer, which does not propagate further.
+  if (Snap.Reason == SnapReason::GroupPeer || InGroupSnap)
+    return;
+  for (const Watched &W : Processes) {
+    if (W.P->Pid != Snap.Pid)
+      continue;
+    InGroupSnap = true;
+    groupSnap(W.Group, Snap.Pid);
+    for (ServiceDaemon *Peer : Peers) {
+      Peer->InGroupSnap = true;
+      Peer->groupSnap(W.Group, Snap.Pid);
+      Peer->InGroupSnap = false;
+    }
+    InGroupSnap = false;
+    return;
+  }
+}
+
+void ServiceDaemon::groupSnap(const std::string &Group, uint64_t ExceptPid) {
+  for (const Watched &W : Processes) {
+    if (W.Group != Group || W.P->Pid == ExceptPid)
+      continue;
+    // The group snap is "not perfectly synchronized but useful in
+    // practice" (section 3.6.1) — it is taken when the notification
+    // arrives, not at the fault instant.
+    W.RT->takeSnap(SnapReason::GroupPeer, 0);
+  }
+}
+
+void ServiceDaemon::sampleHeartbeats() {
+  for (Watched &W : Processes) {
+    W.LastSample = W.P->totalInstrRetired();
+    W.SeenSample = true;
+  }
+}
+
+std::vector<Process *> ServiceDaemon::detectHangs() const {
+  std::vector<Process *> Hung;
+  for (const Watched &W : Processes) {
+    if (!W.SeenSample || W.P->Exited)
+      continue;
+    if (W.P->totalInstrRetired() == W.LastSample)
+      Hung.push_back(W.P);
+  }
+  return Hung;
+}
+
+size_t ServiceDaemon::snapHungProcesses() {
+  size_t Count = 0;
+  for (Process *P : detectHangs()) {
+    for (const Watched &W : Processes)
+      if (W.P == P) {
+        W.RT->takeSnap(SnapReason::Hang, 0);
+        ++Count;
+      }
+  }
+  return Count;
+}
+
+std::vector<SnapFile> ServiceDaemon::collectPostMortem(Process &P) {
+  std::vector<SnapFile> Result;
+  for (const Watched &W : Processes) {
+    if (W.P != &P)
+      continue;
+    // The buffers live in the process's memory image (the memory-mapped
+    // file); takeSnap reads them from there regardless of process state.
+    Result.push_back(W.RT->takeSnap(SnapReason::External, 0));
+  }
+  return Result;
+}

@@ -1,0 +1,92 @@
+//===- distributed/ServiceDaemon.h - Per-machine service process -*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-machine service process (paper sections 3.6.1 and 3.7.5): it
+/// receives snap notifications from instrumented processes, coordinates
+/// group snaps (when one member of a process group faults, every member is
+/// snapped), monitors heartbeats to detect hung processes, and collects
+/// trace buffers from processes that died abruptly (the memory-mapped-file
+/// copy path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_DISTRIBUTED_SERVICEDAEMON_H
+#define TRACEBACK_DISTRIBUTED_SERVICEDAEMON_H
+
+#include "runtime/Runtime.h"
+#include "runtime/Snap.h"
+#include "vm/Machine.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// One machine's TraceBack service process.
+class ServiceDaemon : public SnapSink {
+public:
+  ServiceDaemon(Machine &M, SnapSink *Downstream)
+      : M(M), Downstream(Downstream) {}
+
+  Machine &machine() { return M; }
+
+  /// Registers a traced process (and its runtime) with the daemon and
+  /// assigns it to a named process group. Groups may span machines when
+  /// daemons share a downstream sink.
+  void watch(Process &P, TracebackRuntime &RT,
+             const std::string &Group = "default");
+
+  /// Links another daemon as a group-snap peer (cross-machine groups).
+  void addPeer(ServiceDaemon *Peer) { Peers.push_back(Peer); }
+
+  // --- SnapSink ----------------------------------------------------------
+
+  /// Receives a snap from a watched runtime: forwards it downstream and
+  /// triggers group snaps on the faulting process's peers.
+  void onSnap(const SnapFile &Snap) override;
+
+  // --- Heartbeats (section 3.7.5) ----------------------------------------
+
+  /// Samples each watched process's instruction counter (the analog of
+  /// the periodic STATUS message to the event thread).
+  void sampleHeartbeats();
+
+  /// Processes whose counter did not advance since the last sample and
+  /// which have not exited: considered hung.
+  std::vector<Process *> detectHangs() const;
+
+  /// Snap every hung process with reason Hang. Returns how many snapped.
+  size_t snapHungProcesses();
+
+  /// Post-mortem collection for a process that died abruptly (kill -9):
+  /// reads buffers straight out of the dead process image. Returns the
+  /// snaps produced (also forwarded downstream).
+  std::vector<SnapFile> collectPostMortem(Process &P);
+
+private:
+  struct Watched {
+    Process *P;
+    TracebackRuntime *RT;
+    std::string Group;
+    uint64_t LastSample = 0;
+    bool SeenSample = false;
+  };
+
+  void groupSnap(const std::string &Group, uint64_t ExceptPid);
+
+  Machine &M;
+  SnapSink *Downstream;
+  std::vector<Watched> Processes;
+  std::vector<ServiceDaemon *> Peers;
+  bool InGroupSnap = false;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_DISTRIBUTED_SERVICEDAEMON_H

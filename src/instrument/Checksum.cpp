@@ -1,0 +1,31 @@
+//===- instrument/Checksum.cpp - Module identity checksum -----------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Checksum.h"
+
+using namespace traceback;
+
+MD5Digest traceback::computeModuleChecksum(const Module &M) {
+  std::vector<uint8_t> Code = M.Code;
+  auto Zero = [&Code](uint32_t Off, unsigned Bytes) {
+    for (unsigned I = 0; I < Bytes && Off + I < Code.size(); ++I)
+      Code[Off + I] = 0;
+  };
+  for (uint32_t Off : M.DagRecordFixups)
+    Zero(Off, 4);
+  for (uint32_t Off : M.LightMaskFixups)
+    Zero(Off, 4);
+  for (uint32_t Off : M.TlsSlotFixups)
+    Zero(Off, 2);
+
+  MD5 Hash;
+  Hash.update(M.Name);
+  uint8_t Tech = static_cast<uint8_t>(M.Tech);
+  Hash.update(&Tech, 1);
+  Hash.update(Code.data(), Code.size());
+  Hash.update(M.Data.data(), M.Data.size());
+  return Hash.final();
+}

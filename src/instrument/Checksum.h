@@ -1,0 +1,33 @@
+//===- instrument/Checksum.h - Module identity checksum ---------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module checksum TraceBack computes at instrumentation time and
+/// stores both in the module and in the mapfile (paper section 2.3). The
+/// runtime keys DAG-range bookkeeping on it so a module that is unloaded
+/// and reloaded gets the same IDs back, and reconstruction uses it to match
+/// trace metadata with mapfiles.
+///
+/// Rebase-mutable content (DAG record immediates, lightweight masks, TLS
+/// slot operands) is zeroed before hashing — the analog of the paper's
+/// "omitting timestamps and other data that can change easily".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_INSTRUMENT_CHECKSUM_H
+#define TRACEBACK_INSTRUMENT_CHECKSUM_H
+
+#include "isa/Module.h"
+#include "support/MD5.h"
+
+namespace traceback {
+
+/// Computes the rebase-invariant identity checksum of \p M.
+MD5Digest computeModuleChecksum(const Module &M);
+
+} // namespace traceback
+
+#endif // TRACEBACK_INSTRUMENT_CHECKSUM_H

@@ -1,0 +1,199 @@
+//===- instrument/DagTiling.cpp - DAG tiling of control flow --------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/DagTiling.h"
+
+#include "support/Text.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace traceback;
+
+namespace {
+/// Reverse post-order over forward edges (back edges target mandatory
+/// headers and are ignored for ordering purposes). Unreachable blocks are
+/// appended afterwards in index order.
+std::vector<uint32_t> reversePostOrder(const FunctionCFG &F) {
+  size_t N = F.Blocks.size();
+  std::vector<uint8_t> Visited(N, 0);
+  std::vector<uint32_t> PostOrder;
+  PostOrder.reserve(N);
+
+  struct Frame {
+    uint32_t Block;
+    size_t NextSucc;
+  };
+  auto Dfs = [&](uint32_t Root) {
+    if (Visited[Root])
+      return;
+    std::vector<Frame> Stack;
+    Stack.push_back({Root, 0});
+    Visited[Root] = 1;
+    while (!Stack.empty()) {
+      Frame &Top = Stack.back();
+      const BasicBlock &B = F.Blocks[Top.Block];
+      if (Top.NextSucc < B.Succs.size()) {
+        uint32_t S = B.Succs[Top.NextSucc++];
+        if (!Visited[S]) {
+          Visited[S] = 1;
+          Stack.push_back({S, 0});
+        }
+      } else {
+        PostOrder.push_back(Top.Block);
+        Stack.pop_back();
+      }
+    }
+  };
+
+  Dfs(0);
+  for (uint32_t I = 0; I < N; ++I)
+    Dfs(I);
+
+  std::vector<uint32_t> RPO(PostOrder.rbegin(), PostOrder.rend());
+  return RPO;
+}
+
+bool isMandatoryHeader(const BasicBlock &B, const TileOptions &Opts) {
+  if (Opts.EveryBlockIsHeader)
+    return true;
+  if (B.IsFunctionEntry || B.IsHandlerEntry || B.IsAddressTaken ||
+      B.IsBackEdgeTarget)
+    return true;
+  if (Opts.HeadersAtCallReturns && B.IsCallReturnPoint)
+    return true;
+  return false;
+}
+} // namespace
+
+FunctionTiling traceback::tileFunction(const FunctionCFG &F,
+                                       const TileOptions &Opts) {
+  assert(Opts.PathBits >= 1 && Opts.PathBits <= PathBitCount &&
+         "path bit budget out of range");
+  size_t N = F.Blocks.size();
+  FunctionTiling T;
+  T.DagOfBlock.assign(N, UINT32_MAX);
+  T.BitOfBlock.assign(N, -1);
+
+  std::vector<uint32_t> Order = reversePostOrder(F);
+
+  auto NewDag = [&](uint32_t Block) {
+    DagTile D;
+    D.Blocks.push_back(Block);
+    T.DagOfBlock[Block] = static_cast<uint32_t>(T.Dags.size());
+    T.Dags.push_back(std::move(D));
+  };
+
+  for (uint32_t B : Order) {
+    const BasicBlock &Blk = F.Blocks[B];
+    if (isMandatoryHeader(Blk, Opts)) {
+      NewDag(B);
+      continue;
+    }
+
+    // A non-header block requires every predecessor to already sit in one
+    // common DAG; otherwise entering it from a different DAG would attach
+    // its path bit to the wrong record.
+    uint32_t Dag = UINT32_MAX;
+    bool CanJoin = !Blk.Preds.empty();
+    bool NeedsBit = false;
+    for (uint32_t P : Blk.Preds) {
+      if (T.DagOfBlock[P] == UINT32_MAX) {
+        CanJoin = false; // Pred not yet placed (irreducible flow).
+        break;
+      }
+      if (Dag == UINT32_MAX)
+        Dag = T.DagOfBlock[P];
+      else if (Dag != T.DagOfBlock[P]) {
+        CanJoin = false;
+        break;
+      }
+      if (F.Blocks[P].Succs.size() != 1)
+        NeedsBit = true; // Execution not implied by this predecessor.
+    }
+
+    if (CanJoin && NeedsBit && T.Dags[Dag].BitsUsed >= Opts.PathBits)
+      CanJoin = false; // Bit budget exhausted: start a fresh DAG here.
+
+    if (!CanJoin) {
+      NewDag(B);
+      continue;
+    }
+
+    T.DagOfBlock[B] = Dag;
+    T.Dags[Dag].Blocks.push_back(B);
+    if (NeedsBit)
+      T.BitOfBlock[B] = static_cast<int8_t>(T.Dags[Dag].BitsUsed++);
+  }
+
+  return T;
+}
+
+std::string traceback::checkTilingInvariants(const FunctionCFG &F,
+                                             const FunctionTiling &T,
+                                             const TileOptions &Opts) {
+  size_t N = F.Blocks.size();
+  if (T.DagOfBlock.size() != N || T.BitOfBlock.size() != N)
+    return "tiling tables have wrong size";
+
+  for (uint32_t B = 0; B < N; ++B) {
+    if (T.DagOfBlock[B] == UINT32_MAX)
+      return formatv("block %u unassigned", B);
+    const BasicBlock &Blk = F.Blocks[B];
+    bool IsHeader = T.isHeader(B);
+    if (isMandatoryHeader(Blk, Opts) && !IsHeader)
+      return formatv("mandatory header %u not a header", B);
+    if (IsHeader && T.BitOfBlock[B] != -1)
+      return formatv("header %u carries a bit", B);
+  }
+
+  for (const DagTile &D : T.Dags) {
+    if (D.BitsUsed > Opts.PathBits)
+      return "DAG exceeds path bit budget";
+    // Intra-DAG path edges (member to non-header member) must be acyclic.
+    {
+      std::set<uint32_t> Mem(D.Blocks.begin(), D.Blocks.end());
+      std::map<uint32_t, uint8_t> Color; // 0 white, 1 gray, 2 black.
+      std::function<bool(uint32_t)> Dfs = [&](uint32_t U) {
+        Color[U] = 1;
+        for (uint32_t S : F.Blocks[U].Succs) {
+          if (!Mem.count(S) || T.isHeader(S))
+            continue;
+          if (Color[S] == 1)
+            return false;
+          if (Color[S] == 0 && !Dfs(S))
+            return false;
+        }
+        Color[U] = 2;
+        return true;
+      };
+      if (!Dfs(D.Blocks[0]))
+        return "intra-DAG path edges form a cycle";
+    }
+    std::set<int> Bits;
+    std::set<uint32_t> Members(D.Blocks.begin(), D.Blocks.end());
+    if (Members.size() != D.Blocks.size())
+      return "duplicate block in DAG";
+    for (uint32_t B : D.Blocks) {
+      if (T.BitOfBlock[B] >= 0 && !Bits.insert(T.BitOfBlock[B]).second)
+        return "duplicate bit in DAG";
+      // Every in-DAG successor of a branching block must carry a bit; this
+      // is what makes decoding unambiguous.
+      const BasicBlock &Blk = F.Blocks[B];
+      if (Blk.Succs.size() > 1) {
+        for (uint32_t S : Blk.Succs)
+          if (Members.count(S) && !T.isHeader(S) && T.BitOfBlock[S] < 0)
+            return formatv("bitless in-DAG branch successor %u", S);
+      }
+      // (Edges to any header — including this DAG's own, e.g. a loop
+      // latch — exit the DAG: the header writes a fresh record. They are
+      // not path edges.)
+    }
+  }
+  return std::string();
+}

@@ -1,0 +1,94 @@
+//===- instrument/DagTiling.h - DAG tiling of control flow ------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DAG tiling (paper section 2.1): partitions each function's CFG into
+/// directed acyclic subgraphs, each headed by a heavyweight probe, with
+/// lightweight path bits assigned to the interior blocks.
+///
+/// Mandatory DAG headers:
+///  - function entries and any other external entry point (address-taken
+///    blocks, exported functions),
+///  - call return points (section 2.2: a call's return re-enters the
+///    flow graph, and exception accuracy requires a probe there),
+///  - back-edge targets (every loop must contain a heavyweight probe),
+///  - multiway/indirect branch targets,
+///  - exception handler entries (each catch/finally initiates a DAG header,
+///    section 2.4).
+///
+/// Remaining blocks greedily join their predecessors' DAG while the path
+/// bit budget allows. A block needs a path bit unless every in-DAG
+/// predecessor has exactly one successor (its execution is then implied);
+/// a corollary is that every in-DAG successor of a conditional branch
+/// carries a bit, which is what makes the bit-set uniquely decodable: in a
+/// DAG, a path is determined by its vertex set, because path vertices are
+/// totally ordered by reachability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_INSTRUMENT_DAGTILING_H
+#define TRACEBACK_INSTRUMENT_DAGTILING_H
+
+#include "analysis/CFG.h"
+#include "runtime/TraceRecord.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// Tiling knobs. Defaults reproduce the paper's configuration; the
+/// non-default settings exist for the ablation benches.
+struct TileOptions {
+  /// Lightweight bits available per trace record (<= PathBitCount).
+  unsigned PathBits = PathBitCount;
+  /// Break DAGs at call return points. Turning this off merges DAGs across
+  /// calls — cheaper, but exceptions in callees can no longer be attributed
+  /// to the right call site (the tradeoff discussed in section 2.2). Used
+  /// only by `bench_ablation_dagbits`.
+  bool HeadersAtCallReturns = true;
+  /// Degenerate tiling: every block is a DAG header, i.e. the "simple
+  /// approach" the paper dismisses — one full trace word per block. Used
+  /// by the naive-tracer baseline.
+  bool EveryBlockIsHeader = false;
+};
+
+/// One DAG produced by tiling.
+struct DagTile {
+  /// CFG block indices; Blocks[0] is the header.
+  std::vector<uint32_t> Blocks;
+  unsigned BitsUsed = 0;
+};
+
+/// Tiling result for one function.
+struct FunctionTiling {
+  std::vector<DagTile> Dags;
+  /// Per CFG block: which DAG it belongs to.
+  std::vector<uint32_t> DagOfBlock;
+  /// Per CFG block: assigned path bit, or -1.
+  std::vector<int8_t> BitOfBlock;
+
+  bool isHeader(uint32_t Block) const {
+    return Dags[DagOfBlock[Block]].Blocks[0] == Block;
+  }
+};
+
+/// Tiles \p F. Always succeeds: any block that cannot join a DAG becomes a
+/// header.
+FunctionTiling tileFunction(const FunctionCFG &F, const TileOptions &Opts);
+
+/// Validates tiling invariants (used by tests): every block assigned,
+/// headers at all mandatory sites, bit budget respected, DAG-internal
+/// acyclicity, and in-DAG successors of branch blocks all carry bits.
+/// Returns an empty string or a description of the violated invariant.
+std::string checkTilingInvariants(const FunctionCFG &F,
+                                  const FunctionTiling &T,
+                                  const TileOptions &Opts);
+
+} // namespace traceback
+
+#endif // TRACEBACK_INSTRUMENT_DAGTILING_H

@@ -1,0 +1,404 @@
+//===- instrument/Instrumenter.cpp - Static binary rewriter ---------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Instrumenter.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Liveness.h"
+#include "instrument/Checksum.h"
+#include "isa/Builder.h"
+#include "runtime/RuntimeABI.h"
+#include "runtime/TraceRecord.h"
+#include "support/MD5.h"
+#include "support/Text.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace traceback;
+
+namespace {
+
+/// Per-block mapfile material gathered during emission; label offsets are
+/// resolved after finalize().
+struct PendingLine {
+  uint16_t File;
+  uint32_t Line;
+  Label At;
+};
+
+struct PendingBlock {
+  Label Start, End;
+  int8_t Bit = -1;
+  uint8_t Flags = 0;
+  std::vector<uint16_t> Succs;
+  std::vector<PendingLine> Lines;
+  std::string Function;
+};
+
+struct PendingDag {
+  uint32_t RelId = 0;
+  std::vector<PendingBlock> Blocks;
+};
+
+uint8_t blockFlags(const BasicBlock &B) {
+  uint8_t F = 0;
+  if (B.IsFunctionEntry)
+    F |= MBF_FuncEntry;
+  if (B.IsCallReturnPoint)
+    F |= MBF_CallReturn;
+  if (B.IsHandlerEntry)
+    F |= MBF_Handler;
+  if (B.IsAddressTaken)
+    F |= MBF_AddressTaken;
+  if (B.endsInCall())
+    F |= MBF_EndsInCall;
+  if (B.lastInsn().Op == Opcode::Ret)
+    F |= MBF_EndsInRet;
+  return F;
+}
+
+} // namespace
+
+bool traceback::instrumentModule(const Module &Orig,
+                                 const InstrumentOptions &Opts, Module &Out,
+                                 MapFile &Map, InstrumentStats *Stats,
+                                 std::string &Error) {
+  if (Orig.Instrumented) {
+    Error = formatv("module %s is already instrumented", Orig.Name.c_str());
+    return false;
+  }
+
+  // ----- Analysis ---------------------------------------------------------
+  bool SplitLines =
+      Opts.LineBoundaryBlocks || Orig.Tech == Technology::Managed;
+  std::vector<uint32_t> LineLeaders;
+  if (SplitLines)
+    for (const LineEntry &L : Orig.Lines)
+      LineLeaders.push_back(L.Offset);
+
+  std::vector<FunctionCFG> CFGs;
+  if (!buildCFGs(Orig, CFGs, Error, SplitLines ? &LineLeaders : nullptr))
+    return false;
+
+  std::vector<FunctionTiling> Tilings;
+  Tilings.reserve(CFGs.size());
+  for (const FunctionCFG &F : CFGs)
+    Tilings.push_back(tileFunction(F, Opts.Tile));
+
+  // Assign module-relative DAG IDs in emission order.
+  std::vector<uint32_t> DagRelBase(CFGs.size(), 0);
+  uint32_t TotalDags = 0;
+  for (size_t FI = 0; FI < CFGs.size(); ++FI) {
+    DagRelBase[FI] = TotalDags;
+    TotalDags += static_cast<uint32_t>(Tilings[FI].Dags.size());
+  }
+  if (TotalDags >= MaxDagId) {
+    Error = formatv("module %s needs %u DAG ids, exceeding the id space",
+                    Orig.Name.c_str(), TotalDags);
+    return false;
+  }
+
+  uint32_t DagBase = Opts.DagIdBase;
+  if (DagBase == 0) {
+    // Deterministic per-name default range. Independently instrumented
+    // modules can collide; the runtime rebases them at load (section 2.3).
+    uint64_t H = MD5::hash(Orig.Name.data(), Orig.Name.size()).low64();
+    DagBase = 1 + static_cast<uint32_t>(H % (MaxDagId - TotalDags));
+  }
+  assert(DagBase >= 1 && DagBase + TotalDags <= MaxDagId + 1 &&
+         "DAG base range overflow");
+
+  // ----- Emission ---------------------------------------------------------
+  ModuleBuilder B(Orig.Name, Orig.Tech);
+  for (const std::string &F : Orig.Files)
+    B.fileIndex(F);
+  B.setInstrumented(true);
+  B.setTlsSlot(Opts.TlsSlot);
+  B.setDagRange(DagBase, TotalDags);
+
+  Label HelperLabel = B.makeLabel();
+
+  // Labels for every block start (bound before the block's probes, so all
+  // inbound control lands on the probes).
+  std::map<uint32_t, Label> BlockLabels;
+  for (const FunctionCFG &F : CFGs)
+    for (const BasicBlock &Blk : F.Blocks)
+      BlockLabels.emplace(Blk.StartOffset, B.makeLabel());
+
+  // Labels for EH-table offsets that are not block starts.
+  std::map<uint32_t, Label> ExtraLabels;
+  auto LabelForOffset = [&](uint32_t Off) -> Label {
+    auto It = BlockLabels.find(Off);
+    if (It != BlockLabels.end())
+      return It->second;
+    auto [EIt, Inserted] = ExtraLabels.emplace(Off, Label());
+    if (Inserted)
+      EIt->second = B.makeLabel();
+    return EIt->second;
+  };
+  struct EhLabels {
+    Label Start, End, Handler;
+  };
+  std::vector<EhLabels> EhRemap;
+  for (const EhEntry &E : Orig.EhTable)
+    EhRemap.push_back({LabelForOffset(E.Start), LabelForOffset(E.End),
+                       LabelForOffset(E.Handler)});
+
+  // Code relocs by the offset of their imm64 operand.
+  std::map<uint32_t, const CodeReloc *> RelocByImm;
+  for (const CodeReloc &R : Orig.CodeRelocs)
+    RelocByImm.emplace(R.CodeOffset, &R);
+
+  // Function symbols by offset (several may alias one offset).
+  std::multimap<uint32_t, const Symbol *> FuncSymsAt;
+  for (const Symbol &S : Orig.Symbols)
+    if (S.IsFunction)
+      FuncSymsAt.emplace(S.Offset, &S);
+
+  InstrumentStats LocalStats;
+  LocalStats.OrigCodeBytes = Orig.Code.size();
+
+  std::vector<PendingDag> PendingDags(TotalDags);
+
+  for (size_t FI = 0; FI < CFGs.size(); ++FI) {
+    const FunctionCFG &F = CFGs[FI];
+    const FunctionTiling &T = Tilings[FI];
+    Liveness Live(F);
+    ++LocalStats.NumFunctions;
+
+    // Pre-size the pending DAGs and record dag-local indices.
+    std::vector<uint16_t> DagLocalIndex(F.Blocks.size(), 0);
+    for (size_t DI = 0; DI < T.Dags.size(); ++DI) {
+      PendingDag &PD = PendingDags[DagRelBase[FI] + DI];
+      PD.RelId = DagRelBase[FI] + static_cast<uint32_t>(DI);
+      PD.Blocks.resize(T.Dags[DI].Blocks.size());
+      for (size_t BI = 0; BI < T.Dags[DI].Blocks.size(); ++BI)
+        DagLocalIndex[T.Dags[DI].Blocks[BI]] =
+            static_cast<uint16_t>(BI);
+    }
+
+    for (const BasicBlock &Blk : F.Blocks) {
+      ++LocalStats.NumBlocks;
+      uint32_t DagIdx = T.DagOfBlock[Blk.Index];
+      uint32_t RelId = DagRelBase[FI] + DagIdx;
+      PendingDag &PD = PendingDags[RelId];
+      PendingBlock &PB = PD.Blocks[DagLocalIndex[Blk.Index]];
+      PB.Start = BlockLabels.at(Blk.StartOffset);
+      PB.End = B.makeLabel();
+      PB.Bit = T.BitOfBlock[Blk.Index];
+      PB.Flags = blockFlags(Blk);
+      PB.Function = F.Name;
+      for (uint32_t S : Blk.Succs)
+        if (T.DagOfBlock[S] == DagIdx && !T.isHeader(S))
+          PB.Succs.push_back(DagLocalIndex[S]);
+
+      // Bind the block label and any symbols here, before the probes.
+      B.bind(PB.Start);
+      auto SymRange = FuncSymsAt.equal_range(Blk.StartOffset);
+      for (auto It = SymRange.first; It != SymRange.second; ++It)
+        B.beginFunction(It->second->Name, It->second->Exported);
+      auto ExtraIt = ExtraLabels.find(Blk.StartOffset);
+      if (ExtraIt != ExtraLabels.end())
+        B.bind(ExtraIt->second);
+
+      // Attribute probe instructions to the block's first source line.
+      if (auto L = Orig.lineForOffset(Blk.StartOffset))
+        B.setLine(L->FileIndex, L->Line);
+      else
+        B.setLine(0, 0);
+
+      bool IsHeader = T.isHeader(Blk.Index);
+      if (IsHeader) {
+        uint16_t LiveRegs = Live.liveBefore(Blk.Index, 0);
+        bool Spill0 = LiveRegs & (1u << ProbeReg0);
+        bool Spill1 = LiveRegs & (1u << ProbeReg1);
+        if (Spill0)
+          B.emit(Instruction::push(ProbeReg0));
+        if (Spill1)
+          B.emit(Instruction::push(ProbeReg1));
+        if (Spill0 || Spill1)
+          ++LocalStats.NumSpills;
+        B.emitCall(HelperLabel);
+        size_t Idx = B.instructionCount();
+        B.emit(Instruction::memI32(Opcode::StM32I, ProbeReg0, 0,
+                                   makeDagRecord(DagBase + RelId)));
+        B.markDagRecordFixup(Idx);
+        if (Spill1)
+          B.emit(Instruction::pop(ProbeReg1));
+        if (Spill0)
+          B.emit(Instruction::pop(ProbeReg0));
+        ++LocalStats.NumHeavyProbes;
+      } else if (PB.Bit >= 0) {
+        std::vector<unsigned> Dead = Live.findDeadRegs(Blk.Index, 0, 1);
+        bool Spill = Dead.empty();
+        unsigned R = Spill ? ProbeReg0 : Dead[0];
+        if (Spill) {
+          B.emit(Instruction::push(R));
+          ++LocalStats.NumSpills;
+        }
+        size_t Idx0 = B.instructionCount();
+        B.emit(Instruction::tlsLd(R, Opts.TlsSlot));
+        B.markTlsSlotFixup(Idx0);
+        size_t Idx1 = B.instructionCount();
+        B.emit(Instruction::memI32(Opcode::OrM32I, R, 0,
+                                   1u << static_cast<unsigned>(PB.Bit)));
+        B.markLightMaskFixup(Idx1);
+        if (Spill)
+          B.emit(Instruction::pop(R));
+        ++LocalStats.NumLightProbes;
+      }
+
+      // Copy the block body, re-targeting control flow through labels.
+      uint16_t LastFile = UINT16_MAX;
+      uint32_t LastLine = UINT32_MAX;
+      for (const DecodedInsn &D : Blk.Insns) {
+        if (D.Offset != Blk.StartOffset) {
+          auto MidIt = ExtraLabels.find(D.Offset);
+          if (MidIt != ExtraLabels.end())
+            B.bind(MidIt->second);
+        }
+        if (auto L = Orig.lineForOffset(D.Offset)) {
+          B.setLine(L->FileIndex, L->Line);
+          if (L->Line != 0 &&
+              (L->FileIndex != LastFile || L->Line != LastLine)) {
+            LastFile = L->FileIndex;
+            LastLine = L->Line;
+            Label At = B.makeLabel();
+            B.bind(At);
+            PB.Lines.push_back({L->FileIndex, L->Line, At});
+          }
+        }
+
+        const Instruction &I = D.Insn;
+        uint32_t NextOff = D.Offset + opcodeSize(I.Op);
+        auto TargetLabel = [&]() -> Label {
+          uint32_t Target =
+              static_cast<uint32_t>(static_cast<int64_t>(NextOff) + I.Imm);
+          auto It = BlockLabels.find(Target);
+          assert(It != BlockLabels.end() &&
+                 "branch target is not a block start");
+          return It->second;
+        };
+
+        switch (I.Op) {
+        case Opcode::BrS:
+        case Opcode::BrL:
+          B.emitBr(TargetLabel());
+          break;
+        case Opcode::BrzS:
+        case Opcode::BrzL:
+          B.emitBrCond(Opcode::BrzL, I.Rs, TargetLabel());
+          break;
+        case Opcode::BrnzS:
+        case Opcode::BrnzL:
+          B.emitBrCond(Opcode::BrnzL, I.Rs, TargetLabel());
+          break;
+        case Opcode::Call:
+          B.emitCall(TargetLabel());
+          break;
+        case Opcode::MovI: {
+          auto RIt = RelocByImm.find(D.Offset + 2);
+          if (RIt != RelocByImm.end())
+            B.emitLea(I.Rd, RIt->second->SymbolName, RIt->second->Addend);
+          else
+            B.emit(I);
+          break;
+        }
+        default:
+          B.emit(I);
+          break;
+        }
+      }
+      B.bind(PB.End);
+    }
+  }
+
+  // EH boundaries at function ends bind here, before the helper.
+  for (auto &[Off, L] : ExtraLabels)
+    if (Off >= Orig.Code.size())
+      B.bind(L);
+  // Any extra labels that point past the last emitted instruction of their
+  // function but inside code were bound in the loop; unbound ones indicate
+  // an EH offset at a function end boundary equal to the next function's
+  // start (already a block label) — nothing to do.
+
+  // ----- Probe helper -----------------------------------------------------
+  // The fast path is 8 executed instructions, mirroring the paper's x86
+  // helper: load cursor, advance, load next slot, sentinel test, store
+  // cursor, return (plus the runtime trap on the wrap path).
+  B.setLine(0, 0);
+  Label SkipWrap = B.makeLabel();
+  B.bind(HelperLabel);
+  B.beginFunction(probeHelperName(), false);
+  size_t HIdx0 = B.instructionCount();
+  B.emit(Instruction::tlsLd(ProbeReg0, Opts.TlsSlot));
+  B.markTlsSlotFixup(HIdx0);
+  B.emit(Instruction::aluI(Opcode::AddI, ProbeReg0, ProbeReg0, 4));
+  B.emit(Instruction::load(Opcode::Ld32, ProbeReg1, ProbeReg0, 0));
+  // r11 == 0xFFFFFFFF (zero-extended) iff sentinel: ~r11 has zero low 32
+  // bits exactly then; shifting left 32 isolates them.
+  B.emit(Instruction::aluI(Opcode::XorI, ProbeReg1, ProbeReg1, -1));
+  B.emit(Instruction::aluI(Opcode::ShlI, ProbeReg1, ProbeReg1, 32));
+  B.emitBrCond(Opcode::BrnzL, ProbeReg1, SkipWrap);
+  B.emit(Instruction::rtCall(static_cast<uint16_t>(RtEntry::BufferWrap)));
+  B.bind(SkipWrap);
+  size_t HIdx1 = B.instructionCount();
+  B.emit(Instruction::tlsSt(ProbeReg0, Opts.TlsSlot));
+  B.markTlsSlotFixup(HIdx1);
+  B.emit(Instruction::ret());
+
+  // ----- Finalize ---------------------------------------------------------
+  if (!B.finalize(Out, Error))
+    return false;
+
+  // Carry over the sections the rewriter does not touch.
+  Out.Data = Orig.Data;
+  Out.Relocs = Orig.Relocs;
+  Out.Imports = Orig.Imports;
+  for (const Symbol &S : Orig.Symbols)
+    if (!S.IsFunction)
+      Out.Symbols.push_back(S);
+  for (const EhLabels &E : EhRemap)
+    Out.EhTable.push_back({B.labelOffsetAfterFinalize(E.Start),
+                           B.labelOffsetAfterFinalize(E.End),
+                           B.labelOffsetAfterFinalize(E.Handler)});
+
+  Out.Checksum = computeModuleChecksum(Out);
+
+  // ----- Mapfile ----------------------------------------------------------
+  Map = MapFile();
+  Map.ModuleName = Orig.Name;
+  Map.Checksum = Out.Checksum;
+  Map.DagIdBase = DagBase;
+  Map.DagIdCount = TotalDags;
+  Map.Files = Orig.Files;
+  for (PendingDag &PD : PendingDags) {
+    MapDag MD;
+    MD.RelId = PD.RelId;
+    for (PendingBlock &PB : PD.Blocks) {
+      MapBlock MB;
+      MB.StartOffset = B.labelOffsetAfterFinalize(PB.Start);
+      MB.EndOffset = B.labelOffsetAfterFinalize(PB.End);
+      MB.BitIndex = PB.Bit;
+      MB.Flags = PB.Flags;
+      MB.Succs = std::move(PB.Succs);
+      MB.Function = std::move(PB.Function);
+      for (const PendingLine &PL : PB.Lines)
+        MB.Lines.push_back(
+            {PL.File, PL.Line, B.labelOffsetAfterFinalize(PL.At)});
+      MD.Blocks.push_back(std::move(MB));
+    }
+    Map.Dags.push_back(std::move(MD));
+  }
+
+  LocalStats.NumDags = TotalDags;
+  LocalStats.NewCodeBytes = Out.Code.size();
+  if (Stats)
+    *Stats = LocalStats;
+  return true;
+}

@@ -1,0 +1,81 @@
+//===- instrument/Instrumenter.h - Static binary rewriter -------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static binary rewriter: transforms a TBO module into a functionally
+/// identical module that also records its control-flow history (paper
+/// section 2).
+///
+/// Pipeline: decode code → recover CFGs → DAG-tile → re-emit with probes
+/// (heavyweight DAG headers as calls to an injected helper, lightweight
+/// OR-to-memory path bits), scavenging dead registers via liveness and
+/// spilling with Push/Pop when none are free → re-resolve every branch
+/// (span-dependent short/long selection) → emit the mapfile, fixup tables
+/// and module checksum.
+///
+/// Managed-technology modules are additionally split at source-line starts
+/// so every line carries a path bit (exact exception lines without relying
+/// on fault addresses, section 2.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_INSTRUMENT_INSTRUMENTER_H
+#define TRACEBACK_INSTRUMENT_INSTRUMENTER_H
+
+#include "instrument/DagTiling.h"
+#include "instrument/MapFile.h"
+#include "isa/Module.h"
+
+#include <cstdint>
+#include <string>
+
+namespace traceback {
+
+/// Rewriter configuration.
+struct InstrumentOptions {
+  TileOptions Tile;
+  /// Default DAG-ID base compiled into the module. 0 derives a
+  /// deterministic base from the module name (so independently
+  /// instrumented modules collide occasionally, exercising rebasing, as
+  /// in real deployments). A DAG base file (runtime/DagBaseFile.h) can
+  /// assign coordinated ranges instead.
+  uint32_t DagIdBase = 0;
+  /// TLS slot compiled into the probes (rebased at load if unavailable).
+  uint16_t TlsSlot = DefaultTlsSlot;
+  /// Split blocks at source-line starts. Defaults to on for Managed
+  /// modules; can be forced for native ones.
+  bool LineBoundaryBlocks = false;
+};
+
+/// Instrumentation statistics (drives the text-growth numbers in Table 1).
+struct InstrumentStats {
+  uint32_t NumFunctions = 0;
+  uint32_t NumBlocks = 0;
+  uint32_t NumDags = 0;
+  uint32_t NumHeavyProbes = 0;
+  uint32_t NumLightProbes = 0;
+  uint32_t NumSpills = 0;
+  size_t OrigCodeBytes = 0;
+  size_t NewCodeBytes = 0;
+
+  double textGrowth() const {
+    return OrigCodeBytes == 0
+               ? 0.0
+               : static_cast<double>(NewCodeBytes) /
+                     static_cast<double>(OrigCodeBytes);
+  }
+};
+
+/// Rewrites \p Orig into \p Out (instrumented) and emits \p Map. Returns
+/// false with a diagnostic in \p Error on undecodable input or if \p Orig
+/// is already instrumented. \p Stats may be null.
+bool instrumentModule(const Module &Orig, const InstrumentOptions &Opts,
+                      Module &Out, MapFile &Map, InstrumentStats *Stats,
+                      std::string &Error);
+
+} // namespace traceback
+
+#endif // TRACEBACK_INSTRUMENT_INSTRUMENTER_H

@@ -1,0 +1,112 @@
+//===- instrument/MapFile.cpp - Instrumentation mapfile -------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/MapFile.h"
+
+#include "support/ByteStream.h"
+
+using namespace traceback;
+
+static const std::string UnknownFile = "?";
+static const uint32_t MapMagic = 0x4D425442; // "TBBM"
+static const uint32_t MapVersion = 2;
+
+const std::string &MapFile::fileName(uint16_t Index) const {
+  if (Index >= Files.size())
+    return UnknownFile;
+  return Files[Index];
+}
+
+const MapDag *MapFile::dagByRelId(uint32_t RelId) const {
+  if (RelId < Dags.size() && Dags[RelId].RelId == RelId)
+    return &Dags[RelId];
+  for (const MapDag &D : Dags)
+    if (D.RelId == RelId)
+      return &D;
+  return nullptr;
+}
+
+std::vector<uint8_t> MapFile::serialize() const {
+  std::vector<uint8_t> Out;
+  ByteWriter W(Out);
+  W.writeU32(MapMagic);
+  W.writeU32(MapVersion);
+  W.writeString(ModuleName);
+  W.writeBytes(Checksum.Bytes.data(), Checksum.Bytes.size());
+  W.writeU32(DagIdBase);
+  W.writeU32(DagIdCount);
+
+  W.writeVarU64(Files.size());
+  for (const std::string &F : Files)
+    W.writeString(F);
+
+  W.writeVarU64(Dags.size());
+  for (const MapDag &D : Dags) {
+    W.writeU32(D.RelId);
+    W.writeVarU64(D.Blocks.size());
+    for (const MapBlock &B : D.Blocks) {
+      W.writeU32(B.StartOffset);
+      W.writeU32(B.EndOffset);
+      W.writeU8(static_cast<uint8_t>(B.BitIndex));
+      W.writeU8(B.Flags);
+      W.writeString(B.Function);
+      W.writeVarU64(B.Succs.size());
+      for (uint16_t S : B.Succs)
+        W.writeU16(S);
+      W.writeVarU64(B.Lines.size());
+      for (const MapLine &L : B.Lines) {
+        W.writeU16(L.FileIndex);
+        W.writeU32(L.Line);
+        W.writeU32(L.StartOffset);
+      }
+    }
+  }
+  return Out;
+}
+
+bool MapFile::deserialize(const std::vector<uint8_t> &Bytes, MapFile &Out) {
+  ByteReader R(Bytes);
+  if (R.readU32() != MapMagic || R.readU32() != MapVersion)
+    return false;
+  Out = MapFile();
+  Out.ModuleName = R.readString();
+  R.readBytes(Out.Checksum.Bytes.data(), Out.Checksum.Bytes.size());
+  Out.DagIdBase = R.readU32();
+  Out.DagIdCount = R.readU32();
+
+  uint64_t NumFiles = R.readVarU64();
+  for (uint64_t I = 0; I < NumFiles && !R.failed(); ++I)
+    Out.Files.push_back(R.readString());
+
+  uint64_t NumDags = R.readVarU64();
+  for (uint64_t I = 0; I < NumDags && !R.failed(); ++I) {
+    MapDag D;
+    D.RelId = R.readU32();
+    uint64_t NumBlocks = R.readVarU64();
+    for (uint64_t J = 0; J < NumBlocks && !R.failed(); ++J) {
+      MapBlock B;
+      B.StartOffset = R.readU32();
+      B.EndOffset = R.readU32();
+      B.BitIndex = static_cast<int8_t>(R.readU8());
+      B.Flags = R.readU8();
+      B.Function = R.readString();
+      uint64_t NumSuccs = R.readVarU64();
+      for (uint64_t K = 0; K < NumSuccs && !R.failed(); ++K)
+        B.Succs.push_back(R.readU16());
+      uint64_t NumLines = R.readVarU64();
+      for (uint64_t K = 0; K < NumLines && !R.failed(); ++K) {
+        MapLine L;
+        L.FileIndex = R.readU16();
+        L.Line = R.readU32();
+        L.StartOffset = R.readU32();
+        B.Lines.push_back(L);
+      }
+      D.Blocks.push_back(std::move(B));
+    }
+    Out.Dags.push_back(std::move(D));
+  }
+  return !R.failed();
+}

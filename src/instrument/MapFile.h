@@ -1,0 +1,96 @@
+//===- instrument/MapFile.h - Instrumentation mapfile -----------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mapfile emitted alongside each instrumented module (paper section
+/// 2.1): the tables reconstruction needs to translate DAG records back
+/// into block paths and source lines — per-DAG block graphs, the path-bit
+/// assignment, per-block source line spans, and the call/entry/exit/handler
+/// annotations that drive call-hierarchy recovery (section 4.3.1).
+///
+/// The mapfile also carries the module checksum so reconstruction can match
+/// mapfile and trace data (section 2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_INSTRUMENT_MAPFILE_H
+#define TRACEBACK_INSTRUMENT_MAPFILE_H
+
+#include "support/MD5.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// Block annotations used by trace display (section 4.3.1).
+enum MapBlockFlags : uint8_t {
+  MBF_FuncEntry = 1 << 0,
+  MBF_CallReturn = 1 << 1,  ///< Begins at a call return point.
+  MBF_Handler = 1 << 2,     ///< Catch/finally entry.
+  MBF_EndsInCall = 1 << 3,
+  MBF_EndsInRet = 1 << 4,
+  MBF_AddressTaken = 1 << 5,
+};
+
+/// One source line covered by a block, with the instrumented-code offset
+/// where its instructions start (used for exception-address trimming,
+/// section 4.2).
+struct MapLine {
+  uint16_t FileIndex = 0;
+  uint32_t Line = 0;
+  uint32_t StartOffset = 0;
+};
+
+/// One block of a DAG.
+struct MapBlock {
+  /// Instrumented-code offset range [StartOffset, EndOffset) of the block's
+  /// original instructions (probes excluded from the start).
+  uint32_t StartOffset = 0;
+  uint32_t EndOffset = 0;
+  /// Path bit assigned to this block, or -1 (header blocks and blocks whose
+  /// execution is implied by a single-successor predecessor carry no bit).
+  int8_t BitIndex = -1;
+  uint8_t Flags = 0;
+  /// DAG-local indices of successor blocks inside the same DAG.
+  std::vector<uint16_t> Succs;
+  /// Source lines in execution order.
+  std::vector<MapLine> Lines;
+  /// Enclosing function (for display).
+  std::string Function;
+};
+
+/// One DAG: a heavyweight probe site plus the acyclic subgraph it heads.
+struct MapDag {
+  /// DAG ID relative to the module's base.
+  uint32_t RelId = 0;
+  /// Blocks; index 0 is the DAG root (where the heavyweight probe sits).
+  std::vector<MapBlock> Blocks;
+};
+
+/// The mapfile for one instrumented module.
+class MapFile {
+public:
+  std::string ModuleName;
+  MD5Digest Checksum;
+  uint32_t DagIdBase = 0;
+  uint32_t DagIdCount = 0;
+  std::vector<std::string> Files;
+  std::vector<MapDag> Dags; ///< Indexed by RelId.
+
+  const std::string &fileName(uint16_t Index) const;
+
+  /// The DAG with relative id \p RelId, or nullptr.
+  const MapDag *dagByRelId(uint32_t RelId) const;
+
+  std::vector<uint8_t> serialize() const;
+  static bool deserialize(const std::vector<uint8_t> &Bytes, MapFile &Out);
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_INSTRUMENT_MAPFILE_H

@@ -1,0 +1,507 @@
+//===- isa/Assembler.cpp - TB-ISA text assembler --------------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Assembler.h"
+
+#include "isa/Builder.h"
+#include "support/Text.h"
+
+#include <cassert>
+#include <cctype>
+#include <map>
+#include <vector>
+
+using namespace traceback;
+
+namespace {
+
+/// Parse state for one assembly run.
+class AsmContext {
+public:
+  AsmContext(const std::map<std::string, int64_t> &Constants)
+      : Constants(Constants), Builder("module") {}
+
+  bool run(const std::string &Source, Module &Out, std::string &Error);
+
+private:
+  bool processLine(std::string Line);
+  bool processDirective(const std::vector<std::string> &Toks);
+  bool processInstruction(const std::vector<std::string> &Toks);
+  Label labelFor(const std::string &Name);
+  bool parseReg(const std::string &Tok, unsigned &Reg);
+  bool parseImm(const std::string &Tok, int64_t &Imm);
+  bool parseMem(const std::string &Tok, unsigned &Base, int32_t &Off);
+  bool fail(const std::string &Msg) {
+    ErrorMsg = formatv("line %d: %s", LineNo, Msg.c_str());
+    return false;
+  }
+
+  const std::map<std::string, int64_t> &Constants;
+  ModuleBuilder Builder;
+  std::string ModuleName = "module";
+  Technology Tech = Technology::Native;
+  std::map<std::string, Label> Labels;
+  uint16_t CurFileIdx = 0;
+  int LineNo = 0;
+  std::string ErrorMsg;
+  bool Rebuilt = false;
+  struct TryDirective {
+    std::string From, To, Handler;
+  };
+  std::vector<TryDirective> Tries;
+};
+
+bool AsmContext::run(const std::string &Source, Module &Out,
+                     std::string &Error) {
+  // ModuleBuilder's name is fixed at construction; collect everything into
+  // a temporary pass, then rebuild once we know the module name. To keep
+  // it single-pass we instead rename at finalize time (Module::Name is
+  // assigned below).
+  std::string Line;
+  size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    size_t Nl = Source.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Source.size();
+    Line = Source.substr(Pos, Nl - Pos);
+    Pos = Nl + 1;
+    ++LineNo;
+    if (!processLine(Line)) {
+      Error = ErrorMsg;
+      return false;
+    }
+    if (Nl == Source.size())
+      break;
+  }
+
+  for (const TryDirective &T : Tries) {
+    auto F = Labels.find(T.From), E = Labels.find(T.To),
+         H = Labels.find(T.Handler);
+    if (F == Labels.end() || E == Labels.end() || H == Labels.end()) {
+      Error = "unresolved .try label";
+      return false;
+    }
+    Builder.addEhRange(F->second, E->second, H->second);
+  }
+
+  std::string FinalizeError;
+  if (!Builder.finalize(Out, FinalizeError)) {
+    Error = FinalizeError;
+    return false;
+  }
+  Out.Name = ModuleName;
+  Out.Tech = Tech;
+  return true;
+}
+
+bool AsmContext::processLine(std::string Line) {
+  // Strip comments (';' to end of line) outside string literals.
+  bool InString = false;
+  for (size_t I = 0; I < Line.size(); ++I) {
+    if (Line[I] == '"')
+      InString = !InString;
+    else if (Line[I] == ';' && !InString) {
+      Line.resize(I);
+      break;
+    }
+  }
+  Line = trimString(Line);
+  if (Line.empty())
+    return true;
+
+  // Label definitions: "name:" possibly followed by more on the same line.
+  while (true) {
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      break;
+    std::string Head = trimString(Line.substr(0, Colon));
+    bool IsIdent = !Head.empty();
+    for (char C : Head)
+      if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_' &&
+          C != '.')
+        IsIdent = false;
+    if (!IsIdent || Head[0] == '.')
+      break; // not a label (e.g. "[r1+2]:..." cannot occur; directives keep colon-free)
+    Label L = labelFor(Head);
+    // Bind only if not bound; double definition is an error surfaced by
+    // the builder's assert, so check here.
+    Builder.bind(L);
+    Line = trimString(Line.substr(Colon + 1));
+    if (Line.empty())
+      return true;
+  }
+
+  // Tokenize on whitespace and commas; string literals kept whole.
+  std::vector<std::string> Toks;
+  std::string Cur;
+  InString = false;
+  for (char C : Line) {
+    if (C == '"')
+      InString = !InString;
+    if (!InString && (std::isspace(static_cast<unsigned char>(C)) ||
+                      C == ',')) {
+      if (!Cur.empty())
+        Toks.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  if (!Cur.empty())
+    Toks.push_back(Cur);
+  if (Toks.empty())
+    return true;
+
+  if (Toks[0][0] == '.')
+    return processDirective(Toks);
+  return processInstruction(Toks);
+}
+
+bool AsmContext::processDirective(const std::vector<std::string> &Toks) {
+  const std::string &D = Toks[0];
+  auto Arg = [&](size_t I) -> std::string {
+    return I < Toks.size() ? Toks[I] : std::string();
+  };
+
+  if (D == ".module") {
+    if (Toks.size() < 2)
+      return fail(".module needs a name");
+    ModuleName = Toks[1];
+    return true;
+  }
+  if (D == ".tech") {
+    if (Arg(1) == "native")
+      Tech = Technology::Native;
+    else if (Arg(1) == "managed")
+      Tech = Technology::Managed;
+    else
+      return fail(".tech expects native|managed");
+    return true;
+  }
+  if (D == ".file") {
+    std::string F = Arg(1);
+    if (F.size() >= 2 && F.front() == '"' && F.back() == '"')
+      F = F.substr(1, F.size() - 2);
+    if (F.empty())
+      return fail(".file needs a name");
+    uint16_t Idx = Builder.fileIndex(F);
+    Builder.setLine(Idx, 0);
+    CurFileIdx = Idx;
+    return true;
+  }
+  if (D == ".line") {
+    int64_t N;
+    if (!parseImm(Arg(1), N) || N < 0)
+      return fail(".line needs a number");
+    Builder.setLine(CurFileIdx, static_cast<uint32_t>(N));
+    return true;
+  }
+  if (D == ".func") {
+    if (Toks.size() < 2)
+      return fail(".func needs a name");
+    bool Exported = Toks.size() > 2 && Toks[2] == "export";
+    Builder.beginFunction(Toks[1], Exported);
+    // The function name doubles as a label so code can branch/call to it.
+    auto It = Labels.find(Toks[1]);
+    Label L = It == Labels.end() ? labelFor(Toks[1]) : It->second;
+    Builder.bind(L);
+    return true;
+  }
+  if (D == ".endfunc")
+    return true; // Purely structural.
+  if (D == ".datasym") {
+    if (Toks.size() < 2)
+      return fail(".datasym needs a name");
+    bool Exported = Toks.size() > 2 && Toks[2] == "export";
+    Builder.defineDataSymbol(Toks[1], Exported);
+    return true;
+  }
+  if (D == ".word") {
+    for (size_t I = 1; I < Toks.size(); ++I) {
+      int64_t V;
+      if (!parseImm(Toks[I], V))
+        return fail(".word operand not a number");
+      std::vector<uint8_t> Bytes(8);
+      for (int B = 0; B < 8; ++B)
+        Bytes[B] = static_cast<uint8_t>(static_cast<uint64_t>(V) >> (B * 8));
+      Builder.addData(Bytes);
+    }
+    return true;
+  }
+  if (D == ".bytes") {
+    std::vector<uint8_t> Bytes;
+    for (size_t I = 1; I < Toks.size(); ++I) {
+      int64_t V;
+      if (!parseImm(Toks[I], V) || V < 0 || V > 255)
+        return fail(".bytes operand out of range");
+      Bytes.push_back(static_cast<uint8_t>(V));
+    }
+    Builder.addData(Bytes);
+    return true;
+  }
+  if (D == ".string") {
+    std::string S = Arg(1);
+    if (S.size() < 2 || S.front() != '"' || S.back() != '"')
+      return fail(".string needs a quoted literal");
+    Builder.addDataString(S.substr(1, S.size() - 2));
+    return true;
+  }
+  if (D == ".ptr") {
+    if (Toks.size() < 2)
+      return fail(".ptr needs a symbol");
+    Builder.addDataSymbolSlot(Toks[1]);
+    return true;
+  }
+  if (D == ".try") {
+    if (Toks.size() < 4)
+      return fail(".try needs begin end handler labels");
+    Tries.push_back({Toks[1], Toks[2], Toks[3]});
+    return true;
+  }
+  return fail("unknown directive " + D);
+}
+
+bool AsmContext::processInstruction(const std::vector<std::string> &Toks) {
+  const std::string &Mn = Toks[0];
+
+  // Find the opcode by mnemonic.
+  Opcode Op = Opcode::Nop;
+  bool Found = false;
+  for (unsigned I = 0; I < NumOpcodes; ++I) {
+    if (Mn == opcodeName(static_cast<Opcode>(I))) {
+      Op = static_cast<Opcode>(I);
+      Found = true;
+      break;
+    }
+  }
+
+  // Pseudo-instructions.
+  if (!Found) {
+    if (Mn == "lea") {
+      // lea rd, symbol[+addend]
+      unsigned Rd;
+      if (Toks.size() < 3 || !parseReg(Toks[1], Rd))
+        return fail("lea rd, symbol");
+      std::string Sym = Toks[2];
+      int64_t Addend = 0;
+      size_t Plus = Sym.find('+');
+      if (Plus != std::string::npos) {
+        if (!parseImm(Sym.substr(Plus + 1), Addend))
+          return fail("bad lea addend");
+        Sym = Sym.substr(0, Plus);
+      }
+      Builder.emitLea(Rd, Sym, Addend);
+      return true;
+    }
+    return fail("unknown mnemonic " + Mn);
+  }
+
+  auto Operand = [&](size_t I) -> std::string {
+    return I < Toks.size() ? Toks[I] : std::string();
+  };
+
+  switch (opcodeSig(Op)) {
+  case OpSig::None:
+    Builder.emit({Op});
+    return true;
+  case OpSig::R: {
+    unsigned R;
+    if (!parseReg(Operand(1), R))
+      return fail("expected register");
+    Instruction I;
+    I.Op = Op;
+    I.Rd = static_cast<uint8_t>(R);
+    Builder.emit(I);
+    return true;
+  }
+  case OpSig::RR: {
+    unsigned Rd, Rs;
+    if (!parseReg(Operand(1), Rd) || !parseReg(Operand(2), Rs))
+      return fail("expected two registers");
+    Builder.emit(Instruction::mov(Rd, Rs));
+    return true;
+  }
+  case OpSig::RRR: {
+    unsigned Rd, Rs, Rt;
+    if (!parseReg(Operand(1), Rd) || !parseReg(Operand(2), Rs) ||
+        !parseReg(Operand(3), Rt))
+      return fail("expected three registers");
+    Builder.emit(Instruction::alu(Op, Rd, Rs, Rt));
+    return true;
+  }
+  case OpSig::RI64: {
+    unsigned Rd;
+    int64_t Imm;
+    if (!parseReg(Operand(1), Rd) || !parseImm(Operand(2), Imm))
+      return fail("expected register, imm");
+    Builder.emit(Instruction::movI(Rd, Imm));
+    return true;
+  }
+  case OpSig::RI32: {
+    unsigned Rd, Rs;
+    int64_t Imm;
+    if (!parseReg(Operand(1), Rd) || !parseReg(Operand(2), Rs) ||
+        !parseImm(Operand(3), Imm))
+      return fail("expected rd, rs, imm");
+    if (Imm < INT32_MIN || Imm > INT32_MAX)
+      return fail("immediate out of 32-bit range");
+    Builder.emit(Instruction::aluI(Op, Rd, Rs, static_cast<int32_t>(Imm)));
+    return true;
+  }
+  case OpSig::RMem: {
+    unsigned Rd, Base;
+    int32_t Off;
+    if (!parseReg(Operand(1), Rd) || !parseMem(Operand(2), Base, Off))
+      return fail("expected rd, [base+off]");
+    Builder.emit(Instruction::load(Op, Rd, Base, Off));
+    return true;
+  }
+  case OpSig::MemR: {
+    unsigned Base, Rs;
+    int32_t Off;
+    if (!parseMem(Operand(1), Base, Off) || !parseReg(Operand(2), Rs))
+      return fail("expected [base+off], rs");
+    Builder.emit(Instruction::store(Op, Base, Off, Rs));
+    return true;
+  }
+  case OpSig::MemI32: {
+    unsigned Base;
+    int32_t Off;
+    int64_t Imm;
+    if (!parseMem(Operand(1), Base, Off) || !parseImm(Operand(2), Imm))
+      return fail("expected [base+off], imm");
+    Builder.emit(
+        Instruction::memI32(Op, Base, Off, static_cast<uint32_t>(Imm)));
+    return true;
+  }
+  case OpSig::Rel8:
+  case OpSig::Rel32: {
+    // Branch or call to a label.
+    std::string Target = Operand(1);
+    if (Target.empty())
+      return fail("expected branch target");
+    if (Op == Opcode::Call) {
+      Builder.emitCall(labelFor(Target));
+      return true;
+    }
+    Builder.emitBr(labelFor(Target));
+    return true;
+  }
+  case OpSig::RRel8:
+  case OpSig::RRel32: {
+    unsigned Rs;
+    if (!parseReg(Operand(1), Rs))
+      return fail("expected register");
+    std::string Target = Operand(2);
+    if (Target.empty())
+      return fail("expected branch target");
+    Opcode LongForm =
+        (Op == Opcode::BrzS || Op == Opcode::BrzL) ? Opcode::BrzL
+                                                   : Opcode::BrnzL;
+    Builder.emitBrCond(LongForm, Rs, labelFor(Target));
+    return true;
+  }
+  case OpSig::I16: {
+    if (Op == Opcode::CallImp) {
+      std::string Sym = Operand(1);
+      if (Sym.size() < 2 || Sym[0] != '@')
+        return fail("callimp expects @symbol");
+      Builder.emitCallImport(Sym.substr(1));
+      return true;
+    }
+    int64_t Imm;
+    if (!parseImm(Operand(1), Imm) || Imm < 0 || Imm > UINT16_MAX)
+      return fail("expected 16-bit immediate");
+    Instruction I;
+    I.Op = Op;
+    I.Imm = Imm;
+    Builder.emit(I);
+    return true;
+  }
+  case OpSig::RSlot: {
+    unsigned Rd;
+    int64_t Slot;
+    if (!parseReg(Operand(1), Rd) || !parseImm(Operand(2), Slot) ||
+        Slot < 0 || Slot > UINT16_MAX)
+      return fail("expected register, slot");
+    Instruction I;
+    I.Op = Op;
+    I.Rd = static_cast<uint8_t>(Rd);
+    I.Imm = Slot;
+    Builder.emit(I);
+    return true;
+  }
+  }
+  return fail("unhandled signature");
+}
+
+Label AsmContext::labelFor(const std::string &Name) {
+  auto It = Labels.find(Name);
+  if (It != Labels.end())
+    return It->second;
+  Label L = Builder.makeLabel();
+  Labels.emplace(Name, L);
+  return L;
+}
+
+bool AsmContext::parseReg(const std::string &Tok, unsigned &Reg) {
+  if (Tok == "sp") {
+    Reg = RegSP;
+    return true;
+  }
+  if (Tok == "fp") {
+    Reg = RegFP;
+    return true;
+  }
+  if (Tok.size() < 2 || (Tok[0] != 'r' && Tok[0] != 'R'))
+    return false;
+  int64_t N;
+  if (!parseInt(Tok.substr(1), N) || N < 0 || N >= NumRegs)
+    return false;
+  Reg = static_cast<unsigned>(N);
+  return true;
+}
+
+bool AsmContext::parseImm(const std::string &Tok, int64_t &Imm) {
+  if (!Tok.empty() && Tok[0] == '$') {
+    auto It = Constants.find(Tok.substr(1));
+    if (It == Constants.end())
+      return false;
+    Imm = It->second;
+    return true;
+  }
+  return parseInt(Tok, Imm);
+}
+
+bool AsmContext::parseMem(const std::string &Tok, unsigned &Base,
+                          int32_t &Off) {
+  if (Tok.size() < 3 || Tok.front() != '[' || Tok.back() != ']')
+    return false;
+  std::string Inner = Tok.substr(1, Tok.size() - 2);
+  Off = 0;
+  size_t Sign = Inner.find_first_of("+-");
+  std::string RegPart = Sign == std::string::npos ? Inner
+                                                  : Inner.substr(0, Sign);
+  if (!parseReg(trimString(RegPart), Base))
+    return false;
+  if (Sign != std::string::npos) {
+    int64_t V;
+    if (!parseImm(Inner.substr(Sign + (Inner[Sign] == '+' ? 1 : 0)), V))
+      return false;
+    if (V < INT16_MIN || V > INT16_MAX)
+      return false;
+    Off = static_cast<int32_t>(V);
+  }
+  return true;
+}
+
+} // namespace
+
+bool Assembler::assemble(const std::string &Source, Module &Out,
+                         std::string &Error) {
+  AsmContext Ctx(Constants);
+  return Ctx.run(Source, Out, Error);
+}

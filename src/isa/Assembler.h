@@ -1,0 +1,70 @@
+//===- isa/Assembler.h - TB-ISA text assembler ------------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small text assembler for TB-ISA, used to author "native" modules the
+/// way the paper's C/C++ components would be compiled by a production
+/// compiler (libtbc's memcpy/strcpy, test fixtures, crash payloads).
+///
+/// Syntax sketch:
+/// \code
+///   .module libtbc
+///   .file "mem.c"
+///   .func memcpy export
+///   .line 10
+///   loop:
+///     brz r2, done
+///     ld8 r3, [r1]
+///     st8 [r0], r3
+///     addi r0, r0, 1
+///     addi r1, r1, 1
+///     addi r2, r2, -1
+///     br loop
+///   done:
+///     ret
+///   .endfunc
+///   .datasym table export
+///   .ptr memcpy
+///   .word 42
+///   .string "hello"
+///   .try Lbegin Lend Lhandler
+/// \endcode
+///
+/// Operands: registers r0..r15 (aliases: sp, fp), immediates (decimal or
+/// 0x hex), memory `[rN+disp]`, labels, imports `@name`, named constants
+/// `$name` supplied by the embedder (e.g. syscall numbers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_ISA_ASSEMBLER_H
+#define TRACEBACK_ISA_ASSEMBLER_H
+
+#include "isa/Module.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace traceback {
+
+/// Assembles TB-ISA source text into a module.
+class Assembler {
+public:
+  /// \p Constants resolves `$name` operand references.
+  explicit Assembler(std::map<std::string, int64_t> Constants = {})
+      : Constants(std::move(Constants)) {}
+
+  /// Assembles \p Source. On failure returns false and sets \p Error to a
+  /// "line N: message" diagnostic.
+  bool assemble(const std::string &Source, Module &Out, std::string &Error);
+
+private:
+  std::map<std::string, int64_t> Constants;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_ISA_ASSEMBLER_H

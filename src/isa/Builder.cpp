@@ -1,0 +1,371 @@
+//===- isa/Builder.cpp - Programmatic module construction -----------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Builder.h"
+
+#include "isa/Encoding.h"
+#include "support/Text.h"
+
+#include <cassert>
+
+using namespace traceback;
+
+ModuleBuilder::ModuleBuilder(std::string Name, Technology Tech)
+    : ModName(std::move(Name)), Tech(Tech) {}
+
+uint32_t ModuleBuilder::labelOffsetAfterFinalize(Label L) const {
+  assert(Finalized && L.valid() && L.Id < FinalLabelOffsets.size());
+  return FinalLabelOffsets[L.Id];
+}
+
+Label ModuleBuilder::makeLabel() {
+  Label L;
+  L.Id = static_cast<uint32_t>(LabelPos.size());
+  LabelPos.push_back(-1);
+  return L;
+}
+
+void ModuleBuilder::bind(Label L) {
+  assert(L.valid() && "binding invalid label");
+  assert(LabelPos[L.Id] == -1 && "label bound twice");
+  LabelPos[L.Id] = static_cast<int64_t>(Stream.size());
+}
+
+void ModuleBuilder::emit(const Instruction &I) {
+  assert(!Finalized && "emit after finalize");
+  StreamEntry E;
+  E.Insn = I;
+  E.File = CurFile;
+  E.Line = CurLine;
+  Stream.push_back(E);
+}
+
+void ModuleBuilder::emitBr(Label Target) {
+  assert(Target.valid());
+  StreamEntry E;
+  E.Insn = Instruction::br(0);
+  E.Insn.Op = Opcode::BrS; // Relaxation starts short and grows.
+  E.TargetLabel = Target.Id;
+  E.File = CurFile;
+  E.Line = CurLine;
+  Stream.push_back(E);
+}
+
+void ModuleBuilder::emitBrCond(Opcode Op, unsigned Rs, Label Target) {
+  assert((Op == Opcode::BrzL || Op == Opcode::BrnzL) &&
+         "pass the long conditional form");
+  assert(Target.valid());
+  StreamEntry E;
+  E.Insn = Instruction::brCond(Op == Opcode::BrzL ? Opcode::BrzS
+                                                  : Opcode::BrnzS,
+                               Rs, 0);
+  E.TargetLabel = Target.Id;
+  E.File = CurFile;
+  E.Line = CurLine;
+  Stream.push_back(E);
+}
+
+void ModuleBuilder::emitCall(Label Target) {
+  assert(Target.valid());
+  StreamEntry E;
+  E.Insn = Instruction::call(0);
+  E.TargetLabel = Target.Id;
+  E.File = CurFile;
+  E.Line = CurLine;
+  Stream.push_back(E);
+}
+
+void ModuleBuilder::emitCallImport(const std::string &SymbolName) {
+  uint16_t Index = UINT16_MAX;
+  for (size_t I = 0; I < Imports.size(); ++I)
+    if (Imports[I] == SymbolName)
+      Index = static_cast<uint16_t>(I);
+  if (Index == UINT16_MAX) {
+    Index = static_cast<uint16_t>(Imports.size());
+    Imports.push_back(SymbolName);
+  }
+  emit(Instruction::callImport(Index));
+}
+
+void ModuleBuilder::emitLea(unsigned Rd, const std::string &SymbolName,
+                            int64_t Addend) {
+  StreamEntry E;
+  E.Insn = Instruction::movI(Rd, 0);
+  E.File = CurFile;
+  E.Line = CurLine;
+  E.RelocSymbol = SymbolName;
+  E.RelocAddend = Addend;
+  Stream.push_back(std::move(E));
+}
+
+void ModuleBuilder::beginFunction(const std::string &Name, bool Exported) {
+  PendingSymbols.push_back({Name, Stream.size(), /*IsFunction=*/true,
+                            Exported});
+}
+
+void ModuleBuilder::defineSymbol(const std::string &Name, bool Exported) {
+  PendingSymbols.push_back({Name, Stream.size(), /*IsFunction=*/false,
+                            Exported});
+}
+
+void ModuleBuilder::defineDataSymbol(const std::string &Name, bool Exported) {
+  Symbol S;
+  S.Name = Name;
+  S.Offset = static_cast<uint32_t>(Data.size());
+  S.IsFunction = false;
+  S.Exported = Exported;
+  Symbols.push_back(std::move(S));
+}
+
+uint16_t ModuleBuilder::fileIndex(const std::string &File) {
+  for (size_t I = 0; I < Files.size(); ++I)
+    if (Files[I] == File)
+      return static_cast<uint16_t>(I);
+  Files.push_back(File);
+  return static_cast<uint16_t>(Files.size() - 1);
+}
+
+void ModuleBuilder::setLine(uint16_t File, uint32_t Line) {
+  CurFile = File;
+  CurLine = Line;
+}
+
+void ModuleBuilder::addEhRange(Label From, Label To, Label Handler) {
+  assert(From.valid() && To.valid() && Handler.valid());
+  PendingEh.push_back({From.Id, To.Id, Handler.Id});
+}
+
+uint32_t ModuleBuilder::addData(const std::vector<uint8_t> &Bytes) {
+  uint32_t Off = static_cast<uint32_t>(Data.size());
+  Data.insert(Data.end(), Bytes.begin(), Bytes.end());
+  return Off;
+}
+
+uint32_t ModuleBuilder::addDataSymbolSlot(const std::string &SymbolName) {
+  // 8-byte aligned pointer slot.
+  while (Data.size() % 8 != 0)
+    Data.push_back(0);
+  uint32_t Off = static_cast<uint32_t>(Data.size());
+  Data.insert(Data.end(), 8, 0);
+  Relocs.push_back({Off, SymbolName});
+  return Off;
+}
+
+uint32_t ModuleBuilder::addDataString(const std::string &S) {
+  uint32_t Off = static_cast<uint32_t>(Data.size());
+  Data.insert(Data.end(), S.begin(), S.end());
+  Data.push_back(0);
+  return Off;
+}
+
+void ModuleBuilder::markDagRecordFixup(size_t InsnIndex) {
+  assert(InsnIndex < Stream.size());
+  Stream[InsnIndex].Fixup = FixupKind::DagRecord;
+}
+
+void ModuleBuilder::markLightMaskFixup(size_t InsnIndex) {
+  assert(InsnIndex < Stream.size());
+  Stream[InsnIndex].Fixup = FixupKind::LightMask;
+}
+
+void ModuleBuilder::markTlsSlotFixup(size_t InsnIndex) {
+  assert(InsnIndex < Stream.size());
+  Stream[InsnIndex].Fixup = FixupKind::TlsSlot;
+}
+
+void ModuleBuilder::setDagRange(uint32_t Base, uint32_t Count) {
+  DagBase = Base;
+  DagCount = Count;
+}
+
+bool ModuleBuilder::finalize(Module &Out, std::string &Error) {
+  assert(!Finalized && "finalize called twice");
+  Finalized = true;
+
+  for (size_t I = 0; I < LabelPos.size(); ++I) {
+    if (LabelPos[I] == -1) {
+      Error = formatv("label %zu never bound", I);
+      return false;
+    }
+  }
+
+  // Peephole: collapse adjacent (push rX, pop rY) pairs into a register
+  // move (or nothing when X == Y) — the stack-machine code generator
+  // produces these constantly and a production compiler would not. A pair
+  // is only safe to merge when no label binds at the pop (a jump could
+  // otherwise land between the two).
+  {
+    std::vector<uint8_t> LabelAt(Stream.size() + 1, 0);
+    for (int64_t Pos : LabelPos)
+      LabelAt[static_cast<size_t>(Pos)] = 1;
+
+    std::vector<StreamEntry> NewStream;
+    NewStream.reserve(Stream.size());
+    // Old instruction index -> new index (for label rebinding).
+    std::vector<uint32_t> Remap(Stream.size() + 1, 0);
+    for (size_t I = 0; I < Stream.size(); ++I) {
+      Remap[I] = static_cast<uint32_t>(NewStream.size());
+      StreamEntry &E = Stream[I];
+      bool CanPair = I + 1 < Stream.size() && !LabelAt[I + 1] &&
+                     E.Insn.Op == Opcode::Push &&
+                     Stream[I + 1].Insn.Op == Opcode::Pop &&
+                     E.Fixup == FixupKind::None &&
+                     Stream[I + 1].Fixup == FixupKind::None &&
+                     E.RelocSymbol.empty() &&
+                     Stream[I + 1].RelocSymbol.empty();
+      if (CanPair) {
+        unsigned Src = E.Insn.Rd;
+        unsigned Dst = Stream[I + 1].Insn.Rd;
+        if (Src != Dst) {
+          StreamEntry Mv = E;
+          Mv.Insn = Instruction::mov(Dst, Src);
+          NewStream.push_back(std::move(Mv));
+        }
+        Remap[I + 1] = Remap[I];
+        ++I; // Consume the pop too.
+        continue;
+      }
+      NewStream.push_back(std::move(E));
+    }
+    Remap[Stream.size()] = static_cast<uint32_t>(NewStream.size());
+    for (int64_t &Pos : LabelPos)
+      Pos = Remap[static_cast<size_t>(Pos)];
+    for (PendingSym &PS : PendingSymbols)
+      PS.InsnIndex = Remap[PS.InsnIndex];
+    Stream = std::move(NewStream);
+  }
+
+  size_t N = Stream.size();
+  // Instruction byte offsets; index N = end of code.
+  std::vector<uint32_t> Offsets(N + 1, 0);
+
+  // Relax: start with the forms currently in the stream (short for
+  // branches), recompute layout, and grow any branch whose displacement
+  // does not fit. Growing can push other displacements out of range, so
+  // iterate to a fixpoint; each iteration only ever grows, so it
+  // terminates.
+  auto LabelByteOffset = [&](uint32_t LabelId) {
+    int64_t Idx = LabelPos[LabelId];
+    return Offsets[static_cast<size_t>(Idx)];
+  };
+
+  for (;;) {
+    uint32_t Pos = 0;
+    for (size_t I = 0; I < N; ++I) {
+      Offsets[I] = Pos;
+      Pos += opcodeSize(Stream[I].Insn.Op);
+    }
+    Offsets[N] = Pos;
+
+    bool Grew = false;
+    for (size_t I = 0; I < N; ++I) {
+      StreamEntry &E = Stream[I];
+      if (E.TargetLabel == UINT32_MAX || !isRelBranch(E.Insn.Op))
+        continue;
+      OpSig Sig = opcodeSig(E.Insn.Op);
+      if (Sig != OpSig::Rel8 && Sig != OpSig::RRel8)
+        continue; // Already long.
+      int64_t Disp = static_cast<int64_t>(LabelByteOffset(E.TargetLabel)) -
+                     (static_cast<int64_t>(Offsets[I]) +
+                      opcodeSize(E.Insn.Op));
+      if (Disp < INT8_MIN || Disp > INT8_MAX) {
+        E.Insn.Op = toggleBranchForm(E.Insn.Op);
+        Grew = true;
+      }
+    }
+    if (!Grew)
+      break;
+  }
+
+  // Resolve displacements.
+  for (size_t I = 0; I < N; ++I) {
+    StreamEntry &E = Stream[I];
+    if (E.TargetLabel == UINT32_MAX)
+      continue;
+    int64_t Disp = static_cast<int64_t>(LabelByteOffset(E.TargetLabel)) -
+                   (static_cast<int64_t>(Offsets[I]) +
+                    opcodeSize(E.Insn.Op));
+    if (Disp < INT32_MIN || Disp > INT32_MAX) {
+      Error = formatv("displacement overflow at instruction %zu", I);
+      return false;
+    }
+    E.Insn.Imm = Disp;
+  }
+
+  // Encode and collect metadata keyed by byte offsets.
+  Out = Module();
+  Out.Name = ModName;
+  Out.Tech = Tech;
+  Out.Data = std::move(Data);
+  Out.Imports = std::move(Imports);
+  Out.Relocs = std::move(Relocs);
+  Out.Files = std::move(Files);
+  Out.Instrumented = Instrumented;
+  Out.DagIdBase = DagBase;
+  Out.DagIdCount = DagCount;
+  Out.TlsSlot = TlsSlot;
+
+  uint16_t LastFile = UINT16_MAX;
+  uint32_t LastLine = UINT32_MAX;
+  for (size_t I = 0; I < N; ++I) {
+    StreamEntry &E = Stream[I];
+    uint32_t At = static_cast<uint32_t>(Out.Code.size());
+    assert(At == Offsets[I] && "layout mismatch");
+    // Line-0 entries are explicit "no source" markers: they close the
+    // previous line's range so unattributed code (probe helpers, stubs)
+    // does not inherit a stale line.
+    if (E.File != LastFile || E.Line != LastLine) {
+      Out.Lines.push_back({At, E.File, E.Line});
+      LastFile = E.File;
+      LastLine = E.Line;
+    }
+    if (!E.RelocSymbol.empty()) {
+      assert(E.Insn.Op == Opcode::MovI && "lea lowers to MovI");
+      Out.CodeRelocs.push_back({At + 2, E.RelocSymbol, E.RelocAddend});
+    }
+    switch (E.Fixup) {
+    case FixupKind::None:
+      break;
+    case FixupKind::DagRecord:
+      assert(opcodeSig(E.Insn.Op) == OpSig::MemI32);
+      Out.DagRecordFixups.push_back(At + 4); // opcode+reg+off16
+      break;
+    case FixupKind::LightMask:
+      assert(opcodeSig(E.Insn.Op) == OpSig::MemI32);
+      Out.LightMaskFixups.push_back(At + 4);
+      break;
+    case FixupKind::TlsSlot:
+      assert(opcodeSig(E.Insn.Op) == OpSig::RSlot);
+      Out.TlsSlotFixups.push_back(At + 2); // opcode+reg
+      break;
+    }
+    encodeInstruction(E.Insn, Out.Code);
+  }
+
+  Out.Symbols = std::move(Symbols); // Data symbols were recorded eagerly.
+  for (const PendingSym &PS : PendingSymbols) {
+    Symbol S;
+    S.Name = PS.Name;
+    S.Offset = Offsets[PS.InsnIndex];
+    S.IsFunction = PS.IsFunction;
+    S.Exported = PS.Exported;
+    Out.Symbols.push_back(std::move(S));
+  }
+
+  FinalLabelOffsets.resize(LabelPos.size());
+  for (size_t I = 0; I < LabelPos.size(); ++I)
+    FinalLabelOffsets[I] = LabelByteOffset(static_cast<uint32_t>(I));
+
+  for (const PendingEhRange &PE : PendingEh) {
+    EhEntry E;
+    E.Start = LabelByteOffset(PE.From);
+    E.End = LabelByteOffset(PE.To);
+    E.Handler = LabelByteOffset(PE.Handler);
+    Out.EhTable.push_back(E);
+  }
+
+  return true;
+}

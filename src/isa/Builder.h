@@ -1,0 +1,178 @@
+//===- isa/Builder.h - Programmatic module construction ---------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ModuleBuilder assembles TB-ISA instruction streams with symbolic labels
+/// and lowers them to a legal binary image, selecting short or long branch
+/// forms with an iterative relaxation fixpoint (start-short, grow-until-
+/// stable). Both the MiniLang code generator and the binary instrumenter
+/// emit code through this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_ISA_BUILDER_H
+#define TRACEBACK_ISA_BUILDER_H
+
+#include "isa/Instruction.h"
+#include "isa/Module.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// A forward-referenceable code position.
+struct Label {
+  uint32_t Id = UINT32_MAX;
+  bool valid() const { return Id != UINT32_MAX; }
+};
+
+/// Builds one module's code section (plus metadata) from an instruction
+/// stream with labels, then finalizes into a Module.
+class ModuleBuilder {
+public:
+  explicit ModuleBuilder(std::string Name,
+                         Technology Tech = Technology::Native);
+
+  // --- Code emission -----------------------------------------------------
+
+  /// Creates an unbound label.
+  Label makeLabel();
+
+  /// Binds \p L to the current end of code.
+  void bind(Label L);
+
+  /// Appends a non-control-flow instruction.
+  void emit(const Instruction &I);
+
+  /// Appends an unconditional branch to \p Target (form chosen later).
+  void emitBr(Label Target);
+
+  /// Appends a conditional branch; \p Op must be a long-form conditional
+  /// branch opcode (BrzL / BrnzL); relaxation may shrink it.
+  void emitBrCond(Opcode Op, unsigned Rs, Label Target);
+
+  /// Appends a call to a label in this module.
+  void emitCall(Label Target);
+
+  /// Appends a call to an imported symbol, creating the import on demand.
+  void emitCallImport(const std::string &SymbolName);
+
+  /// Appends `MovI Rd, &Symbol + Addend`, resolved by the loader. Used to
+  /// take addresses of functions (callbacks), data and jump tables.
+  void emitLea(unsigned Rd, const std::string &SymbolName, int64_t Addend = 0);
+
+  /// Current instruction index (used to attach fixup metadata).
+  size_t instructionCount() const { return Stream.size(); }
+
+  // --- Metadata ----------------------------------------------------------
+
+  /// Starts a function symbol at the current position.
+  void beginFunction(const std::string &Name, bool Exported);
+
+  /// Declares a non-function symbol at the current code position.
+  void defineSymbol(const std::string &Name, bool Exported);
+
+  /// Declares a data symbol at the current end of the data section.
+  void defineDataSymbol(const std::string &Name, bool Exported);
+
+  /// Returns the index for \p File in the file table, adding it if new.
+  uint16_t fileIndex(const std::string &File);
+
+  /// Sets the source position for subsequently emitted instructions.
+  void setLine(uint16_t File, uint32_t Line);
+
+  /// Registers an EH range: exceptions raised while executing in
+  /// [From, To) resume at Handler.
+  void addEhRange(Label From, Label To, Label Handler);
+
+  /// Appends raw bytes to the data section; returns their offset.
+  uint32_t addData(const std::vector<uint8_t> &Bytes);
+
+  /// Appends an 8-byte data slot that the loader fills with the absolute
+  /// address of \p SymbolName; returns its offset.
+  uint32_t addDataSymbolSlot(const std::string &SymbolName);
+
+  /// Appends a NUL-terminated string to data; returns its offset.
+  uint32_t addDataString(const std::string &S);
+
+  /// Marks the imm32 operand of instruction \p InsnIndex as a DAG record
+  /// fixup site (heavyweight probes).
+  void markDagRecordFixup(size_t InsnIndex);
+
+  /// Marks the imm32 operand of instruction \p InsnIndex as a lightweight
+  /// mask fixup site.
+  void markLightMaskFixup(size_t InsnIndex);
+
+  /// Marks the slot16 operand of instruction \p InsnIndex as a TLS slot
+  /// fixup site.
+  void markTlsSlotFixup(size_t InsnIndex);
+
+  /// Sets the default DAG-ID range recorded in the module.
+  void setDagRange(uint32_t Base, uint32_t Count);
+
+  void setInstrumented(bool V) { Instrumented = V; }
+  void setTlsSlot(uint16_t Slot) { TlsSlot = Slot; }
+
+  // --- Finalization ------------------------------------------------------
+
+  /// Lowers the stream to bytes (relaxing branches), resolves label
+  /// displacements and produces the module. The builder must not be used
+  /// afterwards. Returns false if a displacement cannot be encoded or a
+  /// label was never bound (\p Error describes the failure).
+  bool finalize(Module &Out, std::string &Error);
+
+  /// Byte offset a label landed at; valid only after a successful
+  /// finalize(). The instrumenter uses this to emit the mapfile.
+  uint32_t labelOffsetAfterFinalize(Label L) const;
+
+private:
+  enum class FixupKind : uint8_t { None, DagRecord, LightMask, TlsSlot };
+
+  struct StreamEntry {
+    Instruction Insn;
+    uint32_t TargetLabel = UINT32_MAX; ///< For label-relative operands.
+    uint16_t File = 0;
+    uint32_t Line = 0;
+    FixupKind Fixup = FixupKind::None;
+    /// For emitLea: symbol whose address the loader writes into imm64.
+    std::string RelocSymbol;
+    int64_t RelocAddend = 0;
+  };
+
+  std::string ModName;
+  Technology Tech;
+  std::vector<StreamEntry> Stream;
+  std::vector<int64_t> LabelPos; ///< Instruction index; -1 if unbound.
+  std::vector<Symbol> Symbols;
+  std::vector<std::string> Imports;
+  std::vector<DataReloc> Relocs;
+  std::vector<uint8_t> Data;
+  std::vector<std::string> Files;
+  struct PendingSym {
+    std::string Name;
+    size_t InsnIndex;
+    bool IsFunction;
+    bool Exported;
+  };
+  std::vector<PendingSym> PendingSymbols;
+  struct PendingEhRange {
+    uint32_t From, To, Handler; ///< Label ids.
+  };
+  std::vector<PendingEhRange> PendingEh;
+  uint16_t CurFile = 0;
+  uint32_t CurLine = 0;
+  bool Instrumented = false;
+  uint16_t TlsSlot = DefaultTlsSlot;
+  uint32_t DagBase = 0, DagCount = 0;
+  std::vector<uint32_t> FinalLabelOffsets;
+  bool Finalized = false;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_ISA_BUILDER_H

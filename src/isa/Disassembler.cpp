@@ -1,0 +1,56 @@
+//===- isa/Disassembler.cpp - Module listing printer ----------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Disassembler.h"
+
+#include "isa/Encoding.h"
+#include "support/Text.h"
+
+#include <map>
+
+using namespace traceback;
+
+std::string traceback::disassembleModule(const Module &M) {
+  std::string Out;
+  Out += formatv("; module %s (%s)%s\n", M.Name.c_str(),
+                 M.Tech == Technology::Native ? "native" : "managed",
+                 M.Instrumented ? ", instrumented" : "");
+  if (M.Instrumented)
+    Out += formatv("; dag ids [%u, %u)\n", M.DagIdBase,
+                   M.DagIdBase + M.DagIdCount);
+
+  std::multimap<uint32_t, const Symbol *> SymsAt;
+  for (const Symbol &S : M.Symbols)
+    if (S.IsFunction)
+      SymsAt.emplace(S.Offset, &S);
+
+  size_t Pos = 0;
+  size_t LineIdx = 0;
+  while (Pos < M.Code.size()) {
+    auto Range = SymsAt.equal_range(static_cast<uint32_t>(Pos));
+    for (auto It = Range.first; It != Range.second; ++It)
+      Out += formatv("%s:\n", It->second->Name.c_str());
+
+    while (LineIdx < M.Lines.size() && M.Lines[LineIdx].Offset <= Pos) {
+      if (M.Lines[LineIdx].Offset == Pos)
+        Out += formatv("; %s:%u\n",
+                       M.fileName(M.Lines[LineIdx].FileIndex).c_str(),
+                       M.Lines[LineIdx].Line);
+      ++LineIdx;
+    }
+
+    Instruction I;
+    unsigned N =
+        decodeInstruction(M.Code.data() + Pos, M.Code.size() - Pos, I);
+    if (N == 0) {
+      Out += formatv("%06zx: <undecodable>\n", Pos);
+      break;
+    }
+    Out += formatv("%06zx: %s\n", Pos, I.toString().c_str());
+    Pos += N;
+  }
+  return Out;
+}

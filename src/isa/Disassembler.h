@@ -1,0 +1,29 @@
+//===- isa/Disassembler.h - Module listing printer --------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a module's code section as a textual listing (offset, bytes,
+/// mnemonic, symbol/line annotations). Used by tests and by the examples
+/// to show before/after instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_ISA_DISASSEMBLER_H
+#define TRACEBACK_ISA_DISASSEMBLER_H
+
+#include "isa/Module.h"
+
+#include <string>
+
+namespace traceback {
+
+/// Produces a disassembly listing of \p M. Returns an error note inside
+/// the listing if a byte range fails to decode.
+std::string disassembleModule(const Module &M);
+
+} // namespace traceback
+
+#endif // TRACEBACK_ISA_DISASSEMBLER_H

@@ -1,0 +1,197 @@
+//===- isa/Encoding.cpp - TB-ISA binary encode/decode ---------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Encoding.h"
+
+#include <cassert>
+
+using namespace traceback;
+
+namespace {
+void putLE(std::vector<uint8_t> &Out, uint64_t V, int Bytes) {
+  for (int I = 0; I < Bytes; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (I * 8)));
+}
+
+uint64_t getLE(const uint8_t *P, int Bytes) {
+  uint64_t V = 0;
+  for (int I = 0; I < Bytes; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (I * 8);
+  return V;
+}
+
+int64_t signExtend(uint64_t V, int Bits) {
+  uint64_t Mask = 1ull << (Bits - 1);
+  return static_cast<int64_t>((V ^ Mask) - Mask);
+}
+} // namespace
+
+unsigned traceback::encodeInstruction(const Instruction &I,
+                                      std::vector<uint8_t> &Out) {
+  size_t Start = Out.size();
+  Out.push_back(static_cast<uint8_t>(I.Op));
+  switch (opcodeSig(I.Op)) {
+  case OpSig::None:
+    break;
+  case OpSig::R:
+    Out.push_back(I.Rd);
+    break;
+  case OpSig::RR:
+    Out.push_back(I.Rd);
+    Out.push_back(I.Rs);
+    break;
+  case OpSig::RRR:
+    Out.push_back(I.Rd);
+    Out.push_back(I.Rs);
+    Out.push_back(I.Rt);
+    break;
+  case OpSig::RI64:
+    Out.push_back(I.Rd);
+    putLE(Out, static_cast<uint64_t>(I.Imm), 8);
+    break;
+  case OpSig::RI32:
+    Out.push_back(I.Rd);
+    Out.push_back(I.Rs);
+    putLE(Out, static_cast<uint64_t>(I.Imm) & 0xFFFFFFFF, 4);
+    break;
+  case OpSig::RMem:
+  case OpSig::MemR:
+    Out.push_back(I.Rd);
+    Out.push_back(I.Rs);
+    assert(I.Off >= INT16_MIN && I.Off <= INT16_MAX && "offset overflow");
+    putLE(Out, static_cast<uint16_t>(I.Off), 2);
+    break;
+  case OpSig::MemI32:
+    Out.push_back(I.Rd);
+    assert(I.Off >= INT16_MIN && I.Off <= INT16_MAX && "offset overflow");
+    putLE(Out, static_cast<uint16_t>(I.Off), 2);
+    putLE(Out, static_cast<uint64_t>(I.Imm) & 0xFFFFFFFF, 4);
+    break;
+  case OpSig::Rel8:
+    assert(I.Imm >= INT8_MIN && I.Imm <= INT8_MAX && "short branch overflow");
+    putLE(Out, static_cast<uint8_t>(I.Imm), 1);
+    break;
+  case OpSig::Rel32:
+    assert(I.Imm >= INT32_MIN && I.Imm <= INT32_MAX && "branch overflow");
+    putLE(Out, static_cast<uint32_t>(I.Imm), 4);
+    break;
+  case OpSig::RRel8:
+    Out.push_back(I.Rs);
+    assert(I.Imm >= INT8_MIN && I.Imm <= INT8_MAX && "short branch overflow");
+    putLE(Out, static_cast<uint8_t>(I.Imm), 1);
+    break;
+  case OpSig::RRel32:
+    Out.push_back(I.Rs);
+    assert(I.Imm >= INT32_MIN && I.Imm <= INT32_MAX && "branch overflow");
+    putLE(Out, static_cast<uint32_t>(I.Imm), 4);
+    break;
+  case OpSig::I16:
+    putLE(Out, static_cast<uint16_t>(I.Imm), 2);
+    break;
+  case OpSig::RSlot:
+    Out.push_back(I.Rd);
+    putLE(Out, static_cast<uint16_t>(I.Imm), 2);
+    break;
+  }
+  unsigned Encoded = static_cast<unsigned>(Out.size() - Start);
+  assert(Encoded == opcodeSize(I.Op) && "size table out of sync");
+  return Encoded;
+}
+
+unsigned traceback::decodeInstruction(const uint8_t *Data, size_t Size,
+                                      Instruction &Out) {
+  if (Size == 0)
+    return 0;
+  uint8_t OpByte = Data[0];
+  if (OpByte >= NumOpcodes)
+    return 0;
+  Opcode Op = static_cast<Opcode>(OpByte);
+  unsigned Need = opcodeSize(Op);
+  if (Size < Need)
+    return 0;
+
+  Out = Instruction();
+  Out.Op = Op;
+  const uint8_t *P = Data + 1;
+  switch (opcodeSig(Op)) {
+  case OpSig::None:
+    break;
+  case OpSig::R:
+    Out.Rd = P[0];
+    break;
+  case OpSig::RR:
+    Out.Rd = P[0];
+    Out.Rs = P[1];
+    break;
+  case OpSig::RRR:
+    Out.Rd = P[0];
+    Out.Rs = P[1];
+    Out.Rt = P[2];
+    break;
+  case OpSig::RI64:
+    Out.Rd = P[0];
+    Out.Imm = static_cast<int64_t>(getLE(P + 1, 8));
+    break;
+  case OpSig::RI32:
+    Out.Rd = P[0];
+    Out.Rs = P[1];
+    Out.Imm = signExtend(getLE(P + 2, 4), 32);
+    break;
+  case OpSig::RMem:
+  case OpSig::MemR:
+    Out.Rd = P[0];
+    Out.Rs = P[1];
+    Out.Off = static_cast<int32_t>(signExtend(getLE(P + 2, 2), 16));
+    break;
+  case OpSig::MemI32:
+    Out.Rd = P[0];
+    Out.Off = static_cast<int32_t>(signExtend(getLE(P + 1, 2), 16));
+    // Probe record templates are unsigned 32-bit patterns; keep them
+    // zero-extended so DAG record bits survive round trips.
+    Out.Imm = static_cast<int64_t>(getLE(P + 3, 4));
+    break;
+  case OpSig::Rel8:
+    Out.Imm = signExtend(getLE(P, 1), 8);
+    break;
+  case OpSig::Rel32:
+    Out.Imm = signExtend(getLE(P, 4), 32);
+    break;
+  case OpSig::RRel8:
+    Out.Rs = P[0];
+    Out.Imm = signExtend(getLE(P + 1, 1), 8);
+    break;
+  case OpSig::RRel32:
+    Out.Rs = P[0];
+    Out.Imm = signExtend(getLE(P + 1, 4), 32);
+    break;
+  case OpSig::I16:
+    Out.Imm = static_cast<int64_t>(getLE(P, 2));
+    break;
+  case OpSig::RSlot:
+    Out.Rd = P[0];
+    Out.Imm = static_cast<int64_t>(getLE(P + 1, 2));
+    break;
+  }
+  // Registers are 4 bits of architectural state; reject junk encodings so
+  // code/data confusion is detected rather than silently misdecoded.
+  if (Out.Rd >= NumRegs || Out.Rs >= NumRegs || Out.Rt >= NumRegs)
+    return 0;
+  return Need;
+}
+
+bool traceback::decodeAll(const std::vector<uint8_t> &Code,
+                          std::vector<DecodedInsn> &Out) {
+  size_t Pos = 0;
+  while (Pos < Code.size()) {
+    Instruction I;
+    unsigned N = decodeInstruction(Code.data() + Pos, Code.size() - Pos, I);
+    if (N == 0)
+      return false;
+    Out.push_back({static_cast<uint32_t>(Pos), I});
+    Pos += N;
+  }
+  return true;
+}

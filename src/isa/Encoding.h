@@ -1,0 +1,49 @@
+//===- isa/Encoding.h - TB-ISA binary encode/decode -------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary encoding and decoding of TB-ISA instructions.
+///
+/// The encoding is variable length (1..10 bytes). The instrumenter edits
+/// code at this level: it decodes a module's code section, inserts probes,
+/// and re-encodes, re-resolving every pc-relative displacement (including
+/// short/long branch form selection — the span-dependent instruction
+/// problem the paper cites as [26]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_ISA_ENCODING_H
+#define TRACEBACK_ISA_ENCODING_H
+
+#include "isa/Instruction.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace traceback {
+
+/// Appends the encoding of \p I to \p Out. Returns the encoded size.
+unsigned encodeInstruction(const Instruction &I, std::vector<uint8_t> &Out);
+
+/// Decodes one instruction at \p Data (which has \p Size valid bytes).
+/// Returns the number of bytes consumed, or 0 if the bytes do not form a
+/// valid instruction.
+unsigned decodeInstruction(const uint8_t *Data, size_t Size, Instruction &Out);
+
+/// A decoded instruction together with its code-section offset, as produced
+/// by decodeAll.
+struct DecodedInsn {
+  uint32_t Offset;
+  Instruction Insn;
+};
+
+/// Decodes an entire code section. Returns false if any byte range fails to
+/// decode (decoded instructions up to that point are kept in \p Out).
+bool decodeAll(const std::vector<uint8_t> &Code, std::vector<DecodedInsn> &Out);
+
+} // namespace traceback
+
+#endif // TRACEBACK_ISA_ENCODING_H

@@ -1,0 +1,223 @@
+//===- isa/Instruction.h - Decoded TB-ISA instruction -----------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decoded instruction model shared by the interpreter, the
+/// disassembler, the rewriter and the code generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_ISA_INSTRUCTION_H
+#define TRACEBACK_ISA_INSTRUCTION_H
+
+#include "isa/Opcode.h"
+
+#include <cstdint>
+#include <string>
+
+namespace traceback {
+
+/// A single decoded TB-ISA instruction.
+///
+/// Field roles depend on the opcode signature:
+///  - RMem loads:   Rd = destination, Rs = base register, Off = displacement
+///  - MemR stores:  Rd = base register, Rs = source, Off = displacement
+///  - MemI32:       Rd = base register, Off = displacement, Imm = 32-bit imm
+///  - RRel branches: Rs = tested register, Imm = pc-relative displacement
+///  - RSlot:        Rd = register, Imm = TLS slot index
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  uint8_t Rd = 0;
+  uint8_t Rs = 0;
+  uint8_t Rt = 0;
+  int32_t Off = 0;
+  int64_t Imm = 0;
+
+  /// Encoded size in bytes.
+  unsigned size() const { return opcodeSize(Op); }
+
+  /// Bitmask of registers this instruction reads.
+  uint16_t regUses() const;
+
+  /// Bitmask of registers this instruction writes.
+  uint16_t regDefs() const;
+
+  /// Human-readable rendering, e.g. "addi r3, r3, 1".
+  std::string toString() const;
+
+  bool operator==(const Instruction &RHS) const {
+    return Op == RHS.Op && Rd == RHS.Rd && Rs == RHS.Rs && Rt == RHS.Rt &&
+           Off == RHS.Off && Imm == RHS.Imm;
+  }
+
+  // --- Convenience factories -------------------------------------------
+
+  static Instruction nop() { return {Opcode::Nop}; }
+  static Instruction halt() { return {Opcode::Halt}; }
+
+  static Instruction movI(unsigned Rd, int64_t Imm) {
+    Instruction I;
+    I.Op = Opcode::MovI;
+    I.Rd = static_cast<uint8_t>(Rd);
+    I.Imm = Imm;
+    return I;
+  }
+
+  static Instruction mov(unsigned Rd, unsigned Rs) {
+    Instruction I;
+    I.Op = Opcode::Mov;
+    I.Rd = static_cast<uint8_t>(Rd);
+    I.Rs = static_cast<uint8_t>(Rs);
+    return I;
+  }
+
+  static Instruction alu(Opcode Op, unsigned Rd, unsigned Rs, unsigned Rt) {
+    Instruction I;
+    I.Op = Op;
+    I.Rd = static_cast<uint8_t>(Rd);
+    I.Rs = static_cast<uint8_t>(Rs);
+    I.Rt = static_cast<uint8_t>(Rt);
+    return I;
+  }
+
+  static Instruction aluI(Opcode Op, unsigned Rd, unsigned Rs, int32_t Imm) {
+    Instruction I;
+    I.Op = Op;
+    I.Rd = static_cast<uint8_t>(Rd);
+    I.Rs = static_cast<uint8_t>(Rs);
+    I.Imm = Imm;
+    return I;
+  }
+
+  static Instruction load(Opcode Op, unsigned Rd, unsigned Base, int32_t Off) {
+    Instruction I;
+    I.Op = Op;
+    I.Rd = static_cast<uint8_t>(Rd);
+    I.Rs = static_cast<uint8_t>(Base);
+    I.Off = Off;
+    return I;
+  }
+
+  static Instruction store(Opcode Op, unsigned Base, int32_t Off,
+                           unsigned Src) {
+    Instruction I;
+    I.Op = Op;
+    I.Rd = static_cast<uint8_t>(Base);
+    I.Rs = static_cast<uint8_t>(Src);
+    I.Off = Off;
+    return I;
+  }
+
+  static Instruction memI32(Opcode Op, unsigned Base, int32_t Off,
+                            uint32_t Imm) {
+    Instruction I;
+    I.Op = Op;
+    I.Rd = static_cast<uint8_t>(Base);
+    I.Off = Off;
+    I.Imm = static_cast<int64_t>(Imm);
+    return I;
+  }
+
+  static Instruction push(unsigned R) {
+    Instruction I;
+    I.Op = Opcode::Push;
+    I.Rd = static_cast<uint8_t>(R);
+    return I;
+  }
+
+  static Instruction pop(unsigned R) {
+    Instruction I;
+    I.Op = Opcode::Pop;
+    I.Rd = static_cast<uint8_t>(R);
+    return I;
+  }
+
+  static Instruction br(int64_t Rel) {
+    Instruction I;
+    I.Op = Opcode::BrL;
+    I.Imm = Rel;
+    return I;
+  }
+
+  static Instruction brCond(Opcode Op, unsigned Rs, int64_t Rel) {
+    Instruction I;
+    I.Op = Op;
+    I.Rs = static_cast<uint8_t>(Rs);
+    I.Imm = Rel;
+    return I;
+  }
+
+  static Instruction call(int64_t Rel) {
+    Instruction I;
+    I.Op = Opcode::Call;
+    I.Imm = Rel;
+    return I;
+  }
+
+  static Instruction callImport(uint16_t Index) {
+    Instruction I;
+    I.Op = Opcode::CallImp;
+    I.Imm = Index;
+    return I;
+  }
+
+  static Instruction callInd(unsigned Target) {
+    Instruction I;
+    I.Op = Opcode::CallInd;
+    I.Rd = static_cast<uint8_t>(Target);
+    return I;
+  }
+
+  static Instruction jmpInd(unsigned Target) {
+    Instruction I;
+    I.Op = Opcode::JmpInd;
+    I.Rd = static_cast<uint8_t>(Target);
+    return I;
+  }
+
+  static Instruction ret() { return {Opcode::Ret}; }
+
+  static Instruction tlsLd(unsigned Rd, uint16_t Slot) {
+    Instruction I;
+    I.Op = Opcode::TlsLd;
+    I.Rd = static_cast<uint8_t>(Rd);
+    I.Imm = Slot;
+    return I;
+  }
+
+  static Instruction tlsSt(unsigned Rs, uint16_t Slot) {
+    Instruction I;
+    I.Op = Opcode::TlsSt;
+    I.Rd = static_cast<uint8_t>(Rs);
+    I.Imm = Slot;
+    return I;
+  }
+
+  static Instruction sys(uint16_t Number) {
+    Instruction I;
+    I.Op = Opcode::Sys;
+    I.Imm = Number;
+    return I;
+  }
+
+  static Instruction trap(uint16_t Code) {
+    Instruction I;
+    I.Op = Opcode::Trap;
+    I.Imm = Code;
+    return I;
+  }
+
+  static Instruction rtCall(uint16_t Entry) {
+    Instruction I;
+    I.Op = Opcode::RtCall;
+    I.Imm = Entry;
+    return I;
+  }
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_ISA_INSTRUCTION_H

@@ -1,0 +1,213 @@
+//===- isa/Module.cpp - TBO module format ---------------------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Module.h"
+
+#include "support/ByteStream.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace traceback;
+
+static const std::string UnknownFile = "?";
+static const uint32_t TboMagic = 0x544254AA; // "TBT\xAA"
+static const uint32_t TboVersion = 3;
+
+const Symbol *Module::findSymbol(const std::string &SymName) const {
+  for (const Symbol &S : Symbols)
+    if (S.Name == SymName)
+      return &S;
+  return nullptr;
+}
+
+std::optional<LineEntry> Module::lineForOffset(uint32_t Off) const {
+  // Lines are sorted by offset; find the last entry at or before Off.
+  auto It = std::upper_bound(
+      Lines.begin(), Lines.end(), Off,
+      [](uint32_t O, const LineEntry &E) { return O < E.Offset; });
+  if (It == Lines.begin())
+    return std::nullopt;
+  return *std::prev(It);
+}
+
+const std::string &Module::fileName(uint16_t Index) const {
+  if (Index >= Files.size())
+    return UnknownFile;
+  return Files[Index];
+}
+
+std::optional<EhEntry> Module::handlerForOffset(uint32_t Off) const {
+  // Innermost = smallest covering range.
+  std::optional<EhEntry> Best;
+  for (const EhEntry &E : EhTable) {
+    if (Off < E.Start || Off >= E.End)
+      continue;
+    if (!Best || (E.End - E.Start) < (Best->End - Best->Start))
+      Best = E;
+  }
+  return Best;
+}
+
+std::string Module::functionAtOffset(uint32_t Off) const {
+  const Symbol *Best = nullptr;
+  for (const Symbol &S : Symbols) {
+    if (!S.IsFunction || S.Offset > Off)
+      continue;
+    if (!Best || S.Offset > Best->Offset)
+      Best = &S;
+  }
+  return Best ? Best->Name : std::string("<unknown>");
+}
+
+std::vector<uint8_t> Module::serialize() const {
+  std::vector<uint8_t> Out;
+  ByteWriter W(Out);
+  W.writeU32(TboMagic);
+  W.writeU32(TboVersion);
+  W.writeString(Name);
+  W.writeU8(static_cast<uint8_t>(Tech));
+  W.writeBlob(Code);
+  W.writeBlob(Data);
+
+  W.writeVarU64(Symbols.size());
+  for (const Symbol &S : Symbols) {
+    W.writeString(S.Name);
+    W.writeU32(S.Offset);
+    W.writeU8(static_cast<uint8_t>((S.IsFunction ? 1 : 0) |
+                                   (S.Exported ? 2 : 0)));
+  }
+
+  W.writeVarU64(Imports.size());
+  for (const std::string &I : Imports)
+    W.writeString(I);
+
+  W.writeVarU64(Relocs.size());
+  for (const DataReloc &R : Relocs) {
+    W.writeU32(R.DataOffset);
+    W.writeString(R.SymbolName);
+  }
+
+  W.writeVarU64(CodeRelocs.size());
+  for (const CodeReloc &R : CodeRelocs) {
+    W.writeU32(R.CodeOffset);
+    W.writeString(R.SymbolName);
+    W.writeI64(R.Addend);
+  }
+
+  W.writeVarU64(Files.size());
+  for (const std::string &F : Files)
+    W.writeString(F);
+
+  W.writeVarU64(Lines.size());
+  for (const LineEntry &L : Lines) {
+    W.writeU32(L.Offset);
+    W.writeU16(L.FileIndex);
+    W.writeU32(L.Line);
+  }
+
+  W.writeVarU64(EhTable.size());
+  for (const EhEntry &E : EhTable) {
+    W.writeU32(E.Start);
+    W.writeU32(E.End);
+    W.writeU32(E.Handler);
+  }
+
+  W.writeU8(Instrumented ? 1 : 0);
+  W.writeU32(DagIdBase);
+  W.writeU32(DagIdCount);
+  W.writeU16(TlsSlot);
+  auto WriteOffsets = [&W](const std::vector<uint32_t> &V) {
+    W.writeVarU64(V.size());
+    for (uint32_t O : V)
+      W.writeU32(O);
+  };
+  WriteOffsets(DagRecordFixups);
+  WriteOffsets(LightMaskFixups);
+  WriteOffsets(TlsSlotFixups);
+  W.writeBytes(Checksum.Bytes.data(), Checksum.Bytes.size());
+  return Out;
+}
+
+bool Module::deserialize(const std::vector<uint8_t> &Bytes, Module &Out) {
+  ByteReader R(Bytes);
+  if (R.readU32() != TboMagic || R.readU32() != TboVersion)
+    return false;
+  Out = Module();
+  Out.Name = R.readString();
+  Out.Tech = static_cast<Technology>(R.readU8());
+  Out.Code = R.readBlob();
+  Out.Data = R.readBlob();
+
+  uint64_t NumSymbols = R.readVarU64();
+  for (uint64_t I = 0; I < NumSymbols && !R.failed(); ++I) {
+    Symbol S;
+    S.Name = R.readString();
+    S.Offset = R.readU32();
+    uint8_t Flags = R.readU8();
+    S.IsFunction = Flags & 1;
+    S.Exported = Flags & 2;
+    Out.Symbols.push_back(std::move(S));
+  }
+
+  uint64_t NumImports = R.readVarU64();
+  for (uint64_t I = 0; I < NumImports && !R.failed(); ++I)
+    Out.Imports.push_back(R.readString());
+
+  uint64_t NumRelocs = R.readVarU64();
+  for (uint64_t I = 0; I < NumRelocs && !R.failed(); ++I) {
+    DataReloc Rel;
+    Rel.DataOffset = R.readU32();
+    Rel.SymbolName = R.readString();
+    Out.Relocs.push_back(std::move(Rel));
+  }
+
+  uint64_t NumCodeRelocs = R.readVarU64();
+  for (uint64_t I = 0; I < NumCodeRelocs && !R.failed(); ++I) {
+    CodeReloc Rel;
+    Rel.CodeOffset = R.readU32();
+    Rel.SymbolName = R.readString();
+    Rel.Addend = R.readI64();
+    Out.CodeRelocs.push_back(std::move(Rel));
+  }
+
+  uint64_t NumFiles = R.readVarU64();
+  for (uint64_t I = 0; I < NumFiles && !R.failed(); ++I)
+    Out.Files.push_back(R.readString());
+
+  uint64_t NumLines = R.readVarU64();
+  for (uint64_t I = 0; I < NumLines && !R.failed(); ++I) {
+    LineEntry L;
+    L.Offset = R.readU32();
+    L.FileIndex = R.readU16();
+    L.Line = R.readU32();
+    Out.Lines.push_back(L);
+  }
+
+  uint64_t NumEh = R.readVarU64();
+  for (uint64_t I = 0; I < NumEh && !R.failed(); ++I) {
+    EhEntry E;
+    E.Start = R.readU32();
+    E.End = R.readU32();
+    E.Handler = R.readU32();
+    Out.EhTable.push_back(E);
+  }
+
+  Out.Instrumented = R.readU8() != 0;
+  Out.DagIdBase = R.readU32();
+  Out.DagIdCount = R.readU32();
+  Out.TlsSlot = R.readU16();
+  auto ReadOffsets = [&R](std::vector<uint32_t> &V) {
+    uint64_t N = R.readVarU64();
+    for (uint64_t I = 0; I < N && !R.failed(); ++I)
+      V.push_back(R.readU32());
+  };
+  ReadOffsets(Out.DagRecordFixups);
+  ReadOffsets(Out.LightMaskFixups);
+  ReadOffsets(Out.TlsSlotFixups);
+  R.readBytes(Out.Checksum.Bytes.data(), Out.Checksum.Bytes.size());
+  return !R.failed();
+}

@@ -1,0 +1,152 @@
+//===- isa/Module.h - TBO module format -------------------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TBO ("TraceBack Object") module format: the unit of deployment,
+/// instrumentation and dynamic loading.
+///
+/// A module carries code and data sections, a symbol table, an import
+/// table (bound by the loader), data relocations (for jump tables and
+/// callbacks), a debug line table, an exception-handler table and — after
+/// instrumentation — the default DAG-ID range plus the fixup tables that
+/// let the runtime rebase DAG IDs and the TLS slot at load time
+/// (paper sections 2.3 and 2.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_ISA_MODULE_H
+#define TRACEBACK_ISA_MODULE_H
+
+#include "support/MD5.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// Language technology that produced a module. Native modules are traced
+/// by the shared native runtime; managed modules (the MiniLang "managed"
+/// mode, standing in for Java) get per-line probes and their own runtime
+/// with separate buffers (paper sections 2.4 and 3.3).
+enum class Technology : uint8_t { Native = 0, Managed = 1 };
+
+/// A defined symbol. Function symbols name code offsets; data symbols name
+/// data-section offsets.
+struct Symbol {
+  std::string Name;
+  uint32_t Offset = 0;
+  bool IsFunction = true;
+  bool Exported = false;
+};
+
+/// A data word that must hold the absolute address of a symbol after
+/// loading (jump tables, callback slots).
+struct DataReloc {
+  uint32_t DataOffset = 0;
+  std::string SymbolName;
+};
+
+/// An imm64 operand in the code section (a MovI used as `lea`) that the
+/// loader patches with the absolute address of a symbol. This is how guest
+/// code materializes addresses of data, strings, jump tables and function
+/// pointers — including the callback pattern the paper calls out as the
+/// reason module entry points cannot be enumerated statically (section 2.3).
+struct CodeReloc {
+  uint32_t CodeOffset = 0; ///< Offset of the 8 imm64 bytes, not the opcode.
+  std::string SymbolName;
+  int64_t Addend = 0;
+};
+
+/// Maps a code offset to a source position. Entries are sorted by Offset;
+/// an entry covers bytes up to the next entry.
+struct LineEntry {
+  uint32_t Offset = 0;
+  uint16_t FileIndex = 0;
+  uint32_t Line = 0;
+};
+
+/// One try-range: if a guest exception unwinds to a PC in [Start, End), the
+/// thread resumes at Handler (a code offset in the same function).
+struct EhEntry {
+  uint32_t Start = 0;
+  uint32_t End = 0;
+  uint32_t Handler = 0;
+};
+
+/// Default TLS slot probes are compiled against; rebased at load if taken
+/// (the analog of reserving TLS index 60 at FS:0xF00).
+constexpr uint16_t DefaultTlsSlot = 60;
+
+/// A TBO module.
+class Module {
+public:
+  std::string Name;
+  Technology Tech = Technology::Native;
+
+  std::vector<uint8_t> Code;
+  std::vector<uint8_t> Data;
+
+  std::vector<Symbol> Symbols;
+  std::vector<std::string> Imports;
+  std::vector<DataReloc> Relocs;
+  std::vector<CodeReloc> CodeRelocs;
+
+  std::vector<std::string> Files;
+  std::vector<LineEntry> Lines;
+  std::vector<EhEntry> EhTable;
+
+  // --- Instrumentation products (empty on uninstrumented modules) -------
+
+  bool Instrumented = false;
+  /// Default DAG-ID range assigned at instrumentation time; the runtime may
+  /// rebase it on load.
+  uint32_t DagIdBase = 0;
+  uint32_t DagIdCount = 0;
+  /// TLS slot the probes were compiled against.
+  uint16_t TlsSlot = DefaultTlsSlot;
+  /// Code offsets of the imm32 operand of each heavyweight probe's StM32I
+  /// (the 32-bit DAG record template). Rebasing rewrites these.
+  std::vector<uint32_t> DagRecordFixups;
+  /// Code offsets of the imm32 operand of each lightweight probe's OrM32I.
+  /// Rewritten to zero when a module must fall back to the bad-DAG ID.
+  std::vector<uint32_t> LightMaskFixups;
+  /// Code offsets of the slot16 operand of each probe TlsLd/TlsSt.
+  std::vector<uint32_t> TlsSlotFixups;
+  /// Module checksum (computed over rebase-invariant content, see
+  /// instrument/Checksum.h). Keys mapfile matching and DAG range reuse.
+  MD5Digest Checksum;
+
+  // --- Queries -----------------------------------------------------------
+
+  /// Finds a symbol by name; nullptr if absent.
+  const Symbol *findSymbol(const std::string &SymName) const;
+
+  /// Source position covering code offset \p Off, if the line table has one.
+  std::optional<LineEntry> lineForOffset(uint32_t Off) const;
+
+  /// File name for a line-table file index ("?" when out of range).
+  const std::string &fileName(uint16_t Index) const;
+
+  /// Innermost EH range covering \p Off, if any.
+  std::optional<EhEntry> handlerForOffset(uint32_t Off) const;
+
+  /// Name of the function whose symbol is the greatest one <= \p Off.
+  std::string functionAtOffset(uint32_t Off) const;
+
+  // --- Serialization ------------------------------------------------------
+
+  /// Serializes to the on-disk TBO byte format.
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses a TBO byte image; returns false on malformed input.
+  static bool deserialize(const std::vector<uint8_t> &Bytes, Module &Out);
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_ISA_MODULE_H

@@ -1,0 +1,314 @@
+//===- isa/Opcode.cpp - TB-ISA opcode metadata ----------------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Opcode.h"
+
+#include "isa/Instruction.h"
+#include "support/Text.h"
+
+#include <cassert>
+
+using namespace traceback;
+
+namespace {
+struct OpInfo {
+  const char *Name;
+  OpSig Sig;
+  unsigned Cycles;
+};
+
+const OpInfo InfoTable[NumOpcodes] = {
+#define TB_OP_INFO(Name, Mn, Sig, Cyc) {Mn, OpSig::Sig, Cyc},
+    TB_OPCODES(TB_OP_INFO)
+#undef TB_OP_INFO
+};
+
+const OpInfo &info(Opcode Op) {
+  unsigned Idx = static_cast<unsigned>(Op);
+  assert(Idx < NumOpcodes && "invalid opcode");
+  return InfoTable[Idx];
+}
+} // namespace
+
+const char *traceback::opcodeName(Opcode Op) { return info(Op).Name; }
+OpSig traceback::opcodeSig(Opcode Op) { return info(Op).Sig; }
+unsigned traceback::opcodeCycles(Opcode Op) { return info(Op).Cycles; }
+
+unsigned traceback::opcodeSize(Opcode Op) {
+  switch (opcodeSig(Op)) {
+  case OpSig::None:
+    return 1;
+  case OpSig::R:
+    return 2;
+  case OpSig::RR:
+    return 3;
+  case OpSig::RRR:
+    return 4;
+  case OpSig::RI64:
+    return 10;
+  case OpSig::RI32:
+    return 7;
+  case OpSig::RMem:
+  case OpSig::MemR:
+    return 5;
+  case OpSig::MemI32:
+    return 8;
+  case OpSig::Rel8:
+    return 2;
+  case OpSig::Rel32:
+    return 5;
+  case OpSig::RRel8:
+    return 3;
+  case OpSig::RRel32:
+    return 6;
+  case OpSig::I16:
+    return 3;
+  case OpSig::RSlot:
+    return 4;
+  }
+  assert(false && "unknown signature");
+  return 1;
+}
+
+bool traceback::isTerminator(Opcode Op) {
+  switch (Op) {
+  case Opcode::BrS:
+  case Opcode::BrL:
+  case Opcode::JmpInd:
+  case Opcode::Ret:
+  case Opcode::Halt:
+  case Opcode::Trap:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool traceback::isCondBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::BrzS:
+  case Opcode::BrzL:
+  case Opcode::BrnzS:
+  case Opcode::BrnzL:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool traceback::isRelBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::BrS:
+  case Opcode::BrL:
+  case Opcode::BrzS:
+  case Opcode::BrzL:
+  case Opcode::BrnzS:
+  case Opcode::BrnzL:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool traceback::isCall(Opcode Op) {
+  switch (Op) {
+  case Opcode::Call:
+  case Opcode::CallInd:
+  case Opcode::CallImp:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool traceback::mayFault(Opcode Op) {
+  switch (Op) {
+  case Opcode::Ld:
+  case Opcode::St:
+  case Opcode::Ld8:
+  case Opcode::St8:
+  case Opcode::Ld32:
+  case Opcode::St32:
+  case Opcode::StM32I:
+  case Opcode::OrM32I:
+  case Opcode::Push:
+  case Opcode::Pop:
+  case Opcode::Div:
+  case Opcode::Mod:
+  case Opcode::JmpInd:
+  case Opcode::CallInd:
+  case Opcode::Ret:
+  case Opcode::Trap:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Opcode traceback::toggleBranchForm(Opcode Op) {
+  switch (Op) {
+  case Opcode::BrS:
+    return Opcode::BrL;
+  case Opcode::BrL:
+    return Opcode::BrS;
+  case Opcode::BrzS:
+    return Opcode::BrzL;
+  case Opcode::BrzL:
+    return Opcode::BrzS;
+  case Opcode::BrnzS:
+    return Opcode::BrnzL;
+  case Opcode::BrnzL:
+    return Opcode::BrnzS;
+  default:
+    return Op;
+  }
+}
+
+uint16_t Instruction::regUses() const {
+  auto Bit = [](unsigned R) { return static_cast<uint16_t>(1u << R); };
+  switch (opcodeSig(Op)) {
+  case OpSig::None:
+    if (Op == Opcode::Ret)
+      return Bit(0) | Bit(RegSP); // return value + stack pointer
+    return 0;
+  case OpSig::R:
+    if (Op == Opcode::Pop)
+      return Bit(RegSP);
+    if (Op == Opcode::Push)
+      return Bit(Rd) | Bit(RegSP);
+    // JmpInd / CallInd read their target register (held in Rd).
+    if (Op == Opcode::JmpInd)
+      return Bit(Rd);
+    if (Op == Opcode::CallInd)
+      return static_cast<uint16_t>(Bit(Rd) | Bit(0) | Bit(1) | Bit(2) |
+                                   Bit(3) | Bit(RegSP));
+    return Bit(Rd);
+  case OpSig::RR:
+    return Bit(Rs);
+  case OpSig::RRR:
+    return Bit(Rs) | Bit(Rt);
+  case OpSig::RI64:
+    return 0;
+  case OpSig::RI32:
+    return Bit(Rs);
+  case OpSig::RMem:
+    return Bit(Rs); // base
+  case OpSig::MemR:
+    return Bit(Rd) | Bit(Rs); // base + source
+  case OpSig::MemI32:
+    return Bit(Rd); // base
+  case OpSig::Rel8:
+  case OpSig::Rel32:
+    if (Op == Opcode::Call)
+      return Bit(0) | Bit(1) | Bit(2) | Bit(3) | Bit(RegSP);
+    return 0;
+  case OpSig::RRel8:
+  case OpSig::RRel32:
+    return Bit(Rs);
+  case OpSig::I16:
+    if (Op == Opcode::Sys)
+      return Bit(0) | Bit(1) | Bit(2) | Bit(3);
+    if (Op == Opcode::CallImp)
+      return Bit(0) | Bit(1) | Bit(2) | Bit(3) | Bit(RegSP);
+    if (Op == Opcode::RtCall)
+      return Bit(10) | Bit(11); // probe-helper protocol registers
+    return 0;
+  case OpSig::RSlot:
+    if (Op == Opcode::TlsSt)
+      return Bit(Rd);
+    return 0;
+  }
+  return 0;
+}
+
+uint16_t Instruction::regDefs() const {
+  auto Bit = [](unsigned R) { return static_cast<uint16_t>(1u << R); };
+  // All registers except SP/FP, which are preserved by calling convention.
+  constexpr uint16_t CallClobber =
+      static_cast<uint16_t>(~((1u << RegSP) | (1u << RegFP)) & 0xFFFF);
+  switch (opcodeSig(Op)) {
+  case OpSig::None:
+    return 0;
+  case OpSig::R:
+    if (Op == Opcode::Pop)
+      return Bit(Rd) | Bit(RegSP);
+    if (Op == Opcode::Push)
+      return Bit(RegSP);
+    if (Op == Opcode::CallInd)
+      return CallClobber;
+    return 0; // JmpInd
+  case OpSig::RR:
+  case OpSig::RRR:
+  case OpSig::RI64:
+  case OpSig::RI32:
+  case OpSig::RMem:
+    return Bit(Rd);
+  case OpSig::MemR:
+  case OpSig::MemI32:
+    return 0;
+  case OpSig::Rel8:
+  case OpSig::Rel32:
+    if (Op == Opcode::Call)
+      return CallClobber;
+    return 0;
+  case OpSig::RRel8:
+  case OpSig::RRel32:
+    return 0;
+  case OpSig::I16:
+    if (Op == Opcode::Sys)
+      return Bit(0);
+    if (Op == Opcode::CallImp)
+      return CallClobber;
+    if (Op == Opcode::RtCall)
+      return Bit(10) | Bit(11);
+    return 0;
+  case OpSig::RSlot:
+    if (Op == Opcode::TlsLd)
+      return Bit(Rd);
+    return 0;
+  }
+  return 0;
+}
+
+std::string Instruction::toString() const {
+  switch (opcodeSig(Op)) {
+  case OpSig::None:
+    return opcodeName(Op);
+  case OpSig::R:
+    return formatv("%s r%u", opcodeName(Op), Rd);
+  case OpSig::RR:
+    return formatv("%s r%u, r%u", opcodeName(Op), Rd, Rs);
+  case OpSig::RRR:
+    return formatv("%s r%u, r%u, r%u", opcodeName(Op), Rd, Rs, Rt);
+  case OpSig::RI64:
+    return formatv("%s r%u, %lld", opcodeName(Op), Rd,
+                   static_cast<long long>(Imm));
+  case OpSig::RI32:
+    return formatv("%s r%u, r%u, %lld", opcodeName(Op), Rd, Rs,
+                   static_cast<long long>(Imm));
+  case OpSig::RMem:
+    return formatv("%s r%u, [r%u%+d]", opcodeName(Op), Rd, Rs, Off);
+  case OpSig::MemR:
+    return formatv("%s [r%u%+d], r%u", opcodeName(Op), Rd, Off, Rs);
+  case OpSig::MemI32:
+    return formatv("%s [r%u%+d], 0x%llx", opcodeName(Op), Rd, Off,
+                   static_cast<unsigned long long>(Imm) & 0xFFFFFFFFull);
+  case OpSig::Rel8:
+  case OpSig::Rel32:
+    return formatv("%s %+lld", opcodeName(Op), static_cast<long long>(Imm));
+  case OpSig::RRel8:
+  case OpSig::RRel32:
+    return formatv("%s r%u, %+lld", opcodeName(Op), Rs,
+                   static_cast<long long>(Imm));
+  case OpSig::I16:
+    return formatv("%s %llu", opcodeName(Op),
+                   static_cast<unsigned long long>(Imm));
+  case OpSig::RSlot:
+    return formatv("%s r%u, %llu", opcodeName(Op), Rd,
+                   static_cast<unsigned long long>(Imm));
+  }
+  return "<bad>";
+}

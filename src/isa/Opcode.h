@@ -1,0 +1,167 @@
+//===- isa/Opcode.h - TB-ISA opcode definitions -----------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TB-ISA virtual instruction set.
+///
+/// TB-ISA stands in for the paper's production ISAs (IA32, SPARC). It is a
+/// 16-register machine with variable-length instruction encoding, short and
+/// long branch forms (so the rewriter must solve the span-dependent branch
+/// problem when it inserts probes), one-instruction TLS access (the analog
+/// of `mov eax, fs:[0xF00]`), a read-modify-write OR-to-memory instruction
+/// (the analog of `or [eax], imm`, used by lightweight probes), and a
+/// store-immediate instruction (the analog of `mov [eax], dword imm`, used
+/// by heavyweight probes).
+///
+/// Register conventions:
+///   R0..R3   arguments / R0 return value (caller saved)
+///   R4..R11  temporaries (caller saved; probes prefer R10/R11)
+///   R14      frame pointer (callee saved)
+///   R15      stack pointer
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_ISA_OPCODE_H
+#define TRACEBACK_ISA_OPCODE_H
+
+#include <cstdint>
+
+namespace traceback {
+
+/// Number of general-purpose registers.
+constexpr unsigned NumRegs = 16;
+constexpr unsigned RegFP = 14;
+constexpr unsigned RegSP = 15;
+
+/// Operand encodings. The signature fully determines instruction size and
+/// the generic encoder/decoder.
+enum class OpSig : uint8_t {
+  None,   ///< no operands
+  R,      ///< one register (Rd)
+  RR,     ///< Rd, Rs
+  RRR,    ///< Rd, Rs, Rt
+  RI64,   ///< Rd, 64-bit immediate
+  RI32,   ///< Rd, Rs, 32-bit immediate (ALU-immediate forms)
+  RMem,   ///< Rd, [Rs + off16]  (loads)
+  MemR,   ///< [Rd + off16], Rs  (stores)
+  MemI32, ///< [Rd + off16], imm32 (probe record write / OR)
+  Rel8,   ///< short pc-relative branch
+  Rel32,  ///< long pc-relative branch
+  RRel8,  ///< Rs, short pc-relative branch
+  RRel32, ///< Rs, long pc-relative branch
+  I16,    ///< 16-bit immediate (sys/trap/rtcall/import index)
+  RSlot,  ///< Rd, TLS slot16
+};
+
+// X(Name, Mnemonic, Signature, Cycles)
+//
+// Cycles is the VM cost model: ALU ops 1 cycle, memory 3, RMW 4, control
+// transfers 2, syscalls carry a large fixed cost.  The cost model is what
+// the overhead benchmarks (Tables 1-3) measure against, so probe sequences
+// pay for their loads/stores exactly like original program code does.
+#define TB_OPCODES(X)                                                          \
+  X(Nop, "nop", None, 1)                                                       \
+  X(Halt, "halt", None, 1)                                                     \
+  X(MovI, "movi", RI64, 1)                                                     \
+  X(Mov, "mov", RR, 1)                                                         \
+  X(Add, "add", RRR, 1)                                                        \
+  X(Sub, "sub", RRR, 1)                                                        \
+  X(Mul, "mul", RRR, 3)                                                        \
+  X(Div, "div", RRR, 20)                                                       \
+  X(Mod, "mod", RRR, 20)                                                       \
+  X(And, "and", RRR, 1)                                                        \
+  X(Or, "or", RRR, 1)                                                          \
+  X(Xor, "xor", RRR, 1)                                                        \
+  X(Shl, "shl", RRR, 1)                                                        \
+  X(Shr, "shr", RRR, 1)                                                        \
+  X(AddI, "addi", RI32, 1)                                                     \
+  X(MulI, "muli", RI32, 3)                                                     \
+  X(AndI, "andi", RI32, 1)                                                     \
+  X(OrI, "ori", RI32, 1)                                                       \
+  X(XorI, "xori", RI32, 1)                                                     \
+  X(ShlI, "shli", RI32, 1)                                                     \
+  X(ShrI, "shri", RI32, 1)                                                     \
+  X(CmpEq, "cmpeq", RRR, 1)                                                    \
+  X(CmpNe, "cmpne", RRR, 1)                                                    \
+  X(CmpLt, "cmplt", RRR, 1)                                                    \
+  X(CmpLe, "cmple", RRR, 1)                                                    \
+  X(CmpLtU, "cmpltu", RRR, 1)                                                  \
+  X(Ld, "ld", RMem, 3)                                                         \
+  X(St, "st", MemR, 3)                                                         \
+  X(Ld8, "ld8", RMem, 3)                                                       \
+  X(St8, "st8", MemR, 3)                                                       \
+  X(Ld32, "ld32", RMem, 3)                                                     \
+  X(St32, "st32", MemR, 3)                                                     \
+  X(StM32I, "stm32i", MemI32, 3)                                               \
+  X(OrM32I, "orm32i", MemI32, 4)                                               \
+  X(Push, "push", R, 2)                                                        \
+  X(Pop, "pop", R, 2)                                                          \
+  X(BrS, "br.s", Rel8, 2)                                                      \
+  X(BrL, "br", Rel32, 2)                                                       \
+  X(BrzS, "brz.s", RRel8, 2)                                                   \
+  X(BrzL, "brz", RRel32, 2)                                                    \
+  X(BrnzS, "brnz.s", RRel8, 2)                                                 \
+  X(BrnzL, "brnz", RRel32, 2)                                                  \
+  X(JmpInd, "jmpind", R, 2)                                                    \
+  X(Call, "call", Rel32, 2)                                                    \
+  X(CallInd, "callind", R, 3)                                                  \
+  X(CallImp, "callimp", I16, 3)                                                \
+  X(Ret, "ret", None, 2)                                                       \
+  X(TlsLd, "tlsld", RSlot, 2)                                                  \
+  X(TlsSt, "tlsst", RSlot, 2)                                                  \
+  X(Sys, "sys", I16, 40)                                                       \
+  X(Trap, "trap", I16, 2)                                                      \
+  X(RtCall, "rtcall", I16, 8)
+
+/// TB-ISA opcodes.
+enum class Opcode : uint8_t {
+#define TB_OP_ENUM(Name, Mn, Sig, Cyc) Name,
+  TB_OPCODES(TB_OP_ENUM)
+#undef TB_OP_ENUM
+};
+
+constexpr unsigned NumOpcodes = 0
+#define TB_OP_COUNT(Name, Mn, Sig, Cyc) +1
+    TB_OPCODES(TB_OP_COUNT)
+#undef TB_OP_COUNT
+    ;
+
+/// Textual mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// Operand signature of \p Op.
+OpSig opcodeSig(Opcode Op);
+
+/// VM cost in cycles of \p Op (taken branches pay one extra cycle).
+unsigned opcodeCycles(Opcode Op);
+
+/// Encoded size in bytes of an instruction with opcode \p Op.
+unsigned opcodeSize(Opcode Op);
+
+/// True for unconditional control transfers that end a basic block with no
+/// fall-through (Br*, JmpInd, Ret, Halt, Trap).
+bool isTerminator(Opcode Op);
+
+/// True for conditional branches (fall-through plus taken target).
+bool isCondBranch(Opcode Op);
+
+/// True for any pc-relative branch (conditional or not).
+bool isRelBranch(Opcode Op);
+
+/// True for Call/CallInd/CallImp. RtCall and Sys are host traps that always
+/// return to the next instruction and are not calls for CFG purposes.
+bool isCall(Opcode Op);
+
+/// True if executing the instruction can raise a guest fault.
+bool mayFault(Opcode Op);
+
+/// Returns the long form of a short branch, the short form of a long one,
+/// or \p Op itself if it is not a relaxable branch.
+Opcode toggleBranchForm(Opcode Op);
+
+} // namespace traceback
+
+#endif // TRACEBACK_ISA_OPCODE_H

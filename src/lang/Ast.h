@@ -1,0 +1,115 @@
+//===- lang/Ast.h - MiniLang abstract syntax tree ---------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniLang AST. MiniLang is the source language used to author the
+/// workloads and crash scenarios this repo traces — it plays the role of
+/// the paper's C/C++ (native technology) and Java (managed technology)
+/// sources. It compiles to TB-ISA with a full line table, so reconstructed
+/// traces can be checked against the original source line-by-line.
+///
+/// Shape: integer-only expressions, `var` locals, if/else, while, for,
+/// functions (<= 4 parameters), try/catch, `throw <const>`, calls to local
+/// functions, imports and builtins (syscall wrappers, raw memory access,
+/// function pointers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_LANG_AST_H
+#define TRACEBACK_LANG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace traceback {
+namespace minilang {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or, Xor, Shl, Shr,
+  LogAnd, LogOr,
+};
+
+enum class UnOp { Neg, Not };
+
+struct Expr {
+  enum class Kind {
+    IntLit,
+    StrLit,   ///< Evaluates to the address of a NUL-terminated literal.
+    VarRef,
+    Binary,
+    Unary,
+    Call,     ///< Local function, import or builtin.
+    Index,    ///< base[idx] — 64-bit word at base + idx * 8.
+    AddrOf,   ///< addr_of(fn) — function address (callback material).
+  };
+
+  Kind ExprKind;
+  uint32_t Line = 0;
+
+  int64_t IntValue = 0;       // IntLit.
+  std::string Name;           // VarRef / Call / AddrOf / StrLit payload.
+  BinOp Bin = BinOp::Add;     // Binary.
+  UnOp Un = UnOp::Neg;        // Unary.
+  ExprPtr Lhs, Rhs;           // Binary / Index (base, idx).
+  ExprPtr Operand;            // Unary.
+  std::vector<ExprPtr> Args;  // Call.
+};
+
+struct Stmt {
+  enum class Kind {
+    VarDecl,  ///< var name = expr;
+    Assign,   ///< name = expr;
+    Store,    ///< base[idx] = expr;
+    If,
+    While,
+    For,
+    Return,
+    Throw,    ///< throw <int const>;
+    TryCatch,
+    ExprStmt,
+    Block,
+  };
+
+  Kind StmtKind;
+  uint32_t Line = 0;
+
+  std::string Name;                 // VarDecl / Assign.
+  ExprPtr Value;                    // VarDecl / Assign / Return / ExprStmt.
+  ExprPtr Base, Index;              // Store.
+  ExprPtr Cond;                     // If / While / For.
+  StmtPtr Init, Step;               // For.
+  std::vector<StmtPtr> Body;        // Block-like bodies.
+  std::vector<StmtPtr> ElseBody;    // If else / TryCatch handler.
+  int64_t ThrowCode = 0;            // Throw.
+};
+
+struct Function {
+  std::string Name;
+  std::vector<std::string> Params;
+  bool Exported = false;
+  uint32_t Line = 0;
+  std::vector<StmtPtr> Body;
+};
+
+struct Program {
+  std::string FileName;
+  std::vector<std::string> Imports;
+  std::vector<Function> Functions;
+};
+
+} // namespace minilang
+} // namespace traceback
+
+#endif // TRACEBACK_LANG_AST_H

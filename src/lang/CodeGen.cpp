@@ -1,0 +1,609 @@
+//===- lang/CodeGen.cpp - MiniLang code generation -------------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/CodeGen.h"
+
+#include "isa/Builder.h"
+#include "lang/Parser.h"
+#include "support/Text.h"
+#include "vm/Syscalls.h"
+
+#include <cassert>
+#include <map>
+
+using namespace traceback;
+using namespace traceback::minilang;
+
+namespace {
+
+// Expression scratch registers.
+constexpr unsigned RA = 4;
+constexpr unsigned RB = 5;
+constexpr unsigned RC = 6;
+
+class FunctionCodeGen {
+public:
+  FunctionCodeGen(ModuleBuilder &B, const Program &Prog, const Function &F,
+                  std::map<std::string, Label> &FuncLabels,
+                  uint16_t FileIdx, std::string &Error)
+      : B(B), Prog(Prog), F(F), FuncLabels(FuncLabels), FileIdx(FileIdx),
+        Error(Error) {}
+
+  bool run() {
+    collectLocals(F.Body);
+    for (const std::string &P : F.Params)
+      slotOf(P);
+
+    B.setLine(FileIdx, F.Line);
+    B.bind(FuncLabels.at(F.Name));
+    B.beginFunction(F.Name, F.Exported);
+
+    // Prologue.
+    B.emit(Instruction::push(RegFP));
+    B.emit(Instruction::mov(RegFP, RegSP));
+    FrameBytes = static_cast<int32_t>(Slots.size()) * 8;
+    if (FrameBytes != 0)
+      B.emit(Instruction::aluI(Opcode::AddI, RegSP, RegSP, -FrameBytes));
+    for (size_t I = 0; I < F.Params.size(); ++I)
+      B.emit(Instruction::store(Opcode::St, RegFP,
+                                slotOffset(F.Params[I]),
+                                static_cast<unsigned>(I)));
+
+    for (const StmtPtr &S : F.Body)
+      if (!genStmt(*S))
+        return false;
+
+    // Implicit `return 0`.
+    B.emit(Instruction::movI(0, 0));
+    genEpilogue();
+    return true;
+  }
+
+private:
+  bool fail(uint32_t Line, const std::string &Msg) {
+    Error = formatv("%s:%u: %s", Prog.FileName.c_str(), Line, Msg.c_str());
+    return false;
+  }
+
+  void collectLocals(const std::vector<StmtPtr> &Body) {
+    for (const StmtPtr &S : Body) {
+      if (S->StmtKind == Stmt::Kind::VarDecl)
+        slotOf(S->Name);
+      if (S->Init)
+        if (S->Init->StmtKind == Stmt::Kind::VarDecl)
+          slotOf(S->Init->Name);
+      collectLocals(S->Body);
+      collectLocals(S->ElseBody);
+    }
+  }
+
+  int slotOf(const std::string &Name) {
+    auto It = Slots.find(Name);
+    if (It != Slots.end())
+      return It->second;
+    int Slot = static_cast<int>(Slots.size());
+    Slots.emplace(Name, Slot);
+    return Slot;
+  }
+
+  bool hasSlot(const std::string &Name) const { return Slots.count(Name); }
+
+  int32_t slotOffset(const std::string &Name) {
+    return -8 * (slotOf(Name) + 1);
+  }
+
+  void genEpilogue() {
+    B.emit(Instruction::mov(RegSP, RegFP));
+    B.emit(Instruction::pop(RegFP));
+    B.emit(Instruction::ret());
+  }
+
+  /// Renormalizes SP from FP (exception handler entry).
+  void genSpReset() {
+    B.emit(Instruction::mov(RegSP, RegFP));
+    if (FrameBytes != 0)
+      B.emit(Instruction::aluI(Opcode::AddI, RegSP, RegSP, -FrameBytes));
+  }
+
+  // --- Statements ---------------------------------------------------------
+
+  bool genStmt(const Stmt &S) {
+    B.setLine(FileIdx, S.Line);
+    switch (S.StmtKind) {
+    case Stmt::Kind::VarDecl:
+    case Stmt::Kind::Assign: {
+      if (S.StmtKind == Stmt::Kind::Assign && !hasSlot(S.Name))
+        return fail(S.Line, "assignment to undeclared variable " + S.Name);
+      if (!genExpr(*S.Value))
+        return false;
+      B.emit(Instruction::pop(RA));
+      B.emit(Instruction::store(Opcode::St, RegFP, slotOffset(S.Name), RA));
+      return true;
+    }
+    case Stmt::Kind::Store: {
+      if (!genExpr(*S.Base) || !genExpr(*S.Index) || !genExpr(*S.Value))
+        return false;
+      B.emit(Instruction::pop(RC)); // Value.
+      B.emit(Instruction::pop(RB)); // Index.
+      B.emit(Instruction::pop(RA)); // Base.
+      B.emit(Instruction::aluI(Opcode::ShlI, RB, RB, 3));
+      B.emit(Instruction::alu(Opcode::Add, RA, RA, RB));
+      B.emit(Instruction::store(Opcode::St, RA, 0, RC));
+      return true;
+    }
+    case Stmt::Kind::If: {
+      Label Else = B.makeLabel();
+      Label End = B.makeLabel();
+      if (!genExpr(*S.Cond))
+        return false;
+      B.emit(Instruction::pop(RA));
+      B.emitBrCond(Opcode::BrzL, RA, Else);
+      for (const StmtPtr &T : S.Body)
+        if (!genStmt(*T))
+          return false;
+      B.emitBr(End);
+      B.bind(Else);
+      for (const StmtPtr &T : S.ElseBody)
+        if (!genStmt(*T))
+          return false;
+      B.bind(End);
+      return true;
+    }
+    case Stmt::Kind::While: {
+      Label Head = B.makeLabel();
+      Label End = B.makeLabel();
+      B.bind(Head);
+      B.setLine(FileIdx, S.Line);
+      if (!genExpr(*S.Cond))
+        return false;
+      B.emit(Instruction::pop(RA));
+      B.emitBrCond(Opcode::BrzL, RA, End);
+      for (const StmtPtr &T : S.Body)
+        if (!genStmt(*T))
+          return false;
+      B.emitBr(Head);
+      B.bind(End);
+      return true;
+    }
+    case Stmt::Kind::For: {
+      Label Head = B.makeLabel();
+      Label End = B.makeLabel();
+      if (S.Init && !genStmt(*S.Init))
+        return false;
+      B.bind(Head);
+      B.setLine(FileIdx, S.Line);
+      if (!genExpr(*S.Cond))
+        return false;
+      B.emit(Instruction::pop(RA));
+      B.emitBrCond(Opcode::BrzL, RA, End);
+      for (const StmtPtr &T : S.Body)
+        if (!genStmt(*T))
+          return false;
+      if (S.Step && !genStmt(*S.Step))
+        return false;
+      B.emitBr(Head);
+      B.bind(End);
+      return true;
+    }
+    case Stmt::Kind::Return: {
+      if (S.Value) {
+        if (!genExpr(*S.Value))
+          return false;
+        B.emit(Instruction::pop(0));
+      } else {
+        B.emit(Instruction::movI(0, 0));
+      }
+      genEpilogue();
+      return true;
+    }
+    case Stmt::Kind::Throw:
+      B.emit(Instruction::trap(static_cast<uint16_t>(S.ThrowCode)));
+      return true;
+    case Stmt::Kind::TryCatch: {
+      Label TryStart = B.makeLabel();
+      Label TryEnd = B.makeLabel();
+      Label Handler = B.makeLabel();
+      Label After = B.makeLabel();
+      B.bind(TryStart);
+      for (const StmtPtr &T : S.Body)
+        if (!genStmt(*T))
+          return false;
+      B.bind(TryEnd);
+      B.emitBr(After);
+      B.bind(Handler);
+      // A catch clause entry is a fresh external entry point (section
+      // 2.4); SP is renormalized from FP because the unwinder restored FP
+      // only.
+      genSpReset();
+      for (const StmtPtr &T : S.ElseBody)
+        if (!genStmt(*T))
+          return false;
+      B.bind(After);
+      B.addEhRange(TryStart, TryEnd, Handler);
+      return true;
+    }
+    case Stmt::Kind::ExprStmt:
+      if (!genExpr(*S.Value))
+        return false;
+      B.emit(Instruction::pop(RA)); // Discard.
+      return true;
+    case Stmt::Kind::Block:
+      for (const StmtPtr &T : S.Body)
+        if (!genStmt(*T))
+          return false;
+      return true;
+    }
+    return fail(S.Line, "unhandled statement kind");
+  }
+
+  // --- Expressions (stack machine: each genExpr pushes one value) --------
+
+  bool genExpr(const Expr &E) {
+    switch (E.ExprKind) {
+    case Expr::Kind::IntLit:
+      B.emit(Instruction::movI(RA, E.IntValue));
+      B.emit(Instruction::push(RA));
+      return true;
+    case Expr::Kind::StrLit: {
+      std::string Sym = formatv("__str_%u", StrCounter++);
+      B.defineDataSymbol(Sym, /*Exported=*/false);
+      B.addDataString(E.Name);
+      B.emitLea(RA, Sym);
+      B.emit(Instruction::push(RA));
+      return true;
+    }
+    case Expr::Kind::VarRef:
+      if (!hasSlot(E.Name))
+        return fail(E.Line, "use of undeclared variable " + E.Name);
+      B.emit(Instruction::load(Opcode::Ld, RA, RegFP, slotOffset(E.Name)));
+      B.emit(Instruction::push(RA));
+      return true;
+    case Expr::Kind::Unary:
+      if (!genExpr(*E.Operand))
+        return false;
+      B.emit(Instruction::pop(RA));
+      B.emit(Instruction::movI(RB, 0));
+      if (E.Un == UnOp::Neg)
+        B.emit(Instruction::alu(Opcode::Sub, RA, RB, RA));
+      else
+        B.emit(Instruction::alu(Opcode::CmpEq, RA, RA, RB));
+      B.emit(Instruction::push(RA));
+      return true;
+    case Expr::Kind::Binary:
+      return genBinary(E);
+    case Expr::Kind::Index:
+      if (!genExpr(*E.Lhs) || !genExpr(*E.Rhs))
+        return false;
+      B.emit(Instruction::pop(RB));
+      B.emit(Instruction::pop(RA));
+      B.emit(Instruction::aluI(Opcode::ShlI, RB, RB, 3));
+      B.emit(Instruction::alu(Opcode::Add, RA, RA, RB));
+      B.emit(Instruction::load(Opcode::Ld, RA, RA, 0));
+      B.emit(Instruction::push(RA));
+      return true;
+    case Expr::Kind::Call:
+      return genCall(E);
+    case Expr::Kind::AddrOf:
+      B.emitLea(RA, E.Name);
+      B.emit(Instruction::push(RA));
+      return true;
+    }
+    return fail(E.Line, "unhandled expression kind");
+  }
+
+  bool genBinary(const Expr &E) {
+    // Short-circuit forms need control flow.
+    if (E.Bin == BinOp::LogAnd || E.Bin == BinOp::LogOr) {
+      Label Short = B.makeLabel();
+      Label End = B.makeLabel();
+      bool IsAnd = E.Bin == BinOp::LogAnd;
+      if (!genExpr(*E.Lhs))
+        return false;
+      B.emit(Instruction::pop(RA));
+      B.emitBrCond(IsAnd ? Opcode::BrzL : Opcode::BrnzL, RA, Short);
+      if (!genExpr(*E.Rhs))
+        return false;
+      B.emit(Instruction::pop(RA));
+      B.emit(Instruction::movI(RB, 0));
+      B.emit(Instruction::alu(Opcode::CmpNe, RA, RA, RB));
+      B.emit(Instruction::push(RA));
+      B.emitBr(End);
+      B.bind(Short);
+      B.emit(Instruction::movI(RA, IsAnd ? 0 : 1));
+      B.emit(Instruction::push(RA));
+      B.bind(End);
+      return true;
+    }
+
+    if (!genExpr(*E.Lhs) || !genExpr(*E.Rhs))
+      return false;
+    B.emit(Instruction::pop(RB));
+    B.emit(Instruction::pop(RA));
+    switch (E.Bin) {
+    case BinOp::Add:
+      B.emit(Instruction::alu(Opcode::Add, RA, RA, RB));
+      break;
+    case BinOp::Sub:
+      B.emit(Instruction::alu(Opcode::Sub, RA, RA, RB));
+      break;
+    case BinOp::Mul:
+      B.emit(Instruction::alu(Opcode::Mul, RA, RA, RB));
+      break;
+    case BinOp::Div:
+      B.emit(Instruction::alu(Opcode::Div, RA, RA, RB));
+      break;
+    case BinOp::Mod:
+      B.emit(Instruction::alu(Opcode::Mod, RA, RA, RB));
+      break;
+    case BinOp::Eq:
+      B.emit(Instruction::alu(Opcode::CmpEq, RA, RA, RB));
+      break;
+    case BinOp::Ne:
+      B.emit(Instruction::alu(Opcode::CmpNe, RA, RA, RB));
+      break;
+    case BinOp::Lt:
+      B.emit(Instruction::alu(Opcode::CmpLt, RA, RA, RB));
+      break;
+    case BinOp::Le:
+      B.emit(Instruction::alu(Opcode::CmpLe, RA, RA, RB));
+      break;
+    case BinOp::Gt:
+      B.emit(Instruction::alu(Opcode::CmpLt, RA, RB, RA));
+      break;
+    case BinOp::Ge:
+      B.emit(Instruction::alu(Opcode::CmpLe, RA, RB, RA));
+      break;
+    case BinOp::And:
+      B.emit(Instruction::alu(Opcode::And, RA, RA, RB));
+      break;
+    case BinOp::Or:
+      B.emit(Instruction::alu(Opcode::Or, RA, RA, RB));
+      break;
+    case BinOp::Xor:
+      B.emit(Instruction::alu(Opcode::Xor, RA, RA, RB));
+      break;
+    case BinOp::Shl:
+      B.emit(Instruction::alu(Opcode::Shl, RA, RA, RB));
+      break;
+    case BinOp::Shr:
+      B.emit(Instruction::alu(Opcode::Shr, RA, RA, RB));
+      break;
+    case BinOp::LogAnd:
+    case BinOp::LogOr:
+      break; // Handled above.
+    }
+    B.emit(Instruction::push(RA));
+    return true;
+  }
+
+  /// Pops \p N argument values into R(N-1)..R0.
+  void popArgs(size_t N) {
+    for (size_t I = N; I-- > 0;)
+      B.emit(Instruction::pop(static_cast<unsigned>(I)));
+  }
+
+  bool genArgs(const Expr &E, size_t Expected) {
+    if (E.Args.size() != Expected)
+      return fail(E.Line, formatv("%s expects %zu argument(s)",
+                                  E.Name.c_str(), Expected));
+    for (const ExprPtr &A : E.Args)
+      if (!genExpr(*A))
+        return false;
+    return true;
+  }
+
+  bool genSysCall(const Expr &E, uint16_t No, size_t Args) {
+    if (!genArgs(E, Args))
+      return false;
+    popArgs(Args);
+    B.emit(Instruction::sys(No));
+    B.emit(Instruction::push(0));
+    return true;
+  }
+
+  bool genCall(const Expr &E) {
+    B.setLine(FileIdx, E.Line);
+    const std::string &N = E.Name;
+
+    // Builtins.
+    if (N == "print")
+      return genSysCall(E, SysPrintInt, 1);
+    if (N == "prints")
+      return genSysCall(E, SysPrintStr, 1);
+    if (N == "printc")
+      return genSysCall(E, SysPrintChar, 1);
+    if (N == "alloc")
+      return genSysCall(E, SysAlloc, 1);
+    if (N == "sleep")
+      return genSysCall(E, SysSleep, 1);
+    if (N == "now")
+      return genSysCall(E, SysNow, 0);
+    if (N == "rand")
+      return genSysCall(E, SysRand, 0);
+    if (N == "yield")
+      return genSysCall(E, SysYield, 0);
+    if (N == "exit")
+      return genSysCall(E, SysExit, 1);
+    if (N == "snap")
+      return genSysCall(E, SysSnap, 1);
+    if (N == "raise")
+      return genSysCall(E, SysRaise, 1);
+    if (N == "lock")
+      return genSysCall(E, SysLock, 1);
+    if (N == "unlock")
+      return genSysCall(E, SysUnlock, 1);
+    if (N == "join")
+      return genSysCall(E, SysThreadJoin, 1);
+    if (N == "spawn")
+      return genSysCall(E, SysThreadSpawn, 2);
+    if (N == "ioread")
+      return genSysCall(E, SysIoRead, 1);
+    if (N == "iowrite")
+      return genSysCall(E, SysIoWrite, 1);
+    if (N == "srv_register")
+      return genSysCall(E, SysSrvRegister, 1);
+    if (N == "rpc")
+      return genSysCall(E, SysRpcCall, 4);
+    if (N == "rpc_reply")
+      return genSysCall(E, SysRpcReply, 3);
+    if (N == "sighandler")
+      return genSysCall(E, SysSigHandler, 2);
+
+    if (N == "rpc_recv") {
+      // rpc_recv(buf, cap, lenptr) -> request id; *lenptr = length.
+      if (!genArgs(E, 3))
+        return false;
+      B.emit(Instruction::pop(RC)); // lenptr.
+      B.emit(Instruction::pop(1));
+      B.emit(Instruction::pop(0));
+      B.emit(Instruction::sys(SysRpcRecv));
+      B.emit(Instruction::store(Opcode::St, RC, 0, 1));
+      B.emit(Instruction::push(0));
+      return true;
+    }
+    if (N == "load") {
+      if (!genArgs(E, 1))
+        return false;
+      B.emit(Instruction::pop(RA));
+      B.emit(Instruction::load(Opcode::Ld, RA, RA, 0));
+      B.emit(Instruction::push(RA));
+      return true;
+    }
+    if (N == "store") {
+      if (!genArgs(E, 2))
+        return false;
+      B.emit(Instruction::pop(RB));
+      B.emit(Instruction::pop(RA));
+      B.emit(Instruction::store(Opcode::St, RA, 0, RB));
+      B.emit(Instruction::push(RB));
+      return true;
+    }
+    if (N == "loadb") {
+      if (!genArgs(E, 1))
+        return false;
+      B.emit(Instruction::pop(RA));
+      B.emit(Instruction::load(Opcode::Ld8, RA, RA, 0));
+      B.emit(Instruction::push(RA));
+      return true;
+    }
+    if (N == "storeb") {
+      if (!genArgs(E, 2))
+        return false;
+      B.emit(Instruction::pop(RB));
+      B.emit(Instruction::pop(RA));
+      B.emit(Instruction::store(Opcode::St8, RA, 0, RB));
+      B.emit(Instruction::push(RB));
+      return true;
+    }
+    if (N == "addr_of") {
+      if (E.Args.size() != 1 ||
+          E.Args[0]->ExprKind != Expr::Kind::VarRef)
+        return fail(E.Line, "addr_of takes a function name");
+      B.emitLea(RA, E.Args[0]->Name);
+      B.emit(Instruction::push(RA));
+      return true;
+    }
+    if (N == "callptr") {
+      // callptr(p, args...) — indirect call through a function pointer.
+      if (E.Args.empty() || E.Args.size() > 5)
+        return fail(E.Line, "callptr takes a pointer and up to 4 args");
+      for (const ExprPtr &A : E.Args)
+        if (!genExpr(*A))
+          return false;
+      size_t NArgs = E.Args.size() - 1;
+      popArgs(NArgs); // Arguments into R0..R(N-1).
+      // The pointer was pushed first, so it surfaces after the arguments.
+      B.emit(Instruction::pop(RC));
+      B.emit(Instruction::callInd(RC));
+      B.emit(Instruction::push(0));
+      return true;
+    }
+
+    // Local functions.
+    if (auto It = FuncLabels.find(N); It != FuncLabels.end()) {
+      if (!genArgs(E, E.Args.size()))
+        return false;
+      if (E.Args.size() > 4)
+        return fail(E.Line, "at most 4 call arguments");
+      popArgs(E.Args.size());
+      B.emitCall(It->second);
+      B.emit(Instruction::push(0));
+      return true;
+    }
+
+    // Imports.
+    for (const std::string &Imp : Prog.Imports) {
+      if (Imp != N)
+        continue;
+      if (E.Args.size() > 4)
+        return fail(E.Line, "at most 4 call arguments");
+      for (const ExprPtr &A : E.Args)
+        if (!genExpr(*A))
+          return false;
+      popArgs(E.Args.size());
+      B.emitCallImport(N);
+      B.emit(Instruction::push(0));
+      return true;
+    }
+
+    return fail(E.Line, "call to unknown function " + N);
+  }
+
+  ModuleBuilder &B;
+  const Program &Prog;
+  const Function &F;
+  std::map<std::string, Label> &FuncLabels;
+  uint16_t FileIdx;
+  std::string &Error;
+
+  std::map<std::string, int> Slots;
+  int32_t FrameBytes = 0;
+  static uint32_t StrCounter;
+};
+
+uint32_t FunctionCodeGen::StrCounter = 0;
+
+} // namespace
+
+bool traceback::minilang::compileProgram(const Program &Prog,
+                                         const std::string &ModuleName,
+                                         Technology Tech, Module &Out,
+                                         std::string &Error) {
+  ModuleBuilder B(ModuleName, Tech);
+  uint16_t FileIdx = B.fileIndex(Prog.FileName);
+
+  std::map<std::string, Label> FuncLabels;
+  for (const Function &F : Prog.Functions) {
+    if (FuncLabels.count(F.Name)) {
+      Error = formatv("%s: duplicate function %s", Prog.FileName.c_str(),
+                      F.Name.c_str());
+      return false;
+    }
+    FuncLabels.emplace(F.Name, B.makeLabel());
+  }
+
+  for (const Function &F : Prog.Functions) {
+    FunctionCodeGen Gen(B, Prog, F, FuncLabels, FileIdx, Error);
+    if (!Gen.run())
+      return false;
+  }
+
+  if (!B.finalize(Out, Error))
+    return false;
+  Out.Tech = Tech;
+  return true;
+}
+
+bool traceback::minilang::compileMiniLang(const std::string &Source,
+                                          const std::string &FileName,
+                                          const std::string &ModuleName,
+                                          Technology Tech, Module &Out,
+                                          std::string &Error) {
+  Program Prog;
+  if (!parseProgram(Source, FileName, Prog, Error))
+    return false;
+  return compileProgram(Prog, ModuleName, Tech, Out, Error);
+}

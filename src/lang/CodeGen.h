@@ -1,0 +1,40 @@
+//===- lang/CodeGen.h - MiniLang code generation ----------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a MiniLang program to a TB-ISA module with a full line table and
+/// EH ranges. The generated code uses a frame-pointer discipline (push fp;
+/// mov fp, sp; sp -= frame) and a stack-machine expression strategy, so
+/// exception handlers can renormalize SP from FP — which is what lets the
+/// VM unwinder resume at catch blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_LANG_CODEGEN_H
+#define TRACEBACK_LANG_CODEGEN_H
+
+#include "isa/Module.h"
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace traceback {
+namespace minilang {
+
+/// Compiles \p Prog into \p Out. \p Tech selects the module technology
+/// (Managed modules are later instrumented with per-line path bits).
+bool compileProgram(const Program &Prog, const std::string &ModuleName,
+                    Technology Tech, Module &Out, std::string &Error);
+
+/// Convenience: parse + compile in one step.
+bool compileMiniLang(const std::string &Source, const std::string &FileName,
+                     const std::string &ModuleName, Technology Tech,
+                     Module &Out, std::string &Error);
+
+} // namespace minilang
+} // namespace traceback
+
+#endif // TRACEBACK_LANG_CODEGEN_H

@@ -1,0 +1,718 @@
+//===- lang/Parser.cpp - MiniLang lexer and parser ------------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "support/Text.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace traceback;
+using namespace traceback::minilang;
+
+namespace {
+
+enum class Tok : uint8_t {
+  End, Ident, Int, Str,
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Assign,
+  Plus, Minus, Star, Slash, Percent,
+  EqEq, NotEq, Lt, Le, Gt, Ge,
+  Amp, Pipe, Caret, Shl, Shr, AmpAmp, PipePipe, Bang,
+  KwFn, KwVar, KwIf, KwElse, KwWhile, KwFor, KwReturn, KwThrow, KwTry,
+  KwCatch, KwImport, KwExport,
+};
+
+struct Token {
+  Tok Kind = Tok::End;
+  std::string Text;
+  int64_t IntValue = 0;
+  uint32_t Line = 1;
+};
+
+class Lexer {
+public:
+  Lexer(const std::string &Source) : Src(Source) {}
+
+  bool next(Token &Out, std::string &Error) {
+    skipSpace();
+    Out = Token();
+    Out.Line = Line;
+    if (Pos >= Src.size()) {
+      Out.Kind = Tok::End;
+      return true;
+    }
+    char C = Src[Pos];
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '_'))
+        ++Pos;
+      Out.Text = Src.substr(Start, Pos - Start);
+      Out.Kind = keyword(Out.Text);
+      return true;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      if (C == '0' && Pos + 1 < Src.size() &&
+          (Src[Pos + 1] == 'x' || Src[Pos + 1] == 'X')) {
+        Pos += 2;
+        while (Pos < Src.size() &&
+               std::isxdigit(static_cast<unsigned char>(Src[Pos])))
+          ++Pos;
+      } else {
+        while (Pos < Src.size() &&
+               std::isdigit(static_cast<unsigned char>(Src[Pos])))
+          ++Pos;
+      }
+      Out.Kind = Tok::Int;
+      int64_t V;
+      if (!parseInt(Src.substr(Start, Pos - Start), V)) {
+        Error = formatv("line %u: bad integer literal", Out.Line);
+        return false;
+      }
+      Out.IntValue = V;
+      return true;
+    }
+    if (C == '"') {
+      ++Pos;
+      std::string S;
+      while (Pos < Src.size() && Src[Pos] != '"') {
+        char D = Src[Pos++];
+        if (D == '\\' && Pos < Src.size()) {
+          char E = Src[Pos++];
+          D = E == 'n' ? '\n' : E == 't' ? '\t' : E;
+        }
+        S.push_back(D);
+      }
+      if (Pos >= Src.size()) {
+        Error = formatv("line %u: unterminated string", Out.Line);
+        return false;
+      }
+      ++Pos;
+      Out.Kind = Tok::Str;
+      Out.Text = std::move(S);
+      return true;
+    }
+
+    ++Pos;
+    auto Two = [&](char Next, Tok IfTwo, Tok IfOne) {
+      if (Pos < Src.size() && Src[Pos] == Next) {
+        ++Pos;
+        Out.Kind = IfTwo;
+      } else {
+        Out.Kind = IfOne;
+      }
+      return true;
+    };
+    switch (C) {
+    case '(':
+      Out.Kind = Tok::LParen;
+      return true;
+    case ')':
+      Out.Kind = Tok::RParen;
+      return true;
+    case '{':
+      Out.Kind = Tok::LBrace;
+      return true;
+    case '}':
+      Out.Kind = Tok::RBrace;
+      return true;
+    case '[':
+      Out.Kind = Tok::LBracket;
+      return true;
+    case ']':
+      Out.Kind = Tok::RBracket;
+      return true;
+    case ';':
+      Out.Kind = Tok::Semi;
+      return true;
+    case ',':
+      Out.Kind = Tok::Comma;
+      return true;
+    case '+':
+      Out.Kind = Tok::Plus;
+      return true;
+    case '-':
+      Out.Kind = Tok::Minus;
+      return true;
+    case '*':
+      Out.Kind = Tok::Star;
+      return true;
+    case '/':
+      Out.Kind = Tok::Slash;
+      return true;
+    case '%':
+      Out.Kind = Tok::Percent;
+      return true;
+    case '^':
+      Out.Kind = Tok::Caret;
+      return true;
+    case '=':
+      return Two('=', Tok::EqEq, Tok::Assign);
+    case '!':
+      return Two('=', Tok::NotEq, Tok::Bang);
+    case '<':
+      if (Pos < Src.size() && Src[Pos] == '<') {
+        ++Pos;
+        Out.Kind = Tok::Shl;
+        return true;
+      }
+      return Two('=', Tok::Le, Tok::Lt);
+    case '>':
+      if (Pos < Src.size() && Src[Pos] == '>') {
+        ++Pos;
+        Out.Kind = Tok::Shr;
+        return true;
+      }
+      return Two('=', Tok::Ge, Tok::Gt);
+    case '&':
+      return Two('&', Tok::AmpAmp, Tok::Amp);
+    case '|':
+      return Two('|', Tok::PipePipe, Tok::Pipe);
+    default:
+      Error = formatv("line %u: unexpected character '%c'", Out.Line, C);
+      return false;
+    }
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  static Tok keyword(const std::string &S) {
+    if (S == "fn")
+      return Tok::KwFn;
+    if (S == "var")
+      return Tok::KwVar;
+    if (S == "if")
+      return Tok::KwIf;
+    if (S == "else")
+      return Tok::KwElse;
+    if (S == "while")
+      return Tok::KwWhile;
+    if (S == "for")
+      return Tok::KwFor;
+    if (S == "return")
+      return Tok::KwReturn;
+    if (S == "throw")
+      return Tok::KwThrow;
+    if (S == "try")
+      return Tok::KwTry;
+    if (S == "catch")
+      return Tok::KwCatch;
+    if (S == "import")
+      return Tok::KwImport;
+    if (S == "export")
+      return Tok::KwExport;
+    return Tok::Ident;
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+};
+
+class Parser {
+public:
+  Parser(const std::string &Source, const std::string &FileName)
+      : Lex(Source), FileName(FileName) {}
+
+  bool run(Program &Out, std::string &Error) {
+    this->Error = &Error;
+    if (!advance())
+      return false;
+    Out.FileName = FileName;
+    while (Cur.Kind != Tok::End) {
+      if (Cur.Kind == Tok::KwImport) {
+        if (!advance())
+          return false;
+        if (Cur.Kind != Tok::Ident)
+          return fail("expected import name");
+        Out.Imports.push_back(Cur.Text);
+        if (!advance() || !expect(Tok::Semi, "';'"))
+          return false;
+        continue;
+      }
+      if (Cur.Kind == Tok::KwFn) {
+        Function F;
+        if (!parseFunction(F))
+          return false;
+        Out.Functions.push_back(std::move(F));
+        continue;
+      }
+      return fail("expected 'fn' or 'import'");
+    }
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    *Error = formatv("%s:%u: %s", FileName.c_str(), Cur.Line, Msg.c_str());
+    return false;
+  }
+
+  bool advance() {
+    std::string LexError;
+    if (!Lex.next(Cur, LexError)) {
+      *Error = FileName + ":" + LexError;
+      return false;
+    }
+    return true;
+  }
+
+  bool expect(Tok Kind, const char *What) {
+    if (Cur.Kind != Kind)
+      return fail(formatv("expected %s", What));
+    return advance();
+  }
+
+  bool parseFunction(Function &F) {
+    F.Line = Cur.Line;
+    if (!advance())
+      return false;
+    if (Cur.Kind != Tok::Ident)
+      return fail("expected function name");
+    F.Name = Cur.Text;
+    if (!advance() || !expect(Tok::LParen, "'('"))
+      return false;
+    if (Cur.Kind != Tok::RParen) {
+      for (;;) {
+        if (Cur.Kind != Tok::Ident)
+          return fail("expected parameter name");
+        F.Params.push_back(Cur.Text);
+        if (!advance())
+          return false;
+        if (Cur.Kind != Tok::Comma)
+          break;
+        if (!advance())
+          return false;
+      }
+    }
+    if (!expect(Tok::RParen, "')'"))
+      return false;
+    if (F.Params.size() > 4)
+      return fail("at most 4 parameters are supported");
+    if (Cur.Kind == Tok::KwExport) {
+      F.Exported = true;
+      if (!advance())
+        return false;
+    }
+    return parseBlock(F.Body);
+  }
+
+  bool parseBlock(std::vector<StmtPtr> &Out) {
+    if (!expect(Tok::LBrace, "'{'"))
+      return false;
+    while (Cur.Kind != Tok::RBrace) {
+      if (Cur.Kind == Tok::End)
+        return fail("unexpected end of input in block");
+      StmtPtr S;
+      if (!parseStmt(S))
+        return false;
+      Out.push_back(std::move(S));
+    }
+    return advance(); // Consume '}'.
+  }
+
+  bool parseStmt(StmtPtr &Out) {
+    Out = std::make_unique<Stmt>();
+    Out->Line = Cur.Line;
+
+    switch (Cur.Kind) {
+    case Tok::KwVar: {
+      Out->StmtKind = Stmt::Kind::VarDecl;
+      if (!advance())
+        return false;
+      if (Cur.Kind != Tok::Ident)
+        return fail("expected variable name");
+      Out->Name = Cur.Text;
+      if (!advance() || !expect(Tok::Assign, "'='"))
+        return false;
+      if (!parseExpr(Out->Value))
+        return false;
+      return expect(Tok::Semi, "';'");
+    }
+    case Tok::KwIf: {
+      Out->StmtKind = Stmt::Kind::If;
+      if (!advance() || !expect(Tok::LParen, "'('"))
+        return false;
+      if (!parseExpr(Out->Cond))
+        return false;
+      if (!expect(Tok::RParen, "')'") || !parseBlock(Out->Body))
+        return false;
+      if (Cur.Kind == Tok::KwElse) {
+        if (!advance() || !parseBlock(Out->ElseBody))
+          return false;
+      }
+      return true;
+    }
+    case Tok::KwWhile: {
+      Out->StmtKind = Stmt::Kind::While;
+      if (!advance() || !expect(Tok::LParen, "'('"))
+        return false;
+      if (!parseExpr(Out->Cond))
+        return false;
+      return expect(Tok::RParen, "')'") && parseBlock(Out->Body);
+    }
+    case Tok::KwFor: {
+      Out->StmtKind = Stmt::Kind::For;
+      if (!advance() || !expect(Tok::LParen, "'('"))
+        return false;
+      if (!parseSimpleStmt(Out->Init) || !expect(Tok::Semi, "';'"))
+        return false;
+      if (!parseExpr(Out->Cond) || !expect(Tok::Semi, "';'"))
+        return false;
+      if (!parseSimpleStmt(Out->Step) || !expect(Tok::RParen, "')'"))
+        return false;
+      return parseBlock(Out->Body);
+    }
+    case Tok::KwReturn: {
+      Out->StmtKind = Stmt::Kind::Return;
+      if (!advance())
+        return false;
+      if (Cur.Kind != Tok::Semi) {
+        if (!parseExpr(Out->Value))
+          return false;
+      }
+      return expect(Tok::Semi, "';'");
+    }
+    case Tok::KwThrow: {
+      Out->StmtKind = Stmt::Kind::Throw;
+      if (!advance())
+        return false;
+      if (Cur.Kind != Tok::Int)
+        return fail("throw takes a constant code");
+      Out->ThrowCode = Cur.IntValue;
+      return advance() && expect(Tok::Semi, "';'");
+    }
+    case Tok::KwTry: {
+      Out->StmtKind = Stmt::Kind::TryCatch;
+      if (!advance() || !parseBlock(Out->Body))
+        return false;
+      if (Cur.Kind != Tok::KwCatch)
+        return fail("expected 'catch'");
+      return advance() && parseBlock(Out->ElseBody);
+    }
+    case Tok::LBrace: {
+      Out->StmtKind = Stmt::Kind::Block;
+      return parseBlock(Out->Body);
+    }
+    default:
+      if (!parseSimpleStmt(Out))
+        return false;
+      return expect(Tok::Semi, "';'");
+    }
+  }
+
+  /// Assignment, store, var-decl or expression statement (no ';').
+  bool parseSimpleStmt(StmtPtr &Out) {
+    if (!Out) {
+      Out = std::make_unique<Stmt>();
+      Out->Line = Cur.Line;
+    }
+    if (Cur.Kind == Tok::KwVar) {
+      Out->StmtKind = Stmt::Kind::VarDecl;
+      if (!advance())
+        return false;
+      if (Cur.Kind != Tok::Ident)
+        return fail("expected variable name");
+      Out->Name = Cur.Text;
+      if (!advance() || !expect(Tok::Assign, "'='"))
+        return false;
+      return parseExpr(Out->Value);
+    }
+    // Lookahead: ident '=' is an assignment. Everything else re-parses as
+    // an expression; `expr [ idx ] = value` becomes a store.
+    if (Cur.Kind == Tok::Ident) {
+      Token Saved = Cur;
+      if (!advance())
+        return false;
+      if (Cur.Kind == Tok::Assign) {
+        Out->StmtKind = Stmt::Kind::Assign;
+        Out->Name = Saved.Text;
+        if (!advance())
+          return false;
+        return parseExpr(Out->Value);
+      }
+      // Put the identifier back by parsing the rest of the expression
+      // with the saved token as its head.
+      ExprPtr Head;
+      if (!parsePostfixFrom(Saved, Head))
+        return false;
+      ExprPtr Full;
+      if (!parseBinaryRhs(0, std::move(Head), Full))
+        return false;
+      return finishExprStatement(std::move(Full), Out);
+    }
+    ExprPtr E;
+    if (!parseExpr(E))
+      return false;
+    return finishExprStatement(std::move(E), Out);
+  }
+
+  bool finishExprStatement(ExprPtr E, StmtPtr &Out) {
+    if (Cur.Kind == Tok::Assign) {
+      // Must be `base[idx] = value`.
+      if (E->ExprKind != Expr::Kind::Index)
+        return fail("only name or base[index] can be assigned");
+      Out->StmtKind = Stmt::Kind::Store;
+      Out->Base = std::move(E->Lhs);
+      Out->Index = std::move(E->Rhs);
+      if (!advance())
+        return false;
+      return parseExpr(Out->Value);
+    }
+    Out->StmtKind = Stmt::Kind::ExprStmt;
+    Out->Value = std::move(E);
+    return true;
+  }
+
+  // --- Expressions --------------------------------------------------------
+
+  static int precedence(Tok Kind) {
+    switch (Kind) {
+    case Tok::PipePipe:
+      return 1;
+    case Tok::AmpAmp:
+      return 2;
+    case Tok::Pipe:
+      return 3;
+    case Tok::Caret:
+      return 4;
+    case Tok::Amp:
+      return 5;
+    case Tok::EqEq:
+    case Tok::NotEq:
+      return 6;
+    case Tok::Lt:
+    case Tok::Le:
+    case Tok::Gt:
+    case Tok::Ge:
+      return 7;
+    case Tok::Shl:
+    case Tok::Shr:
+      return 8;
+    case Tok::Plus:
+    case Tok::Minus:
+      return 9;
+    case Tok::Star:
+    case Tok::Slash:
+    case Tok::Percent:
+      return 10;
+    default:
+      return -1;
+    }
+  }
+
+  static BinOp binOpFor(Tok Kind) {
+    switch (Kind) {
+    case Tok::Plus:
+      return BinOp::Add;
+    case Tok::Minus:
+      return BinOp::Sub;
+    case Tok::Star:
+      return BinOp::Mul;
+    case Tok::Slash:
+      return BinOp::Div;
+    case Tok::Percent:
+      return BinOp::Mod;
+    case Tok::EqEq:
+      return BinOp::Eq;
+    case Tok::NotEq:
+      return BinOp::Ne;
+    case Tok::Lt:
+      return BinOp::Lt;
+    case Tok::Le:
+      return BinOp::Le;
+    case Tok::Gt:
+      return BinOp::Gt;
+    case Tok::Ge:
+      return BinOp::Ge;
+    case Tok::Amp:
+      return BinOp::And;
+    case Tok::Pipe:
+      return BinOp::Or;
+    case Tok::Caret:
+      return BinOp::Xor;
+    case Tok::Shl:
+      return BinOp::Shl;
+    case Tok::Shr:
+      return BinOp::Shr;
+    case Tok::AmpAmp:
+      return BinOp::LogAnd;
+    case Tok::PipePipe:
+      return BinOp::LogOr;
+    default:
+      return BinOp::Add;
+    }
+  }
+
+  bool parseExpr(ExprPtr &Out) {
+    ExprPtr Lhs;
+    if (!parseUnary(Lhs))
+      return false;
+    return parseBinaryRhs(0, std::move(Lhs), Out);
+  }
+
+  bool parseBinaryRhs(int MinPrec, ExprPtr Lhs, ExprPtr &Out) {
+    for (;;) {
+      int Prec = precedence(Cur.Kind);
+      if (Prec < MinPrec || Prec < 0) {
+        Out = std::move(Lhs);
+        return true;
+      }
+      Tok OpTok = Cur.Kind;
+      uint32_t Line = Cur.Line;
+      if (!advance())
+        return false;
+      ExprPtr Rhs;
+      if (!parseUnary(Rhs))
+        return false;
+      int NextPrec = precedence(Cur.Kind);
+      if (NextPrec > Prec) {
+        if (!parseBinaryRhs(Prec + 1, std::move(Rhs), Rhs))
+          return false;
+      }
+      auto Node = std::make_unique<Expr>();
+      Node->ExprKind = Expr::Kind::Binary;
+      Node->Line = Line;
+      Node->Bin = binOpFor(OpTok);
+      Node->Lhs = std::move(Lhs);
+      Node->Rhs = std::move(Rhs);
+      Lhs = std::move(Node);
+    }
+  }
+
+  bool parseUnary(ExprPtr &Out) {
+    if (Cur.Kind == Tok::Minus || Cur.Kind == Tok::Bang) {
+      auto Node = std::make_unique<Expr>();
+      Node->ExprKind = Expr::Kind::Unary;
+      Node->Line = Cur.Line;
+      Node->Un = Cur.Kind == Tok::Minus ? UnOp::Neg : UnOp::Not;
+      if (!advance())
+        return false;
+      if (!parseUnary(Node->Operand))
+        return false;
+      Out = std::move(Node);
+      return true;
+    }
+    return parsePrimary(Out);
+  }
+
+  bool parsePrimary(ExprPtr &Out) {
+    switch (Cur.Kind) {
+    case Tok::Int: {
+      auto Node = std::make_unique<Expr>();
+      Node->ExprKind = Expr::Kind::IntLit;
+      Node->Line = Cur.Line;
+      Node->IntValue = Cur.IntValue;
+      Out = std::move(Node);
+      return advance() && parseIndexSuffix(Out);
+    }
+    case Tok::Str: {
+      auto Node = std::make_unique<Expr>();
+      Node->ExprKind = Expr::Kind::StrLit;
+      Node->Line = Cur.Line;
+      Node->Name = Cur.Text;
+      Out = std::move(Node);
+      return advance() && parseIndexSuffix(Out);
+    }
+    case Tok::LParen: {
+      if (!advance() || !parseExpr(Out))
+        return false;
+      return expect(Tok::RParen, "')'") && parseIndexSuffix(Out);
+    }
+    case Tok::Ident: {
+      Token Saved = Cur;
+      if (!advance())
+        return false;
+      return parsePostfixFrom(Saved, Out);
+    }
+    default:
+      return fail("expected an expression");
+    }
+  }
+
+  /// Continues parsing after an already-consumed identifier token.
+  bool parsePostfixFrom(const Token &Ident, ExprPtr &Out) {
+    auto Node = std::make_unique<Expr>();
+    Node->Line = Ident.Line;
+    if (Cur.Kind == Tok::LParen) {
+      Node->ExprKind = Expr::Kind::Call;
+      Node->Name = Ident.Text;
+      if (!advance())
+        return false;
+      if (Cur.Kind != Tok::RParen) {
+        for (;;) {
+          ExprPtr Arg;
+          if (!parseExpr(Arg))
+            return false;
+          Node->Args.push_back(std::move(Arg));
+          if (Cur.Kind != Tok::Comma)
+            break;
+          if (!advance())
+            return false;
+        }
+      }
+      if (!expect(Tok::RParen, "')'"))
+        return false;
+    } else {
+      Node->ExprKind = Expr::Kind::VarRef;
+      Node->Name = Ident.Text;
+    }
+    Out = std::move(Node);
+    return parseIndexSuffix(Out);
+  }
+
+  bool parseIndexSuffix(ExprPtr &Out) {
+    while (Cur.Kind == Tok::LBracket) {
+      auto Node = std::make_unique<Expr>();
+      Node->ExprKind = Expr::Kind::Index;
+      Node->Line = Cur.Line;
+      Node->Lhs = std::move(Out);
+      if (!advance())
+        return false;
+      if (!parseExpr(Node->Rhs))
+        return false;
+      if (!expect(Tok::RBracket, "']'"))
+        return false;
+      Out = std::move(Node);
+    }
+    return true;
+  }
+
+  Lexer Lex;
+  std::string FileName;
+  Token Cur;
+  std::string *Error = nullptr;
+};
+
+} // namespace
+
+bool traceback::minilang::parseProgram(const std::string &Source,
+                                       const std::string &FileName,
+                                       Program &Out, std::string &Error) {
+  Parser P(Source, FileName);
+  return P.run(Out, Error);
+}

@@ -1,0 +1,45 @@
+//===- lang/Parser.h - MiniLang lexer and parser ----------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser (with a hand-rolled lexer) for MiniLang.
+/// Grammar sketch:
+/// \code
+///   program   := (import | function)*
+///   import    := 'import' ident ';'
+///   function  := 'fn' ident '(' params? ')' 'export'? block
+///   stmt      := 'var' ident '=' expr ';' | ident '=' expr ';'
+///              | expr '[' expr ']' '=' expr ';'
+///              | 'if' '(' expr ')' block ('else' block)?
+///              | 'while' '(' expr ')' block
+///              | 'for' '(' simple ';' expr ';' simple ')' block
+///              | 'return' expr? ';' | 'throw' int ';'
+///              | 'try' block 'catch' block | expr ';'
+///   expr      := precedence-climbing over || && | ^ & == != < <= > >=
+///                << >> + - * / % with unary - !
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_LANG_PARSER_H
+#define TRACEBACK_LANG_PARSER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace traceback {
+namespace minilang {
+
+/// Parses \p Source (named \p FileName for diagnostics and line tables).
+/// Returns false and sets \p Error ("file:line: message") on syntax errors.
+bool parseProgram(const std::string &Source, const std::string &FileName,
+                  Program &Out, std::string &Error);
+
+} // namespace minilang
+} // namespace traceback
+
+#endif // TRACEBACK_LANG_PARSER_H

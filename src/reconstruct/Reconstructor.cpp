@@ -1,0 +1,446 @@
+//===- reconstruct/Reconstructor.cpp - Trace reconstruction ---------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reconstruct/Reconstructor.h"
+
+#include "reconstruct/RecordRecovery.h"
+#include "support/Text.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace traceback;
+
+void MapFileStore::add(MapFile Map) {
+  Index[Map.Checksum.low64()] = Maps.size();
+  Maps.push_back(std::move(Map));
+}
+
+const MapFile *MapFileStore::byChecksum(const MD5Digest &Digest) const {
+  return byKey(Digest.low64());
+}
+
+const MapFile *MapFileStore::byKey(uint64_t ChecksumLow64) const {
+  auto It = Index.find(ChecksumLow64);
+  return It == Index.end() ? nullptr : &Maps[It->second];
+}
+
+// ----------------------------------------------------------------------------
+// DAG path decoding.
+// ----------------------------------------------------------------------------
+
+std::vector<uint16_t> traceback::decodeDagPath(const MapDag &Dag,
+                                               uint32_t PathBits) {
+  if (Dag.Blocks.empty())
+    return {};
+
+  // Depth-first search for the root path whose bit-set equals PathBits.
+  // DAGs are tiny (<= 1 header + PathBitCount bit blocks + implied
+  // blocks), so exhaustive search is cheap.
+  std::vector<uint16_t> Path;
+  std::vector<uint16_t> Stack;
+
+  struct Searcher {
+    const MapDag &Dag;
+    uint32_t Target;
+    std::vector<uint16_t> Best;
+
+    bool dfs(uint16_t Cur, uint32_t Used, std::vector<uint16_t> &Acc) {
+      if (Used == Target) {
+        Best = Acc;
+        return true;
+      }
+      const MapBlock &B = Dag.Blocks[Cur];
+      for (uint16_t S : B.Succs) {
+        const MapBlock &SB = Dag.Blocks[S];
+        if (SB.BitIndex >= 0) {
+          uint32_t Bit = 1u << SB.BitIndex;
+          if ((Target & Bit) && !(Used & Bit)) {
+            Acc.push_back(S);
+            if (dfs(S, Used | Bit, Acc))
+              return true;
+            Acc.pop_back();
+          }
+        } else if (B.Succs.size() == 1) {
+          // Implied block: execution is certain if the predecessor ran.
+          Acc.push_back(S);
+          if (dfs(S, Used, Acc))
+            return true;
+          Acc.pop_back();
+        }
+      }
+      return false;
+    }
+  };
+
+  Searcher S{Dag, PathBits, {}};
+  std::vector<uint16_t> Acc{0};
+  if (!S.dfs(0, 0, Acc))
+    return {}; // Bits inconsistent with the DAG shape: corrupted record.
+
+  Path = S.Best;
+  // Extend through forced single-successor no-bit chains: those blocks ran
+  // if control left the last bit block normally.
+  for (;;) {
+    const MapBlock &Last = Dag.Blocks[Path.back()];
+    if (Last.Succs.size() != 1)
+      break;
+    const MapBlock &Next = Dag.Blocks[Last.Succs[0]];
+    if (Next.BitIndex >= 0)
+      break; // Unset bit: execution stopped or left the DAG here.
+    // Guard against malformed cyclic map data.
+    if (std::find(Path.begin(), Path.end(), Last.Succs[0]) != Path.end())
+      break;
+    Path.push_back(Last.Succs[0]);
+  }
+  return Path;
+}
+
+// ----------------------------------------------------------------------------
+// Event emission.
+// ----------------------------------------------------------------------------
+
+namespace {
+
+/// Builder state for one thread's events.
+class ThreadBuilder {
+public:
+  ThreadBuilder(const SnapFile &Snap, const MapFileStore &Maps,
+                std::vector<std::string> &Warnings)
+      : Snap(Snap), Maps(Maps), Warnings(Warnings) {}
+
+  std::vector<TraceEvent> build(const ThreadSegment &Segment);
+
+private:
+  void emitDagRecord(uint32_t Word);
+  void emitExt(const ExtRecord &Rec);
+  void applyExceptionTrim(const TraceEvent &Exc);
+  void collapseRedundancy(std::vector<TraceEvent> &Events,
+                          std::vector<uint64_t> &Provenance);
+
+  const SnapModuleInfo *moduleForDagId(uint32_t DagId) const;
+
+  const SnapFile &Snap;
+  const MapFileStore &Maps;
+  std::vector<std::string> &Warnings;
+
+  std::vector<TraceEvent> Events;
+  /// Per event: (record serial << 32) | block start offset — provenance
+  /// for the redundancy-vs-repetition heuristic.
+  std::vector<uint64_t> Provenance;
+
+  uint32_t Depth = 0;
+  bool PendingCall = false;
+  uint64_t LastTs = 0;
+  uint64_t RecordSerial = 0;
+
+  /// Info about the most recent DAG record, for exception trimming.
+  struct LastDagInfo {
+    bool Valid = false;
+    uint64_t ModuleKey = 0;
+    const MapFile *Map = nullptr;
+    const MapDag *Dag = nullptr;
+    std::vector<uint16_t> Path;
+    /// For each path position: index of its first Line event in Events.
+    std::vector<size_t> FirstEvent;
+  } LastDag;
+};
+
+const SnapModuleInfo *ThreadBuilder::moduleForDagId(uint32_t DagId) const {
+  // Prefer live modules; fall back to unloaded ones whose stale records
+  // may survive in the ring.
+  const SnapModuleInfo *Fallback = nullptr;
+  for (const SnapModuleInfo &M : Snap.Modules) {
+    if (!M.Instrumented || M.DagIdCount == 0)
+      continue;
+    if (DagId < M.DagIdBase || DagId >= M.DagIdBase + M.DagIdCount)
+      continue;
+    if (!M.Unloaded)
+      return &M;
+    Fallback = &M;
+  }
+  return Fallback;
+}
+
+void ThreadBuilder::emitDagRecord(uint32_t Word) {
+  ++RecordSerial;
+  LastDag = LastDagInfo();
+  uint32_t DagId = dagIdOfRecord(Word);
+  uint32_t Bits = pathBitsOfRecord(Word);
+
+  auto EmitUntraced = [&](const std::string &Why) {
+    TraceEvent E;
+    E.EventKind = TraceEvent::Kind::Untraced;
+    E.Module = Why;
+    E.Timestamp = LastTs;
+    E.Depth = Depth;
+    Events.push_back(std::move(E));
+    Provenance.push_back(RecordSerial << 32);
+    PendingCall = false;
+  };
+
+  if (DagId == BadDagId) {
+    EmitUntraced("<bad-dag module>");
+    return;
+  }
+  const SnapModuleInfo *Mod = moduleForDagId(DagId);
+  if (!Mod) {
+    Warnings.push_back(
+        formatv("dag id %u matches no module in the snap metadata", DagId));
+    EmitUntraced("<unknown module>");
+    return;
+  }
+  const MapFile *Map = Maps.byChecksum(Mod->Checksum);
+  if (!Map) {
+    Warnings.push_back(formatv("no mapfile for module %s (checksum %s)",
+                               Mod->Name.c_str(),
+                               Mod->Checksum.toHex().c_str()));
+    EmitUntraced("<no mapfile: " + Mod->Name + ">");
+    return;
+  }
+  // The mapfile stores DAGs by instrumentation-time relative id; the snap
+  // metadata gives the module's actual (post-rebase) base.
+  const MapDag *Dag = Map->dagByRelId(DagId - Mod->DagIdBase);
+  if (!Dag) {
+    Warnings.push_back(formatv("module %s has no dag %u", Mod->Name.c_str(),
+                               DagId - Mod->DagIdBase));
+    EmitUntraced("<bad dag id>");
+    return;
+  }
+
+  std::vector<uint16_t> Path = decodeDagPath(*Dag, Bits);
+  if (Path.empty()) {
+    Warnings.push_back(
+        formatv("module %s dag %u: path bits 0x%x do not decode",
+                Mod->Name.c_str(), DagId - Mod->DagIdBase, Bits));
+    EmitUntraced("<undecodable path>");
+    return;
+  }
+
+  LastDag.Valid = true;
+  LastDag.ModuleKey = Mod->Checksum.low64();
+  LastDag.Map = Map;
+  LastDag.Dag = Dag;
+  LastDag.Path = Path;
+
+  for (uint16_t BI : Path) {
+    const MapBlock &B = Dag->Blocks[BI];
+    LastDag.FirstEvent.push_back(Events.size());
+    if ((B.Flags & MBF_FuncEntry) && PendingCall)
+      ++Depth;
+    PendingCall = false;
+    for (const MapLine &L : B.Lines) {
+      TraceEvent E;
+      E.EventKind = TraceEvent::Kind::Line;
+      E.Module = Mod->Name;
+      E.File = Map->fileName(L.FileIndex);
+      E.Function = B.Function;
+      E.Line = L.Line;
+      E.BlockFlags = B.Flags;
+      E.Depth = Depth;
+      E.Timestamp = LastTs;
+      Events.push_back(std::move(E));
+      Provenance.push_back((RecordSerial << 32) | B.StartOffset);
+    }
+    if (B.Flags & MBF_EndsInRet) {
+      if (Depth > 0)
+        --Depth;
+    }
+    if (B.Flags & MBF_EndsInCall)
+      PendingCall = true;
+  }
+}
+
+void ThreadBuilder::applyExceptionTrim(const TraceEvent &Exc) {
+  // Trim the lines of the most recent DAG record using the exception
+  // address (section 4.2). An address outside the path's blocks means the
+  // fault happened in a callee (possibly uninstrumented); the trace then
+  // correctly stops at the block that ends in the call.
+  if (!LastDag.Valid || Exc.FaultModuleKey != LastDag.ModuleKey)
+    return;
+  uint32_t Off = Exc.FaultOffset;
+  for (size_t PI = 0; PI < LastDag.Path.size(); ++PI) {
+    const MapBlock &B = LastDag.Dag->Blocks[LastDag.Path[PI]];
+    if (Off < B.StartOffset || Off >= B.EndOffset)
+      continue;
+    // Drop events of later path blocks.
+    size_t CutFrom = PI + 1 < LastDag.FirstEvent.size()
+                         ? LastDag.FirstEvent[PI + 1]
+                         : Events.size();
+    // Within the faulting block, drop lines that start after the fault.
+    size_t BlockFirst = LastDag.FirstEvent[PI];
+    for (size_t EI = BlockFirst; EI < CutFrom; ++EI) {
+      // Line events only; provenance low bits hold the block start.
+      const MapLine *Found = nullptr;
+      for (const MapLine &L : B.Lines)
+        if (L.Line == Events[EI].Line && L.StartOffset > Off)
+          Found = &L;
+      if (Found) {
+        CutFrom = EI;
+        break;
+      }
+    }
+    if (CutFrom < Events.size()) {
+      Events.resize(CutFrom);
+      Provenance.resize(CutFrom);
+    }
+    if (!Events.empty() &&
+        Events.back().EventKind == TraceEvent::Kind::Line)
+      Events.back().Trimmed = true;
+    LastDag.Valid = false;
+    return;
+  }
+}
+
+void ThreadBuilder::emitExt(const ExtRecord &Rec) {
+  auto Payload = [&](size_t I) {
+    return I < Rec.Payload.size() ? Rec.Payload[I] : 0;
+  };
+  switch (Rec.Type) {
+  case ExtType::Timestamp:
+    LastTs = Payload(0);
+    return;
+  case ExtType::Sync: {
+    TraceEvent E;
+    E.EventKind = TraceEvent::Kind::Sync;
+    E.Sync = static_cast<SyncKind>(Rec.Inline);
+    E.LogicalThreadId = Payload(0);
+    E.Sequence = Payload(1);
+    E.PeerRuntimeId = Payload(2);
+    LastTs = Payload(3);
+    E.Timestamp = LastTs;
+    E.Depth = Depth;
+    Events.push_back(std::move(E));
+    Provenance.push_back(0);
+    return;
+  }
+  case ExtType::Exception: {
+    TraceEvent E;
+    E.EventKind = TraceEvent::Kind::Exception;
+    E.FaultCodeValue = Rec.Inline;
+    E.FaultModuleKey = Payload(0);
+    E.FaultOffset = static_cast<uint32_t>(Payload(1));
+    LastTs = Payload(2);
+    E.Timestamp = LastTs;
+    E.Depth = Depth;
+    applyExceptionTrim(E);
+    Events.push_back(std::move(E));
+    Provenance.push_back(0);
+    return;
+  }
+  case ExtType::ExceptionEnd: {
+    TraceEvent E;
+    E.EventKind = TraceEvent::Kind::ExceptionEnd;
+    E.FaultCodeValue = Rec.Inline;
+    LastTs = Payload(0);
+    E.Timestamp = LastTs;
+    E.Depth = Depth;
+    Events.push_back(std::move(E));
+    Provenance.push_back(0);
+    return;
+  }
+  case ExtType::ThreadStart:
+  case ExtType::ThreadEnd: {
+    TraceEvent E;
+    E.EventKind = Rec.Type == ExtType::ThreadStart
+                      ? TraceEvent::Kind::ThreadStart
+                      : TraceEvent::Kind::ThreadEnd;
+    LastTs = Payload(1);
+    E.Timestamp = LastTs;
+    Events.push_back(std::move(E));
+    Provenance.push_back(0);
+    return;
+  }
+  case ExtType::SnapMark:
+  case ExtType::Pad:
+    return; // Pads exist only to absorb stray lightweight OR bits.
+  }
+}
+
+void ThreadBuilder::collapseRedundancy(std::vector<TraceEvent> &Evs,
+                                       std::vector<uint64_t> &Prov) {
+  // Adjacent identical lines are either redundant expansions of one
+  // expression split across blocks (merge silently) or genuine repeated
+  // executions, e.g. a loop body on one line (merge with a repeat count) —
+  // the heuristic of section 4.2: a repeat is recognized by control moving
+  // backward or a new trace record starting.
+  std::vector<TraceEvent> Out;
+  std::vector<uint64_t> OutProv;
+  for (size_t I = 0; I < Evs.size(); ++I) {
+    TraceEvent &E = Evs[I];
+    if (E.EventKind == TraceEvent::Kind::Line && !Out.empty()) {
+      TraceEvent &P = Out.back();
+      if (P.EventKind == TraceEvent::Kind::Line && P.Module == E.Module &&
+          P.File == E.File && P.Line == E.Line && P.Depth == E.Depth) {
+        uint64_t PrevProv = OutProv.back();
+        uint64_t CurProv = Prov[I];
+        bool NewRecord = (CurProv >> 32) != (PrevProv >> 32);
+        bool Backward = (CurProv & 0xFFFFFFFF) <= (PrevProv & 0xFFFFFFFF);
+        if (NewRecord || Backward)
+          ++P.Repeat; // Loop-style repetition.
+        // Either way the adjacent duplicate is merged; keep the newest
+        // flags so call/ret annotations survive.
+        P.BlockFlags |= E.BlockFlags;
+        P.Trimmed = E.Trimmed;
+        OutProv.back() = CurProv;
+        continue;
+      }
+    }
+    Out.push_back(std::move(E));
+    OutProv.push_back(Prov[I]);
+  }
+  Evs = std::move(Out);
+  Prov = std::move(OutProv);
+}
+
+std::vector<TraceEvent> ThreadBuilder::build(const ThreadSegment &Segment) {
+  Events.clear();
+  Provenance.clear();
+  Depth = 0;
+  PendingCall = false;
+  LastTs = 0;
+  LastDag = LastDagInfo();
+
+  for (const ParsedRecord &R : Segment.Records) {
+    if (R.RecordKind == ParsedRecord::Kind::Dag)
+      emitDagRecord(R.DagWord);
+    else
+      emitExt(R.Ext);
+  }
+  collapseRedundancy(Events, Provenance);
+  return std::move(Events);
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------------
+// Reconstructor.
+// ----------------------------------------------------------------------------
+
+ReconstructedTrace Reconstructor::reconstruct(const SnapFile &Snap) const {
+  ReconstructedTrace Result;
+
+  for (const SnapBufferImage &Buffer : Snap.Buffers) {
+    std::vector<ThreadSegment> Segments =
+        recoverBufferRecords(Buffer, Snap.Threads, Result.Warnings);
+    for (const ThreadSegment &Seg : Segments) {
+      if (Seg.Records.empty())
+        continue;
+      ThreadBuilder Builder(Snap, Maps, Result.Warnings);
+      ThreadTrace TT;
+      TT.RuntimeId = Snap.RuntimeId;
+      TT.ThreadId = Seg.ThreadId;
+      TT.ProcessName = Snap.ProcessName;
+      TT.MachineName = Snap.MachineName;
+      TT.Tech = Snap.Tech;
+      TT.Truncated = Seg.Truncated;
+      TT.Events = Builder.build(Seg);
+      if (!TT.Events.empty())
+        Result.Threads.push_back(std::move(TT));
+    }
+  }
+  return Result;
+}

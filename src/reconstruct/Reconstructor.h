@@ -1,0 +1,67 @@
+//===- reconstruct/Reconstructor.h - Trace reconstruction ------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage two of reconstruction (paper sections 4.1–4.2): resolve each DAG
+/// record to its module via the snap's DAG-range metadata, decode the path
+/// bits into a block sequence using the mapfile, expand blocks into source
+/// lines, trim at exception addresses, collapse redundant adjacent lines,
+/// and rebuild the call hierarchy from the block annotations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_RECONSTRUCT_RECONSTRUCTOR_H
+#define TRACEBACK_RECONSTRUCT_RECONSTRUCTOR_H
+
+#include "instrument/MapFile.h"
+#include "reconstruct/Trace.h"
+#include "runtime/Snap.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// Holds the mapfiles reconstruction may need, keyed by module checksum
+/// (the matching rule of paper section 2.3).
+class MapFileStore {
+public:
+  void add(MapFile Map);
+
+  const MapFile *byChecksum(const MD5Digest &Digest) const;
+  const MapFile *byKey(uint64_t ChecksumLow64) const;
+
+  size_t size() const { return Maps.size(); }
+  const std::vector<MapFile> &all() const { return Maps; }
+
+private:
+  std::vector<MapFile> Maps;
+  std::map<uint64_t, size_t> Index;
+};
+
+/// Decodes the path a DAG record describes. Returns the DAG-local block
+/// indices in execution order (starting with the header, block 0), or an
+/// empty vector if \p PathBits is inconsistent with the DAG shape
+/// (corruption). In a DAG, a path is uniquely determined by its set of
+/// bit-carrying blocks; blocks whose execution is implied (single
+/// successor chains) are filled in.
+std::vector<uint16_t> decodeDagPath(const MapDag &Dag, uint32_t PathBits);
+
+/// Turns one snap into per-thread line traces.
+class Reconstructor {
+public:
+  explicit Reconstructor(const MapFileStore &Maps) : Maps(Maps) {}
+
+  ReconstructedTrace reconstruct(const SnapFile &Snap) const;
+
+private:
+  const MapFileStore &Maps;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_RECONSTRUCT_RECONSTRUCTOR_H

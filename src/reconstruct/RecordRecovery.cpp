@@ -1,0 +1,204 @@
+//===- reconstruct/RecordRecovery.cpp - Raw record recovery ---------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reconstruct/RecordRecovery.h"
+
+#include "support/Text.h"
+
+using namespace traceback;
+
+std::vector<uint32_t>
+traceback::linearizeRing(const std::vector<uint32_t> &Words,
+                         size_t FrontierIdx) {
+  std::vector<uint32_t> Out;
+  Out.reserve(Words.size());
+  auto Take = [&](size_t I) {
+    uint32_t W = Words[I];
+    if (W != SentinelRecord)
+      Out.push_back(W);
+  };
+  for (size_t I = FrontierIdx + 1; I < Words.size(); ++I)
+    Take(I);
+  for (size_t I = 0; I <= FrontierIdx && I < Words.size(); ++I)
+    Take(I);
+  return Out;
+}
+
+namespace {
+/// Parses a linearized word stream into records, skipping invalid words
+/// and repairing torn records at the ring seam.
+std::vector<ParsedRecord> parseWords(const std::vector<uint32_t> &Words,
+                                     bool &SawSeamGarbage) {
+  std::vector<ParsedRecord> Out;
+  SawSeamGarbage = false;
+  size_t Pos = 0;
+  while (Pos < Words.size()) {
+    uint32_t W = Words[Pos];
+    if (W == InvalidRecord) {
+      ++Pos;
+      continue;
+    }
+    if (isDagRecord(W)) {
+      ParsedRecord R;
+      R.RecordKind = ParsedRecord::Kind::Dag;
+      R.DagWord = W;
+      Out.push_back(std::move(R));
+      ++Pos;
+      continue;
+    }
+    if (isExtContinuation(W)) {
+      // A continuation with no header: its header was overwritten at the
+      // ring seam. Drop it.
+      SawSeamGarbage = true;
+      ++Pos;
+      continue;
+    }
+    // Extended header.
+    ParsedRecord R;
+    R.RecordKind = ParsedRecord::Kind::Ext;
+    size_t Next = Pos;
+    if (decodeExtRecord(Words.data(), Words.size(), Next, R.Ext)) {
+      Out.push_back(std::move(R));
+      Pos = Next;
+    } else {
+      // Torn record (truncated or interleaved with garbage).
+      SawSeamGarbage = true;
+      ++Pos;
+    }
+  }
+  return Out;
+}
+} // namespace
+
+std::vector<ThreadSegment>
+traceback::recoverBufferRecords(const SnapBufferImage &Buffer,
+                                const std::vector<SnapThreadInfo> &Threads,
+                                std::vector<std::string> &Warnings) {
+  std::vector<ThreadSegment> Segments;
+  if (Buffer.Raw.size() < 8)
+    return Segments;
+
+  if (Buffer.Desperation) {
+    // Unsynchronized multi-thread writes: the data is not recoverable
+    // (section 3.1), by design.
+    bool AnyData = false;
+    for (size_t I = 0; I + 3 < Buffer.Raw.size(); I += 4) {
+      uint32_t W = Buffer.Raw[I] | (Buffer.Raw[I + 1] << 8) |
+                   (Buffer.Raw[I + 2] << 16) |
+                   (static_cast<uint32_t>(Buffer.Raw[I + 3]) << 24);
+      if (W != InvalidRecord && W != SentinelRecord) {
+        AnyData = true;
+        break;
+      }
+    }
+    if (AnyData)
+      Warnings.push_back(
+          "desperation buffer contains records; traces written there are "
+          "not recoverable");
+    return Segments;
+  }
+
+  std::vector<uint32_t> Words(Buffer.Raw.size() / 4);
+  for (size_t I = 0; I < Words.size(); ++I)
+    Words[I] = static_cast<uint32_t>(Buffer.Raw[I * 4]) |
+               (static_cast<uint32_t>(Buffer.Raw[I * 4 + 1]) << 8) |
+               (static_cast<uint32_t>(Buffer.Raw[I * 4 + 2]) << 16) |
+               (static_cast<uint32_t>(Buffer.Raw[I * 4 + 3]) << 24);
+
+  // ----- Locate the frontier ---------------------------------------------
+  size_t Frontier = SIZE_MAX;
+  // A clean snap stored the owning thread's cursor.
+  for (const SnapThreadInfo &T : Threads) {
+    if (T.ThreadId != Buffer.OwnerThread || T.Cursor == 0)
+      continue;
+    if (T.Cursor >= Buffer.RecordsBase &&
+        T.Cursor < Buffer.RecordsBase + Words.size() * 4) {
+      Frontier = static_cast<size_t>((T.Cursor - Buffer.RecordsBase) / 4);
+      break;
+    }
+  }
+  if (Frontier == SIZE_MAX) {
+    // Abrupt termination: fall back to the sub-buffer commit index and a
+    // last-non-zero scan of the active sub-buffer (section 3.2).
+    uint32_t SubWords = Buffer.SubBufferWords;
+    uint32_t SubCount = Buffer.SubBufferCount;
+    if (SubWords == 0 || SubCount == 0)
+      return Segments;
+    uint32_t Active = Buffer.CommittedSubBuffer == UINT32_MAX
+                          ? 0
+                          : (Buffer.CommittedSubBuffer + 1) % SubCount;
+    size_t Begin = static_cast<size_t>(Active) * SubWords;
+    size_t End = std::min<size_t>(Begin + SubWords, Words.size());
+    for (size_t I = End; I-- > Begin;) {
+      if (Words[I] != InvalidRecord && Words[I] != SentinelRecord) {
+        Frontier = I;
+        break;
+      }
+    }
+    if (Frontier == SIZE_MAX) {
+      if (Buffer.CommittedSubBuffer == UINT32_MAX)
+        return Segments; // Nothing was ever written.
+      // The active sub-buffer is empty: the frontier is the end of the
+      // committed one.
+      size_t CommittedEnd =
+          (static_cast<size_t>(Buffer.CommittedSubBuffer) + 1) * SubWords;
+      Frontier = CommittedEnd >= 2 ? CommittedEnd - 2 : 0;
+    }
+  }
+
+  std::vector<uint32_t> Linear = linearizeRing(Words, Frontier);
+  bool SeamGarbage = false;
+  std::vector<ParsedRecord> Parsed = parseWords(Linear, SeamGarbage);
+  if (Parsed.empty())
+    return Segments;
+
+  // ----- Split by thread ---------------------------------------------------
+  ThreadSegment Cur;
+  auto Close = [&]() {
+    if (!Cur.Records.empty() || Cur.ThreadId != 0)
+      Segments.push_back(std::move(Cur));
+    Cur = ThreadSegment();
+  };
+  bool First = true;
+  for (ParsedRecord &R : Parsed) {
+    bool IsStart = R.RecordKind == ParsedRecord::Kind::Ext &&
+                   R.Ext.Type == ExtType::ThreadStart;
+    bool IsEnd = R.RecordKind == ParsedRecord::Kind::Ext &&
+                 R.Ext.Type == ExtType::ThreadEnd;
+    if (IsStart) {
+      Close();
+      Cur.ThreadId = R.Ext.Payload.empty() ? 0 : R.Ext.Payload[0];
+      Cur.Records.push_back(std::move(R));
+      First = false;
+      continue;
+    }
+    if (First) {
+      // Oldest surviving records do not begin at a thread start marker:
+      // the ring overwrote the beginning of this thread's history.
+      Cur.Truncated = true;
+      First = false;
+    }
+    if (IsEnd) {
+      if (Cur.ThreadId == 0 && !R.Ext.Payload.empty())
+        Cur.ThreadId = R.Ext.Payload[0];
+      Cur.Records.push_back(std::move(R));
+      Close();
+      continue;
+    }
+    Cur.Records.push_back(std::move(R));
+  }
+  Close();
+
+  // Records with no markers at all belong to the buffer's current owner.
+  for (ThreadSegment &S : Segments)
+    if (S.ThreadId == 0)
+      S.ThreadId = Buffer.OwnerThread;
+
+  if (SeamGarbage)
+    Warnings.push_back(formatv(
+        "buffer %u: repaired a torn record at the ring seam", Buffer.Index));
+  return Segments;
+}

@@ -1,0 +1,63 @@
+//===- reconstruct/RecordRecovery.h - Raw record recovery ------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage one of reconstruction (paper section 4.1): locate each buffer's
+/// write frontier (the thread's cursor for clean snaps, or the sub-buffer
+/// commit state plus a last-non-zero scan after abrupt termination),
+/// linearize the ring into oldest-to-newest order with sentinels stripped,
+/// repair the seam where the ring overwrote the oldest record, parse the
+/// words into records, and split them into per-thread segments using the
+/// thread start/end markers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_RECONSTRUCT_RECORDRECOVERY_H
+#define TRACEBACK_RECONSTRUCT_RECORDRECOVERY_H
+
+#include "runtime/Snap.h"
+#include "runtime/TraceRecord.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// One parsed trace record.
+struct ParsedRecord {
+  enum class Kind : uint8_t { Dag, Ext } RecordKind = Kind::Dag;
+  uint32_t DagWord = 0; ///< For Dag records.
+  ExtRecord Ext;        ///< For Ext records.
+};
+
+/// A run of records attributed to one thread.
+struct ThreadSegment {
+  /// 0 when the owning thread could not be determined (markers were
+  /// overwritten and the buffer has no live owner).
+  uint64_t ThreadId = 0;
+  /// True when the segment's beginning was lost to ring overwrite.
+  bool Truncated = false;
+  std::vector<ParsedRecord> Records;
+};
+
+/// Recovers the per-thread record segments of one buffer image.
+/// \p Threads supplies cursor info from the snap. Appends human-readable
+/// diagnostics to \p Warnings.
+std::vector<ThreadSegment>
+recoverBufferRecords(const SnapBufferImage &Buffer,
+                     const std::vector<SnapThreadInfo> &Threads,
+                     std::vector<std::string> &Warnings);
+
+/// Exposed for tests: linearizes raw words (ring order, sentinel-stripped)
+/// given the frontier word index. Words [Frontier+1, end) ++ [0, Frontier]
+/// in ring order, with leading garbage dropped.
+std::vector<uint32_t> linearizeRing(const std::vector<uint32_t> &Words,
+                                    size_t FrontierIdx);
+
+} // namespace traceback
+
+#endif // TRACEBACK_RECONSTRUCT_RECORDRECOVERY_H

@@ -1,0 +1,95 @@
+//===- reconstruct/Trace.h - Reconstructed trace model ----------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The output model of trace reconstruction (paper section 4): per-thread,
+/// line-by-line execution histories with call-depth, exception and SYNC
+/// annotations, ready for the display layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_RECONSTRUCT_TRACE_H
+#define TRACEBACK_RECONSTRUCT_TRACE_H
+
+#include "isa/Module.h"
+#include "runtime/TraceRecord.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// One entry in a reconstructed history.
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    Line,         ///< A source line executed.
+    Exception,    ///< A fault / signal was raised here.
+    ExceptionEnd, ///< Control resumed after a fault / signal handler.
+    Sync,         ///< RPC / cross-technology boundary record.
+    ThreadStart,
+    ThreadEnd,
+    Untraced,     ///< Execution passed through a bad-DAG or unknown module.
+  };
+
+  Kind EventKind = Kind::Line;
+
+  // Line events.
+  std::string Module;
+  std::string File;
+  std::string Function;
+  uint32_t Line = 0;
+  uint32_t Repeat = 1;     ///< Consecutive executions collapsed.
+  uint8_t BlockFlags = 0;  ///< MapBlockFlags of the source block.
+  uint32_t Depth = 0;      ///< Call nesting depth.
+  bool Trimmed = false;    ///< Last line before an exception cut the block.
+
+  // Exception events.
+  uint16_t FaultCodeValue = 0;
+  uint64_t FaultModuleKey = 0;
+  uint32_t FaultOffset = 0;
+
+  // Sync events.
+  SyncKind Sync = SyncKind::CallSend;
+  uint64_t LogicalThreadId = 0;
+  uint64_t Sequence = 0;
+  uint64_t PeerRuntimeId = 0;
+
+  /// Most recent clock reading at or before this event (that runtime's
+  /// clock; 0 when no timestamp has been seen yet).
+  uint64_t Timestamp = 0;
+};
+
+/// The history of one physical thread, oldest to newest.
+struct ThreadTrace {
+  uint64_t RuntimeId = 0;
+  uint64_t ThreadId = 0;
+  std::string ProcessName;
+  std::string MachineName;
+  Technology Tech = Technology::Native;
+  /// True when the ring overwrote older records (history incomplete at the
+  /// old end).
+  bool Truncated = false;
+  std::vector<TraceEvent> Events;
+};
+
+/// Everything recovered from one snap (plus diagnostics).
+struct ReconstructedTrace {
+  std::vector<ThreadTrace> Threads;
+  std::vector<std::string> Warnings;
+
+  /// Finds the trace of a physical thread, or nullptr.
+  const ThreadTrace *threadById(uint64_t ThreadId) const {
+    for (const ThreadTrace &T : Threads)
+      if (T.ThreadId == ThreadId)
+        return &T;
+    return nullptr;
+  }
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_RECONSTRUCT_TRACE_H

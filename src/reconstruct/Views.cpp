@@ -1,0 +1,185 @@
+//===- reconstruct/Views.cpp - Trace display rendering --------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reconstruct/Views.h"
+
+#include "instrument/MapFile.h"
+#include "support/Text.h"
+#include "vm/Fault.h"
+
+using namespace traceback;
+
+namespace {
+std::string describeFault(uint16_t Code) {
+  if (Code & 0x8000)
+    return formatv("signal %u", Code & 0xFFF);
+  return faultCodeName(static_cast<FaultCode>(Code));
+}
+
+std::string syncKindName(SyncKind K) {
+  switch (K) {
+  case SyncKind::CallSend:
+    return "call ->";
+  case SyncKind::CallRecv:
+    return "-> enter";
+  case SyncKind::ReplySend:
+    return "exit ->";
+  case SyncKind::ReplyRecv:
+    return "-> return";
+  }
+  return "?";
+}
+
+std::string eventOneLiner(const TraceEvent &E) {
+  switch (E.EventKind) {
+  case TraceEvent::Kind::Line: {
+    std::string S = formatv("%-14s %s:%u  %s", E.Module.c_str(),
+                            E.File.c_str(), E.Line, E.Function.c_str());
+    if (E.Repeat > 1)
+      S += formatv("  (x%u)", E.Repeat);
+    if (E.Trimmed)
+      S += "  <- partial";
+    return S;
+  }
+  case TraceEvent::Kind::Exception:
+    return formatv("*** exception: %s", describeFault(E.FaultCodeValue).c_str());
+  case TraceEvent::Kind::ExceptionEnd:
+    return formatv("*** resumed after %s",
+                   describeFault(E.FaultCodeValue).c_str());
+  case TraceEvent::Kind::Sync:
+    return formatv("[sync %s logical=%llx seq=%llu]",
+                   syncKindName(E.Sync).c_str(),
+                   static_cast<unsigned long long>(E.LogicalThreadId),
+                   static_cast<unsigned long long>(E.Sequence));
+  case TraceEvent::Kind::ThreadStart:
+    return "[thread start]";
+  case TraceEvent::Kind::ThreadEnd:
+    return "[thread end]";
+  case TraceEvent::Kind::Untraced:
+    return formatv("[untraced: %s]", E.Module.c_str());
+  }
+  return "?";
+}
+} // namespace
+
+std::string traceback::renderFlatTrace(const ThreadTrace &Trace) {
+  std::string Out = formatv("thread %llu on %s/%s%s\n",
+                            static_cast<unsigned long long>(Trace.ThreadId),
+                            Trace.MachineName.c_str(),
+                            Trace.ProcessName.c_str(),
+                            Trace.Truncated ? " (older history overwritten)"
+                                            : "");
+  for (const TraceEvent &E : Trace.Events)
+    Out += "  " + eventOneLiner(E) + "\n";
+  return Out;
+}
+
+std::string traceback::renderCallTree(const ThreadTrace &Trace) {
+  std::string Out = formatv("thread %llu call tree\n",
+                            static_cast<unsigned long long>(Trace.ThreadId));
+  for (const TraceEvent &E : Trace.Events) {
+    std::string Indent(static_cast<size_t>(E.Depth) * 2, ' ');
+    std::string Marker;
+    if (E.EventKind == TraceEvent::Kind::Line) {
+      if (E.BlockFlags & MBF_FuncEntry)
+        Marker = "+ ";
+      else if (E.BlockFlags & MBF_EndsInRet)
+        Marker = "^ ";
+    }
+    Out += "  " + Indent + Marker + eventOneLiner(E) + "\n";
+  }
+  return Out;
+}
+
+std::string traceback::renderMultiThread(
+    const std::vector<const ThreadTrace *> &Traces) {
+  std::string Out;
+  // Reuse the stitcher's skew-corrected timeline merge.
+  ReconstructedTrace Holder;
+  for (const ThreadTrace *T : Traces)
+    Holder.Threads.push_back(*T); // Copy so the stitcher has stable refs.
+  DistributedStitcher S;
+  S.addTrace(Holder);
+  auto Timeline = S.mergeTimeline();
+  for (const auto &Entry : Timeline) {
+    const TraceEvent &E = Entry.Trace->Events[Entry.EventIndex];
+    Out += formatv("t%-3llu |%*s%s\n",
+                   static_cast<unsigned long long>(Entry.Trace->ThreadId), 0,
+                   "", eventOneLiner(E).c_str());
+  }
+  return Out;
+}
+
+std::string traceback::renderLogicalThread(const LogicalThread &LT) {
+  std::string Out =
+      formatv("logical thread %llx\n",
+              static_cast<unsigned long long>(LT.LogicalId));
+  for (const LogicalSegment &Seg : LT.Segments) {
+    Out += formatv("-- on %s/%s thread %llu --\n",
+                   Seg.Trace->MachineName.c_str(),
+                   Seg.Trace->ProcessName.c_str(),
+                   static_cast<unsigned long long>(Seg.Trace->ThreadId));
+    for (size_t I = Seg.Begin; I < Seg.End && I < Seg.Trace->Events.size();
+         ++I)
+      Out += "  " + eventOneLiner(Seg.Trace->Events[I]) + "\n";
+  }
+  return Out;
+}
+
+std::string traceback::renderFaultView(const SnapFile &Snap,
+                                       const ReconstructedTrace &Trace) {
+  std::string Out = formatv("snap: %s (detail %u) from %s/%s\n",
+                            snapReasonName(Snap.Reason).c_str(),
+                            Snap.ReasonDetail, Snap.MachineName.c_str(),
+                            Snap.ProcessName.c_str());
+
+  if (Snap.Reason == SnapReason::Hang || Snap.Reason == SnapReason::External) {
+    // Deadlock-style snap: one line per thread, the most recent source
+    // line each thread executed (section 4.3.3).
+    for (const ThreadTrace &T : Trace.Threads) {
+      const TraceEvent *LastLine = nullptr;
+      for (const TraceEvent &E : T.Events)
+        if (E.EventKind == TraceEvent::Kind::Line)
+          LastLine = &E;
+      Out += formatv("  thread %llu: %s\n",
+                     static_cast<unsigned long long>(T.ThreadId),
+                     LastLine ? eventOneLiner(*LastLine).c_str()
+                              : "<no trace>");
+    }
+    return Out;
+  }
+
+  // Exception-style snap: the faulting thread's call tree, fault
+  // highlighted.
+  const ThreadTrace *Faulting = Trace.threadById(Snap.FaultThread);
+  if (!Faulting && !Trace.Threads.empty())
+    Faulting = &Trace.Threads.front();
+  if (!Faulting)
+    return Out + "  <no thread traces recovered>\n";
+  std::string Tree = renderCallTree(*Faulting);
+  Out += Tree;
+  Out += formatv("=> fault: %s\n",
+                 describeFault(Snap.FaultCodeValue).c_str());
+  return Out;
+}
+
+std::string traceback::renderMemoryDump(const SnapFile &Snap) {
+  std::string Out;
+  if (Snap.Memory.empty())
+    return "<no memory captured; enable capture_memory in the policy>\n";
+  for (const SnapMemoryRegion &R : Snap.Memory) {
+    Out += formatv("region %s @ 0x%llx (%zu bytes)\n", R.Label.c_str(),
+                   static_cast<unsigned long long>(R.Base), R.Bytes.size());
+    for (size_t I = 0; I < R.Bytes.size(); I += 16) {
+      Out += formatv("  %08llx:",
+                     static_cast<unsigned long long>(R.Base + I));
+      for (size_t J = I; J < I + 16 && J < R.Bytes.size(); ++J)
+        Out += formatv(" %02x", R.Bytes[J]);
+      Out += "\n";
+    }
+  }
+  return Out;
+}

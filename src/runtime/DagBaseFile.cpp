@@ -1,0 +1,62 @@
+//===- runtime/DagBaseFile.cpp - Coordinated DAG-ID ranges ----------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/DagBaseFile.h"
+
+#include "runtime/TraceRecord.h"
+#include "support/Text.h"
+
+using namespace traceback;
+
+uint32_t DagBaseFile::baseFor(const std::string &ModuleName) const {
+  auto It = Bases.find(ModuleName);
+  return It == Bases.end() ? 0 : It->second;
+}
+
+void DagBaseFile::assign(const std::string &ModuleName, uint32_t Base) {
+  Bases[ModuleName] = Base;
+}
+
+bool DagBaseFile::parse(const std::string &Text, DagBaseFile &Out,
+                        std::string &Error) {
+  Out = DagBaseFile();
+  int LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Text.size();
+    std::string Line = Text.substr(Pos, Nl - Pos);
+    bool AtEnd = Nl == Text.size();
+    Pos = Nl + 1;
+    ++LineNo;
+
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::vector<std::string> Toks = splitString(Line, " \t\r");
+    if (!Toks.empty()) {
+      int64_t V;
+      if (Toks.size() != 2 || !parseInt(Toks[1], V) || V < 1 ||
+          V > static_cast<int64_t>(MaxDagId)) {
+        Error = formatv("dag base file line %d: expected '<module> <base>'",
+                        LineNo);
+        return false;
+      }
+      Out.Bases[Toks[0]] = static_cast<uint32_t>(V);
+    }
+    if (AtEnd)
+      break;
+  }
+  return true;
+}
+
+std::string DagBaseFile::toText() const {
+  std::string S;
+  for (const auto &[Name, Base] : Bases)
+    S += formatv("%s %u\n", Name.c_str(), Base);
+  return S;
+}

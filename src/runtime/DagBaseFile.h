@@ -1,0 +1,43 @@
+//===- runtime/DagBaseFile.h - Coordinated DAG-ID ranges --------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DAG base file (paper section 2.3): a user-supplied table assigning
+/// DAG-ID bases to modules instrumented from the same source tree, so that
+/// modules never collide at load time and the load-time rebasing penalty
+/// is avoided. Format: `<module-name> <base>` per line, `#` comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_RUNTIME_DAGBASEFILE_H
+#define TRACEBACK_RUNTIME_DAGBASEFILE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace traceback {
+
+/// Parsed DAG base file.
+class DagBaseFile {
+public:
+  /// Returns the assigned base for \p ModuleName, or 0 if unassigned.
+  uint32_t baseFor(const std::string &ModuleName) const;
+
+  /// Assigns \p Base to \p ModuleName.
+  void assign(const std::string &ModuleName, uint32_t Base);
+
+  static bool parse(const std::string &Text, DagBaseFile &Out,
+                    std::string &Error);
+  std::string toText() const;
+
+private:
+  std::map<std::string, uint32_t> Bases;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_RUNTIME_DAGBASEFILE_H

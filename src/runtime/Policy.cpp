@@ -1,0 +1,128 @@
+//===- runtime/Policy.cpp - Snap policy file ------------------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Policy.h"
+
+#include "support/Text.h"
+
+using namespace traceback;
+
+bool RtPolicy::parse(const std::string &Text, RtPolicy &Out,
+                     std::string &Error) {
+  Out = RtPolicy();
+  Out.SnapOnUnhandled = false; // Explicit files state their triggers.
+  Out.SnapOnApi = false;
+
+  int LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    if (Nl == std::string::npos)
+      Nl = Text.size();
+    std::string Line = Text.substr(Pos, Nl - Pos);
+    Pos = Nl + 1;
+    ++LineNo;
+
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::vector<std::string> Toks = splitString(Line, " \t\r");
+    if (Toks.empty()) {
+      if (Nl == Text.size())
+        break;
+      continue;
+    }
+
+    auto Fail = [&](const char *Msg) {
+      Error = formatv("policy line %d: %s", LineNo, Msg);
+      return false;
+    };
+    auto NumArg = [&](size_t I, int64_t &V) {
+      return I < Toks.size() && parseInt(Toks[I], V);
+    };
+
+    const std::string &D = Toks[0];
+    int64_t V;
+    if (D == "buffer_bytes") {
+      if (!NumArg(1, V) || V < 256)
+        return Fail("buffer_bytes needs a value >= 256");
+      Out.BufferBytes = static_cast<uint32_t>(V);
+    } else if (D == "buffer_count") {
+      if (!NumArg(1, V) || V < 1)
+        return Fail("buffer_count needs a positive value");
+      Out.BufferCount = static_cast<uint32_t>(V);
+    } else if (D == "sub_buffers") {
+      if (!NumArg(1, V) || V < 1)
+        return Fail("sub_buffers needs a positive value");
+      Out.SubBufferCount = static_cast<uint32_t>(V);
+    } else if (D == "snap_on") {
+      if (Toks.size() < 2)
+        return Fail("snap_on needs a trigger");
+      const std::string &Trig = Toks[1];
+      if (Trig == "exception")
+        Out.SnapOnAnyException = true;
+      else if (Trig == "trap") {
+        if (!NumArg(2, V) || V < 0 || V > UINT16_MAX)
+          return Fail("snap_on trap needs a code");
+        Out.SnapOnTrapCodes.insert(static_cast<uint16_t>(V));
+      } else if (Trig == "signal") {
+        if (!NumArg(2, V) || V < 0)
+          return Fail("snap_on signal needs a number");
+        Out.SnapOnSignals.insert(static_cast<int>(V));
+      } else if (Trig == "unhandled")
+        Out.SnapOnUnhandled = true;
+      else if (Trig == "exit")
+        Out.SnapOnExit = true;
+      else if (Trig == "api")
+        Out.SnapOnApi = true;
+      else
+        return Fail("unknown snap_on trigger");
+    } else if (D == "suppress_repeats") {
+      if (!NumArg(1, V) || V < 0)
+        return Fail("suppress_repeats needs a count");
+      Out.SuppressRepeats = static_cast<uint32_t>(V);
+    } else if (D == "logical_clock") {
+      Out.UseLogicalClock = true;
+    } else if (D == "capture_memory") {
+      Out.CaptureMemory = true;
+    } else if (D == "timestamp_interval") {
+      if (!NumArg(1, V) || V < 0)
+        return Fail("timestamp_interval needs a count");
+      Out.TimestampInterval = static_cast<uint32_t>(V);
+    } else {
+      return Fail("unknown directive");
+    }
+    if (Nl == Text.size())
+      break;
+  }
+  return true;
+}
+
+std::string RtPolicy::toText() const {
+  std::string S;
+  S += formatv("buffer_bytes %u\n", BufferBytes);
+  S += formatv("buffer_count %u\n", BufferCount);
+  S += formatv("sub_buffers %u\n", SubBufferCount);
+  if (SnapOnAnyException)
+    S += "snap_on exception\n";
+  for (uint16_t C : SnapOnTrapCodes)
+    S += formatv("snap_on trap %u\n", C);
+  for (int Sig : SnapOnSignals)
+    S += formatv("snap_on signal %d\n", Sig);
+  if (SnapOnUnhandled)
+    S += "snap_on unhandled\n";
+  if (SnapOnExit)
+    S += "snap_on exit\n";
+  if (SnapOnApi)
+    S += "snap_on api\n";
+  if (UseLogicalClock)
+    S += "logical_clock\n";
+  if (CaptureMemory)
+    S += "capture_memory\n";
+  S += formatv("suppress_repeats %u\n", SuppressRepeats);
+  S += formatv("timestamp_interval %u\n", TimestampInterval);
+  return S;
+}

@@ -1,0 +1,54 @@
+//===- runtime/RuntimeABI.h - Probe/runtime contract ------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract between injected probe code and the TraceBack runtime
+/// library.
+///
+/// Probe protocol (paper section 2.1):
+///  - Each thread's pointer to the last-written trace record lives in a TLS
+///    slot (default slot 60, the analog of FS:0xF00 on Windows).
+///  - The heavyweight probe helper, statically added to every instrumented
+///    module, loads the pointer, advances it one record, and checks the
+///    next slot for the 0xFFFFFFFF sentinel; on sentinel it traps to the
+///    runtime's buffer_wrap via RtCall. It returns the fresh record address
+///    in R10 and leaves the TLS slot updated.
+///  - The call site then stores the pre-shifted DAG record through R10.
+///  - Lightweight probes load the TLS pointer and OR their bit into the
+///    current record.
+///
+/// The helper clobbers R10 and R11; probe sites spill around the probe when
+/// liveness says those registers are in use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_RUNTIME_RUNTIMEABI_H
+#define TRACEBACK_RUNTIME_RUNTIMEABI_H
+
+#include <cstdint>
+
+namespace traceback {
+
+/// RtCall entry points the runtime exports to probe code.
+enum class RtEntry : uint16_t {
+  /// The thread's buffer cursor hit a sentinel. The runtime commits the
+  /// sub-buffer (or assigns/rotates buffers) and returns with R10 and the
+  /// TLS slot pointing at a fresh record slot.
+  BufferWrap = 1,
+};
+
+/// Name of the probe helper function injected into every instrumented
+/// module (inlined statically to avoid an inter-module call per probe,
+/// as in the paper).
+inline const char *probeHelperName() { return "__tb_probe_helper"; }
+
+/// Probe scratch registers (helper protocol).
+constexpr unsigned ProbeReg0 = 10;
+constexpr unsigned ProbeReg1 = 11;
+
+} // namespace traceback
+
+#endif // TRACEBACK_RUNTIME_RUNTIMEABI_H

@@ -1,0 +1,170 @@
+//===- runtime/Snap.cpp - Snap file format --------------------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Snap.h"
+
+#include "support/ByteStream.h"
+
+using namespace traceback;
+
+SnapSink::~SnapSink() = default;
+
+std::string traceback::snapReasonName(SnapReason R) {
+  switch (R) {
+  case SnapReason::Exception:
+    return "exception";
+  case SnapReason::Signal:
+    return "signal";
+  case SnapReason::Api:
+    return "api";
+  case SnapReason::Hang:
+    return "hang";
+  case SnapReason::External:
+    return "external";
+  case SnapReason::ProcessExit:
+    return "process-exit";
+  case SnapReason::GroupPeer:
+    return "group-peer";
+  case SnapReason::Unhandled:
+    return "unhandled-exception";
+  }
+  return "unknown";
+}
+
+static const uint32_t SnapMagic = 0x50534254; // "TBSP"
+static const uint32_t SnapVersion = 2;
+
+std::vector<uint8_t> SnapFile::serialize() const {
+  std::vector<uint8_t> Out;
+  ByteWriter W(Out);
+  W.writeU32(SnapMagic);
+  W.writeU32(SnapVersion);
+  W.writeU16(static_cast<uint16_t>(Reason));
+  W.writeU16(ReasonDetail);
+  W.writeString(ProcessName);
+  W.writeU64(Pid);
+  W.writeString(MachineName);
+  W.writeString(OsName);
+  W.writeU64(RuntimeId);
+  W.writeU8(static_cast<uint8_t>(Tech));
+  W.writeU64(Timestamp);
+  W.writeU64(FaultThread);
+  W.writeU64(FaultModuleKey);
+  W.writeU32(FaultOffset);
+  W.writeU16(FaultCodeValue);
+  W.writeU64(BufferRegionBase);
+
+  W.writeVarU64(Modules.size());
+  for (const SnapModuleInfo &M : Modules) {
+    W.writeString(M.Name);
+    W.writeBytes(M.Checksum.Bytes.data(), M.Checksum.Bytes.size());
+    W.writeU32(M.DagIdBase);
+    W.writeU32(M.DagIdCount);
+    W.writeU8(static_cast<uint8_t>(M.Tech));
+    W.writeU8(static_cast<uint8_t>((M.Instrumented ? 1 : 0) |
+                                   (M.Unloaded ? 2 : 0)));
+    W.writeU64(M.CodeBase);
+  }
+
+  W.writeVarU64(Buffers.size());
+  for (const SnapBufferImage &B : Buffers) {
+    W.writeU32(B.Index);
+    W.writeU32(B.SubBufferWords);
+    W.writeU32(B.SubBufferCount);
+    W.writeU32(B.CommittedSubBuffer);
+    W.writeU64(B.OwnerThread);
+    W.writeU8(B.Desperation ? 1 : 0);
+    W.writeU64(B.RecordsBase);
+    W.writeBlob(B.Raw);
+  }
+
+  W.writeVarU64(Threads.size());
+  for (const SnapThreadInfo &T : Threads) {
+    W.writeU64(T.ThreadId);
+    W.writeU64(T.Cursor);
+    W.writeU8(static_cast<uint8_t>((T.Alive ? 1 : 0) |
+                                   (T.ExitedAbruptly ? 2 : 0)));
+  }
+
+  W.writeVarU64(Memory.size());
+  for (const SnapMemoryRegion &R : Memory) {
+    W.writeU64(R.Base);
+    W.writeString(R.Label);
+    W.writeBlob(R.Bytes);
+  }
+  return Out;
+}
+
+bool SnapFile::deserialize(const std::vector<uint8_t> &Bytes, SnapFile &Out) {
+  ByteReader R(Bytes);
+  if (R.readU32() != SnapMagic || R.readU32() != SnapVersion)
+    return false;
+  Out = SnapFile();
+  Out.Reason = static_cast<SnapReason>(R.readU16());
+  Out.ReasonDetail = R.readU16();
+  Out.ProcessName = R.readString();
+  Out.Pid = R.readU64();
+  Out.MachineName = R.readString();
+  Out.OsName = R.readString();
+  Out.RuntimeId = R.readU64();
+  Out.Tech = static_cast<Technology>(R.readU8());
+  Out.Timestamp = R.readU64();
+  Out.FaultThread = R.readU64();
+  Out.FaultModuleKey = R.readU64();
+  Out.FaultOffset = R.readU32();
+  Out.FaultCodeValue = R.readU16();
+  Out.BufferRegionBase = R.readU64();
+
+  uint64_t NumModules = R.readVarU64();
+  for (uint64_t I = 0; I < NumModules && !R.failed(); ++I) {
+    SnapModuleInfo M;
+    M.Name = R.readString();
+    R.readBytes(M.Checksum.Bytes.data(), M.Checksum.Bytes.size());
+    M.DagIdBase = R.readU32();
+    M.DagIdCount = R.readU32();
+    M.Tech = static_cast<Technology>(R.readU8());
+    uint8_t Flags = R.readU8();
+    M.Instrumented = Flags & 1;
+    M.Unloaded = Flags & 2;
+    M.CodeBase = R.readU64();
+    Out.Modules.push_back(std::move(M));
+  }
+
+  uint64_t NumBuffers = R.readVarU64();
+  for (uint64_t I = 0; I < NumBuffers && !R.failed(); ++I) {
+    SnapBufferImage B;
+    B.Index = R.readU32();
+    B.SubBufferWords = R.readU32();
+    B.SubBufferCount = R.readU32();
+    B.CommittedSubBuffer = R.readU32();
+    B.OwnerThread = R.readU64();
+    B.Desperation = R.readU8() != 0;
+    B.RecordsBase = R.readU64();
+    B.Raw = R.readBlob();
+    Out.Buffers.push_back(std::move(B));
+  }
+
+  uint64_t NumThreads = R.readVarU64();
+  for (uint64_t I = 0; I < NumThreads && !R.failed(); ++I) {
+    SnapThreadInfo T;
+    T.ThreadId = R.readU64();
+    T.Cursor = R.readU64();
+    uint8_t Flags = R.readU8();
+    T.Alive = Flags & 1;
+    T.ExitedAbruptly = Flags & 2;
+    Out.Threads.push_back(T);
+  }
+
+  uint64_t NumRegions = R.readVarU64();
+  for (uint64_t I = 0; I < NumRegions && !R.failed(); ++I) {
+    SnapMemoryRegion Region;
+    Region.Base = R.readU64();
+    Region.Label = R.readString();
+    Region.Bytes = R.readBlob();
+    Out.Memory.push_back(std::move(Region));
+  }
+  return !R.failed();
+}

@@ -1,0 +1,134 @@
+//===- runtime/Snap.h - Snap file format ------------------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The snap file (paper section 3.6): raw trace buffers plus the metadata
+/// reconstruction needs — process identity, host description, the loaded
+/// module list with checksums and actual (post-rebase) DAG ranges, the
+/// reason the snap was produced, and per-thread cursor state for clean
+/// snaps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_RUNTIME_SNAP_H
+#define TRACEBACK_RUNTIME_SNAP_H
+
+#include "isa/Module.h"
+#include "support/MD5.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// Why a snap was produced (section 3.6's trigger taxonomy).
+enum class SnapReason : uint16_t {
+  Exception = 1,
+  Signal = 2,
+  Api = 3,       ///< Programmatic snap call.
+  Hang = 4,      ///< Heartbeat timeout from the service process.
+  External = 5,  ///< External snap utility.
+  ProcessExit = 6,
+  GroupPeer = 7, ///< Snapped because a process-group peer snapped.
+  Unhandled = 8, ///< Last-chance handler (crash).
+};
+
+std::string snapReasonName(SnapReason R);
+
+/// One module's metadata in a snap.
+struct SnapModuleInfo {
+  std::string Name;
+  MD5Digest Checksum;
+  uint32_t DagIdBase = 0;  ///< Actual, post-rebase base.
+  uint32_t DagIdCount = 0;
+  Technology Tech = Technology::Native;
+  bool Instrumented = false;
+  bool Unloaded = false;
+  uint64_t CodeBase = 0;
+};
+
+/// One raw trace buffer image.
+struct SnapBufferImage {
+  uint32_t Index = 0;
+  uint32_t SubBufferWords = 0; ///< Including the trailing sentinel word.
+  uint32_t SubBufferCount = 0;
+  uint32_t CommittedSubBuffer = UINT32_MAX;
+  uint64_t OwnerThread = 0;
+  bool Desperation = false;
+  /// Guest address of Raw[0] — lets thread cursor addresses be translated
+  /// to offsets within this image.
+  uint64_t RecordsBase = 0;
+  std::vector<uint8_t> Raw; ///< The record words, little endian.
+};
+
+/// A captured slice of guest memory (section 3.6's memory dump).
+struct SnapMemoryRegion {
+  uint64_t Base = 0;
+  /// What the region is ("stack t3", "fault addr").
+  std::string Label;
+  std::vector<uint8_t> Bytes;
+};
+
+/// Per-thread state at snap time.
+struct SnapThreadInfo {
+  uint64_t ThreadId = 0;
+  /// Guest address of the thread's last-written record (its TLS cursor),
+  /// or 0 when unknown (abrupt termination lost it — reconstruction falls
+  /// back to sub-buffer commit state, section 3.2).
+  uint64_t Cursor = 0;
+  bool Alive = true;
+  bool ExitedAbruptly = false;
+};
+
+/// A complete snap.
+struct SnapFile {
+  SnapReason Reason = SnapReason::Api;
+  uint16_t ReasonDetail = 0; ///< Fault code / signal number / API code.
+  std::string ProcessName;
+  uint64_t Pid = 0;
+  std::string MachineName;
+  std::string OsName;
+  uint64_t RuntimeId = 0;
+  Technology Tech = Technology::Native;
+  uint64_t Timestamp = 0;
+
+  /// Fault context when Reason is Exception/Unhandled/Signal.
+  uint64_t FaultThread = 0;
+  uint64_t FaultModuleKey = 0;
+  uint32_t FaultOffset = 0;
+  uint16_t FaultCodeValue = 0;
+
+  /// Guest base address of the buffer region (so record-internal cursor
+  /// addresses can be translated to buffer offsets).
+  uint64_t BufferRegionBase = 0;
+  std::vector<SnapModuleInfo> Modules;
+  std::vector<SnapBufferImage> Buffers;
+  std::vector<SnapThreadInfo> Threads;
+  std::vector<SnapMemoryRegion> Memory;
+
+  std::vector<uint8_t> serialize() const;
+  static bool deserialize(const std::vector<uint8_t> &Bytes, SnapFile &Out);
+};
+
+/// Receives snaps as the runtime produces them (the transport to the
+/// service process / archive in a real deployment).
+class SnapSink {
+public:
+  virtual ~SnapSink();
+  virtual void onSnap(const SnapFile &Snap) = 0;
+};
+
+/// A SnapSink that just collects everything (tests, examples).
+class CollectingSnapSink : public SnapSink {
+public:
+  void onSnap(const SnapFile &Snap) override { Snaps.push_back(Snap); }
+  std::vector<SnapFile> Snaps;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_RUNTIME_SNAP_H

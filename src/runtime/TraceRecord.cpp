@@ -1,0 +1,60 @@
+//===- runtime/TraceRecord.cpp - Trace record format ----------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TraceRecord.h"
+
+#include <cassert>
+
+using namespace traceback;
+
+std::vector<uint32_t> traceback::encodeExtRecord(const ExtRecord &R) {
+  assert(static_cast<uint8_t>(R.Type) != 0 && "subtype 0 is reserved");
+  unsigned Cont = extContinuationWords(static_cast<unsigned>(R.Payload.size()));
+  assert(Cont <= 255 && "payload too large for the length field");
+
+  std::vector<uint32_t> Words;
+  Words.reserve(1 + Cont);
+  uint32_t Header = (static_cast<uint32_t>(R.Type) << 24) | (Cont << 16) |
+                    R.Inline;
+  assert(isExtHeader(Header) && "header encoding overflowed its fields");
+  Words.push_back(Header);
+
+  for (uint64_t V : R.Payload) {
+    // 30 + 30 + 4 bits, low bits first; every word tagged 01 in bits 31..30.
+    Words.push_back(0x40000000u | static_cast<uint32_t>(V & 0x3FFFFFFF));
+    Words.push_back(0x40000000u |
+                    static_cast<uint32_t>((V >> 30) & 0x3FFFFFFF));
+    Words.push_back(0x40000000u | static_cast<uint32_t>((V >> 60) & 0xF));
+  }
+  return Words;
+}
+
+bool traceback::decodeExtRecord(const uint32_t *Words, size_t Count,
+                                size_t &Pos, ExtRecord &Out) {
+  assert(Pos < Count && isExtHeader(Words[Pos]) && "not at a header");
+  uint32_t Header = Words[Pos];
+  uint8_t Type = static_cast<uint8_t>((Header >> 24) & 0x3F);
+  unsigned Cont = (Header >> 16) & 0xFF;
+  if (Type == 0 || Cont % 3 != 0)
+    return false;
+  if (Pos + 1 + Cont > Count)
+    return false; // Truncated (e.g. torn at the ring seam).
+  for (unsigned I = 0; I < Cont; ++I)
+    if (!isExtContinuation(Words[Pos + 1 + I]))
+      return false; // Overwritten mid-record.
+
+  Out = ExtRecord();
+  Out.Type = static_cast<ExtType>(Type);
+  Out.Inline = static_cast<uint16_t>(Header & 0xFFFF);
+  for (unsigned I = 0; I < Cont; I += 3) {
+    uint64_t Lo = Words[Pos + 1 + I] & 0x3FFFFFFF;
+    uint64_t Mid = Words[Pos + 2 + I] & 0x3FFFFFFF;
+    uint64_t Hi = Words[Pos + 3 + I] & 0xF;
+    Out.Payload.push_back(Lo | (Mid << 30) | (Hi << 60));
+  }
+  Pos += 1 + Cont;
+  return true;
+}

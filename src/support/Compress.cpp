@@ -1,0 +1,122 @@
+//===- support/Compress.cpp - Trace buffer compressor ---------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Compress.h"
+
+#include "support/ByteStream.h"
+
+#include <cstring>
+
+using namespace traceback;
+
+// Token stream format: a control byte precedes up to 8 items; bit I set
+// means item I is a (offset,length) match, clear means a literal byte.
+// Matches are encoded as 2-byte offset (1..65535 back) + 1-byte length
+// (value L encodes length L + MinMatch).
+namespace {
+constexpr size_t MinMatch = 4;
+constexpr size_t MaxMatch = 4 + 255;
+constexpr size_t WindowSize = 65535;
+constexpr size_t HashSize = 1 << 15;
+
+uint32_t hash4(const uint8_t *P) {
+  uint32_t V;
+  std::memcpy(&V, P, 4);
+  return (V * 2654435761u) >> 17;
+}
+} // namespace
+
+std::vector<uint8_t> traceback::lzCompress(const std::vector<uint8_t> &Input) {
+  std::vector<uint8_t> Out;
+  ByteWriter W(Out);
+  W.writeVarU64(Input.size());
+
+  // Head of the most recent position for each 4-byte hash bucket.
+  std::vector<size_t> Head(HashSize, SIZE_MAX);
+
+  size_t Pos = 0;
+  const size_t N = Input.size();
+
+  while (Pos < N) {
+    uint8_t Control = 0;
+    size_t ControlAt = Out.size();
+    Out.push_back(0);
+    for (int Item = 0; Item < 8 && Pos < N; ++Item) {
+      size_t BestLen = 0, BestOff = 0;
+      if (Pos + MinMatch <= N) {
+        uint32_t H = hash4(&Input[Pos]) & (HashSize - 1);
+        size_t Cand = Head[H];
+        if (Cand != SIZE_MAX && Pos - Cand <= WindowSize) {
+          size_t Len = 0;
+          size_t Max = N - Pos < MaxMatch ? N - Pos : MaxMatch;
+          while (Len < Max && Input[Cand + Len] == Input[Pos + Len])
+            ++Len;
+          if (Len >= MinMatch) {
+            BestLen = Len;
+            BestOff = Pos - Cand;
+          }
+        }
+        Head[H] = Pos;
+      }
+      if (BestLen >= MinMatch) {
+        Control |= static_cast<uint8_t>(1 << Item);
+        Out.push_back(static_cast<uint8_t>(BestOff & 0xFF));
+        Out.push_back(static_cast<uint8_t>(BestOff >> 8));
+        Out.push_back(static_cast<uint8_t>(BestLen - MinMatch));
+        // Index a few interior positions so later matches can find them.
+        size_t End = Pos + BestLen;
+        for (size_t P = Pos + 1; P < End && P + MinMatch <= N; P += 2)
+          Head[hash4(&Input[P]) & (HashSize - 1)] = P;
+        Pos = End;
+      } else {
+        Out.push_back(Input[Pos]);
+        ++Pos;
+      }
+    }
+    Out[ControlAt] = Control;
+  }
+  return Out;
+}
+
+bool traceback::lzDecompress(const std::vector<uint8_t> &Input,
+                             std::vector<uint8_t> &Output) {
+  Output.clear();
+  ByteReader R(Input);
+  uint64_t ExpectLen = R.readVarU64();
+  if (R.failed())
+    return false;
+  Output.reserve(static_cast<size_t>(ExpectLen));
+
+  while (Output.size() < ExpectLen) {
+    uint8_t Control = R.readU8();
+    if (R.failed())
+      return false;
+    for (int Item = 0; Item < 8 && Output.size() < ExpectLen; ++Item) {
+      if (Control & (1 << Item)) {
+        uint16_t OffLo = R.readU8();
+        uint16_t OffHi = R.readU8();
+        uint8_t LenByte = R.readU8();
+        if (R.failed())
+          return false;
+        size_t Off = static_cast<size_t>(OffLo) | (static_cast<size_t>(OffHi) << 8);
+        size_t Len = static_cast<size_t>(LenByte) + MinMatch;
+        if (Off == 0 || Off > Output.size() ||
+            Output.size() + Len > ExpectLen)
+          return false;
+        size_t Src = Output.size() - Off;
+        // Byte-by-byte copy: matches may overlap their own output.
+        for (size_t I = 0; I < Len; ++I)
+          Output.push_back(Output[Src + I]);
+      } else {
+        uint8_t B = R.readU8();
+        if (R.failed())
+          return false;
+        Output.push_back(B);
+      }
+    }
+  }
+  return Output.size() == ExpectLen;
+}

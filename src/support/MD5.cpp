@@ -1,0 +1,193 @@
+//===- support/MD5.cpp - MD5 message digest -------------------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MD5.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace traceback;
+
+// Per-round left-rotation amounts (RFC 1321).
+static const uint32_t ShiftTable[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// Sine-derived constants K[i] = floor(2^32 * |sin(i + 1)|) (RFC 1321).
+static const uint32_t SineTable[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+static uint32_t rotl(uint32_t X, uint32_t N) {
+  return (X << N) | (X >> (32 - N));
+}
+
+MD5::MD5() : BitCount(0), BufferLen(0), Finalized(false) {
+  State[0] = 0x67452301;
+  State[1] = 0xefcdab89;
+  State[2] = 0x98badcfe;
+  State[3] = 0x10325476;
+}
+
+void MD5::processBlock(const uint8_t *Block) {
+  uint32_t M[16];
+  for (int I = 0; I < 16; ++I) {
+    M[I] = static_cast<uint32_t>(Block[I * 4]) |
+           (static_cast<uint32_t>(Block[I * 4 + 1]) << 8) |
+           (static_cast<uint32_t>(Block[I * 4 + 2]) << 16) |
+           (static_cast<uint32_t>(Block[I * 4 + 3]) << 24);
+  }
+
+  uint32_t A = State[0], B = State[1], C = State[2], D = State[3];
+  for (int I = 0; I < 64; ++I) {
+    uint32_t F;
+    int G;
+    if (I < 16) {
+      F = (B & C) | (~B & D);
+      G = I;
+    } else if (I < 32) {
+      F = (D & B) | (~D & C);
+      G = (5 * I + 1) % 16;
+    } else if (I < 48) {
+      F = B ^ C ^ D;
+      G = (3 * I + 5) % 16;
+    } else {
+      F = C ^ (B | ~D);
+      G = (7 * I) % 16;
+    }
+    uint32_t Tmp = D;
+    D = C;
+    C = B;
+    B = B + rotl(A + F + SineTable[I] + M[G], ShiftTable[I]);
+    A = Tmp;
+  }
+
+  State[0] += A;
+  State[1] += B;
+  State[2] += C;
+  State[3] += D;
+}
+
+void MD5::update(const void *Data, size_t Size) {
+  assert(!Finalized && "update() after final()");
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  BitCount += static_cast<uint64_t>(Size) * 8;
+
+  // Fill a partially full buffer first.
+  if (BufferLen != 0) {
+    size_t Need = 64 - BufferLen;
+    size_t Take = Size < Need ? Size : Need;
+    std::memcpy(Buffer + BufferLen, P, Take);
+    BufferLen += Take;
+    P += Take;
+    Size -= Take;
+    if (BufferLen == 64) {
+      processBlock(Buffer);
+      BufferLen = 0;
+    }
+  }
+
+  while (Size >= 64) {
+    processBlock(P);
+    P += 64;
+    Size -= 64;
+  }
+
+  if (Size != 0) {
+    std::memcpy(Buffer, P, Size);
+    BufferLen = Size;
+  }
+}
+
+MD5Digest MD5::final() {
+  assert(!Finalized && "final() called twice");
+  Finalized = true;
+
+  uint64_t LenBits = BitCount;
+  // Append the 0x80 terminator then zero-pad to 56 mod 64.
+  uint8_t Pad = 0x80;
+  Finalized = false; // Temporarily re-enable update for padding.
+  update(&Pad, 1);
+  uint8_t Zero = 0;
+  while (BufferLen != 56)
+    update(&Zero, 1);
+
+  // Append the original length in bits, little endian.
+  uint8_t LenBytes[8];
+  for (int I = 0; I < 8; ++I)
+    LenBytes[I] = static_cast<uint8_t>(LenBits >> (I * 8));
+  update(LenBytes, 8);
+  Finalized = true;
+  assert(BufferLen == 0 && "padding must complete the final block");
+
+  MD5Digest D;
+  for (int W = 0; W < 4; ++W)
+    for (int I = 0; I < 4; ++I)
+      D.Bytes[W * 4 + I] = static_cast<uint8_t>(State[W] >> (I * 8));
+  return D;
+}
+
+MD5Digest MD5::hash(const void *Data, size_t Size) {
+  MD5 H;
+  H.update(Data, Size);
+  return H.final();
+}
+
+std::string MD5Digest::toHex() const {
+  static const char *Digits = "0123456789abcdef";
+  std::string S;
+  S.reserve(32);
+  for (uint8_t B : Bytes) {
+    S.push_back(Digits[B >> 4]);
+    S.push_back(Digits[B & 0xF]);
+  }
+  return S;
+}
+
+bool MD5Digest::fromHex(const std::string &Hex, MD5Digest &Out) {
+  if (Hex.size() != 32)
+    return false;
+  auto Nibble = [](char C, uint8_t &V) {
+    if (C >= '0' && C <= '9') {
+      V = static_cast<uint8_t>(C - '0');
+      return true;
+    }
+    if (C >= 'a' && C <= 'f') {
+      V = static_cast<uint8_t>(C - 'a' + 10);
+      return true;
+    }
+    if (C >= 'A' && C <= 'F') {
+      V = static_cast<uint8_t>(C - 'A' + 10);
+      return true;
+    }
+    return false;
+  };
+  for (int I = 0; I < 16; ++I) {
+    uint8_t Hi, Lo;
+    if (!Nibble(Hex[I * 2], Hi) || !Nibble(Hex[I * 2 + 1], Lo))
+      return false;
+    Out.Bytes[I] = static_cast<uint8_t>((Hi << 4) | Lo);
+  }
+  return true;
+}
+
+uint64_t MD5Digest::low64() const {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(Bytes[I]) << (I * 8);
+  return V;
+}

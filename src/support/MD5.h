@@ -1,0 +1,84 @@
+//===- support/MD5.h - MD5 message digest -----------------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch implementation of the MD5 message digest (RFC 1321).
+///
+/// TraceBack keys runtime module bookkeeping (DAG-ID range reuse across
+/// unload/reload, mapfile <-> trace matching) on an MD5 checksum of the
+/// instrumented module, computed over the parts of the module that do not
+/// change between rebuilds of identical sources (\see
+/// instrument/Checksum.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_SUPPORT_MD5_H
+#define TRACEBACK_SUPPORT_MD5_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace traceback {
+
+/// A 128-bit MD5 digest.
+struct MD5Digest {
+  std::array<uint8_t, 16> Bytes = {};
+
+  bool operator==(const MD5Digest &RHS) const { return Bytes == RHS.Bytes; }
+  bool operator!=(const MD5Digest &RHS) const { return !(*this == RHS); }
+  bool operator<(const MD5Digest &RHS) const { return Bytes < RHS.Bytes; }
+
+  /// Renders the digest as 32 lowercase hex characters.
+  std::string toHex() const;
+
+  /// Parses 32 hex characters; returns false on malformed input.
+  static bool fromHex(const std::string &Hex, MD5Digest &Out);
+
+  /// A cheap 64-bit key derived from the first 8 digest bytes, for use in
+  /// hash maps.
+  uint64_t low64() const;
+};
+
+/// Incremental MD5 hasher.
+///
+/// Usage:
+/// \code
+///   MD5 Hash;
+///   Hash.update(Data, Size);
+///   MD5Digest D = Hash.final();
+/// \endcode
+class MD5 {
+public:
+  MD5();
+
+  /// Absorbs \p Size bytes at \p Data into the running hash.
+  void update(const void *Data, size_t Size);
+
+  /// Convenience overload for strings.
+  void update(const std::string &S) { update(S.data(), S.size()); }
+
+  /// Finalizes and returns the digest. The hasher must not be updated
+  /// afterwards.
+  MD5Digest final();
+
+  /// One-shot convenience hash.
+  static MD5Digest hash(const void *Data, size_t Size);
+
+private:
+  void processBlock(const uint8_t *Block);
+
+  uint32_t State[4];
+  uint64_t BitCount;
+  uint8_t Buffer[64];
+  size_t BufferLen;
+  bool Finalized;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_SUPPORT_MD5_H

@@ -1,0 +1,64 @@
+//===- support/Random.h - Deterministic PRNG --------------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic splitmix64/xoshiro-style PRNG.
+///
+/// Everything in the repo that needs randomness (workload generators,
+/// property tests, scheduler jitter) uses this generator with an explicit
+/// seed so runs are bit-for-bit reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_SUPPORT_RANDOM_H
+#define TRACEBACK_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace traceback {
+
+/// Deterministic 64-bit PRNG (splitmix64 core).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "below(0) is meaningless");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli trial: true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_SUPPORT_RANDOM_H

@@ -1,0 +1,67 @@
+//===- support/SimClock.h - Simulated hardware clocks -----------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated time sources.
+///
+/// The paper's runtime stamps trace records from either the native
+/// high-resolution clock (RDTSC / gethrtime) or a logical clock that ticks
+/// on important events (section 3.5). Machines in our simulated world each
+/// own a SimClock with independent offset (skew) and rate (drift), which is
+/// exactly what the distributed reconstruction's skew compensation has to
+/// cope with (section 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_SUPPORT_SIMCLOCK_H
+#define TRACEBACK_SUPPORT_SIMCLOCK_H
+
+#include <cstdint>
+
+namespace traceback {
+
+/// A per-machine hardware clock derived from global simulation cycles.
+///
+/// Reading the clock yields `Offset + Cycles * RateNum / RateDen`, so two
+/// machines observing the same instant report different timestamps, with a
+/// slowly diverging difference when their rates differ.
+class SimClock {
+public:
+  SimClock() = default;
+  SimClock(int64_t Offset, uint64_t RateNum, uint64_t RateDen)
+      : Offset(Offset), RateNum(RateNum), RateDen(RateDen) {}
+
+  /// Timestamp observed by this clock when the global simulation cycle
+  /// counter reads \p GlobalCycles.
+  uint64_t read(uint64_t GlobalCycles) const {
+    __int128 Scaled = static_cast<__int128>(GlobalCycles) * RateNum / RateDen;
+    return static_cast<uint64_t>(static_cast<__int128>(Offset) + Scaled);
+  }
+
+  int64_t offset() const { return Offset; }
+
+private:
+  int64_t Offset = 0;
+  uint64_t RateNum = 1;
+  uint64_t RateDen = 1;
+};
+
+/// The paper's fallback time source: a logical clock that increments on
+/// each "important event" (thread start/end, buffer wrap, exception, ...).
+/// It orders events within one process but cannot interleave across
+/// processes (section 3.5).
+class LogicalClock {
+public:
+  uint64_t tick() { return ++Value; }
+  uint64_t current() const { return Value; }
+
+private:
+  uint64_t Value = 0;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_SUPPORT_SIMCLOCK_H

@@ -1,0 +1,40 @@
+//===- support/Text.h - Small string utilities ------------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string plus tokenizing helpers used by
+/// the policy-file and assembler parsers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_SUPPORT_TEXT_H
+#define TRACEBACK_SUPPORT_TEXT_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// printf into a std::string.
+std::string formatv(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits on any character in \p Seps, dropping empty pieces.
+std::vector<std::string> splitString(const std::string &S, const char *Seps);
+
+/// Strips leading and trailing whitespace.
+std::string trimString(const std::string &S);
+
+/// True if \p S begins with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Parses a decimal or 0x-prefixed integer; returns false on junk.
+bool parseInt(const std::string &S, int64_t &Out);
+
+} // namespace traceback
+
+#endif // TRACEBACK_SUPPORT_TEXT_H

@@ -1,0 +1,75 @@
+//===- vm/AddressSpace.h - Sparse guest memory ------------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse, page-granular guest address space. Accesses to unmapped pages
+/// fail (the VM turns that into a SEGV-style guest fault). The TraceBack
+/// runtime's trace buffers live in this memory, mirroring the paper's
+/// memory-mapped files: after a process dies — even from `kill -9` — the
+/// service process can still copy the buffer bytes out (section 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_VM_ADDRESSSPACE_H
+#define TRACEBACK_VM_ADDRESSSPACE_H
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace traceback {
+
+/// Sparse paged memory.
+class AddressSpace {
+public:
+  static constexpr uint64_t PageSize = 4096;
+
+  /// Maps (zero-filled) all pages covering [Addr, Addr+Size).
+  void map(uint64_t Addr, uint64_t Size);
+
+  /// True if every byte of [Addr, Addr+Size) is mapped.
+  bool isMapped(uint64_t Addr, uint64_t Size) const;
+
+  /// Bulk copy out; false (partial copy possible) on unmapped access.
+  bool read(uint64_t Addr, void *Dst, uint64_t Size) const;
+
+  /// Bulk copy in; false on unmapped access.
+  bool write(uint64_t Addr, const void *Src, uint64_t Size);
+
+  // Fixed-width helpers; Ok is cleared on fault (never set to true).
+  uint64_t read64(uint64_t Addr, bool &Ok) const { return readN(Addr, 8, Ok); }
+  uint32_t read32(uint64_t Addr, bool &Ok) const {
+    return static_cast<uint32_t>(readN(Addr, 4, Ok));
+  }
+  uint8_t read8(uint64_t Addr, bool &Ok) const {
+    return static_cast<uint8_t>(readN(Addr, 1, Ok));
+  }
+  bool write64(uint64_t Addr, uint64_t V) { return writeN(Addr, V, 8); }
+  bool write32(uint64_t Addr, uint32_t V) { return writeN(Addr, V, 4); }
+  bool write8(uint64_t Addr, uint8_t V) { return writeN(Addr, V, 1); }
+
+  /// Reads a NUL-terminated string (bounded); false on fault or overlong.
+  bool readCString(uint64_t Addr, std::string &Out,
+                   uint64_t MaxLen = 65536) const;
+
+  /// Total mapped bytes (for memory-overhead accounting).
+  uint64_t mappedBytes() const { return Pages.size() * PageSize; }
+
+private:
+  uint64_t readN(uint64_t Addr, unsigned N, bool &Ok) const;
+  bool writeN(uint64_t Addr, uint64_t V, unsigned N);
+
+  const uint8_t *pageFor(uint64_t Addr) const;
+  uint8_t *pageForWrite(uint64_t Addr);
+
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> Pages;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_VM_ADDRESSSPACE_H

@@ -1,0 +1,70 @@
+//===- vm/Fault.h - Guest fault model ---------------------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Guest exception/fault descriptors. Instruction-level faults (bad memory,
+/// divide by zero, wild jumps, explicit Trap) are delivered SEH-style:
+/// first-chance runtime hooks see them before any guest handler runs
+/// (paper section 3.7.2). Asynchronous signals travel a separate path
+/// (section 3.7.3) but reuse the same descriptor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_VM_FAULT_H
+#define TRACEBACK_VM_FAULT_H
+
+#include <cstdint>
+#include <string>
+
+namespace traceback {
+
+/// Fault codes. Values below 100 are machine-level; Trap instructions
+/// raise `UserTrapBase + imm` (language-level exceptions).
+enum class FaultCode : uint16_t {
+  None = 0,
+  Segv = 1,         ///< Unmapped memory access.
+  DivZero = 2,      ///< Integer divide/modulo by zero.
+  BadJump = 3,      ///< Indirect jump/call/return to a non-instruction.
+  StackOverflow = 4,///< Push/Pop ran off the stack mapping.
+  BadTls = 5,       ///< TLS slot out of range.
+  BadSyscall = 6,   ///< Unknown syscall number.
+  RpcServerFault = 7, ///< Server-side failure surfaced to an RPC client.
+  UserTrapBase = 100,
+};
+
+inline FaultCode userTrap(uint16_t Code) {
+  return static_cast<FaultCode>(
+      static_cast<uint16_t>(FaultCode::UserTrapBase) + Code);
+}
+
+/// Human-readable fault name.
+std::string faultCodeName(FaultCode Code);
+
+/// A delivered guest fault.
+struct GuestFault {
+  FaultCode Code = FaultCode::None;
+  uint64_t PC = 0;        ///< Faulting instruction address.
+  uint64_t Addr = 0;      ///< Offending data address, if meaningful.
+  /// Identity of the module containing PC: low 64 bits of its checksum for
+  /// instrumented modules, 0 otherwise. Reconstruction uses this to
+  /// resolve the fault offset (paper section 4.2).
+  uint64_t ModuleKey = 0;
+  uint32_t ModuleOffset = 0;
+  bool InInstrumentedModule = false;
+};
+
+/// Conventional signal numbers for the simulated-UNIX flavor.
+enum Signal : int {
+  SigInt = 2,
+  SigKill = 9,
+  SigUsr1 = 10,
+  SigSegv = 11,
+  SigTerm = 15,
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_VM_FAULT_H

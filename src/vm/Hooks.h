@@ -1,0 +1,113 @@
+//===- vm/Hooks.h - VM/runtime boundary -------------------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface through which the VM notifies attached TraceBack runtimes
+/// of the events the paper's runtime intercepts on real platforms: module
+/// loads (DAG rebasing, section 2.3), thread lifetime (buffer assignment,
+/// section 3.1), probe traps (buffer_wrap), first-chance exceptions
+/// (section 3.7.2), signals (3.7.3), process exit (3.7.4), syscalls
+/// (timestamp probes, 3.5), cross-technology transitions (the JNI analog,
+/// 3.3) and RPC payload piggybacking (5.1).
+///
+/// A process may have several runtimes attached (e.g. the native and the
+/// managed runtime); each declares which module technology it owns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_VM_HOOKS_H
+#define TRACEBACK_VM_HOOKS_H
+
+#include "isa/Module.h"
+#include "vm/Fault.h"
+
+#include <cstdint>
+
+namespace traceback {
+
+class Process;
+class Thread;
+struct LoadedModule;
+
+/// The TraceBack triple piggybacked on RPC payloads (section 5.1), plus
+/// presence marker.
+struct RpcWire {
+  bool Present = false;
+  uint64_t RuntimeId = 0;
+  uint64_t LogicalThreadId = 0;
+  uint64_t Sequence = 0;
+};
+
+/// Event sink implemented by TraceBack runtimes.
+class RuntimeHooks {
+public:
+  virtual ~RuntimeHooks();
+
+  /// True if this runtime traces modules of technology \p Tech.
+  virtual bool ownsTechnology(Technology Tech) const = 0;
+
+  /// Called after relocation but before the module's code is decoded for
+  /// execution: the runtime may patch DAG IDs and TLS slots in
+  /// LM.Mod.Code (DAG rebasing).
+  virtual void onModuleRebase(Process &P, LoadedModule &LM) {}
+  virtual void onModuleLoaded(Process &P, LoadedModule &LM) {}
+  virtual void onModuleUnloaded(Process &P, LoadedModule &LM) {}
+
+  virtual void onThreadStart(Process &P, Thread &T) {}
+  /// Orderly exit only: threads that die abruptly never produce this (the
+  /// runtime's scavenger finds them, section 3.1.2).
+  virtual void onThreadExit(Process &P, Thread &T) {}
+  virtual void onProcessExit(Process &P) {}
+
+  /// RtCall trap from probe code in a module this runtime owns.
+  virtual void onRtCall(Process &P, Thread &T, uint16_t Entry) {}
+
+  /// A syscall is about to execute (timestamp probe point).
+  virtual void onSyscall(Process &P, Thread &T, uint16_t Number) {}
+
+  /// First-chance exception, before unwinding.
+  virtual void onException(Process &P, Thread &T, const GuestFault &F) {}
+  /// Control resumed at a guest handler.
+  virtual void onExceptionHandled(Process &P, Thread &T,
+                                  const GuestFault &F) {}
+  /// No handler found; process is about to die (last-chance).
+  virtual void onUnhandledException(Process &P, Thread &T,
+                                    const GuestFault &F) {}
+
+  /// Signal about to be delivered. \p HasGuestHandler / \p Fatal describe
+  /// what the VM will do next.
+  virtual void onSignal(Process &P, Thread &T, int Sig, bool HasGuestHandler,
+                        bool Fatal) {}
+  /// The guest signal handler returned normally.
+  virtual void onSignalHandlerDone(Process &P, Thread &T, int Sig) {}
+
+  /// Programmatic snap API / external snap request. \p T may be null for
+  /// external requests.
+  virtual void onSnapRequest(Process &P, Thread *T, uint16_t Reason) {}
+
+  /// Control transferred between modules of different technologies inside
+  /// one process (JNI / PInvoke analog). \p IsCall distinguishes the call
+  /// from the matching return.
+  virtual void onTechTransition(Process &P, Thread &T, Technology From,
+                                Technology To, bool IsCall) {}
+
+  // --- RPC piggybacking (section 5.1) ------------------------------------
+
+  /// Outgoing RPC on a thread this runtime traces: fill \p Wire and write
+  /// the CallSend SYNC record.
+  virtual void onRpcClientCall(Process &P, Thread &T, RpcWire &Wire) {}
+  /// Request arrived at a server thread: bind the logical thread, write
+  /// the CallRecv SYNC record.
+  virtual void onRpcServerRecv(Process &P, Thread &T, const RpcWire &Wire) {}
+  /// Server about to reply: write ReplySend SYNC, update \p Wire.
+  virtual void onRpcServerReply(Process &P, Thread &T, RpcWire &Wire) {}
+  /// Reply arrived back at the client: write ReplyRecv SYNC.
+  virtual void onRpcClientReturn(Process &P, Thread &T, const RpcWire &Wire) {}
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_VM_HOOKS_H

@@ -1,0 +1,58 @@
+//===- vm/Machine.h - Simulated machine -------------------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated machine: a named host with its own hardware clock (offset
+/// and rate relative to global simulation cycles — the clock skew that
+/// distributed reconstruction must compensate for) and a set of processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_VM_MACHINE_H
+#define TRACEBACK_VM_MACHINE_H
+
+#include "support/SimClock.h"
+#include "vm/Process.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+class World;
+
+/// A simulated host machine.
+class Machine {
+public:
+  Machine(uint64_t Id, std::string Name, std::string OsName, SimClock Clock,
+          World *Owner)
+      : Id(Id), Name(std::move(Name)), OsName(std::move(OsName)),
+        Clock(Clock), Owner(Owner) {}
+
+  uint64_t Id;
+  std::string Name;
+  std::string OsName;
+  SimClock Clock;
+  World *Owner;
+  std::vector<std::unique_ptr<Process>> Processes;
+
+  /// Creates a process with a world-unique pid.
+  Process *createProcess(const std::string &ProcName);
+
+  /// This machine's clock reading at global cycle \p GlobalCycles.
+  uint64_t now(uint64_t GlobalCycles) const {
+    return Clock.read(GlobalCycles);
+  }
+
+  /// This machine's clock reading right now (defined in World.cpp).
+  uint64_t nowGlobal() const;
+
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_VM_MACHINE_H

@@ -1,0 +1,69 @@
+//===- vm/Syscalls.h - Guest system call numbers ----------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// System call numbers for the simulated OS. Arguments travel in R0..R3,
+/// the result in R0. Syscalls model the OS-service points at which the
+/// paper's runtime inserts timestamp probes (section 3.5) — every syscall
+/// is reported to the attached runtimes before it executes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_VM_SYSCALLS_H
+#define TRACEBACK_VM_SYSCALLS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace traceback {
+
+enum Syscall : uint16_t {
+  SysExit = 0,        ///< R0 = process exit code.
+  SysPrintInt = 1,    ///< R0 = value appended to process output.
+  SysPrintStr = 2,    ///< R0 = guest address of NUL-terminated string.
+  SysAlloc = 3,       ///< R0 = size -> R0 = address (bump allocator).
+  SysSleep = 4,       ///< R0 = cycles.
+  SysNow = 5,         ///< -> R0 = machine clock.
+  SysRand = 6,        ///< -> R0 = deterministic per-process random.
+  SysThreadSpawn = 7, ///< R0 = entry address, R1 = arg -> R0 = thread id.
+  SysThreadExit = 8,
+  SysThreadJoin = 9,  ///< R0 = thread id.
+  SysLock = 10,       ///< R0 = mutex id.
+  SysUnlock = 11,     ///< R0 = mutex id.
+  SysRpcCall = 12,    ///< R0 = service, R1 = arg ptr, R2 = arg len,
+                      ///  R3 = reply buffer (RpcReplyCap bytes)
+                      ///  -> R0 = RpcStatus, R1 = reply len.
+  SysRpcRecv = 13,    ///< R0 = buffer, R1 = cap -> R0 = request id,
+                      ///  R1 = length (blocks).
+  SysRpcReply = 14,   ///< R0 = request id, R1 = ptr, R2 = len.
+  SysIoRead = 15,     ///< R0 = bytes -> latency sleep, R0 = bytes.
+  SysIoWrite = 16,    ///< R0 = bytes -> latency sleep, R0 = bytes.
+  SysSnap = 17,       ///< R0 = reason code; programmatic snap API.
+  SysSigHandler = 18, ///< R0 = signal, R1 = handler address (0 = clear).
+  SysRaise = 19,      ///< R0 = signal; synchronous.
+  SysYield = 20,
+  SysSrvRegister = 21,///< R0 = service id this process will serve.
+  SysPrintChar = 22,  ///< R0 = character.
+};
+
+/// Fixed capacity of an RPC reply buffer (see SysRpcCall).
+constexpr uint64_t RpcReplyCap = 1024;
+
+/// RPC status results (returned in R0).
+enum class RpcStatus : uint64_t {
+  Ok = 0,
+  NoService = 1,
+  ServerFault = 2, ///< The analog of RPC_E_SERVERFAULT in the paper's
+                   ///  Figure 6 scenario.
+};
+
+/// Named constants for the assembler (`sys $SysPrintInt` etc.).
+std::map<std::string, int64_t> syscallAssemblerConstants();
+
+} // namespace traceback
+
+#endif // TRACEBACK_VM_SYSCALLS_H

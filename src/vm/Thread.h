@@ -1,0 +1,125 @@
+//===- vm/Thread.h - Guest thread state -------------------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Guest thread: architectural registers, PC, thread-local storage (the
+/// probes' buffer cursor lives in a TLS slot), the VM-side shadow call
+/// stack used for exception unwinding, and scheduler state.
+///
+/// The shadow stack stands in for platform unwind metadata. Guest `Ret`
+/// still takes its target from guest stack *memory*, so stack corruption
+/// produces genuine wild returns (Figure 5's scenario); the shadow stack
+/// merely lets the unwinder find enclosing try-ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_VM_THREAD_H
+#define TRACEBACK_VM_THREAD_H
+
+#include "isa/Opcode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace traceback {
+
+/// Number of TLS slots per thread (the first 64 are "fast" on the paper's
+/// Windows target; we model a flat array).
+constexpr unsigned TlsSlotCount = 128;
+
+/// Magic return addresses pushed by the VM.
+constexpr uint64_t MagicThreadExit = 0xFFFFFFFFFFFFFF00ull;
+constexpr uint64_t MagicSigReturn = 0xFFFFFFFFFFFFFF10ull;
+
+enum class ThreadState : uint8_t {
+  Runnable,
+  Sleeping,       ///< Until WakeAt (possibly with a pending wake action).
+  BlockedMutex,
+  BlockedJoin,
+  BlockedRpcCall, ///< Awaiting an RPC reply.
+  BlockedRpcRecv, ///< Server thread awaiting a request.
+  Exited,
+};
+
+/// Deferred work to perform when a sleeping thread wakes (models network
+/// delivery latency).
+enum class WakeAction : uint8_t { None, RpcDeliver, RpcReturn };
+
+/// One VM-side call stack entry.
+struct ShadowFrame {
+  uint64_t CallInsnPC = 0; ///< Address of the call instruction.
+  uint64_t ReturnPC = 0;
+  uint64_t SPAtEntry = 0;  ///< SP after the return address was pushed.
+  uint64_t FPAtCall = 0;   ///< Caller's frame pointer.
+};
+
+/// Saved context while a guest signal handler runs.
+struct SignalFrame {
+  uint64_t Regs[NumRegs];
+  uint64_t PC;
+  int Sig;
+};
+
+/// A guest thread.
+class Thread {
+public:
+  Thread(uint64_t Id) : Id(Id), Tls(TlsSlotCount, 0) {}
+
+  uint64_t Id;
+  ThreadState State = ThreadState::Runnable;
+
+  uint64_t Regs[NumRegs] = {};
+  uint64_t PC = 0;
+  std::vector<uint64_t> Tls;
+
+  std::vector<ShadowFrame> Shadow;
+  std::vector<SignalFrame> SigFrames;
+
+  uint64_t StackBase = 0; ///< Lowest mapped stack address.
+  uint64_t StackSize = 0;
+
+  // Scheduler state.
+  uint64_t WakeAt = 0;
+  WakeAction OnWake = WakeAction::None;
+  uint64_t WakeRpcId = 0;
+  uint64_t WaitMutex = 0;
+  uint64_t JoinTarget = 0;
+
+  // RPC state.
+  uint64_t CurrentRpcRequest = 0; ///< Server side: request being handled.
+  uint64_t RecvBuf = 0;
+  uint64_t RecvCap = 0;
+
+  /// Shared out-of-band slot used to pass the TraceBack triple across a
+  /// same-process cross-technology call (the JNI direct-pass analog of
+  /// section 5.1). Written by the from-side runtime, read by the to-side.
+  struct TechWireSlot {
+    uint64_t RuntimeId = 0;
+    uint64_t LogicalThreadId = 0;
+    uint64_t Sequence = 0;
+    bool Present = false;
+  } TechWire;
+
+  uint64_t InstrRetired = 0;
+  uint64_t CyclesUsed = 0;
+  /// Died without notifying the runtime (hard kill, dispatch-boundary
+  /// fault); exercised by the runtime's dead-thread scavenger.
+  bool ExitedAbruptly = false;
+
+  /// Last (module, file, line) recorded by the execution oracle.
+  uint64_t OracleLastKey = UINT64_MAX;
+
+  uint64_t sp() const { return Regs[RegSP]; }
+  void setSp(uint64_t V) { Regs[RegSP] = V; }
+  uint64_t fp() const { return Regs[RegFP]; }
+
+  bool runnable() const { return State == ThreadState::Runnable; }
+  bool exited() const { return State == ThreadState::Exited; }
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_VM_THREAD_H

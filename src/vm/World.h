@@ -1,0 +1,148 @@
+//===- vm/World.h - Scheduler, interpreter, RPC transport -------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulation world: machines, the deterministic thread scheduler, the
+/// TB-ISA interpreter with its cycle cost model, guest fault delivery and
+/// unwinding, signals, and the RPC transport with TraceBack payload
+/// piggybacking (section 5.1).
+///
+/// Time: one global cycle counter advances as threads execute; each
+/// machine's clock is a skewed/drifting function of it. Benchmarks compare
+/// cycle counts of instrumented vs. uninstrumented runs of the same
+/// workload — the probes pay for their instructions through the same cost
+/// model as program code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_VM_WORLD_H
+#define TRACEBACK_VM_WORLD_H
+
+#include "vm/Machine.h"
+#include "vm/Syscalls.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// An in-flight RPC.
+struct RpcRequest {
+  uint64_t Id = 0;
+  uint32_t Service = 0;
+  std::vector<uint8_t> Arg;
+  std::vector<uint8_t> Reply;
+  RpcWire Wire; ///< TraceBack triple traveling with the payload.
+  RpcStatus Status = RpcStatus::Ok;
+  Process *ClientProc = nullptr;
+  uint64_t ClientThread = 0;
+  Process *ServerProc = nullptr;
+  uint64_t ServerThread = 0;
+  uint64_t ArriveAt = 0; ///< Global cycle at which the request lands.
+  uint64_t ReplyPtr = 0; ///< Client-side reply buffer (captured at call).
+};
+
+/// The whole simulated deployment.
+class World {
+public:
+  World();
+  ~World();
+
+  /// Creates a machine whose clock runs at RateNum/RateDen of global
+  /// cycles, offset by \p ClockOffset.
+  Machine *createMachine(const std::string &Name,
+                         const std::string &OsName = "simos",
+                         int64_t ClockOffset = 0, uint64_t RateNum = 1,
+                         uint64_t RateDen = 1);
+
+  /// Registers \p P as the handler process for \p Service.
+  void registerService(uint32_t Service, Process *P);
+
+  // --- Execution ----------------------------------------------------------
+
+  enum class RunResult {
+    AllExited,  ///< Every process has exited.
+    Idle,       ///< Nothing runnable or sleeping: deadlock / all blocked.
+    CycleLimit, ///< MaxCycles exhausted (potential livelock / hang).
+  };
+
+  /// Runs until everything exits, deadlocks, or \p MaxCycles elapse.
+  RunResult run(uint64_t MaxCycles = 500'000'000);
+
+  /// Executes at most one scheduling slice. Returns false if no thread
+  /// could run (after advancing time past sleepers).
+  bool stepSlice();
+
+  uint64_t cycles() const { return GlobalCycles; }
+
+  /// Queues an asynchronous signal for \p P (delivered to its first live
+  /// thread at the next slice boundary). SigKill is a hard kill: no hooks.
+  void sendSignal(Process &P, int Sig);
+
+  /// Asks every runtime attached to \p P for a snap (external snap utility
+  /// / service process request).
+  void requestSnap(Process &P, uint16_t Reason);
+
+  // --- Tunables -----------------------------------------------------------
+
+  uint32_t Quantum = 50;             ///< Instructions per slice.
+  uint64_t RpcLatencyIntra = 300;    ///< Same-machine RPC, cycles.
+  uint64_t RpcLatencyCross = 4000;   ///< Cross-machine RPC, cycles.
+  uint64_t IoLatencyBase = 1500;     ///< SysIoRead/Write fixed latency.
+  uint64_t IoLatencyPerByte = 2;
+  /// Kernel CPU burned per I/O byte (buffer copies, page cache): cost =
+  /// bytes >> IoCpuShift cycles charged to the calling thread.
+  uint64_t IoCpuShift = 1;
+
+  std::vector<std::unique_ptr<Machine>> Machines;
+
+  /// All processes across machines (iteration helper).
+  std::vector<Process *> allProcesses() const;
+
+private:
+  friend class Interp;
+
+  // Scheduler.
+  bool anyRunnable(uint64_t &MinWake, bool &HaveSleeper) const;
+  void wakeThread(Process &P, Thread &T);
+
+  // Interpreter.
+  void runQuantum(Machine &M, Process &P, Thread &T);
+  void doSyscall(Machine &M, Process &P, Thread &T, uint16_t No);
+  void deliverFault(Process &P, Thread &T, GuestFault F);
+  void deliverSignal(Process &P, Thread &T, int Sig);
+  void exitThread(Process &P, Thread &T, bool Orderly);
+  void techTransition(Process &P, Thread &T, Technology From, Technology To,
+                      bool IsCall);
+
+  // RPC.
+  void rpcCall(Machine &M, Process &P, Thread &T);
+  void rpcRecv(Process &P, Thread &T);
+  void rpcReply(Process &P, Thread &T);
+  void rpcDispatch(RpcRequest &Req);
+  void rpcCompleteToClient(RpcRequest &Req);
+  void rpcDeliverToServer(Process &P, Thread &T, uint64_t ReqId);
+  void rpcReturnToClient(Process &P, Thread &T, uint64_t ReqId);
+  void rpcAbortFromServerFault(Process &P, Thread &T);
+
+  friend class Machine;
+  uint64_t GlobalCycles = 0;
+  /// Extra CPU cycles a syscall charged beyond its opcode cost.
+  uint64_t PendingSyscallCycles = 0;
+  uint64_t NextMachineId = 1;
+  uint64_t NextRpcId = 1;
+  uint64_t NextPid = 100;
+  std::map<uint32_t, Process *> Services;
+  std::map<uint64_t, RpcRequest> Rpcs;
+  std::map<Process *, std::vector<uint64_t>> ServerBacklog;
+  size_t ScheduleCursor = 0;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_VM_WORLD_H

@@ -1,0 +1,99 @@
+//===- tests/TestHelpers.h - Shared test scaffolding ------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_TESTS_TESTHELPERS_H
+#define TRACEBACK_TESTS_TESTHELPERS_H
+
+#include "core/Session.h"
+#include "lang/CodeGen.h"
+#include "reconstruct/Views.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace traceback {
+namespace testing_helpers {
+
+/// Compiles MiniLang or aborts the test.
+inline Module compileOrDie(const std::string &Source,
+                           const std::string &ModuleName = "test",
+                           Technology Tech = Technology::Native,
+                           const std::string &FileName = "test.ml") {
+  Module M;
+  std::string Error;
+  if (!minilang::compileMiniLang(Source, FileName, ModuleName, Tech, M,
+                                 Error)) {
+    ADD_FAILURE() << "MiniLang compile failed: " << Error;
+    return M;
+  }
+  return M;
+}
+
+/// A one-machine, one-process scenario.
+struct SingleProcess {
+  Deployment D;
+  Machine *M = nullptr;
+  Process *P = nullptr;
+  std::vector<Process::OracleEvent> Oracle;
+
+  explicit SingleProcess(bool WithOracle = false) {
+    M = D.addMachine("host0");
+    P = M->createProcess("app");
+    if (WithOracle)
+      P->OracleTrace = &Oracle;
+  }
+
+  /// Deploys \p Mod (optionally instrumented), starts \p Entry, runs.
+  World::RunResult runModule(const Module &Mod, bool Instrument,
+                             const std::string &Entry = "main",
+                             uint64_t MaxCycles = 50'000'000) {
+    std::string Error;
+    LoadedModule *LM = D.deploy(*P, Mod, Instrument, Error);
+    EXPECT_NE(LM, nullptr) << Error;
+    if (!LM)
+      return World::RunResult::Idle;
+    Thread *T = P->start(Entry);
+    EXPECT_NE(T, nullptr) << "entry symbol not found: " << Entry;
+    if (!T)
+      return World::RunResult::Idle;
+    return D.world().run(MaxCycles);
+  }
+};
+
+/// Extracts the (module, file, line) sequence of Line events.
+inline std::vector<std::string> lineSequence(const ThreadTrace &T) {
+  std::vector<std::string> Out;
+  for (const TraceEvent &E : T.Events)
+    if (E.EventKind == TraceEvent::Kind::Line)
+      Out.push_back(E.Module + "!" + E.File + ":" + std::to_string(E.Line));
+  return Out;
+}
+
+/// Extracts the oracle's sequence for one thread in the same format.
+inline std::vector<std::string>
+oracleSequence(const std::vector<Process::OracleEvent> &Oracle,
+               uint64_t ThreadId) {
+  std::vector<std::string> Out;
+  for (const Process::OracleEvent &E : Oracle)
+    if (E.ThreadId == ThreadId)
+      Out.push_back(E.Module + "!" + E.File + ":" + std::to_string(E.Line));
+  return Out;
+}
+
+/// True if \p Suffix is a suffix of \p Full.
+inline bool isSuffixOf(const std::vector<std::string> &Suffix,
+                       const std::vector<std::string> &Full) {
+  if (Suffix.size() > Full.size())
+    return false;
+  return std::equal(Suffix.rbegin(), Suffix.rend(), Full.rbegin());
+}
+
+} // namespace testing_helpers
+} // namespace traceback
+
+#endif // TRACEBACK_TESTS_TESTHELPERS_H

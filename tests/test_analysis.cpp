@@ -1,0 +1,241 @@
+//===- tests/test_analysis.cpp - CFG and liveness tests -------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/Liveness.h"
+#include "isa/Assembler.h"
+#include "isa/Builder.h"
+#include "vm/Syscalls.h"
+
+#include <gtest/gtest.h>
+
+using namespace traceback;
+
+namespace {
+Module assemble(const std::string &Src) {
+  Assembler Asm(syscallAssemblerConstants());
+  Module M;
+  std::string Error;
+  EXPECT_TRUE(Asm.assemble(Src, M, Error)) << Error;
+  return M;
+}
+
+const FunctionCFG *byName(const std::vector<FunctionCFG> &CFGs,
+                          const std::string &Name) {
+  for (const FunctionCFG &F : CFGs)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+} // namespace
+
+TEST(CfgTest, DiamondShape) {
+  Module M = assemble(R"(.module m
+.func f export
+  brz r0, else_part
+  movi r1, 1
+  br join
+else_part:
+  movi r1, 2
+join:
+  ret
+.endfunc
+)");
+  std::vector<FunctionCFG> CFGs;
+  std::string Error;
+  ASSERT_TRUE(buildCFGs(M, CFGs, Error)) << Error;
+  const FunctionCFG *F = byName(CFGs, "f");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(F->Blocks.size(), 4u);
+  // Entry has two successors; both lead to the join.
+  EXPECT_EQ(F->Blocks[0].Succs.size(), 2u);
+  EXPECT_TRUE(F->Blocks[0].IsFunctionEntry);
+  const BasicBlock *Join = F->blockContaining(F->Blocks.back().StartOffset);
+  ASSERT_NE(Join, nullptr);
+  EXPECT_EQ(Join->Preds.size(), 2u);
+}
+
+TEST(CfgTest, LoopBackEdgeMarked) {
+  Module M = assemble(R"(.module m
+.func f export
+  movi r1, 10
+head:
+  addi r1, r1, -1
+  brnz r1, head
+  ret
+.endfunc
+)");
+  std::vector<FunctionCFG> CFGs;
+  std::string Error;
+  ASSERT_TRUE(buildCFGs(M, CFGs, Error)) << Error;
+  const FunctionCFG *F = byName(CFGs, "f");
+  ASSERT_NE(F, nullptr);
+  int BackTargets = 0;
+  for (const BasicBlock &B : F->Blocks)
+    if (B.IsBackEdgeTarget)
+      ++BackTargets;
+  EXPECT_EQ(BackTargets, 1);
+}
+
+TEST(CfgTest, CallCreatesReturnPointLeader) {
+  Module M = assemble(R"(.module m
+.func f export
+  movi r0, 1
+  call g
+  movi r0, 2
+  ret
+.endfunc
+.func g
+  ret
+.endfunc
+)");
+  std::vector<FunctionCFG> CFGs;
+  std::string Error;
+  ASSERT_TRUE(buildCFGs(M, CFGs, Error)) << Error;
+  const FunctionCFG *F = byName(CFGs, "f");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(F->Blocks.size(), 2u);
+  EXPECT_TRUE(F->Blocks[0].endsInCall());
+  EXPECT_TRUE(F->Blocks[1].IsCallReturnPoint);
+}
+
+TEST(CfgTest, HandlerEntriesMarked) {
+  Module M = assemble(R"(.module m
+.func f export
+tb:
+  trap 1
+te:
+  ret
+h:
+  ret
+.try tb te h
+.endfunc
+)");
+  std::vector<FunctionCFG> CFGs;
+  std::string Error;
+  ASSERT_TRUE(buildCFGs(M, CFGs, Error)) << Error;
+  const FunctionCFG *F = byName(CFGs, "f");
+  ASSERT_NE(F, nullptr);
+  bool SawHandler = false;
+  for (const BasicBlock &B : F->Blocks)
+    if (B.IsHandlerEntry)
+      SawHandler = true;
+  EXPECT_TRUE(SawHandler);
+}
+
+TEST(CfgTest, AddressTakenViaReloc) {
+  Module M = assemble(R"(.module m
+.func f export
+  lea r1, g
+  callind r1
+  ret
+.endfunc
+.func g
+  ret
+.endfunc
+)");
+  std::vector<FunctionCFG> CFGs;
+  std::string Error;
+  ASSERT_TRUE(buildCFGs(M, CFGs, Error)) << Error;
+  const FunctionCFG *G = byName(CFGs, "g");
+  ASSERT_NE(G, nullptr);
+  EXPECT_TRUE(G->Blocks[0].IsAddressTaken);
+}
+
+TEST(CfgTest, BranchToMidInstructionRejected) {
+  // Hand-craft a module whose branch displacement lands mid-instruction.
+  ModuleBuilder B("m");
+  B.beginFunction("f", true);
+  B.emit(Instruction::brCond(Opcode::BrzL, 0, 3)); // Into the movi below.
+  B.emit(Instruction::movI(1, 99));
+  B.emit(Instruction::ret());
+  Module M;
+  std::string Error;
+  ASSERT_TRUE(B.finalize(M, Error));
+  std::vector<FunctionCFG> CFGs;
+  EXPECT_FALSE(buildCFGs(M, CFGs, Error));
+  EXPECT_NE(Error.find("mid-instruction"), std::string::npos);
+}
+
+TEST(LivenessTest, StraightLine) {
+  Module M = assemble(R"(.module m
+.func f export
+  movi r1, 1
+  movi r2, 2
+  add r3, r1, r2
+  mov r0, r3
+  ret
+.endfunc
+)");
+  std::vector<FunctionCFG> CFGs;
+  std::string Error;
+  ASSERT_TRUE(buildCFGs(M, CFGs, Error)) << Error;
+  const FunctionCFG *F = byName(CFGs, "f");
+  Liveness L(*F);
+  // Before the add (insn 2), r1 and r2 are live.
+  uint16_t Live = L.liveBefore(0, 2);
+  EXPECT_TRUE(Live & (1 << 1));
+  EXPECT_TRUE(Live & (1 << 2));
+  // Before insn 0, nothing but calling-convention state matters; r3 dead.
+  EXPECT_FALSE(L.liveBefore(0, 0) & (1 << 3));
+  std::vector<unsigned> Dead = L.findDeadRegs(0, 0, 2);
+  ASSERT_EQ(Dead.size(), 2u);
+  EXPECT_EQ(Dead[0], 10u) << "probe scratch preferred";
+  EXPECT_EQ(Dead[1], 11u);
+}
+
+TEST(LivenessTest, ProbeRegistersLiveForcesSpill) {
+  Module M = assemble(R"(.module m
+.func f export
+  movi r10, 7
+  movi r11, 8
+entry2:
+  add r0, r10, r11
+  ret
+.endfunc
+)");
+  std::vector<FunctionCFG> CFGs;
+  std::string Error;
+  ASSERT_TRUE(buildCFGs(M, CFGs, Error)) << Error;
+  const FunctionCFG *F = byName(CFGs, "f");
+  Liveness L(*F);
+  // At the add, r10/r11 are live: the dead-reg search must avoid them.
+  uint32_t AddBlock = 0;
+  for (const BasicBlock &B : F->Blocks)
+    if (B.Insns.back().Insn.Op == Opcode::Ret)
+      AddBlock = B.Index;
+  // The add is the third instruction of the (single) block.
+  uint16_t Live = L.liveBefore(AddBlock, 2);
+  EXPECT_TRUE(Live & (1 << 10));
+  EXPECT_TRUE(Live & (1 << 11));
+  std::vector<unsigned> Dead = L.findDeadRegs(AddBlock, 2, 1);
+  ASSERT_FALSE(Dead.empty());
+  EXPECT_NE(Dead[0], 10u);
+  EXPECT_NE(Dead[0], 11u);
+}
+
+TEST(LivenessTest, LoopKeepsCounterLive) {
+  Module M = assemble(R"(.module m
+.func f export
+  movi r5, 10
+head:
+  addi r5, r5, -1
+  brnz r5, head
+  ret
+.endfunc
+)");
+  std::vector<FunctionCFG> CFGs;
+  std::string Error;
+  ASSERT_TRUE(buildCFGs(M, CFGs, Error)) << Error;
+  const FunctionCFG *F = byName(CFGs, "f");
+  Liveness L(*F);
+  // r5 is live at the loop head.
+  for (const BasicBlock &B : F->Blocks) {
+    if (B.IsBackEdgeTarget) {
+      EXPECT_TRUE(L.liveIn(B.Index) & (1 << 5));
+    }
+  }
+}

@@ -1,0 +1,192 @@
+//===- tests/test_baselines.cpp - Baseline comparator tests ---------------===//
+//
+// Part of the TraceBack reproduction project (paper sections 2.1 and 7).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "baselines/BallLarus.h"
+#include "baselines/NaiveTracer.h"
+
+#include <gtest/gtest.h>
+
+using namespace traceback;
+using namespace traceback::testing_helpers;
+
+namespace {
+const char *KernelSource = R"(
+fn work(n) {
+  var acc = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    if (i % 3 == 0) { acc = acc + i; }
+    else {
+      if (i % 3 == 1) { acc = acc + 2 * i; } else { acc = acc - 1; }
+    }
+  }
+  return acc;
+}
+fn main() export {
+  print(work(500));
+}
+)";
+} // namespace
+
+TEST(NaiveTracerTest, TransparentButMoreExpensive) {
+  Module Orig = compileOrDie(KernelSource);
+  SingleProcess Plain, Dag, Naive;
+  Plain.runModule(Orig, false);
+
+  // TraceBack-style.
+  Dag.runModule(Orig, true);
+
+  // Naive one-word-per-block.
+  Module NaiveMod;
+  MapFile Map;
+  InstrumentStats NaiveStats;
+  std::string Error;
+  ASSERT_TRUE(
+      naiveInstrumentModule(Orig, NaiveMod, Map, &NaiveStats, Error))
+      << Error;
+  Naive.D.maps().add(Map);
+  Naive.D.runtimeFor(*Naive.P, Technology::Native);
+  ASSERT_NE(Naive.P->loadModule(NaiveMod, Error), nullptr) << Error;
+  Naive.P->start("main");
+  Naive.D.world().run();
+
+  EXPECT_EQ(Naive.P->Output, Plain.P->Output);
+  EXPECT_EQ(Dag.P->Output, Plain.P->Output);
+  // The whole point of DAG tiling: strictly cheaper than a record per
+  // block (paper section 2.1).
+  EXPECT_LT(Dag.P->CyclesUsed, Naive.P->CyclesUsed);
+  EXPECT_GT(Naive.P->CyclesUsed, Plain.P->CyclesUsed);
+}
+
+TEST(NaiveTracerTest, TracesStillReconstruct) {
+  Module Orig = compileOrDie(R"(
+fn main() export {
+  var x = 3;
+  x = x * 7;
+  var p = 0;
+  print(load(p));
+}
+)");
+  SingleProcess S;
+  Module NaiveMod;
+  MapFile Map;
+  std::string Error;
+  ASSERT_TRUE(naiveInstrumentModule(Orig, NaiveMod, Map, nullptr, Error));
+  S.D.maps().add(Map);
+  S.D.runtimeFor(*S.P, Technology::Native);
+  ASSERT_NE(S.P->loadModule(NaiveMod, Error), nullptr) << Error;
+  S.P->start("main");
+  S.D.world().run();
+  ASSERT_FALSE(S.D.snaps().empty());
+  ReconstructedTrace T = S.D.reconstruct(S.D.snaps().back());
+  ASSERT_FALSE(T.Threads.empty());
+  std::vector<std::string> Lines = lineSequence(T.Threads[0]);
+  EXPECT_FALSE(Lines.empty());
+  EXPECT_NE(Lines.back().find(":6"), std::string::npos);
+}
+
+TEST(BallLarusTest, CountsPathsCorrectly) {
+  // A function with two if/else diamonds in sequence has 4 acyclic paths
+  // per region; the loop splits regions at the back edge.
+  Module Orig = compileOrDie(R"(
+fn f(x) export {
+  var y = 0;
+  if (x > 0) { y = 1; } else { y = 2; }
+  if (x > 5) { y = y + 10; } else { y = y + 20; }
+  return y;
+}
+fn main() export {
+  print(f(7) + f(-1));
+}
+)");
+  BallLarusResult Result;
+  std::string Error;
+  ASSERT_TRUE(ballLarusInstrument(Orig, Result, Error)) << Error;
+  EXPECT_GT(Result.TotalPaths, 0u);
+
+  // Run it and check counters: two calls to f -> total count 2 across f's
+  // counter range, on two distinct paths.
+  SingleProcess S;
+  ASSERT_NE(S.P->loadModule(Result.Out, Error), nullptr) << Error;
+  S.P->start("main");
+  EXPECT_EQ(S.D.world().run(), World::RunResult::AllExited);
+  EXPECT_EQ(S.P->Output, "33\n"); // 1+10 + 2+20.
+
+  uint64_t TableAddr = S.P->resolveSymbol("__bl_counters");
+  ASSERT_NE(TableAddr, 0u);
+  const BallLarusResult::FuncPaths *F = nullptr;
+  for (const auto &FP : Result.Functions)
+    if (FP.Name == "f")
+      F = &FP;
+  ASSERT_NE(F, nullptr);
+  uint64_t Hits = 0, DistinctPaths = 0;
+  for (uint64_t I = 0; I < F->Count; ++I) {
+    bool Ok = true;
+    uint64_t C = S.P->Mem.read64(TableAddr + (F->Base + I) * 8, Ok);
+    ASSERT_TRUE(Ok);
+    Hits += C;
+    if (C != 0)
+      ++DistinctPaths;
+  }
+  EXPECT_EQ(Hits, 2u) << "f executed twice";
+  EXPECT_EQ(DistinctPaths, 2u) << "two different paths taken";
+}
+
+TEST(BallLarusTest, LoopIterationsCounted) {
+  Module Orig = compileOrDie(R"(
+fn main() export {
+  var s = 0;
+  for (var i = 0; i < 17; i = i + 1) { s = s + i; }
+  print(s);
+}
+)");
+  BallLarusResult Result;
+  std::string Error;
+  ASSERT_TRUE(ballLarusInstrument(Orig, Result, Error)) << Error;
+  SingleProcess S;
+  ASSERT_NE(S.P->loadModule(Result.Out, Error), nullptr) << Error;
+  S.P->start("main");
+  EXPECT_EQ(S.D.world().run(), World::RunResult::AllExited);
+  EXPECT_EQ(S.P->Output, "136\n");
+  uint64_t TableAddr = S.P->resolveSymbol("__bl_counters");
+  uint64_t Total = 0;
+  for (uint64_t I = 0; I < Result.TotalPaths; ++I) {
+    bool Ok = true;
+    Total += S.P->Mem.read64(TableAddr + I * 8, Ok);
+  }
+  // Every loop iteration ends one acyclic path; total path executions must
+  // be >= 17.
+  EXPECT_GE(Total, 17u);
+}
+
+TEST(BallLarusTest, CheaperThanTraceBackButNoForensics) {
+  Module Orig = compileOrDie(KernelSource);
+  SingleProcess Plain, Dag, Bl;
+  Plain.runModule(Orig, false);
+  Dag.runModule(Orig, true);
+
+  BallLarusResult Result;
+  std::string Error;
+  ASSERT_TRUE(ballLarusInstrument(Orig, Result, Error)) << Error;
+  ASSERT_NE(Bl.P->loadModule(Result.Out, Error), nullptr) << Error;
+  Bl.P->start("main");
+  Bl.D.world().run();
+  EXPECT_EQ(Bl.P->Output, Plain.P->Output);
+  // BL aggregates: cheaper than TraceBack's temporal trace (section 7)...
+  EXPECT_LT(Bl.P->CyclesUsed, Dag.P->CyclesUsed);
+  // ...but a crash leaves no execution history at all: nothing to snap,
+  // no trace buffers, only counters.
+  EXPECT_TRUE(Bl.D.snaps().empty());
+}
+
+TEST(BallLarusTest, RejectsEhModules) {
+  Module Orig = compileOrDie(
+      "fn main() export { try { throw 1; } catch { } }");
+  BallLarusResult Result;
+  std::string Error;
+  EXPECT_FALSE(ballLarusInstrument(Orig, Result, Error));
+  EXPECT_NE(Error.find("exception"), std::string::npos);
+}

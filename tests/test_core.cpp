@@ -1,0 +1,238 @@
+//===- tests/test_core.cpp - Core facade / persistence tests --------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "core/DynamicCode.h"
+#include "core/FileIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace traceback;
+using namespace traceback::testing_helpers;
+
+namespace {
+std::string tempPath(const char *Name) {
+  return std::string("/tmp/tbtest_") + Name;
+}
+} // namespace
+
+TEST(FileIOTest, ModuleRoundTrip) {
+  Module M = compileOrDie("fn main() export { print(7); }", "persisted");
+  std::string Path = tempPath("mod.tbo");
+  ASSERT_TRUE(saveModule(M, Path));
+  Module Back;
+  ASSERT_TRUE(loadModule(Path, Back));
+  EXPECT_EQ(Back.Name, M.Name);
+  EXPECT_EQ(Back.Code, M.Code);
+  std::remove(Path.c_str());
+  EXPECT_FALSE(loadModule(Path, Back)) << "missing file must fail";
+}
+
+TEST(FileIOTest, SnapAndMapRoundTripThroughDisk) {
+  SingleProcess S;
+  Module M = compileOrDie("fn main() export { snap(2); }");
+  S.runModule(M, true);
+  ASSERT_FALSE(S.D.snaps().empty());
+
+  std::string SnapPath = tempPath("snap.tbsnap");
+  std::string MapPath = tempPath("map.tbmap");
+  ASSERT_TRUE(saveSnap(S.D.snaps().back(), SnapPath));
+  ASSERT_EQ(S.D.maps().all().size(), 1u);
+  ASSERT_TRUE(saveMapFile(S.D.maps().all()[0], MapPath));
+
+  // A "different machine": reconstruct purely from the files.
+  SnapFile Snap;
+  MapFile Map;
+  ASSERT_TRUE(loadSnap(SnapPath, Snap));
+  ASSERT_TRUE(loadMapFile(MapPath, Map));
+  MapFileStore Store;
+  Store.add(std::move(Map));
+  Reconstructor R(Store);
+  ReconstructedTrace T = R.reconstruct(Snap);
+  EXPECT_FALSE(T.Threads.empty());
+  EXPECT_TRUE(T.Warnings.empty());
+  std::remove(SnapPath.c_str());
+  std::remove(MapPath.c_str());
+}
+
+TEST(FileIOTest, CorruptFilesRejected) {
+  std::string Path = tempPath("junk.bin");
+  ASSERT_TRUE(writeFileText(Path, "this is not a module"));
+  Module M;
+  EXPECT_FALSE(loadModule(Path, M));
+  SnapFile S;
+  EXPECT_FALSE(loadSnap(Path, S));
+  MapFile Map;
+  EXPECT_FALSE(loadMapFile(Path, Map));
+  std::remove(Path.c_str());
+}
+
+TEST(DynamicCodeTest, CacheHitsOnIdenticalPage) {
+  // Section 3.4: an ASP-style page compiled twice (same content) is
+  // instrumented once; the second consumer hits the cache.
+  Module Page = compileOrDie("fn handler() export { return 7; }", "page1");
+  InstrumentationCache Cache;
+  InstrumentOptions Opts;
+  Module Out1, Out2;
+  MapFile Map1, Map2;
+  std::string Error;
+  ASSERT_TRUE(Cache.instrument(Page, Opts, Out1, Map1, Error)) << Error;
+  ASSERT_TRUE(Cache.instrument(Page, Opts, Out2, Map2, Error)) << Error;
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Out1.Code, Out2.Code);
+  EXPECT_EQ(Map1.Checksum, Map2.Checksum);
+}
+
+TEST(DynamicCodeTest, RebuiltPageReinstrumented) {
+  Module PageV1 = compileOrDie("fn handler() export { return 7; }", "page");
+  Module PageV2 = compileOrDie("fn handler() export { return 8; }", "page");
+  InstrumentationCache Cache;
+  InstrumentOptions Opts;
+  Module Out;
+  MapFile Map;
+  std::string Error;
+  ASSERT_TRUE(Cache.instrument(PageV1, Opts, Out, Map, Error));
+  ASSERT_TRUE(Cache.instrument(PageV2, Opts, Out, Map, Error));
+  EXPECT_EQ(Cache.misses(), 2u) << "changed checksum -> re-instrument";
+  EXPECT_EQ(Cache.hits(), 0u);
+}
+
+TEST(DynamicCodeTest, OnDiskCacheSharedAcrossProcesses) {
+  std::string Dir = tempPath("cache_dir");
+  std::string Cmd = "rm -rf " + Dir + " && mkdir -p " + Dir;
+  ASSERT_EQ(std::system(Cmd.c_str()), 0);
+  Module Page = compileOrDie("fn handler() export { return 1; }", "diskpage");
+  InstrumentOptions Opts;
+  Module Out;
+  MapFile Map;
+  std::string Error;
+  {
+    InstrumentationCache First(Dir);
+    ASSERT_TRUE(First.instrument(Page, Opts, Out, Map, Error));
+    EXPECT_EQ(First.misses(), 1u);
+  }
+  {
+    // A fresh process (new cache object) finds the on-disk entry.
+    InstrumentationCache Second(Dir);
+    ASSERT_TRUE(Second.instrument(Page, Opts, Out, Map, Error));
+    EXPECT_EQ(Second.hits(), 1u);
+    EXPECT_EQ(Second.misses(), 0u);
+  }
+  std::system(("rm -rf " + Dir).c_str());
+}
+
+TEST(CoreTest, MemoryCaptureInSnap) {
+  SingleProcess S;
+  S.D.Policy.CaptureMemory = true;
+  // Put a recognizable value on the stack right before the fault.
+  Module M = compileOrDie(R"(
+fn main() export {
+  var marker = 81985529216486895;
+  var p = 0;
+  print(load(p) + marker);
+}
+)");
+  S.runModule(M, true);
+  ASSERT_FALSE(S.D.snaps().empty());
+  const SnapFile &Snap = S.D.snaps().back();
+  ASSERT_FALSE(Snap.Memory.empty());
+  // The marker value 0x0123456789ABCDEF must appear in a stack region.
+  const uint8_t Pattern[] = {0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01};
+  bool Found = false;
+  for (const SnapMemoryRegion &R : Snap.Memory)
+    for (size_t I = 0; I + 8 <= R.Bytes.size(); ++I)
+      if (std::memcmp(R.Bytes.data() + I, Pattern, 8) == 0)
+        Found = true;
+  EXPECT_TRUE(Found) << "local variable value must be in the memory dump";
+  // Round-trips through serialization.
+  SnapFile Back;
+  ASSERT_TRUE(SnapFile::deserialize(Snap.serialize(), Back));
+  ASSERT_EQ(Back.Memory.size(), Snap.Memory.size());
+  EXPECT_EQ(Back.Memory[0].Bytes, Snap.Memory[0].Bytes);
+  // The dump renders.
+  std::string Dump = renderMemoryDump(Back);
+  EXPECT_NE(Dump.find("stack t1"), std::string::npos);
+}
+
+TEST(CoreTest, LogicalClockFallbackOrdersEvents) {
+  SingleProcess S;
+  S.D.Policy.UseLogicalClock = true;
+  Module M = compileOrDie(R"(
+fn main() export {
+  for (var i = 0; i < 20; i = i + 1) { yield(); }
+  snap(1);
+}
+)");
+  S.runModule(M, true);
+  ReconstructedTrace T = S.D.reconstruct(S.D.snaps().back());
+  ASSERT_FALSE(T.Threads.empty());
+  // Timestamps are logical ticks: strictly positive and non-decreasing.
+  uint64_t Last = 0;
+  bool AnyTs = false;
+  for (const TraceEvent &E : T.Threads[0].Events) {
+    if (E.Timestamp == 0)
+      continue;
+    AnyTs = true;
+    EXPECT_GE(E.Timestamp, Last);
+    Last = E.Timestamp;
+  }
+  EXPECT_TRUE(AnyTs);
+  EXPECT_LT(Last, 1000u) << "logical ticks, not machine cycles";
+}
+
+TEST(CoreTest, TimestampsMonotonicWithinThread) {
+  // Regression for the probe/record interleaving bug: a lightweight probe
+  // must never corrupt a runtime-written record (the pad-word protocol).
+  SingleProcess S;
+  Module M = compileOrDie(R"(
+fn main() export {
+  var s = 0;
+  for (var i = 0; i < 200; i = i + 1) {
+    if (i & 1) { s = s + now(); } else { s = s ^ i; }
+    if (s & 2) { s = s + 1; } else { s = s - 1; }
+  }
+  snap(1);
+}
+)");
+  S.runModule(M, true);
+  ReconstructedTrace T = S.D.reconstruct(S.D.snaps().back());
+  ASSERT_FALSE(T.Threads.empty());
+  uint64_t Last = 0;
+  for (const TraceEvent &E : T.Threads[0].Events) {
+    if (E.Timestamp == 0)
+      continue;
+    EXPECT_GE(E.Timestamp, Last) << "corrupted timestamp record";
+    EXPECT_LT(E.Timestamp, 1ull << 40) << "garbage high bits";
+    Last = E.Timestamp;
+  }
+}
+
+TEST(CoreTest, LibTbcAssemblesAndExports) {
+  Module M = buildLibTbc();
+  EXPECT_EQ(M.Name, "libtbc");
+  for (const char *Sym : {"memcpy", "strcpy", "memset", "strlen"}) {
+    const Symbol *S = M.findSymbol(Sym);
+    ASSERT_NE(S, nullptr) << Sym;
+    EXPECT_TRUE(S->Exported);
+  }
+}
+
+TEST(CoreTest, UnresolvedImportFaultsAtCallTime) {
+  SingleProcess S;
+  Module Importer;
+  std::string Error;
+  ASSERT_TRUE(minilang::compileMiniLang(
+      "import ghost_fn;\nfn main() export { ghost_fn(); }", "i.ml",
+      "importer", Technology::Native, Importer, Error));
+  // Imports bind lazily: load succeeds, the call faults at runtime.
+  ASSERT_NE(S.D.deploy(*S.P, Importer, true, Error), nullptr) << Error;
+  S.P->start("main");
+  S.D.world().run();
+  EXPECT_EQ(S.P->LastFault.Code, FaultCode::BadJump);
+}

@@ -1,0 +1,388 @@
+//===- tests/test_end2end.cpp - Full pipeline tests -----------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// Instrument -> run -> fault/snap -> reconstruct -> compare against the
+// VM's ground-truth line oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace traceback;
+using namespace traceback::testing_helpers;
+
+namespace {
+/// Runs source instrumented with an oracle, returns the deployment plus
+/// reconstruction of the LAST snap.
+struct E2E {
+  SingleProcess S{/*WithOracle=*/true};
+  ReconstructedTrace Trace;
+
+  World::RunResult run(const std::string &Source,
+                       Technology Tech = Technology::Native) {
+    Module M = compileOrDie(Source, "app", Tech);
+    World::RunResult R = S.runModule(M, /*Instrument=*/true);
+    if (!S.D.snaps().empty())
+      Trace = S.D.reconstruct(S.D.snaps().back());
+    return R;
+  }
+};
+} // namespace
+
+TEST(End2EndTest, CrashTraceMatchesOracle) {
+  E2E T;
+  T.run(R"(
+fn step(x) {
+  if (x % 3 == 0) { return x / 3; }
+  return x + 7;
+}
+fn main() export {
+  var v = 100;
+  for (var i = 0; i < 12; i = i + 1) {
+    v = step(v);
+  }
+  var p = 0;
+  print(load(p));
+}
+)");
+  ASSERT_FALSE(T.S.D.snaps().empty()) << "crash must snap";
+  const SnapFile &Snap = T.S.D.snaps().back();
+  EXPECT_EQ(Snap.FaultCodeValue, static_cast<uint16_t>(FaultCode::Segv));
+
+  ASSERT_FALSE(T.Trace.Threads.empty());
+  const ThreadTrace *Main = T.Trace.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  std::vector<std::string> Got = lineSequence(*Main);
+  std::vector<std::string> Want = oracleSequence(T.S.Oracle, 1);
+  ASSERT_FALSE(Got.empty());
+  EXPECT_TRUE(isSuffixOf(Got, Want))
+      << "reconstruction: " << ::testing::PrintToString(Got)
+      << "\noracle tail: "
+      << ::testing::PrintToString(std::vector<std::string>(
+             Want.end() - std::min(Want.size(), Got.size() + 3), Want.end()));
+  // With a default-size buffer and this short a program, nothing is lost.
+  EXPECT_EQ(Got.size(), Want.size()) << "expected full history";
+  // The last line is the faulting print(load(p)) line.
+  EXPECT_NE(Got.back().find(":12"), std::string::npos) << Got.back();
+}
+
+TEST(End2EndTest, CleanSnapViaApi) {
+  E2E T;
+  T.run(R"(
+fn main() export {
+  var acc = 0;
+  for (var i = 0; i < 5; i = i + 1) {
+    acc = acc + i * i;
+  }
+  snap(1);
+  print(acc);
+}
+)");
+  ASSERT_FALSE(T.S.D.snaps().empty());
+  EXPECT_EQ(T.S.D.snaps().back().Reason, SnapReason::Api);
+  const ThreadTrace *Main = T.Trace.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  std::vector<std::string> Got = lineSequence(*Main);
+  // Oracle includes lines after the snap (print) — reconstruction stops at
+  // the snap point, so Got is a PREFIX of the oracle here.
+  std::vector<std::string> Want = oracleSequence(T.S.Oracle, 1);
+  ASSERT_LE(Got.size(), Want.size());
+  EXPECT_TRUE(std::equal(Got.begin(), Got.end(), Want.begin()))
+      << ::testing::PrintToString(Got);
+}
+
+TEST(End2EndTest, KillMinusNineRecoversViaSubBuffers) {
+  // Hard kill loses the TLS cursors; reconstruction must fall back to the
+  // sub-buffer commit state (paper section 3.2).
+  SingleProcess S{/*WithOracle=*/true};
+  Module M = compileOrDie(R"(
+fn spin() {
+  var x = 1;
+  while (1) {
+    x = x * 3 + 1;
+    x = x % 1000003;
+    yield();
+  }
+  return x;
+}
+fn main() export {
+  spin();
+}
+)");
+  std::string Error;
+  ASSERT_NE(S.D.deploy(*S.P, M, true, Error), nullptr) << Error;
+  S.P->start("main");
+  // Run a while, then kill -9.
+  for (int I = 0; I < 3000; ++I)
+    S.D.world().stepSlice();
+  ASSERT_FALSE(S.P->Exited);
+  S.D.world().sendSignal(*S.P, SigKill);
+  EXPECT_TRUE(S.P->HardKilled);
+
+  // The service process collects the buffers from the dead image.
+  ServiceDaemon *Daemon = S.D.daemonFor(*S.M);
+  ASSERT_NE(Daemon, nullptr);
+  std::vector<SnapFile> PostMortem = Daemon->collectPostMortem(*S.P);
+  ASSERT_EQ(PostMortem.size(), 1u);
+  ReconstructedTrace Trace = S.D.reconstruct(PostMortem[0]);
+  ASSERT_FALSE(Trace.Threads.empty()) << "sub-buffering must save data";
+  const ThreadTrace *Main = Trace.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  std::vector<std::string> Got = lineSequence(*Main);
+  std::vector<std::string> Want = oracleSequence(S.Oracle, 1);
+  ASSERT_GT(Got.size(), 3u);
+  // The kill landed between probes, so the trace's last block may lead or
+  // trail the oracle by a few lines; beyond that bounded end-slop the
+  // recovered history must be an exact suffix of reality. (Note: the spin
+  // loop's line sequence is periodic, so substring search would be
+  // ambiguous — suffix alignment is the meaningful check.)
+  bool Aligned = false;
+  for (size_t DropGot = 0; DropGot <= 4 && !Aligned; ++DropGot) {
+    for (size_t DropWant = 0; DropWant <= 4 && !Aligned; ++DropWant) {
+      if (Got.size() <= DropGot || Want.size() <= DropWant)
+        continue;
+      std::vector<std::string> G(Got.begin(), Got.end() - DropGot);
+      std::vector<std::string> W(Want.begin(), Want.end() - DropWant);
+      Aligned = isSuffixOf(G, W);
+    }
+  }
+  EXPECT_TRUE(Aligned) << "recovered history must be a recent suffix";
+}
+
+TEST(End2EndTest, ExceptionTrimStopsAtThrowLine) {
+  E2E T;
+  T.run(R"(
+fn boom(a) {
+  var y = a + 1;
+  throw 3;
+  return y;
+}
+fn main() export {
+  var x = 5;
+  boom(x);
+  print(x);
+}
+)");
+  ASSERT_FALSE(T.S.D.snaps().empty());
+  const ThreadTrace *Main = T.Trace.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  std::vector<std::string> Got = lineSequence(*Main);
+  ASSERT_FALSE(Got.empty());
+  EXPECT_NE(Got.back().find(":4"), std::string::npos)
+      << "trace must end at the throw line, got " << Got.back();
+  // And the return-line (5) must NOT appear after it.
+  for (const std::string &L : Got)
+    EXPECT_EQ(L.find(":5"), std::string::npos) << "line after throw leaked";
+}
+
+TEST(End2EndTest, CaughtExceptionContinues) {
+  E2E T;
+  T.run(R"(
+fn main() export {
+  var n = 0;
+  try {
+    n = 1;
+    throw 9;
+  } catch {
+    n = 2;
+  }
+  n = 3;
+  snap(5);
+}
+)");
+  // Two snaps: the exception and the API snap; use the API one.
+  ASSERT_GE(T.S.D.snaps().size(), 1u);
+  const ThreadTrace *Main = T.Trace.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  // Find exception + handler-resume markers.
+  bool SawException = false, SawCatchLine = false, SawAfter = false;
+  for (const TraceEvent &E : Main->Events) {
+    if (E.EventKind == TraceEvent::Kind::Exception)
+      SawException = true;
+    if (E.EventKind == TraceEvent::Kind::Line && E.Line == 8)
+      SawCatchLine = true;
+    if (E.EventKind == TraceEvent::Kind::Line && E.Line == 10)
+      SawAfter = true;
+  }
+  EXPECT_TRUE(SawException);
+  EXPECT_TRUE(SawCatchLine) << renderFlatTrace(*Main);
+  EXPECT_TRUE(SawAfter);
+}
+
+TEST(End2EndTest, CallTreeDepths) {
+  E2E T;
+  T.run(R"(
+fn inner() {
+  throw 1;
+  return 0;
+}
+fn outer() {
+  return inner();
+}
+fn main() export {
+  outer();
+}
+)");
+  const ThreadTrace *Main = T.Trace.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  uint32_t MaxDepth = 0;
+  for (const TraceEvent &E : Main->Events)
+    if (E.EventKind == TraceEvent::Kind::Line)
+      MaxDepth = std::max(MaxDepth, E.Depth);
+  EXPECT_GE(MaxDepth, 2u) << "main -> outer -> inner\n"
+                          << renderCallTree(*Main);
+}
+
+TEST(End2EndTest, LoopRepetitionCollapsed) {
+  E2E T;
+  T.run(R"(
+fn main() export {
+  var s = 0;
+  for (var i = 0; i < 50; i = i + 1) { s = s + i; }
+  snap(1);
+}
+)");
+  const ThreadTrace *Main = T.Trace.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  // The one-line loop body must appear collapsed with a repeat count, not
+  // as 50 separate events.
+  bool FoundRepeat = false;
+  for (const TraceEvent &E : Main->Events)
+    if (E.EventKind == TraceEvent::Kind::Line && E.Repeat >= 40)
+      FoundRepeat = true;
+  EXPECT_TRUE(FoundRepeat) << renderFlatTrace(*Main);
+  EXPECT_LT(Main->Events.size(), 60u) << "collapse failed";
+}
+
+TEST(End2EndTest, UninstrumentedCalleeStopsAtCallSite) {
+  // Fault inside an uninstrumented module: the trace must still show the
+  // instrumented caller up to the call (paper sections 1 and 2.4).
+  SingleProcess S{/*WithOracle=*/true};
+  Module Lib = buildLibTbc();
+  std::string Error;
+  ASSERT_NE(S.D.deploy(*S.P, Lib, /*Instrument=*/false, Error), nullptr);
+  Module App = compileOrDie(R"(
+import memcpy;
+fn main() export {
+  var dst = alloc(64);
+  var bad = 0;
+  memcpy(dst, bad, 8);
+}
+)");
+  ASSERT_NE(S.D.deploy(*S.P, App, /*Instrument=*/true, Error), nullptr)
+      << Error;
+  S.P->start("main");
+  S.D.world().run();
+  ASSERT_FALSE(S.D.snaps().empty());
+  const SnapFile &Snap = S.D.snaps().back();
+  EXPECT_EQ(Snap.FaultModuleKey, 0u) << "fault in uninstrumented code";
+  ReconstructedTrace Trace = S.D.reconstruct(Snap);
+  const ThreadTrace *Main = Trace.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  std::vector<std::string> Got = lineSequence(*Main);
+  ASSERT_FALSE(Got.empty());
+  EXPECT_NE(Got.back().find(":6"), std::string::npos)
+      << "trace must end at the memcpy call line, got " << Got.back();
+}
+
+TEST(End2EndTest, MultiThreadedTracesSeparate) {
+  E2E T;
+  T.run(R"(
+fn worker(id) {
+  var s = 0;
+  for (var i = 0; i < 20; i = i + 1) { s = s + id; }
+  return s;
+}
+fn main() export {
+  var t1 = spawn(addr_of(worker), 1);
+  var t2 = spawn(addr_of(worker), 2);
+  join(t1);
+  join(t2);
+  snap(1);
+}
+)");
+  ASSERT_FALSE(T.S.D.snaps().empty());
+  // Threads 1 (main), 2 and 3 must each have a trace.
+  EXPECT_NE(T.Trace.threadById(1), nullptr);
+  EXPECT_NE(T.Trace.threadById(2), nullptr);
+  EXPECT_NE(T.Trace.threadById(3), nullptr);
+  for (uint64_t Tid = 2; Tid <= 3; ++Tid) {
+    std::vector<std::string> Got = lineSequence(*T.Trace.threadById(Tid));
+    std::vector<std::string> Want = oracleSequence(T.S.Oracle, Tid);
+    EXPECT_TRUE(isSuffixOf(Got, Want))
+        << "thread " << Tid << ": " << ::testing::PrintToString(Got);
+  }
+}
+
+TEST(End2EndTest, ManagedModeMatchesOracleToo) {
+  E2E T;
+  T.run(R"(
+fn main() export {
+  var acc = 1;
+  for (var i = 0; i < 8; i = i + 1) {
+    acc = acc * 2;
+    if (acc > 100) { acc = acc - 51; }
+  }
+  var p = 0;
+  print(load(p));
+}
+)",
+        Technology::Managed);
+  ASSERT_FALSE(T.S.D.snaps().empty());
+  EXPECT_EQ(T.S.D.snaps().back().Tech, Technology::Managed);
+  const ThreadTrace *Main = T.Trace.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  std::vector<std::string> Got = lineSequence(*Main);
+  std::vector<std::string> Want = oracleSequence(T.S.Oracle, 1);
+  EXPECT_TRUE(isSuffixOf(Got, Want)) << ::testing::PrintToString(Got);
+}
+
+TEST(End2EndTest, SignalInterposition) {
+  E2E T;
+  T.run(R"(
+fn on_sig(s) {
+  print(s);
+  return 0;
+}
+fn main() export {
+  sighandler(10, addr_of(on_sig));
+  var x = 7;
+  raise(10);
+  x = x + 1;
+  snap(2);
+}
+)");
+  ASSERT_FALSE(T.S.D.snaps().empty());
+  const ThreadTrace *Main = T.Trace.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  bool SawSignal = false, SawEnd = false;
+  for (const TraceEvent &E : Main->Events) {
+    if (E.EventKind == TraceEvent::Kind::Exception &&
+        (E.FaultCodeValue & 0x8000))
+      SawSignal = true;
+    if (E.EventKind == TraceEvent::Kind::ExceptionEnd &&
+        (E.FaultCodeValue & 0x8000))
+      SawEnd = true;
+  }
+  EXPECT_TRUE(SawSignal) << "signal record missing";
+  EXPECT_TRUE(SawEnd) << "exception-end record missing";
+  EXPECT_EQ(T.S.P->Output, "10\n");
+}
+
+TEST(End2EndTest, FaultViewRendering) {
+  E2E T;
+  T.run(R"(
+fn main() export {
+  var p = 0;
+  print(load(p));
+}
+)");
+  ASSERT_FALSE(T.S.D.snaps().empty());
+  std::string View = renderFaultView(T.S.D.snaps().back(), T.Trace);
+  EXPECT_NE(View.find("exception"), std::string::npos);
+  EXPECT_NE(View.find("access violation"), std::string::npos);
+  EXPECT_NE(View.find("test.ml"), std::string::npos);
+}

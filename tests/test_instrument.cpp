@@ -1,0 +1,213 @@
+//===- tests/test_instrument.cpp - Rewriter tests -------------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "instrument/Checksum.h"
+#include "instrument/Instrumenter.h"
+#include "isa/Disassembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace traceback;
+using namespace traceback::testing_helpers;
+
+namespace {
+const char *CollatzSource = R"(
+fn collatz(n) {
+  var steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+    steps = steps + 1;
+  }
+  return steps;
+}
+fn main() export {
+  var total = 0;
+  for (var i = 1; i < 40; i = i + 1) {
+    total = total + collatz(i);
+  }
+  print(total);
+}
+)";
+
+Module instrumentOrDie(const Module &Orig, InstrumentStats *Stats = nullptr,
+                       InstrumentOptions Opts = {}) {
+  Module Out;
+  MapFile Map;
+  std::string Error;
+  EXPECT_TRUE(instrumentModule(Orig, Opts, Out, Map, Stats, Error)) << Error;
+  return Out;
+}
+} // namespace
+
+TEST(InstrumentTest, SemanticTransparency) {
+  // The rewritten program must behave identically.
+  Module Orig = compileOrDie(CollatzSource);
+  SingleProcess Plain;
+  Plain.runModule(Orig, /*Instrument=*/false);
+  SingleProcess Traced;
+  Traced.runModule(Orig, /*Instrument=*/true);
+  EXPECT_EQ(Plain.P->Output, Traced.P->Output);
+  EXPECT_EQ(Plain.P->ExitCode, Traced.P->ExitCode);
+  EXPECT_GT(Traced.P->CyclesUsed, Plain.P->CyclesUsed)
+      << "probes cost cycles";
+}
+
+TEST(InstrumentTest, StatsAndTextGrowth) {
+  Module Orig = compileOrDie(CollatzSource);
+  InstrumentStats Stats;
+  Module Instr = instrumentOrDie(Orig, &Stats);
+  EXPECT_GT(Stats.NumDags, 0u);
+  EXPECT_EQ(Stats.NumHeavyProbes, Stats.NumDags);
+  EXPECT_GT(Stats.NumBlocks, Stats.NumDags) << "some blocks share DAGs";
+  EXPECT_GT(Stats.NewCodeBytes, Stats.OrigCodeBytes);
+  // The paper reports ~60% text growth for SPECint; ours should be in a
+  // broadly similar band for branchy code (soft sanity bounds).
+  EXPECT_GT(Stats.textGrowth(), 1.1);
+  EXPECT_LT(Stats.textGrowth(), 3.5);
+  EXPECT_TRUE(Instr.Instrumented);
+  EXPECT_EQ(Instr.DagIdCount, Stats.NumDags);
+  EXPECT_FALSE(Instr.DagRecordFixups.empty());
+  EXPECT_FALSE(Instr.TlsSlotFixups.empty());
+}
+
+TEST(InstrumentTest, RefusesDoubleInstrumentation) {
+  Module Orig = compileOrDie(CollatzSource);
+  Module Once = instrumentOrDie(Orig);
+  Module Twice;
+  MapFile Map;
+  std::string Error;
+  EXPECT_FALSE(
+      instrumentModule(Once, InstrumentOptions(), Twice, Map, nullptr, Error));
+  EXPECT_NE(Error.find("already instrumented"), std::string::npos);
+}
+
+TEST(InstrumentTest, ChecksumInvariantUnderRebasing) {
+  Module Orig = compileOrDie(CollatzSource);
+  InstrumentOptions OptsA, OptsB;
+  OptsA.DagIdBase = 100;
+  OptsB.DagIdBase = 90000;
+  Module A = instrumentOrDie(Orig, nullptr, OptsA);
+  Module B = instrumentOrDie(Orig, nullptr, OptsB);
+  EXPECT_EQ(A.Checksum, B.Checksum)
+      << "checksum must not depend on the DAG base";
+  EXPECT_EQ(computeModuleChecksum(A), A.Checksum);
+  // Different source -> different checksum.
+  Module Other = compileOrDie("fn main() export { print(1); }");
+  Module C = instrumentOrDie(Other);
+  EXPECT_NE(C.Checksum, A.Checksum);
+}
+
+TEST(InstrumentTest, MapfileSerializationRoundTrip) {
+  Module Orig = compileOrDie(CollatzSource);
+  Module Out;
+  MapFile Map;
+  std::string Error;
+  ASSERT_TRUE(instrumentModule(Orig, InstrumentOptions(), Out, Map, nullptr,
+                               Error))
+      << Error;
+  std::vector<uint8_t> Bytes = Map.serialize();
+  MapFile Back;
+  ASSERT_TRUE(MapFile::deserialize(Bytes, Back));
+  EXPECT_EQ(Back.ModuleName, Map.ModuleName);
+  EXPECT_EQ(Back.Checksum, Map.Checksum);
+  EXPECT_EQ(Back.DagIdBase, Map.DagIdBase);
+  ASSERT_EQ(Back.Dags.size(), Map.Dags.size());
+  for (size_t I = 0; I < Map.Dags.size(); ++I) {
+    ASSERT_EQ(Back.Dags[I].Blocks.size(), Map.Dags[I].Blocks.size());
+    for (size_t J = 0; J < Map.Dags[I].Blocks.size(); ++J) {
+      EXPECT_EQ(Back.Dags[I].Blocks[J].StartOffset,
+                Map.Dags[I].Blocks[J].StartOffset);
+      EXPECT_EQ(Back.Dags[I].Blocks[J].BitIndex,
+                Map.Dags[I].Blocks[J].BitIndex);
+      EXPECT_EQ(Back.Dags[I].Blocks[J].Lines.size(),
+                Map.Dags[I].Blocks[J].Lines.size());
+    }
+  }
+}
+
+TEST(InstrumentTest, ExceptionSemanticsPreserved) {
+  const char *Source = R"(
+fn risky(n) {
+  if (n == 3) { throw 42; }
+  return n * 2;
+}
+fn main() export {
+  var acc = 0;
+  try {
+    for (var i = 0; i < 10; i = i + 1) {
+      acc = acc + risky(i);
+    }
+  } catch {
+    print(acc);
+  }
+  print(acc + 1);
+}
+)";
+  Module Orig = compileOrDie(Source);
+  SingleProcess Plain;
+  Plain.runModule(Orig, false);
+  SingleProcess Traced;
+  Traced.runModule(Orig, true);
+  EXPECT_EQ(Plain.P->Output, "6\n7\n");
+  EXPECT_EQ(Traced.P->Output, Plain.P->Output);
+}
+
+TEST(InstrumentTest, ManagedModeSplitsAtLines) {
+  Module Orig = compileOrDie(CollatzSource, "jmod", Technology::Managed);
+  InstrumentStats Native, Managed;
+  Module OrigNative = compileOrDie(CollatzSource, "nmod", Technology::Native);
+  instrumentOrDie(OrigNative, &Native);
+  instrumentOrDie(Orig, &Managed);
+  EXPECT_GT(Managed.NumBlocks, Native.NumBlocks)
+      << "line-boundary splitting must add blocks";
+}
+
+TEST(InstrumentTest, InstrumentedModuleStillDisassembles) {
+  Module Orig = compileOrDie(CollatzSource);
+  Module Instr = instrumentOrDie(Orig);
+  std::string Listing = disassembleModule(Instr);
+  EXPECT_NE(Listing.find("__tb_probe_helper"), std::string::npos);
+  EXPECT_NE(Listing.find("stm32i"), std::string::npos) << "heavy probes";
+  EXPECT_NE(Listing.find("tlsld"), std::string::npos);
+}
+
+TEST(InstrumentTest, IndirectCallTargetsSurvive) {
+  const char *Source = R"(
+fn add(a, b) { return a + b; }
+fn main() export {
+  print(callptr(addr_of(add), 20, 22));
+}
+)";
+  Module Orig = compileOrDie(Source);
+  SingleProcess Traced;
+  Traced.runModule(Orig, true);
+  EXPECT_EQ(Traced.P->Output, "42\n");
+}
+
+TEST(InstrumentTest, CrossModuleImportsSurvive) {
+  SingleProcess S;
+  std::string Error;
+  ASSERT_NE(S.D.deploy(*S.P, buildLibTbc(), /*Instrument=*/true, Error),
+            nullptr)
+      << Error;
+  Module App = compileOrDie(R"(
+import strlen;
+import memset;
+fn main() export {
+  var buf = alloc(16);
+  memset(buf, 65, 5);
+  storeb(buf + 5, 0);
+  print(strlen(buf));
+  prints(buf);
+}
+)");
+  ASSERT_NE(S.D.deploy(*S.P, App, /*Instrument=*/true, Error), nullptr)
+      << Error;
+  S.P->start("main");
+  EXPECT_EQ(S.D.world().run(), World::RunResult::AllExited);
+  EXPECT_EQ(S.P->Output, "5\nAAAAA");
+}

@@ -1,0 +1,378 @@
+//===- tests/test_isa.cpp - ISA layer tests -------------------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Assembler.h"
+#include "isa/Builder.h"
+#include "isa/Disassembler.h"
+#include "isa/Encoding.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace traceback;
+
+namespace {
+Instruction randomInstruction(Rng &Rand) {
+  for (;;) {
+    Opcode Op = static_cast<Opcode>(Rand.below(NumOpcodes));
+    Instruction I;
+    I.Op = Op;
+    // Only populate the fields the signature encodes; the rest must stay
+    // zero to compare equal after a decode round trip.
+    switch (opcodeSig(Op)) {
+    case OpSig::R:
+    case OpSig::RI64:
+    case OpSig::RSlot:
+      I.Rd = static_cast<uint8_t>(Rand.below(NumRegs));
+      break;
+    case OpSig::RR:
+    case OpSig::RI32:
+    case OpSig::RMem:
+    case OpSig::MemR:
+      I.Rd = static_cast<uint8_t>(Rand.below(NumRegs));
+      I.Rs = static_cast<uint8_t>(Rand.below(NumRegs));
+      break;
+    case OpSig::RRR:
+      I.Rd = static_cast<uint8_t>(Rand.below(NumRegs));
+      I.Rs = static_cast<uint8_t>(Rand.below(NumRegs));
+      I.Rt = static_cast<uint8_t>(Rand.below(NumRegs));
+      break;
+    case OpSig::MemI32:
+      I.Rd = static_cast<uint8_t>(Rand.below(NumRegs));
+      break;
+    case OpSig::RRel8:
+    case OpSig::RRel32:
+      I.Rs = static_cast<uint8_t>(Rand.below(NumRegs));
+      break;
+    default:
+      break;
+    }
+    switch (opcodeSig(Op)) {
+    case OpSig::RI64:
+      I.Imm = static_cast<int64_t>(Rand.next());
+      break;
+    case OpSig::RI32:
+      I.Imm = static_cast<int32_t>(Rand.next());
+      break;
+    case OpSig::MemI32:
+      I.Imm = static_cast<int64_t>(static_cast<uint32_t>(Rand.next()));
+      I.Off = static_cast<int16_t>(Rand.next());
+      break;
+    case OpSig::RMem:
+    case OpSig::MemR:
+      I.Off = static_cast<int16_t>(Rand.next());
+      break;
+    case OpSig::Rel8:
+    case OpSig::RRel8:
+      I.Imm = static_cast<int8_t>(Rand.next());
+      break;
+    case OpSig::Rel32:
+    case OpSig::RRel32:
+      I.Imm = static_cast<int32_t>(Rand.next());
+      break;
+    case OpSig::I16:
+    case OpSig::RSlot:
+      I.Imm = static_cast<uint16_t>(Rand.next());
+      break;
+    default:
+      break;
+    }
+    return I;
+  }
+}
+} // namespace
+
+TEST(EncodingTest, RandomRoundTrip) {
+  Rng Rand(11);
+  for (int Case = 0; Case < 5000; ++Case) {
+    Instruction I = randomInstruction(Rand);
+    std::vector<uint8_t> Bytes;
+    unsigned Size = encodeInstruction(I, Bytes);
+    EXPECT_EQ(Size, I.size());
+    Instruction Back;
+    unsigned Decoded = decodeInstruction(Bytes.data(), Bytes.size(), Back);
+    ASSERT_EQ(Decoded, Size) << I.toString();
+    EXPECT_EQ(Back, I) << I.toString() << " vs " << Back.toString();
+  }
+}
+
+TEST(EncodingTest, RejectsJunk) {
+  Instruction I;
+  uint8_t Junk[] = {0xFE, 1, 2, 3};
+  EXPECT_EQ(decodeInstruction(Junk, sizeof(Junk), I), 0u);
+  // Truncated instruction.
+  std::vector<uint8_t> Bytes;
+  encodeInstruction(Instruction::movI(3, 123456789), Bytes);
+  EXPECT_EQ(decodeInstruction(Bytes.data(), 4, I), 0u);
+  // Register field out of range.
+  std::vector<uint8_t> Bad;
+  encodeInstruction(Instruction::mov(1, 2), Bad);
+  Bad[1] = 99;
+  EXPECT_EQ(decodeInstruction(Bad.data(), Bad.size(), I), 0u);
+}
+
+TEST(EncodingTest, DecodeAllStream) {
+  std::vector<uint8_t> Code;
+  std::vector<Instruction> Insns = {
+      Instruction::movI(1, 7), Instruction::aluI(Opcode::AddI, 1, 1, 1),
+      Instruction::push(1), Instruction::pop(2), Instruction::ret()};
+  for (const Instruction &I : Insns)
+    encodeInstruction(I, Code);
+  std::vector<DecodedInsn> Out;
+  ASSERT_TRUE(decodeAll(Code, Out));
+  ASSERT_EQ(Out.size(), Insns.size());
+  uint32_t Off = 0;
+  for (size_t I = 0; I < Insns.size(); ++I) {
+    EXPECT_EQ(Out[I].Insn, Insns[I]);
+    EXPECT_EQ(Out[I].Offset, Off);
+    Off += Insns[I].size();
+  }
+}
+
+TEST(BuilderTest, ShortBranchSelected) {
+  ModuleBuilder B("m");
+  Label L = B.makeLabel();
+  B.emitBr(L);
+  B.emit(Instruction::nop());
+  B.bind(L);
+  B.emit(Instruction::ret());
+  Module M;
+  std::string Error;
+  ASSERT_TRUE(B.finalize(M, Error)) << Error;
+  std::vector<DecodedInsn> Out;
+  ASSERT_TRUE(decodeAll(M.Code, Out));
+  EXPECT_EQ(Out[0].Insn.Op, Opcode::BrS) << "short form expected";
+  EXPECT_EQ(Out[0].Insn.Imm, 1); // Skips the 1-byte nop.
+}
+
+TEST(BuilderTest, LongBranchWhenFar) {
+  ModuleBuilder B("m");
+  Label L = B.makeLabel();
+  B.emitBr(L);
+  for (int I = 0; I < 50; ++I)
+    B.emit(Instruction::movI(1, I)); // 10 bytes each: too far for rel8.
+  B.bind(L);
+  B.emit(Instruction::ret());
+  Module M;
+  std::string Error;
+  ASSERT_TRUE(B.finalize(M, Error)) << Error;
+  std::vector<DecodedInsn> Out;
+  ASSERT_TRUE(decodeAll(M.Code, Out));
+  EXPECT_EQ(Out[0].Insn.Op, Opcode::BrL);
+  EXPECT_EQ(Out[0].Insn.Imm, 500);
+}
+
+TEST(BuilderTest, RelaxationCascade) {
+  // A chain of branches each barely in short range; growing one pushes the
+  // next out of range — the fixpoint must converge and stay correct.
+  ModuleBuilder B("m");
+  std::vector<Label> Labels;
+  const int N = 30;
+  for (int I = 0; I < N; ++I)
+    Labels.push_back(B.makeLabel());
+  // Branch i targets label i; labels are spaced so that early branches sit
+  // right at the rel8 boundary.
+  for (int I = 0; I < N; ++I)
+    B.emitBr(Labels[I]);
+  for (int I = 0; I < N; ++I) {
+    for (int Pad = 0; Pad < 11; ++Pad)
+      B.emit(Instruction::nop());
+    B.bind(Labels[I]);
+    B.emit(Instruction::nop());
+  }
+  Module M;
+  std::string Error;
+  ASSERT_TRUE(B.finalize(M, Error)) << Error;
+
+  // Verify every branch displacement lands on a decoded boundary.
+  std::vector<DecodedInsn> Out;
+  ASSERT_TRUE(decodeAll(M.Code, Out));
+  std::set<uint32_t> Boundaries;
+  for (const DecodedInsn &D : Out)
+    Boundaries.insert(D.Offset);
+  for (const DecodedInsn &D : Out) {
+    if (!isRelBranch(D.Insn.Op))
+      continue;
+    uint32_t Target = static_cast<uint32_t>(
+        D.Offset + opcodeSize(D.Insn.Op) + D.Insn.Imm);
+    EXPECT_TRUE(Boundaries.count(Target)) << "mid-instruction target";
+  }
+}
+
+TEST(BuilderTest, UnboundLabelFails) {
+  ModuleBuilder B("m");
+  Label L = B.makeLabel();
+  B.emitBr(L);
+  Module M;
+  std::string Error;
+  EXPECT_FALSE(B.finalize(M, Error));
+  EXPECT_NE(Error.find("never bound"), std::string::npos);
+}
+
+TEST(ModuleTest, SerializationRoundTrip) {
+  ModuleBuilder B("serialize-me", Technology::Managed);
+  uint16_t File = B.fileIndex("a.ml");
+  B.setLine(File, 10);
+  B.beginFunction("main", true);
+  Label L = B.makeLabel();
+  B.emitCall(L);
+  B.emit(Instruction::halt());
+  B.bind(L);
+  B.setLine(File, 20);
+  B.emitLea(2, "table", 8);
+  B.emit(Instruction::ret());
+  B.defineDataSymbol("table", true);
+  B.addData({1, 2, 3, 4, 5, 6, 7, 8});
+  B.addDataSymbolSlot("main");
+  B.emitCallImport("external_fn");
+  Module M;
+  std::string Error;
+  ASSERT_TRUE(B.finalize(M, Error)) << Error;
+  M.EhTable.push_back({0, 10, 5});
+  M.Instrumented = true;
+  M.DagIdBase = 1234;
+  M.DagIdCount = 5;
+  M.DagRecordFixups = {4, 9};
+  M.LightMaskFixups = {14};
+  M.TlsSlotFixups = {2};
+  M.Checksum = MD5::hash("x", 1);
+
+  std::vector<uint8_t> Bytes = M.serialize();
+  Module Back;
+  ASSERT_TRUE(Module::deserialize(Bytes, Back));
+  EXPECT_EQ(Back.Name, M.Name);
+  EXPECT_EQ(Back.Tech, M.Tech);
+  EXPECT_EQ(Back.Code, M.Code);
+  EXPECT_EQ(Back.Data, M.Data);
+  EXPECT_EQ(Back.Symbols.size(), M.Symbols.size());
+  EXPECT_EQ(Back.Imports, M.Imports);
+  EXPECT_EQ(Back.Relocs.size(), M.Relocs.size());
+  EXPECT_EQ(Back.CodeRelocs.size(), M.CodeRelocs.size());
+  EXPECT_EQ(Back.Lines.size(), M.Lines.size());
+  EXPECT_EQ(Back.EhTable.size(), 1u);
+  EXPECT_EQ(Back.DagIdBase, 1234u);
+  EXPECT_EQ(Back.DagRecordFixups, M.DagRecordFixups);
+  EXPECT_EQ(Back.Checksum, M.Checksum);
+}
+
+TEST(ModuleTest, QueriesWork) {
+  Module M;
+  M.Files = {"f0.c", "f1.c"};
+  M.Lines = {{0, 0, 1}, {10, 0, 2}, {20, 1, 7}};
+  M.Symbols.push_back({"foo", 0, true, true});
+  M.Symbols.push_back({"bar", 16, true, false});
+  M.EhTable.push_back({0, 30, 25});
+  M.EhTable.push_back({5, 12, 28}); // Inner range.
+
+  EXPECT_EQ(M.lineForOffset(0)->Line, 1u);
+  EXPECT_EQ(M.lineForOffset(9)->Line, 1u);
+  EXPECT_EQ(M.lineForOffset(10)->Line, 2u);
+  EXPECT_EQ(M.lineForOffset(25)->Line, 7u);
+  EXPECT_EQ(M.fileName(1), "f1.c");
+  EXPECT_EQ(M.fileName(9), "?");
+  EXPECT_EQ(M.functionAtOffset(3), "foo");
+  EXPECT_EQ(M.functionAtOffset(17), "bar");
+  EXPECT_EQ(M.handlerForOffset(7)->Handler, 28u) << "innermost wins";
+  EXPECT_EQ(M.handlerForOffset(15)->Handler, 25u);
+  EXPECT_FALSE(M.handlerForOffset(31).has_value());
+}
+
+TEST(AssemblerTest, BasicProgram) {
+  Assembler Asm;
+  Module M;
+  std::string Error;
+  std::string Src = R"(.module demo
+.file "demo.s"
+.func main export
+.line 1
+  movi r0, 5
+  movi r1, 3
+  add r0, r0, r1
+loop:
+.line 2
+  addi r0, r0, -1
+  brnz r0, loop
+.line 3
+  halt
+.endfunc
+)";
+  ASSERT_TRUE(Asm.assemble(Src, M, Error)) << Error;
+  EXPECT_EQ(M.Name, "demo");
+  ASSERT_NE(M.findSymbol("main"), nullptr);
+  EXPECT_TRUE(M.findSymbol("main")->Exported);
+  std::vector<DecodedInsn> Out;
+  ASSERT_TRUE(decodeAll(M.Code, Out));
+  EXPECT_EQ(Out.size(), 6u);
+  EXPECT_EQ(M.Lines.size(), 3u);
+}
+
+TEST(AssemblerTest, DataDirectivesAndLea) {
+  Assembler Asm;
+  Module M;
+  std::string Error;
+  std::string Src = R"(.module d
+.func main export
+  lea r1, table
+  lea r2, msg+1
+  ld r3, [r1]
+  ret
+.endfunc
+.datasym table export
+.word 42, 43
+.datasym msg
+.string "hi"
+.ptr main
+)";
+  ASSERT_TRUE(Asm.assemble(Src, M, Error)) << Error;
+  EXPECT_EQ(M.CodeRelocs.size(), 2u);
+  EXPECT_EQ(M.CodeRelocs[1].Addend, 1);
+  ASSERT_NE(M.findSymbol("table"), nullptr);
+  EXPECT_FALSE(M.findSymbol("table")->IsFunction);
+  EXPECT_EQ(M.Relocs.size(), 1u);
+  EXPECT_EQ(M.Relocs[0].SymbolName, "main");
+  // Data: 2 words + "hi\0" + aligned pointer slot.
+  EXPECT_GE(M.Data.size(), 16u + 3u + 8u);
+}
+
+TEST(AssemblerTest, Diagnostics) {
+  Assembler Asm;
+  Module M;
+  std::string Error;
+  EXPECT_FALSE(Asm.assemble("bogus r1, r2\n", M, Error));
+  EXPECT_NE(Error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(Asm.assemble(".func\n", M, Error));
+  EXPECT_FALSE(Asm.assemble("movi r99, 1\n", M, Error));
+  EXPECT_FALSE(Asm.assemble("br nowhere\n", M, Error)); // Unbound label.
+}
+
+TEST(AssemblerTest, NamedConstants) {
+  Assembler Asm({{"MAGIC", 77}});
+  Module M;
+  std::string Error;
+  ASSERT_TRUE(Asm.assemble(".func f\n movi r0, $MAGIC\n ret\n", M, Error))
+      << Error;
+  std::vector<DecodedInsn> Out;
+  ASSERT_TRUE(decodeAll(M.Code, Out));
+  EXPECT_EQ(Out[0].Insn.Imm, 77);
+  EXPECT_FALSE(Asm.assemble(".func f\n movi r0, $NOPE\n ret\n", M, Error));
+}
+
+TEST(DisassemblerTest, ListingContainsSymbolsAndLines) {
+  Assembler Asm;
+  Module M;
+  std::string Error;
+  ASSERT_TRUE(Asm.assemble(
+      ".module x\n.file \"x.s\"\n.func main export\n.line 3\n movi r0, 1\n "
+      "halt\n.endfunc\n",
+      M, Error))
+      << Error;
+  std::string Listing = disassembleModule(M);
+  EXPECT_NE(Listing.find("main:"), std::string::npos);
+  EXPECT_NE(Listing.find("x.s:3"), std::string::npos);
+  EXPECT_NE(Listing.find("movi r0, 1"), std::string::npos);
+}

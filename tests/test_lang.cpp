@@ -1,0 +1,277 @@
+//===- tests/test_lang.cpp - MiniLang compiler tests ----------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace traceback;
+using namespace traceback::testing_helpers;
+
+namespace {
+std::string runAndGetOutput(const std::string &Source) {
+  SingleProcess S;
+  Module M = compileOrDie(Source);
+  EXPECT_EQ(S.runModule(M, /*Instrument=*/false),
+            World::RunResult::AllExited);
+  return S.P->Output;
+}
+} // namespace
+
+TEST(LangTest, ArithmeticPrecedence) {
+  EXPECT_EQ(runAndGetOutput(R"(
+fn main() export {
+  print(2 + 3 * 4);
+  print((2 + 3) * 4);
+  print(10 / 3);
+  print(10 % 3);
+  print(1 << 5);
+  print(100 >> 2);
+  print(-7);
+  print(!0);
+  print(!5);
+}
+)"),
+            "14\n20\n3\n1\n32\n25\n-7\n1\n0\n");
+}
+
+TEST(LangTest, ComparisonsAndLogic) {
+  EXPECT_EQ(runAndGetOutput(R"(
+fn main() export {
+  print(3 < 4);
+  print(4 <= 3);
+  print(5 > 1);
+  print(5 >= 6);
+  print(5 == 5);
+  print(5 != 5);
+  print(1 && 2);
+  print(0 && 2);
+  print(0 || 3);
+  print(0 || 0);
+}
+)"),
+            "1\n0\n1\n0\n1\n0\n1\n0\n1\n0\n");
+}
+
+TEST(LangTest, ShortCircuitSkipsSideEffects) {
+  EXPECT_EQ(runAndGetOutput(R"(
+fn touch() {
+  print(777);
+  return 1;
+}
+fn main() export {
+  var a = 0 && touch();
+  var b = 1 || touch();
+  print(a + b);
+}
+)"),
+            "1\n")
+      << "touch() must never run";
+}
+
+TEST(LangTest, ControlFlow) {
+  EXPECT_EQ(runAndGetOutput(R"(
+fn main() export {
+  var sum = 0;
+  for (var i = 1; i <= 10; i = i + 1) {
+    sum = sum + i;
+  }
+  print(sum);
+  var n = 27;
+  var steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0) {
+      n = n / 2;
+    } else {
+      n = 3 * n + 1;
+    }
+    steps = steps + 1;
+  }
+  print(steps);
+}
+)"),
+            "55\n111\n");
+}
+
+TEST(LangTest, FunctionsAndRecursion) {
+  EXPECT_EQ(runAndGetOutput(R"(
+fn fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+fn main() export {
+  print(fib(15));
+}
+)"),
+            "610\n");
+}
+
+TEST(LangTest, ArraysViaAlloc) {
+  EXPECT_EQ(runAndGetOutput(R"(
+fn main() export {
+  var a = alloc(80);
+  for (var i = 0; i < 10; i = i + 1) {
+    a[i] = i * i;
+  }
+  var sum = 0;
+  for (var j = 0; j < 10; j = j + 1) {
+    sum = sum + a[j];
+  }
+  print(sum);
+}
+)"),
+            "285\n");
+}
+
+TEST(LangTest, StringsAndBytes) {
+  EXPECT_EQ(runAndGetOutput(R"(
+fn main() export {
+  prints("hi there\n");
+  var s = "abc";
+  print(loadb(s));
+  print(loadb(s + 1));
+  storeb(s, 122);
+  prints(s);
+}
+)"),
+            "hi there\n97\n98\nzbc");
+}
+
+TEST(LangTest, ThrowAndCatch) {
+  EXPECT_EQ(runAndGetOutput(R"(
+fn risky(x) {
+  if (x > 2) { throw 9; }
+  return x;
+}
+fn main() export {
+  var got = 0;
+  try {
+    got = risky(1);
+    got = got + risky(5);
+    print(12345);
+  } catch {
+    print(got);
+  }
+  print(got + 1);
+}
+)"),
+            "1\n2\n")
+      << "catch must see side effects before the throw";
+}
+
+TEST(LangTest, NestedTryInnermostWins) {
+  EXPECT_EQ(runAndGetOutput(R"(
+fn main() export {
+  try {
+    try {
+      throw 3;
+    } catch {
+      print(1);
+    }
+    print(2);
+  } catch {
+    print(99);
+  }
+}
+)"),
+            "1\n2\n");
+}
+
+TEST(LangTest, FunctionPointers) {
+  EXPECT_EQ(runAndGetOutput(R"(
+fn add(a, b) { return a + b; }
+fn mul(a, b) { return a * b; }
+fn apply(f, a, b) { return callptr(f, a, b); }
+fn main() export {
+  print(apply(addr_of(add), 3, 4));
+  print(apply(addr_of(mul), 3, 4));
+}
+)"),
+            "7\n12\n");
+}
+
+TEST(LangTest, ThreadsFromLanguage) {
+  EXPECT_EQ(runAndGetOutput(R"(
+fn worker(buf) {
+  lock(1);
+  store(buf, load(buf) + 100);
+  unlock(1);
+  return 0;
+}
+fn main() export {
+  var buf = alloc(8);
+  store(buf, 5);
+  var t1 = spawn(addr_of(worker), buf);
+  var t2 = spawn(addr_of(worker), buf);
+  join(t1);
+  join(t2);
+  print(load(buf));
+}
+)"),
+            "205\n");
+}
+
+TEST(LangTest, ImportsCallNativeModule) {
+  SingleProcess S;
+  std::string Error;
+  ASSERT_NE(S.D.deploy(*S.P, buildLibTbc(), /*Instrument=*/false, Error),
+            nullptr)
+      << Error;
+  Module App = compileOrDie(R"(
+import strlen;
+fn main() export {
+  print(strlen("four"));
+}
+)");
+  ASSERT_NE(S.D.deploy(*S.P, App, /*Instrument=*/false, Error), nullptr)
+      << Error;
+  S.P->start("main");
+  EXPECT_EQ(S.D.world().run(), World::RunResult::AllExited);
+  EXPECT_EQ(S.P->Output, "4\n");
+}
+
+TEST(LangTest, ParseErrors) {
+  minilang::Program Prog;
+  std::string Error;
+  EXPECT_FALSE(minilang::parseProgram("fn main( {", "x.ml", Prog, Error));
+  EXPECT_NE(Error.find("x.ml:1"), std::string::npos);
+  EXPECT_FALSE(minilang::parseProgram("fn f() { var 1 = 2; }", "x.ml",
+                                      Prog, Error));
+  EXPECT_FALSE(
+      minilang::parseProgram("fn f() { throw x; }", "x.ml", Prog, Error));
+  EXPECT_FALSE(minilang::parseProgram("fn f(a,b,c,d,e) {}", "x.ml", Prog,
+                                      Error))
+      << "more than 4 parameters";
+}
+
+TEST(LangTest, CodegenErrors) {
+  Module M;
+  std::string Error;
+  EXPECT_FALSE(minilang::compileMiniLang("fn f() { return nope; }", "x.ml",
+                                         "m", Technology::Native, M, Error));
+  EXPECT_NE(Error.find("undeclared"), std::string::npos);
+  EXPECT_FALSE(minilang::compileMiniLang("fn f() { ghost(1); }", "x.ml",
+                                         "m", Technology::Native, M, Error));
+  EXPECT_NE(Error.find("unknown function"), std::string::npos);
+}
+
+TEST(LangTest, LineTableTracksStatements) {
+  Module M = compileOrDie(R"(
+fn main() export {
+  var a = 1;
+  var b = 2;
+  print(a + b);
+}
+)");
+  // Lines 3, 4, 5 must appear in the line table.
+  std::set<uint32_t> Seen;
+  for (const LineEntry &L : M.Lines)
+    Seen.insert(L.Line);
+  EXPECT_TRUE(Seen.count(3));
+  EXPECT_TRUE(Seen.count(4));
+  EXPECT_TRUE(Seen.count(5));
+}

@@ -1,0 +1,369 @@
+//===- tests/test_property.cpp - Randomized pipeline properties -----------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// The two invariants that make TraceBack trustworthy, checked over a
+// parameterized sweep of randomly generated programs:
+//  1. Semantic transparency: instrumented output == original output.
+//  2. Trace fidelity: the reconstructed line sequence is a suffix of the
+//     VM's ground-truth line log, under clean snaps and crashes alike.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace traceback;
+using namespace traceback::testing_helpers;
+
+namespace {
+
+/// Deterministic random structured program generator. Programs use only
+/// defined arithmetic (guarded / and %), always terminate (bounded loops)
+/// and optionally end with a deliberate crash.
+class ProgramGen {
+public:
+  ProgramGen(uint64_t Seed, bool CrashAtEnd)
+      : Rand(Seed), CrashAtEnd(CrashAtEnd) {}
+
+  std::string generate() {
+    std::string S;
+    int Helpers = 1 + static_cast<int>(Rand.below(3));
+    for (int I = 0; I < Helpers; ++I) {
+      S += "fn helper" + std::to_string(I) + "(a, b) {\n";
+      S += "var x = a;\nvar y = b + 1;\n";
+      S += body(2, I);
+      S += "return x + y;\n}\n";
+    }
+    S += "fn main() export {\nvar x = 11;\nvar y = 5;\n";
+    S += body(0, Helpers);
+    if (CrashAtEnd) {
+      switch (Rand.below(3)) {
+      case 0:
+        S += "var bad = 0;\nx = load(bad);\n";
+        break;
+      case 1:
+        S += "var zero = y - y;\nx = x / zero;\n";
+        break;
+      case 2:
+        S += "throw 13;\n";
+        break;
+      }
+    } else {
+      S += "snap(1);\n";
+    }
+    S += "print(x + y);\n}\n";
+    return S;
+  }
+
+private:
+  std::string body(int Depth, int MaxHelper) {
+    std::string S;
+    int N = 1 + static_cast<int>(Rand.below(4));
+    for (int I = 0; I < N; ++I) {
+      switch (Rand.below(Depth >= 2 ? 3 : 6)) {
+      case 0:
+        S += "x = x + y * " + std::to_string(1 + Rand.below(5)) + ";\n";
+        break;
+      case 1:
+        S += "y = (y * 3 + x) % 1000003;\n";
+        break;
+      case 2:
+        S += "x = x - (y & 255);\n";
+        break;
+      case 3:
+        S += "if (x % " + std::to_string(2 + Rand.below(4)) +
+             " == 0) {\n" + body(Depth + 1, MaxHelper) + "} else {\n" +
+             body(Depth + 1, MaxHelper) + "}\n";
+        break;
+      case 4: {
+        std::string Var = "i" + std::to_string(LoopCounter++);
+        S += "for (var " + Var + " = 0; " + Var + " < " +
+             std::to_string(2 + Rand.below(8)) + "; " + Var + " = " + Var +
+             " + 1) {\n" + body(Depth + 1, MaxHelper) + "}\n";
+        break;
+      }
+      case 5:
+        if (MaxHelper > 0)
+          S += "x = x + helper" +
+               std::to_string(Rand.below(static_cast<uint64_t>(MaxHelper))) +
+               "(x % 97, y % 31);\n";
+        break;
+      }
+    }
+    return S;
+  }
+
+  Rng Rand;
+  bool CrashAtEnd;
+  int LoopCounter = 0;
+};
+
+struct Params {
+  uint64_t Seed;
+  bool Crash;
+  bool Managed;
+};
+
+class PipelineProperty : public ::testing::TestWithParam<Params> {};
+
+} // namespace
+
+TEST_P(PipelineProperty, TransparencyAndFidelity) {
+  const Params &P = GetParam();
+  ProgramGen GenA(P.Seed, P.Crash);
+  std::string Source = GenA.generate();
+  Technology Tech = P.Managed ? Technology::Managed : Technology::Native;
+  Module M = compileOrDie(Source, "prog", Tech);
+
+  // 1. Transparency.
+  SingleProcess Plain;
+  World::RunResult PlainResult = Plain.runModule(M, false);
+  SingleProcess Traced{/*WithOracle=*/true};
+  World::RunResult TracedResult = Traced.runModule(M, true);
+  EXPECT_EQ(PlainResult, TracedResult) << Source;
+  EXPECT_EQ(Plain.P->Output, Traced.P->Output) << Source;
+  EXPECT_EQ(Plain.P->ExitCode, Traced.P->ExitCode) << Source;
+  EXPECT_EQ(Plain.P->LastFault.Code, Traced.P->LastFault.Code) << Source;
+
+  // 2. Fidelity.
+  ASSERT_FALSE(Traced.D.snaps().empty()) << Source;
+  ReconstructedTrace T = Traced.D.reconstruct(Traced.D.snaps().back());
+  const ThreadTrace *Main = T.threadById(1);
+  ASSERT_NE(Main, nullptr) << Source;
+  std::vector<std::string> Got = lineSequence(*Main);
+  std::vector<std::string> Want = oracleSequence(Traced.Oracle, 1);
+  ASSERT_FALSE(Got.empty()) << Source;
+  if (P.Crash) {
+    EXPECT_TRUE(isSuffixOf(Got, Want))
+        << Source << "\ngot tail: "
+        << ::testing::PrintToString(std::vector<std::string>(
+               Got.end() - std::min<size_t>(Got.size(), 10), Got.end()))
+        << "\nwant tail: "
+        << ::testing::PrintToString(std::vector<std::string>(
+               Want.end() - std::min<size_t>(Want.size(), 10), Want.end()));
+  } else {
+    // Clean snap: trace stops at the snap; lines after it (the final
+    // print) are not in the trace. Got must be a contiguous run of Want
+    // ending within a few lines of its end.
+    auto It = std::search(Want.begin(), Want.end(), Got.begin(), Got.end());
+    ASSERT_NE(It, Want.end()) << Source;
+    EXPECT_LE(static_cast<size_t>(Want.end() - It), Got.size() + 4)
+        << Source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPrograms, PipelineProperty,
+    ::testing::Values(
+        Params{1001, false, false}, Params{1002, false, false},
+        Params{1003, false, false}, Params{1004, false, false},
+        Params{1005, false, false}, Params{1006, false, false},
+        Params{1007, false, false}, Params{1008, false, false},
+        Params{2001, true, false}, Params{2002, true, false},
+        Params{2003, true, false}, Params{2004, true, false},
+        Params{2005, true, false}, Params{2006, true, false},
+        Params{2007, true, false}, Params{2008, true, false},
+        Params{2009, true, false}, Params{2010, true, false},
+        Params{2011, true, false}, Params{2012, true, false},
+        Params{3001, false, true}, Params{3002, false, true},
+        Params{3003, false, true}, Params{3004, true, true},
+        Params{3005, true, true}, Params{3006, true, true},
+        Params{3007, true, true}, Params{3008, false, true}),
+    [](const ::testing::TestParamInfo<Params> &Info) {
+      std::string Name = "seed" + std::to_string(Info.param.Seed);
+      Name += Info.param.Crash ? "_crash" : "_clean";
+      Name += Info.param.Managed ? "_managed" : "_native";
+      return Name;
+    });
+
+// Path-bit budget sweep: tiling + fidelity hold for every budget.
+class BitBudgetProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitBudgetProperty, FidelityUnderBudget) {
+  unsigned Bits = GetParam();
+  ProgramGen Gen(4242, /*CrashAtEnd=*/true);
+  std::string Source = Gen.generate();
+  Module M = compileOrDie(Source, "prog");
+  SingleProcess Traced{/*WithOracle=*/true};
+  InstrumentOptions Opts;
+  Opts.Tile.PathBits = Bits;
+  std::string Error;
+  ASSERT_NE(Traced.D.deploy(*Traced.P, M, true, Opts, Error), nullptr)
+      << Error;
+  Traced.P->start("main");
+  Traced.D.world().run();
+  ASSERT_FALSE(Traced.D.snaps().empty());
+  ReconstructedTrace T = Traced.D.reconstruct(Traced.D.snaps().back());
+  const ThreadTrace *Main = T.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  std::vector<std::string> Got = lineSequence(*Main);
+  std::vector<std::string> Want = oracleSequence(Traced.Oracle, 1);
+  EXPECT_TRUE(isSuffixOf(Got, Want)) << "bits=" << Bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BitBudgetProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 10u));
+
+// Tiny-buffer fidelity: with buffers small enough to lap many times, the
+// reconstructed history must still be an exact suffix of reality.
+class TinyBufferProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TinyBufferProperty, SuffixSurvivesRingWrap) {
+  uint32_t BufBytes = GetParam();
+  ProgramGen Gen(777, /*CrashAtEnd=*/true);
+  std::string Source = Gen.generate();
+  Module M = compileOrDie(Source, "prog");
+  SingleProcess Traced{/*WithOracle=*/true};
+  Traced.D.Policy.BufferBytes = BufBytes;
+  std::string Error;
+  ASSERT_NE(Traced.D.deploy(*Traced.P, M, true, Error), nullptr) << Error;
+  Traced.P->start("main");
+  Traced.D.world().run();
+  ASSERT_FALSE(Traced.D.snaps().empty());
+  ReconstructedTrace T = Traced.D.reconstruct(Traced.D.snaps().back());
+  const ThreadTrace *Main = T.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  std::vector<std::string> Got = lineSequence(*Main);
+  std::vector<std::string> Want = oracleSequence(Traced.Oracle, 1);
+  ASSERT_FALSE(Got.empty());
+  // Seam repair may drop a handful of events at the OLD end; tolerate by
+  // trimming the head of Got, never its tail.
+  bool Ok = false;
+  for (size_t Skip = 0; Skip <= 8 && !Ok; ++Skip) {
+    if (Got.size() <= Skip)
+      break;
+    std::vector<std::string> G(Got.begin() + Skip, Got.end());
+    Ok = isSuffixOf(G, Want);
+  }
+  EXPECT_TRUE(Ok) << "buffer bytes " << BufBytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TinyBufferProperty,
+                         ::testing::Values(512u, 1024u, 2048u, 8192u));
+
+// Multi-module programs: the crash is in a second (imported) module.
+TEST(PipelineProperty, CrossModuleCrashFidelity) {
+  const char *LibSrc = R"(
+fn unstable(x) export {
+  var y = x * 3;
+  if (y > 50) {
+    var p = 0;
+    y = load(p);
+  }
+  return y;
+}
+)";
+  const char *AppSrc = R"(
+import unstable;
+fn main() export {
+  var acc = 0;
+  for (var i = 0; i < 40; i = i + 1) {
+    acc = acc + unstable(i);
+  }
+  print(acc);
+}
+)";
+  SingleProcess S{/*WithOracle=*/true};
+  Module Lib = compileOrDie(LibSrc, "libunstable", Technology::Native,
+                            "lib.ml");
+  Module App = compileOrDie(AppSrc, "app", Technology::Native, "app.ml");
+  std::string Error;
+  ASSERT_NE(S.D.deploy(*S.P, Lib, true, Error), nullptr) << Error;
+  ASSERT_NE(S.D.deploy(*S.P, App, true, Error), nullptr) << Error;
+  S.P->start("main");
+  S.D.world().run();
+  ASSERT_FALSE(S.D.snaps().empty());
+  ReconstructedTrace T = S.D.reconstruct(S.D.snaps().back());
+  const ThreadTrace *Main = T.threadById(1);
+  ASSERT_NE(Main, nullptr);
+  std::vector<std::string> Got = lineSequence(*Main);
+  std::vector<std::string> Want = oracleSequence(S.Oracle, 1);
+  EXPECT_TRUE(isSuffixOf(Got, Want)) << ::testing::PrintToString(Got);
+  // The fault line lives in lib.ml.
+  ASSERT_FALSE(Got.empty());
+  EXPECT_NE(Got.back().find("lib.ml"), std::string::npos);
+}
+
+// Fuzz-lite: random corruption of serialized artifacts must never crash
+// the parsers, and random corruption of buffer words must never crash
+// reconstruction.
+TEST(RobustnessProperty, CorruptSnapBytesNeverCrash) {
+  SingleProcess S;
+  Module M = compileOrDie(R"(
+fn main() export {
+  var s = 0;
+  for (var i = 0; i < 50; i = i + 1) { s = s + i; }
+  snap(1);
+}
+)");
+  S.runModule(M, true);
+  std::vector<uint8_t> Bytes = S.D.snaps().back().serialize();
+  Rng Rand(99);
+  for (int Case = 0; Case < 200; ++Case) {
+    std::vector<uint8_t> Fuzzed = Bytes;
+    int Flips = 1 + static_cast<int>(Rand.below(8));
+    for (int I = 0; I < Flips; ++I)
+      Fuzzed[Rand.below(Fuzzed.size())] ^=
+          static_cast<uint8_t>(1 + Rand.below(255));
+    SnapFile Out;
+    (void)SnapFile::deserialize(Fuzzed, Out); // Must not crash/hang.
+    // Truncations too.
+    Fuzzed.resize(Rand.below(Fuzzed.size() + 1));
+    (void)SnapFile::deserialize(Fuzzed, Out);
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessProperty, CorruptBufferWordsReconstructSafely) {
+  SingleProcess S;
+  Module M = compileOrDie(R"(
+fn main() export {
+  var s = 0;
+  for (var i = 0; i < 200; i = i + 1) {
+    if (i & 1) { s = s + i; } else { s = s ^ 3; }
+  }
+  snap(1);
+}
+)");
+  S.runModule(M, true);
+  SnapFile Snap = S.D.snaps().back();
+  Rng Rand(1234);
+  for (int Case = 0; Case < 100; ++Case) {
+    SnapFile Fuzzed = Snap;
+    for (SnapBufferImage &B : Fuzzed.Buffers) {
+      if (B.Raw.empty())
+        continue;
+      int Stomps = 1 + static_cast<int>(Rand.below(6));
+      for (int I = 0; I < Stomps; ++I) {
+        size_t W = Rand.below(B.Raw.size() / 4) * 4;
+        for (int J = 0; J < 4; ++J)
+          B.Raw[W + J] = static_cast<uint8_t>(Rand.next());
+      }
+    }
+    ReconstructedTrace T = S.D.reconstruct(Fuzzed); // Must not crash.
+    (void)T;
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessProperty, CorruptMapfileBytesNeverCrash) {
+  SingleProcess S;
+  Module M = compileOrDie("fn main() export { print(1); }");
+  std::string Error;
+  Module Instr;
+  ASSERT_TRUE(S.D.instrumentOnly(M, InstrumentOptions(), Instr, Error));
+  ASSERT_EQ(S.D.maps().all().size(), 1u);
+  std::vector<uint8_t> Bytes = S.D.maps().all()[0].serialize();
+  Rng Rand(5);
+  for (int Case = 0; Case < 200; ++Case) {
+    std::vector<uint8_t> Fuzzed = Bytes;
+    Fuzzed[Rand.below(Fuzzed.size())] ^=
+        static_cast<uint8_t>(1 + Rand.below(255));
+    MapFile Out;
+    (void)MapFile::deserialize(Fuzzed, Out);
+  }
+  SUCCEED();
+}

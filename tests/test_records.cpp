@@ -1,0 +1,93 @@
+//===- tests/test_records.cpp - Trace record format tests -----------------===//
+//
+// Part of the TraceBack reproduction project (paper Figure 1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TraceRecord.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace traceback;
+
+TEST(RecordTest, DagRecordFields) {
+  uint32_t W = makeDagRecord(0x12345);
+  EXPECT_TRUE(isDagRecord(W));
+  EXPECT_EQ(dagIdOfRecord(W), 0x12345u);
+  EXPECT_EQ(pathBitsOfRecord(W), 0u);
+  W |= 0x2A5; // Lightweight probes OR bits in.
+  EXPECT_EQ(dagIdOfRecord(W), 0x12345u);
+  EXPECT_EQ(pathBitsOfRecord(W), 0x2A5u);
+}
+
+TEST(RecordTest, ReservedWordsAreDistinct) {
+  // The sentinel is not a DAG record; invalid is neither.
+  EXPECT_FALSE(isDagRecord(SentinelRecord));
+  EXPECT_FALSE(isDagRecord(InvalidRecord));
+  EXPECT_FALSE(isExtHeader(InvalidRecord));
+  EXPECT_FALSE(isExtHeader(SentinelRecord));
+  EXPECT_FALSE(isExtContinuation(SentinelRecord));
+  // A bad-DAG record (masks cleared) can never alias the sentinel.
+  uint32_t Bad = makeDagRecord(BadDagId);
+  EXPECT_NE(Bad, SentinelRecord);
+  EXPECT_TRUE(isDagRecord(Bad));
+  // ... but a bad-DAG record with all path bits set WOULD alias it; the
+  // runtime prevents that by zeroing lightweight masks.
+  EXPECT_EQ(Bad | 0x3FF, SentinelRecord);
+}
+
+TEST(RecordTest, ExtRecordRoundTrip) {
+  Rng Rand(3);
+  for (int Case = 0; Case < 500; ++Case) {
+    ExtRecord R;
+    R.Type = static_cast<ExtType>(1 + Rand.below(7));
+    R.Inline = static_cast<uint16_t>(Rand.next());
+    size_t N = Rand.below(5);
+    for (size_t I = 0; I < N; ++I)
+      R.Payload.push_back(Rand.next());
+    std::vector<uint32_t> Words = encodeExtRecord(R);
+    ASSERT_EQ(Words.size(), 1 + 3 * N);
+    ASSERT_TRUE(isExtHeader(Words[0]));
+    for (size_t I = 1; I < Words.size(); ++I) {
+      EXPECT_TRUE(isExtContinuation(Words[I]));
+      EXPECT_FALSE(isDagRecord(Words[I]));
+      EXPECT_NE(Words[I], SentinelRecord);
+      EXPECT_NE(Words[I], InvalidRecord);
+    }
+    ExtRecord Back;
+    size_t Pos = 0;
+    ASSERT_TRUE(decodeExtRecord(Words.data(), Words.size(), Pos, Back));
+    EXPECT_EQ(Pos, Words.size());
+    EXPECT_EQ(Back.Type, R.Type);
+    EXPECT_EQ(Back.Inline, R.Inline);
+    EXPECT_EQ(Back.Payload, R.Payload);
+  }
+}
+
+TEST(RecordTest, PayloadCannotForgeControlWords) {
+  // Even adversarial payload values can never produce a sentinel or an
+  // invalid word — this is what makes seam repair possible.
+  ExtRecord R;
+  R.Type = ExtType::Sync;
+  R.Payload = {0, UINT64_MAX, 0xFFFFFFFFull, 0x8000000000000000ull};
+  for (uint32_t W : encodeExtRecord(R)) {
+    EXPECT_NE(W, SentinelRecord);
+    EXPECT_NE(W, InvalidRecord);
+  }
+}
+
+TEST(RecordTest, TruncatedExtRecordRejected) {
+  ExtRecord R;
+  R.Type = ExtType::ThreadStart;
+  R.Payload = {42, 43};
+  std::vector<uint32_t> Words = encodeExtRecord(R);
+  ExtRecord Back;
+  size_t Pos = 0;
+  EXPECT_FALSE(decodeExtRecord(Words.data(), Words.size() - 1, Pos, Back));
+  EXPECT_EQ(Pos, 0u) << "position must not advance on failure";
+  // Corrupt a continuation word into a DAG record.
+  Words[2] = makeDagRecord(5);
+  Pos = 0;
+  EXPECT_FALSE(decodeExtRecord(Words.data(), Words.size(), Pos, Back));
+}

@@ -1,0 +1,156 @@
+//===- tests/test_views.cpp - Display layer tests -------------------------===//
+//
+// Part of the TraceBack reproduction project (paper section 4.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "reconstruct/Stitch.h"
+
+#include <gtest/gtest.h>
+
+using namespace traceback;
+using namespace traceback::testing_helpers;
+
+namespace {
+ThreadTrace makeTrace(uint64_t Tid, std::initializer_list<TraceEvent> Evs) {
+  ThreadTrace T;
+  T.ThreadId = Tid;
+  T.RuntimeId = 42;
+  T.MachineName = "m";
+  T.ProcessName = "p";
+  T.Events = Evs;
+  return T;
+}
+
+TraceEvent line(const char *File, uint32_t Line, uint32_t Depth = 0,
+                uint64_t Ts = 0, uint32_t Repeat = 1) {
+  TraceEvent E;
+  E.EventKind = TraceEvent::Kind::Line;
+  E.Module = "mod";
+  E.File = File;
+  E.Function = "f";
+  E.Line = Line;
+  E.Depth = Depth;
+  E.Timestamp = Ts;
+  E.Repeat = Repeat;
+  return E;
+}
+} // namespace
+
+TEST(ViewsTest, FlatTraceShowsRepeatAndTruncation) {
+  ThreadTrace T = makeTrace(3, {line("a.c", 10, 0, 0, 7)});
+  T.Truncated = true;
+  std::string S = renderFlatTrace(T);
+  EXPECT_NE(S.find("thread 3"), std::string::npos);
+  EXPECT_NE(S.find("a.c:10"), std::string::npos);
+  EXPECT_NE(S.find("(x7)"), std::string::npos);
+  EXPECT_NE(S.find("older history overwritten"), std::string::npos);
+}
+
+TEST(ViewsTest, CallTreeIndentsByDepth) {
+  ThreadTrace T =
+      makeTrace(1, {line("a.c", 1, 0), line("a.c", 2, 1), line("a.c", 3, 2)});
+  std::string S = renderCallTree(T);
+  size_t P1 = S.find("a.c:1");
+  size_t P2 = S.find("a.c:2");
+  size_t P3 = S.find("a.c:3");
+  ASSERT_NE(P1, std::string::npos);
+  ASSERT_NE(P2, std::string::npos);
+  ASSERT_NE(P3, std::string::npos);
+  // Deeper lines start further from their line's beginning.
+  auto ColOf = [&](size_t Pos) {
+    size_t Nl = S.rfind('\n', Pos);
+    return Pos - (Nl == std::string::npos ? 0 : Nl);
+  };
+  EXPECT_LT(ColOf(P1), ColOf(P2));
+  EXPECT_LT(ColOf(P2), ColOf(P3));
+}
+
+TEST(ViewsTest, MultiThreadOrdersByTimestamp) {
+  ThreadTrace A = makeTrace(1, {line("a.c", 1, 0, 100),
+                                line("a.c", 2, 0, 300)});
+  ThreadTrace B = makeTrace(2, {line("b.c", 9, 0, 200)});
+  std::string S = renderMultiThread({&A, &B});
+  size_t P1 = S.find("a.c:1");
+  size_t P9 = S.find("b.c:9");
+  size_t P2 = S.find("a.c:2");
+  ASSERT_NE(P1, std::string::npos);
+  ASSERT_NE(P9, std::string::npos);
+  ASSERT_NE(P2, std::string::npos);
+  EXPECT_LT(P1, P9);
+  EXPECT_LT(P9, P2) << "interleaving must respect corrected time";
+}
+
+TEST(ViewsTest, TimelineMonotonicPerThread) {
+  // Events lacking timestamps inherit order; merged timeline never
+  // reorders events within one thread.
+  ThreadTrace A = makeTrace(
+      1, {line("a.c", 1, 0, 50), line("a.c", 2, 0, 0), line("a.c", 3, 0, 60),
+          line("a.c", 4, 0, 0)});
+  ReconstructedTrace Holder;
+  Holder.Threads.push_back(A);
+  DistributedStitcher St;
+  St.addTrace(Holder);
+  auto Timeline = St.mergeTimeline();
+  ASSERT_EQ(Timeline.size(), 4u);
+  size_t LastIdx = 0;
+  for (const auto &E : Timeline) {
+    EXPECT_GE(E.EventIndex + 1, LastIdx + 1);
+    LastIdx = E.EventIndex;
+  }
+}
+
+TEST(ViewsTest, FaultViewPicksFaultingThread) {
+  SnapFile Snap;
+  Snap.Reason = SnapReason::Unhandled;
+  Snap.FaultThread = 2;
+  Snap.FaultCodeValue = 1; // Segv.
+  ReconstructedTrace T;
+  T.Threads.push_back(makeTrace(1, {line("a.c", 1)}));
+  T.Threads.push_back(makeTrace(2, {line("b.c", 7)}));
+  std::string S = renderFaultView(Snap, T);
+  EXPECT_NE(S.find("thread 2"), std::string::npos);
+  EXPECT_NE(S.find("b.c:7"), std::string::npos);
+  EXPECT_EQ(S.find("a.c:1"), std::string::npos)
+      << "only the faulting thread's tree";
+  EXPECT_NE(S.find("access violation"), std::string::npos);
+}
+
+TEST(ViewsTest, SignalCodesRenderAsSignals) {
+  ThreadTrace T = makeTrace(1, {});
+  TraceEvent E;
+  E.EventKind = TraceEvent::Kind::Exception;
+  E.FaultCodeValue = 0x8000 | 11;
+  T.Events.push_back(E);
+  std::string S = renderFlatTrace(T);
+  EXPECT_NE(S.find("signal 11"), std::string::npos);
+}
+
+TEST(ViewsTest, EmptyMemoryDumpExplainsItself) {
+  SnapFile Snap;
+  EXPECT_NE(renderMemoryDump(Snap).find("capture_memory"),
+            std::string::npos);
+}
+
+TEST(StitchTest, GapInSequenceWarns) {
+  // CallSend seq 1 ... ReplyRecv seq 4 with 2,3 lost (ring overwrite).
+  TraceEvent S1;
+  S1.EventKind = TraceEvent::Kind::Sync;
+  S1.Sync = SyncKind::CallSend;
+  S1.LogicalThreadId = 7;
+  S1.Sequence = 1;
+  TraceEvent S4 = S1;
+  S4.Sync = SyncKind::ReplyRecv;
+  S4.Sequence = 4;
+  ThreadTrace A = makeTrace(1, {S1, S4});
+  ReconstructedTrace Holder;
+  Holder.Threads.push_back(A);
+  DistributedStitcher St;
+  St.addTrace(Holder);
+  std::vector<std::string> Warnings;
+  auto Logical = St.stitch(Warnings);
+  ASSERT_EQ(Logical.size(), 1u);
+  ASSERT_FALSE(Warnings.empty());
+  EXPECT_NE(Warnings[0].find("gap"), std::string::npos);
+}

@@ -1,0 +1,353 @@
+//===- tools/tbtool.cpp - TraceBack command-line driver -------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// The offline half of the deployment workflow as a CLI, operating on the
+// same on-disk artifacts the paper's product used: .tbo modules, .tbmap
+// mapfiles (emitted alongside the instrumented executable), .tbsnap snap
+// files, and textual policy files.
+//
+//   tbtool compile <src.ml> <out.tbo> [--managed] [--name NAME]
+//   tbtool asm <src.tbasm> <out.tbo>
+//   tbtool instrument <in.tbo> <out.tbo> <out.tbmap> [--dag-base N]
+//   tbtool disasm <mod.tbo>
+//   tbtool mapinfo <map.tbmap>
+//   tbtool snapinfo <snap.tbsnap>
+//   tbtool reconstruct <snap.tbsnap> <map.tbmap>... [--thread N] [--tree]
+//   tbtool run <mod.tbo>... [--entry NAME] [--policy FILE] [--snap-dir D]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DynamicCode.h"
+#include "core/FileIO.h"
+#include "core/Session.h"
+#include "isa/Assembler.h"
+#include "isa/Disassembler.h"
+#include "lang/CodeGen.h"
+#include "reconstruct/Views.h"
+#include "support/Text.h"
+#include "vm/Syscalls.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace traceback;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tbtool compile <src.ml> <out.tbo> [--managed] [--name NAME]\n"
+      "  tbtool asm <src.tbasm> <out.tbo>\n"
+      "  tbtool instrument <in.tbo> <out.tbo> <out.tbmap> [--dag-base N]\n"
+      "  tbtool disasm <mod.tbo>\n"
+      "  tbtool mapinfo <map.tbmap>\n"
+      "  tbtool snapinfo <snap.tbsnap>\n"
+      "  tbtool reconstruct <snap.tbsnap> <map.tbmap>... [--thread N] "
+      "[--tree]\n"
+      "  tbtool run <mod.tbo>... [--entry NAME] [--policy FILE] "
+      "[--snap-dir DIR]\n");
+  return 2;
+}
+
+bool hasFlag(std::vector<std::string> &Args, const std::string &Flag) {
+  for (auto It = Args.begin(); It != Args.end(); ++It)
+    if (*It == Flag) {
+      Args.erase(It);
+      return true;
+    }
+  return false;
+}
+
+std::string flagValue(std::vector<std::string> &Args,
+                      const std::string &Flag, const std::string &Default) {
+  for (auto It = Args.begin(); It != Args.end(); ++It)
+    if (*It == Flag && It + 1 != Args.end()) {
+      std::string V = *(It + 1);
+      Args.erase(It, It + 2);
+      return V;
+    }
+  return Default;
+}
+
+int cmdCompile(std::vector<std::string> Args) {
+  bool Managed = hasFlag(Args, "--managed");
+  std::string Name = flagValue(Args, "--name", "");
+  if (Args.size() != 2)
+    return usage();
+  if (Name.empty())
+    Name = Args[0].substr(0, Args[0].find_last_of('.'));
+  std::string Source;
+  if (!readFileText(Args[0], Source)) {
+    std::fprintf(stderr, "cannot read %s\n", Args[0].c_str());
+    return 1;
+  }
+  Module M;
+  std::string Error;
+  if (!minilang::compileMiniLang(
+          Source, Args[0], Name,
+          Managed ? Technology::Managed : Technology::Native, M, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+  if (!saveModule(M, Args[1])) {
+    std::fprintf(stderr, "cannot write %s\n", Args[1].c_str());
+    return 1;
+  }
+  std::printf("compiled %s -> %s (%zu code bytes, %zu functions)\n",
+              Args[0].c_str(), Args[1].c_str(), M.Code.size(),
+              M.Symbols.size());
+  return 0;
+}
+
+int cmdAsm(std::vector<std::string> Args) {
+  if (Args.size() != 2)
+    return usage();
+  std::string Source;
+  if (!readFileText(Args[0], Source)) {
+    std::fprintf(stderr, "cannot read %s\n", Args[0].c_str());
+    return 1;
+  }
+  Assembler Asm(syscallAssemblerConstants());
+  Module M;
+  std::string Error;
+  if (!Asm.assemble(Source, M, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+  if (!saveModule(M, Args[1])) {
+    std::fprintf(stderr, "cannot write %s\n", Args[1].c_str());
+    return 1;
+  }
+  std::printf("assembled %s -> %s (%zu code bytes)\n", Args[0].c_str(),
+              Args[1].c_str(), M.Code.size());
+  return 0;
+}
+
+int cmdInstrument(std::vector<std::string> Args) {
+  std::string BaseStr = flagValue(Args, "--dag-base", "0");
+  if (Args.size() != 3)
+    return usage();
+  Module Orig;
+  if (!loadModule(Args[0], Orig)) {
+    std::fprintf(stderr, "cannot load %s\n", Args[0].c_str());
+    return 1;
+  }
+  InstrumentOptions Opts;
+  int64_t Base = 0;
+  parseInt(BaseStr, Base);
+  Opts.DagIdBase = static_cast<uint32_t>(Base);
+  Module Out;
+  MapFile Map;
+  InstrumentStats Stats;
+  std::string Error;
+  if (!instrumentModule(Orig, Opts, Out, Map, &Stats, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+  if (!saveModule(Out, Args[1]) || !saveMapFile(Map, Args[2])) {
+    std::fprintf(stderr, "cannot write outputs\n");
+    return 1;
+  }
+  std::printf("instrumented %s: %u DAGs, %u heavy + %u light probes, "
+              "text %+.0f%%, checksum %s\n",
+              Orig.Name.c_str(), Stats.NumDags, Stats.NumHeavyProbes,
+              Stats.NumLightProbes, (Stats.textGrowth() - 1.0) * 100,
+              Out.Checksum.toHex().c_str());
+  return 0;
+}
+
+int cmdDisasm(std::vector<std::string> Args) {
+  if (Args.size() != 1)
+    return usage();
+  Module M;
+  if (!loadModule(Args[0], M)) {
+    std::fprintf(stderr, "cannot load %s\n", Args[0].c_str());
+    return 1;
+  }
+  std::fputs(disassembleModule(M).c_str(), stdout);
+  return 0;
+}
+
+int cmdMapInfo(std::vector<std::string> Args) {
+  if (Args.size() != 1)
+    return usage();
+  MapFile Map;
+  if (!loadMapFile(Args[0], Map)) {
+    std::fprintf(stderr, "cannot load %s\n", Args[0].c_str());
+    return 1;
+  }
+  std::printf("module %s checksum %s dag ids [%u, %u)\n",
+              Map.ModuleName.c_str(), Map.Checksum.toHex().c_str(),
+              Map.DagIdBase, Map.DagIdBase + Map.DagIdCount);
+  size_t Blocks = 0, Bits = 0;
+  for (const MapDag &D : Map.Dags) {
+    Blocks += D.Blocks.size();
+    for (const MapBlock &B : D.Blocks)
+      if (B.BitIndex >= 0)
+        ++Bits;
+  }
+  std::printf("%zu DAGs, %zu blocks, %zu path bits\n", Map.Dags.size(),
+              Blocks, Bits);
+  return 0;
+}
+
+int cmdSnapInfo(std::vector<std::string> Args) {
+  if (Args.size() != 1)
+    return usage();
+  SnapFile Snap;
+  if (!loadSnap(Args[0], Snap)) {
+    std::fprintf(stderr, "cannot load %s\n", Args[0].c_str());
+    return 1;
+  }
+  std::printf("snap: reason=%s detail=%u\n",
+              snapReasonName(Snap.Reason).c_str(), Snap.ReasonDetail);
+  std::printf("process %s (pid %llu) on %s (%s), runtime %llx, tech %s\n",
+              Snap.ProcessName.c_str(),
+              static_cast<unsigned long long>(Snap.Pid),
+              Snap.MachineName.c_str(), Snap.OsName.c_str(),
+              static_cast<unsigned long long>(Snap.RuntimeId),
+              Snap.Tech == Technology::Native ? "native" : "managed");
+  std::printf("%zu modules:\n", Snap.Modules.size());
+  for (const SnapModuleInfo &M : Snap.Modules)
+    std::printf("  %-20s %s dag [%u, %u)%s%s\n", M.Name.c_str(),
+                M.Checksum.toHex().c_str(), M.DagIdBase,
+                M.DagIdBase + M.DagIdCount,
+                M.Instrumented ? "" : " (uninstrumented)",
+                M.Unloaded ? " (unloaded)" : "");
+  std::printf("%zu buffers, %zu threads, %zu memory regions\n",
+              Snap.Buffers.size(), Snap.Threads.size(), Snap.Memory.size());
+  if (!Snap.Memory.empty())
+    std::fputs(renderMemoryDump(Snap).c_str(), stdout);
+  return 0;
+}
+
+int cmdReconstruct(std::vector<std::string> Args) {
+  bool Tree = hasFlag(Args, "--tree");
+  std::string ThreadStr = flagValue(Args, "--thread", "");
+  if (Args.size() < 2)
+    return usage();
+  SnapFile Snap;
+  if (!loadSnap(Args[0], Snap)) {
+    std::fprintf(stderr, "cannot load %s\n", Args[0].c_str());
+    return 1;
+  }
+  MapFileStore Store;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    MapFile Map;
+    if (!loadMapFile(Args[I], Map)) {
+      std::fprintf(stderr, "cannot load %s\n", Args[I].c_str());
+      return 1;
+    }
+    Store.add(std::move(Map));
+  }
+  Reconstructor R(Store);
+  ReconstructedTrace Trace = R.reconstruct(Snap);
+  for (const std::string &W : Trace.Warnings)
+    std::fprintf(stderr, "warning: %s\n", W.c_str());
+
+  std::fputs(renderFaultView(Snap, Trace).c_str(), stdout);
+  std::printf("\n");
+  int64_t OnlyThread = -1;
+  if (!ThreadStr.empty())
+    parseInt(ThreadStr, OnlyThread);
+  for (const ThreadTrace &T : Trace.Threads) {
+    if (OnlyThread >= 0 && T.ThreadId != static_cast<uint64_t>(OnlyThread))
+      continue;
+    std::fputs(Tree ? renderCallTree(T).c_str()
+                    : renderFlatTrace(T).c_str(),
+               stdout);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmdRun(std::vector<std::string> Args) {
+  std::string Entry = flagValue(Args, "--entry", "main");
+  std::string PolicyPath = flagValue(Args, "--policy", "");
+  std::string SnapDir = flagValue(Args, "--snap-dir", ".");
+  bool NoInstrument = hasFlag(Args, "--no-instrument");
+  if (Args.empty())
+    return usage();
+
+  Deployment D;
+  if (!PolicyPath.empty()) {
+    std::string Text, Error;
+    if (!readFileText(PolicyPath, Text) ||
+        !RtPolicy::parse(Text, D.Policy, Error)) {
+      std::fprintf(stderr, "policy: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+  Machine *Host = D.addMachine("tbtool-host");
+  Process *P = Host->createProcess("app");
+  std::string Error;
+  for (const std::string &Path : Args) {
+    Module M;
+    if (!loadModule(Path, M)) {
+      std::fprintf(stderr, "cannot load %s\n", Path.c_str());
+      return 1;
+    }
+    if (!D.deploy(*P, M, !NoInstrument && !M.Instrumented, Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 1;
+    }
+  }
+  if (!P->start(Entry)) {
+    std::fprintf(stderr, "entry symbol '%s' not found\n", Entry.c_str());
+    return 1;
+  }
+  World::RunResult R = D.world().run();
+  std::printf("--- program output ---\n%s", P->Output.c_str());
+  std::printf("--- result: %s, exit code %d ---\n",
+              R == World::RunResult::AllExited ? "exited"
+              : R == World::RunResult::Idle    ? "deadlock"
+                                               : "cycle limit",
+              P->ExitCode);
+  int Index = 0;
+  for (const SnapFile &Snap : D.snaps()) {
+    std::string Path =
+        formatv("%s/snap%03d.tbsnap", SnapDir.c_str(), Index++);
+    if (saveSnap(Snap, Path))
+      std::printf("wrote %s (%s)\n", Path.c_str(),
+                  snapReasonName(Snap.Reason).c_str());
+  }
+  // Persist the mapfiles so `tbtool reconstruct` can run standalone.
+  for (const MapFile &Map : D.maps().all()) {
+    std::string Path =
+        formatv("%s/%s.tbmap", SnapDir.c_str(), Map.ModuleName.c_str());
+    if (saveMapFile(Map, Path))
+      std::printf("wrote %s\n", Path.c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  std::string Cmd = argv[1];
+  std::vector<std::string> Args(argv + 2, argv + argc);
+  if (Cmd == "compile")
+    return cmdCompile(std::move(Args));
+  if (Cmd == "asm")
+    return cmdAsm(std::move(Args));
+  if (Cmd == "instrument")
+    return cmdInstrument(std::move(Args));
+  if (Cmd == "disasm")
+    return cmdDisasm(std::move(Args));
+  if (Cmd == "mapinfo")
+    return cmdMapInfo(std::move(Args));
+  if (Cmd == "snapinfo")
+    return cmdSnapInfo(std::move(Args));
+  if (Cmd == "reconstruct")
+    return cmdReconstruct(std::move(Args));
+  if (Cmd == "run")
+    return cmdRun(std::move(Args));
+  return usage();
+}
