@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_records.dir/bench_fig1_records.cpp.o"
+  "CMakeFiles/bench_fig1_records.dir/bench_fig1_records.cpp.o.d"
+  "bench_fig1_records"
+  "bench_fig1_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

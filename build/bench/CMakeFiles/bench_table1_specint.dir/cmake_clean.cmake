@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_specint.dir/bench_table1_specint.cpp.o"
+  "CMakeFiles/bench_table1_specint.dir/bench_table1_specint.cpp.o.d"
+  "bench_table1_specint"
+  "bench_table1_specint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_specint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_specweb.dir/bench_table2_specweb.cpp.o"
+  "CMakeFiles/bench_table2_specweb.dir/bench_table2_specweb.cpp.o.d"
+  "bench_table2_specweb"
+  "bench_table2_specweb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_specweb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

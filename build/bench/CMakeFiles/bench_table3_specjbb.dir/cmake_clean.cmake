@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_specjbb.dir/bench_table3_specjbb.cpp.o"
+  "CMakeFiles/bench_table3_specjbb.dir/bench_table3_specjbb.cpp.o.d"
+  "bench_table3_specjbb"
+  "bench_table3_specjbb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_specjbb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

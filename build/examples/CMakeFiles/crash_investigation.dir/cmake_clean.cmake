@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_investigation.dir/crash_investigation.cpp.o"
+  "CMakeFiles/crash_investigation.dir/crash_investigation.cpp.o.d"
+  "crash_investigation"
+  "crash_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

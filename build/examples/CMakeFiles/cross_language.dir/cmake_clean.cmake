@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_language.dir/cross_language.cpp.o"
+  "CMakeFiles/cross_language.dir/cross_language.cpp.o.d"
+  "cross_language"
+  "cross_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

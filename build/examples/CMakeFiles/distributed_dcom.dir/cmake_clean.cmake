@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_dcom.dir/distributed_dcom.cpp.o"
+  "CMakeFiles/distributed_dcom.dir/distributed_dcom.cpp.o.d"
+  "distributed_dcom"
+  "distributed_dcom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_dcom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

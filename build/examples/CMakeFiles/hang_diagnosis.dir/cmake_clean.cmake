@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hang_diagnosis.dir/hang_diagnosis.cpp.o"
+  "CMakeFiles/hang_diagnosis.dir/hang_diagnosis.cpp.o.d"
+  "hang_diagnosis"
+  "hang_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hang_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/tb_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/tb_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/tb_analysis.dir/Liveness.cpp.o.d"
+  "libtb_analysis.a"
+  "libtb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_baselines.dir/BallLarus.cpp.o"
+  "CMakeFiles/tb_baselines.dir/BallLarus.cpp.o.d"
+  "CMakeFiles/tb_baselines.dir/NaiveTracer.cpp.o"
+  "CMakeFiles/tb_baselines.dir/NaiveTracer.cpp.o.d"
+  "libtb_baselines.a"
+  "libtb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

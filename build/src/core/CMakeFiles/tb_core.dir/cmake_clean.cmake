@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_core.dir/DynamicCode.cpp.o"
+  "CMakeFiles/tb_core.dir/DynamicCode.cpp.o.d"
+  "CMakeFiles/tb_core.dir/FileIO.cpp.o"
+  "CMakeFiles/tb_core.dir/FileIO.cpp.o.d"
+  "CMakeFiles/tb_core.dir/Session.cpp.o"
+  "CMakeFiles/tb_core.dir/Session.cpp.o.d"
+  "libtb_core.a"
+  "libtb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_distributed.dir/ServiceDaemon.cpp.o"
+  "CMakeFiles/tb_distributed.dir/ServiceDaemon.cpp.o.d"
+  "libtb_distributed.a"
+  "libtb_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

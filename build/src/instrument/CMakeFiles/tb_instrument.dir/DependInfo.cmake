@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instrument/Checksum.cpp" "src/instrument/CMakeFiles/tb_instrument.dir/Checksum.cpp.o" "gcc" "src/instrument/CMakeFiles/tb_instrument.dir/Checksum.cpp.o.d"
+  "/root/repo/src/instrument/DagTiling.cpp" "src/instrument/CMakeFiles/tb_instrument.dir/DagTiling.cpp.o" "gcc" "src/instrument/CMakeFiles/tb_instrument.dir/DagTiling.cpp.o.d"
+  "/root/repo/src/instrument/Instrumenter.cpp" "src/instrument/CMakeFiles/tb_instrument.dir/Instrumenter.cpp.o" "gcc" "src/instrument/CMakeFiles/tb_instrument.dir/Instrumenter.cpp.o.d"
+  "/root/repo/src/instrument/MapFile.cpp" "src/instrument/CMakeFiles/tb_instrument.dir/MapFile.cpp.o" "gcc" "src/instrument/CMakeFiles/tb_instrument.dir/MapFile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/tb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tb_runtime_records.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_instrument.dir/Checksum.cpp.o"
+  "CMakeFiles/tb_instrument.dir/Checksum.cpp.o.d"
+  "CMakeFiles/tb_instrument.dir/DagTiling.cpp.o"
+  "CMakeFiles/tb_instrument.dir/DagTiling.cpp.o.d"
+  "CMakeFiles/tb_instrument.dir/Instrumenter.cpp.o"
+  "CMakeFiles/tb_instrument.dir/Instrumenter.cpp.o.d"
+  "CMakeFiles/tb_instrument.dir/MapFile.cpp.o"
+  "CMakeFiles/tb_instrument.dir/MapFile.cpp.o.d"
+  "libtb_instrument.a"
+  "libtb_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_isa.dir/Assembler.cpp.o"
+  "CMakeFiles/tb_isa.dir/Assembler.cpp.o.d"
+  "CMakeFiles/tb_isa.dir/Builder.cpp.o"
+  "CMakeFiles/tb_isa.dir/Builder.cpp.o.d"
+  "CMakeFiles/tb_isa.dir/Disassembler.cpp.o"
+  "CMakeFiles/tb_isa.dir/Disassembler.cpp.o.d"
+  "CMakeFiles/tb_isa.dir/Encoding.cpp.o"
+  "CMakeFiles/tb_isa.dir/Encoding.cpp.o.d"
+  "CMakeFiles/tb_isa.dir/Module.cpp.o"
+  "CMakeFiles/tb_isa.dir/Module.cpp.o.d"
+  "CMakeFiles/tb_isa.dir/Opcode.cpp.o"
+  "CMakeFiles/tb_isa.dir/Opcode.cpp.o.d"
+  "libtb_isa.a"
+  "libtb_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_lang.dir/CodeGen.cpp.o"
+  "CMakeFiles/tb_lang.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/tb_lang.dir/Parser.cpp.o"
+  "CMakeFiles/tb_lang.dir/Parser.cpp.o.d"
+  "libtb_lang.a"
+  "libtb_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_reconstruct.dir/Reconstructor.cpp.o"
+  "CMakeFiles/tb_reconstruct.dir/Reconstructor.cpp.o.d"
+  "CMakeFiles/tb_reconstruct.dir/RecordRecovery.cpp.o"
+  "CMakeFiles/tb_reconstruct.dir/RecordRecovery.cpp.o.d"
+  "CMakeFiles/tb_reconstruct.dir/Stitch.cpp.o"
+  "CMakeFiles/tb_reconstruct.dir/Stitch.cpp.o.d"
+  "CMakeFiles/tb_reconstruct.dir/Views.cpp.o"
+  "CMakeFiles/tb_reconstruct.dir/Views.cpp.o.d"
+  "libtb_reconstruct.a"
+  "libtb_reconstruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/DagBaseFile.cpp" "src/runtime/CMakeFiles/tb_runtime.dir/DagBaseFile.cpp.o" "gcc" "src/runtime/CMakeFiles/tb_runtime.dir/DagBaseFile.cpp.o.d"
+  "/root/repo/src/runtime/Policy.cpp" "src/runtime/CMakeFiles/tb_runtime.dir/Policy.cpp.o" "gcc" "src/runtime/CMakeFiles/tb_runtime.dir/Policy.cpp.o.d"
+  "/root/repo/src/runtime/Runtime.cpp" "src/runtime/CMakeFiles/tb_runtime.dir/Runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/tb_runtime.dir/Runtime.cpp.o.d"
+  "/root/repo/src/runtime/Snap.cpp" "src/runtime/CMakeFiles/tb_runtime.dir/Snap.cpp.o" "gcc" "src/runtime/CMakeFiles/tb_runtime.dir/Snap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/tb_runtime_records.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_runtime.dir/DagBaseFile.cpp.o"
+  "CMakeFiles/tb_runtime.dir/DagBaseFile.cpp.o.d"
+  "CMakeFiles/tb_runtime.dir/Policy.cpp.o"
+  "CMakeFiles/tb_runtime.dir/Policy.cpp.o.d"
+  "CMakeFiles/tb_runtime.dir/Runtime.cpp.o"
+  "CMakeFiles/tb_runtime.dir/Runtime.cpp.o.d"
+  "CMakeFiles/tb_runtime.dir/Snap.cpp.o"
+  "CMakeFiles/tb_runtime.dir/Snap.cpp.o.d"
+  "libtb_runtime.a"
+  "libtb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_runtime_records.dir/TraceRecord.cpp.o"
+  "CMakeFiles/tb_runtime_records.dir/TraceRecord.cpp.o.d"
+  "libtb_runtime_records.a"
+  "libtb_runtime_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_runtime_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

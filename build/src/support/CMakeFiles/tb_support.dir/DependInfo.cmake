@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Compress.cpp" "src/support/CMakeFiles/tb_support.dir/Compress.cpp.o" "gcc" "src/support/CMakeFiles/tb_support.dir/Compress.cpp.o.d"
+  "/root/repo/src/support/MD5.cpp" "src/support/CMakeFiles/tb_support.dir/MD5.cpp.o" "gcc" "src/support/CMakeFiles/tb_support.dir/MD5.cpp.o.d"
+  "/root/repo/src/support/Text.cpp" "src/support/CMakeFiles/tb_support.dir/Text.cpp.o" "gcc" "src/support/CMakeFiles/tb_support.dir/Text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

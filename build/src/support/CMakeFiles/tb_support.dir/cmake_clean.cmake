@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_support.dir/Compress.cpp.o"
+  "CMakeFiles/tb_support.dir/Compress.cpp.o.d"
+  "CMakeFiles/tb_support.dir/MD5.cpp.o"
+  "CMakeFiles/tb_support.dir/MD5.cpp.o.d"
+  "CMakeFiles/tb_support.dir/Text.cpp.o"
+  "CMakeFiles/tb_support.dir/Text.cpp.o.d"
+  "libtb_support.a"
+  "libtb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

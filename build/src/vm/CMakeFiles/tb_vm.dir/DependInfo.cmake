@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/AddressSpace.cpp" "src/vm/CMakeFiles/tb_vm.dir/AddressSpace.cpp.o" "gcc" "src/vm/CMakeFiles/tb_vm.dir/AddressSpace.cpp.o.d"
+  "/root/repo/src/vm/Process.cpp" "src/vm/CMakeFiles/tb_vm.dir/Process.cpp.o" "gcc" "src/vm/CMakeFiles/tb_vm.dir/Process.cpp.o.d"
+  "/root/repo/src/vm/World.cpp" "src/vm/CMakeFiles/tb_vm.dir/World.cpp.o" "gcc" "src/vm/CMakeFiles/tb_vm.dir/World.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/tb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

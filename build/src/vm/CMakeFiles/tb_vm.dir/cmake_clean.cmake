@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tb_vm.dir/AddressSpace.cpp.o"
+  "CMakeFiles/tb_vm.dir/AddressSpace.cpp.o.d"
+  "CMakeFiles/tb_vm.dir/Process.cpp.o"
+  "CMakeFiles/tb_vm.dir/Process.cpp.o.d"
+  "CMakeFiles/tb_vm.dir/World.cpp.o"
+  "CMakeFiles/tb_vm.dir/World.cpp.o.d"
+  "libtb_vm.a"
+  "libtb_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tb_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_reconstruct.cpp" "tests/CMakeFiles/test_reconstruct.dir/test_reconstruct.cpp.o" "gcc" "tests/CMakeFiles/test_reconstruct.dir/test_reconstruct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconstruct/CMakeFiles/tb_reconstruct.dir/DependInfo.cmake"
+  "/root/repo/build/src/distributed/CMakeFiles/tb_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/tb_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/tb_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tb_runtime_records.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tb_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

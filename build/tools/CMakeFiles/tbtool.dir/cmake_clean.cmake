@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbtool.dir/tbtool.cpp.o"
+  "CMakeFiles/tbtool.dir/tbtool.cpp.o.d"
+  "tbtool"
+  "tbtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
