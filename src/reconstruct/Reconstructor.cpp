@@ -437,8 +437,12 @@ ReconstructedTrace Reconstructor::reconstruct(const SnapFile &Snap) const {
       TT.MachineName = Snap.MachineName;
       TT.Tech = Snap.Tech;
       TT.Truncated = Seg.Truncated;
+      if (Seg.TruncatedAt != SIZE_MAX)
+        TT.TruncatedAt = Seg.TruncatedAt;
       TT.Events = Builder.build(Seg);
-      if (!TT.Events.empty())
+      // Keep torn-but-empty traces: the TruncatedAt marker itself is the
+      // diagnosis ("this thread's history was cut here").
+      if (!TT.Events.empty() || TT.TruncatedAt != UINT64_MAX)
         Result.Threads.push_back(std::move(TT));
     }
   }

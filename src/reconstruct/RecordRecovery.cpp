@@ -28,19 +28,32 @@ traceback::linearizeRing(const std::vector<uint32_t> &Words,
 }
 
 namespace {
-/// Parses a linearized word stream into records, skipping invalid words
-/// and repairing torn records at the ring seam.
+/// Parses a linearized word stream into records and repairs torn records
+/// at the ring seam. Invalid (all-zero) words are legitimate only before
+/// any data — never-written ring space (which can extend past the ring
+/// seam when a buffer's first occupant started writing mid-ring,
+/// section 3.1.1). A zero *after* data marks a torn sub-buffer write:
+/// everything at and beyond it is untrustworthy, so parsing stops there
+/// and \p TornAt records the linear position of the cut (SIZE_MAX if
+/// none).
 std::vector<ParsedRecord> parseWords(const std::vector<uint32_t> &Words,
-                                     bool &SawSeamGarbage) {
+                                     bool &SawSeamGarbage, size_t &TornAt) {
   std::vector<ParsedRecord> Out;
   SawSeamGarbage = false;
+  TornAt = SIZE_MAX;
+  bool SeenData = false;
   size_t Pos = 0;
   while (Pos < Words.size()) {
     uint32_t W = Words[Pos];
     if (W == InvalidRecord) {
+      if (SeenData) {
+        TornAt = Pos;
+        break;
+      }
       ++Pos;
       continue;
     }
+    SeenData = true;
     if (isDagRecord(W)) {
       ParsedRecord R;
       R.RecordKind = ParsedRecord::Kind::Dag;
@@ -151,7 +164,13 @@ traceback::recoverBufferRecords(const SnapBufferImage &Buffer,
 
   std::vector<uint32_t> Linear = linearizeRing(Words, Frontier);
   bool SeamGarbage = false;
-  std::vector<ParsedRecord> Parsed = parseWords(Linear, SeamGarbage);
+  size_t TornAt = SIZE_MAX;
+  std::vector<ParsedRecord> Parsed = parseWords(Linear, SeamGarbage, TornAt);
+  if (TornAt != SIZE_MAX)
+    Warnings.push_back(formatv(
+        "buffer %u: invalid word mid-stream at linear position %zu; "
+        "dropping newer records (torn write)",
+        Buffer.Index, TornAt));
   if (Parsed.empty())
     return Segments;
 
@@ -196,6 +215,10 @@ traceback::recoverBufferRecords(const SnapBufferImage &Buffer,
   for (ThreadSegment &S : Segments)
     if (S.ThreadId == 0)
       S.ThreadId = Buffer.OwnerThread;
+
+  // The cut lands in whatever segment was open when parsing stopped.
+  if (TornAt != SIZE_MAX && !Segments.empty())
+    Segments.back().TruncatedAt = TornAt;
 
   if (SeamGarbage)
     Warnings.push_back(formatv(

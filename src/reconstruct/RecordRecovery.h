@@ -41,6 +41,9 @@ struct ThreadSegment {
   uint64_t ThreadId = 0;
   /// True when the segment's beginning was lost to ring overwrite.
   bool Truncated = false;
+  /// Linear word position where a torn write cut off the segment's *end*
+  /// (records beyond it were dropped); SIZE_MAX when intact.
+  size_t TruncatedAt = SIZE_MAX;
   std::vector<ParsedRecord> Records;
 };
 

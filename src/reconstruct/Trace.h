@@ -73,6 +73,9 @@ struct ThreadTrace {
   /// True when the ring overwrote older records (history incomplete at the
   /// old end).
   bool Truncated = false;
+  /// Linear word position where a torn write cut off the *new* end of the
+  /// history (newer records were dropped); UINT64_MAX when intact.
+  uint64_t TruncatedAt = UINT64_MAX;
   std::vector<TraceEvent> Events;
 };
 

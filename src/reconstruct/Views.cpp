@@ -74,6 +74,9 @@ std::string traceback::renderFlatTrace(const ThreadTrace &Trace) {
                                             : "");
   for (const TraceEvent &E : Trace.Events)
     Out += "  " + eventOneLiner(E) + "\n";
+  if (Trace.TruncatedAt != UINT64_MAX)
+    Out += formatv("  <torn write: newer history lost at word %llu>\n",
+                   static_cast<unsigned long long>(Trace.TruncatedAt));
   return Out;
 }
 

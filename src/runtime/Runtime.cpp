@@ -9,7 +9,9 @@
 #include "runtime/RuntimeABI.h"
 #include "support/MD5.h"
 #include "support/Text.h"
+#include "vm/FaultInjector.h"
 #include "vm/Machine.h"
+#include "vm/World.h"
 
 #include <algorithm>
 #include <cassert>
@@ -646,6 +648,11 @@ SnapFile TracebackRuntime::takeSnap(SnapReason Reason, uint16_t Detail) {
       Capture(Base, 128, "fault addr neighborhood");
     }
   }
+
+  // An attached fault injector may damage the captured image before it
+  // reaches any sink — modeling disk corruption between capture and read.
+  if (FaultInjector *FI = P.Host->Owner->Injector)
+    FI->onSnapCapture(S);
 
   ++Stat.SnapsTaken;
   if (Sink)

@@ -18,6 +18,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
 
 namespace traceback {
 
@@ -58,6 +59,18 @@ public:
 private:
   uint64_t State;
 };
+
+/// Reads a seed override from environment variable \p Var (decimal or 0x
+/// hex); returns \p Default when unset or unparsable. Property tests use
+/// this (`TRACEBACK_TEST_SEED`) so any reported failure is replayable.
+inline uint64_t seedFromEnv(const char *Var, uint64_t Default) {
+  const char *V = std::getenv(Var);
+  if (!V || !*V)
+    return Default;
+  char *End = nullptr;
+  uint64_t Parsed = std::strtoull(V, &End, 0);
+  return (End && *End == '\0') ? Parsed : Default;
+}
 
 } // namespace traceback
 

@@ -1,0 +1,415 @@
+//===- vm/FaultInjector.cpp - Deterministic fault injection ---------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/FaultInjector.h"
+
+#include "runtime/Snap.h"
+#include "runtime/TraceRecord.h"
+#include "support/Text.h"
+#include "vm/Fault.h"
+#include "vm/World.h"
+
+#include <cstdlib>
+
+using namespace traceback;
+
+// ----------------------------------------------------------------------------
+// FaultKind names.
+// ----------------------------------------------------------------------------
+
+const char *traceback::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::KillProcess:
+    return "kill-process";
+  case FaultKind::KillThread:
+    return "kill-thread";
+  case FaultKind::TornWrite:
+    return "torn-write";
+  case FaultKind::SnapCorrupt:
+    return "snap-corrupt";
+  case FaultKind::SnapTruncate:
+    return "snap-truncate";
+  case FaultKind::RpcDropWire:
+    return "rpc-drop";
+  case FaultKind::RpcDupWire:
+    return "rpc-dup";
+  case FaultKind::UnloadRace:
+    return "unload-race";
+  }
+  return "unknown";
+}
+
+bool traceback::parseFaultKind(const std::string &Name, FaultKind &Out) {
+  static const FaultKind All[] = {
+      FaultKind::KillProcess,  FaultKind::KillThread, FaultKind::TornWrite,
+      FaultKind::SnapCorrupt,  FaultKind::SnapTruncate,
+      FaultKind::RpcDropWire,  FaultKind::RpcDupWire, FaultKind::UnloadRace};
+  for (FaultKind K : All)
+    if (Name == faultKindName(K)) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
+static bool isSliceTriggered(FaultKind K) {
+  return K == FaultKind::KillProcess || K == FaultKind::KillThread ||
+         K == FaultKind::TornWrite || K == FaultKind::UnloadRace;
+}
+
+// ----------------------------------------------------------------------------
+// FaultPlan.
+// ----------------------------------------------------------------------------
+
+FaultPlan FaultPlan::random(uint64_t Seed, uint64_t MaxSlice) {
+  FaultPlan P;
+  P.Seed = Seed;
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL + 1);
+  size_t N = 1 + R.below(3);
+  for (size_t I = 0; I < N; ++I) {
+    FaultEvent E;
+    E.Kind = static_cast<FaultKind>(R.below(8));
+    if (isSliceTriggered(E.Kind))
+      E.Trigger = 1 + R.below(MaxSlice ? MaxSlice : 1);
+    else if (E.Kind == FaultKind::RpcDropWire ||
+             E.Kind == FaultKind::RpcDupWire)
+      E.Trigger = R.below(4);
+    else
+      E.Trigger = 0; // First snap capture.
+    if (E.Kind == FaultKind::TornWrite)
+      E.Arg = R.below(2);
+    else if (E.Kind == FaultKind::SnapCorrupt)
+      E.Arg = 4 + R.below(12);
+    P.Events.push_back(E);
+  }
+  return P;
+}
+
+std::string FaultPlan::toText() const {
+  std::string Out = formatv("seed %llu\n",
+                            static_cast<unsigned long long>(Seed));
+  for (const FaultEvent &E : Events) {
+    Out += formatv("%s %llu", faultKindName(E.Kind),
+                   static_cast<unsigned long long>(E.Trigger));
+    if (E.Arg != 0)
+      Out += formatv(" %llu", static_cast<unsigned long long>(E.Arg));
+    Out += "\n";
+  }
+  return Out;
+}
+
+bool FaultPlan::parse(const std::string &Text, FaultPlan &Out,
+                      std::string &Error) {
+  Out = FaultPlan();
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+
+    // Tokenize; '#' starts a comment.
+    std::vector<std::string> Tok;
+    std::string Cur;
+    for (char C : Line) {
+      if (C == '#')
+        break;
+      if (C == ' ' || C == '\t' || C == '\r') {
+        if (!Cur.empty())
+          Tok.push_back(std::move(Cur));
+        Cur.clear();
+      } else {
+        Cur.push_back(C);
+      }
+    }
+    if (!Cur.empty())
+      Tok.push_back(std::move(Cur));
+    if (Tok.empty()) {
+      if (End == Text.size())
+        break;
+      continue;
+    }
+
+    auto Num = [](const std::string &S, uint64_t &V) {
+      char *EndP = nullptr;
+      V = std::strtoull(S.c_str(), &EndP, 0);
+      return EndP && *EndP == '\0' && EndP != S.c_str();
+    };
+
+    if (Tok[0] == "seed") {
+      if (Tok.size() != 2 || !Num(Tok[1], Out.Seed)) {
+        Error = formatv("line %zu: malformed seed", LineNo);
+        return false;
+      }
+    } else {
+      FaultEvent E;
+      if (!parseFaultKind(Tok[0], E.Kind)) {
+        Error = formatv("line %zu: unknown fault kind '%s'", LineNo,
+                        Tok[0].c_str());
+        return false;
+      }
+      if (Tok.size() < 2 || Tok.size() > 3 || !Num(Tok[1], E.Trigger) ||
+          (Tok.size() == 3 && !Num(Tok[2], E.Arg))) {
+        Error = formatv("line %zu: expected '%s <trigger> [<arg>]'", LineNo,
+                        Tok[0].c_str());
+        return false;
+      }
+      Out.Events.push_back(E);
+    }
+    if (End == Text.size())
+      break;
+  }
+  return true;
+}
+
+// ----------------------------------------------------------------------------
+// FaultInjector.
+// ----------------------------------------------------------------------------
+
+FaultInjector::FaultInjector(FaultPlan P)
+    : Plan(std::move(P)), Rand(Plan.Seed ^ 0xfa17b1a5ed5eedULL),
+      Fired(Plan.Events.size(), false) {}
+
+bool FaultInjector::allFired() const {
+  for (bool F : Fired)
+    if (!F)
+      return false;
+  return true;
+}
+
+void FaultInjector::markFired(size_t Index, const std::string &Note) {
+  Fired[Index] = true;
+  Log.push_back(Note);
+}
+
+void FaultInjector::onSliceBoundary(World &W) {
+  uint64_t Cur = Slice++;
+  for (size_t I = 0; I < Plan.Events.size(); ++I) {
+    const FaultEvent &E = Plan.Events[I];
+    if (Fired[I] || !isSliceTriggered(E.Kind) || Cur < E.Trigger)
+      continue;
+    fireSliceEvent(E, I, W);
+  }
+}
+
+void FaultInjector::fireSliceEvent(const FaultEvent &E, size_t Index,
+                                   World &W) {
+  std::string Note;
+  bool Ok = false;
+  switch (E.Kind) {
+  case FaultKind::KillProcess:
+    Ok = killProcess(W, E.Arg, Note);
+    break;
+  case FaultKind::KillThread:
+    Ok = killThread(W, E.Arg, Note);
+    break;
+  case FaultKind::TornWrite:
+    Ok = tearWord(W, E.Arg, Note);
+    break;
+  case FaultKind::UnloadRace:
+    Ok = unloadRace(W, E.Arg, Note);
+    break;
+  default:
+    break;
+  }
+  // A fault with no viable target (e.g. a torn write before any record
+  // exists) stays armed and retries at the next slice.
+  if (Ok)
+    markFired(Index, formatv("slice %llu: %s",
+                             static_cast<unsigned long long>(Slice - 1),
+                             Note.c_str()));
+}
+
+static Process *pickProcess(World &W, uint64_t Pid, Rng &Rand,
+                            bool (*Viable)(Process &)) {
+  std::vector<Process *> Cands;
+  for (Process *P : W.allProcesses()) {
+    if (P->Exited || !Viable(*P))
+      continue;
+    if (Pid != 0 && P->Pid != Pid)
+      continue;
+    Cands.push_back(P);
+  }
+  if (Cands.empty())
+    return nullptr;
+  return Cands[Rand.below(Cands.size())];
+}
+
+bool FaultInjector::killProcess(World &W, uint64_t Pid, std::string &Note) {
+  Process *P = pickProcess(W, Pid, Rand, [](Process &) { return true; });
+  if (!P)
+    return false;
+  Note = formatv("kill-process pid %llu (%s)",
+                 static_cast<unsigned long long>(P->Pid), P->Name.c_str());
+  W.sendSignal(*P, SigKill);
+  return true;
+}
+
+bool FaultInjector::killThread(World &W, uint64_t Pid, std::string &Note) {
+  // Pick a thread that is not the last live one of its process, so the
+  // process genuinely survives the abrupt death (TerminateThread-style).
+  struct Target {
+    Process *P;
+    Thread *T;
+  };
+  std::vector<Target> Cands;
+  for (Process *P : W.allProcesses()) {
+    if (P->Exited || (Pid != 0 && P->Pid != Pid))
+      continue;
+    size_t Live = 0;
+    for (auto &T : P->Threads)
+      if (!T->exited())
+        ++Live;
+    if (Live < 2)
+      continue;
+    for (auto &T : P->Threads)
+      if (!T->exited())
+        Cands.push_back({P, T.get()});
+  }
+  if (Cands.empty()) {
+    // Single-threaded target: thread death is process death.
+    return killProcess(W, Pid, Note);
+  }
+  Target &C = Cands[Rand.below(Cands.size())];
+  Note = formatv("kill-thread pid %llu tid %llu",
+                 static_cast<unsigned long long>(C.P->Pid),
+                 static_cast<unsigned long long>(C.T->Id));
+  W.killThreadAbruptly(*C.P, *C.T);
+  return true;
+}
+
+bool FaultInjector::tearWord(World &W, uint64_t Mode, std::string &Note) {
+  // Candidates are DAG-record words inside runtime buffer regions: bit 31
+  // set and not the all-ones sentinel (runtime/TraceRecord.h). Header
+  // words cannot alias (the magic and the commit index have bit 31 clear
+  // or equal the excluded sentinel).
+  struct Cand {
+    Process *P;
+    uint64_t Addr;
+  };
+  std::vector<Cand> Cands;
+  for (Process *P : W.allProcesses()) {
+    if (P->Exited)
+      continue;
+    for (const auto &[Base, Size] : P->RuntimeRegions)
+      for (uint64_t A = Base; A + 4 <= Base + Size; A += 4) {
+        bool Ok = true;
+        uint32_t Word = P->Mem.read32(A, Ok);
+        if (Ok && isDagRecord(Word))
+          Cands.push_back({P, A});
+      }
+  }
+  if (Cands.empty())
+    return false;
+  // A physical torn write can only hit the store that was in flight when
+  // the machine stopped — the newest record word, not an arbitrary old
+  // one (committed words were written whole long ago, section 3.2). Aim
+  // at the second-newest DAG word when there is one: the newest slot is
+  // still OR-ed by lightweight probes if the process lives on, which
+  // would turn the injected zero into an unrelated garbled word.
+  Cand &C = Cands.size() >= 2 ? Cands[Cands.size() - 2] : Cands.back();
+  bool Ok = true;
+  uint32_t Word = C.P->Mem.read32(C.Addr, Ok);
+  uint32_t Torn = (Mode % 2) == 0 ? InvalidRecord : (Word & 0xFFFFu);
+  C.P->Mem.write32(C.Addr, Torn);
+  Note = formatv("torn-write pid %llu addr 0x%llx 0x%08x -> 0x%08x",
+                 static_cast<unsigned long long>(C.P->Pid),
+                 static_cast<unsigned long long>(C.Addr), Word, Torn);
+  return true;
+}
+
+bool FaultInjector::unloadRace(World &W, uint64_t Pid, std::string &Note) {
+  Process *P = pickProcess(W, Pid, Rand, [](Process &P) {
+    return P.anyInstrumentedModule();
+  });
+  if (!P)
+    return false;
+  // Unload the most recently loaded live instrumented module, then snap
+  // while it is gone — the snap must still attribute its stale records.
+  std::string Name;
+  for (auto It = P->Modules.rbegin(); It != P->Modules.rend(); ++It)
+    if (!(*It)->Unloaded && (*It)->Mod.Instrumented) {
+      Name = (*It)->Mod.Name;
+      break;
+    }
+  if (Name.empty() || !P->unloadModule(Name))
+    return false;
+  Note = formatv("unload-race pid %llu module %s",
+                 static_cast<unsigned long long>(P->Pid), Name.c_str());
+  W.requestSnap(*P, /*Reason=*/0xFA);
+  return true;
+}
+
+unsigned FaultInjector::wireDeliveryCount() {
+  uint64_t Ord = WireOrdinal++;
+  unsigned N = 1;
+  for (size_t I = 0; I < Plan.Events.size(); ++I) {
+    const FaultEvent &E = Plan.Events[I];
+    if (Fired[I] || E.Trigger != Ord)
+      continue;
+    if (E.Kind == FaultKind::RpcDropWire) {
+      N = 0;
+      markFired(I, formatv("wire %llu: rpc-drop",
+                           static_cast<unsigned long long>(Ord)));
+    } else if (E.Kind == FaultKind::RpcDupWire) {
+      N = 2;
+      markFired(I, formatv("wire %llu: rpc-dup",
+                           static_cast<unsigned long long>(Ord)));
+    }
+  }
+  return N;
+}
+
+void FaultInjector::onSnapCapture(SnapFile &S) {
+  uint64_t Ord = SnapOrdinal++;
+  // Buffer images with bytes to damage.
+  std::vector<size_t> Targets;
+  for (size_t I = 0; I < S.Buffers.size(); ++I)
+    if (!S.Buffers[I].Raw.empty())
+      Targets.push_back(I);
+
+  for (size_t I = 0; I < Plan.Events.size(); ++I) {
+    const FaultEvent &E = Plan.Events[I];
+    if (Fired[I] || E.Trigger != Ord)
+      continue;
+    if (E.Kind == FaultKind::SnapCorrupt) {
+      unsigned Flips = E.Arg != 0 ? static_cast<unsigned>(E.Arg) : 8;
+      unsigned Done = 0;
+      for (unsigned F = 0; F < Flips && !Targets.empty(); ++F) {
+        auto &Raw = S.Buffers[Targets[Rand.below(Targets.size())]].Raw;
+        Raw[Rand.below(Raw.size())] ^=
+            static_cast<uint8_t>(1 + Rand.below(255));
+        ++Done;
+      }
+      markFired(I, formatv("snap %llu: snap-corrupt flipped %u bytes",
+                           static_cast<unsigned long long>(Ord), Done));
+    } else if (E.Kind == FaultKind::SnapTruncate) {
+      size_t Cut = 0;
+      if (!Targets.empty()) {
+        auto &Raw = S.Buffers[Targets[Rand.below(Targets.size())]].Raw;
+        Cut = Raw.size() - Rand.below(Raw.size());
+        Raw.resize(Raw.size() - Cut);
+      }
+      markFired(I, formatv("snap %llu: snap-truncate dropped %zu bytes",
+                           static_cast<unsigned long long>(Ord), Cut));
+    }
+  }
+}
+
+void FaultInjector::corruptSnapBytes(std::vector<uint8_t> &Bytes,
+                                     uint64_t Seed, unsigned ByteFlips,
+                                     bool Truncate) {
+  Rng R(Seed ^ 0x7b5bad5eedf11e5ULL);
+  if (Truncate && Bytes.size() > 4)
+    Bytes.resize(4 + R.below(Bytes.size() - 4));
+  if (Bytes.empty())
+    return;
+  for (unsigned I = 0; I < ByteFlips; ++I)
+    Bytes[R.below(Bytes.size())] ^= static_cast<uint8_t>(1 + R.below(255));
+}

@@ -1,0 +1,143 @@
+//===- vm/FaultInjector.h - Deterministic fault injection -------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, replayable fault-injection subsystem for the simulated world.
+///
+/// TraceBack's core promise is *first fault* diagnosis: the trace machinery
+/// must survive exactly the failures it is meant to diagnose — `kill -9`,
+/// abrupt thread death, torn sub-buffer writes, corrupt or truncated snap
+/// files, lost RPC payloads, a module unload racing a snap (paper sections
+/// 3.1, 3.2, 3.6, 3.7). A `FaultPlan` is a deterministic schedule of such
+/// faults; the `World` scheduler consults the attached `FaultInjector` at
+/// every scheduling-slice boundary, the RPC transport consults it per wire
+/// delivery, and the runtime consults it when a snap image is captured.
+/// Because the VM itself is deterministic, a (workload, plan) pair replays
+/// the identical failure every time — the property the crash-consistency
+/// harness and `tbtool inject` are built on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_VM_FAULTINJECTOR_H
+#define TRACEBACK_VM_FAULTINJECTOR_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+class World;
+struct SnapFile;
+
+/// The failure classes the injector can produce.
+enum class FaultKind : uint8_t {
+  KillProcess, ///< `kill -9`: no hooks run, TLS cursors are wiped.
+  KillThread,  ///< One thread dies abruptly mid-DAG; the process survives.
+  TornWrite,   ///< A trace word in a runtime buffer is torn at word level.
+  SnapCorrupt, ///< Byte-level corruption of a captured snap's buffer bytes.
+  SnapTruncate, ///< A captured snap loses the tail of one buffer image.
+  RpcDropWire, ///< One RpcWire triple delivery is dropped on the wire.
+  RpcDupWire,  ///< One RpcWire triple delivery is duplicated.
+  UnloadRace,  ///< A module is unloaded and a snap races the unload.
+};
+
+const char *faultKindName(FaultKind K);
+bool parseFaultKind(const std::string &Name, FaultKind &Out);
+
+/// One scheduled fault. The meaning of \p Trigger depends on the kind:
+///  - KillProcess / KillThread / TornWrite / UnloadRace: the scheduler
+///    slice ordinal at which the fault fires (stepSlice call count).
+///  - RpcDropWire / RpcDupWire: the ordinal of the wire delivery to hit.
+///  - SnapCorrupt / SnapTruncate: the ordinal of the snap capture to hit.
+struct FaultEvent {
+  FaultKind Kind = FaultKind::KillProcess;
+  uint64_t Trigger = 0;
+  /// Kind-specific argument, 0 = injector's choice:
+  ///  - KillProcess / KillThread / UnloadRace: target pid.
+  ///  - TornWrite: tear mode (0 = zero the whole word, the classic torn
+  ///    sub-buffer write; 1 = zero the top half, leaving a garbled word).
+  ///  - SnapCorrupt: number of bytes to flip (default 8).
+  uint64_t Arg = 0;
+};
+
+/// A seeded schedule of faults. The seed drives every choice the injector
+/// makes that the plan leaves open (which process, which word, which
+/// bytes), so plan text + workload fully determine the failure.
+struct FaultPlan {
+  uint64_t Seed = 0;
+  std::vector<FaultEvent> Events;
+
+  /// Generates a small random plan: 1-3 events whose slice triggers fall
+  /// in [1, MaxSlice].
+  static FaultPlan random(uint64_t Seed, uint64_t MaxSlice = 2000);
+
+  /// `seed N` line followed by one `<kind> <trigger> [<arg>]` per line.
+  std::string toText() const;
+  static bool parse(const std::string &Text, FaultPlan &Out,
+                    std::string &Error);
+};
+
+/// Executes a FaultPlan against a World. Attach via `World::Injector`.
+class FaultInjector {
+public:
+  explicit FaultInjector(FaultPlan P);
+
+  // --- Injection points ---------------------------------------------------
+
+  /// Called by World::stepSlice before each scheduling decision; fires any
+  /// due slice-triggered events (kills, torn writes, unload races).
+  void onSliceBoundary(World &W);
+
+  /// Called by the RPC transport for each server-side wire delivery.
+  /// Returns how many times the callee runtime should observe the wire:
+  /// 0 = dropped, 1 = normal, 2 = duplicated.
+  unsigned wireDeliveryCount();
+
+  /// Called by the runtime after capturing a snap image, before it reaches
+  /// any sink: applies due SnapCorrupt/SnapTruncate events to the buffer
+  /// bytes inside \p S.
+  void onSnapCapture(SnapFile &S);
+
+  /// File-plane damage for serialized snap bytes (a .tbsnap hit by disk
+  /// corruption): flips \p ByteFlips bytes and, if \p Truncate, drops a
+  /// seeded fraction of the tail. Deterministic in \p Seed.
+  static void corruptSnapBytes(std::vector<uint8_t> &Bytes, uint64_t Seed,
+                               unsigned ByteFlips, bool Truncate);
+
+  // --- Introspection ------------------------------------------------------
+
+  const FaultPlan &plan() const { return Plan; }
+  /// Slices observed so far (equals World::slices() while attached).
+  uint64_t slice() const { return Slice; }
+  /// Human-readable record of every fault that actually fired, in order.
+  const std::vector<std::string> &firedLog() const { return Log; }
+  size_t firedCount() const { return Log.size(); }
+  /// True when every planned event has fired.
+  bool allFired() const;
+
+private:
+  void fireSliceEvent(const FaultEvent &E, size_t Index, World &W);
+  bool killProcess(World &W, uint64_t Pid, std::string &Note);
+  bool killThread(World &W, uint64_t Pid, std::string &Note);
+  bool tearWord(World &W, uint64_t Mode, std::string &Note);
+  bool unloadRace(World &W, uint64_t Pid, std::string &Note);
+  void markFired(size_t Index, const std::string &Note);
+
+  FaultPlan Plan;
+  Rng Rand;
+  uint64_t Slice = 0;
+  uint64_t WireOrdinal = 0;
+  uint64_t SnapOrdinal = 0;
+  std::vector<bool> Fired;
+  std::vector<std::string> Log;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_VM_FAULTINJECTOR_H

@@ -217,6 +217,7 @@ uint64_t Process::allocRuntimeRegion(uint64_t Size) {
       alignUp(RtRegionNext + Size + AddressSpace::PageSize,
               AddressSpace::PageSize);
   Mem.map(Addr, Size);
+  RuntimeRegions.push_back({Addr, Size});
   return Addr;
 }
 

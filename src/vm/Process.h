@@ -103,6 +103,10 @@ public:
   Rng Rand;
   uint64_t CyclesUsed = 0;
 
+  /// (base, size) of every region handed out by allocRuntimeRegion — lets
+  /// the fault injector aim torn writes at live trace-buffer memory.
+  std::vector<std::pair<uint64_t, uint64_t>> RuntimeRegions;
+
   // --- Modules ------------------------------------------------------------
 
   /// Maps \p M into the process: applies relocations, lets attached

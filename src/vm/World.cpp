@@ -7,6 +7,7 @@
 #include "vm/World.h"
 
 #include "support/Text.h"
+#include "vm/FaultInjector.h"
 #include "vm/Syscalls.h"
 
 #include <algorithm>
@@ -137,6 +138,12 @@ void World::wakeThread(Process &P, Thread &T) {
 }
 
 bool World::stepSlice() {
+  ++SliceCount;
+  // Fault injection happens at slice boundaries so a (workload, plan)
+  // pair replays identically: the injector sees the same world state at
+  // the same slice ordinal every run.
+  if (Injector)
+    Injector->onSliceBoundary(*this);
   for (int Attempt = 0; Attempt < 2; ++Attempt) {
     struct Cand {
       Machine *M;
@@ -936,10 +943,16 @@ void World::rpcDeliverToServer(Process &P, Thread &T, uint64_t ReqId) {
   T.Regs[0] = ReqId;
   T.Regs[1] = N;
   T.CurrentRpcRequest = ReqId;
+  // The wire carrying the TraceBack triple may be lossy: the injector can
+  // drop it (the callee runtime never sees it and starts an unbound
+  // logical thread) or duplicate it. Count every delivery — attached
+  // runtime or not — so wire ordinals stay deterministic.
+  unsigned Deliveries = Injector ? Injector->wireDeliveryCount() : 1;
   // The callee runtime binds the logical thread and records CallRecv.
   if (LoadedModule *LM = P.moduleForPC(T.PC))
     if (RuntimeHooks *RT = P.runtimeForTech(LM->Mod.Tech))
-      RT->onRpcServerRecv(P, T, Req.Wire);
+      for (unsigned I = 0; I < Deliveries; ++I)
+        RT->onRpcServerRecv(P, T, Req.Wire);
   T.State = ThreadState::Runnable;
 }
 

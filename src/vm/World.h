@@ -31,6 +31,8 @@
 
 namespace traceback {
 
+class FaultInjector;
+
 /// An in-flight RPC.
 struct RpcRequest {
   uint64_t Id = 0;
@@ -79,6 +81,19 @@ public:
   bool stepSlice();
 
   uint64_t cycles() const { return GlobalCycles; }
+
+  /// Scheduling slices executed so far (stepSlice call count).
+  uint64_t slices() const { return SliceCount; }
+
+  /// Abrupt thread death (TerminateThread analog): the thread stops where
+  /// it stands, no runtime hooks run. Used by the fault injector.
+  void killThreadAbruptly(Process &P, Thread &T) {
+    exitThread(P, T, /*Orderly=*/false);
+  }
+
+  /// When non-null, consulted at every slice boundary, wire delivery and
+  /// snap capture. Not owned.
+  FaultInjector *Injector = nullptr;
 
   /// Queues an asynchronous signal for \p P (delivered to its first live
   /// thread at the next slice boundary). SigKill is a hard kill: no hooks.
@@ -132,6 +147,7 @@ private:
 
   friend class Machine;
   uint64_t GlobalCycles = 0;
+  uint64_t SliceCount = 0;
   /// Extra CPU cycles a syscall charged beyond its opcode cost.
   uint64_t PendingSyscallCycles = 0;
   uint64_t NextMachineId = 1;

@@ -10,14 +10,32 @@
 #include "core/Session.h"
 #include "lang/CodeGen.h"
 #include "reconstruct/Views.h"
+#include "support/Random.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 namespace traceback {
 namespace testing_helpers {
+
+/// Base seed for property tests: TRACEBACK_TEST_SEED when set, else
+/// \p Default. Printed once so a failing sweep is replayable with
+/// `TRACEBACK_TEST_SEED=<seed> ctest ...`.
+inline uint64_t testSeed(uint64_t Default = 0x7ace'bacc'0000'0001ULL) {
+  static uint64_t Seed = [Default] {
+    uint64_t S = seedFromEnv("TRACEBACK_TEST_SEED", Default);
+    std::printf("[ property-test seed: %llu (0x%llx) — override with "
+                "TRACEBACK_TEST_SEED ]\n",
+                static_cast<unsigned long long>(S),
+                static_cast<unsigned long long>(S));
+    std::fflush(stdout);
+    return S;
+  }();
+  return Seed;
+}
 
 /// Compiles MiniLang or aborts the test.
 inline Module compileOrDie(const std::string &Source,

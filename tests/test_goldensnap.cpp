@@ -1,0 +1,96 @@
+//===- tests/test_goldensnap.cpp - Snap format golden fixture -------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// Guards the on-disk snap + mapfile formats and the text rendering against
+// accidental drift: a serialized snap checked into tests/golden/ must keep
+// reconstructing to byte-identical output. Regenerate deliberately with
+//   TRACEBACK_REGEN_GOLDEN=1 ./test_goldensnap
+// after an *intentional* format change, and review the fixture diff.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "core/FileIO.h"
+#include "reconstruct/Reconstructor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace traceback;
+using namespace traceback::testing_helpers;
+
+namespace {
+
+/// Fixed workload: calls, a loop, a snap — enough to exercise DAG, ext and
+/// sync-free rendering paths. Everything downstream is deterministic
+/// (simulated clocks, seeded ids), so the output is stable byte-for-byte.
+const char *GoldenWorkload = R"(
+fn helper(a) {
+  var y = a * 2;
+  return y + 1;
+}
+fn main() export {
+  var x = 0;
+  var i = 0;
+  while (i < 5) {
+    x = x + helper(i);
+    i = i + 1;
+  }
+  snap(1);
+  print(x);
+}
+)";
+
+std::string renderSnap(const SnapFile &Snap,
+                       const ReconstructedTrace &Trace) {
+  // Mirrors `tbtool reconstruct`'s default output.
+  std::string Out = renderFaultView(Snap, Trace);
+  Out += "\n";
+  for (const ThreadTrace &T : Trace.Threads) {
+    Out += renderFlatTrace(T);
+    Out += "\n";
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(GoldenSnapTest, ByteIdenticalReconstruction) {
+  const std::string Dir = std::string(TB_TESTS_DIR) + "/golden";
+  const std::string SnapPath = Dir + "/golden.tbsnap";
+  const std::string MapPath = Dir + "/golden.tbmap";
+  const std::string ExpectedPath = Dir + "/expected.txt";
+
+  if (std::getenv("TRACEBACK_REGEN_GOLDEN")) {
+    SingleProcess S;
+    ASSERT_EQ(S.runModule(compileOrDie(GoldenWorkload), true),
+              World::RunResult::AllExited);
+    ASSERT_FALSE(S.D.snaps().empty());
+    const SnapFile &Snap = S.D.snaps().front();
+    ASSERT_TRUE(saveSnap(Snap, SnapPath)) << SnapPath;
+    ASSERT_EQ(S.D.maps().all().size(), 1u);
+    ASSERT_TRUE(saveMapFile(S.D.maps().all()[0], MapPath)) << MapPath;
+    ReconstructedTrace Trace = S.D.reconstruct(Snap);
+    ASSERT_TRUE(writeFileText(ExpectedPath, renderSnap(Snap, Trace)));
+    GTEST_SKIP() << "regenerated golden fixtures in " << Dir;
+  }
+
+  SnapFile Snap;
+  ASSERT_TRUE(loadSnap(SnapPath, Snap))
+      << "missing fixture " << SnapPath
+      << " — regenerate with TRACEBACK_REGEN_GOLDEN=1";
+  MapFile Map;
+  ASSERT_TRUE(loadMapFile(MapPath, Map)) << MapPath;
+  MapFileStore Store;
+  Store.add(std::move(Map));
+  Reconstructor R(Store);
+  ReconstructedTrace Trace = R.reconstruct(Snap);
+  EXPECT_TRUE(Trace.Warnings.empty());
+
+  std::string Expected;
+  ASSERT_TRUE(readFileText(ExpectedPath, Expected)) << ExpectedPath;
+  EXPECT_EQ(renderSnap(Snap, Trace), Expected)
+      << "snap format or rendering drifted from the golden fixture";
+}

@@ -15,12 +15,14 @@
 //   tbtool snapinfo <snap.tbsnap>
 //   tbtool reconstruct <snap.tbsnap> <map.tbmap>... [--thread N] [--tree]
 //   tbtool run <mod.tbo>... [--entry NAME] [--policy FILE] [--snap-dir D]
+//   tbtool inject <mod.tbo>... --seed S [--plan FILE] [--entry NAME]
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/DynamicCode.h"
 #include "core/FileIO.h"
 #include "core/Session.h"
+#include "vm/FaultInjector.h"
 #include "isa/Assembler.h"
 #include "isa/Disassembler.h"
 #include "lang/CodeGen.h"
@@ -50,7 +52,9 @@ int usage() {
       "  tbtool reconstruct <snap.tbsnap> <map.tbmap>... [--thread N] "
       "[--tree]\n"
       "  tbtool run <mod.tbo>... [--entry NAME] [--policy FILE] "
-      "[--snap-dir DIR]\n");
+      "[--snap-dir DIR]\n"
+      "  tbtool inject <mod.tbo>... --seed S [--plan FILE] "
+      "[--entry NAME]\n");
   return 2;
 }
 
@@ -326,6 +330,170 @@ int cmdRun(std::vector<std::string> Args) {
   return 0;
 }
 
+std::vector<std::string> lineSeq(const ThreadTrace &T) {
+  std::vector<std::string> Out;
+  for (const TraceEvent &E : T.Events)
+    if (E.EventKind == TraceEvent::Kind::Line)
+      Out.push_back(E.Module + "!" + E.File + ":" +
+                    std::to_string(E.Line));
+  return Out;
+}
+
+std::vector<std::string>
+oracleSeq(const std::vector<Process::OracleEvent> &Oracle,
+          uint64_t ThreadId) {
+  std::vector<std::string> Out;
+  for (const Process::OracleEvent &E : Oracle)
+    if (E.ThreadId == ThreadId)
+      Out.push_back(E.Module + "!" + E.File + ":" +
+                    std::to_string(E.Line));
+  return Out;
+}
+
+/// The survivability property: everything the snap recovered must match
+/// the fault-free golden run line-for-line, except that up to \p Slack
+/// trailing lines (at most one partial DAG record) may be missing noise.
+bool isPrefixWithSlack(const std::vector<std::string> &Got,
+                       const std::vector<std::string> &Golden,
+                       size_t Slack = 12) {
+  if (Got.size() > Golden.size())
+    return false;
+  for (size_t I = 0; I < Got.size(); ++I)
+    if (Got[I] != Golden[I])
+      return I + Slack >= Got.size();
+  return true;
+}
+
+int cmdInject(std::vector<std::string> Args) {
+  std::string Entry = flagValue(Args, "--entry", "main");
+  std::string SeedStr = flagValue(Args, "--seed", "1");
+  std::string PlanPath = flagValue(Args, "--plan", "");
+  if (Args.empty())
+    return usage();
+
+  std::vector<Module> Mods;
+  for (const std::string &Path : Args) {
+    Module M;
+    if (!loadModule(Path, M)) {
+      std::fprintf(stderr, "cannot load %s\n", Path.c_str());
+      return 1;
+    }
+    Mods.push_back(std::move(M));
+  }
+
+  // Golden pass: the same deployment with no faults, oracle attached.
+  // Gives the reference trace for the prefix verdict and the slice count
+  // used to scope random plans.
+  std::vector<Process::OracleEvent> Oracle;
+  uint64_t GoldenSlices = 0;
+  {
+    Deployment D;
+    Machine *Host = D.addMachine("tbtool-host");
+    Process *P = Host->createProcess("app");
+    P->OracleTrace = &Oracle;
+    std::string Error;
+    for (const Module &M : Mods)
+      if (!D.deploy(*P, M, !M.Instrumented, Error)) {
+        std::fprintf(stderr, "%s\n", Error.c_str());
+        return 1;
+      }
+    if (!P->start(Entry)) {
+      std::fprintf(stderr, "entry symbol '%s' not found\n", Entry.c_str());
+      return 1;
+    }
+    D.world().run();
+    GoldenSlices = D.world().slices();
+  }
+
+  FaultPlan Plan;
+  if (!PlanPath.empty()) {
+    std::string Text, Error;
+    if (!readFileText(PlanPath, Text)) {
+      std::fprintf(stderr, "cannot read %s\n", PlanPath.c_str());
+      return 1;
+    }
+    if (!FaultPlan::parse(Text, Plan, Error)) {
+      std::fprintf(stderr, "plan: %s\n", Error.c_str());
+      return 1;
+    }
+  } else {
+    int64_t Seed = 1;
+    parseInt(SeedStr, Seed);
+    Plan = FaultPlan::random(static_cast<uint64_t>(Seed),
+                             GoldenSlices > 2 ? GoldenSlices : 2000);
+  }
+  std::printf("--- fault plan (save and replay with --plan FILE) ---\n%s",
+              Plan.toText().c_str());
+
+  // Fault pass: identical deployment with the injector attached.
+  Deployment D;
+  Machine *Host = D.addMachine("tbtool-host");
+  Process *P = Host->createProcess("app");
+  std::string Error;
+  for (const Module &M : Mods)
+    if (!D.deploy(*P, M, !M.Instrumented, Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 1;
+    }
+  FaultInjector FI(Plan);
+  D.world().Injector = &FI;
+  if (!P->start(Entry)) {
+    std::fprintf(stderr, "entry symbol '%s' not found\n", Entry.c_str());
+    return 1;
+  }
+  World::RunResult R = D.world().run();
+  D.world().Injector = nullptr;
+
+  std::printf("--- faulted run: %s%s ---\n",
+              R == World::RunResult::AllExited ? "exited"
+              : R == World::RunResult::Idle    ? "deadlock"
+                                               : "cycle limit",
+              P->HardKilled ? " (hard-killed)" : "");
+  for (const std::string &Note : FI.firedLog())
+    std::printf("fired: %s\n", Note.c_str());
+  if (!FI.allFired())
+    std::printf("note: %zu of %zu planned events never found a target\n",
+                FI.plan().Events.size() - FI.firedCount(),
+                FI.plan().Events.size());
+
+  // Post-mortem: a hard-killed process leaves no snap of its own — the
+  // service daemon scrapes its committed sub-buffers (section 3.6).
+  std::vector<SnapFile> Snaps = D.snaps();
+  if (P->HardKilled)
+    if (ServiceDaemon *Daemon = D.daemonFor(*Host)) {
+      std::vector<SnapFile> PM = Daemon->collectPostMortem(*P);
+      Snaps.insert(Snaps.end(), PM.begin(), PM.end());
+    }
+  if (Snaps.empty()) {
+    std::printf("no snaps survived the faulted run\n");
+    return 0;
+  }
+
+  bool AllPrefix = true;
+  int Index = 0;
+  for (const SnapFile &Snap : Snaps) {
+    ReconstructedTrace Trace = D.reconstruct(Snap);
+    for (const std::string &W : Trace.Warnings)
+      std::fprintf(stderr, "warning: %s\n", W.c_str());
+    for (const ThreadTrace &T : Trace.Threads) {
+      std::vector<std::string> Got = lineSeq(T);
+      std::vector<std::string> Golden = oracleSeq(Oracle, T.ThreadId);
+      bool Ok = isPrefixWithSlack(Got, Golden);
+      AllPrefix &= Ok;
+      std::printf("snap %d thread %llu: recovered %zu of %zu golden "
+                  "lines — %s\n",
+                  Index, static_cast<unsigned long long>(T.ThreadId),
+                  Got.size(), Golden.size(),
+                  Ok ? "prefix of golden trace"
+                     : "NOT a prefix of the golden trace");
+    }
+    ++Index;
+  }
+  // Exit 3 distinguishes a property violation from usage/IO errors so
+  // seed sweeps can script against it.
+  return AllPrefix ? 0 : 3;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -349,5 +517,7 @@ int main(int argc, char **argv) {
     return cmdReconstruct(std::move(Args));
   if (Cmd == "run")
     return cmdRun(std::move(Args));
+  if (Cmd == "inject")
+    return cmdInject(std::move(Args));
   return usage();
 }
