@@ -1,0 +1,81 @@
+//===- reconstruct/DecodeCache.h - Memoized DAG-path decoding ---*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoizes `decodeDagPath` results across trace records. Real traces
+/// are dominated by a small set of hot (DAG, path-bits) pairs — the same
+/// redundancy observation that motivates the paper's adjacent-line
+/// collapse (section 4.2) — so after first sight a record's block path
+/// is a single hash lookup instead of an exhaustive DAG walk.
+///
+/// Keys are content-addressed: (module checksum low word, DAG relative
+/// id, path bits). A checksum identifies the mapfile bytes (section
+/// 2.3), so entries stay valid across snaps, buffers and batch runs, and
+/// the cache can be shared by concurrent reconstruction workers. Sharded
+/// locking keeps contention negligible; values are shared_ptrs so a hit
+/// never copies the path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_RECONSTRUCT_DECODECACHE_H
+#define TRACEBACK_RECONSTRUCT_DECODECACHE_H
+
+#include "instrument/MapFile.h"
+#include "support/FlatMap.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace traceback {
+
+/// A decoded DAG path, shared between the cache and its users. Empty
+/// paths (undecodable bits, i.e. corrupt records) are cached too — a
+/// corrupt hot record is as repetitive as a healthy one.
+using SharedDagPath = std::shared_ptr<const std::vector<uint16_t>>;
+
+class DagPathCache {
+public:
+  /// Returns the decoded path of (\p ModuleKey, \p Dag.RelId, \p
+  /// PathBits), decoding and inserting on first sight. Thread-safe.
+  SharedDagPath decode(uint64_t ModuleKey, const MapDag &Dag,
+                       uint32_t PathBits);
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+
+private:
+  struct Key {
+    uint64_t ModuleKey = 0;
+    uint32_t RelId = 0;
+    uint32_t PathBits = 0;
+    bool operator==(const Key &O) const {
+      return ModuleKey == O.ModuleKey && RelId == O.RelId &&
+             PathBits == O.PathBits;
+    }
+  };
+  struct KeyHasher {
+    uint64_t operator()(const Key &K) const {
+      return hashCombine(hashU64(K.ModuleKey),
+                         hashU64((uint64_t(K.RelId) << 32) | K.PathBits));
+    }
+  };
+
+  static constexpr size_t ShardCount = 16;
+  struct Shard {
+    std::mutex M;
+    FlatMap<Key, SharedDagPath, KeyHasher> Map;
+  };
+  Shard Shards[ShardCount];
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_RECONSTRUCT_DECODECACHE_H

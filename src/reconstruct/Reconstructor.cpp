@@ -14,9 +14,23 @@
 
 using namespace traceback;
 
-void MapFileStore::add(MapFile Map) {
-  Index[Map.Checksum.low64()] = Maps.size();
+bool MapFileStore::add(MapFile Map, std::string *Warning) {
+  uint64_t Key = Map.Checksum.low64();
+  if (size_t *Slot = Index.find(Key)) {
+    // Last add wins: overwrite the existing slot instead of leaving the
+    // index pointing at a stale mapfile.
+    if (Warning)
+      *Warning = formatv("mapfile for checksum %s registered twice "
+                         "(module %s replaces %s); keeping the newest",
+                         Map.Checksum.toHex().c_str(),
+                         Map.ModuleName.c_str(),
+                         Maps[*Slot].ModuleName.c_str());
+    Maps[*Slot] = std::move(Map);
+    return false;
+  }
+  Index.insertOrAssign(Key, Maps.size());
   Maps.push_back(std::move(Map));
+  return true;
 }
 
 const MapFile *MapFileStore::byChecksum(const MD5Digest &Digest) const {
@@ -24,8 +38,8 @@ const MapFile *MapFileStore::byChecksum(const MD5Digest &Digest) const {
 }
 
 const MapFile *MapFileStore::byKey(uint64_t ChecksumLow64) const {
-  auto It = Index.find(ChecksumLow64);
-  return It == Index.end() ? nullptr : &Maps[It->second];
+  const size_t *Slot = Index.find(ChecksumLow64);
+  return Slot ? &Maps[*Slot] : nullptr;
 }
 
 // ----------------------------------------------------------------------------
@@ -37,63 +51,85 @@ std::vector<uint16_t> traceback::decodeDagPath(const MapDag &Dag,
   if (Dag.Blocks.empty())
     return {};
 
-  // Depth-first search for the root path whose bit-set equals PathBits.
-  // DAGs are tiny (<= 1 header + PathBitCount bit blocks + implied
-  // blocks), so exhaustive search is cheap.
-  std::vector<uint16_t> Path;
-  std::vector<uint16_t> Stack;
+  // Depth-first search for the root path whose bit-set equals PathBits,
+  // with an explicit frame stack: DAGs from healthy mapfiles are tiny,
+  // but fuzzed/corrupt ones can chain implied blocks arbitrarily deep,
+  // and recursion depth must not be attacker-controlled.
+  const uint32_t Target = PathBits;
+  const size_t BlockCount = Dag.Blocks.size();
 
-  struct Searcher {
-    const MapDag &Dag;
-    uint32_t Target;
-    std::vector<uint16_t> Best;
-
-    bool dfs(uint16_t Cur, uint32_t Used, std::vector<uint16_t> &Acc) {
-      if (Used == Target) {
-        Best = Acc;
-        return true;
-      }
-      const MapBlock &B = Dag.Blocks[Cur];
-      for (uint16_t S : B.Succs) {
-        const MapBlock &SB = Dag.Blocks[S];
-        if (SB.BitIndex >= 0) {
-          uint32_t Bit = 1u << SB.BitIndex;
-          if ((Target & Bit) && !(Used & Bit)) {
-            Acc.push_back(S);
-            if (dfs(S, Used | Bit, Acc))
-              return true;
-            Acc.pop_back();
-          }
-        } else if (B.Succs.size() == 1) {
-          // Implied block: execution is certain if the predecessor ran.
-          Acc.push_back(S);
-          if (dfs(S, Used, Acc))
-            return true;
-          Acc.pop_back();
-        }
-      }
-      return false;
-    }
+  struct Frame {
+    uint16_t Cur;
+    uint32_t Used;
+    uint32_t NextSucc;
   };
+  std::vector<Frame> Frames;
+  std::vector<uint16_t> Path{0};
+  Frames.push_back({0, 0, 0});
+  bool Found = false;
 
-  Searcher S{Dag, PathBits, {}};
-  std::vector<uint16_t> Acc{0};
-  if (!S.dfs(0, 0, Acc))
+  while (!Frames.empty()) {
+    // First visit of a node: success test.
+    if (Frames.back().NextSucc == 0 && Frames.back().Used == Target) {
+      Found = true;
+      break;
+    }
+    const MapBlock &B = Dag.Blocks[Frames.back().Cur];
+    const uint32_t Used = Frames.back().Used;
+    bool Descended = false;
+    while (Frames.back().NextSucc < B.Succs.size()) {
+      uint16_t S = B.Succs[Frames.back().NextSucc++];
+      if (S >= BlockCount)
+        continue; // Corrupt successor index: ignore the edge.
+      const MapBlock &SB = Dag.Blocks[S];
+      uint32_t ChildUsed;
+      if (SB.BitIndex >= 0) {
+        uint32_t Bit = 1u << SB.BitIndex;
+        if (!(Target & Bit) || (Used & Bit))
+          continue;
+        ChildUsed = Used | Bit;
+      } else if (B.Succs.size() == 1) {
+        // Implied block: execution is certain if the predecessor ran.
+        ChildUsed = Used;
+      } else {
+        continue;
+      }
+      // A simple path through an acyclic graph can't exceed the block
+      // count; longer means cyclic (corrupt) map data — fail the decode
+      // rather than walking it forever.
+      if (Path.size() >= BlockCount)
+        return {};
+      Path.push_back(S);
+      Frames.push_back({S, ChildUsed, 0});
+      Descended = true;
+      break;
+    }
+    if (Descended)
+      continue;
+    Frames.pop_back();
+    if (!Frames.empty())
+      Path.pop_back(); // The root's slot in Path stays.
+  }
+  if (!Found)
     return {}; // Bits inconsistent with the DAG shape: corrupted record.
 
-  Path = S.Best;
   // Extend through forced single-successor no-bit chains: those blocks ran
-  // if control left the last bit block normally.
+  // if control left the last bit block normally. The visited bitmap
+  // guards against malformed cyclic map data (stop at the first revisit,
+  // in linear time even for very long chains).
+  std::vector<bool> OnPath(BlockCount, false);
+  for (uint16_t BI : Path)
+    OnPath[BI] = true;
   for (;;) {
     const MapBlock &Last = Dag.Blocks[Path.back()];
-    if (Last.Succs.size() != 1)
+    if (Last.Succs.size() != 1 || Last.Succs[0] >= BlockCount)
       break;
     const MapBlock &Next = Dag.Blocks[Last.Succs[0]];
     if (Next.BitIndex >= 0)
       break; // Unset bit: execution stopped or left the DAG here.
-    // Guard against malformed cyclic map data.
-    if (std::find(Path.begin(), Path.end(), Last.Succs[0]) != Path.end())
+    if (OnPath[Last.Succs[0]])
       break;
+    OnPath[Last.Succs[0]] = true;
     Path.push_back(Last.Succs[0]);
   }
   return Path;
@@ -105,16 +141,43 @@ std::vector<uint16_t> traceback::decodeDagPath(const MapDag &Dag,
 
 namespace {
 
-/// Builder state for one thread's events.
+/// Builder state for one thread's events. With \p Legacy set it
+/// reproduces the original per-record resolution and decoding exactly
+/// (the benchmark baseline); otherwise module/mapfile/DAG resolution is
+/// memoized per DAG id and decoding goes through the shared cache when
+/// one is supplied.
 class ThreadBuilder {
 public:
   ThreadBuilder(const SnapFile &Snap, const MapFileStore &Maps,
-                std::vector<std::string> &Warnings)
-      : Snap(Snap), Maps(Maps), Warnings(Warnings) {}
+                std::vector<std::string> &Warnings, DagPathCache *Cache,
+                bool Legacy)
+      : Snap(Snap), Maps(Maps), Warnings(Warnings), Cache(Cache),
+        Legacy(Legacy) {}
 
   std::vector<TraceEvent> build(const ThreadSegment &Segment);
 
 private:
+  /// Resolution result for one DAG id, failure diagnostics included.
+  struct ResolvedDag {
+    const SnapModuleInfo *Mod = nullptr;
+    const MapFile *Map = nullptr;
+    const MapDag *Dag = nullptr;
+    /// Diagnostic re-emitted for every record that hits this DAG id
+    /// (empty on success) — memoization must not change the warning
+    /// stream the original per-record path produced.
+    std::string Warning;
+    /// Module label of the Untraced placeholder event on failure.
+    std::string UntracedLabel;
+    /// Interned names, precomputed once per DAG id so event emission is
+    /// pointer stores (memoized mode only; legacy interns per event).
+    InternedString ModName;
+    std::vector<InternedString> FileNames; ///< By mapfile file index.
+    std::vector<InternedString> BlockFuncs; ///< By DAG-local block index.
+  };
+
+  ResolvedDag resolveFresh(uint32_t DagId) const;
+  const ResolvedDag &resolveMemoized(uint32_t DagId);
+
   void emitDagRecord(uint32_t Word);
   void emitExt(const ExtRecord &Rec);
   void applyExceptionTrim(const TraceEvent &Exc);
@@ -126,6 +189,20 @@ private:
   const SnapFile &Snap;
   const MapFileStore &Maps;
   std::vector<std::string> &Warnings;
+  DagPathCache *Cache;
+  const bool Legacy;
+
+  /// DAG id -> resolution, one entry per distinct id seen in this
+  /// segment (snap module tables are per-snap, so the memo cannot
+  /// outlive the builder).
+  FlatMap64<ResolvedDag> ResolveMemo;
+
+  /// (DAG id << PathBitCount | path bits) -> decoded path. Lock-free
+  /// fast path in front of the shared cache: only the first sighting of
+  /// a pair in this segment takes the cache's shard mutex (or, with the
+  /// cache disabled, runs the DFS). DAG ids are unique across a snap's
+  /// modules, so the key cannot collide.
+  FlatMap64<SharedDagPath> PathMemo;
 
   std::vector<TraceEvent> Events;
   /// Per event: (record serial << 32) | block start offset — provenance
@@ -143,8 +220,17 @@ private:
     uint64_t ModuleKey = 0;
     const MapFile *Map = nullptr;
     const MapDag *Dag = nullptr;
-    std::vector<uint16_t> Path;
+    /// The decoded path. In legacy mode \p Owner holds the record's own
+    /// decode; in memoized mode it stays null — the pointee belongs to
+    /// PathMemo, which outlives this record.
+    const std::vector<uint16_t> *Path = nullptr;
+    SharedDagPath Owner;
+    /// Index of the record's first event in Events. Trim offsets derive
+    /// from it: a path block always appends exactly its line count.
+    size_t EventsBase = 0;
     /// For each path position: index of its first Line event in Events.
+    /// Built eagerly in legacy mode only (the pre-PR per-record cost);
+    /// memoized mode computes trim offsets from EventsBase on demand.
     std::vector<size_t> FirstEvent;
   } LastDag;
 };
@@ -165,9 +251,62 @@ const SnapModuleInfo *ThreadBuilder::moduleForDagId(uint32_t DagId) const {
   return Fallback;
 }
 
+ThreadBuilder::ResolvedDag ThreadBuilder::resolveFresh(uint32_t DagId) const {
+  ResolvedDag R;
+  R.Mod = moduleForDagId(DagId);
+  if (!R.Mod) {
+    R.Warning =
+        formatv("dag id %u matches no module in the snap metadata", DagId);
+    R.UntracedLabel = "<unknown module>";
+    return R;
+  }
+  R.Map = Maps.byChecksum(R.Mod->Checksum);
+  if (!R.Map) {
+    R.Warning = formatv("no mapfile for module %s (checksum %s)",
+                        R.Mod->Name.c_str(),
+                        R.Mod->Checksum.toHex().c_str());
+    R.UntracedLabel = "<no mapfile: " + R.Mod->Name + ">";
+    return R;
+  }
+  // The mapfile stores DAGs by instrumentation-time relative id; the snap
+  // metadata gives the module's actual (post-rebase) base.
+  R.Dag = R.Map->dagByRelId(DagId - R.Mod->DagIdBase);
+  if (!R.Dag) {
+    R.Warning = formatv("module %s has no dag %u", R.Mod->Name.c_str(),
+                        DagId - R.Mod->DagIdBase);
+    R.UntracedLabel = "<bad dag id>";
+  }
+  return R;
+}
+
+const ThreadBuilder::ResolvedDag &
+ThreadBuilder::resolveMemoized(uint32_t DagId) {
+  if (const ResolvedDag *Found = ResolveMemo.find(DagId))
+    return *Found;
+  ResolvedDag R = resolveFresh(DagId);
+  if (R.Dag) {
+    // Intern every name the DAG's events can carry, once per id.
+    R.ModName = InternedString(R.Mod->Name);
+    R.FileNames.reserve(R.Map->Files.size());
+    for (const std::string &F : R.Map->Files)
+      R.FileNames.push_back(InternedString(F));
+    R.BlockFuncs.reserve(R.Dag->Blocks.size());
+    for (const MapBlock &B : R.Dag->Blocks)
+      R.BlockFuncs.push_back(InternedString(B.Function));
+  }
+  ResolveMemo.insertOrAssign(DagId, std::move(R));
+  return *ResolveMemo.find(DagId);
+}
+
 void ThreadBuilder::emitDagRecord(uint32_t Word) {
   ++RecordSerial;
-  LastDag = LastDagInfo();
+  if (Legacy) {
+    LastDag = LastDagInfo(); // Pre-PR behaviour: frees FirstEvent's
+                             // buffer on every record.
+  } else {
+    LastDag.Valid = false;
+    LastDag.Path = nullptr;
+  }
   uint32_t DagId = dagIdOfRecord(Word);
   uint32_t Bits = pathBitsOfRecord(Word);
 
@@ -186,33 +325,39 @@ void ThreadBuilder::emitDagRecord(uint32_t Word) {
     EmitUntraced("<bad-dag module>");
     return;
   }
-  const SnapModuleInfo *Mod = moduleForDagId(DagId);
-  if (!Mod) {
-    Warnings.push_back(
-        formatv("dag id %u matches no module in the snap metadata", DagId));
-    EmitUntraced("<unknown module>");
-    return;
-  }
-  const MapFile *Map = Maps.byChecksum(Mod->Checksum);
-  if (!Map) {
-    Warnings.push_back(formatv("no mapfile for module %s (checksum %s)",
-                               Mod->Name.c_str(),
-                               Mod->Checksum.toHex().c_str()));
-    EmitUntraced("<no mapfile: " + Mod->Name + ">");
-    return;
-  }
-  // The mapfile stores DAGs by instrumentation-time relative id; the snap
-  // metadata gives the module's actual (post-rebase) base.
-  const MapDag *Dag = Map->dagByRelId(DagId - Mod->DagIdBase);
-  if (!Dag) {
-    Warnings.push_back(formatv("module %s has no dag %u", Mod->Name.c_str(),
-                               DagId - Mod->DagIdBase));
-    EmitUntraced("<bad dag id>");
-    return;
-  }
 
-  std::vector<uint16_t> Path = decodeDagPath(*Dag, Bits);
-  if (Path.empty()) {
+  ResolvedDag Fresh;
+  const ResolvedDag &R = Legacy ? (Fresh = resolveFresh(DagId))
+                                : resolveMemoized(DagId);
+  if (!R.Warning.empty())
+    Warnings.push_back(R.Warning);
+  if (!R.Dag) {
+    EmitUntraced(R.UntracedLabel);
+    return;
+  }
+  const SnapModuleInfo *Mod = R.Mod;
+  const MapFile *Map = R.Map;
+  const MapDag *Dag = R.Dag;
+
+  const std::vector<uint16_t> *Path = nullptr;
+  SharedDagPath Owned;
+  if (Legacy) {
+    Owned = std::make_shared<const std::vector<uint16_t>>(
+        decodeDagPath(*Dag, Bits));
+    Path = Owned.get();
+  } else {
+    uint64_t Key = (static_cast<uint64_t>(DagId) << PathBitCount) | Bits;
+    if (const SharedDagPath *Found = PathMemo.find(Key)) {
+      Path = Found->get();
+    } else {
+      Owned = Cache ? Cache->decode(Mod->Checksum.low64(), *Dag, Bits)
+                    : std::make_shared<const std::vector<uint16_t>>(
+                          decodeDagPath(*Dag, Bits));
+      PathMemo.insertOrAssign(Key, Owned);
+      Path = Owned.get();
+    }
+  }
+  if (Path->empty()) {
     Warnings.push_back(
         formatv("module %s dag %u: path bits 0x%x do not decode",
                 Mod->Name.c_str(), DagId - Mod->DagIdBase, Bits));
@@ -225,24 +370,39 @@ void ThreadBuilder::emitDagRecord(uint32_t Word) {
   LastDag.Map = Map;
   LastDag.Dag = Dag;
   LastDag.Path = Path;
+  LastDag.Owner = std::move(Owned);
+  LastDag.EventsBase = Events.size();
+  if (Legacy)
+    LastDag.FirstEvent.reserve(Path->size());
 
-  for (uint16_t BI : Path) {
+  for (uint16_t BI : *Path) {
     const MapBlock &B = Dag->Blocks[BI];
-    LastDag.FirstEvent.push_back(Events.size());
+    if (Legacy)
+      LastDag.FirstEvent.push_back(Events.size());
     if ((B.Flags & MBF_FuncEntry) && PendingCall)
       ++Depth;
     PendingCall = false;
     for (const MapLine &L : B.Lines) {
       TraceEvent E;
       E.EventKind = TraceEvent::Kind::Line;
-      E.Module = Mod->Name;
-      E.File = Map->fileName(L.FileIndex);
-      E.Function = B.Function;
+      if (Legacy) {
+        // Per-event interning: the pre-PR cost shape (three per-event
+        // string operations), without keeping a second event type.
+        E.Module = InternedString(Mod->Name);
+        E.File = InternedString(Map->fileName(L.FileIndex));
+        E.Function = InternedString(B.Function);
+      } else {
+        E.Module = R.ModName;
+        E.File = L.FileIndex < R.FileNames.size()
+                     ? R.FileNames[L.FileIndex]
+                     : InternedString(Map->fileName(L.FileIndex));
+        E.Function = R.BlockFuncs[BI];
+      }
       E.Line = L.Line;
       E.BlockFlags = B.Flags;
       E.Depth = Depth;
       E.Timestamp = LastTs;
-      Events.push_back(std::move(E));
+      Events.push_back(E);
       Provenance.push_back((RecordSerial << 32) | B.StartOffset);
     }
     if (B.Flags & MBF_EndsInRet) {
@@ -262,16 +422,28 @@ void ThreadBuilder::applyExceptionTrim(const TraceEvent &Exc) {
   if (!LastDag.Valid || Exc.FaultModuleKey != LastDag.ModuleKey)
     return;
   uint32_t Off = Exc.FaultOffset;
-  for (size_t PI = 0; PI < LastDag.Path.size(); ++PI) {
-    const MapBlock &B = LastDag.Dag->Blocks[LastDag.Path[PI]];
-    if (Off < B.StartOffset || Off >= B.EndOffset)
+  const std::vector<uint16_t> &Path = *LastDag.Path;
+  // Memoized mode does not materialize FirstEvent per record; the
+  // running sum recomputes it (a block always appends exactly its line
+  // count, so indices are a prefix sum over the path).
+  size_t Running = LastDag.EventsBase;
+  for (size_t PI = 0; PI < Path.size(); ++PI) {
+    const MapBlock &B = LastDag.Dag->Blocks[Path[PI]];
+    if (Off < B.StartOffset || Off >= B.EndOffset) {
+      Running += B.Lines.size();
       continue;
+    }
+    bool Eager = !LastDag.FirstEvent.empty();
     // Drop events of later path blocks.
-    size_t CutFrom = PI + 1 < LastDag.FirstEvent.size()
-                         ? LastDag.FirstEvent[PI + 1]
-                         : Events.size();
+    size_t NextFirst = Eager ? (PI + 1 < LastDag.FirstEvent.size()
+                                    ? LastDag.FirstEvent[PI + 1]
+                                    : Events.size())
+                             : (PI + 1 < Path.size()
+                                    ? Running + B.Lines.size()
+                                    : Events.size());
+    size_t CutFrom = NextFirst;
     // Within the faulting block, drop lines that start after the fault.
-    size_t BlockFirst = LastDag.FirstEvent[PI];
+    size_t BlockFirst = Eager ? LastDag.FirstEvent[PI] : Running;
     for (size_t EI = BlockFirst; EI < CutFrom; ++EI) {
       // Line events only; provenance low bits hold the block start.
       const MapLine *Found = nullptr;
@@ -367,8 +539,44 @@ void ThreadBuilder::collapseRedundancy(std::vector<TraceEvent> &Evs,
   // executions, e.g. a loop body on one line (merge with a repeat count) —
   // the heuristic of section 4.2: a repeat is recognized by control moving
   // backward or a new trace record starting.
+  if (!Legacy) {
+    // In-place compaction: events are trivially copyable, and most keep
+    // their slot, so no second arena and no per-event copy.
+    size_t W = 0;
+    for (size_t I = 0; I < Evs.size(); ++I) {
+      TraceEvent &E = Evs[I];
+      if (E.EventKind == TraceEvent::Kind::Line && W > 0) {
+        TraceEvent &P = Evs[W - 1];
+        if (P.EventKind == TraceEvent::Kind::Line &&
+            P.Module == E.Module && P.File == E.File && P.Line == E.Line &&
+            P.Depth == E.Depth) {
+          uint64_t PrevProv = Prov[W - 1];
+          uint64_t CurProv = Prov[I];
+          bool NewRecord = (CurProv >> 32) != (PrevProv >> 32);
+          bool Backward = (CurProv & 0xFFFFFFFF) <= (PrevProv & 0xFFFFFFFF);
+          if (NewRecord || Backward)
+            ++P.Repeat;
+          P.BlockFlags |= E.BlockFlags;
+          P.Trimmed = E.Trimmed;
+          Prov[W - 1] = CurProv;
+          continue;
+        }
+      }
+      if (W != I) {
+        Evs[W] = E;
+        Prov[W] = Prov[I];
+      }
+      ++W;
+    }
+    Evs.resize(W);
+    Prov.resize(W);
+    return;
+  }
+
   std::vector<TraceEvent> Out;
   std::vector<uint64_t> OutProv;
+  Out.reserve(Evs.size());
+  OutProv.reserve(Prov.size());
   for (size_t I = 0; I < Evs.size(); ++I) {
     TraceEvent &E = Evs[I];
     if (E.EventKind == TraceEvent::Kind::Line && !Out.empty()) {
@@ -402,7 +610,17 @@ std::vector<TraceEvent> ThreadBuilder::build(const ThreadSegment &Segment) {
   Depth = 0;
   PendingCall = false;
   LastTs = 0;
+  RecordSerial = 0;
   LastDag = LastDagInfo();
+
+  if (!Legacy) {
+    // Arena-style reservation: a DAG record expands to a handful of line
+    // events, so records*6 absorbs nearly every growth-doubling (an
+    // over-estimate only costs transient address space; the collapsed
+    // output vector is what the caller keeps).
+    Events.reserve(Segment.Records.size() * 6);
+    Provenance.reserve(Segment.Records.size() * 6);
+  }
 
   for (const ParsedRecord &R : Segment.Records) {
     if (R.RecordKind == ParsedRecord::Kind::Dag)
@@ -420,30 +638,79 @@ std::vector<TraceEvent> ThreadBuilder::build(const ThreadSegment &Segment) {
 // Reconstructor.
 // ----------------------------------------------------------------------------
 
-ReconstructedTrace Reconstructor::reconstruct(const SnapFile &Snap) const {
+ReconstructedTrace Reconstructor::reconstruct(const SnapFile &Snap,
+                                              ThreadPool *Pool) const {
   ReconstructedTrace Result;
+  const bool Legacy = Opts.LegacyUncached;
+  DagPathCache *CachePtr =
+      (!Legacy && Opts.UseDecodeCache) ? &Cache : nullptr;
+  if (Legacy)
+    Pool = nullptr; // The baseline is strictly single-threaded.
 
-  for (const SnapBufferImage &Buffer : Snap.Buffers) {
-    std::vector<ThreadSegment> Segments =
-        recoverBufferRecords(Buffer, Snap.Threads, Result.Warnings);
-    for (const ThreadSegment &Seg : Segments) {
+  // Phase 1: recover each buffer's per-thread record segments. Buffers
+  // are independent; results land in slots indexed by buffer.
+  struct BufferWork {
+    std::vector<ThreadSegment> Segments;
+    std::vector<std::string> Warnings;
+  };
+  std::vector<BufferWork> Recovered(Snap.Buffers.size());
+  parallelForIndex(Pool, Snap.Buffers.size(), [&](size_t I) {
+    Recovered[I].Segments = recoverBufferRecords(
+        Snap.Buffers[I], Snap.Threads, Recovered[I].Warnings);
+  });
+
+  // Phase 2: build each non-empty segment's events. Segments are
+  // flattened in (buffer, segment) order so the later merge is a linear
+  // walk in that same order.
+  struct SegmentTask {
+    const ThreadSegment *Seg = nullptr;
+    ThreadTrace Trace;
+    std::vector<std::string> Warnings;
+    bool Keep = false;
+  };
+  std::vector<SegmentTask> Tasks;
+  for (BufferWork &B : Recovered)
+    for (ThreadSegment &Seg : B.Segments)
+      if (!Seg.Records.empty()) {
+        SegmentTask T;
+        T.Seg = &Seg;
+        Tasks.push_back(std::move(T));
+      }
+  parallelForIndex(Pool, Tasks.size(), [&](size_t I) {
+    SegmentTask &T = Tasks[I];
+    const ThreadSegment &Seg = *T.Seg;
+    ThreadBuilder Builder(Snap, Maps, T.Warnings, CachePtr, Legacy);
+    ThreadTrace TT;
+    TT.RuntimeId = Snap.RuntimeId;
+    TT.ThreadId = Seg.ThreadId;
+    TT.ProcessName = Snap.ProcessName;
+    TT.MachineName = Snap.MachineName;
+    TT.Tech = Snap.Tech;
+    TT.Truncated = Seg.Truncated;
+    if (Seg.TruncatedAt != SIZE_MAX)
+      TT.TruncatedAt = Seg.TruncatedAt;
+    TT.Events = Builder.build(Seg);
+    // Keep torn-but-empty traces: the TruncatedAt marker itself is the
+    // diagnosis ("this thread's history was cut here").
+    T.Keep = !TT.Events.empty() || TT.TruncatedAt != UINT64_MAX;
+    T.Trace = std::move(TT);
+  });
+
+  // Deterministic merge: warnings and threads in (buffer, segment)
+  // order, exactly as the serial single-pass reconstructor emitted them.
+  size_t NextTask = 0;
+  for (BufferWork &B : Recovered) {
+    for (std::string &W : B.Warnings)
+      Result.Warnings.push_back(std::move(W));
+    for (ThreadSegment &Seg : B.Segments) {
       if (Seg.Records.empty())
         continue;
-      ThreadBuilder Builder(Snap, Maps, Result.Warnings);
-      ThreadTrace TT;
-      TT.RuntimeId = Snap.RuntimeId;
-      TT.ThreadId = Seg.ThreadId;
-      TT.ProcessName = Snap.ProcessName;
-      TT.MachineName = Snap.MachineName;
-      TT.Tech = Snap.Tech;
-      TT.Truncated = Seg.Truncated;
-      if (Seg.TruncatedAt != SIZE_MAX)
-        TT.TruncatedAt = Seg.TruncatedAt;
-      TT.Events = Builder.build(Seg);
-      // Keep torn-but-empty traces: the TruncatedAt marker itself is the
-      // diagnosis ("this thread's history was cut here").
-      if (!TT.Events.empty() || TT.TruncatedAt != UINT64_MAX)
-        Result.Threads.push_back(std::move(TT));
+      SegmentTask &T = Tasks[NextTask++];
+      assert(T.Seg == &Seg && "merge order out of sync");
+      for (std::string &W : T.Warnings)
+        Result.Warnings.push_back(std::move(W));
+      if (T.Keep)
+        Result.Threads.push_back(std::move(T.Trace));
     }
   }
   return Result;

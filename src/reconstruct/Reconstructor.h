@@ -11,16 +11,26 @@
 /// lines, trim at exception addresses, collapse redundant adjacent lines,
 /// and rebuild the call hierarchy from the block annotations.
 ///
+/// At deployment scale the reconstructor is the hot path (group snaps
+/// arrive from thousands of machines), so this stage is built as a batch
+/// pipeline: a memoized DAG-path decode cache shared across records,
+/// buffers and snaps; flat-hash indices for mapfile and module-range
+/// resolution; and optional fan-out of independent buffers and thread
+/// segments over a fixed-size thread pool with a deterministic merge
+/// order — output is byte-identical whatever the worker count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TRACEBACK_RECONSTRUCT_RECONSTRUCTOR_H
 #define TRACEBACK_RECONSTRUCT_RECONSTRUCTOR_H
 
 #include "instrument/MapFile.h"
+#include "reconstruct/DecodeCache.h"
 #include "reconstruct/Trace.h"
 #include "runtime/Snap.h"
+#include "support/FlatMap.h"
+#include "support/ThreadPool.h"
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -30,7 +40,12 @@ namespace traceback {
 /// (the matching rule of paper section 2.3).
 class MapFileStore {
 public:
-  void add(MapFile Map);
+  /// Registers a mapfile. A duplicate checksum replaces the previous
+  /// mapfile (last add wins — re-instrumenting a module produces the
+  /// same checksum, so the newest registration is authoritative) and
+  /// reports the replacement through \p Warning when provided. Returns
+  /// true when the checksum was new.
+  bool add(MapFile Map, std::string *Warning = nullptr);
 
   const MapFile *byChecksum(const MD5Digest &Digest) const;
   const MapFile *byKey(uint64_t ChecksumLow64) const;
@@ -40,7 +55,7 @@ public:
 
 private:
   std::vector<MapFile> Maps;
-  std::map<uint64_t, size_t> Index;
+  FlatMap64<size_t> Index; ///< Checksum low word -> slot in Maps.
 };
 
 /// Decodes the path a DAG record describes. Returns the DAG-local block
@@ -48,18 +63,51 @@ private:
 /// empty vector if \p PathBits is inconsistent with the DAG shape
 /// (corruption). In a DAG, a path is uniquely determined by its set of
 /// bit-carrying blocks; blocks whose execution is implied (single
-/// successor chains) are filled in.
+/// successor chains) are filled in. The walk is an explicit-stack
+/// iterative search hardened against fuzzed mapfiles: out-of-range
+/// successors are ignored and paths longer than the block count (only
+/// possible with cyclic, i.e. corrupt, map data) fail the decode instead
+/// of overflowing the stack.
 std::vector<uint16_t> decodeDagPath(const MapDag &Dag, uint32_t PathBits);
 
-/// Turns one snap into per-thread line traces.
+/// Tuning knobs for reconstruction.
+struct ReconstructOptions {
+  /// Memoize DAG-path decoding in a cache shared across records, buffers
+  /// and snaps. Purely an optimization: output is identical either way.
+  bool UseDecodeCache = true;
+  /// Reproduces the original single-pass reconstructor: per-record
+  /// linear module scan, per-record mapfile lookup, fresh DFS for every
+  /// record, no arena reservations. Kept as the benchmark baseline
+  /// (bench_reconstruct measures the pipeline against it).
+  bool LegacyUncached = false;
+};
+
+/// Turns snaps into per-thread line traces.
 class Reconstructor {
 public:
   explicit Reconstructor(const MapFileStore &Maps) : Maps(Maps) {}
+  Reconstructor(const MapFileStore &Maps, const ReconstructOptions &Opts)
+      : Maps(Maps), Opts(Opts) {}
 
-  ReconstructedTrace reconstruct(const SnapFile &Snap) const;
+  /// Reconstructs one snap. With a non-null \p Pool, buffer recovery and
+  /// thread-segment building fan out across its workers; results are
+  /// merged in (buffer, segment) order, so the trace and its warnings are
+  /// byte-identical to a serial run. Do not pass a pool whose workers
+  /// call back into reconstruct() (one fan-out level per pool).
+  ReconstructedTrace reconstruct(const SnapFile &Snap,
+                                 ThreadPool *Pool = nullptr) const;
+
+  /// Decode-cache statistics (shared across every snap this instance
+  /// reconstructed).
+  const DagPathCache &pathCache() const { return Cache; }
 
 private:
   const MapFileStore &Maps;
+  ReconstructOptions Opts;
+  /// The memoized decode cache. Mutable: caching is invisible in the
+  /// results, and sharing it across const reconstruct() calls is the
+  /// point (batch mode reuses one Reconstructor for a whole directory).
+  mutable DagPathCache Cache;
 };
 
 } // namespace traceback

@@ -1,0 +1,249 @@
+//===- reconstruct/SynthWorkload.cpp - Synthetic snap generator -----------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reconstruct/SynthWorkload.h"
+
+#include "runtime/TraceRecord.h"
+#include "support/MD5.h"
+#include "support/Random.h"
+#include "support/Text.h"
+
+#include <array>
+
+using namespace traceback;
+
+namespace {
+
+/// Bit assignment of one branch level of a generated DAG: both arms and
+/// the join carry a path bit.
+struct LevelBits {
+  int ArmA;
+  int ArmB;
+  int Join;
+};
+
+/// Shape metadata kept alongside each generated DAG so the record
+/// generator can mint path bits that are consistent with it.
+struct DagShape {
+  std::vector<LevelBits> Levels;
+};
+
+/// Builds one DAG: a header block followed by \p Levels diamond levels
+/// (two bit-carrying arms joining into a bit-carrying join block).
+MapDag makeDag(Rng &R, uint32_t RelId, uint16_t FileCount,
+               DagShape &Shape) {
+  MapDag D;
+  D.RelId = RelId;
+  unsigned Levels = 2 + static_cast<unsigned>(R.below(2)); // 2..3 => <=9 bits
+  uint32_t Off = 0;
+  uint32_t Line = 1 + RelId * 64;
+  std::string Fn = formatv("f%u", RelId);
+
+  auto makeBlock = [&](int8_t Bit, unsigned NumLines) {
+    MapBlock B;
+    B.StartOffset = Off;
+    B.BitIndex = Bit;
+    B.Function = Fn;
+    for (unsigned I = 0; I < NumLines; ++I)
+      B.Lines.push_back(
+          {static_cast<uint16_t>(R.below(FileCount)), Line++, Off + I * 4});
+    Off += NumLines * 4 + 4;
+    B.EndOffset = Off;
+    return B;
+  };
+
+  MapBlock Header = makeBlock(-1, 1 + static_cast<unsigned>(R.below(2)));
+  Header.Flags = MBF_FuncEntry;
+  D.Blocks.push_back(std::move(Header));
+
+  // Chain of implied (no-bit) blocks after \p From; returns the last
+  // block of the chain. Real binaries are mostly such blocks: straight-
+  // line code between branches carries no path bit, and many blocks
+  // (compiler-generated, statement continuations) start no new source
+  // line either.
+  auto appendImpliedChain = [&](uint16_t From) {
+    unsigned Len = 4 + static_cast<unsigned>(R.below(6));
+    uint16_t Prev = From;
+    for (unsigned I = 0; I < Len; ++I) {
+      uint16_t Cur = static_cast<uint16_t>(D.Blocks.size());
+      D.Blocks.push_back(makeBlock(-1, I == 0 && R.chance(1, 4) ? 1 : 0));
+      D.Blocks[Prev].Succs = {Cur};
+      Prev = Cur;
+    }
+    return Prev;
+  };
+
+  int8_t Bit = 0;
+  uint16_t Prev = 0;
+  for (unsigned L = 0; L < Levels; ++L) {
+    LevelBits LB{Bit, static_cast<int8_t>(Bit + 1),
+                 static_cast<int8_t>(Bit + 2)};
+    uint16_t ArmA = static_cast<uint16_t>(D.Blocks.size());
+    D.Blocks.push_back(makeBlock(static_cast<int8_t>(LB.ArmA),
+                                 1 + static_cast<unsigned>(R.below(2))));
+    uint16_t ArmB = static_cast<uint16_t>(D.Blocks.size());
+    D.Blocks.push_back(makeBlock(static_cast<int8_t>(LB.ArmB), 1));
+    uint16_t Join = static_cast<uint16_t>(D.Blocks.size());
+    D.Blocks.push_back(makeBlock(static_cast<int8_t>(LB.Join), 1));
+    D.Blocks[Prev].Succs = {ArmA, ArmB};
+    D.Blocks[ArmA].Succs = {Join};
+    D.Blocks[ArmB].Succs = {Join};
+    Prev = appendImpliedChain(Join);
+    Bit = static_cast<int8_t>(Bit + 3);
+    Shape.Levels.push_back(LB);
+  }
+  if (R.chance(1, 2))
+    D.Blocks[Prev].Flags |= MBF_EndsInRet;
+  return D;
+}
+
+/// Path bits of a random valid (possibly partial — the snap can catch a
+/// record before its lightweight probes all fired) walk through \p S.
+uint32_t pickPathBits(Rng &R, const DagShape &S) {
+  uint32_t Bits = 0;
+  size_t Levels = S.Levels.size();
+  bool Full = R.chance(7, 8);
+  size_t Depth = Full ? Levels : R.below(Levels + 1);
+  for (size_t L = 0; L < Depth; ++L) {
+    const LevelBits &LB = S.Levels[L];
+    Bits |= 1u << (R.chance(1, 2) ? LB.ArmA : LB.ArmB);
+    Bits |= 1u << LB.Join;
+  }
+  if (!Full && Depth < Levels && R.chance(1, 2)) {
+    const LevelBits &LB = S.Levels[Depth];
+    Bits |= 1u << (R.chance(1, 2) ? LB.ArmA : LB.ArmB); // Arm, no join yet.
+  }
+  return Bits;
+}
+
+void appendWords(std::vector<uint32_t> &Out,
+                 const std::vector<uint32_t> &In) {
+  Out.insert(Out.end(), In.begin(), In.end());
+}
+
+} // namespace
+
+SynthWorkload traceback::makeSynthWorkload(uint64_t Seed,
+                                           const SynthWorkloadOptions &O) {
+  Rng R(Seed ^ 0x7261636542616b63ULL);
+  SynthWorkload W;
+
+  // ----- Modules + mapfiles ----------------------------------------------
+  struct ModuleShape {
+    uint32_t DagIdBase;
+    std::vector<DagShape> Dags;
+  };
+  std::vector<ModuleShape> Shapes(O.Modules);
+  uint32_t NextBase = 1; // DAG id 0 is reserved as invalid.
+  for (unsigned M = 0; M < O.Modules; ++M) {
+    MapFile Map;
+    Map.ModuleName = formatv("synthmod%u", M);
+    std::string Ident = formatv("synthmod%u#%llu", M,
+                                static_cast<unsigned long long>(Seed));
+    Map.Checksum = MD5::hash(Ident.data(), Ident.size());
+    Map.DagIdBase = NextBase;
+    Map.DagIdCount = O.DagsPerModule;
+    Map.Files = {formatv("synth%u_a.c", M), formatv("synth%u_b.c", M)};
+    Shapes[M].DagIdBase = NextBase;
+    Shapes[M].Dags.resize(O.DagsPerModule);
+    for (unsigned D = 0; D < O.DagsPerModule; ++D)
+      Map.Dags.push_back(makeDag(R, D, 2, Shapes[M].Dags[D]));
+    NextBase += O.DagsPerModule;
+    W.Maps.push_back(std::move(Map));
+
+    SnapModuleInfo MI;
+    MI.Name = W.Maps.back().ModuleName;
+    MI.Checksum = W.Maps.back().Checksum;
+    MI.DagIdBase = W.Maps.back().DagIdBase;
+    MI.DagIdCount = W.Maps.back().DagIdCount;
+    MI.Instrumented = true;
+    W.Snap.Modules.push_back(MI);
+  }
+
+  // ----- The hot set: a few (DAG, path) pairs dominate --------------------
+  struct HotPair {
+    uint32_t DagId;
+    uint32_t Bits;
+  };
+  std::vector<HotPair> Hot;
+  for (unsigned I = 0; I < O.HotPairs; ++I) {
+    unsigned M = static_cast<unsigned>(R.below(O.Modules));
+    unsigned D = static_cast<unsigned>(R.below(O.DagsPerModule));
+    Hot.push_back({Shapes[M].DagIdBase + D,
+                   pickPathBits(R, Shapes[M].Dags[D])});
+  }
+
+  // ----- Per-thread record buffers ---------------------------------------
+  W.Snap.ProcessName = "synthproc";
+  W.Snap.MachineName = "synthhost";
+  W.Snap.OsName = "simos";
+  W.Snap.RuntimeId = Seed | 1;
+  for (unsigned T = 0; T < O.Threads; ++T) {
+    uint64_t Tid = T + 1;
+    std::vector<uint32_t> Data;
+    uint64_t Ts = 1000 * (T + 1);
+    appendWords(Data, encodeExtRecord({ExtType::ThreadStart, 0, {Tid, Ts}}));
+    for (unsigned I = 0; I < O.RecordsPerThread; ++I) {
+      if (I % 64 == 63) {
+        Ts += 1 + R.below(50);
+        appendWords(Data, encodeExtRecord({ExtType::Timestamp, 0, {Ts}}));
+      }
+      if (R.chance(1, 256))
+        appendWords(Data,
+                    encodeExtRecord({ExtType::Sync,
+                                     static_cast<uint16_t>(R.below(4)),
+                                     {R.below(8), R.next() & 0xFFFF,
+                                      R.below(4), Ts}}));
+      uint32_t DagId, Bits;
+      if (O.IncludeCorrupt && R.chance(1, 128)) {
+        if (R.chance(1, 2)) {
+          // Unknown module: an id beyond every range (but not BadDagId).
+          DagId = NextBase + 500 + static_cast<uint32_t>(R.below(100));
+          Bits = static_cast<uint32_t>(R.below(1u << PathBitCount));
+        } else {
+          // Undecodable bits: both arms of the first level set.
+          unsigned M = static_cast<unsigned>(R.below(O.Modules));
+          unsigned D = static_cast<unsigned>(R.below(O.DagsPerModule));
+          const LevelBits &LB = Shapes[M].Dags[D].Levels[0];
+          DagId = Shapes[M].DagIdBase + D;
+          Bits = (1u << LB.ArmA) | (1u << LB.ArmB);
+        }
+      } else if (R.chance(O.HotPercent, 100) && !Hot.empty()) {
+        const HotPair &H = Hot[R.below(Hot.size())];
+        DagId = H.DagId;
+        Bits = H.Bits;
+      } else {
+        unsigned M = static_cast<unsigned>(R.below(O.Modules));
+        unsigned D = static_cast<unsigned>(R.below(O.DagsPerModule));
+        DagId = Shapes[M].DagIdBase + D;
+        Bits = pickPathBits(R, Shapes[M].Dags[D]);
+      }
+      Data.push_back(makeDagRecord(DagId) | Bits);
+      ++W.DagRecords;
+    }
+
+    SnapBufferImage B;
+    B.Index = T;
+    B.SubBufferWords = static_cast<uint32_t>(Data.size() + 1);
+    B.SubBufferCount = 1;
+    B.CommittedSubBuffer = UINT32_MAX;
+    B.OwnerThread = Tid;
+    B.RecordsBase = 0x100000ull * (T + 1);
+    std::vector<uint32_t> Words = Data;
+    Words.push_back(SentinelRecord);
+    B.Raw.resize(Words.size() * 4);
+    for (size_t I = 0; I < Words.size(); ++I)
+      for (int J = 0; J < 4; ++J)
+        B.Raw[I * 4 + J] = static_cast<uint8_t>(Words[I] >> (J * 8));
+    W.Snap.Buffers.push_back(std::move(B));
+
+    SnapThreadInfo TI;
+    TI.ThreadId = Tid;
+    TI.Cursor = 0x100000ull * (T + 1) + (Data.size() - 1) * 4;
+    W.Snap.Threads.push_back(TI);
+  }
+  return W;
+}

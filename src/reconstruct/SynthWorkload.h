@@ -1,0 +1,59 @@
+//===- reconstruct/SynthWorkload.h - Synthetic snap generator ---*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of synthetic mapfile + snap workloads for the
+/// reconstruction bench and property tests. Running real guests through
+/// the VM cannot produce the volumes batch reconstruction must handle
+/// (thousands of machines' group snaps), so this builds the on-disk
+/// shapes directly: many modules with many multi-level branch DAGs, and
+/// per-thread ring buffers full of DAG records whose path bits are drawn
+/// from a skewed hot-pair distribution — the redundancy profile real
+/// traces show — plus timestamps, SYNCs and (optionally) corrupt records
+/// to exercise the warning paths.
+///
+/// Everything derives from one seed, so a workload is bit-for-bit
+/// reproducible across runs, jobs counts and cache settings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_RECONSTRUCT_SYNTHWORKLOAD_H
+#define TRACEBACK_RECONSTRUCT_SYNTHWORKLOAD_H
+
+#include "instrument/MapFile.h"
+#include "runtime/Snap.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace traceback {
+
+struct SynthWorkloadOptions {
+  unsigned Modules = 8;
+  unsigned DagsPerModule = 16;
+  unsigned Threads = 4;
+  unsigned RecordsPerThread = 2000;
+  /// Number of distinct hot (DAG, path-bits) pairs records cluster on.
+  unsigned HotPairs = 24;
+  /// Percentage of DAG records drawn from the hot set.
+  unsigned HotPercent = 90;
+  /// Sprinkle unknown-module ids and undecodable path bits (~1%).
+  bool IncludeCorrupt = true;
+};
+
+struct SynthWorkload {
+  std::vector<MapFile> Maps;
+  SnapFile Snap;
+  /// DAG records across all buffers (the bench's unit of throughput).
+  uint64_t DagRecords = 0;
+};
+
+SynthWorkload makeSynthWorkload(uint64_t Seed,
+                                const SynthWorkloadOptions &Opts = {});
+
+} // namespace traceback
+
+#endif // TRACEBACK_RECONSTRUCT_SYNTHWORKLOAD_H

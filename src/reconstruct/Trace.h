@@ -16,6 +16,7 @@
 
 #include "isa/Module.h"
 #include "runtime/TraceRecord.h"
+#include "support/StringPool.h"
 
 #include <cstdint>
 #include <string>
@@ -37,10 +38,12 @@ struct TraceEvent {
 
   Kind EventKind = Kind::Line;
 
-  // Line events.
-  std::string Module;
-  std::string File;
-  std::string Function;
+  // Line events. Names are interned (see support/StringPool.h): events
+  // repeat the same few names millions of times, and a reconstructed
+  // trace must stay valid after its snap and mapfiles are gone.
+  InternedString Module;
+  InternedString File;
+  InternedString Function;
   uint32_t Line = 0;
   uint32_t Repeat = 1;     ///< Consecutive executions collapsed.
   uint8_t BlockFlags = 0;  ///< MapBlockFlags of the source block.

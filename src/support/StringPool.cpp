@@ -1,0 +1,27 @@
+//===- support/StringPool.cpp - Process-wide string interning -------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringPool.h"
+
+#include <mutex>
+#include <unordered_set>
+
+using namespace traceback;
+
+const std::string &traceback::emptyPooledString() {
+  static const std::string Empty;
+  return Empty;
+}
+
+const std::string &traceback::internString(const std::string &S) {
+  if (S.empty())
+    return emptyPooledString();
+  // node-based container: element addresses are stable across rehash.
+  static std::unordered_set<std::string> Pool;
+  static std::mutex PoolMutex;
+  std::lock_guard<std::mutex> Lock(PoolMutex);
+  return *Pool.insert(S).first;
+}

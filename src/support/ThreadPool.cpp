@@ -1,0 +1,80 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace traceback;
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads < 1)
+    Threads = 1;
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::run(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Queue.push_back(std::move(Task));
+    ++InFlight;
+  }
+  WorkReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(M);
+  AllDone.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (--InFlight == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+unsigned ThreadPool::resolveJobs(int Requested) {
+  if (Requested >= 1)
+    return static_cast<unsigned>(Requested);
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+void traceback::parallelForIndex(ThreadPool *Pool, size_t N,
+                                 const std::function<void(size_t)> &Fn) {
+  if (!Pool || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  for (size_t I = 0; I < N; ++I)
+    Pool->run([&Fn, I] { Fn(I); });
+  Pool->wait();
+}

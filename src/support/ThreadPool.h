@@ -1,0 +1,74 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool for the offline pipeline (batch trace
+/// reconstruction fans out across buffers, thread segments and snaps).
+/// Tasks are plain `std::function<void()>`; callers that need
+/// deterministic output write results into pre-sized slots indexed by
+/// task number and merge in index order after `wait()` — completion
+/// order never leaks into results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_SUPPORT_THREADPOOL_H
+#define TRACEBACK_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace traceback {
+
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (clamped to at least 1).
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void run(std::function<void()> Task);
+
+  /// Blocks until every queued and running task has finished. The caller
+  /// must not enqueue concurrently with wait(), and a task must never
+  /// call wait() on its own pool (its own in-flight count would keep the
+  /// wait from returning) — fan out at one level per pool.
+  void wait();
+
+  /// Maps a --jobs style request to a worker count: values < 1 mean
+  /// "one per hardware thread".
+  static unsigned resolveJobs(int Requested);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex M;
+  std::condition_variable WorkReady; ///< Signals workers.
+  std::condition_variable AllDone;   ///< Signals wait().
+  size_t InFlight = 0;               ///< Queued + currently running.
+  bool Stopping = false;
+};
+
+/// Runs `Fn(0) .. Fn(N-1)`, fanning out on \p Pool when it is non-null
+/// and more than one index exists, inline otherwise. Returns after all
+/// indices completed. \p Fn must be safe to call concurrently.
+void parallelForIndex(ThreadPool *Pool, size_t N,
+                      const std::function<void(size_t)> &Fn);
+
+} // namespace traceback
+
+#endif // TRACEBACK_SUPPORT_THREADPOOL_H

@@ -14,6 +14,8 @@
 //   tbtool mapinfo <map.tbmap>
 //   tbtool snapinfo <snap.tbsnap>
 //   tbtool reconstruct <snap.tbsnap> <map.tbmap>... [--thread N] [--tree]
+//                      [--jobs N] [--no-cache]
+//   tbtool reconstruct --batch <dir> [--jobs N] [--no-cache] [--render]
 //   tbtool run <mod.tbo>... [--entry NAME] [--policy FILE] [--snap-dir D]
 //   tbtool inject <mod.tbo>... --seed S [--plan FILE] [--entry NAME]
 //
@@ -30,8 +32,12 @@
 #include "support/Text.h"
 #include "vm/Syscalls.h"
 
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -50,7 +56,9 @@ int usage() {
       "  tbtool mapinfo <map.tbmap>\n"
       "  tbtool snapinfo <snap.tbsnap>\n"
       "  tbtool reconstruct <snap.tbsnap> <map.tbmap>... [--thread N] "
-      "[--tree]\n"
+      "[--tree] [--jobs N] [--no-cache]\n"
+      "  tbtool reconstruct --batch <dir> [--jobs N] [--no-cache] "
+      "[--render]\n"
       "  tbtool run <mod.tbo>... [--entry NAME] [--policy FILE] "
       "[--snap-dir DIR]\n"
       "  tbtool inject <mod.tbo>... --seed S [--plan FILE] "
@@ -230,9 +238,133 @@ int cmdSnapInfo(std::vector<std::string> Args) {
   return 0;
 }
 
+/// Renders one reconstructed snap the way the single-snap command does.
+std::string renderReconstruction(const SnapFile &Snap,
+                                 const ReconstructedTrace &Trace,
+                                 bool Tree) {
+  std::string Out = renderFaultView(Snap, Trace);
+  Out += "\n";
+  for (const ThreadTrace &T : Trace.Threads) {
+    Out += Tree ? renderCallTree(T) : renderFlatTrace(T);
+    Out += "\n";
+  }
+  return Out;
+}
+
+/// Batch mode: reconstruct every .tbsnap in a directory against every
+/// .tbmap found there, fanning snaps out across a worker pool. Output
+/// is ordered by snap path regardless of completion order.
+int cmdReconstructBatch(const std::string &Dir, int Jobs, bool NoCache,
+                        bool Render) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> SnapPaths, MapPaths;
+  std::error_code EC;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, EC)) {
+    if (!E.is_regular_file())
+      continue;
+    std::string Ext = E.path().extension().string();
+    if (Ext == ".tbsnap")
+      SnapPaths.push_back(E.path().string());
+    else if (Ext == ".tbmap")
+      MapPaths.push_back(E.path().string());
+  }
+  if (EC) {
+    std::fprintf(stderr, "cannot read directory %s: %s\n", Dir.c_str(),
+                 EC.message().c_str());
+    return 1;
+  }
+  std::sort(SnapPaths.begin(), SnapPaths.end());
+  std::sort(MapPaths.begin(), MapPaths.end());
+  if (SnapPaths.empty()) {
+    std::fprintf(stderr, "no .tbsnap files in %s\n", Dir.c_str());
+    return 1;
+  }
+
+  MapFileStore Store;
+  for (const std::string &Path : MapPaths) {
+    MapFile Map;
+    if (!loadMapFile(Path, Map)) {
+      std::fprintf(stderr, "cannot load %s\n", Path.c_str());
+      return 1;
+    }
+    std::string Warning;
+    if (!Store.add(std::move(Map), &Warning))
+      std::fprintf(stderr, "warning: %s\n", Warning.c_str());
+  }
+
+  ReconstructOptions Opts;
+  Opts.UseDecodeCache = !NoCache;
+  Reconstructor R(Store, Opts);
+
+  unsigned Workers = ThreadPool::resolveJobs(Jobs);
+  ThreadPool Pool(Workers);
+  // One fan-out level per pool: across snaps when there are several,
+  // within the snap when there is just one.
+  bool AcrossSnaps = SnapPaths.size() > 1;
+
+  struct SnapResult {
+    bool Loaded = false;
+    std::string Summary;
+    std::vector<std::string> Warnings;
+  };
+  std::vector<SnapResult> Results(SnapPaths.size());
+  parallelForIndex(AcrossSnaps ? &Pool : nullptr, SnapPaths.size(),
+                   [&](size_t I) {
+                     SnapResult &Res = Results[I];
+                     SnapFile Snap;
+                     if (!loadSnap(SnapPaths[I], Snap))
+                       return;
+                     Res.Loaded = true;
+                     ReconstructedTrace Trace =
+                         R.reconstruct(Snap, AcrossSnaps ? nullptr : &Pool);
+                     size_t Events = 0;
+                     for (const ThreadTrace &T : Trace.Threads)
+                       Events += T.Events.size();
+                     Res.Summary = formatv(
+                         "%s: reason=%s threads=%zu events=%zu warnings=%zu",
+                         SnapPaths[I].c_str(),
+                         snapReasonName(Snap.Reason).c_str(),
+                         Trace.Threads.size(), Events,
+                         Trace.Warnings.size());
+                     Res.Warnings = Trace.Warnings;
+                     if (Render)
+                       writeFileText(SnapPaths[I] + ".trace.txt",
+                                     renderReconstruction(Snap, Trace,
+                                                          /*Tree=*/false));
+                   });
+
+  int Failures = 0;
+  for (size_t I = 0; I < Results.size(); ++I) {
+    if (!Results[I].Loaded) {
+      std::fprintf(stderr, "cannot load %s\n", SnapPaths[I].c_str());
+      ++Failures;
+      continue;
+    }
+    for (const std::string &W : Results[I].Warnings)
+      std::fprintf(stderr, "warning: %s\n", W.c_str());
+    std::printf("%s\n", Results[I].Summary.c_str());
+  }
+  std::printf("batch: %zu snaps, %zu mapfiles, jobs=%u, decode cache %s "
+              "(%llu hits, %llu misses)\n",
+              SnapPaths.size(), Store.size(), Workers,
+              NoCache ? "off" : "on",
+              static_cast<unsigned long long>(R.pathCache().hits()),
+              static_cast<unsigned long long>(R.pathCache().misses()));
+  return Failures ? 1 : 0;
+}
+
 int cmdReconstruct(std::vector<std::string> Args) {
   bool Tree = hasFlag(Args, "--tree");
+  bool NoCache = hasFlag(Args, "--no-cache");
+  bool Render = hasFlag(Args, "--render");
   std::string ThreadStr = flagValue(Args, "--thread", "");
+  std::string JobsStr = flagValue(Args, "--jobs", "1");
+  std::string BatchDir = flagValue(Args, "--batch", "");
+  int64_t Jobs = 1;
+  parseInt(JobsStr, Jobs);
+  if (!BatchDir.empty())
+    return cmdReconstructBatch(BatchDir, static_cast<int>(Jobs), NoCache,
+                               Render);
   if (Args.size() < 2)
     return usage();
   SnapFile Snap;
@@ -247,10 +379,20 @@ int cmdReconstruct(std::vector<std::string> Args) {
       std::fprintf(stderr, "cannot load %s\n", Args[I].c_str());
       return 1;
     }
-    Store.add(std::move(Map));
+    std::string Warning;
+    if (!Store.add(std::move(Map), &Warning))
+      std::fprintf(stderr, "warning: %s\n", Warning.c_str());
   }
-  Reconstructor R(Store);
-  ReconstructedTrace Trace = R.reconstruct(Snap);
+  ReconstructOptions Opts;
+  Opts.UseDecodeCache = !NoCache;
+  Reconstructor R(Store, Opts);
+  ReconstructedTrace Trace;
+  if (Jobs > 1) {
+    ThreadPool Pool(ThreadPool::resolveJobs(static_cast<int>(Jobs)));
+    Trace = R.reconstruct(Snap, &Pool);
+  } else {
+    Trace = R.reconstruct(Snap);
+  }
   for (const std::string &W : Trace.Warnings)
     std::fprintf(stderr, "warning: %s\n", W.c_str());
 
