@@ -26,6 +26,7 @@
 #include "reconstruct/Reconstructor.h"
 #include "reconstruct/SynthWorkload.h"
 #include "reconstruct/Views.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
@@ -89,7 +90,8 @@ struct VariantResult {
 
 void writeJson(const std::vector<VariantResult> &Variants,
                const SynthWorkloadOptions &O, uint64_t Records,
-               uint64_t CacheHits, uint64_t CacheMisses) {
+               uint64_t CacheHits, uint64_t CacheMisses,
+               const MetricsSnapshot &Metrics) {
   std::string J = "{\n  \"bench\": \"reconstruct\",\n";
   J += formatv("  \"host_hw_threads\": %u,\n",
                std::thread::hardware_concurrency());
@@ -109,10 +111,19 @@ void writeJson(const std::vector<VariantResult> &Variants,
                  I + 1 < Variants.size() ? "," : "");
   }
   J += "  ],\n";
-  J += formatv("  \"decode_cache\": {\"hits\": %llu, \"misses\": %llu}\n",
+  J += formatv("  \"decode_cache\": {\"hits\": %llu, \"misses\": %llu},\n",
                static_cast<unsigned long long>(CacheHits),
                static_cast<unsigned long long>(CacheMisses));
-  J += "}\n";
+  // The registry snapshot accumulated across every variant run: cache
+  // hit/miss counters, record throughput and per-phase latency
+  // histograms, in the same schema `tbtool metrics` prints.
+  J += "  \"metrics\": ";
+  for (char C : Metrics.toJson(2)) {
+    J += C;
+    if (C == '\n')
+      J += "  ";
+  }
+  J += "\n}\n";
   // The ctest smoke run must not clobber a real measurement.
   const char *Name = smokeMode() ? "BENCH_reconstruct_smoke.json"
                                  : "BENCH_reconstruct.json";
@@ -143,9 +154,9 @@ void printPipelineBench() {
     unsigned Jobs; // 1 = no pool
   };
   ReconstructOptions Legacy;
-  Legacy.LegacyUncached = true;
+  Legacy.Cache.LegacyUncached = true;
   ReconstructOptions Uncached;
-  Uncached.UseDecodeCache = false;
+  Uncached.Cache.Enabled = false;
   ReconstructOptions Cached;
   std::vector<Config> Configs = {
       {"legacy_1t_uncached", Legacy, 1},
@@ -168,8 +179,11 @@ void printPipelineBench() {
   std::vector<VariantResult> Results;
   std::string Reference;
   uint64_t CacheHits = 0, CacheMisses = 0;
+  // All variants measure into one local registry (not the process-global
+  // one) so the JSON only reflects this bench's work.
+  MetricsRegistry Registry;
   for (const Config &C : Configs) {
-    Reconstructor R(Store, C.Opts);
+    Reconstructor R(Store, C.Opts, &Registry);
     std::unique_ptr<ThreadPool> Pool;
     if (C.Jobs > 1)
       Pool = std::make_unique<ThreadPool>(C.Jobs);
@@ -201,7 +215,7 @@ void printPipelineBench() {
     V.Seconds = Best;
     V.RecordsPerSec = static_cast<double>(W.DagRecords) / Best;
     Results.push_back(V);
-    if (!C.Opts.LegacyUncached && C.Opts.UseDecodeCache) {
+    if (!C.Opts.legacyUncached() && C.Opts.Cache.Enabled) {
       CacheHits = R.pathCache().hits();
       CacheMisses = R.pathCache().misses();
     }
@@ -216,7 +230,8 @@ void printPipelineBench() {
   std::printf("all %zu variants rendered byte-identical traces\n\n",
               Configs.size());
 
-  writeJson(Results, O, W.DagRecords, CacheHits, CacheMisses);
+  writeJson(Results, O, W.DagRecords, CacheHits, CacheMisses,
+            Registry.snapshot());
 }
 
 // ---------------------------------------------------------------------------
@@ -248,7 +263,7 @@ const MapFileStore &smallStore() {
 
 void BM_ReconstructLegacy(benchmark::State &State) {
   ReconstructOptions Opts;
-  Opts.LegacyUncached = true;
+  Opts.Cache.LegacyUncached = true;
   Reconstructor R(smallStore(), Opts);
   for (auto _ : State) {
     ReconstructedTrace T = R.reconstruct(smallWorkload().Snap);

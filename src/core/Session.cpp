@@ -15,10 +15,13 @@
 
 using namespace traceback;
 
-/// Fans snaps out to the deployment's archive.
+/// Fans snaps out to the deployment's archive. Speaks the versioned
+/// consumer interface so daemon-relayed telemetry is not dropped on the
+/// floor (it is merely acknowledged; the registry already has the data).
 class Deployment::Collector : public SnapSink {
 public:
   explicit Collector(std::vector<SnapFile> &Snaps) : Snaps(Snaps) {}
+  unsigned consumerVersion() const override { return Versioned; }
   void onSnap(const SnapFile &Snap) override { Snaps.push_back(Snap); }
 
 private:
@@ -40,7 +43,7 @@ Machine *Deployment::addMachine(const std::string &Name,
                                 int64_t ClockOffset, uint64_t RateNum,
                                 uint64_t RateDen) {
   Machine *M = W.createMachine(Name, OsName, ClockOffset, RateNum, RateDen);
-  auto Daemon = std::make_unique<ServiceDaemon>(*M, Sink.get());
+  auto Daemon = std::make_unique<ServiceDaemon>(*M, Sink.get(), Metrics);
   // Daemons on different machines forward group snaps to each other.
   for (auto &Other : Daemons) {
     Other->addPeer(Daemon.get());
@@ -65,7 +68,7 @@ TracebackRuntime *Deployment::runtimeFor(Process &P, Technology Tech) {
   ServiceDaemon *Daemon = P.Host ? daemonFor(*P.Host) : nullptr;
   SnapSink *RtSink = Daemon ? static_cast<SnapSink *>(Daemon) : Sink.get();
   auto RT = std::make_unique<TracebackRuntime>(
-      P, Tech, Policy, RtSink, UseBaseFile ? &BaseFile : nullptr);
+      P, Tech, Policy, RtSink, UseBaseFile ? &BaseFile : nullptr, Metrics);
   TracebackRuntime *Result = RT.get();
   P.attachRuntime(Result);
   if (Daemon)
@@ -106,7 +109,7 @@ LoadedModule *Deployment::deploy(Process &P, const Module &Orig,
 }
 
 ReconstructedTrace Deployment::reconstruct(const SnapFile &Snap) const {
-  Reconstructor R(Maps);
+  Reconstructor R(Maps, Metrics);
   return R.reconstruct(Snap);
 }
 

@@ -91,6 +91,10 @@ public:
   /// Optional DAG base file consulted by new runtimes.
   DagBaseFile BaseFile;
   bool UseBaseFile = false;
+  /// Registry that receives self-telemetry from runtimes, daemons and
+  /// reconstruction created by this deployment. Set before addMachine /
+  /// deploy to isolate a test; null = the process-global registry.
+  MetricsRegistry *Metrics = nullptr;
 
 private:
   class Collector;

@@ -8,12 +8,34 @@
 
 using namespace traceback;
 
+ServiceDaemon::ServiceDaemon(Machine &M, SnapSink *Downstream,
+                             MetricsRegistry *Metrics)
+    : M(M), Downstream(Downstream) {
+  MetricsRegistry &Reg = Metrics ? *Metrics : MetricsRegistry::global();
+  DM.SnapsReceived = &Reg.counter("daemon.snaps_received");
+  DM.GroupSnapFanout = &Reg.counter("daemon.group_snap_fanout");
+  DM.HeartbeatSamples = &Reg.counter("daemon.heartbeat_samples");
+  DM.HangSnaps = &Reg.counter("daemon.hang_snaps");
+  DM.PostMortemSnaps = &Reg.counter("daemon.postmortem_snaps");
+  DM.TelemetryForwarded = &Reg.counter("daemon.telemetry_forwarded");
+  DM.WatchedProcesses = &Reg.gauge("daemon.watched_processes");
+}
+
 void ServiceDaemon::watch(Process &P, TracebackRuntime &RT,
                           const std::string &Group) {
   Processes.push_back({&P, &RT, Group, 0, false});
+  DM.WatchedProcesses->add(1);
+}
+
+void ServiceDaemon::onTelemetry(uint64_t RuntimeId,
+                                const MetricsSnapshot &Snapshot) {
+  DM.TelemetryForwarded->add();
+  if (Downstream && Downstream->consumerVersion() >= Versioned)
+    Downstream->onTelemetry(RuntimeId, Snapshot);
 }
 
 void ServiceDaemon::onSnap(const SnapFile &Snap) {
+  DM.SnapsReceived->add();
   if (Downstream)
     Downstream->onSnap(Snap);
   // Group snaps are best-effort and must not recurse: peers are snapped
@@ -42,6 +64,7 @@ void ServiceDaemon::groupSnap(const std::string &Group, uint64_t ExceptPid) {
     // The group snap is "not perfectly synchronized but useful in
     // practice" (section 3.6.1) — it is taken when the notification
     // arrives, not at the fault instant.
+    DM.GroupSnapFanout->add();
     W.RT->takeSnap(SnapReason::GroupPeer, 0);
   }
 }
@@ -50,6 +73,7 @@ void ServiceDaemon::sampleHeartbeats() {
   for (Watched &W : Processes) {
     W.LastSample = W.P->totalInstrRetired();
     W.SeenSample = true;
+    DM.HeartbeatSamples->add();
   }
 }
 
@@ -69,6 +93,7 @@ size_t ServiceDaemon::snapHungProcesses() {
   for (Process *P : detectHangs()) {
     for (const Watched &W : Processes)
       if (W.P == P) {
+        DM.HangSnaps->add();
         W.RT->takeSnap(SnapReason::Hang, 0);
         ++Count;
       }
@@ -83,6 +108,7 @@ std::vector<SnapFile> ServiceDaemon::collectPostMortem(Process &P) {
       continue;
     // The buffers live in the process's memory image (the memory-mapped
     // file); takeSnap reads them from there regardless of process state.
+    DM.PostMortemSnaps->add();
     Result.push_back(W.RT->takeSnap(SnapReason::External, 0));
   }
   return Result;

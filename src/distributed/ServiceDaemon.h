@@ -31,8 +31,10 @@ namespace traceback {
 /// One machine's TraceBack service process.
 class ServiceDaemon : public SnapSink {
 public:
-  ServiceDaemon(Machine &M, SnapSink *Downstream)
-      : M(M), Downstream(Downstream) {}
+  /// \p Metrics is where the daemon's own counters land ("daemon." family;
+  /// null = the process-global registry).
+  ServiceDaemon(Machine &M, SnapSink *Downstream,
+                MetricsRegistry *Metrics = nullptr);
 
   Machine &machine() { return M; }
 
@@ -47,9 +49,16 @@ public:
 
   // --- SnapSink ----------------------------------------------------------
 
+  /// The daemon speaks the versioned consumer interface, so runtimes hand
+  /// it telemetry along with each snap.
+  unsigned consumerVersion() const override { return Versioned; }
+
   /// Receives a snap from a watched runtime: forwards it downstream and
   /// triggers group snaps on the faulting process's peers.
   void onSnap(const SnapFile &Snap) override;
+
+  /// Counts and relays producer telemetry to a versioned downstream.
+  void onTelemetry(uint64_t RuntimeId, const MetricsSnapshot &Snapshot) override;
 
   // --- Heartbeats (section 3.7.5) ----------------------------------------
 
@@ -85,6 +94,18 @@ private:
   std::vector<Watched> Processes;
   std::vector<ServiceDaemon *> Peers;
   bool InGroupSnap = false;
+
+  /// "daemon." instruments, resolved once at construction.
+  struct Instruments {
+    Counter *SnapsReceived = nullptr;
+    Counter *GroupSnapFanout = nullptr;
+    Counter *HeartbeatSamples = nullptr;
+    Counter *HangSnaps = nullptr;
+    Counter *PostMortemSnaps = nullptr;
+    Counter *TelemetryForwarded = nullptr;
+    Gauge *WatchedProcesses = nullptr;
+  };
+  Instruments DM;
 };
 
 } // namespace traceback

@@ -25,6 +25,7 @@
 
 #include "instrument/MapFile.h"
 #include "support/FlatMap.h"
+#include "support/Metrics.h"
 
 #include <atomic>
 #include <cstdint>
@@ -48,6 +49,14 @@ public:
 
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+
+  /// Mirrors hit/miss counts into \p Reg as "reconstruct.cache_hits" /
+  /// "reconstruct.cache_misses" (in addition to the local atomics, which
+  /// stay authoritative for pathCache() consumers).
+  void attachRegistry(MetricsRegistry &Reg) {
+    HitCounter = &Reg.counter("reconstruct.cache_hits");
+    MissCounter = &Reg.counter("reconstruct.cache_misses");
+  }
 
 private:
   struct Key {
@@ -74,6 +83,8 @@ private:
   Shard Shards[ShardCount];
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
+  Counter *HitCounter = nullptr;
+  Counter *MissCounter = nullptr;
 };
 
 } // namespace traceback

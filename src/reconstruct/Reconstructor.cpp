@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace traceback;
 
@@ -529,6 +530,10 @@ void ThreadBuilder::emitExt(const ExtRecord &Rec) {
   case ExtType::SnapMark:
   case ExtType::Pad:
     return; // Pads exist only to absorb stray lightweight OR bits.
+  case ExtType::Telemetry:
+    // Telemetry lives in the snap's dedicated stream, never in a thread
+    // ring buffer; a TELEMETRY record inside one is corruption — skip it.
+    return;
   }
 }
 
@@ -638,17 +643,54 @@ std::vector<TraceEvent> ThreadBuilder::build(const ThreadSegment &Segment) {
 // Reconstructor.
 // ----------------------------------------------------------------------------
 
+Reconstructor::Reconstructor(const MapFileStore &Maps,
+                             const ReconstructOptions &Opts,
+                             MetricsRegistry *Metrics)
+    : Maps(Maps), Opts(Opts) {
+  MetricsRegistry &Reg = Metrics ? *Metrics : MetricsRegistry::global();
+  M.Snaps = &Reg.counter("reconstruct.snaps");
+  M.Records = &Reg.counter("reconstruct.records");
+  M.SnapUs = &Reg.histogram("reconstruct.snap_us");
+  M.PhaseRecoverUs = &Reg.histogram("reconstruct.phase_recover_us");
+  M.PhaseBuildUs = &Reg.histogram("reconstruct.phase_build_us");
+  M.PhaseMergeUs = &Reg.histogram("reconstruct.phase_merge_us");
+  Cache.attachRegistry(Reg);
+}
+
+namespace {
+/// Microseconds since \p Since, for the per-phase wall-time histograms.
+/// Timing never feeds back into decoding, so metrics cannot perturb the
+/// reconstructed bytes.
+uint64_t usSince(std::chrono::steady_clock::time_point Since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Since)
+          .count());
+}
+} // namespace
+
 ReconstructedTrace Reconstructor::reconstruct(const SnapFile &Snap,
                                               ThreadPool *Pool) const {
+  auto SnapStart = std::chrono::steady_clock::now();
   ReconstructedTrace Result;
-  const bool Legacy = Opts.LegacyUncached;
+  const bool Legacy = Opts.legacyUncached();
   DagPathCache *CachePtr =
-      (!Legacy && Opts.UseDecodeCache) ? &Cache : nullptr;
+      (!Legacy && Opts.Cache.Enabled) ? &Cache : nullptr;
   if (Legacy)
     Pool = nullptr; // The baseline is strictly single-threaded.
 
+  M.Snaps->add();
+  if (Opts.Render.DecodeTelemetry && !Snap.Telemetry.empty()) {
+    std::string Json;
+    if (decodeTelemetryRecords(Snap.Telemetry, Json))
+      Result.TelemetryJson = std::move(Json);
+    else
+      Result.Warnings.push_back("snap telemetry stream is torn; ignored");
+  }
+
   // Phase 1: recover each buffer's per-thread record segments. Buffers
   // are independent; results land in slots indexed by buffer.
+  auto PhaseStart = std::chrono::steady_clock::now();
   struct BufferWork {
     std::vector<ThreadSegment> Segments;
     std::vector<std::string> Warnings;
@@ -658,10 +700,12 @@ ReconstructedTrace Reconstructor::reconstruct(const SnapFile &Snap,
     Recovered[I].Segments = recoverBufferRecords(
         Snap.Buffers[I], Snap.Threads, Recovered[I].Warnings);
   });
+  M.PhaseRecoverUs->observe(usSince(PhaseStart));
 
   // Phase 2: build each non-empty segment's events. Segments are
   // flattened in (buffer, segment) order so the later merge is a linear
   // walk in that same order.
+  PhaseStart = std::chrono::steady_clock::now();
   struct SegmentTask {
     const ThreadSegment *Seg = nullptr;
     ThreadTrace Trace;
@@ -695,9 +739,15 @@ ReconstructedTrace Reconstructor::reconstruct(const SnapFile &Snap,
     T.Keep = !TT.Events.empty() || TT.TruncatedAt != UINT64_MAX;
     T.Trace = std::move(TT);
   });
+  M.PhaseBuildUs->observe(usSince(PhaseStart));
+  uint64_t RecordCount = 0;
+  for (const SegmentTask &T : Tasks)
+    RecordCount += T.Seg->Records.size();
+  M.Records->add(RecordCount);
 
   // Deterministic merge: warnings and threads in (buffer, segment)
   // order, exactly as the serial single-pass reconstructor emitted them.
+  PhaseStart = std::chrono::steady_clock::now();
   size_t NextTask = 0;
   for (BufferWork &B : Recovered) {
     for (std::string &W : B.Warnings)
@@ -713,5 +763,7 @@ ReconstructedTrace Reconstructor::reconstruct(const SnapFile &Snap,
         Result.Threads.push_back(std::move(T.Trace));
     }
   }
+  M.PhaseMergeUs->observe(usSince(PhaseStart));
+  M.SnapUs->observe(usSince(SnapStart));
   return Result;
 }

@@ -70,24 +70,69 @@ private:
 /// of overflowing the stack.
 std::vector<uint16_t> decodeDagPath(const MapDag &Dag, uint32_t PathBits);
 
-/// Tuning knobs for reconstruction.
+/// Tuning knobs for reconstruction, grouped by concern so new knobs land
+/// in the right sub-struct instead of widening one flat bag.
+// The pragma covers the whole struct: the deprecated flat alias below is
+// referenced by the implicitly-defined special members (via its default
+// member initializer), which GCC attributes to the struct declaration.
+// External assignments to the alias still warn at their own use sites.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 struct ReconstructOptions {
-  /// Memoize DAG-path decoding in a cache shared across records, buffers
-  /// and snaps. Purely an optimization: output is identical either way.
-  bool UseDecodeCache = true;
-  /// Reproduces the original single-pass reconstructor: per-record
-  /// linear module scan, per-record mapfile lookup, fresh DFS for every
-  /// record, no arena reservations. Kept as the benchmark baseline
-  /// (bench_reconstruct measures the pipeline against it).
-  bool LegacyUncached = false;
+  struct CacheOptions {
+    /// Memoize DAG-path decoding in a cache shared across records,
+    /// buffers and snaps. Purely an optimization: output is identical
+    /// either way.
+    bool Enabled = true;
+    /// Reproduces the original single-pass reconstructor: per-record
+    /// linear module scan, per-record mapfile lookup, fresh DFS for every
+    /// record, no arena reservations. Kept as the benchmark baseline
+    /// (bench_reconstruct measures the pipeline against it).
+    bool LegacyUncached = false;
+  };
+  struct ParallelOptions {
+    /// Worker count batch drivers should use (<= 0 = hardware threads).
+    /// reconstruct() itself takes an explicit pool; this is the knob the
+    /// tool/bench layer sizes that pool from.
+    int Jobs = 1;
+  };
+  struct RenderOptions {
+    /// Render the call hierarchy as an indented tree (tool layer).
+    bool Tree = false;
+    /// Decode the snap's embedded TELEMETRY stream into
+    /// ReconstructedTrace::TelemetryJson.
+    bool DecodeTelemetry = true;
+  };
+
+  CacheOptions Cache;
+  ParallelOptions Parallel;
+  RenderOptions Render;
+
+  /// Pre-regroup spelling of Cache.LegacyUncached; OR-ed into the
+  /// effective value so existing callers keep working for one release.
+  [[deprecated("use Cache.LegacyUncached instead")]] bool LegacyUncached =
+      false;
+
+  /// The value reconstruction actually honors (either spelling wins).
+  bool legacyUncached() const { return Cache.LegacyUncached || LegacyUncached; }
 };
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 /// Turns snaps into per-thread line traces.
 class Reconstructor {
 public:
-  explicit Reconstructor(const MapFileStore &Maps) : Maps(Maps) {}
-  Reconstructor(const MapFileStore &Maps, const ReconstructOptions &Opts)
-      : Maps(Maps), Opts(Opts) {}
+  /// \p Metrics receives the "reconstruct." instrument family (snap count,
+  /// record throughput, per-phase wall time, cache hit/miss); null = the
+  /// process-global registry.
+  explicit Reconstructor(const MapFileStore &Maps,
+                         MetricsRegistry *Metrics = nullptr)
+      : Reconstructor(Maps, ReconstructOptions(), Metrics) {}
+  Reconstructor(const MapFileStore &Maps, const ReconstructOptions &Opts,
+                MetricsRegistry *Metrics = nullptr);
 
   /// Reconstructs one snap. With a non-null \p Pool, buffer recovery and
   /// thread-segment building fan out across its workers; results are
@@ -108,6 +153,17 @@ private:
   /// results, and sharing it across const reconstruct() calls is the
   /// point (batch mode reuses one Reconstructor for a whole directory).
   mutable DagPathCache Cache;
+
+  /// "reconstruct." instruments, resolved once at construction.
+  struct Instruments {
+    Counter *Snaps = nullptr;
+    Counter *Records = nullptr;
+    Histogram *SnapUs = nullptr;
+    Histogram *PhaseRecoverUs = nullptr;
+    Histogram *PhaseBuildUs = nullptr;
+    Histogram *PhaseMergeUs = nullptr;
+  };
+  Instruments M;
 };
 
 } // namespace traceback

@@ -86,6 +86,11 @@ struct ThreadTrace {
 struct ReconstructedTrace {
   std::vector<ThreadTrace> Threads;
   std::vector<std::string> Warnings;
+  /// The producing tracer's self-telemetry ("traceback-metrics-v1" JSON),
+  /// decoded from the snap's TELEMETRY records; empty when the snap
+  /// predates telemetry or the stream was torn. Diagnostic side data —
+  /// never part of the rendered trace.
+  std::string TelemetryJson;
 
   /// Finds the trace of a physical thread, or nullptr.
   const ThreadTrace *threadById(uint64_t ThreadId) const {

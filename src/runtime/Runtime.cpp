@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace traceback;
 
@@ -37,8 +38,25 @@ static constexpr uint16_t ExcInlineSignalFlag = 0x8000;
 
 TracebackRuntime::TracebackRuntime(Process &P, Technology Tech,
                                    const RtPolicy &Policy, SnapSink *Sink,
-                                   const DagBaseFile *BaseFile)
-    : P(P), Tech(Tech), Policy(Policy), Sink(Sink), BaseFile(BaseFile) {
+                                   const DagBaseFile *BaseFile,
+                                   MetricsRegistry *Metrics)
+    : P(P), Tech(Tech), Policy(Policy), Sink(Sink),
+      Reg(Metrics ? *Metrics : MetricsRegistry::global()),
+      BaseFile(BaseFile) {
+  M.WordsAppended = &Reg.counter("runtime.words_appended");
+  M.BufferWraps = &Reg.counter("runtime.buffer_wraps");
+  M.FullBufferWraps = &Reg.counter("runtime.full_buffer_wraps");
+  M.SubBufferCommits = &Reg.counter("runtime.subbuffer_commits");
+  M.ProbationExits = &Reg.counter("runtime.probation_exits");
+  M.DesperationAssignments = &Reg.counter("runtime.desperation_assignments");
+  M.SnapsTaken = &Reg.counter("runtime.snaps_taken");
+  M.SnapsSuppressed = &Reg.counter("runtime.snaps_suppressed");
+  M.ThreadsScavenged = &Reg.counter("runtime.threads_scavenged");
+  M.ModulesRebased = &Reg.counter("runtime.modules_rebased");
+  M.ModulesBadDag = &Reg.counter("runtime.modules_bad_dag");
+  M.BuffersOwned = &Reg.gauge("runtime.buffers_owned");
+  M.SnapLatencyUs = &Reg.histogram("runtime.snap_latency_us");
+
   // A unique, deterministic runtime id ("created when initialized, using a
   // standard generation technique", section 5.1).
   MD5 H;
@@ -146,10 +164,20 @@ uint64_t TracebackRuntime::rotateSubBuffer(RtBuffer &B,
   B.Committed = SubIdx;
   P.Mem.write32(B.RecordsBase - BufHeaderBytes + 16, SubIdx);
   ++Stat.SubBufferCommits;
+  M.SubBufferCommits->add();
+  // Probe words are stored by inline guest code the runtime never sees
+  // (the whole point of 2-instruction probes), so per-word counting is
+  // impossible without taxing the probe path. Account for them here at
+  // commit granularity: the sub-buffer just filled holds SubWords - 1
+  // data words. The counter therefore trails the cursor by at most one
+  // sub-buffer and slightly double-counts runtime-written ext records.
+  M.WordsAppended->add(B.SubWords - 1);
 
   uint32_t Next = (SubIdx + 1) % B.SubCount;
-  if (Next == 0)
+  if (Next == 0) {
     ++Stat.FullBufferWraps;
+    M.FullBufferWraps->add();
+  }
   // Zero the next sub-buffer (except its sentinel) so the thread's
   // progress can be found as the last non-zero entry.
   uint64_t NextBase = B.RecordsBase + static_cast<uint64_t>(Next) *
@@ -167,6 +195,7 @@ uint64_t TracebackRuntime::assignBuffer(Thread &T) {
     if (B.OwnerThread != 0)
       continue;
     B.OwnerThread = T.Id;
+    M.ProbationExits->add();
     P.Mem.write64(B.RecordsBase - BufHeaderBytes + 24, T.Id);
     T.Tls[TlsSlot] = B.LastPtr;
     appendExtRecord(T, {ExtType::ThreadStart, 0, {T.Id, machineNow()}});
@@ -183,6 +212,7 @@ uint64_t TracebackRuntime::assignBuffer(Thread &T) {
   // Out of buffers: the shared desperation buffer (section 3.1). Many
   // threads write here unsynchronized; the data is sacrificial.
   ++Stat.DesperationAssignments;
+  M.DesperationAssignments->add();
   uint64_t Cand = Desperation.LastPtr + 4;
   bool Ok = true;
   if (P.Mem.read32(Cand, Ok) == SentinelRecord)
@@ -194,6 +224,7 @@ uint64_t TracebackRuntime::assignBuffer(Thread &T) {
 
 uint64_t TracebackRuntime::handleWrap(Thread &T, uint64_t SentinelAddr) {
   ++Stat.BufferWraps;
+  M.BufferWraps->add();
   // Periodic dead-thread scavenging piggybacks on wraps (section 3.1.2).
   if (Stat.BufferWraps % 16 == 0)
     scavengeDeadThreads();
@@ -222,6 +253,7 @@ void TracebackRuntime::appendWord(Thread &T, uint32_t Word) {
   P.Mem.write32(Cand, Word);
   T.Tls[TlsSlot] = Cand;
   ++Stat.RecordsWrittenByRuntime;
+  M.WordsAppended->add();
 }
 
 bool TracebackRuntime::threadHasRealBuffer(const Thread &T) const {
@@ -283,6 +315,7 @@ void TracebackRuntime::scavengeDeadThreads() {
     B.OwnerThread = 0;
     P.Mem.write64(B.RecordsBase - BufHeaderBytes + 24, 0);
     ++Stat.ThreadsScavenged;
+    M.ThreadsScavenged->add();
   }
 }
 
@@ -374,6 +407,7 @@ void TracebackRuntime::onModuleRebase(Process &, LoadedModule &LM) {
       if (Found) {
         Desired = Cand;
         ++Stat.ModulesRebased;
+        M.ModulesRebased->add();
       } else {
         BadDag = true; // Id space exhausted (section 2.3).
       }
@@ -390,6 +424,7 @@ void TracebackRuntime::onModuleRebase(Process &, LoadedModule &LM) {
     LM.Mod.DagIdBase = BadDagId;
     LM.Mod.DagIdCount = 0;
     ++Stat.ModulesBadDag;
+    M.ModulesBadDag->add();
   } else if (Desired != LM.Mod.DagIdBase) {
     uint32_t OldBase = LM.Mod.DagIdBase;
     for (uint32_t Off : LM.Mod.DagRecordFixups) {
@@ -500,6 +535,7 @@ void TracebackRuntime::maybeSnapForFault(Process &, Thread &T,
   uint32_t &Count = SnapCounts[SiteKey];
   if (++Count > Policy.SuppressRepeats) {
     ++Stat.SnapsSuppressed;
+    M.SnapsSuppressed->add();
     return;
   }
   SnapFile S = takeSnap(Reason, Code);
@@ -557,6 +593,7 @@ void TracebackRuntime::onSnapRequest(Process &, Thread *T, uint16_t Reason) {
 SnapFile TracebackRuntime::takeSnap(SnapReason Reason, uint16_t Detail) {
   // In the real system the runtime suspends all threads here; our VM is
   // cooperative, so the world is already still while host code runs.
+  auto SnapStart = std::chrono::steady_clock::now();
   SnapFile S;
   S.Reason = Reason;
   S.ReasonDetail = Detail;
@@ -655,8 +692,29 @@ SnapFile TracebackRuntime::takeSnap(SnapReason Reason, uint16_t Detail) {
     FI->onSnapCapture(S);
 
   ++Stat.SnapsTaken;
-  if (Sink)
+  M.SnapsTaken->add();
+  uint64_t Owned = 0;
+  for (const RtBuffer &B : Buffers)
+    Owned += B.OwnerThread != 0;
+  M.BuffersOwned->set(static_cast<int64_t>(Owned));
+  M.SnapLatencyUs->observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - SnapStart)
+          .count()));
+
+  // Embed the tracer's own health into the snap as TELEMETRY records, so
+  // reconstruction can report it alongside the source trace. The telemetry
+  // stream is separate from every trace buffer, so this cannot perturb
+  // recovered traces; it is embedded after injector damage so a corrupted
+  // snap still carries intact self-diagnostics.
+  MetricsSnapshot Health = Reg.snapshot();
+  S.setTelemetry(Health);
+
+  if (Sink) {
     Sink->onSnap(S);
+    if (Sink->consumerVersion() >= SnapSink::Versioned)
+      Sink->onTelemetry(RuntimeId, Health);
+  }
   return S;
 }
 

@@ -43,10 +43,14 @@ class TracebackRuntime : public RuntimeHooks {
 public:
   /// Attaches to \p P (allocating buffer memory in its address space).
   /// \p Sink receives snaps; may be null. \p BaseFile optionally assigns
-  /// coordinated DAG ranges; may be null.
+  /// coordinated DAG ranges; may be null. \p Metrics is the registry the
+  /// runtime's self-telemetry lands in (null = the process-global one);
+  /// instrument pointers are resolved once here, so tracing hot paths
+  /// never take the registry lock.
   TracebackRuntime(Process &P, Technology Tech, const RtPolicy &Policy,
                    SnapSink *Sink = nullptr,
-                   const DagBaseFile *BaseFile = nullptr);
+                   const DagBaseFile *BaseFile = nullptr,
+                   MetricsRegistry *Metrics = nullptr);
 
   uint64_t runtimeId() const { return RuntimeId; }
   uint16_t tlsSlot() const { return TlsSlot; }
@@ -159,8 +163,28 @@ private:
   Technology Tech;
   RtPolicy Policy;
   SnapSink *Sink;
+  MetricsRegistry &Reg;
   uint64_t RuntimeId;
   uint16_t TlsSlot;
+
+  /// Hot-path instruments, resolved once at construction ("runtime." family
+  /// in the registry).
+  struct Instruments {
+    Counter *WordsAppended = nullptr;
+    Counter *BufferWraps = nullptr;
+    Counter *FullBufferWraps = nullptr;
+    Counter *SubBufferCommits = nullptr;
+    Counter *ProbationExits = nullptr;
+    Counter *DesperationAssignments = nullptr;
+    Counter *SnapsTaken = nullptr;
+    Counter *SnapsSuppressed = nullptr;
+    Counter *ThreadsScavenged = nullptr;
+    Counter *ModulesRebased = nullptr;
+    Counter *ModulesBadDag = nullptr;
+    Gauge *BuffersOwned = nullptr;
+    Histogram *SnapLatencyUs = nullptr;
+  };
+  Instruments M;
 
   uint64_t RegionBase = 0;
   std::vector<RtBuffer> Buffers;

@@ -6,11 +6,16 @@
 
 #include "runtime/Snap.h"
 
+#include "runtime/TraceRecord.h"
 #include "support/ByteStream.h"
+
+#include <algorithm>
 
 using namespace traceback;
 
 SnapSink::~SnapSink() = default;
+
+void SnapSink::onTelemetry(uint64_t, const MetricsSnapshot &) {}
 
 std::string traceback::snapReasonName(SnapReason R) {
   switch (R) {
@@ -35,7 +40,10 @@ std::string traceback::snapReasonName(SnapReason R) {
 }
 
 static const uint32_t SnapMagic = 0x50534254; // "TBSP"
-static const uint32_t SnapVersion = 2;
+// Version 3 appends the TELEMETRY record stream after the memory regions.
+// Version-2 snaps (no telemetry) still deserialize.
+static const uint32_t SnapVersion = 3;
+static const uint32_t SnapVersionNoTelemetry = 2;
 
 std::vector<uint8_t> SnapFile::serialize() const {
   std::vector<uint8_t> Out;
@@ -95,12 +103,19 @@ std::vector<uint8_t> SnapFile::serialize() const {
     W.writeString(R.Label);
     W.writeBlob(R.Bytes);
   }
+
+  W.writeVarU64(Telemetry.size());
+  for (uint32_t Word : Telemetry)
+    W.writeU32(Word);
   return Out;
 }
 
 bool SnapFile::deserialize(const std::vector<uint8_t> &Bytes, SnapFile &Out) {
   ByteReader R(Bytes);
-  if (R.readU32() != SnapMagic || R.readU32() != SnapVersion)
+  if (R.readU32() != SnapMagic)
+    return false;
+  uint32_t Version = R.readU32();
+  if (Version != SnapVersion && Version != SnapVersionNoTelemetry)
     return false;
   Out = SnapFile();
   Out.Reason = static_cast<SnapReason>(R.readU16());
@@ -166,5 +181,88 @@ bool SnapFile::deserialize(const std::vector<uint8_t> &Bytes, SnapFile &Out) {
     Region.Bytes = R.readBlob();
     Out.Memory.push_back(std::move(Region));
   }
+
+  if (Version >= 3) {
+    uint64_t NumWords = R.readVarU64();
+    Out.Telemetry.reserve(NumWords);
+    for (uint64_t I = 0; I < NumWords && !R.failed(); ++I)
+      Out.Telemetry.push_back(R.readU32());
+  }
   return !R.failed();
+}
+
+//===----------------------------------------------------------------------===//
+// TELEMETRY record stream
+//===----------------------------------------------------------------------===//
+
+/// Bytes of JSON carried per TELEMETRY record. Each payload u64 after the
+/// leading byte-count word packs eight bytes little-endian; 83 data words
+/// plus the count word is 84 u64s = 252 continuation words, under the
+/// 255-word limit of the 8-bit continuation-count field.
+static constexpr size_t TelemetryChunkBytes = 83 * 8;
+
+std::vector<uint32_t> traceback::encodeTelemetryRecords(const std::string &Json) {
+  std::vector<uint32_t> Out;
+  size_t Offset = 0;
+  uint16_t Ordinal = 0;
+  // Emit at least one record even for an empty document so the stream is
+  // distinguishable from "no telemetry".
+  do {
+    size_t N = std::min(TelemetryChunkBytes, Json.size() - Offset);
+    ExtRecord R;
+    R.Type = ExtType::Telemetry;
+    R.Inline = Ordinal++;
+    R.Payload.push_back(N);
+    for (size_t I = 0; I < N; I += 8) {
+      uint64_t W = 0;
+      for (size_t B = 0; B < 8 && I + B < N; ++B)
+        W |= static_cast<uint64_t>(
+                 static_cast<uint8_t>(Json[Offset + I + B]))
+             << (B * 8);
+      R.Payload.push_back(W);
+    }
+    Offset += N;
+    std::vector<uint32_t> Words = encodeExtRecord(R);
+    Out.insert(Out.end(), Words.begin(), Words.end());
+  } while (Offset < Json.size());
+  return Out;
+}
+
+bool traceback::decodeTelemetryRecords(const std::vector<uint32_t> &Words,
+                                       std::string &JsonOut) {
+  JsonOut.clear();
+  size_t Pos = 0;
+  uint16_t Expected = 0;
+  while (Pos < Words.size()) {
+    // The stream may come straight from a damaged .tbsnap: check the word
+    // tag here — decodeExtRecord treats "at a header" as a precondition.
+    if (!isExtHeader(Words[Pos]))
+      return false;
+    ExtRecord R;
+    if (!decodeExtRecord(Words.data(), Words.size(), Pos, R))
+      return false;
+    if (R.Type != ExtType::Telemetry || R.Inline != Expected++ ||
+        R.Payload.empty())
+      return false;
+    size_t N = static_cast<size_t>(R.Payload[0]);
+    if (N > (R.Payload.size() - 1) * 8)
+      return false;
+    for (size_t I = 0; I < N; ++I)
+      JsonOut.push_back(static_cast<char>(
+          (R.Payload[1 + I / 8] >> ((I % 8) * 8)) & 0xFF));
+  }
+  return true;
+}
+
+void SnapFile::setTelemetry(const MetricsSnapshot &Snapshot) {
+  Telemetry = encodeTelemetryRecords(Snapshot.toJson());
+}
+
+bool SnapFile::telemetry(MetricsSnapshot &Out) const {
+  if (Telemetry.empty())
+    return false;
+  std::string Json;
+  if (!decodeTelemetryRecords(Telemetry, Json))
+    return false;
+  return MetricsSnapshot::fromJson(Json, Out);
 }

@@ -18,9 +18,11 @@
 
 #include "isa/Module.h"
 #include "support/MD5.h"
+#include "support/Metrics.h"
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace traceback {
@@ -110,23 +112,67 @@ struct SnapFile {
   std::vector<SnapThreadInfo> Threads;
   std::vector<SnapMemoryRegion> Memory;
 
+  /// The runtime's self-telemetry, encoded as TELEMETRY extended records
+  /// (format version 3; empty in snaps written before telemetry existed).
+  /// This is a dedicated stream, deliberately NOT part of any thread ring
+  /// buffer: embedding metrics must never perturb recovered trace bytes.
+  std::vector<uint32_t> Telemetry;
+
+  /// Convenience wrappers over {encode,decode}TelemetryRecords for this
+  /// snap's Telemetry stream.
+  void setTelemetry(const MetricsSnapshot &Snapshot);
+  bool telemetry(MetricsSnapshot &Out) const;
+
   std::vector<uint8_t> serialize() const;
   static bool deserialize(const std::vector<uint8_t> &Bytes, SnapFile &Out);
 };
 
+/// Encodes a metrics-snapshot JSON document as a sequence of TELEMETRY
+/// extended records (chunked; each record carries at most ~660 bytes).
+std::vector<uint32_t> encodeTelemetryRecords(const std::string &Json);
+
+/// Decodes a TELEMETRY record stream back to the JSON document. Returns
+/// false on torn/out-of-order chunks; an empty stream yields an empty
+/// string and true.
+bool decodeTelemetryRecords(const std::vector<uint32_t> &Words,
+                            std::string &JsonOut);
+
 /// Receives snaps as the runtime produces them (the transport to the
 /// service process / archive in a real deployment).
+///
+/// The interface is versioned so the consumer contract can grow without
+/// breaking existing sinks:
+///   v1 (default): snaps only — the original implicit contract.
+///   v2: additionally receives the producer's metrics snapshot via
+///       onTelemetry() whenever a snap is delivered.
+/// Producers check consumerVersion() and skip telemetry work entirely for
+/// v1 sinks, so legacy sinks pay nothing for the extension.
 class SnapSink {
 public:
   virtual ~SnapSink();
+
+  /// The consumer-interface version this sink implements. Override to
+  /// return SnapSink::Versioned (or later) to opt into telemetry delivery.
+  virtual unsigned consumerVersion() const { return 1; }
+  static constexpr unsigned Versioned = 2;
+
   virtual void onSnap(const SnapFile &Snap) = 0;
+
+  /// Delivered after onSnap() to sinks with consumerVersion() >= 2.
+  /// Default is a no-op so v1 sinks keep compiling unchanged.
+  virtual void onTelemetry(uint64_t RuntimeId, const MetricsSnapshot &Snapshot);
 };
 
 /// A SnapSink that just collects everything (tests, examples).
 class CollectingSnapSink : public SnapSink {
 public:
+  unsigned consumerVersion() const override { return Versioned; }
   void onSnap(const SnapFile &Snap) override { Snaps.push_back(Snap); }
+  void onTelemetry(uint64_t RuntimeId, const MetricsSnapshot &Snapshot) override {
+    Telemetry.emplace_back(RuntimeId, Snapshot);
+  }
   std::vector<SnapFile> Snaps;
+  std::vector<std::pair<uint64_t, MetricsSnapshot>> Telemetry;
 };
 
 } // namespace traceback

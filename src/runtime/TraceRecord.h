@@ -84,6 +84,12 @@ enum class ExtType : uint8_t {
   /// probe that fires before the next heavyweight probe ORs its path bits
   /// harmlessly into the pad instead of corrupting real record content.
   Pad = 8,
+  /// A chunk of the runtime's own metrics snapshot (JSON bytes packed
+  /// little-endian, eight per payload u64; payload[0] is the chunk's byte
+  /// count, inline is the chunk ordinal). Telemetry records never enter
+  /// thread ring buffers — they live in the snap's dedicated telemetry
+  /// stream so embedding them cannot perturb recovered traces.
+  Telemetry = 9,
 };
 
 /// Positions of the four SYNC records an RPC generates (section 5.1).

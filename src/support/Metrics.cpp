@@ -1,0 +1,440 @@
+//===- Metrics.cpp - self-telemetry registry implementation ---------------===//
+
+#include "support/Metrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace traceback {
+
+//===----------------------------------------------------------------------===//
+// Thread slots
+//===----------------------------------------------------------------------===//
+
+unsigned metricThreadSlot() {
+  static std::atomic<unsigned> NextSlot{0};
+  thread_local unsigned Slot =
+      NextSlot.fetch_add(1, std::memory_order_relaxed);
+  return Slot;
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram merge
+//===----------------------------------------------------------------------===//
+
+uint64_t Histogram::count() const {
+  uint64_t N = 0;
+  for (const auto &S : Shard)
+    for (const auto &B : S.Bucket)
+      N += B.load(std::memory_order_relaxed);
+  return N;
+}
+
+uint64_t Histogram::sum() const {
+  uint64_t N = 0;
+  for (const auto &S : Shard)
+    N += S.Sum.load(std::memory_order_relaxed);
+  return N;
+}
+
+std::vector<uint64_t> Histogram::buckets() const {
+  std::vector<uint64_t> Out(HistogramBuckets, 0);
+  for (const auto &S : Shard)
+    for (unsigned I = 0; I < HistogramBuckets; ++I)
+      Out[I] += S.Bucket[I].load(std::memory_order_relaxed);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &P = CounterMap[Name];
+  if (!P)
+    P = std::make_unique<Counter>();
+  return *P;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &P = GaugeMap[Name];
+  if (!P)
+    P = std::make_unique<Gauge>();
+  return *P;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &P = HistogramMap[Name];
+  if (!P)
+    P = std::make_unique<Histogram>();
+  return *P;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
+  MetricsSnapshot Snap;
+  for (const auto &[Name, C] : CounterMap)
+    Snap.Counters[Name] = C->value();
+  for (const auto &[Name, G] : GaugeMap)
+    Snap.Gauges[Name] = G->value();
+  for (const auto &[Name, H] : HistogramMap) {
+    HistogramSnapshot HS;
+    HS.Buckets = H->buckets();
+    for (uint64_t B : HS.Buckets)
+      HS.Count += B;
+    HS.Sum = H->sum();
+    Snap.Histograms[Name] = std::move(HS);
+  }
+  return Snap;
+}
+
+void Histogram::reset() {
+  for (auto &S : Shard) {
+    for (auto &B : S.Bucket)
+      B.store(0, std::memory_order_relaxed);
+    S.Sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> L(Mu);
+  for (auto &[Name, C] : CounterMap)
+    C->reset();
+  for (auto &[Name, G] : GaugeMap)
+    G->set(0);
+  for (auto &[Name, H] : HistogramMap)
+    H->reset();
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry G;
+  return G;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON emit
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  Out.push_back('"');
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+/// Tiny stateful pretty-printer: with Indent == 0 everything stays on one
+/// line with no spaces, otherwise nested levels are indented.
+struct JsonWriter {
+  std::string Out;
+  unsigned Indent;
+  unsigned Depth = 0;
+
+  explicit JsonWriter(unsigned Indent) : Indent(Indent) {}
+
+  void newline() {
+    if (!Indent)
+      return;
+    Out.push_back('\n');
+    Out.append(static_cast<size_t>(Indent) * Depth, ' ');
+  }
+  void open(char C) {
+    Out.push_back(C);
+    ++Depth;
+  }
+  void close(char C) {
+    --Depth;
+    newline();
+    Out.push_back(C);
+  }
+  void key(const std::string &K) {
+    appendEscaped(Out, K);
+    Out.push_back(':');
+    if (Indent)
+      Out.push_back(' ');
+  }
+};
+
+} // namespace
+
+std::string MetricsSnapshot::toJson(unsigned Indent) const {
+  JsonWriter W(Indent);
+  W.open('{');
+  W.newline();
+  W.key("schema");
+  W.Out += "\"traceback-metrics-v1\",";
+  W.newline();
+
+  W.key("counters");
+  W.open('{');
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    if (!First)
+      W.Out.push_back(',');
+    First = false;
+    W.newline();
+    W.key(Name);
+    W.Out += std::to_string(Value);
+  }
+  W.close('}');
+  W.Out.push_back(',');
+  W.newline();
+
+  W.key("gauges");
+  W.open('{');
+  First = true;
+  for (const auto &[Name, Value] : Gauges) {
+    if (!First)
+      W.Out.push_back(',');
+    First = false;
+    W.newline();
+    W.key(Name);
+    W.Out += std::to_string(Value);
+  }
+  W.close('}');
+  W.Out.push_back(',');
+  W.newline();
+
+  W.key("histograms");
+  W.open('{');
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    if (!First)
+      W.Out.push_back(',');
+    First = false;
+    W.newline();
+    W.key(Name);
+    W.open('{');
+    W.newline();
+    W.key("count");
+    W.Out += std::to_string(H.Count);
+    W.Out.push_back(',');
+    W.newline();
+    W.key("sum");
+    W.Out += std::to_string(H.Sum);
+    W.Out.push_back(',');
+    W.newline();
+    W.key("buckets");
+    W.Out.push_back('[');
+    for (size_t I = 0; I < H.Buckets.size(); ++I) {
+      if (I)
+        W.Out.push_back(',');
+      W.Out += std::to_string(H.Buckets[I]);
+    }
+    W.Out.push_back(']');
+    W.close('}');
+  }
+  W.close('}');
+  W.close('}');
+  return W.Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parse (minimal: objects, arrays, strings, integers — exactly what
+// toJson emits; no dependency on an external JSON library)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct JsonParser {
+  const char *P;
+  const char *End;
+
+  explicit JsonParser(const std::string &S)
+      : P(S.data()), End(S.data() + S.size()) {}
+
+  void skipWs() {
+    while (P != End && std::isspace(static_cast<unsigned char>(*P)))
+      ++P;
+  }
+  bool expect(char C) {
+    skipWs();
+    if (P == End || *P != C)
+      return false;
+    ++P;
+    return true;
+  }
+  bool peek(char C) {
+    skipWs();
+    return P != End && *P == C;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!expect('"'))
+      return false;
+    Out.clear();
+    while (P != End && *P != '"') {
+      if (*P == '\\') {
+        ++P;
+        if (P == End)
+          return false;
+        switch (*P) {
+        case '"':
+          Out.push_back('"');
+          break;
+        case '\\':
+          Out.push_back('\\');
+          break;
+        case 'n':
+          Out.push_back('\n');
+          break;
+        case 't':
+          Out.push_back('\t');
+          break;
+        case 'u': {
+          if (End - P < 5)
+            return false;
+          char Hex[5] = {P[1], P[2], P[3], P[4], 0};
+          Out.push_back(static_cast<char>(std::strtoul(Hex, nullptr, 16)));
+          P += 4;
+          break;
+        }
+        default:
+          return false;
+        }
+        ++P;
+      } else {
+        Out.push_back(*P++);
+      }
+    }
+    return expect('"');
+  }
+
+  bool parseU64(uint64_t &Out) {
+    skipWs();
+    const char *Start = P;
+    while (P != End && std::isdigit(static_cast<unsigned char>(*P)))
+      ++P;
+    if (P == Start)
+      return false;
+    Out = std::strtoull(std::string(Start, P).c_str(), nullptr, 10);
+    return true;
+  }
+
+  bool parseI64(int64_t &Out) {
+    skipWs();
+    bool Neg = false;
+    if (P != End && *P == '-') {
+      Neg = true;
+      ++P;
+    }
+    uint64_t U;
+    if (!parseU64(U))
+      return false;
+    Out = Neg ? -static_cast<int64_t>(U) : static_cast<int64_t>(U);
+    return true;
+  }
+
+  /// Parse `{ "key": ... }` driving a per-member callback; the callback
+  /// consumes the value.
+  template <typename Fn> bool parseObject(Fn &&Member) {
+    if (!expect('{'))
+      return false;
+    if (peek('}'))
+      return expect('}');
+    do {
+      std::string Key;
+      if (!parseString(Key) || !expect(':') || !Member(Key))
+        return false;
+    } while (expect(','));
+    return expect('}');
+  }
+};
+
+} // namespace
+
+bool MetricsSnapshot::fromJson(const std::string &Text, MetricsSnapshot &Out) {
+  Out = MetricsSnapshot();
+  JsonParser J(Text);
+  bool SchemaOk = false;
+
+  bool Ok = J.parseObject([&](const std::string &Key) {
+    if (Key == "schema") {
+      std::string S;
+      if (!J.parseString(S))
+        return false;
+      SchemaOk = (S == "traceback-metrics-v1");
+      return SchemaOk;
+    }
+    if (Key == "counters") {
+      return J.parseObject([&](const std::string &Name) {
+        uint64_t V;
+        if (!J.parseU64(V))
+          return false;
+        Out.Counters[Name] = V;
+        return true;
+      });
+    }
+    if (Key == "gauges") {
+      return J.parseObject([&](const std::string &Name) {
+        int64_t V;
+        if (!J.parseI64(V))
+          return false;
+        Out.Gauges[Name] = V;
+        return true;
+      });
+    }
+    if (Key == "histograms") {
+      return J.parseObject([&](const std::string &Name) {
+        HistogramSnapshot H;
+        bool HOk = J.parseObject([&](const std::string &Field) {
+          if (Field == "count")
+            return J.parseU64(H.Count);
+          if (Field == "sum")
+            return J.parseU64(H.Sum);
+          if (Field == "buckets") {
+            if (!J.expect('['))
+              return false;
+            if (J.peek(']'))
+              return J.expect(']');
+            do {
+              uint64_t B;
+              if (!J.parseU64(B))
+                return false;
+              H.Buckets.push_back(B);
+            } while (J.expect(','));
+            return J.expect(']');
+          }
+          return false;
+        });
+        if (!HOk)
+          return false;
+        Out.Histograms[Name] = std::move(H);
+        return true;
+      });
+    }
+    return false; // unknown key
+  });
+
+  J.skipWs();
+  return Ok && SchemaOk && J.P == J.End;
+}
+
+} // namespace traceback

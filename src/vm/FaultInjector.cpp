@@ -172,8 +172,10 @@ bool FaultPlan::parse(const std::string &Text, FaultPlan &Out,
 // FaultInjector.
 // ----------------------------------------------------------------------------
 
-FaultInjector::FaultInjector(FaultPlan P)
-    : Plan(std::move(P)), Rand(Plan.Seed ^ 0xfa17b1a5ed5eedULL),
+FaultInjector::FaultInjector(FaultPlan P, MetricsRegistry *Metrics)
+    : Plan(std::move(P)),
+      Reg(Metrics ? *Metrics : MetricsRegistry::global()),
+      Rand(Plan.Seed ^ 0xfa17b1a5ed5eedULL),
       Fired(Plan.Events.size(), false) {}
 
 bool FaultInjector::allFired() const {
@@ -186,6 +188,9 @@ bool FaultInjector::allFired() const {
 void FaultInjector::markFired(size_t Index, const std::string &Note) {
   Fired[Index] = true;
   Log.push_back(Note);
+  FaultKind Kind = Plan.Events[Index].Kind;
+  FiredKinds.push_back(Kind);
+  Reg.counter(std::string("inject.fired.") + faultKindName(Kind)).add();
 }
 
 void FaultInjector::onSliceBoundary(World &W) {

@@ -24,6 +24,7 @@
 #ifndef TRACEBACK_VM_FAULTINJECTOR_H
 #define TRACEBACK_VM_FAULTINJECTOR_H
 
+#include "support/Metrics.h"
 #include "support/Random.h"
 
 #include <cstdint>
@@ -86,7 +87,9 @@ struct FaultPlan {
 /// Executes a FaultPlan against a World. Attach via `World::Injector`.
 class FaultInjector {
 public:
-  explicit FaultInjector(FaultPlan P);
+  /// Fired faults are counted per class as "inject.fired.<kind-name>" in
+  /// \p Metrics (null = the process-global registry).
+  explicit FaultInjector(FaultPlan P, MetricsRegistry *Metrics = nullptr);
 
   // --- Injection points ---------------------------------------------------
 
@@ -118,6 +121,9 @@ public:
   /// Human-readable record of every fault that actually fired, in order.
   const std::vector<std::string> &firedLog() const { return Log; }
   size_t firedCount() const { return Log.size(); }
+  /// The class of each fired fault, in firing order (parallel to
+  /// firedLog()) — what the per-class counters are checked against.
+  const std::vector<FaultKind> &firedKinds() const { return FiredKinds; }
   /// True when every planned event has fired.
   bool allFired() const;
 
@@ -130,12 +136,14 @@ private:
   void markFired(size_t Index, const std::string &Note);
 
   FaultPlan Plan;
+  MetricsRegistry &Reg;
   Rng Rand;
   uint64_t Slice = 0;
   uint64_t WireOrdinal = 0;
   uint64_t SnapOrdinal = 0;
   std::vector<bool> Fired;
   std::vector<std::string> Log;
+  std::vector<FaultKind> FiredKinds;
 };
 
 } // namespace traceback

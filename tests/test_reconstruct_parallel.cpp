@@ -77,13 +77,13 @@ TEST(ReconstructParallelProperty, HundredSeedSweepIsByteIdentical) {
       ASSERT_TRUE(Store.add(std::move(M)));
 
     ReconstructOptions Legacy;
-    Legacy.LegacyUncached = true;
+    Legacy.Cache.LegacyUncached = true;
     std::string Reference = reconstructRendered(W, Store, Legacy, nullptr);
     ASSERT_FALSE(Reference.empty());
 
     ReconstructOptions Cached;
     ReconstructOptions Uncached;
-    Uncached.UseDecodeCache = false;
+    Uncached.Cache.Enabled = false;
     struct Variant {
       const char *Name;
       const ReconstructOptions *Opts;

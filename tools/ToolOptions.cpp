@@ -1,0 +1,72 @@
+//===- tools/ToolOptions.cpp - shared tbtool flag parsing -----------------===//
+
+#include "ToolOptions.h"
+
+#include "support/Text.h"
+
+namespace traceback {
+namespace tool {
+
+bool ArgList::flag(const std::string &Name) {
+  for (auto It = Args.begin(); It != Args.end(); ++It)
+    if (*It == Name) {
+      Args.erase(It);
+      return true;
+    }
+  return false;
+}
+
+std::string ArgList::value(const std::string &Name,
+                           const std::string &Default) {
+  for (auto It = Args.begin(); It != Args.end(); ++It)
+    if (*It == Name) {
+      if (It + 1 == Args.end()) {
+        Errors.push_back(Name + " requires a value");
+        Args.erase(It);
+        return Default;
+      }
+      std::string V = *(It + 1);
+      Args.erase(It, It + 2);
+      return V;
+    }
+  return Default;
+}
+
+int64_t ArgList::intValue(const std::string &Name, int64_t Default) {
+  std::string V = value(Name, "");
+  if (V.empty())
+    return Default;
+  int64_t Out = 0;
+  if (!parseInt(V, Out)) {
+    Errors.push_back(Name + ": '" + V + "' is not an integer");
+    return Default;
+  }
+  return Out;
+}
+
+bool ArgList::finish(std::string &Error) {
+  for (const std::string &A : Args)
+    if (A.size() >= 2 && A[0] == '-' && A[1] == '-')
+      Errors.push_back("unknown flag " + A);
+  if (Errors.empty())
+    return true;
+  Error = Errors.front();
+  for (size_t I = 1; I < Errors.size(); ++I)
+    Error += "; " + Errors[I];
+  return false;
+}
+
+std::string indentJsonBody(const std::string &Json, unsigned Spaces) {
+  std::string Pad(Spaces, ' ');
+  std::string Out;
+  Out.reserve(Json.size());
+  for (char C : Json) {
+    Out.push_back(C);
+    if (C == '\n')
+      Out += Pad;
+  }
+  return Out;
+}
+
+} // namespace tool
+} // namespace traceback

@@ -1,0 +1,73 @@
+//===- tools/ToolOptions.h - shared tbtool flag parsing ---------*- C++ -*-===//
+//
+// One flag parser for every tbtool subcommand. Before this existed each
+// subcommand hand-rolled its own hasFlag/flagValue loops, the spellings
+// drifted, and a mistyped `--flags` silently fell through as a positional
+// argument. The shared ArgList gives every subcommand identical `--json`,
+// `--jobs` and `--seed` handling and rejects unknown flags.
+//
+// Usage pattern:
+//   ArgList A(std::move(Args));
+//   bool Tree = A.flag("--tree");
+//   int Jobs = A.jobs();
+//   std::string Err;
+//   if (!A.finish(Err)) { fprintf(stderr, "%s\n", Err.c_str()); ... }
+//   // A.positional() now holds the non-flag operands.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_TOOLS_TOOLOPTIONS_H
+#define TRACEBACK_TOOLS_TOOLOPTIONS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace traceback {
+namespace tool {
+
+class ArgList {
+public:
+  explicit ArgList(std::vector<std::string> Args) : Args(std::move(Args)) {}
+
+  /// Consumes `Name` if present; returns whether it was.
+  bool flag(const std::string &Name);
+
+  /// Consumes `Name <value>` if present; returns the value or \p Default.
+  std::string value(const std::string &Name, const std::string &Default = "");
+
+  /// Like value(), parsed as an integer. A present-but-unparsable value
+  /// is recorded as an error for finish() to report.
+  int64_t intValue(const std::string &Name, int64_t Default);
+
+  // Uniform cross-subcommand spellings.
+  bool json() { return flag("--json"); }
+  int jobs(int Default = 1) {
+    return static_cast<int>(intValue("--jobs", Default));
+  }
+  uint64_t seed(uint64_t Default = 1) {
+    return static_cast<uint64_t>(
+        intValue("--seed", static_cast<int64_t>(Default)));
+  }
+
+  /// Call after consuming every flag the subcommand understands. Returns
+  /// false (with \p Error set) if an unconsumed `--flag` or a bad integer
+  /// value remains — the typo that used to silently become a positional.
+  bool finish(std::string &Error);
+
+  /// The remaining non-flag operands (valid after finish()).
+  const std::vector<std::string> &positional() const { return Args; }
+
+private:
+  std::vector<std::string> Args;
+  std::vector<std::string> Errors;
+};
+
+/// Indents every line of \p Json after the first by \p Spaces — for
+/// embedding one pretty-printed document inside another.
+std::string indentJsonBody(const std::string &Json, unsigned Spaces);
+
+} // namespace tool
+} // namespace traceback
+
+#endif // TRACEBACK_TOOLS_TOOLOPTIONS_H

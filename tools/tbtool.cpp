@@ -16,8 +16,14 @@
 //   tbtool reconstruct <snap.tbsnap> <map.tbmap>... [--thread N] [--tree]
 //                      [--jobs N] [--no-cache]
 //   tbtool reconstruct --batch <dir> [--jobs N] [--no-cache] [--render]
+//   tbtool metrics <snap.tbsnap> [<map.tbmap>...] [--jobs N] [--json]
 //   tbtool run <mod.tbo>... [--entry NAME] [--policy FILE] [--snap-dir D]
 //   tbtool inject <mod.tbo>... --seed S [--plan FILE] [--entry NAME]
+//                 [--snap-dir DIR]
+//
+// Every subcommand parses flags through the shared tool::ArgList, so flag
+// spellings cannot drift and a mistyped --flag is an error instead of a
+// silently ignored positional.
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,9 +35,11 @@
 #include "isa/Disassembler.h"
 #include "lang/CodeGen.h"
 #include "reconstruct/Views.h"
+#include "support/Metrics.h"
 #include "support/Text.h"
 #include "vm/Syscalls.h"
 
+#include "ToolOptions.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -42,6 +50,7 @@
 #include <vector>
 
 using namespace traceback;
+using tool::ArgList;
 
 namespace {
 
@@ -59,69 +68,64 @@ int usage() {
       "[--tree] [--jobs N] [--no-cache]\n"
       "  tbtool reconstruct --batch <dir> [--jobs N] [--no-cache] "
       "[--render]\n"
+      "  tbtool metrics <snap.tbsnap> [<map.tbmap>...] [--jobs N] "
+      "[--json]\n"
       "  tbtool run <mod.tbo>... [--entry NAME] [--policy FILE] "
       "[--snap-dir DIR]\n"
       "  tbtool inject <mod.tbo>... --seed S [--plan FILE] "
-      "[--entry NAME]\n");
+      "[--entry NAME] [--snap-dir DIR]\n");
   return 2;
 }
 
-bool hasFlag(std::vector<std::string> &Args, const std::string &Flag) {
-  for (auto It = Args.begin(); It != Args.end(); ++It)
-    if (*It == Flag) {
-      Args.erase(It);
-      return true;
-    }
-  return false;
+int flagError(const std::string &Error) {
+  std::fprintf(stderr, "tbtool: %s\n", Error.c_str());
+  return 2;
 }
 
-std::string flagValue(std::vector<std::string> &Args,
-                      const std::string &Flag, const std::string &Default) {
-  for (auto It = Args.begin(); It != Args.end(); ++It)
-    if (*It == Flag && It + 1 != Args.end()) {
-      std::string V = *(It + 1);
-      Args.erase(It, It + 2);
-      return V;
-    }
-  return Default;
-}
-
-int cmdCompile(std::vector<std::string> Args) {
-  bool Managed = hasFlag(Args, "--managed");
-  std::string Name = flagValue(Args, "--name", "");
-  if (Args.size() != 2)
+int cmdCompile(ArgList A) {
+  bool Managed = A.flag("--managed");
+  std::string Name = A.value("--name");
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.size() != 2)
     return usage();
   if (Name.empty())
-    Name = Args[0].substr(0, Args[0].find_last_of('.'));
+    Name = Pos[0].substr(0, Pos[0].find_last_of('.'));
   std::string Source;
-  if (!readFileText(Args[0], Source)) {
-    std::fprintf(stderr, "cannot read %s\n", Args[0].c_str());
+  if (!readFileText(Pos[0], Source)) {
+    std::fprintf(stderr, "cannot read %s\n", Pos[0].c_str());
     return 1;
   }
   Module M;
   std::string Error;
   if (!minilang::compileMiniLang(
-          Source, Args[0], Name,
+          Source, Pos[0], Name,
           Managed ? Technology::Managed : Technology::Native, M, Error)) {
     std::fprintf(stderr, "%s\n", Error.c_str());
     return 1;
   }
-  if (!saveModule(M, Args[1])) {
-    std::fprintf(stderr, "cannot write %s\n", Args[1].c_str());
+  if (!saveModule(M, Pos[1])) {
+    std::fprintf(stderr, "cannot write %s\n", Pos[1].c_str());
     return 1;
   }
   std::printf("compiled %s -> %s (%zu code bytes, %zu functions)\n",
-              Args[0].c_str(), Args[1].c_str(), M.Code.size(),
+              Pos[0].c_str(), Pos[1].c_str(), M.Code.size(),
               M.Symbols.size());
   return 0;
 }
 
-int cmdAsm(std::vector<std::string> Args) {
-  if (Args.size() != 2)
+int cmdAsm(ArgList A) {
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.size() != 2)
     return usage();
   std::string Source;
-  if (!readFileText(Args[0], Source)) {
-    std::fprintf(stderr, "cannot read %s\n", Args[0].c_str());
+  if (!readFileText(Pos[0], Source)) {
+    std::fprintf(stderr, "cannot read %s\n", Pos[0].c_str());
     return 1;
   }
   Assembler Asm(syscallAssemblerConstants());
@@ -131,27 +135,29 @@ int cmdAsm(std::vector<std::string> Args) {
     std::fprintf(stderr, "%s\n", Error.c_str());
     return 1;
   }
-  if (!saveModule(M, Args[1])) {
-    std::fprintf(stderr, "cannot write %s\n", Args[1].c_str());
+  if (!saveModule(M, Pos[1])) {
+    std::fprintf(stderr, "cannot write %s\n", Pos[1].c_str());
     return 1;
   }
-  std::printf("assembled %s -> %s (%zu code bytes)\n", Args[0].c_str(),
-              Args[1].c_str(), M.Code.size());
+  std::printf("assembled %s -> %s (%zu code bytes)\n", Pos[0].c_str(),
+              Pos[1].c_str(), M.Code.size());
   return 0;
 }
 
-int cmdInstrument(std::vector<std::string> Args) {
-  std::string BaseStr = flagValue(Args, "--dag-base", "0");
-  if (Args.size() != 3)
+int cmdInstrument(ArgList A) {
+  int64_t Base = A.intValue("--dag-base", 0);
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.size() != 3)
     return usage();
   Module Orig;
-  if (!loadModule(Args[0], Orig)) {
-    std::fprintf(stderr, "cannot load %s\n", Args[0].c_str());
+  if (!loadModule(Pos[0], Orig)) {
+    std::fprintf(stderr, "cannot load %s\n", Pos[0].c_str());
     return 1;
   }
   InstrumentOptions Opts;
-  int64_t Base = 0;
-  parseInt(BaseStr, Base);
   Opts.DagIdBase = static_cast<uint32_t>(Base);
   Module Out;
   MapFile Map;
@@ -161,7 +167,7 @@ int cmdInstrument(std::vector<std::string> Args) {
     std::fprintf(stderr, "%s\n", Error.c_str());
     return 1;
   }
-  if (!saveModule(Out, Args[1]) || !saveMapFile(Map, Args[2])) {
+  if (!saveModule(Out, Pos[1]) || !saveMapFile(Map, Pos[2])) {
     std::fprintf(stderr, "cannot write outputs\n");
     return 1;
   }
@@ -173,24 +179,32 @@ int cmdInstrument(std::vector<std::string> Args) {
   return 0;
 }
 
-int cmdDisasm(std::vector<std::string> Args) {
-  if (Args.size() != 1)
+int cmdDisasm(ArgList A) {
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.size() != 1)
     return usage();
   Module M;
-  if (!loadModule(Args[0], M)) {
-    std::fprintf(stderr, "cannot load %s\n", Args[0].c_str());
+  if (!loadModule(Pos[0], M)) {
+    std::fprintf(stderr, "cannot load %s\n", Pos[0].c_str());
     return 1;
   }
   std::fputs(disassembleModule(M).c_str(), stdout);
   return 0;
 }
 
-int cmdMapInfo(std::vector<std::string> Args) {
-  if (Args.size() != 1)
+int cmdMapInfo(ArgList A) {
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.size() != 1)
     return usage();
   MapFile Map;
-  if (!loadMapFile(Args[0], Map)) {
-    std::fprintf(stderr, "cannot load %s\n", Args[0].c_str());
+  if (!loadMapFile(Pos[0], Map)) {
+    std::fprintf(stderr, "cannot load %s\n", Pos[0].c_str());
     return 1;
   }
   std::printf("module %s checksum %s dag ids [%u, %u)\n",
@@ -208,12 +222,16 @@ int cmdMapInfo(std::vector<std::string> Args) {
   return 0;
 }
 
-int cmdSnapInfo(std::vector<std::string> Args) {
-  if (Args.size() != 1)
+int cmdSnapInfo(ArgList A) {
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.size() != 1)
     return usage();
   SnapFile Snap;
-  if (!loadSnap(Args[0], Snap)) {
-    std::fprintf(stderr, "cannot load %s\n", Args[0].c_str());
+  if (!loadSnap(Pos[0], Snap)) {
+    std::fprintf(stderr, "cannot load %s\n", Pos[0].c_str());
     return 1;
   }
   std::printf("snap: reason=%s detail=%u\n",
@@ -231,8 +249,9 @@ int cmdSnapInfo(std::vector<std::string> Args) {
                 M.DagIdBase + M.DagIdCount,
                 M.Instrumented ? "" : " (uninstrumented)",
                 M.Unloaded ? " (unloaded)" : "");
-  std::printf("%zu buffers, %zu threads, %zu memory regions\n",
-              Snap.Buffers.size(), Snap.Threads.size(), Snap.Memory.size());
+  std::printf("%zu buffers, %zu threads, %zu memory regions%s\n",
+              Snap.Buffers.size(), Snap.Threads.size(), Snap.Memory.size(),
+              Snap.Telemetry.empty() ? "" : ", telemetry embedded");
   if (!Snap.Memory.empty())
     std::fputs(renderMemoryDump(Snap).c_str(), stdout);
   return 0;
@@ -251,52 +270,66 @@ std::string renderReconstruction(const SnapFile &Snap,
   return Out;
 }
 
+/// Lists files with extension \p Ext in \p Dir, sorted by path.
+std::vector<std::string> filesWithExtension(const std::string &Dir,
+                                            const std::string &Ext,
+                                            std::error_code &EC) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Out;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, EC)) {
+    if (E.is_regular_file() && E.path().extension().string() == Ext)
+      Out.push_back(E.path().string());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+/// Loads every mapfile path into \p Store (duplicate checksums warn).
+bool loadMapsInto(MapFileStore &Store,
+                  const std::vector<std::string> &Paths) {
+  for (const std::string &Path : Paths) {
+    MapFile Map;
+    if (!loadMapFile(Path, Map)) {
+      std::fprintf(stderr, "cannot load %s\n", Path.c_str());
+      return false;
+    }
+    std::string Warning;
+    if (!Store.add(std::move(Map), &Warning))
+      std::fprintf(stderr, "warning: %s\n", Warning.c_str());
+  }
+  return true;
+}
+
 /// Batch mode: reconstruct every .tbsnap in a directory against every
 /// .tbmap found there, fanning snaps out across a worker pool. Output
 /// is ordered by snap path regardless of completion order.
 int cmdReconstructBatch(const std::string &Dir, int Jobs, bool NoCache,
                         bool Render) {
-  namespace fs = std::filesystem;
-  std::vector<std::string> SnapPaths, MapPaths;
   std::error_code EC;
-  for (const fs::directory_entry &E : fs::directory_iterator(Dir, EC)) {
-    if (!E.is_regular_file())
-      continue;
-    std::string Ext = E.path().extension().string();
-    if (Ext == ".tbsnap")
-      SnapPaths.push_back(E.path().string());
-    else if (Ext == ".tbmap")
-      MapPaths.push_back(E.path().string());
-  }
+  std::vector<std::string> SnapPaths = filesWithExtension(Dir, ".tbsnap", EC);
+  std::vector<std::string> MapPaths;
+  if (!EC)
+    MapPaths = filesWithExtension(Dir, ".tbmap", EC);
   if (EC) {
     std::fprintf(stderr, "cannot read directory %s: %s\n", Dir.c_str(),
                  EC.message().c_str());
     return 1;
   }
-  std::sort(SnapPaths.begin(), SnapPaths.end());
-  std::sort(MapPaths.begin(), MapPaths.end());
   if (SnapPaths.empty()) {
     std::fprintf(stderr, "no .tbsnap files in %s\n", Dir.c_str());
     return 1;
   }
 
   MapFileStore Store;
-  for (const std::string &Path : MapPaths) {
-    MapFile Map;
-    if (!loadMapFile(Path, Map)) {
-      std::fprintf(stderr, "cannot load %s\n", Path.c_str());
-      return 1;
-    }
-    std::string Warning;
-    if (!Store.add(std::move(Map), &Warning))
-      std::fprintf(stderr, "warning: %s\n", Warning.c_str());
-  }
+  if (!loadMapsInto(Store, MapPaths))
+    return 1;
 
   ReconstructOptions Opts;
-  Opts.UseDecodeCache = !NoCache;
+  Opts.Cache.Enabled = !NoCache;
+  Opts.Parallel.Jobs = Jobs;
   Reconstructor R(Store, Opts);
 
-  unsigned Workers = ThreadPool::resolveJobs(Jobs);
+  unsigned Workers = ThreadPool::resolveJobs(Opts.Parallel.Jobs);
   ThreadPool Pool(Workers);
   // One fan-out level per pool: across snaps when there are several,
   // within the snap when there is just one.
@@ -353,42 +386,38 @@ int cmdReconstructBatch(const std::string &Dir, int Jobs, bool NoCache,
   return Failures ? 1 : 0;
 }
 
-int cmdReconstruct(std::vector<std::string> Args) {
-  bool Tree = hasFlag(Args, "--tree");
-  bool NoCache = hasFlag(Args, "--no-cache");
-  bool Render = hasFlag(Args, "--render");
-  std::string ThreadStr = flagValue(Args, "--thread", "");
-  std::string JobsStr = flagValue(Args, "--jobs", "1");
-  std::string BatchDir = flagValue(Args, "--batch", "");
-  int64_t Jobs = 1;
-  parseInt(JobsStr, Jobs);
+int cmdReconstruct(ArgList A) {
+  bool Tree = A.flag("--tree");
+  bool NoCache = A.flag("--no-cache");
+  bool Render = A.flag("--render");
+  int64_t OnlyThread = A.intValue("--thread", -1);
+  int Jobs = A.jobs();
+  std::string BatchDir = A.value("--batch");
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
   if (!BatchDir.empty())
-    return cmdReconstructBatch(BatchDir, static_cast<int>(Jobs), NoCache,
-                               Render);
-  if (Args.size() < 2)
+    return cmdReconstructBatch(BatchDir, Jobs, NoCache, Render);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.size() < 2)
     return usage();
   SnapFile Snap;
-  if (!loadSnap(Args[0], Snap)) {
-    std::fprintf(stderr, "cannot load %s\n", Args[0].c_str());
+  if (!loadSnap(Pos[0], Snap)) {
+    std::fprintf(stderr, "cannot load %s\n", Pos[0].c_str());
     return 1;
   }
   MapFileStore Store;
-  for (size_t I = 1; I < Args.size(); ++I) {
-    MapFile Map;
-    if (!loadMapFile(Args[I], Map)) {
-      std::fprintf(stderr, "cannot load %s\n", Args[I].c_str());
-      return 1;
-    }
-    std::string Warning;
-    if (!Store.add(std::move(Map), &Warning))
-      std::fprintf(stderr, "warning: %s\n", Warning.c_str());
-  }
+  if (!loadMapsInto(Store,
+                    std::vector<std::string>(Pos.begin() + 1, Pos.end())))
+    return 1;
   ReconstructOptions Opts;
-  Opts.UseDecodeCache = !NoCache;
+  Opts.Cache.Enabled = !NoCache;
+  Opts.Parallel.Jobs = Jobs;
+  Opts.Render.Tree = Tree;
   Reconstructor R(Store, Opts);
   ReconstructedTrace Trace;
   if (Jobs > 1) {
-    ThreadPool Pool(ThreadPool::resolveJobs(static_cast<int>(Jobs)));
+    ThreadPool Pool(ThreadPool::resolveJobs(Jobs));
     Trace = R.reconstruct(Snap, &Pool);
   } else {
     Trace = R.reconstruct(Snap);
@@ -398,26 +427,112 @@ int cmdReconstruct(std::vector<std::string> Args) {
 
   std::fputs(renderFaultView(Snap, Trace).c_str(), stdout);
   std::printf("\n");
-  int64_t OnlyThread = -1;
-  if (!ThreadStr.empty())
-    parseInt(ThreadStr, OnlyThread);
   for (const ThreadTrace &T : Trace.Threads) {
     if (OnlyThread >= 0 && T.ThreadId != static_cast<uint64_t>(OnlyThread))
       continue;
-    std::fputs(Tree ? renderCallTree(T).c_str()
-                    : renderFlatTrace(T).c_str(),
+    std::fputs(Opts.Render.Tree ? renderCallTree(T).c_str()
+                                : renderFlatTrace(T).c_str(),
                stdout);
     std::printf("\n");
   }
   return 0;
 }
 
-int cmdRun(std::vector<std::string> Args) {
-  std::string Entry = flagValue(Args, "--entry", "main");
-  std::string PolicyPath = flagValue(Args, "--policy", "");
-  std::string SnapDir = flagValue(Args, "--snap-dir", ".");
-  bool NoInstrument = hasFlag(Args, "--no-instrument");
-  if (Args.empty())
+/// `tbtool metrics <snap>`: the tracer-health report. Combines the snap's
+/// embedded producer telemetry (what the runtime recorded about itself at
+/// capture time) with a fresh reconstruction pass measured into a local
+/// registry (what decoding the snap costs now), as one JSON document.
+int cmdMetrics(ArgList A) {
+  int Jobs = A.jobs();
+  A.json(); // Output is always JSON; the flag is accepted for uniformity.
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.empty())
+    return usage();
+  SnapFile Snap;
+  if (!loadSnap(Pos[0], Snap)) {
+    std::fprintf(stderr, "cannot load %s\n", Pos[0].c_str());
+    return 1;
+  }
+
+  // Producer telemetry: decode the TELEMETRY stream, then re-emit pretty.
+  std::string ProducerJson;
+  MetricsSnapshot Producer;
+  if (Snap.telemetry(Producer))
+    ProducerJson = Producer.toJson(2);
+  else if (!Snap.Telemetry.empty())
+    std::fprintf(stderr, "warning: snap telemetry stream is torn\n");
+
+  // Mapfiles: explicit operands, or every .tbmap next to the snap.
+  std::vector<std::string> MapPaths(Pos.begin() + 1, Pos.end());
+  if (MapPaths.empty()) {
+    namespace fs = std::filesystem;
+    std::string Dir = fs::path(Pos[0]).parent_path().string();
+    if (Dir.empty())
+      Dir = ".";
+    std::error_code EC;
+    MapPaths = filesWithExtension(Dir, ".tbmap", EC);
+  }
+  MapFileStore Store;
+  if (!loadMapsInto(Store, MapPaths))
+    return 1;
+
+  // Reconstruction cost, measured into a registry local to this command.
+  MetricsRegistry Local;
+  ReconstructOptions Opts;
+  Opts.Parallel.Jobs = Jobs;
+  Reconstructor R(Store, Opts, &Local);
+  if (Jobs > 1) {
+    ThreadPool Pool(ThreadPool::resolveJobs(Jobs));
+    (void)R.reconstruct(Snap, &Pool);
+  } else {
+    (void)R.reconstruct(Snap);
+  }
+
+  uint64_t Hits = R.pathCache().hits();
+  uint64_t Misses = R.pathCache().misses();
+  double HitRate =
+      (Hits + Misses) ? static_cast<double>(Hits) / (Hits + Misses) : 0.0;
+  char Rate[32];
+  std::snprintf(Rate, sizeof(Rate), "%.4f", HitRate);
+
+  std::string EscapedPath;
+  for (char C : Pos[0]) {
+    if (C == '"' || C == '\\')
+      EscapedPath.push_back('\\');
+    EscapedPath.push_back(C);
+  }
+
+  std::printf("{\n");
+  std::printf("  \"schema\": \"traceback-tbtool-metrics-v1\",\n");
+  std::printf("  \"snap\": \"%s\",\n", EscapedPath.c_str());
+  if (!ProducerJson.empty())
+    std::printf("  \"producer\": %s,\n",
+                tool::indentJsonBody(ProducerJson, 2).c_str());
+  else
+    std::printf("  \"producer\": null,\n");
+  std::printf("  \"reconstruction\": %s,\n",
+              tool::indentJsonBody(Local.snapshot().toJson(2), 2).c_str());
+  std::printf("  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+              "\"hit_rate\": %s}\n",
+              static_cast<unsigned long long>(Hits),
+              static_cast<unsigned long long>(Misses), Rate);
+  std::printf("}\n");
+  return 0;
+}
+
+int cmdRun(ArgList A) {
+  std::string Entry = A.value("--entry", "main");
+  std::string PolicyPath = A.value("--policy");
+  std::string SnapDir = A.value("--snap-dir", ".");
+  bool NoInstrument = A.flag("--no-instrument");
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.empty())
     return usage();
 
   Deployment D;
@@ -432,7 +547,7 @@ int cmdRun(std::vector<std::string> Args) {
   Machine *Host = D.addMachine("tbtool-host");
   Process *P = Host->createProcess("app");
   std::string Error;
-  for (const std::string &Path : Args) {
+  for (const std::string &Path : Pos) {
     Module M;
     if (!loadModule(Path, M)) {
       std::fprintf(stderr, "cannot load %s\n", Path.c_str());
@@ -506,15 +621,20 @@ bool isPrefixWithSlack(const std::vector<std::string> &Got,
   return true;
 }
 
-int cmdInject(std::vector<std::string> Args) {
-  std::string Entry = flagValue(Args, "--entry", "main");
-  std::string SeedStr = flagValue(Args, "--seed", "1");
-  std::string PlanPath = flagValue(Args, "--plan", "");
-  if (Args.empty())
+int cmdInject(ArgList A) {
+  std::string Entry = A.value("--entry", "main");
+  uint64_t Seed = A.seed();
+  std::string PlanPath = A.value("--plan");
+  std::string SnapDir = A.value("--snap-dir");
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.empty())
     return usage();
 
   std::vector<Module> Mods;
-  for (const std::string &Path : Args) {
+  for (const std::string &Path : Pos) {
     Module M;
     if (!loadModule(Path, M)) {
       std::fprintf(stderr, "cannot load %s\n", Path.c_str());
@@ -559,10 +679,7 @@ int cmdInject(std::vector<std::string> Args) {
       return 1;
     }
   } else {
-    int64_t Seed = 1;
-    parseInt(SeedStr, Seed);
-    Plan = FaultPlan::random(static_cast<uint64_t>(Seed),
-                             GoldenSlices > 2 ? GoldenSlices : 2000);
+    Plan = FaultPlan::random(Seed, GoldenSlices > 2 ? GoldenSlices : 2000);
   }
   std::printf("--- fault plan (save and replay with --plan FILE) ---\n%s",
               Plan.toText().c_str());
@@ -611,6 +728,25 @@ int cmdInject(std::vector<std::string> Args) {
     return 0;
   }
 
+  // Persist survivors (and their mapfiles) so `tbtool metrics` and
+  // `reconstruct` can examine the faulted run offline.
+  if (!SnapDir.empty()) {
+    int SnapIndex = 0;
+    for (const SnapFile &Snap : Snaps) {
+      std::string Path =
+          formatv("%s/snap%03d.tbsnap", SnapDir.c_str(), SnapIndex++);
+      if (saveSnap(Snap, Path))
+        std::printf("wrote %s (%s)\n", Path.c_str(),
+                    snapReasonName(Snap.Reason).c_str());
+    }
+    for (const MapFile &Map : D.maps().all()) {
+      std::string Path =
+          formatv("%s/%s.tbmap", SnapDir.c_str(), Map.ModuleName.c_str());
+      if (saveMapFile(Map, Path))
+        std::printf("wrote %s\n", Path.c_str());
+    }
+  }
+
   bool AllPrefix = true;
   int Index = 0;
   for (const SnapFile &Snap : Snaps) {
@@ -642,7 +778,7 @@ int main(int argc, char **argv) {
   if (argc < 2)
     return usage();
   std::string Cmd = argv[1];
-  std::vector<std::string> Args(argv + 2, argv + argc);
+  ArgList Args(std::vector<std::string>(argv + 2, argv + argc));
   if (Cmd == "compile")
     return cmdCompile(std::move(Args));
   if (Cmd == "asm")
@@ -657,6 +793,8 @@ int main(int argc, char **argv) {
     return cmdSnapInfo(std::move(Args));
   if (Cmd == "reconstruct")
     return cmdReconstruct(std::move(Args));
+  if (Cmd == "metrics")
+    return cmdMetrics(std::move(Args));
   if (Cmd == "run")
     return cmdRun(std::move(Args));
   if (Cmd == "inject")
