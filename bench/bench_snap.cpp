@@ -1,0 +1,510 @@
+//===- bench/bench_snap.cpp - Snap wire format + ingestion throughput -----===//
+//
+// Part of the TraceBack reproduction project.
+//
+// The snap path is the first-failure pipeline's I/O bottleneck: every
+// fault produces one snap per group member, and the daemon must forward
+// and archive them all (sections 3.6-3.7). This bench measures the fast
+// snap path against the pre-PR behavior:
+//
+//   wire format   bytes/snap of the v3 monolithic image vs the v4
+//                 sectioned image with trace-aware compression, plus
+//                 serialize/deserialize throughput for both. Target:
+//                 >= 4x size reduction on a deployment-shaped workload.
+//
+//   fan-out       wall time from one faulting snap to all N group-member
+//                 snaps delivered downstream and archived, at N = 8, 64
+//                 and 256 processes:
+//                   legacy_sync_copy   the pre-PR pipeline: by-value
+//                                      runtime->daemon delivery,
+//                                      synchronous ingestion, a copying
+//                                      downstream sink, and per-snap
+//                                      archival of the uncompressed v3
+//                                      monolithic image through its own
+//                                      file open
+//                   fast_async_shared  sharded async queues drained with
+//                                      pooled v4 serialization, batched
+//                                      archive writes and shared-pointer
+//                                      delivery
+//                 The fan-out rig also yields the headline size numbers:
+//                 bytes/snap of its real runtime snaps, raw (v2) vs v4.
+//                 Targets: >= 4x size reduction, >= 2x fan-out
+//                 throughput, both on the 64-process workload.
+//
+// Results go to BENCH_snap.json (BENCH_snap_smoke.json in the ctest
+// smoke run, which also shrinks N to 4 and 8).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/FileIO.h"
+#include "distributed/ServiceDaemon.h"
+#include "distributed/SnapArchive.h"
+#include "instrument/Instrumenter.h"
+#include "reconstruct/SynthWorkload.h"
+#include "support/Metrics.h"
+#include "support/ThreadPool.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+using namespace traceback;
+using namespace traceback::bench;
+
+namespace {
+
+bool smokeMode() {
+  const char *V = std::getenv("TRACEBACK_BENCH_SMOKE");
+  return V && *V && *V != '0';
+}
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: wire format — size and codec throughput.
+// ---------------------------------------------------------------------------
+
+struct FormatResult {
+  uint64_t RawBytes = 0; ///< v3 monolithic image size.
+  uint64_t V4Bytes = 0;  ///< v4 sectioned + compressed image size.
+  double SerializeV3MBs = 0, SerializeV4MBs = 0;
+  double DeserializeV3MBs = 0, DeserializeV4MBs = 0;
+  bool RoundTripIdentical = false;
+};
+
+FormatResult benchFormat(const SnapFile &Snap, int Reps) {
+  FormatResult R;
+  std::vector<uint8_t> V3 = Snap.serializeVersion(3);
+  std::vector<uint8_t> V4 = Snap.serialize();
+  R.RawBytes = V3.size();
+  R.V4Bytes = V4.size();
+
+  // Throughput is normalized to the raw (v3) image size, so the v4
+  // numbers answer "how fast does the raw trace volume move through the
+  // codec", not "how fast do the smaller files copy".
+  double MB = static_cast<double>(R.RawBytes) / (1024.0 * 1024.0);
+  auto best = [&](auto &&Fn) {
+    double Best = 1e100;
+    for (int I = 0; I < Reps; ++I) {
+      double T0 = now();
+      Fn();
+      double S = now() - T0;
+      if (S < Best)
+        Best = S;
+    }
+    return Best;
+  };
+
+  std::vector<uint8_t> Out;
+  R.SerializeV3MBs = MB / best([&] {
+    Out = Snap.serializeVersion(3);
+    benchmark::DoNotOptimize(Out.data());
+  });
+  R.SerializeV4MBs = MB / best([&] {
+    Out.clear();
+    Snap.serializeTo(Out);
+    benchmark::DoNotOptimize(Out.data());
+  });
+  SnapFile Decoded;
+  R.DeserializeV3MBs = MB / best([&] {
+    Decoded = SnapFile();
+    if (!SnapFile::deserialize(V3, Decoded))
+      std::abort();
+  });
+  R.DeserializeV4MBs = MB / best([&] {
+    Decoded = SnapFile();
+    if (!SnapFile::deserialize(V4, Decoded))
+      std::abort();
+  });
+  // Byte-identical round trip: re-serializing the decoded v4 image must
+  // reproduce it exactly.
+  R.RoundTripIdentical = Decoded.serialize() == V4;
+  return R;
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: group-snap fan-out through the daemon.
+// ---------------------------------------------------------------------------
+
+/// Legacy downstream: a Versioned sink, so the shared-delivery bridge
+/// copies every snap into it — the pre-PR by-value chain.
+class CopySink : public SnapSink {
+public:
+  unsigned consumerVersion() const override { return Versioned; }
+  void onSnap(const SnapFile &Snap) override { Snaps.push_back(Snap); }
+  std::vector<SnapFile> Snaps;
+};
+
+/// Fast downstream: holds shared handles, no copies.
+class SharedSink : public SnapSink {
+public:
+  unsigned consumerVersion() const override { return SharedDelivery; }
+  void onSnap(const SnapFile &) override {}
+  void onSnapShared(const std::shared_ptr<const SnapFile> &Snap) override {
+    Snaps.push_back(Snap);
+  }
+  std::vector<std::shared_ptr<const SnapFile>> Snaps;
+};
+
+/// The runtime -> daemon hop. Pre-PR, runtimes delivered snaps by value
+/// (SnapSink::onSnap) and the daemon deep-copied each into a shared
+/// instance; the fast path hands over one shared pointer. The legacy
+/// variant routes through the copying entry so that per-snap copy is
+/// charged where the old pipeline paid it.
+class ProducerSwitch : public SnapSink {
+public:
+  ServiceDaemon *Daemon = nullptr;
+  bool SharedMode = true;
+  unsigned consumerVersion() const override {
+    return SharedMode ? SharedDelivery : Versioned;
+  }
+  void onSnap(const SnapFile &Snap) override { Daemon->onSnap(Snap); }
+  void onSnapShared(const std::shared_ptr<const SnapFile> &Snap) override {
+    if (SharedMode)
+      Daemon->onSnapShared(Snap);
+    else
+      Daemon->onSnap(*Snap); // The pre-PR by-value hop: daemon copies.
+  }
+};
+
+/// The daemon's downstream is fixed at construction, so the rig routes
+/// through this switch to swap sinks between variants.
+class SwitchSink : public SnapSink {
+public:
+  SnapSink *Target = nullptr;
+  unsigned consumerVersion() const override { return SharedDelivery; }
+  void onSnap(const SnapFile &Snap) override { Target->onSnap(Snap); }
+  void onSnapShared(const std::shared_ptr<const SnapFile> &Snap) override {
+    Target->onSnapShared(Snap); // Versioned targets bridge to a copy.
+  }
+};
+
+// A call-heavy loop with branching: fills the ring with DAG records the
+// way a busy server process does. Runs long enough that every process is
+// still alive when the group snap fires.
+const char *FanoutSource = R"(
+fn work(n) {
+  var acc = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    if (i % 3 == 0) { acc = acc + i; } else { acc = acc - 1; }
+  }
+  return acc;
+}
+fn main() export {
+  var total = 0;
+  for (var r = 0; r < 100000000; r = r + 1) {
+    total = total + work(40);
+    yield();
+  }
+  print(total);
+}
+)";
+
+/// One machine, N instrumented processes in one process group, buffers
+/// pre-filled by running the workload. Variants re-trigger group snaps
+/// against the same rig (snapping never mutates the trace buffers).
+struct FanoutRig {
+  World W;
+  MetricsRegistry Registry;
+  ProducerSwitch Producer;
+  SwitchSink Switch;
+  std::unique_ptr<ServiceDaemon> Daemon;
+  std::vector<std::unique_ptr<TracebackRuntime>> Runtimes;
+  unsigned Procs = 0;
+
+  explicit FanoutRig(unsigned N) : Procs(N) {
+    Machine *M = W.createMachine("bench");
+    Daemon = std::make_unique<ServiceDaemon>(*M, &Switch, &Registry);
+    Producer.Daemon = Daemon.get();
+
+    Module App = compileBench(FanoutSource, "fanout");
+    InstrumentOptions IOpts;
+    Module Instr;
+    MapFile Map;
+    std::string Error;
+    if (!instrumentModule(App, IOpts, Instr, Map, nullptr, Error)) {
+      std::fprintf(stderr, "bench instrument error: %s\n", Error.c_str());
+      std::abort();
+    }
+    // Deployment-default buffer shape (RtPolicy::BufferBytes): the raw
+    // byte volume per snap is what separates the two pipelines, so the
+    // rig must not shrink it.
+    RtPolicy Policy = quietPolicy();
+    for (unsigned I = 0; I < N; ++I) {
+      Process *P = M->createProcess(formatv("worker%u", I));
+      auto RT = std::make_unique<TracebackRuntime>(*P, Technology::Native,
+                                                   Policy, &Producer,
+                                                   nullptr, &Registry);
+      P->attachRuntime(RT.get());
+      Daemon->watch(*P, *RT, "workers");
+      if (!P->loadModule(Instr, Error) || !P->start("main")) {
+        std::fprintf(stderr, "bench setup error: %s\n", Error.c_str());
+        std::abort();
+      }
+      Runtimes.push_back(std::move(RT));
+    }
+    // Enough cycles that each ring holds a dense record history.
+    W.run(static_cast<uint64_t>(N) * 120'000);
+  }
+
+  /// Mean bytes/snap of the group snaps the last fast-variant run
+  /// delivered, raw (v2 monolithic) vs v4.
+  uint64_t RawBytesPerSnap = 0, V4BytesPerSnap = 0;
+
+  /// Time from one faulting snap to all N member snaps delivered + the
+  /// archive written. Returns best-of-reps seconds.
+  double measure(bool Fast, int Reps, const std::string &ArchivePath,
+                 ThreadPool *Pool) {
+    ServiceDaemon::IngestOptions O;
+    O.Async = Fast;
+    O.QueueCapacity = 2 * Procs + 8;
+    O.ArchivePath = ArchivePath;
+    // The pre-PR pipeline stored the uncompressed monolithic image; the
+    // raw byte volume through the filesystem is part of what v4 cuts.
+    O.ArchiveFormatVersion = Fast ? 4 : 3;
+    // Pooled archive serialization only helps with real cores behind it;
+    // on a single-CPU host the drain serializes inline.
+    O.Pool = Fast && std::thread::hardware_concurrency() > 1 ? Pool : nullptr;
+    Daemon->configureIngest(O);
+
+    CopySink Legacy;
+    SharedSink Shared;
+    Producer.SharedMode = Fast;
+    Switch.Target = Fast ? static_cast<SnapSink *>(&Shared)
+                         : static_cast<SnapSink *>(&Legacy);
+    double Best = 1e100;
+    for (int Rep = 0; Rep < Reps; ++Rep) {
+      std::remove(ArchivePath.c_str());
+      Legacy.Snaps.clear();
+      Shared.Snaps.clear();
+      double T0 = now();
+      Runtimes[0]->takeSnapShared(SnapReason::External, 0);
+      if (Fast)
+        Daemon->drainIngest();
+      double S = now() - T0;
+      size_t Delivered = Fast ? Shared.Snaps.size() : Legacy.Snaps.size();
+      if (Delivered != Procs || Daemon->queuedSnaps() != 0) {
+        std::fprintf(stderr,
+                     "fan-out delivered %zu of %u snaps (queued %zu)\n",
+                     Delivered, Procs, Daemon->queuedSnaps());
+        std::abort();
+      }
+      if (S < Best)
+        Best = S;
+    }
+    // The archive must hold one parseable entry per group member.
+    std::vector<SnapArchiveEntry> Entries;
+    if (!SnapArchive::list(ArchivePath, Entries) || Entries.size() != Procs) {
+      std::fprintf(stderr, "archive mismatch: %zu entries for %u procs\n",
+                   Entries.size(), Procs);
+      std::abort();
+    }
+    std::remove(ArchivePath.c_str());
+    if (Fast) {
+      uint64_t Raw = 0, V4 = 0;
+      for (const auto &SP : Shared.Snaps) {
+        Raw += SP->serializeVersion(2).size();
+        V4 += SP->serialize().size();
+      }
+      RawBytesPerSnap = Raw / Procs;
+      V4BytesPerSnap = V4 / Procs;
+    }
+    return Best;
+  }
+};
+
+struct FanoutResult {
+  unsigned Procs = 0;
+  double LegacySec = 0, FastSec = 0;
+  uint64_t RawBytesPerSnap = 0, V4BytesPerSnap = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------------
+
+void writeJson(const FormatResult &F, const SynthWorkloadOptions &O,
+               const std::vector<FanoutResult> &Fanout, unsigned PoolJobs) {
+  std::string J = "{\n  \"bench\": \"snap\",\n";
+  J += formatv("  \"host_hw_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  J += formatv("  \"workload\": {\"modules\": %u, \"dags_per_module\": %u, "
+               "\"threads\": %u, \"records_per_thread\": %u},\n",
+               O.Modules, O.DagsPerModule, O.Threads, O.RecordsPerThread);
+  J += formatv(
+      "  \"format\": {\"raw_bytes\": %llu, \"v4_bytes\": %llu, "
+      "\"size_reduction\": %.2f, \"serialize_v3_mb_s\": %.1f, "
+      "\"serialize_v4_mb_s\": %.1f, \"deserialize_v3_mb_s\": %.1f, "
+      "\"deserialize_v4_mb_s\": %.1f, \"round_trip_identical\": %s},\n",
+      static_cast<unsigned long long>(F.RawBytes),
+      static_cast<unsigned long long>(F.V4Bytes),
+      F.V4Bytes ? static_cast<double>(F.RawBytes) / F.V4Bytes : 0.0,
+      F.SerializeV3MBs, F.SerializeV4MBs, F.DeserializeV3MBs,
+      F.DeserializeV4MBs, F.RoundTripIdentical ? "true" : "false");
+  J += formatv("  \"fanout_pool_jobs\": %u,\n", PoolJobs);
+  J += "  \"fanout\": [\n";
+  for (size_t I = 0; I < Fanout.size(); ++I) {
+    const FanoutResult &R = Fanout[I];
+    J += formatv(
+        "    {\"procs\": %u, \"legacy_sync_copy_ms\": %.3f, "
+        "\"fast_async_shared_ms\": %.3f, \"speedup\": %.2f, "
+        "\"raw_bytes_per_snap\": %llu, \"v4_bytes_per_snap\": %llu, "
+        "\"size_reduction\": %.2f}%s\n",
+        R.Procs, R.LegacySec * 1e3, R.FastSec * 1e3,
+        R.FastSec > 0 ? R.LegacySec / R.FastSec : 0.0,
+        static_cast<unsigned long long>(R.RawBytesPerSnap),
+        static_cast<unsigned long long>(R.V4BytesPerSnap),
+        R.V4BytesPerSnap
+            ? static_cast<double>(R.RawBytesPerSnap) / R.V4BytesPerSnap
+            : 0.0,
+        I + 1 < Fanout.size() ? "," : "");
+  }
+  J += "  ]\n}\n";
+  const char *Name =
+      smokeMode() ? "BENCH_snap_smoke.json" : "BENCH_snap.json";
+  if (!writeFileText(Name, J)) {
+    std::fprintf(stderr, "cannot write %s\n", Name);
+    std::abort();
+  }
+}
+
+void runSnapBench() {
+  const int Reps = smokeMode() ? 1 : 5;
+
+  // The wire-format workload is the deployment-shaped synthetic snap
+  // (skewed hot-pair DAG records — the redundancy profile the codec is
+  // built for).
+  SynthWorkloadOptions O;
+  if (smokeMode()) {
+    O.Modules = 6;
+    O.DagsPerModule = 8;
+    O.Threads = 3;
+    O.RecordsPerThread = 500;
+  } else {
+    O.Modules = 64;
+    O.DagsPerModule = 16;
+    O.Threads = 8;
+    O.RecordsPerThread = 25000;
+  }
+  O.IncludeCorrupt = false;
+  SynthWorkload W = makeSynthWorkload(/*Seed=*/42, O);
+  FormatResult F = benchFormat(W.Snap, Reps);
+
+  std::printf("Snap wire format (v3 monolithic vs v4 compressed)\n");
+  printRule();
+  std::printf("raw (v3) bytes/snap        %12llu\n",
+              static_cast<unsigned long long>(F.RawBytes));
+  std::printf("v4 bytes/snap              %12llu  (%.2fx smaller)\n",
+              static_cast<unsigned long long>(F.V4Bytes),
+              F.V4Bytes ? static_cast<double>(F.RawBytes) / F.V4Bytes : 0.0);
+  std::printf("serialize MB/s (raw-normalized)    v3 %8.1f   v4 %8.1f\n",
+              F.SerializeV3MBs, F.SerializeV4MBs);
+  std::printf("deserialize MB/s (raw-normalized)  v3 %8.1f   v4 %8.1f\n",
+              F.DeserializeV3MBs, F.DeserializeV4MBs);
+  std::printf("v4 round trip byte-identical: %s\n\n",
+              F.RoundTripIdentical ? "yes" : "NO");
+  if (!F.RoundTripIdentical)
+    std::abort();
+
+  // Fan-out. The pool size is fixed (not hw_concurrency) so results are
+  // comparable across hosts; the JSON records the hw count.
+  unsigned PoolJobs = 4;
+  ThreadPool Pool(PoolJobs);
+  std::vector<unsigned> Sizes =
+      smokeMode() ? std::vector<unsigned>{4, 8}
+                  : std::vector<unsigned>{8, 64, 256};
+  std::printf("Group-snap fan-out (one fault -> N member snaps delivered "
+              "+ archived)\n");
+  printRule();
+  std::printf("%6s %22s %22s %9s\n", "procs", "legacy_sync_copy(ms)",
+              "fast_async_shared(ms)", "speedup");
+  printRule();
+  std::vector<FanoutResult> Fanout;
+  for (unsigned N : Sizes) {
+    FanoutRig Rig(N);
+    FanoutResult R;
+    R.Procs = N;
+    R.LegacySec = Rig.measure(false, Reps, "bench_snap_legacy.tbar", &Pool);
+    R.FastSec = Rig.measure(true, Reps, "bench_snap_fast.tbar", &Pool);
+    R.RawBytesPerSnap = Rig.RawBytesPerSnap;
+    R.V4BytesPerSnap = Rig.V4BytesPerSnap;
+    Fanout.push_back(R);
+    std::printf("%6u %22.3f %22.3f %8.2fx\n", N, R.LegacySec * 1e3,
+                R.FastSec * 1e3,
+                R.FastSec > 0 ? R.LegacySec / R.FastSec : 0.0);
+  }
+  printRule();
+  for (const FanoutResult &R : Fanout)
+    std::printf("bytes/snap at %3u procs: raw %llu -> v4 %llu (%.2fx "
+                "smaller)\n",
+                R.Procs,
+                static_cast<unsigned long long>(R.RawBytesPerSnap),
+                static_cast<unsigned long long>(R.V4BytesPerSnap),
+                R.V4BytesPerSnap ? static_cast<double>(R.RawBytesPerSnap) /
+                                       R.V4BytesPerSnap
+                                 : 0.0);
+  std::printf("\n");
+
+  writeJson(F, O, Fanout, PoolJobs);
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark registrations (small fixed workload).
+// ---------------------------------------------------------------------------
+
+const SnapFile &smallSnap() {
+  static SynthWorkload W = [] {
+    SynthWorkloadOptions O;
+    O.Modules = 12;
+    O.DagsPerModule = 12;
+    O.Threads = 4;
+    O.RecordsPerThread = 1500;
+    O.IncludeCorrupt = false;
+    return makeSynthWorkload(7, O);
+  }();
+  return W.Snap;
+}
+
+void BM_SnapSerializeV4(benchmark::State &State) {
+  std::vector<uint8_t> Out;
+  for (auto _ : State) {
+    Out.clear();
+    smallSnap().serializeTo(Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          smallSnap().serializeVersion(3).size());
+}
+BENCHMARK(BM_SnapSerializeV4);
+
+void BM_SnapDeserializeV4(benchmark::State &State) {
+  std::vector<uint8_t> Bytes = smallSnap().serialize();
+  for (auto _ : State) {
+    SnapFile S;
+    if (!SnapFile::deserialize(Bytes, S))
+      std::abort();
+    benchmark::DoNotOptimize(S.Buffers.data());
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          smallSnap().serializeVersion(3).size());
+}
+BENCHMARK(BM_SnapDeserializeV4);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  runSnapBench();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -90,11 +90,11 @@ int main() {
   // The service process copies the trace buffers out of the dead image
   // (they live in the memory-mapped file).
   ServiceDaemon *Daemon = D.daemonFor(*Host);
-  std::vector<SnapFile> PostMortem = Daemon->collectPostMortem(*P);
+  auto PostMortem = Daemon->collectPostMortem(*P);
   std::printf("[3] service process collected %zu snap(s) post mortem\n\n",
               PostMortem.size());
 
-  ReconstructedTrace Trace = D.reconstruct(PostMortem.at(0));
+  ReconstructedTrace Trace = D.reconstruct(*PostMortem.at(0));
   const ThreadTrace *Main = Trace.threadById(1);
   if (!Main) {
     std::fprintf(stderr, "no trace recovered\n");

@@ -74,3 +74,10 @@ bool traceback::loadSnap(const std::string &Path, SnapFile &Out) {
   std::vector<uint8_t> Bytes;
   return readFileBytes(Path, Bytes) && SnapFile::deserialize(Bytes, Out);
 }
+
+bool traceback::loadSnapHeader(const std::string &Path, SnapFile &Out,
+                               uint64_t *PayloadBytes) {
+  std::vector<uint8_t> Bytes;
+  return readFileBytes(Path, Bytes) &&
+         SnapFile::deserializeHeader(Bytes, Out, PayloadBytes);
+}

@@ -40,6 +40,13 @@ bool loadMapFile(const std::string &Path, MapFile &Out);
 bool saveSnap(const SnapFile &S, const std::string &Path);
 bool loadSnap(const std::string &Path, SnapFile &Out);
 
+/// Header-only snap load (SnapFile::deserializeHeader): scalar fields,
+/// modules and threads without inflating buffer/memory/telemetry payloads.
+/// \p PayloadBytes receives the skipped sections' uncompressed size — the
+/// cost estimate batch reconstruction schedules by.
+bool loadSnapHeader(const std::string &Path, SnapFile &Out,
+                    uint64_t *PayloadBytes = nullptr);
+
 } // namespace traceback
 
 #endif // TRACEBACK_CORE_FILEIO_H

@@ -6,6 +6,10 @@
 
 #include "distributed/ServiceDaemon.h"
 
+#include "distributed/SnapArchive.h"
+
+#include <algorithm>
+
 using namespace traceback;
 
 ServiceDaemon::ServiceDaemon(Machine &M, SnapSink *Downstream,
@@ -19,6 +23,13 @@ ServiceDaemon::ServiceDaemon(Machine &M, SnapSink *Downstream,
   DM.PostMortemSnaps = &Reg.counter("daemon.postmortem_snaps");
   DM.TelemetryForwarded = &Reg.counter("daemon.telemetry_forwarded");
   DM.WatchedProcesses = &Reg.gauge("daemon.watched_processes");
+  DM.IngestEnqueued = &Reg.counter("daemon.ingest.enqueued");
+  DM.IngestDelivered = &Reg.counter("daemon.ingest.delivered");
+  DM.IngestSpilled = &Reg.counter("daemon.ingest.spilled");
+  DM.IngestOverflowInline = &Reg.counter("daemon.ingest.overflow_inline");
+  DM.IngestDrains = &Reg.counter("daemon.ingest.drains");
+  DM.IngestArchived = &Reg.counter("daemon.ingest.archived");
+  DM.IngestQueueDepth = &Reg.gauge("daemon.ingest.queue_depth");
 }
 
 void ServiceDaemon::watch(Process &P, TracebackRuntime &RT,
@@ -34,22 +45,165 @@ void ServiceDaemon::onTelemetry(uint64_t RuntimeId,
     Downstream->onTelemetry(RuntimeId, Snapshot);
 }
 
+unsigned ServiceDaemon::shardFor(const std::string &Group) const {
+  // FNV-1a: stable across runs and platforms (std::hash is neither).
+  uint64_t H = 1469598103934665603ull;
+  for (char C : Group) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 1099511628211ull;
+  }
+  unsigned Shards = Ingest.Shards ? Ingest.Shards : 1;
+  return static_cast<unsigned>(H % Shards);
+}
+
+const std::string &ServiceDaemon::groupOf(uint64_t Pid) const {
+  static const std::string None;
+  for (const Watched &W : Processes)
+    if (W.P->Pid == Pid)
+      return W.Group;
+  return None;
+}
+
 void ServiceDaemon::onSnap(const SnapFile &Snap) {
+  onSnapShared(std::make_shared<const SnapFile>(Snap));
+}
+
+void ServiceDaemon::onSnapShared(const std::shared_ptr<const SnapFile> &Snap) {
   DM.SnapsReceived->add();
+  if (!Ingest.Async) {
+    deliver(Snap, nullptr, nullptr);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    unsigned Shards = Ingest.Shards ? Ingest.Shards : 1;
+    if (Queues.size() != Shards)
+      Queues.resize(Shards);
+    if (QueuedCount < Ingest.QueueCapacity) {
+      Queues[shardFor(groupOf(Snap->Pid))].push_back({NextSeq++, Snap});
+      ++QueuedCount;
+      DM.IngestEnqueued->add();
+      DM.IngestQueueDepth->set(static_cast<int64_t>(QueuedCount));
+      return;
+    }
+  }
+  // Back-pressure: the queue is full. Spill the serialized image to the
+  // archive (recoverable later via `tbtool archive`) rather than dropping
+  // a fault snap; with no spill archive configured, fall back to inline
+  // delivery — slower, never lossy.
+  if (!Ingest.SpillPath.empty() &&
+      SnapArchive::appendSnap(Ingest.SpillPath, *Snap)) {
+    DM.IngestSpilled->add();
+    return;
+  }
+  DM.IngestOverflowInline->add();
+  deliver(Snap, nullptr, nullptr);
+}
+
+size_t ServiceDaemon::drainIngest() {
+  size_t Delivered = 0;
+  bool Drained = false;
+  // One archive handle for the whole drain: a group snap delivers
+  // hundreds of entries, and per-entry open/close would dominate.
+  SnapArchiveWriter Writer;
+  if (!Ingest.ArchivePath.empty())
+    Writer.open(Ingest.ArchivePath);
+  for (;;) {
+    // Take everything queued so far as one batch; delivery below may
+    // enqueue GroupPeer snaps, picked up by the next iteration.
+    std::vector<Pending> Batch;
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      for (std::deque<Pending> &Q : Queues) {
+        for (Pending &P : Q)
+          Batch.push_back(std::move(P));
+        Q.clear();
+      }
+      QueuedCount = 0;
+      DM.IngestQueueDepth->set(0);
+    }
+    if (Batch.empty())
+      break;
+    Drained = true;
+    // Shards drain merged by global arrival number, so delivery order is
+    // deterministic no matter how groups hashed across shards.
+    std::sort(Batch.begin(), Batch.end(),
+              [](const Pending &A, const Pending &B) { return A.Seq < B.Seq; });
+    // Archive images are independent per snap: with a pool they serialize
+    // concurrently, slot-indexed so completion order never leaks into the
+    // file. Without one, a single scratch buffer is reused across the
+    // batch — a fresh allocation per image costs more than the serialize.
+    const bool Archiving = !Ingest.ArchivePath.empty();
+    auto serializeImage = [&](const SnapFile &S, std::vector<uint8_t> &Out) {
+      if (Ingest.ArchiveFormatVersion == 4)
+        S.serializeTo(Out);
+      else
+        Out = S.serializeVersion(Ingest.ArchiveFormatVersion);
+    };
+    std::vector<std::vector<uint8_t>> Images;
+    if (Archiving && Ingest.Pool) {
+      Images.resize(Batch.size());
+      parallelForIndex(Ingest.Pool, Batch.size(), [&](size_t I) {
+        serializeImage(*Batch[I].Snap, Images[I]);
+      });
+    }
+    std::vector<uint8_t> Scratch;
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      const std::vector<uint8_t> *Image = nullptr;
+      if (Archiving) {
+        if (Ingest.Pool) {
+          Image = &Images[I];
+        } else {
+          Scratch.clear();
+          serializeImage(*Batch[I].Snap, Scratch);
+          Image = &Scratch;
+        }
+      }
+      deliver(Batch[I].Snap, Image, Writer.isOpen() ? &Writer : nullptr);
+      DM.IngestDelivered->add();
+      ++Delivered;
+    }
+  }
+  if (Drained)
+    DM.IngestDrains->add();
+  return Delivered;
+}
+
+size_t ServiceDaemon::queuedSnaps() const {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  return QueuedCount;
+}
+
+void ServiceDaemon::deliver(const std::shared_ptr<const SnapFile> &Snap,
+                            const std::vector<uint8_t> *Image,
+                            SnapArchiveWriter *Writer) {
   if (Downstream)
-    Downstream->onSnap(Snap);
+    Downstream->onSnapShared(Snap);
+  if (!Ingest.ArchivePath.empty()) {
+    std::vector<uint8_t> Local;
+    if (!Image) {
+      if (Ingest.ArchiveFormatVersion == 4)
+        Snap->serializeTo(Local);
+      else
+        Local = Snap->serializeVersion(Ingest.ArchiveFormatVersion);
+      Image = &Local;
+    }
+    if (Writer ? Writer->append(*Image)
+               : SnapArchive::append(Ingest.ArchivePath, *Image))
+      DM.IngestArchived->add();
+  }
   // Group snaps are best-effort and must not recurse: peers are snapped
   // with reason GroupPeer, which does not propagate further.
-  if (Snap.Reason == SnapReason::GroupPeer || InGroupSnap)
+  if (Snap->Reason == SnapReason::GroupPeer || InGroupSnap)
     return;
   for (const Watched &W : Processes) {
-    if (W.P->Pid != Snap.Pid)
+    if (W.P->Pid != Snap->Pid)
       continue;
     InGroupSnap = true;
-    groupSnap(W.Group, Snap.Pid);
+    groupSnap(W.Group, Snap->Pid);
     for (ServiceDaemon *Peer : Peers) {
       Peer->InGroupSnap = true;
-      Peer->groupSnap(W.Group, Snap.Pid);
+      Peer->groupSnap(W.Group, Snap->Pid);
       Peer->InGroupSnap = false;
     }
     InGroupSnap = false;
@@ -63,9 +217,10 @@ void ServiceDaemon::groupSnap(const std::string &Group, uint64_t ExceptPid) {
       continue;
     // The group snap is "not perfectly synchronized but useful in
     // practice" (section 3.6.1) — it is taken when the notification
-    // arrives, not at the fault instant.
+    // arrives, not at the fault instant. The shared return is discarded:
+    // delivery already happened through the runtime's sink, copy-free.
     DM.GroupSnapFanout->add();
-    W.RT->takeSnap(SnapReason::GroupPeer, 0);
+    W.RT->takeSnapShared(SnapReason::GroupPeer, 0);
   }
 }
 
@@ -94,22 +249,29 @@ size_t ServiceDaemon::snapHungProcesses() {
     for (const Watched &W : Processes)
       if (W.P == P) {
         DM.HangSnaps->add();
-        W.RT->takeSnap(SnapReason::Hang, 0);
+        W.RT->takeSnapShared(SnapReason::Hang, 0);
         ++Count;
       }
   }
+  if (Ingest.Async)
+    drainIngest();
   return Count;
 }
 
-std::vector<SnapFile> ServiceDaemon::collectPostMortem(Process &P) {
-  std::vector<SnapFile> Result;
+std::vector<std::shared_ptr<const SnapFile>>
+ServiceDaemon::collectPostMortem(Process &P) {
+  std::vector<std::shared_ptr<const SnapFile>> Result;
   for (const Watched &W : Processes) {
     if (W.P != &P)
       continue;
     // The buffers live in the process's memory image (the memory-mapped
-    // file); takeSnap reads them from there regardless of process state.
+    // file); the snap reads them from there regardless of process state.
     DM.PostMortemSnaps->add();
-    Result.push_back(W.RT->takeSnap(SnapReason::External, 0));
+    Result.push_back(W.RT->takeSnapShared(SnapReason::External, 0));
   }
+  // Post-mortem collection is an explicitly synchronous operation: the
+  // caller (and its downstream sink) expect the full picture on return.
+  if (Ingest.Async)
+    drainIngest();
   return Result;
 }

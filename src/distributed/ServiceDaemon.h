@@ -19,14 +19,20 @@
 
 #include "runtime/Runtime.h"
 #include "runtime/Snap.h"
+#include "support/ThreadPool.h"
 #include "vm/Machine.h"
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace traceback {
+
+class SnapArchiveWriter;
 
 /// One machine's TraceBack service process.
 class ServiceDaemon : public SnapSink {
@@ -37,6 +43,48 @@ public:
                 MetricsRegistry *Metrics = nullptr);
 
   Machine &machine() { return M; }
+
+  /// Ingestion behavior. Default is fully synchronous: a snap is forwarded
+  /// downstream inside the producer's delivery call, exactly as before.
+  struct IngestOptions {
+    /// Queue snaps on arrival; delivery happens on drainIngest(). Group
+    /// fan-out still runs at delivery time, so queued GroupPeer snaps
+    /// surface on the following drain pass (drainIngest loops until the
+    /// queues are empty).
+    bool Async = false;
+    /// Queue shards; a snap lands in the shard of its process group, so
+    /// one chatty group cannot serialize ingestion of the others.
+    unsigned Shards = 4;
+    /// Bound on queued snaps across all shards. On overflow the snap is
+    /// spilled to SpillPath — or delivered inline when no spill archive is
+    /// configured; back-pressure must never drop a fault snap.
+    size_t QueueCapacity = 256;
+    /// Spill archive path ("" = deliver inline on overflow).
+    std::string SpillPath;
+    /// When set, every ingested snap is also appended here (the daemon's
+    /// archival record; see SnapArchive / `tbtool archive`).
+    std::string ArchivePath;
+    /// Snap format version of archived images (2, 3 or 4). Default is the
+    /// current compressed format; older versions exist for archives that
+    /// must stay readable by pre-v4 tooling — at the cost of writing the
+    /// full uncompressed image per snap.
+    uint32_t ArchiveFormatVersion = 4;
+    /// Used by drainIngest to serialize archive images in parallel.
+    /// Delivery order stays deterministic regardless (global arrival
+    /// order). Null = serialize inline.
+    ThreadPool *Pool = nullptr;
+  };
+
+  void configureIngest(const IngestOptions &O) { Ingest = O; }
+  const IngestOptions &ingestOptions() const { return Ingest; }
+
+  /// Delivers every queued snap in global arrival order, looping until the
+  /// queues stay empty (delivery can enqueue GroupPeer snaps). Returns how
+  /// many snaps were delivered. No-op when async ingestion is off.
+  size_t drainIngest();
+
+  /// Snaps currently queued across all shards.
+  size_t queuedSnaps() const;
 
   /// Registers a traced process (and its runtime) with the daemon and
   /// assigns it to a named process group. Groups may span machines when
@@ -49,13 +97,19 @@ public:
 
   // --- SnapSink ----------------------------------------------------------
 
-  /// The daemon speaks the versioned consumer interface, so runtimes hand
-  /// it telemetry along with each snap.
-  unsigned consumerVersion() const override { return Versioned; }
+  /// The daemon speaks the shared-delivery consumer interface: it receives
+  /// snaps by shared pointer (fanning one immutable instance out to every
+  /// peer and downstream sink) and telemetry along with each snap.
+  unsigned consumerVersion() const override { return SharedDelivery; }
 
-  /// Receives a snap from a watched runtime: forwards it downstream and
-  /// triggers group snaps on the faulting process's peers.
+  /// Legacy copying entry point: wraps the snap in a shared instance and
+  /// ingests it.
   void onSnap(const SnapFile &Snap) override;
+
+  /// Receives a snap from a watched runtime: forwards it downstream (or
+  /// queues it, in async mode) and triggers group snaps on the faulting
+  /// process's peers.
+  void onSnapShared(const std::shared_ptr<const SnapFile> &Snap) override;
 
   /// Counts and relays producer telemetry to a versioned downstream.
   void onTelemetry(uint64_t RuntimeId, const MetricsSnapshot &Snapshot) override;
@@ -74,9 +128,11 @@ public:
   size_t snapHungProcesses();
 
   /// Post-mortem collection for a process that died abruptly (kill -9):
-  /// reads buffers straight out of the dead process image. Returns the
-  /// snaps produced (also forwarded downstream).
-  std::vector<SnapFile> collectPostMortem(Process &P);
+  /// reads buffers straight out of the dead process image. Returns shared
+  /// handles to the snaps produced (also forwarded downstream; in async
+  /// mode the queues are drained before returning, so the downstream sink
+  /// has seen everything).
+  std::vector<std::shared_ptr<const SnapFile>> collectPostMortem(Process &P);
 
 private:
   struct Watched {
@@ -87,13 +143,38 @@ private:
     bool SeenSample = false;
   };
 
+  /// One queued snap: Seq is the global arrival number delivery sorts by.
+  struct Pending {
+    uint64_t Seq;
+    std::shared_ptr<const SnapFile> Snap;
+  };
+
   void groupSnap(const std::string &Group, uint64_t ExceptPid);
+
+  /// The synchronous delivery tail shared by both modes: downstream
+  /// forward, optional archive append (\p Image = pre-serialized bytes,
+  /// null = serialize here; \p Writer = a batch-held archive handle,
+  /// null = open per append), then group fan-out.
+  void deliver(const std::shared_ptr<const SnapFile> &Snap,
+               const std::vector<uint8_t> *Image, SnapArchiveWriter *Writer);
+
+  /// Shard index for a process group name (FNV-1a; stable across runs).
+  unsigned shardFor(const std::string &Group) const;
+
+  /// The group a pid belongs to ("" when the process is not watched).
+  const std::string &groupOf(uint64_t Pid) const;
 
   Machine &M;
   SnapSink *Downstream;
   std::vector<Watched> Processes;
   std::vector<ServiceDaemon *> Peers;
   bool InGroupSnap = false;
+
+  IngestOptions Ingest;
+  mutable std::mutex QueueMutex;
+  std::vector<std::deque<Pending>> Queues; ///< Sized to Ingest.Shards.
+  size_t QueuedCount = 0;
+  uint64_t NextSeq = 0;
 
   /// "daemon." instruments, resolved once at construction.
   struct Instruments {
@@ -104,6 +185,14 @@ private:
     Counter *PostMortemSnaps = nullptr;
     Counter *TelemetryForwarded = nullptr;
     Gauge *WatchedProcesses = nullptr;
+    // Ingest-path back-pressure family ("daemon.ingest.*").
+    Counter *IngestEnqueued = nullptr;
+    Counter *IngestDelivered = nullptr;
+    Counter *IngestSpilled = nullptr;
+    Counter *IngestOverflowInline = nullptr;
+    Counter *IngestDrains = nullptr;
+    Counter *IngestArchived = nullptr;
+    Gauge *IngestQueueDepth = nullptr;
   };
   Instruments DM;
 };

@@ -1,0 +1,93 @@
+//===- distributed/SnapArchive.h - Append-only snap archive -----*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service daemon's append-only on-disk snap store. Two jobs: the
+/// spill target when the bounded ingest queue overflows (back-pressure
+/// must never drop a fault snap), and the optional archival record of
+/// every snap a daemon ingested (`tbtool archive` lists and extracts).
+///
+/// File layout: u32 magic "TBAR", u32 archive version, then entries of
+/// `u8 0xA5 marker, u32 image size, image bytes` — each image is a
+/// complete serialized snap (any supported format version). The marker
+/// byte lets a reader detect a torn tail from a crashed daemon and stop
+/// at the last intact entry instead of failing the whole archive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_DISTRIBUTED_SNAPARCHIVE_H
+#define TRACEBACK_DISTRIBUTED_SNAPARCHIVE_H
+
+#include "runtime/Snap.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// One archive entry as reported by SnapArchive::list.
+struct SnapArchiveEntry {
+  uint64_t Offset = 0;     ///< Byte offset of the image within the archive.
+  uint64_t ImageBytes = 0; ///< Serialized image size.
+  uint32_t FormatVersion = 0; ///< Snap format version (0 = unparsable).
+  bool HeaderOk = false;   ///< Whether the header-only parse succeeded.
+  SnapFile Header;         ///< Header fields when HeaderOk (payloads empty).
+};
+
+/// Static helpers over the archive file format (the daemon serializes all
+/// access itself; these do not lock).
+class SnapArchive {
+public:
+  /// Appends one serialized snap image, creating the archive (with its
+  /// file header) if needed. Returns false on I/O failure.
+  static bool append(const std::string &Path,
+                     const std::vector<uint8_t> &Image);
+
+  /// Serializes \p S (current format) and appends it.
+  static bool appendSnap(const std::string &Path, const SnapFile &S);
+
+  /// Lists every intact entry, parsing each image's header (never its
+  /// payload sections). A torn final entry is ignored. Returns false only
+  /// when the file is missing or not an archive.
+  static bool list(const std::string &Path,
+                   std::vector<SnapArchiveEntry> &Out);
+
+  /// Copies entry \p Index's raw image into \p Image.
+  static bool extract(const std::string &Path, size_t Index,
+                      std::vector<uint8_t> &Image);
+};
+
+/// Keeps the archive open across a batch of appends: one open/close per
+/// ingest drain instead of per snap, which matters when a group snap
+/// lands hundreds of entries at once.
+class SnapArchiveWriter {
+public:
+  SnapArchiveWriter() = default;
+  ~SnapArchiveWriter() { close(); }
+  SnapArchiveWriter(const SnapArchiveWriter &) = delete;
+  SnapArchiveWriter &operator=(const SnapArchiveWriter &) = delete;
+
+  /// Opens \p Path for appending, writing the file header if the archive
+  /// is new. Returns false on I/O failure.
+  bool open(const std::string &Path);
+  bool isOpen() const { return F != nullptr; }
+
+  /// Appends one entry frame. Returns false on I/O failure (the writer
+  /// stays open; the entry may be torn, which readers tolerate).
+  bool append(const std::vector<uint8_t> &Image);
+
+  /// Flushes and closes. Returns false if any write was lost.
+  bool close();
+
+private:
+  void *F = nullptr; ///< FILE*, kept out of this header.
+  bool Ok = true;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_DISTRIBUTED_SNAPARCHIVE_H

@@ -8,6 +8,7 @@
 
 #include "runtime/RuntimeABI.h"
 #include "support/MD5.h"
+#include "support/SnapCodec.h"
 #include "support/Text.h"
 #include "vm/FaultInjector.h"
 #include "vm/Machine.h"
@@ -86,6 +87,7 @@ TracebackRuntime::TracebackRuntime(Process &P, Technology Tech,
   uint64_t ProbationBytes = BufHeaderBytes + 2 * 4;
   uint64_t Total = PerBuffer * (Policy.BufferCount + 1) + ProbationBytes;
   RegionBase = P.allocRuntimeRegion(Total);
+  BufferStrideBytes = PerBuffer;
 
   uint64_t Cursor = RegionBase;
   for (uint32_t I = 0; I < Policy.BufferCount; ++I) {
@@ -145,11 +147,18 @@ void TracebackRuntime::initBuffer(RtBuffer &B) {
 }
 
 TracebackRuntime::RtBuffer *TracebackRuntime::bufferContaining(uint64_t A) {
-  for (RtBuffer &B : Buffers)
-    if (B.contains(A))
-      return &B;
-  if (Desperation.contains(A))
-    return &Desperation;
+  // This runs on every wrap trap, so it must not scan: the buffer slots
+  // (including desperation) sit contiguously from RegionBase at a fixed
+  // stride, making the owning slot a single division.
+  if (A >= RegionBase && BufferStrideBytes != 0) {
+    uint64_t Slot = (A - RegionBase) / BufferStrideBytes;
+    if (Slot < Buffers.size()) {
+      RtBuffer &B = Buffers[Slot];
+      return B.contains(A) ? &B : nullptr;
+    }
+    if (Slot == Buffers.size() && Desperation.contains(A))
+      return &Desperation;
+  }
   if (A >= Probation.RecordsBase && A < Probation.RecordsBase + 8)
     return &Probation;
   return nullptr;
@@ -488,7 +497,7 @@ void TracebackRuntime::onProcessExit(Process &) {
     if (!T->exited() && threadHasRealBuffer(*T))
       appendExtRecord(*T, {ExtType::ThreadEnd, 0, {T->Id, machineNow()}});
   if (Policy.SnapOnExit)
-    takeSnap(SnapReason::ProcessExit, 0);
+    takeSnapShared(SnapReason::ProcessExit, 0);
 }
 
 // ----------------------------------------------------------------------------
@@ -538,8 +547,7 @@ void TracebackRuntime::maybeSnapForFault(Process &, Thread &T,
     M.SnapsSuppressed->add();
     return;
   }
-  SnapFile S = takeSnap(Reason, Code);
-  (void)S;
+  takeSnapShared(Reason, Code);
 }
 
 void TracebackRuntime::onException(Process &P2, Thread &T,
@@ -564,7 +572,7 @@ void TracebackRuntime::onUnhandledException(Process &, Thread &T,
   LastFaultSeen = F;
   LastFaultThread = T.Id;
   if (Policy.SnapOnUnhandled)
-    takeSnap(SnapReason::Unhandled, static_cast<uint16_t>(F.Code));
+    takeSnapShared(SnapReason::Unhandled, static_cast<uint16_t>(F.Code));
 }
 
 void TracebackRuntime::onSignal(Process &, Thread &T, int Sig,
@@ -574,7 +582,7 @@ void TracebackRuntime::onSignal(Process &, Thread &T, int Sig,
           static_cast<uint16_t>(ExcInlineSignalFlag | (Sig & 0xFFF)),
           {0, 0, machineNow()}});
   if (Policy.SnapOnSignals.count(Sig) || (Fatal && Policy.SnapOnUnhandled))
-    takeSnap(SnapReason::Signal, static_cast<uint16_t>(Sig));
+    takeSnapShared(SnapReason::Signal, static_cast<uint16_t>(Sig));
 }
 
 void TracebackRuntime::onSignalHandlerDone(Process &, Thread &T, int Sig) {
@@ -587,14 +595,22 @@ void TracebackRuntime::onSignalHandlerDone(Process &, Thread &T, int Sig) {
 void TracebackRuntime::onSnapRequest(Process &, Thread *T, uint16_t Reason) {
   if (!Policy.SnapOnApi)
     return;
-  takeSnap(T ? SnapReason::Api : SnapReason::External, Reason);
+  takeSnapShared(T ? SnapReason::Api : SnapReason::External, Reason);
 }
 
 SnapFile TracebackRuntime::takeSnap(SnapReason Reason, uint16_t Detail) {
+  // Legacy by-value interface: one copy for the caller; the sink-facing
+  // delivery inside takeSnapShared stays copy-free.
+  return *takeSnapShared(Reason, Detail);
+}
+
+std::shared_ptr<const SnapFile>
+TracebackRuntime::takeSnapShared(SnapReason Reason, uint16_t Detail) {
   // In the real system the runtime suspends all threads here; our VM is
   // cooperative, so the world is already still while host code runs.
   auto SnapStart = std::chrono::steady_clock::now();
-  SnapFile S;
+  auto SP = std::make_shared<SnapFile>();
+  SnapFile &S = *SP;
   S.Reason = Reason;
   S.ReasonDetail = Detail;
   S.ProcessName = P.Name;
@@ -640,8 +656,10 @@ SnapFile TracebackRuntime::takeSnap(SnapReason Reason, uint16_t Detail) {
     Img.CommittedSubBuffer =
         P.Mem.read32(B.RecordsBase - BufHeaderBytes + 16, Ok);
     Img.OwnerThread = P.Mem.read64(B.RecordsBase - BufHeaderBytes + 24, Ok);
-    Img.Raw.resize(B.totalWords() * 4);
-    P.Mem.read(B.RecordsBase, Img.Raw.data(), Img.Raw.size());
+    // readInto touches each captured byte once (no resize zero-fill):
+    // this copy runs once per buffer per group-snap member, so the extra
+    // memset pass was a measurable slice of snap latency.
+    P.Mem.readInto(B.RecordsBase, B.totalWords() * 4, Img.Raw);
     S.Buffers.push_back(std::move(Img));
   };
   for (const RtBuffer &B : Buffers)
@@ -665,8 +683,7 @@ SnapFile TracebackRuntime::takeSnap(SnapReason Reason, uint16_t Detail) {
       SnapMemoryRegion Region;
       Region.Base = Base;
       Region.Label = std::move(Label);
-      Region.Bytes.resize(Len);
-      if (P.Mem.read(Base, Region.Bytes.data(), Len))
+      if (P.Mem.readInto(Base, Len, Region.Bytes))
         S.Memory.push_back(std::move(Region));
     };
     for (const auto &T : P.Threads) {
@@ -691,6 +708,16 @@ SnapFile TracebackRuntime::takeSnap(SnapReason Reason, uint16_t Detail) {
   if (FaultInjector *FI = P.Host->Owner->Injector)
     FI->onSnapCapture(S);
 
+  // Pre-encode each buffer image while its bytes are still in cache: the
+  // daemon's archive path serializes this snap well after capture, when
+  // re-reading the raw words would miss. Done after injector damage so the
+  // cached stream always matches Raw.
+  if (Policy.PrecodeSnapBuffers)
+    for (SnapBufferImage &B : S.Buffers) {
+      B.Encoded.clear();
+      snapEncodeTo(B.Raw.data(), B.Raw.size(), B.Encoded);
+    }
+
   ++Stat.SnapsTaken;
   M.SnapsTaken->add();
   uint64_t Owned = 0;
@@ -711,11 +738,13 @@ SnapFile TracebackRuntime::takeSnap(SnapReason Reason, uint16_t Detail) {
   S.setTelemetry(Health);
 
   if (Sink) {
-    Sink->onSnap(S);
+    // Always deliver through the shared-pointer entry point; its default
+    // implementation bridges to onSnap(*Snap) for v1/v2 sinks.
+    Sink->onSnapShared(SP);
     if (Sink->consumerVersion() >= SnapSink::Versioned)
       Sink->onTelemetry(RuntimeId, Health);
   }
-  return S;
+  return SP;
 }
 
 // ----------------------------------------------------------------------------

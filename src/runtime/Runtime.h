@@ -60,6 +60,12 @@ public:
   /// utility and the hang detector as well as internal triggers).
   SnapFile takeSnap(SnapReason Reason, uint16_t Detail);
 
+  /// Like takeSnap, but returns the immutable shared instance that was
+  /// handed to the sink — the copy-free path the service daemon fans out
+  /// to peers and downstream sinks.
+  std::shared_ptr<const SnapFile> takeSnapShared(SnapReason Reason,
+                                                 uint16_t Detail);
+
   /// Statistics the benches report.
   struct Stats {
     uint64_t BufferWraps = 0;
@@ -187,6 +193,10 @@ private:
   Instruments M;
 
   uint64_t RegionBase = 0;
+  /// Guest bytes from one buffer slot to the next (header + records); the
+  /// main buffers and the desperation buffer are laid out contiguously
+  /// from RegionBase at this stride, so bufferContaining is a division.
+  uint64_t BufferStrideBytes = 0;
   std::vector<RtBuffer> Buffers;
   RtBuffer Probation;
   RtBuffer Desperation;

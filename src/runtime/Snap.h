@@ -21,6 +21,7 @@
 #include "support/Metrics.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -65,6 +66,14 @@ struct SnapBufferImage {
   /// to offsets within this image.
   uint64_t RecordsBase = 0;
   std::vector<uint8_t> Raw; ///< The record words, little endian.
+  /// Raw's codec stream, precomputed while the capture copy was still
+  /// cache-hot (see RtPolicy::PrecodeSnapBuffers) or retained from the v4
+  /// wire image at deserialize. serializeTo appends it verbatim instead
+  /// of re-reading Raw through the codec — the group-snap archival path
+  /// touches each buffer's bytes once, at capture. Empty = encode on
+  /// demand. Invariant: anything that mutates Raw must clear this (the
+  /// serializer cross-checks the stream's decoded size as a backstop).
+  std::vector<uint8_t> Encoded;
 };
 
 /// A captured slice of guest memory (section 3.6's memory dump).
@@ -123,9 +132,50 @@ struct SnapFile {
   void setTelemetry(const MetricsSnapshot &Snapshot);
   bool telemetry(MetricsSnapshot &Out) const;
 
+  /// Serializes in the current format (v4: size-prefixed sections whose
+  /// buffer/memory/telemetry payloads are compressed by support/SnapCodec),
+  /// appending to \p Out — the zero-copy streaming writer. \p Out is
+  /// pre-reserved to a worst-case bound, so a fresh sink sees at most one
+  /// allocation and no intermediate per-section vectors exist. Returns the
+  /// number of bytes appended.
+  size_t serializeTo(std::vector<uint8_t> &Out) const;
+
+  /// serializeTo into a fresh vector.
   std::vector<uint8_t> serialize() const;
+
+  /// Writes a specific format version: 4 (current), 3 (monolithic +
+  /// telemetry) or 2 (monolithic, telemetry dropped). Old versions exist
+  /// for the compat tests and the bench's size baseline; new snaps are
+  /// always v4.
+  std::vector<uint8_t> serializeVersion(uint32_t Version) const;
+
+  /// Accepts v2, v3 and v4 images.
   static bool deserialize(const std::vector<uint8_t> &Bytes, SnapFile &Out);
+
+  /// Header-only load: fills every scalar field plus Modules and Threads,
+  /// but skips the (compressed) buffer, memory and telemetry payloads —
+  /// on v4 images this touches only the section table, never inflating
+  /// record bytes. \p PayloadBytes, when non-null, receives the total
+  /// uncompressed payload size of the skipped sections (the scheduling
+  /// cost estimate batch mode sorts by). v2/v3 images fall back to a full
+  /// parse. Returns false on malformed input.
+  static bool deserializeHeader(const std::vector<uint8_t> &Bytes,
+                                SnapFile &Out,
+                                uint64_t *PayloadBytes = nullptr);
 };
+
+/// Per-section size breakdown of a serialized snap (`tbtool info`).
+struct SnapSectionStat {
+  std::string Name;
+  uint64_t EncodedBytes = 0; ///< Bytes on the wire.
+  uint64_t RawBytes = 0;     ///< Logical bytes before compression.
+};
+
+/// Lists the sections of a serialized snap with raw-vs-encoded sizes.
+/// v2/v3 images report one monolithic pseudo-section. Returns false on
+/// malformed input.
+bool snapSectionStats(const std::vector<uint8_t> &Bytes, uint32_t &Version,
+                      std::vector<SnapSectionStat> &Out);
 
 /// Encodes a metrics-snapshot JSON document as a sequence of TELEMETRY
 /// extended records (chunked; each record carries at most ~660 bytes).
@@ -145,18 +195,31 @@ bool decodeTelemetryRecords(const std::vector<uint32_t> &Words,
 ///   v1 (default): snaps only — the original implicit contract.
 ///   v2: additionally receives the producer's metrics snapshot via
 ///       onTelemetry() whenever a snap is delivered.
+///   v3: receives snaps by shared pointer via onSnapShared(), so a group
+///       snap fanned out to many sinks shares one immutable SnapFile
+///       instead of copying its buffers per hop.
 /// Producers check consumerVersion() and skip telemetry work entirely for
-/// v1 sinks, so legacy sinks pay nothing for the extension.
+/// v1 sinks, so legacy sinks pay nothing for the extension. Producers
+/// always deliver through onSnapShared(); its default implementation
+/// bridges to onSnap(*Snap) so v1/v2 sinks keep working unchanged.
 class SnapSink {
 public:
   virtual ~SnapSink();
 
   /// The consumer-interface version this sink implements. Override to
-  /// return SnapSink::Versioned (or later) to opt into telemetry delivery.
+  /// return SnapSink::Versioned (or later) to opt into telemetry delivery,
+  /// SnapSink::SharedDelivery to opt into copy-free snap delivery.
   virtual unsigned consumerVersion() const { return 1; }
   static constexpr unsigned Versioned = 2;
+  static constexpr unsigned SharedDelivery = 3;
 
   virtual void onSnap(const SnapFile &Snap) = 0;
+
+  /// Copy-free delivery path. Producers call this (not onSnap) for every
+  /// snap; sinks below SharedDelivery get the bridging default.
+  virtual void onSnapShared(const std::shared_ptr<const SnapFile> &Snap) {
+    onSnap(*Snap);
+  }
 
   /// Delivered after onSnap() to sinks with consumerVersion() >= 2.
   /// Default is a no-op so v1 sinks keep compiling unchanged.

@@ -147,6 +147,14 @@ public:
     return true;
   }
 
+  /// Advances past \p N bytes without reading them.
+  bool skip(uint64_t N) {
+    if (!require(N))
+      return false;
+    Pos += static_cast<size_t>(N);
+    return true;
+  }
+
 private:
   bool require(uint64_t N) {
     if (Failed || N > Size - Pos) {

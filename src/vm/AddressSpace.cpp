@@ -61,6 +61,26 @@ bool AddressSpace::read(uint64_t Addr, void *Dst, uint64_t Size) const {
   return true;
 }
 
+bool AddressSpace::readInto(uint64_t Addr, uint64_t Size,
+                            std::vector<uint8_t> &Out) const {
+  Out.reserve(Out.size() + Size);
+  while (Size > 0) {
+    const uint8_t *Page = pageFor(Addr);
+    if (!Page) {
+      Out.insert(Out.end(), Size, 0);
+      return false;
+    }
+    uint64_t InPage = Addr % PageSize;
+    uint64_t Chunk = PageSize - InPage;
+    if (Chunk > Size)
+      Chunk = Size;
+    Out.insert(Out.end(), Page + InPage, Page + InPage + Chunk);
+    Addr += Chunk;
+    Size -= Chunk;
+  }
+  return true;
+}
+
 bool AddressSpace::write(uint64_t Addr, const void *Src, uint64_t Size) {
   const uint8_t *In = static_cast<const uint8_t *>(Src);
   while (Size > 0) {

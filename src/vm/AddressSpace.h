@@ -38,6 +38,13 @@ public:
   /// Bulk copy out; false (partial copy possible) on unmapped access.
   bool read(uint64_t Addr, void *Dst, uint64_t Size) const;
 
+  /// Appends exactly \p Size bytes of [Addr, Addr+Size) to \p Out. Unlike
+  /// resize-then-read, each output byte is touched once (no zero-fill
+  /// pass), which matters when snapping large trace buffers. On an
+  /// unmapped access the remainder is appended as zeros and false is
+  /// returned.
+  bool readInto(uint64_t Addr, uint64_t Size, std::vector<uint8_t> &Out) const;
+
   /// Bulk copy in; false on unmapped access.
   bool write(uint64_t Addr, const void *Src, uint64_t Size);
 

@@ -387,9 +387,10 @@ void FaultInjector::onSnapCapture(SnapFile &S) {
       unsigned Flips = E.Arg != 0 ? static_cast<unsigned>(E.Arg) : 8;
       unsigned Done = 0;
       for (unsigned F = 0; F < Flips && !Targets.empty(); ++F) {
-        auto &Raw = S.Buffers[Targets[Rand.below(Targets.size())]].Raw;
-        Raw[Rand.below(Raw.size())] ^=
+        auto &B = S.Buffers[Targets[Rand.below(Targets.size())]];
+        B.Raw[Rand.below(B.Raw.size())] ^=
             static_cast<uint8_t>(1 + Rand.below(255));
+        B.Encoded.clear(); // The cached codec stream no longer matches Raw.
         ++Done;
       }
       markFired(I, formatv("snap %llu: snap-corrupt flipped %u bytes",
@@ -397,9 +398,10 @@ void FaultInjector::onSnapCapture(SnapFile &S) {
     } else if (E.Kind == FaultKind::SnapTruncate) {
       size_t Cut = 0;
       if (!Targets.empty()) {
-        auto &Raw = S.Buffers[Targets[Rand.below(Targets.size())]].Raw;
-        Cut = Raw.size() - Rand.below(Raw.size());
-        Raw.resize(Raw.size() - Cut);
+        auto &B = S.Buffers[Targets[Rand.below(Targets.size())]];
+        Cut = B.Raw.size() - Rand.below(B.Raw.size());
+        B.Raw.resize(B.Raw.size() - Cut);
+        B.Encoded.clear(); // The cached codec stream no longer matches Raw.
       }
       markFired(I, formatv("snap %llu: snap-truncate dropped %zu bytes",
                            static_cast<unsigned long long>(Ord), Cut));

@@ -139,17 +139,30 @@ TEST(CrashConsistencyTest, KillSweepRecoversGoldenPrefix) {
     SingleProcess S;
     FaultInjector FI(Plan);
     S.D.world().Injector = &FI;
+    ServiceDaemon *Daemon = S.D.daemonFor(*S.M);
+    ASSERT_NE(Daemon, nullptr);
+    // Half the sweep ingests through the sharded async queue
+    // (collectPostMortem drains it before returning), so the kill points
+    // also cover the queued-delivery path.
+    if (Run % 2) {
+      ServiceDaemon::IngestOptions IO;
+      IO.Async = true;
+      Daemon->configureIngest(IO);
+    }
     S.runModule(compileOrDie(SweepWorkload), /*Instrument=*/true);
     ASSERT_TRUE(S.P->HardKilled)
         << "seed " << Seed << ": kill at slice "
         << Plan.Events[0].Trigger << " did not land";
 
-    // Post-mortem collection from the dead image, then reconstruction.
-    ServiceDaemon *Daemon = S.D.daemonFor(*S.M);
-    ASSERT_NE(Daemon, nullptr);
-    std::vector<SnapFile> PM = Daemon->collectPostMortem(*S.P);
+    // Post-mortem collection from the dead image, then a full v4 wire
+    // round trip before reconstruction: every kill point also proves the
+    // compressed snap format preserves whatever survived.
+    auto PM = Daemon->collectPostMortem(*S.P);
     ASSERT_EQ(PM.size(), 1u) << "seed " << Seed;
-    ReconstructedTrace Trace = S.D.reconstruct(PM[0]);
+    std::vector<uint8_t> Wire = PM[0]->serialize();
+    SnapFile Decoded;
+    ASSERT_TRUE(SnapFile::deserialize(Wire, Decoded)) << "seed " << Seed;
+    ReconstructedTrace Trace = S.D.reconstruct(Decoded);
     const ThreadTrace *Main = Trace.threadById(1);
     if (!Main)
       continue; // Killed before anything was committed — acceptable loss.
@@ -190,9 +203,9 @@ TEST(CrashConsistencyTest, MultiThreadedKillSweep) {
     S.D.world().Injector = &FI;
     S.runModule(compileOrDie(TwoThreadWorkload), /*Instrument=*/true);
     ASSERT_TRUE(S.P->HardKilled) << "seed " << Seed;
-    std::vector<SnapFile> PM = S.D.daemonFor(*S.M)->collectPostMortem(*S.P);
+    auto PM = S.D.daemonFor(*S.M)->collectPostMortem(*S.P);
     ASSERT_EQ(PM.size(), 1u);
-    ReconstructedTrace Trace = S.D.reconstruct(PM[0]);
+    ReconstructedTrace Trace = S.D.reconstruct(*PM[0]);
     // EVERY recovered thread must be prefix-consistent with its golden.
     for (const ThreadTrace &T : Trace.Threads) {
       std::vector<std::string> Got = lineSequence(T);
@@ -242,10 +255,9 @@ TEST(CrashConsistencyTest, TornWriteSweepKeepsPrefix) {
       continue; // Tear found no record to hit before the kill landed.
     ++Fired;
     ASSERT_TRUE(S.P->HardKilled) << "seed " << Seed;
-    std::vector<SnapFile> PM =
-        S.D.daemonFor(*S.M)->collectPostMortem(*S.P);
+    auto PM = S.D.daemonFor(*S.M)->collectPostMortem(*S.P);
     ASSERT_EQ(PM.size(), 1u);
-    ReconstructedTrace Trace = S.D.reconstruct(PM.front());
+    ReconstructedTrace Trace = S.D.reconstruct(*PM.front());
     const ThreadTrace *Main = Trace.threadById(1);
     if (!Main)
       continue;

@@ -125,9 +125,9 @@ fn main() export {
   // The service process collects the buffers from the dead image.
   ServiceDaemon *Daemon = S.D.daemonFor(*S.M);
   ASSERT_NE(Daemon, nullptr);
-  std::vector<SnapFile> PostMortem = Daemon->collectPostMortem(*S.P);
+  auto PostMortem = Daemon->collectPostMortem(*S.P);
   ASSERT_EQ(PostMortem.size(), 1u);
-  ReconstructedTrace Trace = S.D.reconstruct(PostMortem[0]);
+  ReconstructedTrace Trace = S.D.reconstruct(*PostMortem[0]);
   ASSERT_FALSE(Trace.Threads.empty()) << "sub-buffering must save data";
   const ThreadTrace *Main = Trace.threadById(1);
   ASSERT_NE(Main, nullptr);

@@ -152,10 +152,10 @@ std::vector<std::string> postMortemLines(SingleProcess &S, uint64_t Tid) {
   ServiceDaemon *Daemon = S.D.daemonFor(*S.M);
   if (!Daemon)
     return {};
-  std::vector<SnapFile> PM = Daemon->collectPostMortem(*S.P);
+  auto PM = Daemon->collectPostMortem(*S.P);
   if (PM.size() != 1)
     return {};
-  ReconstructedTrace Trace = S.D.reconstruct(PM[0]);
+  ReconstructedTrace Trace = S.D.reconstruct(*PM[0]);
   const ThreadTrace *T = Trace.threadById(Tid);
   return T ? lineSequence(*T) : std::vector<std::string>{};
 }

@@ -13,6 +13,9 @@
 //   tbtool disasm <mod.tbo>
 //   tbtool mapinfo <map.tbmap>
 //   tbtool snapinfo <snap.tbsnap>
+//   tbtool info <snap.tbsnap>
+//   tbtool archive list <file.tbar>
+//   tbtool archive extract <file.tbar> <index> <out.tbsnap>
 //   tbtool reconstruct <snap.tbsnap> <map.tbmap>... [--thread N] [--tree]
 //                      [--jobs N] [--no-cache]
 //   tbtool reconstruct --batch <dir> [--jobs N] [--no-cache] [--render]
@@ -30,6 +33,7 @@
 #include "core/DynamicCode.h"
 #include "core/FileIO.h"
 #include "core/Session.h"
+#include "distributed/SnapArchive.h"
 #include "vm/FaultInjector.h"
 #include "isa/Assembler.h"
 #include "isa/Disassembler.h"
@@ -44,6 +48,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -64,6 +69,9 @@ int usage() {
       "  tbtool disasm <mod.tbo>\n"
       "  tbtool mapinfo <map.tbmap>\n"
       "  tbtool snapinfo <snap.tbsnap>\n"
+      "  tbtool info <snap.tbsnap>\n"
+      "  tbtool archive list <file.tbar>\n"
+      "  tbtool archive extract <file.tbar> <index> <out.tbsnap>\n"
       "  tbtool reconstruct <snap.tbsnap> <map.tbmap>... [--thread N] "
       "[--tree] [--jobs N] [--no-cache]\n"
       "  tbtool reconstruct --batch <dir> [--jobs N] [--no-cache] "
@@ -257,6 +265,111 @@ int cmdSnapInfo(ArgList A) {
   return 0;
 }
 
+/// `tbtool info`: the wire-cost view of a snap — per-section encoded vs
+/// raw bytes and compression ratio, so operators can see what snaps cost
+/// on the wire.
+int cmdInfo(ArgList A) {
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.size() != 1)
+    return usage();
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Pos[0], Bytes)) {
+    std::fprintf(stderr, "cannot read %s\n", Pos[0].c_str());
+    return 1;
+  }
+  uint32_t Version = 0;
+  std::vector<SnapSectionStat> Stats;
+  if (!snapSectionStats(Bytes, Version, Stats)) {
+    std::fprintf(stderr, "%s is not a snap file\n", Pos[0].c_str());
+    return 1;
+  }
+  std::printf("%s: snap format v%u, %zu bytes on disk\n", Pos[0].c_str(),
+              Version, Bytes.size());
+  SnapFile Header;
+  uint64_t PayloadBytes = 0;
+  if (SnapFile::deserializeHeader(Bytes, Header, &PayloadBytes))
+    std::printf("process %s (pid %llu) on %s, reason=%s, %zu modules, "
+                "%zu threads\n",
+                Header.ProcessName.c_str(),
+                static_cast<unsigned long long>(Header.Pid),
+                Header.MachineName.c_str(),
+                snapReasonName(Header.Reason).c_str(),
+                Header.Modules.size(), Header.Threads.size());
+  std::printf("%-10s %12s %12s %8s\n", "section", "encoded", "raw",
+              "ratio");
+  uint64_t TotalEnc = 0, TotalRaw = 0;
+  for (const SnapSectionStat &S : Stats) {
+    double Ratio = S.EncodedBytes
+                       ? static_cast<double>(S.RawBytes) / S.EncodedBytes
+                       : 1.0;
+    std::printf("%-10s %12llu %12llu %7.2fx\n", S.Name.c_str(),
+                static_cast<unsigned long long>(S.EncodedBytes),
+                static_cast<unsigned long long>(S.RawBytes), Ratio);
+    TotalEnc += S.EncodedBytes;
+    TotalRaw += S.RawBytes;
+  }
+  std::printf("%-10s %12llu %12llu %7.2fx\n", "total",
+              static_cast<unsigned long long>(TotalEnc),
+              static_cast<unsigned long long>(TotalRaw),
+              TotalEnc ? static_cast<double>(TotalRaw) / TotalEnc : 1.0);
+  return 0;
+}
+
+/// `tbtool archive`: lists / extracts entries of a daemon snap archive
+/// (ingest spill files and archival records; see SnapArchive).
+int cmdArchive(ArgList A) {
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.size() < 2)
+    return usage();
+  const std::string &Verb = Pos[0];
+  const std::string &Path = Pos[1];
+  if (Verb == "list" && Pos.size() == 2) {
+    std::vector<SnapArchiveEntry> Entries;
+    if (!SnapArchive::list(Path, Entries)) {
+      std::fprintf(stderr, "cannot read archive %s\n", Path.c_str());
+      return 1;
+    }
+    std::printf("%s: %zu snap(s)\n", Path.c_str(), Entries.size());
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      const SnapArchiveEntry &E = Entries[I];
+      if (E.HeaderOk)
+        std::printf("  [%zu] v%u %8llu bytes  %s pid %llu  reason=%s\n", I,
+                    E.FormatVersion,
+                    static_cast<unsigned long long>(E.ImageBytes),
+                    E.Header.ProcessName.c_str(),
+                    static_cast<unsigned long long>(E.Header.Pid),
+                    snapReasonName(E.Header.Reason).c_str());
+      else
+        std::printf("  [%zu] v%u %8llu bytes  (unparsable header)\n", I,
+                    E.FormatVersion,
+                    static_cast<unsigned long long>(E.ImageBytes));
+    }
+    return 0;
+  }
+  if (Verb == "extract" && Pos.size() == 4) {
+    size_t Index = static_cast<size_t>(std::strtoull(Pos[2].c_str(),
+                                                     nullptr, 10));
+    std::vector<uint8_t> Image;
+    if (!SnapArchive::extract(Path, Index, Image)) {
+      std::fprintf(stderr, "no entry %zu in %s\n", Index, Path.c_str());
+      return 1;
+    }
+    if (!writeFileBytes(Pos[3], Image)) {
+      std::fprintf(stderr, "cannot write %s\n", Pos[3].c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu bytes)\n", Pos[3].c_str(), Image.size());
+    return 0;
+  }
+  return usage();
+}
+
 /// Renders one reconstructed snap the way the single-snap command does.
 std::string renderReconstruction(const SnapFile &Snap,
                                  const ReconstructedTrace &Trace,
@@ -335,14 +448,31 @@ int cmdReconstructBatch(const std::string &Dir, int Jobs, bool NoCache,
   // within the snap when there is just one.
   bool AcrossSnaps = SnapPaths.size() > 1;
 
+  // Header-only scheduling pass: the v4 section table gives each snap's
+  // uncompressed payload size without inflating a single record byte, so
+  // the pool can start the heaviest snaps first (classic longest-first
+  // makespan reduction). Full deserialization happens inside the worker.
+  std::vector<uint64_t> Cost(SnapPaths.size(), 0);
+  for (size_t I = 0; I < SnapPaths.size(); ++I) {
+    SnapFile Header;
+    loadSnapHeader(SnapPaths[I], Header, &Cost[I]);
+  }
+  std::vector<size_t> Order(SnapPaths.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t L, size_t R) {
+    return Cost[L] > Cost[R];
+  });
+
   struct SnapResult {
     bool Loaded = false;
     std::string Summary;
     std::vector<std::string> Warnings;
   };
   std::vector<SnapResult> Results(SnapPaths.size());
-  parallelForIndex(AcrossSnaps ? &Pool : nullptr, SnapPaths.size(),
-                   [&](size_t I) {
+  parallelForIndex(AcrossSnaps ? &Pool : nullptr, Order.size(),
+                   [&](size_t Slot) {
+                     size_t I = Order[Slot];
                      SnapResult &Res = Results[I];
                      SnapFile Snap;
                      if (!loadSnap(SnapPaths[I], Snap))
@@ -720,8 +850,8 @@ int cmdInject(ArgList A) {
   std::vector<SnapFile> Snaps = D.snaps();
   if (P->HardKilled)
     if (ServiceDaemon *Daemon = D.daemonFor(*Host)) {
-      std::vector<SnapFile> PM = Daemon->collectPostMortem(*P);
-      Snaps.insert(Snaps.end(), PM.begin(), PM.end());
+      for (const auto &SP : Daemon->collectPostMortem(*P))
+        Snaps.push_back(*SP);
     }
   if (Snaps.empty()) {
     std::printf("no snaps survived the faulted run\n");
@@ -791,6 +921,10 @@ int main(int argc, char **argv) {
     return cmdMapInfo(std::move(Args));
   if (Cmd == "snapinfo")
     return cmdSnapInfo(std::move(Args));
+  if (Cmd == "info")
+    return cmdInfo(std::move(Args));
+  if (Cmd == "archive")
+    return cmdArchive(std::move(Args));
   if (Cmd == "reconstruct")
     return cmdReconstruct(std::move(Args));
   if (Cmd == "metrics")
