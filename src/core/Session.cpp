@@ -55,7 +55,56 @@ Machine *Deployment::addMachine(const std::string &Name,
     Daemon->addPeer(Other.get());
   }
   Daemons.push_back(std::move(Daemon));
+  if (NetEnabled)
+    attachEndpoint(*Daemons.back());
   return M;
+}
+
+uint64_t Deployment::enableNetworkTransport() {
+  if (NetEnabled)
+    return CollectorM->Id;
+  NetEnabled = true;
+  // The collector is its own machine — snap pushes cross the (faultable)
+  // network even in single-machine deployments, which is exactly what the
+  // chaos sweeps need to exercise.
+  CollectorM = W.createMachine("collector", "simos", 0, 1, 1);
+  CollectorEP = std::make_unique<TransportEndpoint>(W, CollectorM->Id,
+                                                    Metrics);
+  CollectorEP->Handler = [this](const WireFrame &F) {
+    if (F.Type != FrameType::SnapPush)
+      return;
+    SnapFile S;
+    if (SnapFile::deserialize(F.Payload, S))
+      Snaps.push_back(std::move(S));
+  };
+  for (auto &D : Daemons)
+    attachEndpoint(*D);
+  return CollectorM->Id;
+}
+
+void Deployment::attachEndpoint(ServiceDaemon &D) {
+  auto EP = std::make_unique<TransportEndpoint>(W, D.machine().Id, Metrics);
+  D.configureTransport(*EP, CollectorM->Id);
+  Endpoints.push_back(std::move(EP));
+}
+
+TransportEndpoint *Deployment::endpointFor(Machine &M) {
+  for (auto &E : Endpoints)
+    if (E->machineId() == M.Id)
+      return E.get();
+  if (CollectorEP && CollectorEP->machineId() == M.Id)
+    return CollectorEP.get();
+  return nullptr;
+}
+
+bool Deployment::pumpNetwork(uint64_t MaxCycles) {
+  if (!NetEnabled)
+    return true;
+  std::vector<ServiceDaemon *> Ds;
+  Ds.reserve(Daemons.size());
+  for (auto &D : Daemons)
+    Ds.push_back(D.get());
+  return pumpNetworkUntilQuiet(W, Ds, {CollectorEP.get()}, MaxCycles);
 }
 
 ServiceDaemon *Deployment::daemonFor(Machine &M) {

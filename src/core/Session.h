@@ -78,6 +78,29 @@ public:
   /// Service daemon of a machine (heartbeats, group snaps).
   ServiceDaemon *daemonFor(Machine &M);
 
+  // --- Network transport mode --------------------------------------------
+
+  /// Switches snap movement onto the simulated network: a dedicated
+  /// collector machine is created, every service daemon (existing and
+  /// future) gets a TransportEndpoint, snaps travel to the collector as
+  /// SnapPush frames and cross-machine group fan-out as GroupSnapRequest
+  /// frames — all subject to the fault injector's network fault classes
+  /// (drop, duplicate, reorder, delay, partition). Snaps then surface in
+  /// snaps() only after pumpNetwork() drains delivery. Idempotent;
+  /// returns the collector's machine id.
+  uint64_t enableNetworkTransport();
+  bool networkEnabled() const { return NetEnabled; }
+
+  /// The collector machine's endpoint (null until network mode is on).
+  TransportEndpoint *collectorEndpoint() { return CollectorEP.get(); }
+  /// The endpoint of \p M's daemon, or the collector's (null if neither).
+  TransportEndpoint *endpointFor(Machine &M);
+
+  /// Pumps every daemon and the collector until the network is quiet (see
+  /// pumpNetworkUntilQuiet). Returns false on a transport hang; true
+  /// immediately when network mode is off.
+  bool pumpNetwork(uint64_t MaxCycles = 4000000);
+
   /// All snaps produced so far, in arrival order.
   const std::vector<SnapFile> &snaps() const { return Snaps; }
   std::vector<SnapFile> &snaps() { return Snaps; }
@@ -99,12 +122,19 @@ public:
 private:
   class Collector;
 
+  void attachEndpoint(ServiceDaemon &D);
+
   World W;
   MapFileStore Maps;
   std::vector<SnapFile> Snaps;
   std::unique_ptr<Collector> Sink;
   std::vector<std::unique_ptr<TracebackRuntime>> Runtimes;
   std::vector<std::unique_ptr<ServiceDaemon>> Daemons;
+
+  bool NetEnabled = false;
+  Machine *CollectorM = nullptr;
+  std::unique_ptr<TransportEndpoint> CollectorEP;
+  std::vector<std::unique_ptr<TransportEndpoint>> Endpoints;
 };
 
 /// TB-ISA assembly source of "libtbc", the tiny C-runtime-style native

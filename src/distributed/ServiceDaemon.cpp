@@ -7,6 +7,7 @@
 #include "distributed/ServiceDaemon.h"
 
 #include "distributed/SnapArchive.h"
+#include "vm/World.h"
 
 #include <algorithm>
 
@@ -30,6 +31,13 @@ ServiceDaemon::ServiceDaemon(Machine &M, SnapSink *Downstream,
   DM.IngestDrains = &Reg.counter("daemon.ingest.drains");
   DM.IngestArchived = &Reg.counter("daemon.ingest.archived");
   DM.IngestQueueDepth = &Reg.gauge("daemon.ingest.queue_depth");
+  DM.NetSnapPushes = &Reg.counter("daemon.net.snap_pushes");
+  DM.NetSnapsReceived = &Reg.counter("daemon.net.snaps_received");
+  DM.NetPushFallback = &Reg.counter("daemon.net.push_fallback");
+  DM.NetGroupRequests = &Reg.counter("daemon.net.group_requests");
+  DM.NetGroupAcks = &Reg.counter("daemon.net.group_acks");
+  DM.NetMissingPeerMarkers = &Reg.counter("daemon.net.missing_peer_markers");
+  DM.NetHeartbeatsSeen = &Reg.counter("daemon.net.heartbeats_seen");
 }
 
 void ServiceDaemon::watch(Process &P, TracebackRuntime &RT,
@@ -177,7 +185,9 @@ size_t ServiceDaemon::queuedSnaps() const {
 void ServiceDaemon::deliver(const std::shared_ptr<const SnapFile> &Snap,
                             const std::vector<uint8_t> *Image,
                             SnapArchiveWriter *Writer) {
-  if (Downstream)
+  if (Net)
+    pushSnapOverNet(Snap, Image);
+  else if (Downstream)
     Downstream->onSnapShared(Snap);
   if (!Ingest.ArchivePath.empty()) {
     std::vector<uint8_t> Local;
@@ -202,6 +212,27 @@ void ServiceDaemon::deliver(const std::shared_ptr<const SnapFile> &Snap,
     InGroupSnap = true;
     groupSnap(W.Group, Snap->Pid);
     for (ServiceDaemon *Peer : Peers) {
+      if (Net) {
+        // Cross-machine fan-out goes over the wire: one request per peer,
+        // acked by the peer daemon once its members are snapped. A peer
+        // already judged unreachable degrades immediately.
+        GroupSnapRequestMsg Req;
+        Req.RequestId = NextRequestId++;
+        Req.Group = W.Group;
+        Req.ExceptPid = Snap->Pid;
+        std::vector<uint8_t> Payload;
+        encodeGroupSnapRequest(Req, Payload);
+        uint64_t PeerMachine = Peer->machine().Id;
+        if (Net->send(FrameType::GroupSnapRequest, PeerMachine,
+                      std::move(Payload))) {
+          DM.NetGroupRequests->add();
+          PendingRequests[Req.RequestId] = {PeerMachine,
+                                            Peer->machine().Name, W.Group};
+        } else {
+          emitMissingPeerMarker(PeerMachine, Peer->machine().Name, W.Group);
+        }
+        continue;
+      }
       Peer->InGroupSnap = true;
       Peer->groupSnap(W.Group, Snap->Pid);
       Peer->InGroupSnap = false;
@@ -211,7 +242,8 @@ void ServiceDaemon::deliver(const std::shared_ptr<const SnapFile> &Snap,
   }
 }
 
-void ServiceDaemon::groupSnap(const std::string &Group, uint64_t ExceptPid) {
+size_t ServiceDaemon::groupSnap(const std::string &Group, uint64_t ExceptPid) {
+  size_t Count = 0;
   for (const Watched &W : Processes) {
     if (W.Group != Group || W.P->Pid == ExceptPid)
       continue;
@@ -221,6 +253,173 @@ void ServiceDaemon::groupSnap(const std::string &Group, uint64_t ExceptPid) {
     // delivery already happened through the runtime's sink, copy-free.
     DM.GroupSnapFanout->add();
     W.RT->takeSnapShared(SnapReason::GroupPeer, 0);
+    ++Count;
+  }
+  return Count;
+}
+
+//===----------------------------------------------------------------------===//
+// Network transport
+//===----------------------------------------------------------------------===//
+
+void ServiceDaemon::configureTransport(TransportEndpoint &EP,
+                                       uint64_t Collector) {
+  Net = &EP;
+  CollectorMachine = Collector;
+  EP.Handler = [this](const WireFrame &F) { onNetFrame(F); };
+}
+
+void ServiceDaemon::pushSnapOverNet(const std::shared_ptr<const SnapFile> &Snap,
+                                    const std::vector<uint8_t> *Image) {
+  // Reuse the archive image when it is already the v4 wire form — the
+  // bytes the batch drain serialized once serve both the archive append
+  // and the wire push.
+  std::vector<uint8_t> Local;
+  if (!Image || Ingest.ArchiveFormatVersion != 4) {
+    Snap->serializeTo(Local);
+    Image = &Local;
+  }
+  if (Net->send(FrameType::SnapPush, CollectorMachine, *Image)) {
+    DM.NetSnapPushes->add();
+    return;
+  }
+  // Collector unreachable: a snap is never dropped — fall back to the
+  // direct downstream call (a real daemon would spill to local disk and
+  // re-push after the heal; the simulation's downstream is that disk).
+  DM.NetPushFallback->add();
+  if (Downstream)
+    Downstream->onSnapShared(Snap);
+}
+
+void ServiceDaemon::onNetFrame(const WireFrame &F) {
+  switch (F.Type) {
+  case FrameType::SnapPush: {
+    auto Snap = std::make_shared<SnapFile>();
+    if (!SnapFile::deserialize(F.Payload, *Snap))
+      return;
+    DM.NetSnapsReceived->add();
+    if (Downstream)
+      Downstream->onSnapShared(
+          std::shared_ptr<const SnapFile>(std::move(Snap)));
+    return;
+  }
+  case FrameType::GroupSnapRequest: {
+    GroupSnapRequestMsg Req;
+    if (!decodeGroupSnapRequest(F.Payload, Req))
+      return;
+    // Remote fan-out must not recurse into another round of fan-out.
+    InGroupSnap = true;
+    size_t Taken = groupSnap(Req.Group, Req.ExceptPid);
+    InGroupSnap = false;
+    GroupSnapAckMsg Ack;
+    Ack.RequestId = Req.RequestId;
+    Ack.SnapsTaken = Taken;
+    std::vector<uint8_t> Payload;
+    encodeGroupSnapAck(Ack, Payload);
+    Net->send(FrameType::GroupSnapAck, F.SrcMachine, std::move(Payload));
+    return;
+  }
+  case FrameType::GroupSnapAck: {
+    GroupSnapAckMsg Ack;
+    if (!decodeGroupSnapAck(F.Payload, Ack))
+      return;
+    DM.NetGroupAcks->add();
+    PendingRequests.erase(Ack.RequestId);
+    return;
+  }
+  case FrameType::Heartbeat: {
+    HeartbeatMsg HB;
+    if (!decodeHeartbeat(F.Payload, HB))
+      return;
+    DM.NetHeartbeatsSeen->add();
+    PeerHeartbeats[F.SrcMachine] = HB;
+    return;
+  }
+  case FrameType::Ack:
+    return; // Never reaches the handler.
+  }
+}
+
+void ServiceDaemon::emitMissingPeerMarker(uint64_t PeerMachine,
+                                          const std::string &PeerName,
+                                          const std::string &Group) {
+  DM.NetMissingPeerMarkers->add();
+  // The degradation record of a partial group snap: MachineName is the
+  // peer that is absent, ProcessName the group the snap is partial for,
+  // ReasonDetail the peer's machine id. It travels and archives like any
+  // snap; reconstruction reports it instead of silently missing a member.
+  auto Marker = std::make_shared<SnapFile>();
+  Marker->Reason = SnapReason::MissingPeer;
+  Marker->ReasonDetail = static_cast<uint16_t>(PeerMachine);
+  Marker->ProcessName = Group;
+  Marker->MachineName = PeerName;
+  Marker->OsName = M.OsName;
+  Marker->Timestamp = M.nowGlobal();
+  deliver(Marker, nullptr, nullptr);
+}
+
+size_t ServiceDaemon::pumpTransport() {
+  if (!Net)
+    return 0;
+  size_t Delivered = Net->pump();
+  // A request outstanding toward a peer now judged unreachable will never
+  // be acked: degrade the group snap to a partial snap right here rather
+  // than waiting on a reply that cannot come.
+  for (auto It = PendingRequests.begin(); It != PendingRequests.end();) {
+    if (Net->peerUnreachable(It->second.PeerMachine)) {
+      PendingGroupReq Req = It->second;
+      It = PendingRequests.erase(It);
+      emitMissingPeerMarker(Req.PeerMachine, Req.PeerName, Req.Group);
+    } else {
+      ++It;
+    }
+  }
+  if (Ingest.Async)
+    drainIngest();
+  return Delivered;
+}
+
+void ServiceDaemon::broadcastHeartbeat() {
+  if (!Net)
+    return;
+  HeartbeatMsg HB;
+  HB.DaemonClock = M.nowGlobal();
+  HB.WatchedProcesses = Processes.size();
+  for (ServiceDaemon *Peer : Peers) {
+    std::vector<uint8_t> Payload;
+    encodeHeartbeat(HB, Payload);
+    Net->send(FrameType::Heartbeat, Peer->machine().Id, std::move(Payload));
+  }
+}
+
+bool traceback::pumpNetworkUntilQuiet(
+    World &W, const std::vector<ServiceDaemon *> &Daemons,
+    const std::vector<TransportEndpoint *> &Extra, uint64_t MaxCycles) {
+  std::vector<TransportEndpoint *> Endpoints;
+  for (ServiceDaemon *D : Daemons)
+    if (D->transport())
+      Endpoints.push_back(D->transport());
+  Endpoints.insert(Endpoints.end(), Extra.begin(), Extra.end());
+  uint64_t Start = W.cycles();
+  for (;;) {
+    for (ServiceDaemon *D : Daemons)
+      D->pumpTransport();
+    for (TransportEndpoint *E : Extra)
+      E->pump();
+    bool Quiet = true;
+    for (TransportEndpoint *E : Endpoints)
+      if (E->inFlightTotal() || W.netQueued(E->machineId()))
+        Quiet = false;
+    for (ServiceDaemon *D : Daemons)
+      if (D->queuedSnaps() || D->pendingGroupRequests())
+        Quiet = false;
+    if (Quiet)
+      return true;
+    if (W.cycles() - Start >= MaxCycles)
+      return false;
+    // Nothing runnable: idle time is what lets retransmit and gap timers
+    // fire, so partitions resolve into verdicts instead of spinning.
+    W.advanceIdle(1000);
   }
 }
 

@@ -17,6 +17,7 @@
 #ifndef TRACEBACK_DISTRIBUTED_SERVICEDAEMON_H
 #define TRACEBACK_DISTRIBUTED_SERVICEDAEMON_H
 
+#include "distributed/Transport.h"
 #include "runtime/Runtime.h"
 #include "runtime/Snap.h"
 #include "support/ThreadPool.h"
@@ -95,6 +96,42 @@ public:
   /// Links another daemon as a group-snap peer (cross-machine groups).
   void addPeer(ServiceDaemon *Peer) { Peers.push_back(Peer); }
 
+  // --- Network transport (cross-machine snap movement) --------------------
+
+  /// Attaches this daemon to the simulated network. Once attached:
+  ///  - every snap this daemon delivers is serialized (v4) and pushed as a
+  ///    SnapPush frame to \p CollectorMachine over the reliable transport
+  ///    (instead of the direct downstream call);
+  ///  - group fan-out to cross-machine peers travels as GroupSnapRequest
+  ///    frames, answered by GroupSnapAck;
+  ///  - a peer that becomes unreachable mid-request (partition) degrades
+  ///    the group snap to a PARTIAL snap: a MISSING-PEER marker snap is
+  ///    synthesized in place of that peer's contribution, so downstream
+  ///    reconstruction sees who is absent instead of hanging.
+  /// The endpoint's Handler is taken over by the daemon.
+  void configureTransport(TransportEndpoint &EP, uint64_t CollectorMachine);
+
+  TransportEndpoint *transport() { return Net; }
+
+  /// Pumps the endpoint: arrived frames are dispatched (snap pushes
+  /// forwarded downstream, group-snap requests executed and acked,
+  /// heartbeats recorded), outstanding group requests whose peer went
+  /// unreachable are converted to MISSING-PEER markers, and — in async
+  /// ingest mode — the snap queues are drained. Returns how many data
+  /// frames the endpoint delivered.
+  size_t pumpTransport();
+
+  /// Sends a Heartbeat frame to every linked peer machine.
+  void broadcastHeartbeat();
+
+  /// Group-snap requests sent over the network and not yet acked.
+  size_t pendingGroupRequests() const { return PendingRequests.size(); }
+
+  /// Last heartbeat payload observed per peer machine id.
+  const std::map<uint64_t, HeartbeatMsg> &peerHeartbeats() const {
+    return PeerHeartbeats;
+  }
+
   // --- SnapSink ----------------------------------------------------------
 
   /// The daemon speaks the shared-delivery consumer interface: it receives
@@ -149,7 +186,22 @@ private:
     std::shared_ptr<const SnapFile> Snap;
   };
 
-  void groupSnap(const std::string &Group, uint64_t ExceptPid);
+  size_t groupSnap(const std::string &Group, uint64_t ExceptPid);
+
+  /// Serializes \p Snap (reusing \p Image when it is already the v4 wire
+  /// form) and pushes it to the collector machine; falls back to the
+  /// direct downstream call when the collector is unreachable.
+  void pushSnapOverNet(const std::shared_ptr<const SnapFile> &Snap,
+                       const std::vector<uint8_t> *Image);
+
+  /// Transport handler: one in-order data frame from a peer machine.
+  void onNetFrame(const WireFrame &F);
+
+  /// Synthesizes the partial-group-snap degradation record for an
+  /// unreachable peer and ships it like any other snap.
+  void emitMissingPeerMarker(uint64_t PeerMachine,
+                             const std::string &PeerName,
+                             const std::string &Group);
 
   /// The synchronous delivery tail shared by both modes: downstream
   /// forward, optional archive append (\p Image = pre-serialized bytes,
@@ -169,6 +221,18 @@ private:
   std::vector<Watched> Processes;
   std::vector<ServiceDaemon *> Peers;
   bool InGroupSnap = false;
+
+  // Network-mode state.
+  TransportEndpoint *Net = nullptr;
+  uint64_t CollectorMachine = 0;
+  struct PendingGroupReq {
+    uint64_t PeerMachine = 0;
+    std::string PeerName;
+    std::string Group;
+  };
+  std::map<uint64_t, PendingGroupReq> PendingRequests; ///< By request id.
+  uint64_t NextRequestId = 1;
+  std::map<uint64_t, HeartbeatMsg> PeerHeartbeats;
 
   IngestOptions Ingest;
   mutable std::mutex QueueMutex;
@@ -193,9 +257,30 @@ private:
     Counter *IngestDrains = nullptr;
     Counter *IngestArchived = nullptr;
     Gauge *IngestQueueDepth = nullptr;
+    // Network-mode family ("daemon.net.*"; the endpoint owns the
+    // frame-level counters, these are the daemon-protocol ones).
+    Counter *NetSnapPushes = nullptr;
+    Counter *NetSnapsReceived = nullptr;
+    Counter *NetPushFallback = nullptr;
+    Counter *NetGroupRequests = nullptr;
+    Counter *NetGroupAcks = nullptr;
+    Counter *NetMissingPeerMarkers = nullptr;
+    Counter *NetHeartbeatsSeen = nullptr;
   };
   Instruments DM;
 };
+
+/// Pumps every daemon's transport endpoint (plus any extra endpoints —
+/// typically the collector machine's), advancing idle world time between
+/// rounds, until the network is quiet: no packets queued or in flight, no
+/// un-acked frames, no pending group requests, no queued snaps. Returns
+/// false when \p MaxCycles of idle advance pass without quiescence — a
+/// transport hang, which the chaos sweeps assert never happens (partition
+/// detection bounds every wait).
+bool pumpNetworkUntilQuiet(World &W,
+                           const std::vector<ServiceDaemon *> &Daemons,
+                           const std::vector<TransportEndpoint *> &Extra = {},
+                           uint64_t MaxCycles = 4000000);
 
 } // namespace traceback
 

@@ -18,6 +18,12 @@ void DistributedStitcher::addTrace(const ReconstructedTrace &Trace) {
     Threads.push_back(&T);
 }
 
+void DistributedStitcher::noteMissingPeer(const std::string &MachineName) {
+  if (std::find(MissingPeerNames.begin(), MissingPeerNames.end(),
+                MachineName) == MissingPeerNames.end())
+    MissingPeerNames.push_back(MachineName);
+}
+
 namespace {
 struct SyncSite {
   const ThreadTrace *Trace;
@@ -41,6 +47,14 @@ DistributedStitcher::stitch(std::vector<std::string> &Warnings) const {
           {T, I, E.Sequence, E.Sync, E.Timestamp});
     }
 
+  // A partial group snap is reported up front: the absence is a property
+  // of the snap set, not of any one logical thread.
+  for (const std::string &Peer : MissingPeerNames)
+    Warnings.push_back(formatv(
+        "partial group snap: peer machine '%s' was unreachable; its traces "
+        "are absent",
+        Peer.c_str()));
+
   std::vector<LogicalThread> Result;
   for (auto &[LogicalId, Sites] : ByLogical) {
     std::sort(Sites.begin(), Sites.end(),
@@ -51,15 +65,20 @@ DistributedStitcher::stitch(std::vector<std::string> &Warnings) const {
     LogicalThread LT;
     LT.LogicalId = LogicalId;
 
-    // Detect gaps in the causality chain (overwritten records).
+    // Detect gaps in the causality chain (overwritten records). With a
+    // partial group snap the likely cause is the missing peer, not
+    // overwrite — say so instead of leaving the gap unexplained.
+    const char *GapSuffix =
+        MissingPeerNames.empty() ? "" : " (a group-snap peer is missing)";
     for (size_t I = 1; I < Sites.size(); ++I)
       if (Sites[I].Seq != Sites[I - 1].Seq + 1 &&
           Sites[I].Seq != Sites[I - 1].Seq)
         Warnings.push_back(
-            formatv("logical thread %llx: sequence gap %llu -> %llu",
+            formatv("logical thread %llx: sequence gap %llu -> %llu%s",
                     static_cast<unsigned long long>(LogicalId),
                     static_cast<unsigned long long>(Sites[I - 1].Seq),
-                    static_cast<unsigned long long>(Sites[I].Seq)));
+                    static_cast<unsigned long long>(Sites[I].Seq),
+                    GapSuffix));
 
     // Leading events of the root physical thread.
     if (!Sites.empty()) {

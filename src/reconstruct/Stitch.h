@@ -47,6 +47,19 @@ public:
   /// stitcher's results).
   void addTrace(const ReconstructedTrace &Trace);
 
+  /// Records that the snap set is a PARTIAL group snap: machine
+  /// \p MachineName was unreachable when the group snap fanned out (a
+  /// MISSING-PEER marker stood in for its contribution), so its traces
+  /// are absent by construction. stitch() reports the absence once and
+  /// attributes otherwise-unexplained sequence gaps to it. Duplicate
+  /// names are collapsed.
+  void noteMissingPeer(const std::string &MachineName);
+
+  /// Machines noted as missing, in first-noted order.
+  const std::vector<std::string> &missingPeers() const {
+    return MissingPeerNames;
+  }
+
   /// Builds the logical threads. Sequence gaps (lost records) produce
   /// warnings but do not abort.
   std::vector<LogicalThread> stitch(std::vector<std::string> &Warnings) const;
@@ -69,6 +82,7 @@ public:
 
 private:
   std::vector<const ThreadTrace *> Threads;
+  std::vector<std::string> MissingPeerNames;
 };
 
 } // namespace traceback

@@ -36,6 +36,8 @@ std::string traceback::snapReasonName(SnapReason R) {
     return "group-peer";
   case SnapReason::Unhandled:
     return "unhandled-exception";
+  case SnapReason::MissingPeer:
+    return "missing-peer";
   }
   return "unknown";
 }

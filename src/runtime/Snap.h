@@ -38,6 +38,12 @@ enum class SnapReason : uint16_t {
   ProcessExit = 6,
   GroupPeer = 7, ///< Snapped because a process-group peer snapped.
   Unhandled = 8, ///< Last-chance handler (crash).
+  /// Not a real snap: the degradation record of a PARTIAL group snap. A
+  /// peer machine was unreachable (network partition) when a group snap
+  /// fanned out, so this marker stands in for its contribution —
+  /// MachineName names the missing peer, ProcessName the process group,
+  /// ReasonDetail the peer's machine id. Carries no buffers.
+  MissingPeer = 9,
 };
 
 std::string snapReasonName(SnapReason R);

@@ -84,6 +84,8 @@ void MD5::processBlock(const uint8_t *Block) {
 
 void MD5::update(const void *Data, size_t Size) {
   assert(!Finalized && "update() after final()");
+  if (Size == 0)
+    return; // Empty containers may hand us a null pointer; memcpy forbids it.
   const uint8_t *P = static_cast<const uint8_t *>(Data);
   BitCount += static_cast<uint64_t>(Size) * 8;
 

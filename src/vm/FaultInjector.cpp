@@ -38,6 +38,18 @@ const char *traceback::faultKindName(FaultKind K) {
     return "rpc-dup";
   case FaultKind::UnloadRace:
     return "unload-race";
+  case FaultKind::NetDrop:
+    return "net-drop";
+  case FaultKind::NetDup:
+    return "net-dup";
+  case FaultKind::NetDelay:
+    return "net-delay";
+  case FaultKind::NetReorder:
+    return "net-reorder";
+  case FaultKind::NetPartition:
+    return "net-partition";
+  case FaultKind::NetHeal:
+    return "net-heal";
   }
   return "unknown";
 }
@@ -46,7 +58,9 @@ bool traceback::parseFaultKind(const std::string &Name, FaultKind &Out) {
   static const FaultKind All[] = {
       FaultKind::KillProcess,  FaultKind::KillThread, FaultKind::TornWrite,
       FaultKind::SnapCorrupt,  FaultKind::SnapTruncate,
-      FaultKind::RpcDropWire,  FaultKind::RpcDupWire, FaultKind::UnloadRace};
+      FaultKind::RpcDropWire,  FaultKind::RpcDupWire, FaultKind::UnloadRace,
+      FaultKind::NetDrop,      FaultKind::NetDup,     FaultKind::NetDelay,
+      FaultKind::NetReorder,   FaultKind::NetPartition, FaultKind::NetHeal};
   for (FaultKind K : All)
     if (Name == faultKindName(K)) {
       Out = K;
@@ -57,7 +71,13 @@ bool traceback::parseFaultKind(const std::string &Name, FaultKind &Out) {
 
 static bool isSliceTriggered(FaultKind K) {
   return K == FaultKind::KillProcess || K == FaultKind::KillThread ||
-         K == FaultKind::TornWrite || K == FaultKind::UnloadRace;
+         K == FaultKind::TornWrite || K == FaultKind::UnloadRace ||
+         K == FaultKind::NetPartition || K == FaultKind::NetHeal;
+}
+
+static bool isNetPacketTriggered(FaultKind K) {
+  return K == FaultKind::NetDrop || K == FaultKind::NetDup ||
+         K == FaultKind::NetDelay || K == FaultKind::NetReorder;
 }
 
 // ----------------------------------------------------------------------------
@@ -83,6 +103,49 @@ FaultPlan FaultPlan::random(uint64_t Seed, uint64_t MaxSlice) {
       E.Arg = R.below(2);
     else if (E.Kind == FaultKind::SnapCorrupt)
       E.Arg = 4 + R.below(12);
+    P.Events.push_back(E);
+  }
+  return P;
+}
+
+FaultPlan FaultPlan::randomNetwork(uint64_t Seed, uint64_t MaxPacket,
+                                   uint64_t MaxSlice) {
+  FaultPlan P;
+  P.Seed = Seed;
+  Rng R(Seed * 0xd1b54a32d192ed03ULL + 7);
+  size_t N = 1 + R.below(4);
+  for (size_t I = 0; I < N; ++I) {
+    FaultEvent E;
+    switch (R.below(5)) {
+    case 0:
+      E.Kind = FaultKind::NetDrop;
+      break;
+    case 1:
+      E.Kind = FaultKind::NetDup;
+      break;
+    case 2:
+      E.Kind = FaultKind::NetDelay;
+      E.Arg = 5000 + R.below(50000);
+      break;
+    case 3:
+      E.Kind = FaultKind::NetReorder;
+      break;
+    case 4:
+      E.Kind = FaultKind::NetPartition;
+      break;
+    }
+    if (E.Kind == FaultKind::NetPartition) {
+      E.Trigger = 1 + R.below(MaxSlice ? MaxSlice : 1);
+      P.Events.push_back(E);
+      // Every partition heals, so no random plan can hang a sweep: the
+      // transport must merely survive (degrade) the outage window.
+      FaultEvent Heal;
+      Heal.Kind = FaultKind::NetHeal;
+      Heal.Trigger = E.Trigger + 1 + R.below(MaxSlice ? MaxSlice : 1);
+      P.Events.push_back(Heal);
+      continue;
+    }
+    E.Trigger = R.below(MaxPacket ? MaxPacket : 1);
     P.Events.push_back(E);
   }
   return P;
@@ -220,6 +283,14 @@ void FaultInjector::fireSliceEvent(const FaultEvent &E, size_t Index,
   case FaultKind::UnloadRace:
     Ok = unloadRace(W, E.Arg, Note);
     break;
+  case FaultKind::NetPartition:
+    Ok = netPartition(W, E.Arg, Note);
+    break;
+  case FaultKind::NetHeal:
+    W.netHealAll();
+    Note = "net-heal all partitions";
+    Ok = true;
+    break;
   default:
     break;
   }
@@ -349,6 +420,58 @@ bool FaultInjector::unloadRace(World &W, uint64_t Pid, std::string &Note) {
                  static_cast<unsigned long long>(P->Pid), Name.c_str());
   W.requestSnap(*P, /*Reason=*/0xFA);
   return true;
+}
+
+bool FaultInjector::netPartition(World &W, uint64_t Arg, std::string &Note) {
+  uint64_t A = Arg >> 32, B = Arg & 0xFFFFFFFFull;
+  if (Arg == 0) {
+    if (W.Machines.size() < 2)
+      return false; // No pair to cut yet; stays armed.
+    size_t I = Rand.below(W.Machines.size());
+    size_t J = Rand.below(W.Machines.size() - 1);
+    if (J >= I)
+      ++J;
+    A = W.Machines[I]->Id;
+    B = W.Machines[J]->Id;
+  }
+  W.netSetPartitioned(A, B, true);
+  Note = formatv("net-partition machines %llu <-> %llu",
+                 static_cast<unsigned long long>(A),
+                 static_cast<unsigned long long>(B));
+  return true;
+}
+
+NetFaultAction FaultInjector::onNetSend(uint64_t SrcMachine,
+                                        uint64_t DstMachine) {
+  uint64_t Ord = NetOrdinal++;
+  NetFaultAction Action;
+  for (size_t I = 0; I < Plan.Events.size(); ++I) {
+    const FaultEvent &E = Plan.Events[I];
+    if (Fired[I] || !isNetPacketTriggered(E.Kind) || E.Trigger != Ord)
+      continue;
+    const char *What = faultKindName(E.Kind);
+    switch (E.Kind) {
+    case FaultKind::NetDrop:
+      Action.Copies = 0;
+      break;
+    case FaultKind::NetDup:
+      Action.Copies = 2;
+      break;
+    case FaultKind::NetDelay:
+      Action.ExtraDelay += E.Arg != 0 ? E.Arg : 25000;
+      break;
+    case FaultKind::NetReorder:
+      Action.Reordered = true;
+      break;
+    default:
+      break;
+    }
+    markFired(I, formatv("packet %llu (%llu -> %llu): %s",
+                         static_cast<unsigned long long>(Ord),
+                         static_cast<unsigned long long>(SrcMachine),
+                         static_cast<unsigned long long>(DstMachine), What));
+  }
+  return Action;
 }
 
 unsigned FaultInjector::wireDeliveryCount() {

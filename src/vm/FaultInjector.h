@@ -36,6 +36,14 @@ namespace traceback {
 class World;
 struct SnapFile;
 
+/// What the fabric should do with one datagram send (World::netSend asks
+/// the injector for this per packet).
+struct NetFaultAction {
+  unsigned Copies = 1;     ///< 0 = dropped, 2 = duplicated.
+  uint64_t ExtraDelay = 0; ///< Additional latency in cycles.
+  bool Reordered = false;  ///< Push behind packets sent after it.
+};
+
 /// The failure classes the injector can produce.
 enum class FaultKind : uint8_t {
   KillProcess, ///< `kill -9`: no hooks run, TLS cursors are wiped.
@@ -46,16 +54,26 @@ enum class FaultKind : uint8_t {
   RpcDropWire, ///< One RpcWire triple delivery is dropped on the wire.
   RpcDupWire,  ///< One RpcWire triple delivery is duplicated.
   UnloadRace,  ///< A module is unloaded and a snap races the unload.
+  // Network-fabric faults (the snap-transport plane; see World::netSend).
+  NetDrop,      ///< One transport datagram send is dropped.
+  NetDup,       ///< One transport datagram send is duplicated.
+  NetDelay,     ///< One datagram is delayed by Arg extra cycles.
+  NetReorder,   ///< One datagram is pushed behind later sends on its link.
+  NetPartition, ///< Cuts a machine-pair link (slice-triggered).
+  NetHeal,      ///< Heals every partition (slice-triggered).
 };
 
 const char *faultKindName(FaultKind K);
 bool parseFaultKind(const std::string &Name, FaultKind &Out);
 
 /// One scheduled fault. The meaning of \p Trigger depends on the kind:
-///  - KillProcess / KillThread / TornWrite / UnloadRace: the scheduler
-///    slice ordinal at which the fault fires (stepSlice call count).
+///  - KillProcess / KillThread / TornWrite / UnloadRace / NetPartition /
+///    NetHeal: the scheduler slice ordinal at which the fault fires
+///    (stepSlice call count).
 ///  - RpcDropWire / RpcDupWire: the ordinal of the wire delivery to hit.
 ///  - SnapCorrupt / SnapTruncate: the ordinal of the snap capture to hit.
+///  - NetDrop / NetDup / NetDelay / NetReorder: the ordinal of the
+///    network datagram send to hit (World::netSends()).
 struct FaultEvent {
   FaultKind Kind = FaultKind::KillProcess;
   uint64_t Trigger = 0;
@@ -64,6 +82,9 @@ struct FaultEvent {
   ///  - TornWrite: tear mode (0 = zero the whole word, the classic torn
   ///    sub-buffer write; 1 = zero the top half, leaving a garbled word).
   ///  - SnapCorrupt: number of bytes to flip (default 8).
+  ///  - NetDelay: extra latency in cycles (default 25000).
+  ///  - NetPartition: the machine pair, encoded (A << 32) | B; 0 = a
+  ///    random pair of existing machines.
   uint64_t Arg = 0;
 };
 
@@ -75,8 +96,15 @@ struct FaultPlan {
   std::vector<FaultEvent> Events;
 
   /// Generates a small random plan: 1-3 events whose slice triggers fall
-  /// in [1, MaxSlice].
+  /// in [1, MaxSlice]. Network kinds are excluded (see randomNetwork).
   static FaultPlan random(uint64_t Seed, uint64_t MaxSlice = 2000);
+
+  /// Generates a random network-chaos plan: 1-4 events drawn from the
+  /// Net* kinds, with packet-ordinal triggers in [0, MaxPacket) and
+  /// partition/heal slice triggers in [1, MaxSlice]. A NetPartition is
+  /// always followed by a NetHeal so no plan partitions forever.
+  static FaultPlan randomNetwork(uint64_t Seed, uint64_t MaxPacket = 32,
+                                 uint64_t MaxSlice = 2000);
 
   /// `seed N` line followed by one `<kind> <trigger> [<arg>]` per line.
   std::string toText() const;
@@ -101,6 +129,10 @@ public:
   /// Returns how many times the callee runtime should observe the wire:
   /// 0 = dropped, 1 = normal, 2 = duplicated.
   unsigned wireDeliveryCount();
+
+  /// Called by World::netSend for each network datagram; fires any due
+  /// NetDrop/NetDup/NetDelay/NetReorder events against this packet.
+  NetFaultAction onNetSend(uint64_t SrcMachine, uint64_t DstMachine);
 
   /// Called by the runtime after capturing a snap image, before it reaches
   /// any sink: applies due SnapCorrupt/SnapTruncate events to the buffer
@@ -133,6 +165,7 @@ private:
   bool killThread(World &W, uint64_t Pid, std::string &Note);
   bool tearWord(World &W, uint64_t Mode, std::string &Note);
   bool unloadRace(World &W, uint64_t Pid, std::string &Note);
+  bool netPartition(World &W, uint64_t Arg, std::string &Note);
   void markFired(size_t Index, const std::string &Note);
 
   FaultPlan Plan;
@@ -141,6 +174,7 @@ private:
   uint64_t Slice = 0;
   uint64_t WireOrdinal = 0;
   uint64_t SnapOrdinal = 0;
+  uint64_t NetOrdinal = 0;
   std::vector<bool> Fired;
   std::vector<std::string> Log;
   std::vector<FaultKind> FiredKinds;

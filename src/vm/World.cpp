@@ -116,6 +116,82 @@ void World::requestSnap(Process &P, uint16_t Reason) {
 }
 
 // ----------------------------------------------------------------------------
+// Network fabric.
+// ----------------------------------------------------------------------------
+
+unsigned World::netSend(uint64_t Src, uint64_t Dst,
+                        std::vector<uint8_t> Bytes) {
+  // The ordinal advances even for swallowed packets so fault triggers
+  // stay aligned with the send stream, not the delivery stream.
+  uint64_t Ordinal = NetSendOrdinal++;
+  if (netPartitioned(Src, Dst))
+    return 0;
+
+  NetFaultAction Action;
+  if (Injector)
+    Action = Injector->onNetSend(Src, Dst);
+  if (Action.Copies == 0)
+    return 0;
+
+  uint64_t Latency = Src == Dst ? NetLatencyIntra : NetLatencyCross;
+  Latency += Action.ExtraDelay;
+  // A reordered packet is pushed one full latency window back: anything
+  // sent meanwhile on the same link overtakes it.
+  if (Action.Reordered)
+    Latency += (Src == Dst ? NetLatencyIntra : NetLatencyCross) + 1;
+
+  std::deque<NetPacket> &Box = NetMailboxes[Dst];
+  for (unsigned I = 0; I < Action.Copies; ++I) {
+    NetPacket P;
+    P.Src = Src;
+    P.Dst = Dst;
+    P.ArriveAt = GlobalCycles + Latency + I; // Dup copies land back to back.
+    P.SendOrdinal = Ordinal;
+    P.Bytes = Bytes;
+    // Keep the mailbox sorted by (ArriveAt, SendOrdinal) so delivery
+    // order is deterministic no matter what delays the injector added.
+    auto It = std::upper_bound(Box.begin(), Box.end(), P,
+                               [](const NetPacket &A, const NetPacket &B) {
+                                 return A.ArriveAt != B.ArriveAt
+                                            ? A.ArriveAt < B.ArriveAt
+                                            : A.SendOrdinal < B.SendOrdinal;
+                               });
+    Box.insert(It, std::move(P));
+  }
+  return Action.Copies;
+}
+
+bool World::netPoll(uint64_t M, NetPacket &Out) {
+  auto It = NetMailboxes.find(M);
+  if (It == NetMailboxes.end() || It->second.empty())
+    return false;
+  NetPacket &Front = It->second.front();
+  if (Front.ArriveAt > GlobalCycles)
+    return false;
+  Out = std::move(Front);
+  It->second.pop_front();
+  return true;
+}
+
+size_t World::netQueued(uint64_t M) const {
+  auto It = NetMailboxes.find(M);
+  return It == NetMailboxes.end() ? 0 : It->second.size();
+}
+
+void World::netSetPartitioned(uint64_t A, uint64_t B, bool Cut) {
+  auto Key = A < B ? std::make_pair(A, B) : std::make_pair(B, A);
+  if (Cut)
+    NetCuts.insert(Key);
+  else
+    NetCuts.erase(Key);
+}
+
+bool World::netPartitioned(uint64_t A, uint64_t B) const {
+  auto Key = A < B ? std::make_pair(A, B) : std::make_pair(B, A);
+  return NetCuts.count(Key) != 0;
+}
+
+// ----------------------------------------------------------------------------
 // Scheduler.
 // ----------------------------------------------------------------------------
 

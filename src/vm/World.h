@@ -24,9 +24,12 @@
 #include "vm/Machine.h"
 #include "vm/Syscalls.h"
 
+#include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace traceback {
@@ -47,6 +50,20 @@ struct RpcRequest {
   uint64_t ServerThread = 0;
   uint64_t ArriveAt = 0; ///< Global cycle at which the request lands.
   uint64_t ReplyPtr = 0; ///< Client-side reply buffer (captured at call).
+};
+
+/// One raw datagram in flight between machines. The fabric is a plain
+/// byte-packet network: framing, acknowledgement, retry and dedup all
+/// live above it (distributed/Transport), exactly where they would in a
+/// real deployment. Packets may be dropped, duplicated, delayed or
+/// reordered by the attached fault injector, and a partition silently
+/// swallows them.
+struct NetPacket {
+  uint64_t Src = 0;         ///< Source machine id.
+  uint64_t Dst = 0;         ///< Destination machine id.
+  uint64_t ArriveAt = 0;    ///< Global cycle at which it becomes receivable.
+  uint64_t SendOrdinal = 0; ///< Global send ordinal (deterministic ties).
+  std::vector<uint8_t> Bytes;
 };
 
 /// The whole simulated deployment.
@@ -103,8 +120,45 @@ public:
   /// / service process request).
   void requestSnap(Process &P, uint16_t Reason);
 
+  // --- Simulated network fabric -------------------------------------------
+  //
+  // Per-machine mailboxes of raw datagrams; the cross-machine snap
+  // transport (distributed/Transport) rides on these. The fabric itself
+  // is unreliable by construction: the fault injector can drop, dup,
+  // delay or reorder any send, and partitioned machine pairs lose every
+  // packet until healed.
+
+  /// Sends raw bytes from machine \p Src to machine \p Dst. Returns how
+  /// many copies were enqueued (0 = swallowed by a partition or a drop
+  /// fault, 2 = duplicated).
+  unsigned netSend(uint64_t Src, uint64_t Dst, std::vector<uint8_t> Bytes);
+
+  /// Pops the next packet destined to machine \p M that has arrived
+  /// (ArriveAt <= now). Delivery order is (ArriveAt, SendOrdinal).
+  bool netPoll(uint64_t M, NetPacket &Out);
+
+  /// Packets queued to machine \p M, arrived or still in flight.
+  size_t netQueued(uint64_t M) const;
+
+  /// Cuts (or heals) the link between machines \p A and \p B, both
+  /// directions. Packets already in flight are unaffected.
+  void netSetPartitioned(uint64_t A, uint64_t B, bool Cut);
+  bool netPartitioned(uint64_t A, uint64_t B) const;
+  /// Heals every partition.
+  void netHealAll() { NetCuts.clear(); }
+
+  /// Raw sends observed so far (fault-trigger ordinal space).
+  uint64_t netSends() const { return NetSendOrdinal; }
+
+  /// Advances global time without running any thread — lets host-side
+  /// transport pumps wait out network latency and retry backoff when the
+  /// guest world is idle.
+  void advanceIdle(uint64_t Cycles) { GlobalCycles += Cycles; }
+
   // --- Tunables -----------------------------------------------------------
 
+  uint64_t NetLatencyIntra = 200;    ///< Same-machine datagram, cycles.
+  uint64_t NetLatencyCross = 3000;   ///< Cross-machine datagram, cycles.
   uint32_t Quantum = 50;             ///< Instructions per slice.
   uint64_t RpcLatencyIntra = 300;    ///< Same-machine RPC, cycles.
   uint64_t RpcLatencyCross = 4000;   ///< Cross-machine RPC, cycles.
@@ -157,6 +211,11 @@ private:
   std::map<uint64_t, RpcRequest> Rpcs;
   std::map<Process *, std::vector<uint64_t>> ServerBacklog;
   size_t ScheduleCursor = 0;
+
+  // Network fabric state.
+  std::map<uint64_t, std::deque<NetPacket>> NetMailboxes; ///< Keyed by dst.
+  std::set<std::pair<uint64_t, uint64_t>> NetCuts; ///< Normalized pairs.
+  uint64_t NetSendOrdinal = 0;
 };
 
 } // namespace traceback

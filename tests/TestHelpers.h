@@ -21,6 +21,50 @@
 namespace traceback {
 namespace testing_helpers {
 
+/// On any assertion failure, prints the active TRACEBACK_TEST_SEED and a
+/// one-line repro command — a failing 200-seed sweep is useless without
+/// the seed that produced it, and CI logs often truncate the banner the
+/// seed was printed in at startup.
+class SeedReproListener : public ::testing::EmptyTestEventListener {
+  // The full test name is cached on test start: OnTestPartResult runs
+  // with gtest's UnitTest mutex held, so asking UnitTest::GetInstance()
+  // for current_test_info() there would self-deadlock.
+  std::string Current;
+
+  void OnTestStart(const ::testing::TestInfo &Info) override {
+    Current = std::string(Info.test_suite_name()) + "." + Info.name();
+  }
+
+  void OnTestPartResult(const ::testing::TestPartResult &Result) override {
+    if (!Result.failed() || Current.empty())
+      return;
+    uint64_t Seed = seedFromEnv("TRACEBACK_TEST_SEED",
+                                0x7ace'bacc'0000'0001ULL);
+    std::printf("[ repro: TRACEBACK_TEST_SEED=%llu ctest "
+                "--output-on-failure -R '%s' ]\n",
+                static_cast<unsigned long long>(Seed), Current.c_str());
+    std::fflush(stdout);
+  }
+};
+
+/// Registers the repro listener once per test binary (first call wins;
+/// gtest owns the listener afterwards).
+inline void installSeedReproListener() {
+  static bool Installed = [] {
+    ::testing::UnitTest::GetInstance()->listeners().Append(
+        new SeedReproListener);
+    return true;
+  }();
+  (void)Installed;
+}
+
+/// One inline registrar per binary that includes this header: the repro
+/// listener is active without any per-test setup.
+struct SeedReproRegistrar {
+  SeedReproRegistrar() { installSeedReproListener(); }
+};
+inline SeedReproRegistrar SeedReproRegistrarInstance;
+
 /// Base seed for property tests: TRACEBACK_TEST_SEED when set, else
 /// \p Default. Printed once so a failing sweep is replayable with
 /// `TRACEBACK_TEST_SEED=<seed> ctest ...`.

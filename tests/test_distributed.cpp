@@ -5,9 +5,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestHelpers.h"
+#include "core/FileIO.h"
 #include "reconstruct/Stitch.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <tuple>
 
 using namespace traceback;
 using namespace traceback::testing_helpers;
@@ -258,6 +262,190 @@ fn main() export {
   EXPECT_TRUE(ClientCrashSnap);
   EXPECT_TRUE(ServerPeerSnap)
       << "service daemons must coordinate the group snap";
+}
+
+namespace {
+
+/// Hand-builds one physical thread holding only SYNC records — the
+/// minimal input estimateClockOffsets consumes, with every timestamp
+/// under the test's control.
+ThreadTrace
+syncOnlyThread(uint64_t RuntimeId, const std::string &MachineName,
+               std::vector<std::tuple<SyncKind, uint64_t, uint64_t>> Syncs) {
+  ThreadTrace T;
+  T.RuntimeId = RuntimeId;
+  T.ThreadId = RuntimeId;
+  T.ProcessName = "p";
+  T.MachineName = MachineName;
+  for (auto &[Kind, Seq, Ts] : Syncs) {
+    TraceEvent E;
+    E.EventKind = TraceEvent::Kind::Sync;
+    E.Sync = Kind;
+    E.LogicalThreadId = 7;
+    E.Sequence = Seq;
+    E.Timestamp = Ts;
+    T.Events.push_back(E);
+  }
+  return T;
+}
+
+} // namespace
+
+TEST(ClockOffsetTest, AsymmetricLatencyAveragesOut) {
+  // One RPC between runtime 1 (reference) and runtime 2 whose clock runs
+  // Skew ahead. Request latency and reply latency differ, so each leg's
+  // sample is off by its own latency; NTP-style averaging cancels the
+  // symmetric part and leaves Skew + (FwdLat - RevLat) / 2 exactly.
+  const int64_t Skew = 50000, FwdLat = 400, RevLat = 100;
+  ReconstructedTrace Client, Server;
+  Client.Threads.push_back(syncOnlyThread(
+      1, "alpha",
+      {{SyncKind::CallSend, 1, 1000},
+       {SyncKind::ReplyRecv, 4, static_cast<uint64_t>(1600 + RevLat)}}));
+  Server.Threads.push_back(syncOnlyThread(
+      2, "beta",
+      {{SyncKind::CallRecv, 2, static_cast<uint64_t>(1000 + FwdLat + Skew)},
+       {SyncKind::ReplySend, 3, static_cast<uint64_t>(1600 + Skew)}}));
+  DistributedStitcher Stitcher;
+  Stitcher.addTrace(Client);
+  Stitcher.addTrace(Server);
+  auto Offsets = Stitcher.estimateClockOffsets();
+  ASSERT_EQ(Offsets.size(), 2u);
+  EXPECT_EQ(Offsets.at(1), 0) << "first-seen runtime is the reference";
+  EXPECT_EQ(Offsets.at(2), Skew + (FwdLat - RevLat) / 2);
+}
+
+TEST(ClockOffsetTest, SymmetricLatencyRecoversSkewExactly) {
+  const int64_t Skew = 123456, Lat = 300;
+  ReconstructedTrace Client, Server;
+  Client.Threads.push_back(syncOnlyThread(
+      1, "alpha",
+      {{SyncKind::CallSend, 1, 5000},
+       {SyncKind::ReplyRecv, 4, static_cast<uint64_t>(9000 + Lat)}}));
+  Server.Threads.push_back(syncOnlyThread(
+      2, "beta",
+      {{SyncKind::CallRecv, 2, static_cast<uint64_t>(5000 + Lat + Skew)},
+       {SyncKind::ReplySend, 3, static_cast<uint64_t>(9000 + Skew)}}));
+  DistributedStitcher Stitcher;
+  Stitcher.addTrace(Client);
+  Stitcher.addTrace(Server);
+  auto Offsets = Stitcher.estimateClockOffsets();
+  ASSERT_EQ(Offsets.size(), 2u);
+  EXPECT_EQ(Offsets.at(2), Skew);
+}
+
+TEST(ClockOffsetTest, RuntimeWithoutSyncEdgesIsAbsent) {
+  // Runtime 3 recorded no SYNC pair with anyone: no sample can place its
+  // clock, so it must be absent from the map rather than guessed at 0.
+  ReconstructedTrace Client, Server, Loner;
+  Client.Threads.push_back(syncOnlyThread(
+      1, "alpha",
+      {{SyncKind::CallSend, 1, 1000}, {SyncKind::ReplyRecv, 4, 2000}}));
+  Server.Threads.push_back(syncOnlyThread(
+      2, "beta",
+      {{SyncKind::CallRecv, 2, 1500}, {SyncKind::ReplySend, 3, 1800}}));
+  Loner.Threads.push_back(syncOnlyThread(3, "gamma", {}));
+  DistributedStitcher Stitcher;
+  Stitcher.addTrace(Client);
+  Stitcher.addTrace(Server);
+  Stitcher.addTrace(Loner);
+  auto Offsets = Stitcher.estimateClockOffsets();
+  EXPECT_EQ(Offsets.count(1), 1u);
+  EXPECT_EQ(Offsets.count(2), 1u);
+  EXPECT_EQ(Offsets.count(3), 0u)
+      << "unreachable runtimes must not get a fabricated offset";
+}
+
+TEST(ClockOffsetTest, ZeroTimestampSamplesAreSkipped) {
+  // A truncated ring can zero a SYNC timestamp; such a pair is unusable
+  // and must not poison the estimate with a wild sample.
+  const int64_t Skew = 7000;
+  ReconstructedTrace Client, Server;
+  Client.Threads.push_back(syncOnlyThread(
+      1, "alpha",
+      {{SyncKind::CallSend, 1, 0}, // Lost timestamp: pair unusable.
+       {SyncKind::ReplyRecv, 4, 2000}}));
+  Server.Threads.push_back(syncOnlyThread(
+      2, "beta",
+      {{SyncKind::CallRecv, 2, 999999},
+       {SyncKind::ReplySend, 3, static_cast<uint64_t>(2000 + Skew)}}));
+  DistributedStitcher Stitcher;
+  Stitcher.addTrace(Client);
+  Stitcher.addTrace(Server);
+  auto Offsets = Stitcher.estimateClockOffsets();
+  // Only the reply-leg sample survives: offset = t3 - t4 = Skew with the
+  // (zero) reverse latency this hand-built pair encodes.
+  ASSERT_EQ(Offsets.count(2), 1u);
+  EXPECT_EQ(Offsets.at(2), Skew);
+}
+
+TEST(DistributedTest, MissingPeerProducesUpfrontAndGapWarnings) {
+  // A partial group snap: the stitcher is told 'beta' is absent, and one
+  // trace has a sequence gap (records that lived on the missing peer).
+  ReconstructedTrace Partial;
+  Partial.Threads.push_back(syncOnlyThread(
+      1, "alpha",
+      {{SyncKind::CallSend, 1, 1000}, {SyncKind::ReplyRecv, 4, 2000}}));
+  DistributedStitcher Stitcher;
+  Stitcher.addTrace(Partial);
+  Stitcher.noteMissingPeer("beta");
+  Stitcher.noteMissingPeer("beta"); // Duplicate names collapse.
+  ASSERT_EQ(Stitcher.missingPeers().size(), 1u);
+  std::vector<std::string> Warnings;
+  (void)Stitcher.stitch(Warnings);
+  ASSERT_GE(Warnings.size(), 2u);
+  EXPECT_NE(Warnings[0].find("partial group snap"), std::string::npos);
+  EXPECT_NE(Warnings[0].find("beta"), std::string::npos);
+  // The seq 1 -> 4 gap is attributed to the missing peer.
+  bool GapExplained = false;
+  for (const std::string &W : Warnings)
+    if (W.find("sequence gap") != std::string::npos &&
+        W.find("a group-snap peer is missing") != std::string::npos)
+      GapExplained = true;
+  EXPECT_TRUE(GapExplained) << "gap warnings must mention the absent peer";
+}
+
+TEST(GoldenStitchTest, StitchedRenderMatchesFixture) {
+  // The deterministic two-machine echo scenario, stitched and rendered.
+  // Guards the SYNC matching, segment layout and rendering against drift;
+  // regenerate deliberately with TRACEBACK_REGEN_GOLDEN=1 and review.
+  const std::string Path =
+      std::string(TB_TESTS_DIR) + "/golden/stitch_fixture.txt";
+
+  TwoMachines T;
+  T.deployAll(OneShotClient, EchoServer);
+  if (::testing::Test::HasFatalFailure())
+    return;
+  T.run();
+  ASSERT_EQ(T.Client->Output, "0\n40\n");
+  TracebackRuntime *SrvRT = T.D.runtimeFor(*T.Server, Technology::Native);
+  SnapFile SrvSnap = SrvRT->takeSnap(SnapReason::External, 0);
+  ReconstructedTrace CT, ST;
+  for (const SnapFile &S : T.D.snaps())
+    if (S.ProcessName == "client")
+      CT = T.D.reconstruct(S);
+  ST = T.D.reconstruct(SrvSnap);
+  DistributedStitcher Stitcher;
+  Stitcher.addTrace(CT);
+  Stitcher.addTrace(ST);
+  std::vector<std::string> Warnings;
+  std::string Rendered;
+  for (const LogicalThread &LT : Stitcher.stitch(Warnings))
+    Rendered += renderLogicalThread(LT);
+  for (const std::string &W : Warnings)
+    Rendered += "warning: " + W + "\n";
+  ASSERT_FALSE(Rendered.empty());
+
+  if (std::getenv("TRACEBACK_REGEN_GOLDEN")) {
+    ASSERT_TRUE(writeFileText(Path, Rendered)) << Path;
+    GTEST_SKIP() << "regenerated golden stitch fixture " << Path;
+  }
+  std::string Expected;
+  ASSERT_TRUE(readFileText(Path, Expected))
+      << "missing fixture " << Path
+      << " — regenerate with TRACEBACK_REGEN_GOLDEN=1";
+  EXPECT_EQ(Rendered, Expected)
+      << "stitched rendering drifted from the golden fixture";
 }
 
 TEST(DistributedTest, HangDetectionViaHeartbeat) {

@@ -244,6 +244,16 @@ int cmdSnapInfo(ArgList A) {
   }
   std::printf("snap: reason=%s detail=%u\n",
               snapReasonName(Snap.Reason).c_str(), Snap.ReasonDetail);
+  if (Snap.Reason == SnapReason::MissingPeer) {
+    // The degradation record of a partial group snap carries no buffers;
+    // its fields identify who is absent and which group is incomplete.
+    std::printf("PARTIAL GROUP SNAP: peer machine '%s' (machine id %u) was "
+                "unreachable when group '%s' was snapped; its contribution "
+                "is absent\n",
+                Snap.MachineName.c_str(), Snap.ReasonDetail,
+                Snap.ProcessName.c_str());
+    return 0;
+  }
   std::printf("process %s (pid %llu) on %s (%s), runtime %llx, tech %s\n",
               Snap.ProcessName.c_str(),
               static_cast<unsigned long long>(Snap.Pid),
@@ -350,6 +360,14 @@ int cmdArchive(ArgList A) {
                     E.FormatVersion,
                     static_cast<unsigned long long>(E.ImageBytes));
     }
+    size_t Missing = 0;
+    for (const SnapArchiveEntry &E : Entries)
+      if (E.HeaderOk && E.Header.Reason == SnapReason::MissingPeer)
+        ++Missing;
+    if (Missing)
+      std::printf("  PARTIAL group snap(s): %zu missing-peer marker(s) — "
+                  "unreachable peer contributions absent\n",
+                  Missing);
     return 0;
   }
   if (Verb == "extract" && Pos.size() == 4) {
