@@ -1,0 +1,252 @@
+//===- bench/bench_triage.cpp - Signature extraction + clustering ---------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// At production volume triage sits between the collector and the human:
+// every arriving snap is normalized to a fault signature and bucketed, so
+// extraction + clustering throughput bounds how fast the snap firehose
+// can be turned into a ranked fault list. This bench reconstructs the
+// deployment-scale synthetic workload once (reconstruction throughput has
+// its own bench), then fans it out into a stream of incident variants —
+// a handful of distinct fault kinds, a torn-tail slice of the trace per
+// variant — and measures signatures/sec through extractSignature plus
+// SignatureClusterer::add, reporting the cluster-count-vs-snap-count
+// compression that is triage's whole point. Results go to
+// BENCH_triage.json (BENCH_triage_smoke.json under TRACEBACK_BENCH_SMOKE).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/FileIO.h"
+#include "reconstruct/Reconstructor.h"
+#include "reconstruct/SynthWorkload.h"
+#include "support/Metrics.h"
+#include "triage/Clusterer.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+
+using namespace traceback;
+using namespace traceback::bench;
+
+namespace {
+
+bool smokeMode() {
+  const char *V = std::getenv("TRACEBACK_BENCH_SMOKE");
+  return V && *V && *V != '0';
+}
+
+SynthWorkloadOptions workloadOpts() {
+  SynthWorkloadOptions O;
+  if (smokeMode()) {
+    O.Modules = 6;
+    O.DagsPerModule = 8;
+    O.Threads = 3;
+    O.RecordsPerThread = 500;
+  } else {
+    // The deployment-scale group snap the reconstruct bench uses: 384
+    // mapped modules is what a production process's signature module
+    // set looks like.
+    O.Modules = 384;
+    O.DagsPerModule = 16;
+    O.Threads = 8;
+    O.RecordsPerThread = 25000;
+  }
+  O.HotPairs = 32;
+  O.HotPercent = 92;
+  O.IncludeCorrupt = false;
+  return O;
+}
+
+/// One simulated incident: a header variant (which fault, in which
+/// module) over a shared reconstruction, optionally with a torn tail.
+struct Incident {
+  SnapFile Snap;
+  const ReconstructedTrace *Trace;
+};
+
+void writeJson(uint64_t Incidents, double ExtractSeconds,
+               double SigsPerSec, size_t Clusters, uint64_t ExactHits,
+               uint64_t NearHits, const SynthWorkloadOptions &O,
+               double ReconstructSeconds) {
+  std::string J = "{\n  \"bench\": \"triage\",\n";
+  J += formatv("  \"workload\": {\"modules\": %u, \"threads\": %u, "
+               "\"records_per_thread\": %u},\n",
+               O.Modules, O.Threads, O.RecordsPerThread);
+  J += formatv("  \"reconstruct_seconds\": %.6f,\n", ReconstructSeconds);
+  J += formatv("  \"incidents\": %llu,\n",
+               static_cast<unsigned long long>(Incidents));
+  J += formatv("  \"extract_cluster_seconds\": %.6f,\n", ExtractSeconds);
+  J += formatv("  \"signatures_per_sec\": %.0f,\n", SigsPerSec);
+  J += formatv("  \"clusters\": %zu,\n", Clusters);
+  J += formatv("  \"snaps_per_cluster\": %.1f,\n",
+               Clusters ? static_cast<double>(Incidents) / Clusters : 0.0);
+  J += formatv("  \"exact_hits\": %llu,\n",
+               static_cast<unsigned long long>(ExactHits));
+  J += formatv("  \"near_hits\": %llu\n",
+               static_cast<unsigned long long>(NearHits));
+  J += "}\n";
+  const char *Name =
+      smokeMode() ? "BENCH_triage_smoke.json" : "BENCH_triage.json";
+  if (!writeFileText(Name, J)) {
+    std::fprintf(stderr, "cannot write %s\n", Name);
+    std::abort();
+  }
+}
+
+void printTriageBench() {
+  SynthWorkloadOptions O = workloadOpts();
+  SynthWorkload W = makeSynthWorkload(/*Seed=*/42, O);
+  MapFileStore Store;
+  for (MapFile &M : W.Maps)
+    Store.add(std::move(M));
+
+  // Reconstruct once (shared across incidents — the per-snap
+  // reconstruction cost is bench_reconstruct's subject, not this one's).
+  Reconstructor R(Store);
+  auto TR0 = std::chrono::steady_clock::now();
+  ReconstructedTrace Trace = R.reconstruct(W.Snap);
+  auto TR1 = std::chrono::steady_clock::now();
+  double ReconstructSeconds =
+      std::chrono::duration<double>(TR1 - TR0).count();
+
+  // A torn-tail variant of the reconstruction: the faulting thread loses
+  // its last frames (what a mid-write kill leaves behind), which must
+  // land in the same cluster via the near tier.
+  ReconstructedTrace Torn = Trace;
+  for (ThreadTrace &T : Torn.Threads) {
+    if (T.Events.size() > 4)
+      T.Events.resize(T.Events.size() - 4);
+    T.TruncatedAt = 0;
+  }
+
+  // The incident stream: K distinct faults cycling over the arrival
+  // order, every fifth occurrence torn (stride coprime to the fault
+  // cycle, so every fault sees both intact and torn members). Distinct
+  // FaultCodeValue + faulting module = distinct fault kind = its own
+  // cluster.
+  // Must stay <= the workload's module count or variants alias.
+  const unsigned DistinctFaults = smokeMode() ? 4 : 8;
+  const uint64_t Incidents = smokeMode() ? 64 : 1024;
+  std::vector<Incident> Stream;
+  Stream.reserve(Incidents);
+  for (uint64_t I = 0; I < Incidents; ++I) {
+    Incident In;
+    In.Snap = W.Snap;
+    unsigned Fault = static_cast<unsigned>(I % DistinctFaults);
+    In.Snap.Reason = SnapReason::Unhandled;
+    In.Snap.FaultCodeValue = static_cast<uint16_t>(1 + Fault % 3);
+    In.Snap.FaultModuleKey =
+        In.Snap.Modules[Fault % In.Snap.Modules.size()].Checksum.low64();
+    In.Snap.FaultThread =
+        W.Snap.Threads.empty() ? 1 : W.Snap.Threads[0].ThreadId;
+    In.Trace = (I % 5 == 4) ? &Torn : &Trace;
+    Stream.push_back(std::move(In));
+  }
+
+  MetricsRegistry Registry;
+  SignatureClusterer Clusterer({}, &Registry);
+  auto T0 = std::chrono::steady_clock::now();
+  for (const Incident &In : Stream)
+    Clusterer.add(extractSignature(In.Snap, *In.Trace));
+  auto T1 = std::chrono::steady_clock::now();
+  double Seconds = std::chrono::duration<double>(T1 - T0).count();
+  double Rate = static_cast<double>(Incidents) / Seconds;
+
+  uint64_t ExactHits = Registry.counter("triage.exact_hits").value();
+  uint64_t NearHits = Registry.counter("triage.near_hits").value();
+
+  std::printf("Triage throughput (%u modules, %llu incidents, %u distinct "
+              "faults)\n",
+              O.Modules, static_cast<unsigned long long>(Incidents),
+              DistinctFaults);
+  printRule();
+  std::printf("reconstruct (once)      %10.4f s\n", ReconstructSeconds);
+  std::printf("extract + cluster       %10.4f s   %12.0f signatures/s\n",
+              Seconds, Rate);
+  std::printf("clusters                %10zu     (%.1f snaps/cluster, "
+              "%llu exact, %llu near)\n",
+              Clusterer.size(),
+              Clusterer.size()
+                  ? static_cast<double>(Incidents) / Clusterer.size()
+                  : 0.0,
+              static_cast<unsigned long long>(ExactHits),
+              static_cast<unsigned long long>(NearHits));
+  printRule();
+
+  // The stream has exactly DistinctFaults distinct faults; if clustering
+  // splits or merges them the bench itself is the first regression test.
+  if (Clusterer.size() != DistinctFaults) {
+    std::fprintf(stderr,
+                 "triage bench: expected %u clusters, got %zu — "
+                 "clustering regression\n",
+                 DistinctFaults, Clusterer.size());
+    std::abort();
+  }
+
+  writeJson(Incidents, Seconds, Rate, Clusterer.size(), ExactHits,
+            NearHits, O, ReconstructSeconds);
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark registrations (small fixed workload).
+// ---------------------------------------------------------------------------
+
+struct SmallFixture {
+  SynthWorkload W;
+  ReconstructedTrace Trace;
+  SmallFixture() {
+    SynthWorkloadOptions O;
+    O.Modules = 12;
+    O.DagsPerModule = 12;
+    O.Threads = 4;
+    O.RecordsPerThread = 1500;
+    O.IncludeCorrupt = false;
+    W = makeSynthWorkload(7, O);
+    MapFileStore Store;
+    for (const MapFile &M : W.Maps)
+      Store.add(M);
+    Reconstructor R(Store);
+    Trace = R.reconstruct(W.Snap);
+  }
+};
+
+const SmallFixture &smallFixture() {
+  static SmallFixture F;
+  return F;
+}
+
+void BM_ExtractSignature(benchmark::State &State) {
+  const SmallFixture &F = smallFixture();
+  for (auto _ : State) {
+    FaultSignature Sig = extractSignature(F.W.Snap, F.Trace);
+    benchmark::DoNotOptimize(Sig.Path.data());
+  }
+}
+BENCHMARK(BM_ExtractSignature);
+
+void BM_ClusterAdd(benchmark::State &State) {
+  const SmallFixture &F = smallFixture();
+  FaultSignature Sig = extractSignature(F.W.Snap, F.Trace);
+  MetricsRegistry Registry;
+  for (auto _ : State) {
+    SignatureClusterer C({}, &Registry);
+    for (int I = 0; I < 64; ++I)
+      C.add(Sig);
+    benchmark::DoNotOptimize(C.size());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * 64);
+}
+BENCHMARK(BM_ClusterAdd);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTriageBench();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

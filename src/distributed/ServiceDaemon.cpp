@@ -7,6 +7,7 @@
 #include "distributed/ServiceDaemon.h"
 
 #include "distributed/SnapArchive.h"
+#include "triage/SignatureStore.h"
 #include "vm/World.h"
 
 #include <algorithm>
@@ -30,6 +31,7 @@ ServiceDaemon::ServiceDaemon(Machine &M, SnapSink *Downstream,
   DM.IngestOverflowInline = &Reg.counter("daemon.ingest.overflow_inline");
   DM.IngestDrains = &Reg.counter("daemon.ingest.drains");
   DM.IngestArchived = &Reg.counter("daemon.ingest.archived");
+  DM.TriageTagged = &Reg.counter("daemon.triage.tagged");
   DM.IngestQueueDepth = &Reg.gauge("daemon.ingest.queue_depth");
   DM.NetSnapPushes = &Reg.counter("daemon.net.snap_pushes");
   DM.NetSnapsReceived = &Reg.counter("daemon.net.snaps_received");
@@ -202,6 +204,12 @@ void ServiceDaemon::deliver(const std::shared_ptr<const SnapFile> &Snap,
                : SnapArchive::append(Ingest.ArchivePath, *Image))
       DM.IngestArchived->add();
   }
+  // Triage tagging: a header-level signature (no reconstruction at the
+  // daemon — there are no mapfiles here) appended beside the archive.
+  if (!Ingest.SignaturePath.empty() &&
+      SignatureStore::append(Ingest.SignaturePath, extractSignature(*Snap),
+                             Snap->ProcessName))
+    DM.TriageTagged->add();
   // Group snaps are best-effort and must not recurse: peers are snapped
   // with reason GroupPeer, which does not propagate further.
   if (Snap->Reason == SnapReason::GroupPeer || InGroupSnap)

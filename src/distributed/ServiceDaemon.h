@@ -74,6 +74,12 @@ public:
     /// Delivery order stays deterministic regardless (global arrival
     /// order). Null = serialize inline.
     ThreadPool *Pool = nullptr;
+    /// When set, every delivered snap is tagged with a header-level fault
+    /// signature appended to this ".tbsig" store (see triage/Signature.h).
+    /// The daemon has no mapfiles, so these signatures carry kind, module
+    /// set and markers but no path — enough to index the archive by fault
+    /// and to seed `tbtool triage --diff` baselines.
+    std::string SignaturePath;
   };
 
   void configureIngest(const IngestOptions &O) { Ingest = O; }
@@ -256,6 +262,7 @@ private:
     Counter *IngestOverflowInline = nullptr;
     Counter *IngestDrains = nullptr;
     Counter *IngestArchived = nullptr;
+    Counter *TriageTagged = nullptr;
     Gauge *IngestQueueDepth = nullptr;
     // Network-mode family ("daemon.net.*"; the endpoint owns the
     // frame-level counters, these are the daemon-protocol ones).

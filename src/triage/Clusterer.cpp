@@ -1,0 +1,185 @@
+//===- triage/Clusterer.cpp - Signature clustering + triage report --------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "triage/Clusterer.h"
+
+#include "support/Text.h"
+
+#include <algorithm>
+
+using namespace traceback;
+
+SignatureClusterer::Instruments::Instruments(MetricsRegistry &Reg)
+    : Signatures(&Reg.counter("triage.signatures")),
+      ClustersOpened(&Reg.counter("triage.clusters")),
+      ExactHits(&Reg.counter("triage.exact_hits")),
+      NearHits(&Reg.counter("triage.near_hits")) {}
+
+SignatureClusterer::SignatureClusterer(ClusterOptions Opts,
+                                       MetricsRegistry *Reg)
+    : Opts(Opts), Ins(Reg ? *Reg : MetricsRegistry::global()) {}
+
+bool SignatureClusterer::nearMatch(const FaultSignature &A,
+                                   const FaultSignature &B) const {
+  // Kind and module set are hard boundaries: a divide-by-zero is never
+  // "near" a segfault, and a fault in another module set is another
+  // fault. Only the path tolerates damage.
+  if (A.Kind != B.Kind || A.Modules != B.Modules)
+    return false;
+  if (A.Path.empty() || B.Path.empty())
+    return false;
+  return pathEditDistance(A.Path, B.Path, Opts.NearMaxDistance) <=
+         Opts.NearMaxDistance;
+}
+
+size_t SignatureClusterer::add(const FaultSignature &Sig,
+                               const std::string &Label) {
+  Ins.Signatures->add();
+  uint64_t FP = Sig.fingerprint();
+
+  auto joinCluster = [&](size_t Idx, bool Exact) {
+    TriageCluster &C = Clusters[Idx];
+    ++C.Count;
+    if (Exact)
+      ++C.ExactCount;
+    else
+      ++C.NearCount;
+    if (!Label.empty())
+      C.Labels.push_back(Label);
+    if (std::find(C.MemberFingerprints.begin(), C.MemberFingerprints.end(),
+                  FP) == C.MemberFingerprints.end())
+      C.MemberFingerprints.push_back(FP);
+    return Idx;
+  };
+
+  // Exact tier: fingerprint hit.
+  auto It = ByFingerprint.find(FP);
+  if (It != ByFingerprint.end()) {
+    Ins.ExactHits->add();
+    return joinCluster(It->second, /*Exact=*/true);
+  }
+
+  // Near tier: scan representatives, take the closest (ties: earliest
+  // cluster, so the outcome never depends on map iteration order).
+  size_t BestIdx = Clusters.size();
+  size_t BestDist = Opts.NearMaxDistance + 1;
+  if (!Sig.Path.empty()) {
+    for (size_t I = 0; I < Clusters.size(); ++I) {
+      const FaultSignature &Rep = Clusters[I].Rep;
+      if (Sig.Kind != Rep.Kind || Sig.Modules != Rep.Modules ||
+          Rep.Path.empty())
+        continue;
+      size_t D = pathEditDistance(Sig.Path, Rep.Path, Opts.NearMaxDistance);
+      if (D < BestDist) {
+        BestDist = D;
+        BestIdx = I;
+      }
+    }
+  }
+  if (BestIdx != Clusters.size()) {
+    Ins.NearHits->add();
+    ByFingerprint.emplace(FP, BestIdx);
+    return joinCluster(BestIdx, /*Exact=*/false);
+  }
+
+  // New cluster.
+  Ins.ClustersOpened->add();
+  TriageCluster C;
+  C.Rep = Sig;
+  C.Fingerprint = FP;
+  C.Count = 1;
+  C.ExactCount = 1;
+  if (!Label.empty())
+    C.Labels.push_back(Label);
+  C.MemberFingerprints.push_back(FP);
+  Clusters.push_back(std::move(C));
+  ByFingerprint.emplace(FP, Clusters.size() - 1);
+  return Clusters.size() - 1;
+}
+
+std::vector<size_t> SignatureClusterer::ranked() const {
+  std::vector<size_t> Order(Clusters.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Clusters[A].Count > Clusters[B].Count;
+  });
+  return Order;
+}
+
+std::vector<size_t>
+SignatureClusterer::regressionsAgainst(const SignatureStore &Baseline) const {
+  std::vector<size_t> Out;
+  for (size_t Idx : ranked()) {
+    const TriageCluster &C = Clusters[Idx];
+    bool Known = false;
+    for (uint64_t FP : C.MemberFingerprints)
+      if (Baseline.contains(FP)) {
+        Known = true;
+        break;
+      }
+    if (!Known)
+      for (const SignatureStoreEntry &E : Baseline.entries())
+        if (nearMatch(C.Rep, E.Sig)) {
+          Known = true;
+          break;
+        }
+    if (!Known)
+      Out.push_back(Idx);
+  }
+  return Out;
+}
+
+std::string traceback::renderTriageReport(const SignatureClusterer &Clusterer,
+                                          const SignatureStore *Baseline,
+                                          size_t TopN) {
+  const std::vector<TriageCluster> &Clusters = Clusterer.clusters();
+  uint64_t Total = 0;
+  for (const TriageCluster &C : Clusters)
+    Total += C.Count;
+
+  std::string Out = formatv("TRIAGE REPORT: %llu snaps, %zu clusters\n",
+                            static_cast<unsigned long long>(Total),
+                            Clusters.size());
+
+  std::vector<size_t> Order = Clusterer.ranked();
+  size_t Shown = std::min(TopN, Order.size());
+  for (size_t R = 0; R < Shown; ++R) {
+    const TriageCluster &C = Clusters[Order[R]];
+    Out += formatv("#%zu  x%llu (exact %llu, near %llu)  sig %016llx  %s",
+                   R + 1, static_cast<unsigned long long>(C.Count),
+                   static_cast<unsigned long long>(C.ExactCount),
+                   static_cast<unsigned long long>(C.NearCount),
+                   static_cast<unsigned long long>(C.Fingerprint),
+                   C.Rep.Kind.c_str());
+    for (const std::string &M : C.Rep.Markers)
+      Out += " [" + M + "]";
+    Out += "\n";
+    // The last few representative frames localize the fault site.
+    size_t Tail = std::min<size_t>(3, C.Rep.Path.size());
+    for (size_t I = C.Rep.Path.size() - Tail; I < C.Rep.Path.size(); ++I)
+      Out += "      " + C.Rep.Path[I] + "\n";
+  }
+  if (Shown < Order.size())
+    Out += formatv("... %zu more clusters\n", Order.size() - Shown);
+
+  if (Baseline) {
+    std::vector<size_t> New = Clusterer.regressionsAgainst(*Baseline);
+    Out += formatv("REGRESSIONS vs baseline (%zu stored signatures): %zu\n",
+                   Baseline->size(), New.size());
+    for (size_t Idx : New) {
+      const TriageCluster &C = Clusters[Idx];
+      Out += formatv("  NEW  x%llu  sig %016llx  %s",
+                     static_cast<unsigned long long>(C.Count),
+                     static_cast<unsigned long long>(C.Fingerprint),
+                     C.Rep.Kind.c_str());
+      for (const std::string &M : C.Rep.Markers)
+        Out += " [" + M + "]";
+      Out += "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,123 @@
+//===- triage/Clusterer.h - Signature clustering + triage report -*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second stage of triage: bucket extracted signatures into clusters.
+/// Two tiers:
+///
+///   * exact  — equal fingerprint (byte-equal canonical text). The common
+///     case: identical faults on different machines normalize to the same
+///     signature, so this is a hash-map hit.
+///   * near   — same kind AND same module set, path within a bounded edit
+///     distance of the cluster representative. This absorbs torn/truncated
+///     variants of a known fault: a ring that wrapped a few frames earlier,
+///     a torn tail that lost the last records, a kill that landed one loop
+///     iteration off. Signatures with empty paths never near-match (there
+///     is nothing to be "near" to — kind+modules alone would over-merge).
+///
+/// The report ranks clusters by frequency (then first-seen order, so equal
+/// counts render deterministically) and marks novelty against a baseline
+/// SignatureStore: a cluster is a *regression* when no member fingerprint
+/// exists in the baseline and no baseline entry of the same kind+modules
+/// is within near distance of the representative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_TRIAGE_CLUSTERER_H
+#define TRACEBACK_TRIAGE_CLUSTERER_H
+
+#include "support/Metrics.h"
+#include "triage/Signature.h"
+#include "triage/SignatureStore.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+/// Tuning knobs for clustering.
+struct ClusterOptions {
+  /// Maximum path edit distance for the near-match tier. Sized so that a
+  /// kill landing anywhere in a short loop body still matches the cluster
+  /// representative (a rotation of a period-p path costs about p edits)
+  /// without letting unrelated paths of the same kind merge.
+  unsigned NearMaxDistance = 8;
+};
+
+/// One cluster of signatures believed to be the same fault.
+struct TriageCluster {
+  /// The first signature that opened the cluster; near matches are judged
+  /// against it.
+  FaultSignature Rep;
+  uint64_t Fingerprint = 0;
+  /// Total members, and the exact/near split (Count == Exact + Near).
+  uint64_t Count = 0;
+  uint64_t ExactCount = 0;
+  uint64_t NearCount = 0;
+  /// Caller-supplied member labels (snap file names, seeds...), arrival
+  /// order, empty labels dropped.
+  std::vector<std::string> Labels;
+  /// Every distinct member fingerprint (rep first) — the regression check
+  /// must clear all of them against the baseline, not just the rep.
+  std::vector<uint64_t> MemberFingerprints;
+};
+
+/// Incremental two-tier clusterer. Feed signatures with add(); read the
+/// result with clusters()/ranked(). Not thread-safe: callers extract in
+/// parallel and add from one thread (extraction dominates).
+class SignatureClusterer {
+public:
+  explicit SignatureClusterer(ClusterOptions Opts = {},
+                              MetricsRegistry *Reg = nullptr);
+
+  /// Buckets one signature; returns the cluster index it joined (stable
+  /// across later adds).
+  size_t add(const FaultSignature &Sig, const std::string &Label = "");
+
+  const std::vector<TriageCluster> &clusters() const { return Clusters; }
+  size_t size() const { return Clusters.size(); }
+
+  /// Cluster indices sorted by count descending, first-seen ascending —
+  /// the report order.
+  std::vector<size_t> ranked() const;
+
+  /// Indices of clusters absent from \p Baseline: no member fingerprint
+  /// stored, and no stored entry of the same kind+modules within near
+  /// distance of the representative. Order follows ranked().
+  std::vector<size_t> regressionsAgainst(const SignatureStore &Baseline) const;
+
+  const ClusterOptions &options() const { return Opts; }
+
+private:
+  bool nearMatch(const FaultSignature &A, const FaultSignature &B) const;
+
+  ClusterOptions Opts;
+  std::vector<TriageCluster> Clusters;
+  /// fingerprint -> cluster index, for the exact tier.
+  std::map<uint64_t, size_t> ByFingerprint;
+
+  struct Instruments {
+    Counter *Signatures;
+    Counter *ClustersOpened;
+    Counter *ExactHits;
+    Counter *NearHits;
+    explicit Instruments(MetricsRegistry &Reg);
+  } Ins;
+};
+
+/// Renders the ranked triage report: cluster table (rank, count,
+/// exact/near split, kind, markers, representative path tail), and — when
+/// \p Baseline is non-null — a regression section listing clusters new
+/// relative to it. Deterministic: equal inputs produce equal bytes.
+std::string renderTriageReport(const SignatureClusterer &Clusterer,
+                               const SignatureStore *Baseline = nullptr,
+                               size_t TopN = 20);
+
+} // namespace traceback
+
+#endif // TRACEBACK_TRIAGE_CLUSTERER_H

@@ -1,0 +1,213 @@
+//===- triage/SignatureStore.cpp - Indexable signature store --------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "triage/SignatureStore.h"
+
+#include "support/Text.h"
+
+#include <cstdio>
+
+using namespace traceback;
+
+namespace {
+
+const char *StoreHeader = "TBSIG v1\n";
+
+/// One entry block in the store format. Shared by serialize() and
+/// append() so the two writers cannot drift.
+std::string entryBlock(const FaultSignature &Sig, uint64_t Count,
+                       const std::vector<std::string> &Labels) {
+  std::string Out = formatv("sig %016llx\n",
+                            static_cast<unsigned long long>(
+                                Sig.fingerprint()));
+  Out += formatv("count %llu\n", static_cast<unsigned long long>(Count));
+  for (const std::string &L : Labels)
+    if (!L.empty())
+      Out += "label " + L + "\n";
+  Out += Sig.canonicalText();
+  Out += "end\n";
+  return Out;
+}
+
+} // namespace
+
+void SignatureStore::add(const FaultSignature &Sig, const std::string &Label,
+                         uint64_t Count) {
+  uint64_t FP = Sig.fingerprint();
+  for (SignatureStoreEntry &E : Entries) {
+    if (E.Fingerprint != FP)
+      continue;
+    E.Count += Count;
+    if (!Label.empty())
+      E.Labels.push_back(Label);
+    return;
+  }
+  SignatureStoreEntry E;
+  E.Sig = Sig;
+  E.Fingerprint = FP;
+  E.Count = Count;
+  if (!Label.empty())
+    E.Labels.push_back(Label);
+  Entries.push_back(std::move(E));
+}
+
+bool SignatureStore::contains(uint64_t Fingerprint) const {
+  return byFingerprint(Fingerprint) != nullptr;
+}
+
+const SignatureStoreEntry *
+SignatureStore::byFingerprint(uint64_t Fingerprint) const {
+  for (const SignatureStoreEntry &E : Entries)
+    if (E.Fingerprint == Fingerprint)
+      return &E;
+  return nullptr;
+}
+
+uint64_t SignatureStore::totalCount() const {
+  uint64_t Sum = 0;
+  for (const SignatureStoreEntry &E : Entries)
+    Sum += E.Count;
+  return Sum;
+}
+
+std::string SignatureStore::serialize() const {
+  std::string Out = StoreHeader;
+  for (const SignatureStoreEntry &E : Entries)
+    Out += entryBlock(E.Sig, E.Count, E.Labels);
+  return Out;
+}
+
+bool SignatureStore::parse(const std::string &Text, SignatureStore &Out,
+                           std::string &Error) {
+  Out = SignatureStore();
+  if (!startsWith(Text, "TBSIG v1")) {
+    Error = "not a TBSIG v1 signature store";
+    return false;
+  }
+  // Line-by-line state machine over one entry at a time.
+  bool InEntry = false;
+  FaultSignature Sig;
+  uint64_t Count = 0;
+  std::vector<std::string> Labels;
+  size_t LineNo = 0, Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    ++LineNo;
+    if (LineNo == 1 || trimString(Line).empty())
+      continue;
+    size_t Space = Line.find(' ');
+    std::string Tag = Line.substr(0, Space);
+    std::string Rest =
+        Space == std::string::npos ? "" : Line.substr(Space + 1);
+    if (Tag == "sig") {
+      if (InEntry) {
+        Error = formatv("line %zu: 'sig' inside an open entry", LineNo);
+        return false;
+      }
+      InEntry = true;
+      Sig = FaultSignature();
+      Count = 0;
+      Labels.clear();
+      // The recorded fingerprint is advisory; it is recomputed from the
+      // canonical fields at 'end' so a hand-edited store cannot lie.
+      continue;
+    }
+    if (!InEntry) {
+      Error = formatv("line %zu: '%s' outside an entry", LineNo,
+                      Tag.c_str());
+      return false;
+    }
+    if (Tag == "count") {
+      int64_t V = 0;
+      if (!parseInt(Rest, V) || V < 0) {
+        Error = formatv("line %zu: bad count '%s'", LineNo, Rest.c_str());
+        return false;
+      }
+      Count = static_cast<uint64_t>(V);
+    } else if (Tag == "label") {
+      Labels.push_back(Rest);
+    } else if (Tag == "kind") {
+      Sig.Kind = Rest;
+    } else if (Tag == "module") {
+      Sig.Modules.push_back(Rest);
+    } else if (Tag == "marker") {
+      Sig.Markers.push_back(Rest);
+    } else if (Tag == "frame") {
+      Sig.Path.push_back(Rest);
+    } else if (Tag == "end") {
+      if (Count == 0)
+        Count = 1;
+      // The whole count attaches to the first add; further adds (count 0)
+      // only merge the remaining labels in.
+      Out.add(Sig, Labels.empty() ? "" : Labels.front(), Count);
+      for (size_t I = 1; I < Labels.size(); ++I)
+        Out.add(Sig, Labels[I], 0);
+      InEntry = false;
+    } else {
+      Error = formatv("line %zu: unknown tag '%s'", LineNo, Tag.c_str());
+      return false;
+    }
+  }
+  if (InEntry) {
+    Error = "unterminated entry (missing 'end')";
+    return false;
+  }
+  Error.clear();
+  return true;
+}
+
+bool SignatureStore::save(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  std::string Text = serialize();
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+bool SignatureStore::load(const std::string &Path, SignatureStore &Out,
+                          std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return parse(Text, Out, Error);
+}
+
+bool SignatureStore::append(const std::string &Path,
+                            const FaultSignature &Sig,
+                            const std::string &Label) {
+  bool NeedHeader = true;
+  if (std::FILE *Probe = std::fopen(Path.c_str(), "rb")) {
+    char C;
+    NeedHeader = std::fread(&C, 1, 1, Probe) != 1;
+    std::fclose(Probe);
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "ab");
+  if (!F)
+    return false;
+  std::string Text;
+  if (NeedHeader)
+    Text = StoreHeader;
+  Text += entryBlock(Sig, 1, {Label});
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}

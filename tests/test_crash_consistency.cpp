@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestHelpers.h"
+#include "triage/Clusterer.h"
 #include "vm/FaultInjector.h"
 
 #include <gtest/gtest.h>
@@ -420,4 +421,84 @@ fn main() export {
   }
 
   EXPECT_EQ(ClassesFired, 6u) << "every fault class must be exercisable";
+}
+
+// ----------------------------------------------------------------------------
+// Triage: a trace recovered past a torn write (TruncatedAt-marked) must
+// land in the same cluster as its uncorrupted counterpart — the tear
+// cost the tail of the history, not the identity of the fault.
+// ----------------------------------------------------------------------------
+
+TEST(CrashConsistencyTest, RecoveredTornTracesClusterWithCleanKills) {
+  GoldenRun Golden(SnapAtEndWorkload);
+  ASSERT_GT(Golden.TotalSlices, 40u);
+
+  Rng Seeds(testSeed() ^ 0x6666);
+  int Paired = 0;
+  for (int Run = 0; Run < 10; ++Run) {
+    uint64_t Seed = Seeds.next();
+    Rng R(Seed);
+    // One steady-state cut point shared by both runs: the clean run is
+    // killed there outright, the recovered run additionally has an
+    // in-flight trace store torn at the same instant.
+    uint64_t Half = Golden.TotalSlices / 2;
+    uint64_t At = Half + R.below(Half / 2);
+
+    FaultPlan CleanPlan;
+    CleanPlan.Seed = Seed;
+    CleanPlan.Events.push_back({FaultKind::KillProcess, At, 0});
+    SingleProcess SC;
+    FaultInjector CleanFI(CleanPlan);
+    SC.D.world().Injector = &CleanFI;
+    SC.runModule(compileOrDie(SnapAtEndWorkload), true);
+    ASSERT_TRUE(SC.P->HardKilled) << "seed " << Seed;
+    auto CleanPM = SC.D.daemonFor(*SC.M)->collectPostMortem(*SC.P);
+    ASSERT_EQ(CleanPM.size(), 1u);
+    ReconstructedTrace CleanTrace = SC.D.reconstruct(*CleanPM.front());
+    FaultSignature Clean = extractSignature(*CleanPM.front(), CleanTrace);
+    if (Clean.Path.empty())
+      continue;
+
+    FaultPlan TornPlan;
+    TornPlan.Seed = Seed;
+    TornPlan.Events.push_back({FaultKind::TornWrite, At, 0});
+    TornPlan.Events.push_back({FaultKind::KillProcess, At, 0});
+    SingleProcess ST;
+    FaultInjector TornFI(TornPlan);
+    ST.D.world().Injector = &TornFI;
+    ST.runModule(compileOrDie(SnapAtEndWorkload), true);
+    if (!TornFI.allFired())
+      continue; // No record was in flight to tear at this cut.
+    ASSERT_TRUE(ST.P->HardKilled) << "seed " << Seed;
+    auto TornPM = ST.D.daemonFor(*ST.M)->collectPostMortem(*ST.P);
+    ASSERT_EQ(TornPM.size(), 1u);
+    ReconstructedTrace TornTrace = ST.D.reconstruct(*TornPM.front());
+    bool Marked = false;
+    for (const ThreadTrace &T : TornTrace.Threads)
+      Marked |= T.TruncatedAt != UINT64_MAX;
+    if (!Marked)
+      continue; // The tear hit an already-consumed word.
+    FaultSignature Torn = extractSignature(*TornPM.front(), TornTrace);
+    EXPECT_NE(std::find(Torn.Markers.begin(), Torn.Markers.end(),
+                        std::string("torn-tail")),
+              Torn.Markers.end())
+        << "seed " << Seed << ": recovered trace must carry the marker";
+    if (Torn.Path.empty())
+      continue;
+
+    // Identical cut, so the two histories differ only in the torn tail:
+    // the near tier must reunite them (the fingerprints differ — the
+    // torn signature carries the marker and a shorter path).
+    SignatureClusterer C;
+    size_t CleanIdx = C.add(Clean, "clean");
+    size_t TornIdx = C.add(Torn, "recovered");
+    EXPECT_EQ(CleanIdx, TornIdx)
+        << "seed " << Seed
+        << ": a TruncatedAt-recovered trace split from its clean "
+           "counterpart";
+    Paired += CleanIdx == TornIdx;
+  }
+  // Most steady-state cuts have a record in flight; the sweep must pair
+  // more often than it skips or it proves nothing.
+  EXPECT_GT(Paired, 4) << "suspiciously few torn/clean pairs clustered";
 }

@@ -7,6 +7,7 @@
 #include "TestHelpers.h"
 #include "core/FileIO.h"
 #include "reconstruct/Stitch.h"
+#include "triage/Signature.h"
 
 #include <gtest/gtest.h>
 
@@ -484,4 +485,80 @@ fn other(x) {
   EXPECT_NE(View.find("hang"), std::string::npos);
   EXPECT_NE(View.find("thread 1"), std::string::npos);
   EXPECT_NE(View.find("thread 2"), std::string::npos);
+}
+
+// ----------------------------------------------------------------------------
+// Triage: the MISSING-PEER marker of a partial group snap must normalize
+// to one signature no matter which peer the partition cut off.
+// ----------------------------------------------------------------------------
+
+namespace {
+
+/// Runs the partitioned group-snap scenario over the real network
+/// transport with the absent peer's identity (machine name, OS, machine
+/// id, clock skew) varied, and returns the MISSING-PEER marker the
+/// client-side daemon emitted when its GroupSnapRequest went unanswered.
+SnapFile partitionedGroupSnapMarker(const char *PeerName, const char *PeerOs,
+                                    bool ExtraMachine, int64_t PeerSkew) {
+  Deployment D;
+  Machine *MA = D.addMachine("alpha", "winnt");
+  if (ExtraMachine)
+    D.addMachine("filler", "linux"); // Shifts the peer's machine id.
+  Machine *MB = D.addMachine(PeerName, PeerOs, PeerSkew);
+  D.enableNetworkTransport();
+  Process *Client = MA->createProcess("client");
+  Process *Server = MB->createProcess("server");
+  Module CM = compileOrDie(OneShotClient, "climod", Technology::Native,
+                           "client.ml");
+  Module SM = compileOrDie(EchoServer, "srvmod", Technology::Native,
+                           "server.ml");
+  std::string Error;
+  EXPECT_NE(D.deploy(*Client, CM, true, Error), nullptr) << Error;
+  EXPECT_NE(D.deploy(*Server, SM, true, Error), nullptr) << Error;
+  // Cut only the snap-transport fabric; guest RPC rides its own plane,
+  // so the client still completes its call before snapping.
+  D.world().netSetPartitioned(MA->Id, MB->Id, true);
+  Server->start("main");
+  for (int I = 0; I < 10; ++I)
+    D.world().stepSlice();
+  Client->start("main");
+  while (!Client->Exited && D.world().cycles() < 50'000'000)
+    D.world().stepSlice();
+  EXPECT_TRUE(Client->Exited);
+  EXPECT_TRUE(D.pumpNetwork()) << "a partition must degrade, not hang";
+  for (const SnapFile &S : D.snaps())
+    if (S.Reason == SnapReason::MissingPeer)
+      return S;
+  ADD_FAILURE() << "no MISSING-PEER marker emitted for absent peer "
+                << PeerName;
+  return SnapFile();
+}
+
+} // namespace
+
+TEST(DistributedTest, MissingPeerSignatureStableAcrossPeers) {
+  // Two partial group snaps, each missing a *different* peer: distinct
+  // machine name, OS, machine id and clock skew. Triage must fold both
+  // into one signature — "a peer was missing from the group snap" is the
+  // fault; which peer is incident detail, or every partition would open
+  // a fresh cluster per absent machine.
+  SnapFile A = partitionedGroupSnapMarker("beta", "solaris",
+                                          /*ExtraMachine=*/false, 100000);
+  SnapFile B = partitionedGroupSnapMarker("gamma", "linux",
+                                          /*ExtraMachine=*/true, 250000);
+  ASSERT_EQ(A.Reason, SnapReason::MissingPeer);
+  ASSERT_EQ(B.Reason, SnapReason::MissingPeer);
+  ASSERT_NE(A.MachineName, B.MachineName);
+  ASSERT_NE(A.ReasonDetail, B.ReasonDetail)
+      << "the scenario must vary the absent peer's machine id";
+
+  FaultSignature SA = extractSignature(A);
+  FaultSignature SB = extractSignature(B);
+  EXPECT_EQ(SA, SB)
+      << "marker signatures must not depend on which peer was absent";
+  EXPECT_EQ(SA.fingerprint(), SB.fingerprint());
+  EXPECT_EQ(SA.canonicalText(), SB.canonicalText());
+  EXPECT_EQ(SA.Kind, "missing-peer");
+  EXPECT_EQ(SA.Markers, std::vector<std::string>{"missing-peer"});
+  EXPECT_TRUE(SA.Path.empty()) << "marker snaps carry no trace buffers";
 }

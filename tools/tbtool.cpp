@@ -23,6 +23,9 @@
 //   tbtool run <mod.tbo>... [--entry NAME] [--policy FILE] [--snap-dir D]
 //   tbtool inject <mod.tbo>... --seed S [--plan FILE] [--entry NAME]
 //                 [--snap-dir DIR]
+//   tbtool triage <snap-dir|archive.tbar> [<map.tbmap>...] [--jobs N]
+//                 [--top N] [--near D] [--store out.tbsig]
+//                 [--diff baseline.tbsig]
 //
 // Every subcommand parses flags through the shared tool::ArgList, so flag
 // spellings cannot drift and a mistyped --flag is an error instead of a
@@ -40,6 +43,7 @@
 #include "lang/CodeGen.h"
 #include "reconstruct/Views.h"
 #include "support/Metrics.h"
+#include "triage/Clusterer.h"
 #include "support/Text.h"
 #include "vm/Syscalls.h"
 
@@ -81,7 +85,9 @@ int usage() {
       "  tbtool run <mod.tbo>... [--entry NAME] [--policy FILE] "
       "[--snap-dir DIR]\n"
       "  tbtool inject <mod.tbo>... --seed S [--plan FILE] "
-      "[--entry NAME] [--snap-dir DIR]\n");
+      "[--entry NAME] [--snap-dir DIR]\n"
+      "  tbtool triage <snap-dir|archive.tbar> [<map.tbmap>...] [--jobs N] "
+      "[--top N] [--near D] [--store out.tbsig] [--diff baseline.tbsig]\n");
   return 2;
 }
 
@@ -920,6 +926,147 @@ int cmdInject(ArgList A) {
   return AllPrefix ? 0 : 3;
 }
 
+/// `tbtool triage`: clusters a run's snaps by fault signature and prints
+/// the ranked report. Input is either a directory of .tbsnap files (with
+/// .tbmap mapfiles in the directory or listed as extra operands) or a
+/// .tbar archive. With mapfiles, signatures carry the normalized
+/// top-of-trace path (full triage); without, they degrade to header-level
+/// kind+modules signatures — same as the daemon's ingest tagging.
+int cmdTriage(ArgList A) {
+  int Jobs = A.jobs();
+  int64_t TopN = A.intValue("--top", 20);
+  int64_t Near = A.intValue("--near", ClusterOptions().NearMaxDistance);
+  std::string StorePath = A.value("--store");
+  std::string DiffPath = A.value("--diff");
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.empty() || TopN < 0 || Near < 0)
+    return usage();
+  const std::string &Input = Pos[0];
+  namespace fs = std::filesystem;
+
+  // Gather snaps: archive entries or directory files. Labels name the
+  // member so report readers can find the snap again.
+  std::vector<SnapFile> Snaps;
+  std::vector<std::string> Labels;
+  std::vector<std::string> MapPaths(Pos.begin() + 1, Pos.end());
+  bool IsArchive = Input.size() > 5 &&
+                   Input.compare(Input.size() - 5, 5, ".tbar") == 0;
+  if (IsArchive) {
+    std::vector<SnapArchiveEntry> Entries;
+    if (!SnapArchive::list(Input, Entries)) {
+      std::fprintf(stderr, "cannot read archive %s\n", Input.c_str());
+      return 1;
+    }
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      std::vector<uint8_t> Image;
+      SnapFile Snap;
+      if (!SnapArchive::extract(Input, I, Image) ||
+          !SnapFile::deserialize(Image, Snap)) {
+        std::fprintf(stderr, "warning: cannot decode archive entry %zu\n", I);
+        continue;
+      }
+      Labels.push_back(formatv("%s[%zu]:%s",
+                               fs::path(Input).filename().string().c_str(), I,
+                               Snap.ProcessName.c_str()));
+      Snaps.push_back(std::move(Snap));
+    }
+  } else {
+    std::error_code EC;
+    std::vector<std::string> SnapPaths =
+        filesWithExtension(Input, ".tbsnap", EC);
+    if (!EC)
+      for (const std::string &P : filesWithExtension(Input, ".tbmap", EC))
+        MapPaths.push_back(P);
+    if (EC) {
+      std::fprintf(stderr, "cannot read directory %s: %s\n", Input.c_str(),
+                   EC.message().c_str());
+      return 1;
+    }
+    for (const std::string &P : SnapPaths) {
+      SnapFile Snap;
+      if (!loadSnap(P, Snap)) {
+        std::fprintf(stderr, "warning: cannot load %s\n", P.c_str());
+        continue;
+      }
+      Labels.push_back(fs::path(P).filename().string());
+      Snaps.push_back(std::move(Snap));
+    }
+  }
+  if (Snaps.empty()) {
+    std::fprintf(stderr, "no snaps in %s\n", Input.c_str());
+    return 1;
+  }
+
+  MapFileStore Store;
+  if (!loadMapsInto(Store, MapPaths))
+    return 1;
+
+  // Extraction fans out across the pool (reconstruction dominates);
+  // clustering runs single-threaded in input order so the report is
+  // deterministic for a given snap set.
+  std::vector<FaultSignature> Sigs(Snaps.size());
+  if (Store.size()) {
+    ReconstructOptions Opts;
+    Opts.Parallel.Jobs = Jobs;
+    Reconstructor R(Store, Opts);
+    ThreadPool Pool(ThreadPool::resolveJobs(Jobs));
+    bool AcrossSnaps = Snaps.size() > 1;
+    parallelForIndex(AcrossSnaps ? &Pool : nullptr, Snaps.size(),
+                     [&](size_t I) {
+                       ReconstructedTrace Trace = R.reconstruct(
+                           Snaps[I], AcrossSnaps ? nullptr : &Pool);
+                       Sigs[I] = extractSignature(Snaps[I], Trace);
+                     });
+  } else {
+    for (size_t I = 0; I < Snaps.size(); ++I)
+      Sigs[I] = extractSignature(Snaps[I]);
+  }
+
+  ClusterOptions CO;
+  CO.NearMaxDistance = static_cast<unsigned>(Near);
+  SignatureClusterer Clusterer(CO);
+  SignatureStore OutStore;
+  for (size_t I = 0; I < Sigs.size(); ++I) {
+    Clusterer.add(Sigs[I], Labels[I]);
+    if (!StorePath.empty())
+      OutStore.add(Sigs[I], Labels[I]);
+  }
+
+  SignatureStore Baseline;
+  bool HaveBaseline = false;
+  if (!DiffPath.empty()) {
+    std::string Error;
+    if (!SignatureStore::load(DiffPath, Baseline, Error)) {
+      std::fprintf(stderr, "cannot load baseline %s: %s\n", DiffPath.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+    HaveBaseline = true;
+  }
+
+  std::string Report =
+      renderTriageReport(Clusterer, HaveBaseline ? &Baseline : nullptr,
+                         static_cast<size_t>(TopN));
+  std::fputs(Report.c_str(), stdout);
+
+  if (!StorePath.empty()) {
+    if (!OutStore.save(StorePath)) {
+      std::fprintf(stderr, "cannot write %s\n", StorePath.c_str());
+      return 1;
+    }
+    std::printf("stored %zu signatures -> %s\n", OutStore.size(),
+                StorePath.c_str());
+  }
+  // Exit 3 signals "regressions found" so CI can gate on it, mirroring
+  // the inject command's non-zero verdict convention.
+  if (HaveBaseline && !Clusterer.regressionsAgainst(Baseline).empty())
+    return 3;
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -951,5 +1098,7 @@ int main(int argc, char **argv) {
     return cmdRun(std::move(Args));
   if (Cmd == "inject")
     return cmdInject(std::move(Args));
+  if (Cmd == "triage")
+    return cmdTriage(std::move(Args));
   return usage();
 }
