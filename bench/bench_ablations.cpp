@@ -7,18 +7,34 @@
 //    penalty" but enables kill -9 recovery),
 //  - trace buffer size vs recoverable history (section 2.1),
 //  - path-bit budget and call-return headers (sections 2.1-2.2: breaking
-//    DAGs at calls is the limiting factor for path length).
+//    DAGs at calls is the limiting factor for path length),
+//  - probe elision on/off (the placement optimization this repo adds).
+//
+// Results are machine-readable: BENCH_ablations.json (or the _smoke
+// variant under TRACEBACK_BENCH_SMOKE), in the same schema family as the
+// other BENCH_*.json files, so the perf trajectory can be tracked without
+// scraping printf tables.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
+#include "core/FileIO.h"
+
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
 
 using namespace traceback;
 using namespace traceback::bench;
 
 namespace {
+
+bool smokeMode() {
+  const char *V = std::getenv("TRACEBACK_BENCH_SMOKE");
+  return V && *V && *V != '0';
+}
 
 const char *WorkSrc = R"(
 fn step(x) {
@@ -45,18 +61,16 @@ fn main() export {
 }
 )";
 
-void printSubBufferAblation() {
+std::string subBufferAblation() {
   Module M = compileBench(WorkSrc, "work");
   RunOutcome Plain = runWorkload(M, false);
   // Small buffers so the ring wraps constantly and the sub-buffer commit
   // cost (runtime callback + zeroing) becomes visible.
-  std::printf("Ablation: sub-buffer count vs overhead (2 KiB buffers, "
-              "ring wraps constantly)\n");
-  printRule();
-  std::printf("%12s %14s %8s %16s\n", "sub-buffers", "cycles", "ratio",
-              "wrap calls");
-  printRule();
-  for (uint32_t Subs : {1u, 2u, 4u, 8u, 16u, 32u}) {
+  std::string J = "  \"sub_buffers\": {\n"
+                  "    \"buffer_bytes\": 2048,\n    \"rows\": [\n";
+  const uint32_t Counts[] = {1, 2, 4, 8, 16, 32};
+  for (size_t I = 0; I < 6; ++I) {
+    uint32_t Subs = Counts[I];
     RtPolicy Policy = quietPolicy();
     Policy.BufferBytes = 2048;
     Policy.SubBufferCount = Subs;
@@ -74,18 +88,18 @@ void printSubBufferAblation() {
     if (!P->loadModule(Instr, Error) || !P->start("main"))
       std::abort();
     D.world().run();
-    std::printf("%12u %14llu %8.3f %16llu\n", Subs,
-                static_cast<unsigned long long>(P->CyclesUsed),
-                static_cast<double>(P->CyclesUsed) / Plain.Cycles,
-                static_cast<unsigned long long>(RT->stats().BufferWraps));
+    J += formatv("      {\"sub_buffers\": %u, \"cycles\": %llu, "
+                 "\"ratio\": %.4f, \"wrap_calls\": %llu}%s\n",
+                 Subs, static_cast<unsigned long long>(P->CyclesUsed),
+                 static_cast<double>(P->CyclesUsed) / Plain.Cycles,
+                 static_cast<unsigned long long>(RT->stats().BufferWraps),
+                 I + 1 < 6 ? "," : "");
   }
-  printRule();
-  std::printf("More sub-buffers = more frequent runtime callbacks and "
-              "zeroing (section 3.2)\nbut finer post-kill-9 recovery "
-              "granularity.\n\n");
+  J += "    ]\n  }";
+  return J;
 }
 
-void printBufferSizeAblation() {
+std::string bufferSizeAblation() {
   const char *Src = R"(
 fn main() export {
   var s = 0;
@@ -96,12 +110,11 @@ fn main() export {
 }
 )";
   Module M = compileBench(Src, "hist");
-  std::printf("Ablation: buffer size vs recoverable history\n");
-  printRule();
-  std::printf("%14s %16s %12s\n", "buffer bytes", "lines recovered",
-              "lines/byte");
-  printRule();
-  for (uint32_t Bytes : {1u << 10, 1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
+  std::string J = "  \"buffer_size\": {\n    \"rows\": [\n";
+  const uint32_t Sizes[] = {1u << 10, 1u << 12, 1u << 14, 1u << 16,
+                            1u << 18};
+  for (size_t I = 0; I < 5; ++I) {
+    uint32_t Bytes = Sizes[I];
     Deployment D;
     D.Policy = quietPolicy();
     D.Policy.SnapOnApi = true;
@@ -118,40 +131,101 @@ fn main() export {
       for (const TraceEvent &E : Th.Events)
         if (E.EventKind == TraceEvent::Kind::Line)
           Lines += E.Repeat;
-    std::printf("%14u %16llu %12.2f\n", Bytes,
-                static_cast<unsigned long long>(Lines),
-                static_cast<double>(Lines) / Bytes);
+    J += formatv("      {\"buffer_bytes\": %u, \"lines_recovered\": %llu, "
+                 "\"lines_per_byte\": %.4f}%s\n",
+                 Bytes, static_cast<unsigned long long>(Lines),
+                 static_cast<double>(Lines) / Bytes, I + 1 < 5 ? "," : "");
   }
-  printRule();
-  std::printf("Paper: ~1 line/byte; 64 KiB per thread shows tens of "
-              "thousands of lines back in time.\n\n");
+  J += "    ]\n  }";
+  return J;
 }
 
-void printDagAblation() {
+std::string dagAblation() {
   Module M = compileBench(WorkSrc, "work");
   RunOutcome Plain = runWorkload(M, false);
-  std::printf("Ablation: path-bit budget and call-return headers\n");
-  printRule();
-  std::printf("%10s %12s %14s %8s %8s\n", "path bits", "call-breaks",
-              "cycles", "ratio", "dags");
-  printRule();
-  for (bool CallBreaks : {true, false}) {
-    for (unsigned Bits : {1u, 2u, 4u, 10u}) {
+  std::string J = "  \"dag_tiling\": {\n    \"rows\": [\n";
+  const unsigned BitCounts[] = {1, 2, 4, 10};
+  for (int CB = 0; CB < 2; ++CB) {
+    bool CallBreaks = CB == 0;
+    for (size_t I = 0; I < 4; ++I) {
       InstrumentOptions Opts;
-      Opts.Tile.PathBits = Bits;
+      Opts.Tile.PathBits = BitCounts[I];
       Opts.Tile.HeadersAtCallReturns = CallBreaks;
       RunOutcome Traced = runWorkload(M, true, Opts);
-      std::printf("%10u %12s %14llu %8.3f %8u\n", Bits,
-                  CallBreaks ? "yes" : "no",
-                  static_cast<unsigned long long>(Traced.Cycles),
-                  static_cast<double>(Traced.Cycles) / Plain.Cycles,
-                  Traced.Stats.NumDags);
+      J += formatv("      {\"path_bits\": %u, \"call_breaks\": %s, "
+                   "\"cycles\": %llu, \"ratio\": %.4f, \"dags\": %u}%s\n",
+                   BitCounts[I], CallBreaks ? "true" : "false",
+                   static_cast<unsigned long long>(Traced.Cycles),
+                   static_cast<double>(Traced.Cycles) / Plain.Cycles,
+                   Traced.Stats.NumDags,
+                   CB == 1 && I + 1 == 4 ? "" : ",");
     }
   }
-  printRule();
-  std::printf("Fewer bits -> more heavyweight probes. Removing call-return "
-              "headers is cheaper\nbut sacrifices exception attribution "
-              "(the paper's section 2.2 tradeoff).\n\n");
+  J += "    ]\n  }";
+  return J;
+}
+
+// Elision-friendly workload: if-without-else joins and nested guards are
+// the shapes whose path bits are implied (WorkSrc's if/else diamonds are
+// deliberately never elidable, so it cannot ablate the pass).
+const char *ElideSrc = R"(
+fn calc(x) {
+  var y = x;
+  if (y & 1) { y = y + 3; }
+  y = y ^ 5;
+  if (y & 2) {
+    y = y * 3 + 1;
+    if (y & 4) { y = y - 7; }
+    y = y ^ 9;
+  }
+  y = y + 1;
+  if (y & 8) { y = y * 5; }
+  return y;
+}
+fn main() export {
+  var s = 1;
+  for (var i = 0; i < 4000; i = i + 1) {
+    s = (s + calc(s + i)) % 65521;
+  }
+  print(s);
+}
+)";
+
+std::string elisionAblation() {
+  Module M = compileBench(ElideSrc, "elide");
+  RunOutcome Plain = runWorkload(M, false);
+  std::string J = "  \"probe_elision\": {\n    \"rows\": [\n";
+  for (int E = 0; E < 2; ++E) {
+    bool Elide = E == 0;
+    InstrumentOptions Opts;
+    Opts.ElideImpliedBits = Elide;
+    RunOutcome Traced = runWorkload(M, true, Opts);
+    J += formatv("      {\"elide\": %s, \"cycles\": %llu, \"ratio\": %.4f, "
+                 "\"light_probes\": %u, \"elided_probes\": %u}%s\n",
+                 Elide ? "true" : "false",
+                 static_cast<unsigned long long>(Traced.Cycles),
+                 static_cast<double>(Traced.Cycles) / Plain.Cycles,
+                 Traced.Stats.NumLightProbes, Traced.Stats.NumElidedProbes,
+                 E == 0 ? "," : "");
+  }
+  J += "    ]\n  }";
+  return J;
+}
+
+void writeAblations() {
+  std::string J = "{\n  \"bench\": \"ablations\",\n";
+  J += subBufferAblation() + ",\n";
+  J += bufferSizeAblation() + ",\n";
+  J += dagAblation() + ",\n";
+  J += elisionAblation() + "\n";
+  J += "}\n";
+  const char *Name =
+      smokeMode() ? "BENCH_ablations_smoke.json" : "BENCH_ablations.json";
+  if (!writeFileText(Name, J)) {
+    std::fprintf(stderr, "cannot write %s\n", Name);
+    std::abort();
+  }
+  std::printf("ablation results written to %s\n", Name);
 }
 
 void BM_TileWorkModule(benchmark::State &State) {
@@ -170,9 +244,7 @@ BENCHMARK(BM_TileWorkModule);
 } // namespace
 
 int main(int argc, char **argv) {
-  printSubBufferAblation();
-  printBufferSizeAblation();
-  printDagAblation();
+  writeAblations();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,310 @@
+//===- bench/bench_overhead.cpp - Probe overhead on a deployment fleet ----===//
+//
+// Part of the TraceBack reproduction project.
+//
+// The headline cost question (paper Tables 1-3): how much slower does an
+// instrumented fleet run? This bench generates a many-module workload of
+// seeded MiniLang "request handler" programs — branchy dispatch plus
+// straight-line compute plus syscall-heavy I/O, the shape of the paper's
+// server workloads where instrumentation stayed under 10% — and measures
+// end-to-end simulated cycles four ways:
+//
+//   native           uninstrumented
+//   traceback        DAG tiling with probe elision (the default)
+//   traceback_full   same placement with elision disabled
+//   ball_larus       the path-profiling baseline (aggregate counts only;
+//                    the placement-optimality yardstick)
+//
+// The elision win is reported both statically (light probes emitted vs
+// implied away) and dynamically (cycles saved), and the remaining gap to
+// Ball-Larus quantifies what giving up temporal order would buy.
+//
+// Results go to BENCH_overhead.json (BENCH_overhead_smoke.json under
+// TRACEBACK_BENCH_SMOKE). The run aborts nonzero if the instrumented
+// overhead exceeds the stored threshold, so the ctest `overhead` label is
+// a regression gate, not just a report.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "baselines/BallLarus.h"
+#include "core/FileIO.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace traceback;
+using namespace traceback::bench;
+
+namespace {
+
+/// Hard gate: the bench exits nonzero when the elided-probe configuration
+/// costs more than this over native.
+constexpr double OverheadThresholdPercent = 10.0;
+
+bool smokeMode() {
+  const char *V = std::getenv("TRACEBACK_BENCH_SMOKE");
+  return V && *V && *V != '0';
+}
+
+/// Deterministic per-module source generator. Each module is a small
+/// request loop: seeded branchy dispatch (where light probes land), a
+/// straight-line compute chunk (long blocks, no probes) and a burst of
+/// syscalls (the I/O the paper's server workloads spend their cycles in).
+std::string makeModuleSrc(uint32_t Idx, uint32_t Iters) {
+  uint32_t S = Idx * 2654435761u + 0x9E3779B9u;
+  auto Next = [&] {
+    S ^= S << 13;
+    S ^= S >> 17;
+    S ^= S << 5;
+    return S;
+  };
+
+  std::string Src;
+  Src += "fn handle(x) {\n  var y = x;\n";
+  // Branchy dispatch: 4-7 decisions in the shapes real handlers use —
+  // if/else diamonds, guard-style ifs without an else (whose join bit the
+  // elision pass proves implied), and nested guards.
+  unsigned Branches = 4 + Next() % 4;
+  for (unsigned I = 0; I < Branches; ++I) {
+    switch (Next() % 3) {
+    case 0:
+      Src += formatv("  if (y & %u) { y = y * %u + %u; } "
+                     "else { y = y ^ (y >> %u); }\n",
+                     1u << (Next() % 8), 3 + Next() % 5, 1 + Next() % 9,
+                     1 + Next() % 4);
+      break;
+    case 1:
+      Src += formatv("  if (y & %u) { y = y + %u; }\n", 1u << (Next() % 8),
+                     1 + Next() % 17);
+      break;
+    default:
+      Src += formatv("  if (y & %u) { y = y ^ %u; "
+                     "if (y & %u) { y = y - %u; } y = y * 3; }\n",
+                     1u << (Next() % 8), 1 + Next() % 63, 1u << (Next() % 8),
+                     1 + Next() % 9);
+      break;
+    }
+  }
+  // Straight-line compute chunk: one long block, zero light probes.
+  unsigned Chunk = 24 + Next() % 16;
+  for (unsigned I = 0; I < Chunk; ++I)
+    Src += formatv("  y = (y * %u + %u) ^ (y >> %u);\n", 3 + Next() % 7,
+                   Next() % 255, 1 + Next() % 5);
+  Src += "  return y & 1048575;\n}\n";
+
+  Src += "fn main() export {\n";
+  Src += formatv("  var s = %u;\n", 1 + Next() % 1000);
+  Src += formatv("  for (var i = 0; i < %u; i = i + 1) {\n", Iters);
+  Src += "    s = handle(s + i);\n";
+  // Syscall burst: the I/O slice of a request.
+  for (unsigned I = 0; I < 8; ++I)
+    Src += formatv("    print(s & %u);\n", 255u >> (I % 3));
+  Src += "  }\n  print(s & 65535);\n}\n";
+  return Src;
+}
+
+struct FleetTotals {
+  uint64_t Native = 0;
+  uint64_t Traceback = 0;
+  uint64_t TracebackFull = 0; ///< Elision disabled.
+  uint64_t BallLarus = 0;
+  uint64_t LightEmitted = 0;
+  uint64_t LightElided = 0;
+  uint64_t LightFull = 0; ///< Emitted with elision off.
+  uint64_t HeavyProbes = 0;
+  uint64_t MovSaves = 0;
+  uint64_t Spills = 0;
+  uint64_t BlPaths = 0;
+  uint32_t Modules = 0;
+};
+
+uint64_t runPlainCycles(const Module &M) {
+  Deployment D;
+  D.Policy = quietPolicy();
+  Machine *Host = D.addMachine("bench");
+  Process *P = Host->createProcess("m");
+  std::string Error;
+  if (!P->loadModule(M, Error) || !P->start("main")) {
+    std::fprintf(stderr, "bench run error: %s\n", Error.c_str());
+    std::abort();
+  }
+  D.world().run();
+  return P->CyclesUsed;
+}
+
+FleetTotals measureFleet(uint32_t Modules, uint32_t Iters) {
+  FleetTotals T;
+  T.Modules = Modules;
+  std::string Error;
+  for (uint32_t I = 0; I < Modules; ++I) {
+    Module M = compileBench(makeModuleSrc(I, Iters), formatv("svc%03u", I));
+
+    uint64_t Plain = runPlainCycles(M);
+    T.Native += Plain;
+
+    InstrumentOptions Elide;
+    RunOutcome Traced = runWorkload(M, true, Elide);
+    if (Traced.Output.empty() ||
+        Traced.Output != runWorkload(M, false).Output) {
+      std::fprintf(stderr, "module %u: instrumented output diverged\n", I);
+      std::abort();
+    }
+    T.Traceback += Traced.Cycles;
+    T.LightEmitted += Traced.Stats.NumLightProbes;
+    T.LightElided += Traced.Stats.NumElidedProbes;
+    T.HeavyProbes += Traced.Stats.NumHeavyProbes;
+    T.MovSaves += Traced.Stats.NumMovSaves;
+    T.Spills += Traced.Stats.NumSpills;
+
+    InstrumentOptions Full;
+    Full.ElideImpliedBits = false;
+    RunOutcome Traced2 = runWorkload(M, true, Full);
+    T.TracebackFull += Traced2.Cycles;
+    T.LightFull += Traced2.Stats.NumLightProbes;
+
+    BallLarusResult Bl;
+    if (!ballLarusInstrument(M, Bl, Error)) {
+      std::fprintf(stderr, "module %u: ball-larus failed: %s\n", I,
+                   Error.c_str());
+      std::abort();
+    }
+    T.BallLarus += runPlainCycles(Bl.Out);
+    T.BlPaths += Bl.TotalPaths;
+  }
+  return T;
+}
+
+double overheadPercent(uint64_t Cycles, uint64_t Native) {
+  return Native == 0
+             ? 0.0
+             : 100.0 * (static_cast<double>(Cycles) / Native - 1.0);
+}
+
+void writeJson(const FleetTotals &T, uint32_t Iters) {
+  double TbOver = overheadPercent(T.Traceback, T.Native);
+  double FullOver = overheadPercent(T.TracebackFull, T.Native);
+  double BlOver = overheadPercent(T.BallLarus, T.Native);
+  uint64_t AllLights = T.LightEmitted + T.LightElided;
+
+  std::string J = "{\n  \"bench\": \"overhead\",\n";
+  J += formatv("  \"workload\": {\"modules\": %u, \"iters_per_module\": %u},\n",
+               T.Modules, Iters);
+  J += formatv("  \"threshold_percent\": %.1f,\n", OverheadThresholdPercent);
+  J += formatv("  \"cycles\": {\"native\": %llu, \"traceback\": %llu, "
+               "\"traceback_noelide\": %llu, \"ball_larus\": %llu},\n",
+               static_cast<unsigned long long>(T.Native),
+               static_cast<unsigned long long>(T.Traceback),
+               static_cast<unsigned long long>(T.TracebackFull),
+               static_cast<unsigned long long>(T.BallLarus));
+  J += formatv("  \"overhead_percent\": {\"traceback\": %.3f, "
+               "\"traceback_noelide\": %.3f, \"ball_larus\": %.3f},\n",
+               TbOver, FullOver, BlOver);
+  J += formatv("  \"probes\": {\"heavy\": %llu, \"light_emitted\": %llu, "
+               "\"light_elided\": %llu, \"light_noelide\": %llu, "
+               "\"elided_percent\": %.2f, \"mov_saves\": %llu, "
+               "\"push_pop_spills\": %llu},\n",
+               static_cast<unsigned long long>(T.HeavyProbes),
+               static_cast<unsigned long long>(T.LightEmitted),
+               static_cast<unsigned long long>(T.LightElided),
+               static_cast<unsigned long long>(T.LightFull),
+               AllLights ? 100.0 * T.LightElided / AllLights : 0.0,
+               static_cast<unsigned long long>(T.MovSaves),
+               static_cast<unsigned long long>(T.Spills));
+  // The optimality gap: what fraction of Ball-Larus's cheapness the
+  // temporal trace gives up (1.0 = costs the same as BL).
+  J += formatv("  \"gap\": {\"ball_larus_paths\": %llu, "
+               "\"tb_over_bl_cycle_ratio\": %.3f}\n",
+               static_cast<unsigned long long>(T.BlPaths),
+               T.BallLarus ? static_cast<double>(T.Traceback) / T.BallLarus
+                           : 0.0);
+  J += "}\n";
+  const char *Name =
+      smokeMode() ? "BENCH_overhead_smoke.json" : "BENCH_overhead.json";
+  if (!writeFileText(Name, J)) {
+    std::fprintf(stderr, "cannot write %s\n", Name);
+    std::abort();
+  }
+}
+
+int runOverheadBench() {
+  const uint32_t Modules = smokeMode() ? 12 : 384;
+  const uint32_t Iters = smokeMode() ? 40 : 120;
+  FleetTotals T = measureFleet(Modules, Iters);
+
+  double TbOver = overheadPercent(T.Traceback, T.Native);
+  double FullOver = overheadPercent(T.TracebackFull, T.Native);
+  double BlOver = overheadPercent(T.BallLarus, T.Native);
+  uint64_t AllLights = T.LightEmitted + T.LightElided;
+
+  std::printf("Probe overhead on a %u-module fleet (%u iterations each, "
+              "simulated cycles)\n",
+              T.Modules, Iters);
+  printRule(72);
+  std::printf("%-22s %16s %10s\n", "configuration", "cycles", "overhead");
+  printRule(72);
+  std::printf("%-22s %16llu %9s\n", "native",
+              static_cast<unsigned long long>(T.Native), "-");
+  std::printf("%-22s %16llu %9.2f%%\n", "ball_larus",
+              static_cast<unsigned long long>(T.BallLarus), BlOver);
+  std::printf("%-22s %16llu %9.2f%%\n", "traceback (elided)",
+              static_cast<unsigned long long>(T.Traceback), TbOver);
+  std::printf("%-22s %16llu %9.2f%%\n", "traceback (no elide)",
+              static_cast<unsigned long long>(T.TracebackFull), FullOver);
+  printRule(72);
+  std::printf("light probes: %llu emitted, %llu elided (%.1f%% of %llu "
+              "placed bits; %llu without elision)\n",
+              static_cast<unsigned long long>(T.LightEmitted),
+              static_cast<unsigned long long>(T.LightElided),
+              AllLights ? 100.0 * T.LightElided / AllLights : 0.0,
+              static_cast<unsigned long long>(AllLights),
+              static_cast<unsigned long long>(T.LightFull));
+  std::printf("spill scavenging: %llu mov-saves, %llu push/pop pairs\n",
+              static_cast<unsigned long long>(T.MovSaves),
+              static_cast<unsigned long long>(T.Spills));
+  std::printf("threshold: %.1f%% — %s\n\n", OverheadThresholdPercent,
+              TbOver <= OverheadThresholdPercent ? "PASS" : "FAIL");
+
+  writeJson(T, Iters);
+
+  if (TbOver > OverheadThresholdPercent) {
+    std::fprintf(stderr,
+                 "overhead regression: %.2f%% exceeds the %.1f%% "
+                 "threshold\n",
+                 TbOver, OverheadThresholdPercent);
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark registrations: host-side instrumentation throughput.
+// ---------------------------------------------------------------------------
+
+void BM_InstrumentFleetModule(benchmark::State &State) {
+  Module M = compileBench(makeModuleSrc(7, 40), "svc_gb");
+  for (auto _ : State) {
+    Module Out;
+    MapFile Map;
+    std::string Error;
+    bool Ok =
+        instrumentModule(M, InstrumentOptions(), Out, Map, nullptr, Error);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_InstrumentFleetModule);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int Rc = runOverheadBench();
+  if (Rc != 0)
+    return Rc;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

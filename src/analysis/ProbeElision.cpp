@@ -1,0 +1,153 @@
+//===- analysis/ProbeElision.cpp - Reconstructibility elision -------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ProbeElision.h"
+
+#include "instrument/DagTiling.h"
+
+#include <algorithm>
+
+using namespace traceback;
+
+namespace {
+
+/// Fixed-width bitset over DAG-local block indices. Intra-DAG member
+/// counts are small (a header plus at most PathBits bit blocks plus the
+/// implied chain between them), so one cache line of words is plenty;
+/// oversized DAGs simply get no elision.
+constexpr size_t MaxMembers = 256;
+
+struct MemberSet {
+  uint64_t W[MaxMembers / 64] = {};
+
+  void set(size_t I) { W[I / 64] |= 1ull << (I % 64); }
+  bool test(size_t I) const { return W[I / 64] & (1ull << (I % 64)); }
+  void fill(size_t N) {
+    for (size_t I = 0; I < N; ++I)
+      set(I);
+  }
+  void intersect(const MemberSet &O) {
+    for (size_t I = 0; I < MaxMembers / 64; ++I)
+      W[I] &= O.W[I];
+  }
+};
+
+} // namespace
+
+ElisionResult traceback::analyzeProbeElision(const FunctionCFG &F,
+                                             const FunctionTiling &T) {
+  ElisionResult R;
+  R.ElidedBy.assign(F.Blocks.size(), ElisionNone);
+
+  for (const DagTile &D : T.Dags) {
+    const size_t N = D.Blocks.size();
+    if (N < 2 || N > MaxMembers)
+      continue;
+    if (D.BitsUsed == 0)
+      continue; // Nothing to elide.
+
+    // DAG-local index of each member (members are CFG block indices).
+    std::vector<int> Local(F.Blocks.size(), -1);
+    for (size_t I = 0; I < N; ++I)
+      Local[D.Blocks[I]] = static_cast<int>(I);
+
+    // Intra-DAG path edges: member -> non-header member. Edges to the
+    // header (index 0) or outside the DAG leave it.
+    std::vector<std::vector<uint16_t>> Succs(N), Preds(N);
+    std::vector<bool> MayExit(N, false);
+    for (size_t I = 0; I < N; ++I) {
+      const BasicBlock &B = F.Blocks[D.Blocks[I]];
+      // A block whose execution can leave the DAG mid-record (or die in a
+      // callee) post-dominates nothing but itself.
+      if (B.Succs.empty() || B.HasIndirectExit || B.HasUnknownExit ||
+          B.endsInCall())
+        MayExit[I] = true;
+      for (uint32_t S : B.Succs) {
+        int LS = S < Local.size() ? Local[S] : -1;
+        if (LS <= 0) {
+          MayExit[I] = true; // Edge to the header or out of the DAG.
+          continue;
+        }
+        Succs[I].push_back(static_cast<uint16_t>(LS));
+        Preds[LS].push_back(static_cast<uint16_t>(I));
+      }
+    }
+
+    // Topological order over path edges (Kahn). The tiler emits members
+    // in reverse post-order so this always succeeds on healthy tilings;
+    // a cycle means a corrupt tiling — skip rather than mis-elide.
+    std::vector<uint16_t> Topo;
+    Topo.reserve(N);
+    {
+      std::vector<uint16_t> InDeg(N, 0);
+      for (size_t I = 0; I < N; ++I)
+        for (uint16_t S : Succs[I])
+          ++InDeg[S];
+      for (size_t I = 0; I < N; ++I)
+        if (InDeg[I] == 0)
+          Topo.push_back(static_cast<uint16_t>(I));
+      for (size_t Head = 0; Head < Topo.size(); ++Head)
+        for (uint16_t S : Succs[Topo[Head]])
+          if (--InDeg[S] == 0)
+            Topo.push_back(S);
+      if (Topo.size() != N)
+        continue; // Cyclic.
+    }
+
+    // Dominators over path edges, in topo order. Every non-header
+    // member's CFG predecessors all sit in this DAG (the tiler requires
+    // it), so the local pred lists are complete.
+    std::vector<MemberSet> Dom(N);
+    for (uint16_t V : Topo) {
+      if (Preds[V].empty()) {
+        Dom[V].set(V);
+        continue;
+      }
+      Dom[V].fill(N);
+      for (uint16_t P : Preds[V])
+        Dom[V].intersect(Dom[P]);
+      Dom[V].set(V);
+    }
+
+    // Post-dominators with may-exit semantics, in reverse topo order.
+    std::vector<MemberSet> PDom(N);
+    for (size_t K = N; K-- > 0;) {
+      uint16_t U = Topo[K];
+      if (!MayExit[U] && !Succs[U].empty()) {
+        PDom[U].fill(N);
+        for (uint16_t S : Succs[U])
+          PDom[U].intersect(PDom[S]);
+      }
+      PDom[U].set(U);
+    }
+
+    // Assign elisions in topo order so every implier is known non-elided
+    // by the time later blocks consider it.
+    for (size_t K = 0; K < N; ++K) {
+      uint16_t V = Topo[K];
+      uint32_t Cfg = D.Blocks[V];
+      if (T.BitOfBlock[Cfg] < 0)
+        continue;
+      if (PDom[0].test(V)) {
+        R.ElidedBy[Cfg] = ElisionAlways;
+        ++R.NumElided;
+        continue;
+      }
+      for (size_t J = 0; J < K; ++J) {
+        uint16_t A = Topo[J];
+        uint32_t ACfg = D.Blocks[A];
+        if (T.BitOfBlock[ACfg] < 0 || R.ElidedBy[ACfg] != ElisionNone)
+          continue;
+        if (Dom[V].test(A) && PDom[A].test(V)) {
+          R.ElidedBy[Cfg] = T.BitOfBlock[ACfg];
+          ++R.NumElided;
+          break;
+        }
+      }
+    }
+  }
+  return R;
+}

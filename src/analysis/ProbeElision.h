@@ -1,0 +1,82 @@
+//===- analysis/ProbeElision.h - Reconstructibility elision -----*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Probe-elision analysis: finds lightweight path bits whose value is
+/// implied by other bits within the same DAG, so the instrumenter can skip
+/// emitting their probes without losing reconstructibility.
+///
+/// Two rules, both computed over the intra-DAG subgraph (member blocks,
+/// edges between members that do not target the DAG header):
+///
+///  1. A bit block that post-dominates the DAG root executes on every
+///    complete path through the DAG — the heavyweight record itself
+///    implies it (`ElidedAlways`). The canonical source shape is the join
+///    after an `if` without an `else`.
+///  2. A bit block B with a non-elided bit block A such that A dominates B
+///    and B post-dominates A: B executed iff A did, so B's bit is implied
+///    by A's (`ElidedBy = bit(A)`). Pairwise, so a single expansion pass
+///    over the recorded bits recovers every elided bit.
+///
+/// Post-domination uses may-exit semantics: a block whose execution can
+/// leave the DAG mid-path (edge to a header or out of the DAG, indirect
+/// or unknown exit, a call that may not return, no successors at all)
+/// post-dominates nothing but itself. This keeps elision exact for every
+/// complete record: the expanded bit-set equals what non-elided probes
+/// would have recorded, so reconstruction is byte-identical. A record cut
+/// short by a crash can imply bits the execution never reached; the
+/// decoder falls back to the raw bits in that case, and any residual
+/// overshoot stays on the golden path (the same bounded optimism as the
+/// existing forced single-successor extension).
+///
+/// Caught exceptions need no special gate: every delivered fault appends
+/// an Exception ext record, and the reconstructor trims the torn record's
+/// events at the fault address (section 4.2). The pre-fault path prefix
+/// decodes identically with and without elision (an executed elided block
+/// is always implied by a recorded dominator or by the record itself), so
+/// the trim cuts both decodes at the same event — byte-identical output
+/// even when expansion overshoots past the fault.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_ANALYSIS_PROBEELISION_H
+#define TRACEBACK_ANALYSIS_PROBEELISION_H
+
+#include "analysis/CFG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace traceback {
+
+struct FunctionTiling;
+
+/// Per-block elision codes (also the mapfile encoding).
+enum : int8_t {
+  /// Block not elided (or carries no bit).
+  ElisionNone = -2,
+  /// Bit implied by the DAG record itself (post-dominates the root).
+  ElisionAlways = -1,
+  // Values >= 0 name the implying block's path bit.
+};
+
+/// Elision result for one function.
+struct ElisionResult {
+  /// Per CFG block: ElisionNone, ElisionAlways, or the implier's path bit.
+  std::vector<int8_t> ElidedBy;
+  /// Number of bit-carrying blocks whose probe can be dropped.
+  uint32_t NumElided = 0;
+};
+
+/// Analyzes \p T over \p F and returns which path bits are implied.
+/// Deliberately conservative: DAGs whose intra-DAG edges are cyclic
+/// (corrupt tilings) or oversized get no elision rather than a wrong one.
+ElisionResult analyzeProbeElision(const FunctionCFG &F,
+                                  const FunctionTiling &T);
+
+} // namespace traceback
+
+#endif // TRACEBACK_ANALYSIS_PROBEELISION_H

@@ -20,6 +20,8 @@ MD5Digest traceback::computeModuleChecksum(const Module &M) {
     Zero(Off, 4);
   for (uint32_t Off : M.TlsSlotFixups)
     Zero(Off, 2);
+  for (uint32_t Off : M.SubMaskFixups)
+    Zero(Off, 4);
 
   MD5 Hash;
   Hash.update(M.Name);

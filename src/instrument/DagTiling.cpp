@@ -131,6 +131,63 @@ FunctionTiling traceback::tileFunction(const FunctionCFG &F,
       T.BitOfBlock[B] = static_cast<int8_t>(T.Dags[Dag].BitsUsed++);
   }
 
+  // Optional post-pass: fold bitless call-return chains into their
+  // predecessors' DAG (see TileOptions::MergeCallReturnHeaders). A DAG
+  // with zero bits is a pure single-successor chain (any branch would
+  // force bits on its successors), so after the merge the decoder
+  // recovers every folded block through the forced-extension rule, and
+  // no light probe can fire after the call returns.
+  if (Opts.MergeCallReturnHeaders && !Opts.EveryBlockIsHeader) {
+    bool Merged = false;
+    for (size_t DI = 0; DI < T.Dags.size(); ++DI) {
+      DagTile &E = T.Dags[DI];
+      if (E.Blocks.empty() || E.BitsUsed != 0)
+        continue;
+      uint32_t H = E.Blocks[0];
+      const BasicBlock &HB = F.Blocks[H];
+      if (!HB.IsCallReturnPoint || HB.IsFunctionEntry ||
+          HB.IsBackEdgeTarget || HB.IsHandlerEntry || HB.IsAddressTaken)
+        continue;
+      if (HB.Preds.empty())
+        continue;
+      uint32_t Target = UINT32_MAX;
+      bool Ok = true;
+      for (uint32_t P : HB.Preds) {
+        uint32_t PD = T.DagOfBlock[P];
+        if (PD == UINT32_MAX || PD == DI ||
+            (Target != UINT32_MAX && PD != Target) ||
+            F.Blocks[P].Succs.size() != 1) {
+          Ok = false;
+          break;
+        }
+        Target = PD;
+      }
+      if (!Ok || Target == UINT32_MAX)
+        continue;
+      for (uint32_t B : E.Blocks) {
+        T.DagOfBlock[B] = Target;
+        T.Dags[Target].Blocks.push_back(B);
+      }
+      E.Blocks.clear();
+      Merged = true;
+    }
+    if (Merged) {
+      // Compact away the emptied DAGs, remapping block ownership.
+      std::vector<uint32_t> Remap(T.Dags.size(), UINT32_MAX);
+      std::vector<DagTile> Kept;
+      Kept.reserve(T.Dags.size());
+      for (size_t DI = 0; DI < T.Dags.size(); ++DI) {
+        if (T.Dags[DI].Blocks.empty())
+          continue;
+        Remap[DI] = static_cast<uint32_t>(Kept.size());
+        Kept.push_back(std::move(T.Dags[DI]));
+      }
+      T.Dags = std::move(Kept);
+      for (uint32_t &D : T.DagOfBlock)
+        D = Remap[D];
+    }
+  }
+
   return T;
 }
 
@@ -146,8 +203,24 @@ std::string traceback::checkTilingInvariants(const FunctionCFG &F,
       return formatv("block %u unassigned", B);
     const BasicBlock &Blk = F.Blocks[B];
     bool IsHeader = T.isHeader(B);
-    if (isMandatoryHeader(Blk, Opts) && !IsHeader)
-      return formatv("mandatory header %u not a header", B);
+    if (isMandatoryHeader(Blk, Opts) && !IsHeader) {
+      // With the merge post-pass, a call-return point may be demoted to
+      // a plain member when that is provably sound: it carries no bit,
+      // and every predecessor sits in its DAG with a single successor
+      // (so the decoder's forced extension recovers it).
+      bool SoundMerge = Opts.MergeCallReturnHeaders &&
+                        Blk.IsCallReturnPoint && !Blk.IsFunctionEntry &&
+                        !Blk.IsBackEdgeTarget && !Blk.IsHandlerEntry &&
+                        !Blk.IsAddressTaken && T.BitOfBlock[B] == -1 &&
+                        !Blk.Preds.empty();
+      if (SoundMerge)
+        for (uint32_t P : Blk.Preds)
+          if (T.DagOfBlock[P] != T.DagOfBlock[B] ||
+              F.Blocks[P].Succs.size() != 1)
+            SoundMerge = false;
+      if (!SoundMerge)
+        return formatv("mandatory header %u not a header", B);
+    }
     if (IsHeader && T.BitOfBlock[B] != -1)
       return formatv("header %u carries a bit", B);
   }
@@ -193,6 +266,29 @@ std::string traceback::checkTilingInvariants(const FunctionCFG &F,
       // (Edges to any header — including this DAG's own, e.g. a loop
       // latch — exit the DAG: the header writes a fresh record. They are
       // not path edges.)
+    }
+    // With merged call-return chains, no bit-carrying block may be
+    // reachable (via path edges) after a call: the callee's own records
+    // advance the buffer cursor, so a later light probe would OR into
+    // the wrong record. (Only checkable when call returns break DAGs at
+    // all; HeadersAtCallReturns=false is a documented-lossy ablation.)
+    if (Opts.MergeCallReturnHeaders && Opts.HeadersAtCallReturns) {
+      std::vector<uint32_t> Work;
+      std::set<uint32_t> Seen;
+      for (uint32_t B : D.Blocks)
+        if (F.Blocks[B].endsInCall())
+          Work.push_back(B);
+      while (!Work.empty()) {
+        uint32_t U = Work.back();
+        Work.pop_back();
+        for (uint32_t S : F.Blocks[U].Succs) {
+          if (!Members.count(S) || T.isHeader(S) || !Seen.insert(S).second)
+            continue;
+          if (T.BitOfBlock[S] >= 0)
+            return formatv("bit block %u reachable after a call", S);
+          Work.push_back(S);
+        }
+      }
     }
   }
   return std::string();

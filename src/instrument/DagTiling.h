@@ -55,6 +55,19 @@ struct TileOptions {
   /// approach" the paper dismisses — one full trace word per block. Used
   /// by the naive-tracer baseline.
   bool EveryBlockIsHeader = false;
+  /// Post-pass: merge adjacent single-successor header chains. A
+  /// call-return header whose DAG is a pure single-successor chain with
+  /// no path bits is folded into its predecessors' DAG, dropping its
+  /// heavyweight probe: no light probe can fire after the call (the
+  /// chain is bitless), so the predecessor DAG's record stays coherent,
+  /// and the decoder recovers the chain through the forced
+  /// single-successor extension. Consecutive call sites (`x = f();
+  /// y = g();`) collapse this way. Tradeoff: the merged blocks' lines
+  /// are emitted with the predecessor record, i.e. before the callee's
+  /// records (the same temporal reorder as HeadersAtCallReturns=false,
+  /// but without losing exception attribution granularity across other
+  /// call sites), so it is opt-in rather than the default.
+  bool MergeCallReturnHeaders = false;
 };
 
 /// One DAG produced by tiling.

@@ -48,6 +48,11 @@ struct InstrumentOptions {
   /// Split blocks at source-line starts. Defaults to on for Managed
   /// modules; can be forced for native ones.
   bool LineBoundaryBlocks = false;
+  /// Drop lightweight probes whose path bit is implied by dominating /
+  /// post-dominating bits within the DAG (analysis/ProbeElision.h). The
+  /// bits stay allocated and the mapfile carries the implication table,
+  /// so reconstruction is byte-identical; only the probe code disappears.
+  bool ElideImpliedBits = true;
 };
 
 /// Instrumentation statistics (drives the text-growth numbers in Table 1).
@@ -56,8 +61,13 @@ struct InstrumentStats {
   uint32_t NumBlocks = 0;
   uint32_t NumDags = 0;
   uint32_t NumHeavyProbes = 0;
-  uint32_t NumLightProbes = 0;
-  uint32_t NumSpills = 0;
+  uint32_t NumLightProbes = 0; ///< Emitted (post-elision).
+  uint32_t NumElidedProbes = 0; ///< Light probes dropped by elision.
+  /// Call-return headers folded into their predecessors' DAG (only with
+  /// TileOptions::MergeCallReturnHeaders).
+  uint32_t NumMergedHeaders = 0;
+  uint32_t NumSpills = 0;   ///< Push/Pop spill pairs (no dead register).
+  uint32_t NumMovSaves = 0; ///< Spills serviced by a dead-register Mov.
   size_t OrigCodeBytes = 0;
   size_t NewCodeBytes = 0;
 

@@ -12,7 +12,10 @@ using namespace traceback;
 
 static const std::string UnknownFile = "?";
 static const uint32_t MapMagic = 0x4D425442; // "TBBM"
-static const uint32_t MapVersion = 2;
+// v3 added the per-block probe-elision byte; v2 mapfiles (no elision)
+// still deserialize, with every block reading as not-elided.
+static const uint32_t MapVersion = 3;
+static const uint32_t MinMapVersion = 2;
 
 const std::string &MapFile::fileName(uint16_t Index) const {
   if (Index >= Files.size())
@@ -51,6 +54,7 @@ std::vector<uint8_t> MapFile::serialize() const {
       W.writeU32(B.StartOffset);
       W.writeU32(B.EndOffset);
       W.writeU8(static_cast<uint8_t>(B.BitIndex));
+      W.writeU8(static_cast<uint8_t>(B.ElidedBy));
       W.writeU8(B.Flags);
       W.writeString(B.Function);
       W.writeVarU64(B.Succs.size());
@@ -69,7 +73,10 @@ std::vector<uint8_t> MapFile::serialize() const {
 
 bool MapFile::deserialize(const std::vector<uint8_t> &Bytes, MapFile &Out) {
   ByteReader R(Bytes);
-  if (R.readU32() != MapMagic || R.readU32() != MapVersion)
+  if (R.readU32() != MapMagic)
+    return false;
+  uint32_t Version = R.readU32();
+  if (Version < MinMapVersion || Version > MapVersion)
     return false;
   Out = MapFile();
   Out.ModuleName = R.readString();
@@ -91,6 +98,8 @@ bool MapFile::deserialize(const std::vector<uint8_t> &Bytes, MapFile &Out) {
       B.StartOffset = R.readU32();
       B.EndOffset = R.readU32();
       B.BitIndex = static_cast<int8_t>(R.readU8());
+      if (Version >= 3)
+        B.ElidedBy = static_cast<int8_t>(R.readU8());
       B.Flags = R.readU8();
       B.Function = R.readString();
       uint64_t NumSuccs = R.readVarU64();

@@ -55,6 +55,13 @@ struct MapBlock {
   /// Path bit assigned to this block, or -1 (header blocks and blocks whose
   /// execution is implied by a single-successor predecessor carry no bit).
   int8_t BitIndex = -1;
+  /// Elision table entry (mapfile v3): -2 when the block's probe was
+  /// emitted normally, -1 when the bit is implied by the DAG record
+  /// itself (the block post-dominates the root), or the path bit of the
+  /// non-elided block that implies this one. The instrumenter drops the
+  /// light probe of every block with a value != -2; the decoder expands
+  /// recorded bit-sets through this table before the path search.
+  int8_t ElidedBy = -2;
   uint8_t Flags = 0;
   /// DAG-local indices of successor blocks inside the same DAG.
   std::vector<uint16_t> Succs;

@@ -171,6 +171,11 @@ void ModuleBuilder::markLightMaskFixup(size_t InsnIndex) {
   Stream[InsnIndex].Fixup = FixupKind::LightMask;
 }
 
+void ModuleBuilder::markSubMaskFixup(size_t InsnIndex) {
+  assert(InsnIndex < Stream.size());
+  Stream[InsnIndex].Fixup = FixupKind::SubMask;
+}
+
 void ModuleBuilder::markTlsSlotFixup(size_t InsnIndex) {
   assert(InsnIndex < Stream.size());
   Stream[InsnIndex].Fixup = FixupKind::TlsSlot;
@@ -340,6 +345,10 @@ bool ModuleBuilder::finalize(Module &Out, std::string &Error) {
     case FixupKind::TlsSlot:
       assert(opcodeSig(E.Insn.Op) == OpSig::RSlot);
       Out.TlsSlotFixups.push_back(At + 2); // opcode+reg
+      break;
+    case FixupKind::SubMask:
+      assert(opcodeSig(E.Insn.Op) == OpSig::RI32);
+      Out.SubMaskFixups.push_back(At + 3); // opcode+rd+rs
       break;
     }
     encodeInstruction(E.Insn, Out.Code);

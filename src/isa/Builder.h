@@ -112,6 +112,10 @@ public:
   /// fixup site.
   void markTlsSlotFixup(size_t InsnIndex);
 
+  /// Marks the imm32 operand of instruction \p InsnIndex (an RI32 AndI in
+  /// the probe helper) as a sub-buffer mask fixup site.
+  void markSubMaskFixup(size_t InsnIndex);
+
   /// Sets the default DAG-ID range recorded in the module.
   void setDagRange(uint32_t Base, uint32_t Count);
 
@@ -131,7 +135,8 @@ public:
   uint32_t labelOffsetAfterFinalize(Label L) const;
 
 private:
-  enum class FixupKind : uint8_t { None, DagRecord, LightMask, TlsSlot };
+  enum class FixupKind : uint8_t { None, DagRecord, LightMask, TlsSlot,
+                                   SubMask };
 
   struct StreamEntry {
     Instruction Insn;

@@ -15,7 +15,11 @@ using namespace traceback;
 
 static const std::string UnknownFile = "?";
 static const uint32_t TboMagic = 0x544254AA; // "TBT\xAA"
-static const uint32_t TboVersion = 3;
+// v4 added the probe-helper sub-mask fixup table; v3 modules (sentinel-
+// compare helpers, no such table) still load — the runtime keeps writing
+// in-memory sentinels, so both helper generations work against it.
+static const uint32_t TboVersion = 4;
+static const uint32_t MinTboVersion = 3;
 
 const Symbol *Module::findSymbol(const std::string &SymName) const {
   for (const Symbol &S : Symbols)
@@ -128,13 +132,17 @@ std::vector<uint8_t> Module::serialize() const {
   WriteOffsets(DagRecordFixups);
   WriteOffsets(LightMaskFixups);
   WriteOffsets(TlsSlotFixups);
+  WriteOffsets(SubMaskFixups);
   W.writeBytes(Checksum.Bytes.data(), Checksum.Bytes.size());
   return Out;
 }
 
 bool Module::deserialize(const std::vector<uint8_t> &Bytes, Module &Out) {
   ByteReader R(Bytes);
-  if (R.readU32() != TboMagic || R.readU32() != TboVersion)
+  if (R.readU32() != TboMagic)
+    return false;
+  uint32_t Version = R.readU32();
+  if (Version < MinTboVersion || Version > TboVersion)
     return false;
   Out = Module();
   Out.Name = R.readString();
@@ -208,6 +216,8 @@ bool Module::deserialize(const std::vector<uint8_t> &Bytes, Module &Out) {
   ReadOffsets(Out.DagRecordFixups);
   ReadOffsets(Out.LightMaskFixups);
   ReadOffsets(Out.TlsSlotFixups);
+  if (Version >= 4)
+    ReadOffsets(Out.SubMaskFixups);
   R.readBytes(Out.Checksum.Bytes.data(), Out.Checksum.Bytes.size());
   return !R.failed();
 }

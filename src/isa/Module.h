@@ -117,6 +117,11 @@ public:
   std::vector<uint32_t> LightMaskFixups;
   /// Code offsets of the slot16 operand of each probe TlsLd/TlsSt.
   std::vector<uint32_t> TlsSlotFixups;
+  /// Code offsets of the imm32 operand of each probe-helper AndI whose
+  /// immediate is the sub-buffer byte mask (SubBytes - 1). Emitted as 0
+  /// (always-wrap: safe but slow) and patched by the runtime at load once
+  /// the actual sub-buffer geometry is known.
+  std::vector<uint32_t> SubMaskFixups;
   /// Module checksum (computed over rebase-invariant content, see
   /// instrument/Checksum.h). Keys mapfile matching and DAG range reuse.
   MD5Digest Checksum;

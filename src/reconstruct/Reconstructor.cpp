@@ -52,65 +52,92 @@ std::vector<uint16_t> traceback::decodeDagPath(const MapDag &Dag,
   if (Dag.Blocks.empty())
     return {};
 
-  // Depth-first search for the root path whose bit-set equals PathBits,
-  // with an explicit frame stack: DAGs from healthy mapfiles are tiny,
-  // but fuzzed/corrupt ones can chain implied blocks arbitrarily deep,
-  // and recursion depth must not be attacker-controlled.
-  const uint32_t Target = PathBits;
   const size_t BlockCount = Dag.Blocks.size();
 
-  struct Frame {
-    uint16_t Cur;
-    uint32_t Used;
-    uint32_t NextSucc;
-  };
-  std::vector<Frame> Frames;
-  std::vector<uint16_t> Path{0};
-  Frames.push_back({0, 0, 0});
-  bool Found = false;
-
-  while (!Frames.empty()) {
-    // First visit of a node: success test.
-    if (Frames.back().NextSucc == 0 && Frames.back().Used == Target) {
-      Found = true;
-      break;
-    }
-    const MapBlock &B = Dag.Blocks[Frames.back().Cur];
-    const uint32_t Used = Frames.back().Used;
-    bool Descended = false;
-    while (Frames.back().NextSucc < B.Succs.size()) {
-      uint16_t S = B.Succs[Frames.back().NextSucc++];
-      if (S >= BlockCount)
-        continue; // Corrupt successor index: ignore the edge.
-      const MapBlock &SB = Dag.Blocks[S];
-      uint32_t ChildUsed;
-      if (SB.BitIndex >= 0) {
-        uint32_t Bit = 1u << SB.BitIndex;
-        if (!(Target & Bit) || (Used & Bit))
-          continue;
-        ChildUsed = Used | Bit;
-      } else if (B.Succs.size() == 1) {
-        // Implied block: execution is certain if the predecessor ran.
-        ChildUsed = Used;
-      } else {
-        continue;
-      }
-      // A simple path through an acyclic graph can't exceed the block
-      // count; longer means cyclic (corrupt) map data — fail the decode
-      // rather than walking it forever.
-      if (Path.size() >= BlockCount)
-        return {};
-      Path.push_back(S);
-      Frames.push_back({S, ChildUsed, 0});
-      Descended = true;
-      break;
-    }
-    if (Descended)
+  // Elision expansion: a v3 mapfile built with probe elision keeps every
+  // path bit allocated but emits no probe for bits the placement pass
+  // proved implied. Reinsert them before the path search — a block elided
+  // as always-executed (ElidedBy -1) contributes its bit unconditionally,
+  // and a block elided under a dominating implier contributes its bit
+  // whenever the implier's recorded bit is present. Impliers are never
+  // themselves elided, so a single pass over the raw bits suffices.
+  uint32_t Expanded = PathBits;
+  for (const MapBlock &B : Dag.Blocks) {
+    if (B.BitIndex < 0 || B.ElidedBy == static_cast<int8_t>(-2))
       continue;
-    Frames.pop_back();
-    if (!Frames.empty())
-      Path.pop_back(); // The root's slot in Path stays.
+    if (B.ElidedBy == static_cast<int8_t>(-1) ||
+        (PathBits & (1u << B.ElidedBy)))
+      Expanded |= 1u << B.BitIndex;
   }
+
+  // Depth-first search for the root path whose bit-set equals Target,
+  // with an explicit frame stack: DAGs from healthy mapfiles are tiny,
+  // but fuzzed/corrupt ones can chain implied blocks arbitrarily deep,
+  // and recursion depth must not be attacker-controlled. Returns false on
+  // bit-sets inconsistent with the DAG shape; an empty Path signals
+  // cyclic (corrupt) map data the caller must not retry.
+  auto Search = [&](uint32_t Target, std::vector<uint16_t> &Path) {
+    struct Frame {
+      uint16_t Cur;
+      uint32_t Used;
+      uint32_t NextSucc;
+    };
+    std::vector<Frame> Frames;
+    Path.assign(1, 0);
+    Frames.push_back({0, 0, 0});
+
+    while (!Frames.empty()) {
+      // First visit of a node: success test.
+      if (Frames.back().NextSucc == 0 && Frames.back().Used == Target)
+        return true;
+      const MapBlock &B = Dag.Blocks[Frames.back().Cur];
+      const uint32_t Used = Frames.back().Used;
+      bool Descended = false;
+      while (Frames.back().NextSucc < B.Succs.size()) {
+        uint16_t S = B.Succs[Frames.back().NextSucc++];
+        if (S >= BlockCount)
+          continue; // Corrupt successor index: ignore the edge.
+        const MapBlock &SB = Dag.Blocks[S];
+        uint32_t ChildUsed;
+        if (SB.BitIndex >= 0) {
+          uint32_t Bit = 1u << SB.BitIndex;
+          if (!(Target & Bit) || (Used & Bit))
+            continue;
+          ChildUsed = Used | Bit;
+        } else if (B.Succs.size() == 1) {
+          // Implied block: execution is certain if the predecessor ran.
+          ChildUsed = Used;
+        } else {
+          continue;
+        }
+        // A simple path through an acyclic graph can't exceed the block
+        // count; longer means cyclic (corrupt) map data — fail the
+        // decode rather than walking it forever.
+        if (Path.size() >= BlockCount) {
+          Path.clear();
+          return false;
+        }
+        Path.push_back(S);
+        Frames.push_back({S, ChildUsed, 0});
+        Descended = true;
+        break;
+      }
+      if (Descended)
+        continue;
+      Frames.pop_back();
+      if (!Frames.empty())
+        Path.pop_back(); // The root's slot in Path stays.
+    }
+    return false;
+  };
+
+  std::vector<uint16_t> Path;
+  bool Found = Search(Expanded, Path);
+  // A torn record's surviving bits can make the expansion inconsistent
+  // (an implier bit present, the actual path absent). Retry with the raw
+  // recorded bits before giving up — never after a cyclic-map abort.
+  if (!Found && Expanded != PathBits && !Path.empty())
+    Found = Search(PathBits, Path);
   if (!Found)
     return {}; // Bits inconsistent with the DAG shape: corrupted record.
 
@@ -527,6 +554,12 @@ void ThreadBuilder::emitExt(const ExtRecord &Rec) {
     Provenance.push_back(0);
     return;
   }
+  case ExtType::TimestampBatch:
+    // N batched samples, oldest first — equivalent to N sequential
+    // Timestamp records at the flush point.
+    if (!Rec.Payload.empty())
+      LastTs = Rec.Payload.back();
+    return;
   case ExtType::SnapMark:
   case ExtType::Pad:
     return; // Pads exist only to absorb stray lightweight OR bits.

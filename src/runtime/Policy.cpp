@@ -92,6 +92,10 @@ bool RtPolicy::parse(const std::string &Text, RtPolicy &Out,
       if (!NumArg(1, V) || V < 0)
         return Fail("timestamp_interval needs a count");
       Out.TimestampInterval = static_cast<uint32_t>(V);
+    } else if (D == "timestamp_batch") {
+      if (!NumArg(1, V) || V < 0 || V > 64)
+        return Fail("timestamp_batch needs a count in [0, 64]");
+      Out.TimestampBatch = static_cast<uint32_t>(V);
     } else {
       return Fail("unknown directive");
     }
@@ -124,5 +128,7 @@ std::string RtPolicy::toText() const {
     S += "capture_memory\n";
   S += formatv("suppress_repeats %u\n", SuppressRepeats);
   S += formatv("timestamp_interval %u\n", TimestampInterval);
+  if (TimestampBatch != 0)
+    S += formatv("timestamp_batch %u\n", TimestampBatch);
   return S;
 }

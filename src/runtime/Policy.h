@@ -22,6 +22,7 @@
 ///   snap_on api
 ///   suppress_repeats 1           # max snaps per (module, offset, code)
 ///   timestamp_interval 4         # timestamp record every Nth syscall
+///   timestamp_batch 16           # batch N timestamps per record (0 = off)
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -55,6 +56,14 @@ struct RtPolicy {
 
   // Timestamp records every Nth syscall (section 3.5). 0 disables.
   uint32_t TimestampInterval = 1;
+
+  /// Batch timestamp samples host-side and emit one TimestampBatch record
+  /// per N samples instead of one Timestamp record each (0 = off, max 64).
+  /// Cuts record framing overhead on syscall-heavy workloads at the cost
+  /// of coarser attribution: samples only reach the buffer at flush
+  /// points (batch full, thread/process end, snap), and a thread that
+  /// dies abruptly loses its pending batch to the scavenger.
+  uint32_t TimestampBatch = 0;
 
   /// Use the logical-clock fallback instead of the machine's hardware
   /// clock (section 3.5: platforms without RDTSC/gethrtime). Orders

@@ -76,17 +76,36 @@ TracebackRuntime::TracebackRuntime(Process &P, Technology Tech,
   P.TlsReserved.insert(Slot);
   TlsSlot = Slot;
 
-  // Allocate and initialize buffers in guest memory.
+  // Allocate and initialize buffers in guest memory. Sub-buffers are
+  // rounded up to a power-of-two byte size and laid out so each
+  // sub-buffer's sentinel slot — and only it — sits at an address that is
+  // 0 mod SubBytes. Wrap detection then needs no load-and-compare: the
+  // probe helper ANDs the advanced cursor against SubBytes-1 (patched in
+  // via the module's sub-mask fixups). The in-memory sentinel words are
+  // still written, so torn-buffer recovery and older sentinel-compare
+  // helpers keep working.
   uint32_t RecordWords = std::max<uint32_t>(Policy.BufferBytes / 4,
                                             Policy.SubBufferCount * 2);
   uint32_t SubWords = std::max<uint32_t>(RecordWords / Policy.SubBufferCount,
                                          2);
-  uint64_t PerBuffer = BufHeaderBytes +
-                       static_cast<uint64_t>(SubWords) *
-                           Policy.SubBufferCount * 4;
-  uint64_t ProbationBytes = BufHeaderBytes + 2 * 4;
-  uint64_t Total = PerBuffer * (Policy.BufferCount + 1) + ProbationBytes;
-  RegionBase = P.allocRuntimeRegion(Total);
+  uint32_t Pow2 = 2;
+  while (Pow2 < SubWords)
+    Pow2 <<= 1;
+  SubWords = Pow2;
+  SubBytes = SubWords * 4ull;
+
+  // Records start Lead bytes into each buffer slot: Lead is 4 mod
+  // SubBytes (so the k-th sub-buffer's last word lands on a SubBytes
+  // boundary) and leaves room for the 32-byte guest header just below.
+  uint64_t Lead = 4;
+  while (Lead < BufHeaderBytes + 4)
+    Lead += SubBytes;
+  uint64_t PerBuffer = (Lead - 4) + SubBytes * (Policy.SubBufferCount + 1);
+  uint64_t ProbationBytes = SubBytes + BufHeaderBytes + 16;
+  uint64_t Total =
+      SubBytes + PerBuffer * (Policy.BufferCount + 1) + ProbationBytes;
+  uint64_t Alloc = P.allocRuntimeRegion(Total);
+  RegionBase = (Alloc + SubBytes - 1) & ~(SubBytes - 1);
   BufferStrideBytes = PerBuffer;
 
   uint64_t Cursor = RegionBase;
@@ -95,7 +114,7 @@ TracebackRuntime::TracebackRuntime(Process &P, Technology Tech,
     B.Index = I;
     B.SubWords = SubWords;
     B.SubCount = Policy.SubBufferCount;
-    B.RecordsBase = Cursor + BufHeaderBytes;
+    B.RecordsBase = Cursor + Lead;
     B.LastPtr = B.RecordsBase - 4;
     Buffers.push_back(B);
     initBuffer(Buffers.back());
@@ -105,7 +124,7 @@ TracebackRuntime::TracebackRuntime(Process &P, Technology Tech,
   Desperation.Index = Policy.BufferCount;
   Desperation.SubWords = SubWords;
   Desperation.SubCount = Policy.SubBufferCount;
-  Desperation.RecordsBase = Cursor + BufHeaderBytes;
+  Desperation.RecordsBase = Cursor + Lead;
   Desperation.LastPtr = Desperation.RecordsBase - 4;
   Desperation.Desperation = true;
   initBuffer(Desperation);
@@ -113,10 +132,13 @@ TracebackRuntime::TracebackRuntime(Process &P, Technology Tech,
 
   // The probation buffer contains only a sentinel: the first heavyweight
   // probe of any thread immediately traps to buffer_wrap (section 3.1).
+  // Its sentinel must satisfy the same alignment rule, so its records
+  // start 4 bytes *before* a SubBytes boundary.
   Probation.Index = Policy.BufferCount + 1;
   Probation.SubWords = 2;
   Probation.SubCount = 1;
-  Probation.RecordsBase = Cursor + BufHeaderBytes;
+  Probation.RecordsBase =
+      ((Cursor + BufHeaderBytes + 4 + SubBytes - 1) & ~(SubBytes - 1)) - 4;
   Probation.LastPtr = Probation.RecordsBase - 4;
   P.Mem.write32(Probation.RecordsBase, InvalidRecord);
   P.Mem.write32(Probation.RecordsBase + 4, SentinelRecord);
@@ -173,20 +195,17 @@ uint64_t TracebackRuntime::rotateSubBuffer(RtBuffer &B,
   B.Committed = SubIdx;
   P.Mem.write32(B.RecordsBase - BufHeaderBytes + 16, SubIdx);
   ++Stat.SubBufferCommits;
-  M.SubBufferCommits->add();
   // Probe words are stored by inline guest code the runtime never sees
   // (the whole point of 2-instruction probes), so per-word counting is
   // impossible without taxing the probe path. Account for them here at
   // commit granularity: the sub-buffer just filled holds SubWords - 1
   // data words. The counter therefore trails the cursor by at most one
   // sub-buffer and slightly double-counts runtime-written ext records.
-  M.WordsAppended->add(B.SubWords - 1);
+  Stat.WordsAppended += B.SubWords - 1;
 
   uint32_t Next = (SubIdx + 1) % B.SubCount;
-  if (Next == 0) {
+  if (Next == 0)
     ++Stat.FullBufferWraps;
-    M.FullBufferWraps->add();
-  }
   // Zero the next sub-buffer (except its sentinel) so the thread's
   // progress can be found as the last non-zero entry.
   uint64_t NextBase = B.RecordsBase + static_cast<uint64_t>(Next) *
@@ -204,15 +223,16 @@ uint64_t TracebackRuntime::assignBuffer(Thread &T) {
     if (B.OwnerThread != 0)
       continue;
     B.OwnerThread = T.Id;
-    M.ProbationExits->add();
+    ++Stat.ProbationExits;
     P.Mem.write64(B.RecordsBase - BufHeaderBytes + 24, T.Id);
     T.Tls[TlsSlot] = B.LastPtr;
     appendExtRecord(T, {ExtType::ThreadStart, 0, {T.Id, machineNow()}});
-    // Reserve the slot the pending DAG record will be stored into.
+    // Reserve the slot the pending DAG record will be stored into. The
+    // layout guarantees the sentinel slots are exactly the SubBytes-
+    // aligned ones, so no guest read is needed.
     uint64_t Cur = T.Tls[TlsSlot];
     uint64_t Cand = Cur + 4;
-    bool Ok = true;
-    if (P.Mem.read32(Cand, Ok) == SentinelRecord)
+    if ((Cand & (SubBytes - 1)) == 0)
       Cand = rotateSubBuffer(B, Cand);
     B.LastPtr = Cand;
     T.Tls[TlsSlot] = Cand;
@@ -221,10 +241,8 @@ uint64_t TracebackRuntime::assignBuffer(Thread &T) {
   // Out of buffers: the shared desperation buffer (section 3.1). Many
   // threads write here unsynchronized; the data is sacrificial.
   ++Stat.DesperationAssignments;
-  M.DesperationAssignments->add();
   uint64_t Cand = Desperation.LastPtr + 4;
-  bool Ok = true;
-  if (P.Mem.read32(Cand, Ok) == SentinelRecord)
+  if ((Cand & (SubBytes - 1)) == 0)
     Cand = rotateSubBuffer(Desperation, Cand);
   Desperation.LastPtr = Cand;
   T.Tls[TlsSlot] = Cand;
@@ -233,7 +251,6 @@ uint64_t TracebackRuntime::assignBuffer(Thread &T) {
 
 uint64_t TracebackRuntime::handleWrap(Thread &T, uint64_t SentinelAddr) {
   ++Stat.BufferWraps;
-  M.BufferWraps->add();
   // Periodic dead-thread scavenging piggybacks on wraps (section 3.1.2).
   if (Stat.BufferWraps % 16 == 0)
     scavengeDeadThreads();
@@ -254,15 +271,17 @@ void TracebackRuntime::appendWord(Thread &T, uint32_t Word) {
   uint64_t Cur = T.Tls[TlsSlot];
   uint64_t Cand = Cur + 4;
   bool Ok = true;
-  uint32_t Existing = P.Mem.read32(Cand, Ok);
+  P.Mem.read32(Cand, Ok);
   if (!Ok)
     return; // Cursor is garbage; drop the record.
-  if (Existing == SentinelRecord)
+  // Same branchless wrap test the guest probe helper uses: the layout
+  // puts sentinel slots — and only them — at SubBytes-aligned addresses.
+  if ((Cand & (SubBytes - 1)) == 0)
     Cand = handleWrap(T, Cand);
   P.Mem.write32(Cand, Word);
   T.Tls[TlsSlot] = Cand;
   ++Stat.RecordsWrittenByRuntime;
-  M.WordsAppended->add();
+  ++Stat.WordsAppended;
 }
 
 bool TracebackRuntime::threadHasRealBuffer(const Thread &T) const {
@@ -314,17 +333,16 @@ void TracebackRuntime::scavengeDeadThreads() {
     Words.push_back(encodeExtRecord({ExtType::Pad, 0, {}})[0]);
     for (uint32_t W : Words) {
       uint64_t Cand = Cursor + 4;
-      bool Ok = true;
-      if (P.Mem.read32(Cand, Ok) == SentinelRecord)
+      if ((Cand & (SubBytes - 1)) == 0)
         Cand = rotateSubBuffer(B, Cand);
       P.Mem.write32(Cand, W);
       Cursor = Cand;
     }
     B.LastPtr = Cursor;
+    PendingTs.erase(B.OwnerThread);
     B.OwnerThread = 0;
     P.Mem.write64(B.RecordsBase - BufHeaderBytes + 24, 0);
     ++Stat.ThreadsScavenged;
-    M.ThreadsScavenged->add();
   }
 }
 
@@ -416,7 +434,6 @@ void TracebackRuntime::onModuleRebase(Process &, LoadedModule &LM) {
       if (Found) {
         Desired = Cand;
         ++Stat.ModulesRebased;
-        M.ModulesRebased->add();
       } else {
         BadDag = true; // Id space exhausted (section 2.3).
       }
@@ -433,7 +450,6 @@ void TracebackRuntime::onModuleRebase(Process &, LoadedModule &LM) {
     LM.Mod.DagIdBase = BadDagId;
     LM.Mod.DagIdCount = 0;
     ++Stat.ModulesBadDag;
-    M.ModulesBadDag->add();
   } else if (Desired != LM.Mod.DagIdBase) {
     uint32_t OldBase = LM.Mod.DagIdBase;
     for (uint32_t Off : LM.Mod.DagRecordFixups) {
@@ -450,6 +466,12 @@ void TracebackRuntime::onModuleRebase(Process &, LoadedModule &LM) {
       writeLE16(LM.Mod.Code, Off, TlsSlot);
     LM.Mod.TlsSlot = TlsSlot;
   }
+
+  // Patch the probe helper's wrap mask to this runtime's sub-buffer size.
+  // The instrumenter emits 0 (always-wrap: lossy but never corrupting),
+  // so an unpatched module still works, just slowly.
+  for (uint32_t Off : LM.Mod.SubMaskFixups)
+    writeLE32(LM.Mod.Code, Off, static_cast<uint32_t>(SubBytes - 1));
 
   // Register (or re-register) the module.
   if (Reuse) {
@@ -483,6 +505,7 @@ void TracebackRuntime::onThreadStart(Process &, Thread &T) {
 void TracebackRuntime::onThreadExit(Process &, Thread &T) {
   if (!threadHasRealBuffer(T))
     return;
+  flushTimestamps(T);
   appendExtRecord(T, {ExtType::ThreadEnd, 0, {T.Id, machineNow()}});
   uint64_t Cur = T.Tls[TlsSlot];
   if (RtBuffer *B = bufferContaining(Cur); B && !B->Desperation) {
@@ -494,10 +517,13 @@ void TracebackRuntime::onThreadExit(Process &, Thread &T) {
 
 void TracebackRuntime::onProcessExit(Process &) {
   for (auto &T : P.Threads)
-    if (!T->exited() && threadHasRealBuffer(*T))
+    if (!T->exited() && threadHasRealBuffer(*T)) {
+      flushTimestamps(*T);
       appendExtRecord(*T, {ExtType::ThreadEnd, 0, {T->Id, machineNow()}});
+    }
   if (Policy.SnapOnExit)
     takeSnapShared(SnapReason::ProcessExit, 0);
+  syncMetrics();
 }
 
 // ----------------------------------------------------------------------------
@@ -519,7 +545,52 @@ void TracebackRuntime::onSyscall(Process &, Thread &T, uint16_t) {
   uint32_t &Count = SyscallCountByThread[T.Id];
   if (++Count % Policy.TimestampInterval != 0)
     return;
-  appendExtRecord(T, {ExtType::Timestamp, 0, {machineNow()}});
+  if (Policy.TimestampBatch == 0) {
+    appendExtRecord(T, {ExtType::Timestamp, 0, {machineNow()}});
+    return;
+  }
+  // Batched mode: accumulate host-side, emit one TimestampBatch record
+  // per full batch. Sampling without a buffer would leak samples into
+  // probation threads; mirror appendExtRecord's gate.
+  if (!threadHasRealBuffer(T))
+    return;
+  std::vector<uint64_t> &Pending = PendingTs[T.Id];
+  Pending.push_back(machineNow());
+  if (Pending.size() >= Policy.TimestampBatch)
+    flushTimestamps(T);
+}
+
+void TracebackRuntime::flushTimestamps(Thread &T) {
+  auto It = PendingTs.find(T.Id);
+  if (It == PendingTs.end() || It->second.empty())
+    return;
+  appendExtRecord(T, {ExtType::TimestampBatch,
+                      static_cast<uint16_t>(It->second.size()),
+                      std::move(It->second)});
+  PendingTs.erase(It);
+}
+
+void TracebackRuntime::syncMetrics() {
+  auto Push = [](Counter *C, uint64_t Cur, uint64_t &Last) {
+    if (Cur > Last) {
+      C->add(Cur - Last);
+      Last = Cur;
+    }
+  };
+  Push(M.WordsAppended, Stat.WordsAppended, LastSynced.WordsAppended);
+  Push(M.BufferWraps, Stat.BufferWraps, LastSynced.BufferWraps);
+  Push(M.FullBufferWraps, Stat.FullBufferWraps, LastSynced.FullBufferWraps);
+  Push(M.SubBufferCommits, Stat.SubBufferCommits,
+       LastSynced.SubBufferCommits);
+  Push(M.ProbationExits, Stat.ProbationExits, LastSynced.ProbationExits);
+  Push(M.DesperationAssignments, Stat.DesperationAssignments,
+       LastSynced.DesperationAssignments);
+  Push(M.SnapsTaken, Stat.SnapsTaken, LastSynced.SnapsTaken);
+  Push(M.SnapsSuppressed, Stat.SnapsSuppressed, LastSynced.SnapsSuppressed);
+  Push(M.ThreadsScavenged, Stat.ThreadsScavenged,
+       LastSynced.ThreadsScavenged);
+  Push(M.ModulesRebased, Stat.ModulesRebased, LastSynced.ModulesRebased);
+  Push(M.ModulesBadDag, Stat.ModulesBadDag, LastSynced.ModulesBadDag);
 }
 
 // ----------------------------------------------------------------------------
@@ -544,7 +615,6 @@ void TracebackRuntime::maybeSnapForFault(Process &, Thread &T,
   uint32_t &Count = SnapCounts[SiteKey];
   if (++Count > Policy.SuppressRepeats) {
     ++Stat.SnapsSuppressed;
-    M.SnapsSuppressed->add();
     return;
   }
   takeSnapShared(Reason, Code);
@@ -609,6 +679,12 @@ TracebackRuntime::takeSnapShared(SnapReason Reason, uint16_t Detail) {
   // In the real system the runtime suspends all threads here; our VM is
   // cooperative, so the world is already still while host code runs.
   auto SnapStart = std::chrono::steady_clock::now();
+  // Pending timestamp batches must land in the captured buffers, not sit
+  // host-side where the snap cannot see them.
+  if (Policy.TimestampBatch)
+    for (auto &T : P.Threads)
+      if (!T->exited() && threadHasRealBuffer(*T))
+        flushTimestamps(*T);
   auto SP = std::make_shared<SnapFile>();
   SnapFile &S = *SP;
   S.Reason = Reason;
@@ -719,7 +795,6 @@ TracebackRuntime::takeSnapShared(SnapReason Reason, uint16_t Detail) {
     }
 
   ++Stat.SnapsTaken;
-  M.SnapsTaken->add();
   uint64_t Owned = 0;
   for (const RtBuffer &B : Buffers)
     Owned += B.OwnerThread != 0;
@@ -734,6 +809,7 @@ TracebackRuntime::takeSnapShared(SnapReason Reason, uint16_t Detail) {
   // stream is separate from every trace buffer, so this cannot perturb
   // recovered traces; it is embedded after injector damage so a corrupted
   // snap still carries intact self-diagnostics.
+  syncMetrics();
   MetricsSnapshot Health = Reg.snapshot();
   S.setTelemetry(Health);
 

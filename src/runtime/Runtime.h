@@ -66,7 +66,11 @@ public:
   std::shared_ptr<const SnapFile> takeSnapShared(SnapReason Reason,
                                                  uint16_t Detail);
 
-  /// Statistics the benches report.
+  /// Statistics the benches report. This struct is the single
+  /// authoritative counter store: hot paths bump these plain fields only,
+  /// and the registry instruments (Instruments) are derived from them by
+  /// delta-sync at snapshot/read points — the counters' atomic adds left
+  /// the per-word and per-wrap paths.
   struct Stats {
     uint64_t BufferWraps = 0;
     uint64_t SubBufferCommits = 0;
@@ -78,8 +82,19 @@ public:
     uint64_t ModulesRebased = 0;
     uint64_t ModulesBadDag = 0;
     uint64_t DesperationAssignments = 0;
+    /// Trace words accounted: runtime-written words plus committed
+    /// sub-buffer contents (probe-written words are only countable at
+    /// commit granularity).
+    uint64_t WordsAppended = 0;
+    /// Threads that left probation into a main buffer.
+    uint64_t ProbationExits = 0;
   };
-  const Stats &stats() const { return Stat; }
+  /// Reading stats syncs the derived registry counters first, so the two
+  /// views can never drift.
+  const Stats &stats() {
+    syncMetrics();
+    return Stat;
+  }
 
   // --- RuntimeHooks -------------------------------------------------------
 
@@ -159,6 +174,13 @@ private:
 
   bool threadHasRealBuffer(const Thread &T) const;
   uint64_t machineNow() const;
+
+  /// Pushes Stat deltas into the registry instruments (M). Called before
+  /// any external read of the registry (snap telemetry, stats()).
+  void syncMetrics();
+
+  /// Emits \p T's pending TimestampBatch samples as one record.
+  void flushTimestamps(Thread &T);
   uint64_t logicalThreadFor(Thread &T);
   void writeSync(Thread &T, SyncKind Kind, uint64_t PeerRuntime,
                  uint64_t LogicalId, uint64_t Seq);
@@ -197,6 +219,12 @@ private:
   /// main buffers and the desperation buffer are laid out contiguously
   /// from RegionBase at this stride, so bufferContaining is a division.
   uint64_t BufferStrideBytes = 0;
+  /// Bytes per sub-buffer (power of two). The layout puts each
+  /// sub-buffer's sentinel slot — and only it — at an address that is 0
+  /// mod SubBytes, so wrap detection is `(cursor & (SubBytes-1)) == 0`
+  /// both in the guest probe helper (patched via the module's sub-mask
+  /// fixups) and host-side.
+  uint64_t SubBytes = 0;
   std::vector<RtBuffer> Buffers;
   RtBuffer Probation;
   RtBuffer Desperation;
@@ -226,12 +254,18 @@ private:
   std::map<std::tuple<uint64_t, uint32_t, uint16_t>, uint32_t> SnapCounts;
 
   std::map<uint64_t, uint32_t> SyscallCountByThread;
+  /// Pending TimestampBatch samples per thread (only with
+  /// Policy.TimestampBatch > 0). A scavenged dead thread's samples are
+  /// dropped with its buffer ownership.
+  std::map<uint64_t, std::vector<uint64_t>> PendingTs;
   /// Logical-clock fallback state (section 3.5): ticks on every important
   /// event when the policy selects it.
   mutable uint64_t LogicalClockValue = 0;
   GuestFault LastFaultSeen;
   uint64_t LastFaultThread = 0;
   Stats Stat;
+  /// Stat values already pushed into the registry (see syncMetrics()).
+  Stats LastSynced;
 };
 
 } // namespace traceback

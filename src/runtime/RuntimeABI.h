@@ -12,10 +12,17 @@
 ///  - Each thread's pointer to the last-written trace record lives in a TLS
 ///    slot (default slot 60, the analog of FS:0xF00 on Windows).
 ///  - The heavyweight probe helper, statically added to every instrumented
-///    module, loads the pointer, advances it one record, and checks the
-///    next slot for the 0xFFFFFFFF sentinel; on sentinel it traps to the
-///    runtime's buffer_wrap via RtCall. It returns the fresh record address
-///    in R10 and leaves the TLS slot updated.
+///    module, loads the pointer, advances it one record, and tests the new
+///    address against the sub-buffer mask (the runtime lays buffers out so
+///    a cursor lands on a SubBytes-aligned address exactly at each
+///    sub-buffer's sentinel slot); on a mask hit it traps to the runtime's
+///    buffer_wrap via RtCall with the sentinel address in R10. It returns
+///    the fresh record address in R10 and leaves the TLS slot updated. The
+///    mask immediate is a module fixup patched at rebase time; its emitted
+///    value 0 means "always trap" — correct but slow, so unregistered
+///    modules degrade instead of corrupting. The 0xFFFFFFFF in-memory
+///    sentinels are still written for torn-buffer recovery and for modules
+///    built by older instrumenters that compare against them.
 ///  - The call site then stores the pre-shifted DAG record through R10.
 ///  - Lightweight probes load the TLS pointer and OR their bit into the
 ///    current record.

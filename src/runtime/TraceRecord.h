@@ -90,6 +90,14 @@ enum class ExtType : uint8_t {
   /// thread ring buffers — they live in the snap's dedicated telemetry
   /// stream so embedding them cannot perturb recovered traces.
   Telemetry = 9,
+  /// A batch of timestamps accumulated host-side under
+  /// RtPolicy::TimestampBatch (payload: absolute timestamps, oldest
+  /// first). One record amortizes the ext-record framing across N
+  /// samples; the reconstructor applies them as N sequential Timestamp
+  /// records. Tradeoff: samples surface at flush points (batch full,
+  /// thread/process end, snap), so attribution is coarser than the
+  /// unbatched every-Nth-syscall placement.
+  TimestampBatch = 10,
 };
 
 /// Positions of the four SYNC records an RPC generates (section 5.1).

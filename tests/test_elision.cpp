@@ -1,0 +1,448 @@
+//===- tests/test_elision.cpp - Probe-elision equivalence sweeps ----------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// The elision pass (analysis/ProbeElision.h) drops light probes whose path
+// bit is implied by dominance structure; the reconstructor re-expands the
+// implied bits from the mapfile's ElidedBy table. These tests pin the
+// contract down:
+//
+//  - a 100-seed sweep over generated branchy programs proves the decoded
+//    trace is byte-identical with elision on and off (and line-identical
+//    under the degenerate every-block-is-header tiling, where elision has
+//    nothing to do),
+//  - a kill -9 sweep proves torn-trace recovery still yields a golden
+//    prefix when records were written by elided probes,
+//  - header merging and timestamp batching compose with elision without
+//    changing the decoded history.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "analysis/ProbeElision.h"
+#include "instrument/Instrumenter.h"
+#include "support/Text.h"
+#include "vm/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace traceback;
+using namespace traceback::testing_helpers;
+
+namespace {
+
+/// Generates a deterministic branchy MiniLang program. The branch shapes
+/// are chosen so the elision rules actually fire: if-without-else joins
+/// (the join bit post-dominates the DAG root, rule 1) and nested guards
+/// (inner block dominated by / post-dominating the guard body, rule 2),
+/// mixed with plain if/else diamonds where nothing is elidable.
+std::string genProgram(uint64_t Seed, unsigned Iters, bool WithSnap) {
+  Rng R(Seed);
+  std::string Src = "fn work(x) {\n  var y = x;\n";
+  unsigned NumBranches = 3 + R.below(4);
+  for (unsigned B = 0; B < NumBranches; ++B) {
+    unsigned MaskA = 1u << R.below(5);
+    unsigned MaskB = 1u << R.below(5);
+    unsigned K = 1 + static_cast<unsigned>(R.below(9));
+    switch (R.below(3)) {
+    case 0: // if-without-else: the join's bit is implied (rule 1).
+      Src += formatv("  if (y & %u) { y = y + %u; }\n", MaskA, K);
+      Src += formatv("  y = y ^ %u;\n", K + 3);
+      break;
+    case 1: // nested guard: inner bits implied by the outer (rule 2).
+      Src += formatv("  if (y & %u) {\n    y = y * 3 + %u;\n", MaskA, K);
+      Src += formatv("    if (y & %u) { y = y - %u; }\n", MaskB, K + 1);
+      Src += formatv("    y = y ^ %u;\n  }\n", K + 5);
+      Src += "  y = y + 1;\n";
+      break;
+    default: // if/else diamond: no bit is implied; keeps the mix honest.
+      Src += formatv("  if (y & %u) { y = y + %u; } else { y = y ^ %u; }\n",
+                     MaskA, K, K + 7);
+      break;
+    }
+  }
+  Src += "  return y;\n}\n";
+  Src += formatv("fn main() export {\n"
+                 "  var s = %u;\n"
+                 "  var i = 0;\n"
+                 "  while (i < %u) {\n"
+                 "    s = s + work(s + i);\n"
+                 "    s = s %% 65521;\n"
+                 "    i = i + 1;\n"
+                 "    yield();\n"
+                 "  }\n"
+                 "  print(s);\n",
+                 1 + static_cast<unsigned>(R.below(1000)), Iters);
+  if (WithSnap)
+    Src += "  snap(1);\n";
+  Src += "}\n";
+  return Src;
+}
+
+/// Everything one instrumented run produces that equivalence checks need.
+struct RunCapture {
+  bool Ok = false;
+  std::string Output;
+  std::vector<Process::OracleEvent> Oracle;
+  ReconstructedTrace Trace;
+};
+
+/// Deploys \p M with \p Opts under a timestamp-free policy (cycle counts
+/// differ across probe configurations, so periodic timestamps would
+/// trivially perturb the comparison), runs to completion, reconstructs
+/// the snap(1) snapshot.
+RunCapture runConfig(const Module &M, const InstrumentOptions &Opts,
+                     uint32_t TimestampInterval = 0,
+                     uint32_t TimestampBatch = 0) {
+  RunCapture C;
+  SingleProcess S{/*WithOracle=*/true};
+  S.D.Policy.TimestampInterval = TimestampInterval;
+  S.D.Policy.TimestampBatch = TimestampBatch;
+  S.D.Policy.SnapOnApi = true;
+  std::string Error;
+  LoadedModule *LM = S.D.deploy(*S.P, M, /*Instrument=*/true, Opts, Error);
+  EXPECT_NE(LM, nullptr) << Error;
+  if (!LM)
+    return C;
+  Thread *T = S.P->start("main");
+  EXPECT_NE(T, nullptr);
+  if (!T)
+    return C;
+  EXPECT_EQ(S.D.world().run(50'000'000), World::RunResult::AllExited);
+  EXPECT_FALSE(S.D.snaps().empty()) << "snap(1) produced no snapshot";
+  if (S.D.snaps().empty())
+    return C;
+  C.Trace = S.D.reconstruct(S.D.snaps().back());
+  C.Output = S.P->Output;
+  C.Oracle = std::move(S.Oracle);
+  C.Ok = true;
+  return C;
+}
+
+/// Renders \p Trace with every event timestamp zeroed: wall-clock readings
+/// legitimately differ across probe configurations (fewer probes = fewer
+/// cycles), everything else must be byte-identical.
+std::string normalizedRender(const ThreadTrace &Trace) {
+  ThreadTrace Copy = Trace;
+  for (TraceEvent &E : Copy.Events)
+    E.Timestamp = 0;
+  return renderFlatTrace(Copy);
+}
+
+std::set<std::string> uniqueLines(const ThreadTrace &T) {
+  std::vector<std::string> Seq = lineSequence(T);
+  return std::set<std::string>(Seq.begin(), Seq.end());
+}
+
+/// Same slack rule as the crash-consistency sweep: the fault may interrupt
+/// one DAG record, so at most the final tile's lines are in flux.
+bool isPrefixWithSlack(const std::vector<std::string> &Got,
+                       const std::vector<std::string> &Golden,
+                       size_t Slack = 12) {
+  for (size_t Drop = 0; Drop <= Slack && Drop <= Got.size(); ++Drop) {
+    size_t N = Got.size() - Drop;
+    if (N <= Golden.size() &&
+        std::equal(Got.begin(), Got.begin() + N, Golden.begin()))
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------------
+// The pass itself: implied bits are found and accounted for.
+// ----------------------------------------------------------------------------
+
+TEST(ElisionTest, ElidesImpliedBitsOnKnownShapes) {
+  // Both elidable shapes, nothing else: the join after the guard (rule 1)
+  // and the blocks inside the nested guard (rule 2).
+  const char *Src = R"(
+fn f(x) {
+  var y = x;
+  if (y & 1) { y = y + 3; }
+  y = y ^ 5;
+  if (y & 2) {
+    y = y * 3;
+    if (y & 4) { y = y - 1; }
+    y = y + 7;
+  }
+  return y;
+}
+fn main() export {
+  print(f(6));
+}
+)";
+  Module M = compileOrDie(Src);
+  Module Out;
+  MapFile Map;
+  std::string Error;
+  InstrumentStats WithElision, Without;
+  InstrumentOptions Opts;
+  ASSERT_TRUE(instrumentModule(M, Opts, Out, Map, &WithElision, Error))
+      << Error;
+  EXPECT_GT(WithElision.NumElidedProbes, 0u)
+      << "known-elidable shapes produced no elision";
+
+  Opts.ElideImpliedBits = false;
+  Module Out2;
+  MapFile Map2;
+  ASSERT_TRUE(instrumentModule(M, Opts, Out2, Map2, &Without, Error))
+      << Error;
+  EXPECT_EQ(Without.NumElidedProbes, 0u);
+  // Elision only removes probes; the bit assignment is unchanged.
+  EXPECT_EQ(WithElision.NumLightProbes + WithElision.NumElidedProbes,
+            Without.NumLightProbes);
+  EXPECT_LT(WithElision.NewCodeBytes, Without.NewCodeBytes)
+      << "elided probes must shrink the rewritten text";
+
+  // The mapfile carries the implication table for the decoder.
+  unsigned ElidedInMap = 0;
+  for (const MapDag &D : Map.Dags)
+    for (const MapBlock &B : D.Blocks)
+      if (B.BitIndex >= 0 && B.ElidedBy != ElisionNone)
+        ++ElidedInMap;
+  EXPECT_EQ(ElidedInMap, WithElision.NumElidedProbes);
+}
+
+// ----------------------------------------------------------------------------
+// The headline property: 100-seed byte-identical decode sweep.
+// ----------------------------------------------------------------------------
+
+TEST(ElisionTest, HundredSeedByteIdenticalSweep) {
+  Rng Seeds(testSeed());
+  const int NumSeeds = 100;
+  uint64_t TotalElided = 0;
+  for (int Run = 0; Run < NumSeeds; ++Run) {
+    uint64_t Seed = Seeds.next();
+    unsigned Iters = 20 + static_cast<unsigned>(Seed % 21);
+    Module M = compileOrDie(genProgram(Seed, Iters, /*WithSnap=*/true));
+
+    InstrumentOptions Elided; // ElideImpliedBits defaults to true.
+    InstrumentOptions Full;
+    Full.ElideImpliedBits = false;
+    InstrumentOptions Naive;
+    Naive.Tile.EveryBlockIsHeader = true;
+
+    RunCapture A = runConfig(M, Elided);
+    RunCapture B = runConfig(M, Full);
+    RunCapture C = runConfig(M, Naive);
+    ASSERT_TRUE(A.Ok && B.Ok && C.Ok) << "seed " << Seed;
+
+    // Program semantics are untouched by any probe configuration.
+    ASSERT_EQ(A.Output, B.Output) << "seed " << Seed;
+    ASSERT_EQ(A.Output, C.Output) << "seed " << Seed;
+
+    // Each decode matches its own run's ground-truth oracle exactly.
+    const ThreadTrace *TA = A.Trace.threadById(1);
+    const ThreadTrace *TB = B.Trace.threadById(1);
+    const ThreadTrace *TC = C.Trace.threadById(1);
+    ASSERT_TRUE(TA && TB && TC) << "seed " << Seed;
+    ASSERT_EQ(lineSequence(*TA), oracleSequence(A.Oracle, 1))
+        << "seed " << Seed << ": elided decode diverges from oracle";
+    ASSERT_EQ(lineSequence(*TB), oracleSequence(B.Oracle, 1))
+        << "seed " << Seed << ": full decode diverges from oracle";
+    ASSERT_EQ(lineSequence(*TC), oracleSequence(C.Oracle, 1))
+        << "seed " << Seed << ": naive decode diverges from oracle";
+
+    // Elided and full share the tiling, so the decoded histories must be
+    // byte-identical (repeats, depths, flags — everything but wall-clock).
+    ASSERT_EQ(normalizedRender(*TA), normalizedRender(*TB))
+        << "seed " << Seed
+        << ": elided decode is not byte-identical to the full decode";
+
+    // Count what the sweep actually elided so it can't silently go inert.
+    InstrumentStats St;
+    Module Scratch;
+    MapFile ScratchMap;
+    std::string Error;
+    ASSERT_TRUE(
+        instrumentModule(M, Elided, Scratch, ScratchMap, &St, Error));
+    TotalElided += St.NumElidedProbes;
+  }
+  EXPECT_GT(TotalElided, static_cast<uint64_t>(NumSeeds))
+      << "sweep programs barely exercise elision";
+}
+
+// ----------------------------------------------------------------------------
+// Torn traces: kill -9 mid-run with elided probes still recovers a prefix.
+// ----------------------------------------------------------------------------
+
+TEST(ElisionTest, KillSweepWithElisionRecoversGoldenPrefix) {
+  Rng Seeds(testSeed());
+  const uint64_t ProgramSeed = Seeds.next();
+  const unsigned Iters = 150;
+  std::string Src = genProgram(ProgramSeed, Iters, /*WithSnap=*/false);
+
+  // Fault-free golden oracle; the oracle is ground truth, independent of
+  // the probe configuration.
+  std::vector<std::string> Golden;
+  uint64_t TotalSlices = 0;
+  {
+    SingleProcess S{/*WithOracle=*/true};
+    ASSERT_EQ(S.runModule(compileOrDie(Src), /*Instrument=*/true),
+              World::RunResult::AllExited);
+    Golden = oracleSequence(S.Oracle, 1);
+    TotalSlices = S.D.world().slices();
+  }
+  ASSERT_GT(Golden.size(), 100u);
+  ASSERT_GT(TotalSlices, 10u);
+
+  const int NumSeeds = 40;
+  int Recovered = 0;
+  for (int Run = 0; Run < NumSeeds; ++Run) {
+    uint64_t Seed = Seeds.next();
+    Rng R(Seed);
+    FaultPlan Plan;
+    Plan.Seed = Seed;
+    Plan.Events.push_back(
+        {FaultKind::KillProcess, 1 + R.below(TotalSlices - 1), 0});
+
+    SingleProcess S;
+    FaultInjector FI(Plan);
+    S.D.world().Injector = &FI;
+    ServiceDaemon *Daemon = S.D.daemonFor(*S.M);
+    ASSERT_NE(Daemon, nullptr);
+
+    // Alternate elision on/off so every kill point is covered by both
+    // encodings of the same control flow.
+    InstrumentOptions Opts;
+    Opts.ElideImpliedBits = (Run % 2) == 0;
+    std::string Error;
+    Module M = compileOrDie(Src);
+    LoadedModule *LM = S.D.deploy(*S.P, M, /*Instrument=*/true, Opts, Error);
+    ASSERT_NE(LM, nullptr) << Error;
+    ASSERT_NE(S.P->start("main"), nullptr);
+    S.D.world().run(50'000'000);
+    ASSERT_TRUE(S.P->HardKilled)
+        << "seed " << Seed << ": kill at slice " << Plan.Events[0].Trigger
+        << " did not land";
+
+    auto PM = Daemon->collectPostMortem(*S.P);
+    ASSERT_EQ(PM.size(), 1u) << "seed " << Seed;
+    ReconstructedTrace Trace = S.D.reconstruct(*PM[0]);
+    const ThreadTrace *Main = Trace.threadById(1);
+    if (!Main)
+      continue; // Killed before anything committed — acceptable loss.
+    std::vector<std::string> Got = lineSequence(*Main);
+    if (Got.empty())
+      continue;
+    ++Recovered;
+    ASSERT_TRUE(isPrefixWithSlack(Got, Golden))
+        << "seed " << Seed << " (elide="
+        << (Opts.ElideImpliedBits ? "on" : "off") << ", kill slice "
+        << Plan.Events[0].Trigger << "): recovered " << Got.size()
+        << " lines are not a golden prefix";
+  }
+  EXPECT_GT(Recovered, NumSeeds / 2)
+      << "most kills should land after records were committed";
+}
+
+// ----------------------------------------------------------------------------
+// Composition: header merging and timestamp batching.
+// ----------------------------------------------------------------------------
+
+TEST(ElisionTest, MergedHeadersComposeWithElision) {
+  // Consecutive call sites so call-return header merging has chains to
+  // fold; branchy callee so elision has bits to drop.
+  const char *Src = R"(
+fn f(x) {
+  var y = x;
+  if (y & 1) { y = y + 3; }
+  y = y ^ 2;
+  return y;
+}
+fn g(x) {
+  if (x & 4) { return x * 3; }
+  return x + 9;
+}
+fn main() export {
+  var s = 1;
+  var i = 0;
+  while (i < 30) {
+    var a = f(s + i);
+    var b = g(a);
+    s = (a + b) % 65521;
+    i = i + 1;
+  }
+  print(s);
+  snap(1);
+}
+)";
+  Module M = compileOrDie(Src);
+  InstrumentStats St;
+  {
+    Module Out;
+    MapFile Map;
+    std::string Error;
+    InstrumentOptions Probe;
+    Probe.Tile.MergeCallReturnHeaders = true;
+    ASSERT_TRUE(instrumentModule(M, Probe, Out, Map, &St, Error)) << Error;
+    EXPECT_GT(St.NumMergedHeaders, 0u)
+        << "consecutive call sites produced no merged headers";
+  }
+
+  InstrumentOptions MergedElided;
+  MergedElided.Tile.MergeCallReturnHeaders = true;
+  InstrumentOptions MergedFull = MergedElided;
+  MergedFull.ElideImpliedBits = false;
+  RunCapture A = runConfig(M, MergedElided);
+  RunCapture B = runConfig(M, MergedFull);
+  RunCapture Plain = runConfig(M, InstrumentOptions());
+  ASSERT_TRUE(A.Ok && B.Ok && Plain.Ok);
+  EXPECT_EQ(A.Output, Plain.Output);
+  EXPECT_EQ(A.Output, B.Output);
+
+  const ThreadTrace *TA = A.Trace.threadById(1);
+  const ThreadTrace *TB = B.Trace.threadById(1);
+  const ThreadTrace *TP = Plain.Trace.threadById(1);
+  ASSERT_TRUE(TA && TB && TP);
+  // Merging reorders merged blocks relative to callee records, so the
+  // comparison is reconstruction-vs-reconstruction under the same tiling:
+  // elided and full decodes of the merged layout stay byte-identical.
+  EXPECT_EQ(normalizedRender(*TA), normalizedRender(*TB));
+  // And merging loses no coverage: the same source lines are observed.
+  EXPECT_EQ(uniqueLines(*TA), uniqueLines(*TP));
+}
+
+TEST(ElisionTest, TimestampBatchingPreservesLineSequence) {
+  const char *Src = R"(
+fn main() export {
+  var s = 0;
+  var i = 0;
+  while (i < 40) {
+    if (i & 1) { s = s + i; }
+    s = s ^ 3;
+    print(s);
+    i = i + 1;
+  }
+  snap(1);
+}
+)";
+  Module M = compileOrDie(Src);
+  // Timestamps on (interval 1): the batched run folds them into
+  // TimestampBatch ext records, the unbatched run emits them one by one.
+  RunCapture Unbatched =
+      runConfig(M, InstrumentOptions(), /*TimestampInterval=*/1,
+                /*TimestampBatch=*/0);
+  RunCapture Batched =
+      runConfig(M, InstrumentOptions(), /*TimestampInterval=*/1,
+                /*TimestampBatch=*/8);
+  ASSERT_TRUE(Unbatched.Ok && Batched.Ok);
+  EXPECT_EQ(Unbatched.Output, Batched.Output);
+
+  const ThreadTrace *TU = Unbatched.Trace.threadById(1);
+  const ThreadTrace *TB = Batched.Trace.threadById(1);
+  ASSERT_TRUE(TU && TB);
+  EXPECT_EQ(lineSequence(*TB), oracleSequence(Batched.Oracle, 1));
+  EXPECT_EQ(lineSequence(*TU), lineSequence(*TB));
+
+  // The batch records actually decoded: some event carries a clock value.
+  bool SawTs = false;
+  for (const TraceEvent &E : TB->Events)
+    SawTs |= E.Timestamp != 0;
+  EXPECT_TRUE(SawTs) << "batched timestamps never reached the decoder";
+}

@@ -123,6 +123,8 @@ TEST(InstrumentTest, MapfileSerializationRoundTrip) {
                 Map.Dags[I].Blocks[J].StartOffset);
       EXPECT_EQ(Back.Dags[I].Blocks[J].BitIndex,
                 Map.Dags[I].Blocks[J].BitIndex);
+      EXPECT_EQ(Back.Dags[I].Blocks[J].ElidedBy,
+                Map.Dags[I].Blocks[J].ElidedBy);
       EXPECT_EQ(Back.Dags[I].Blocks[J].Lines.size(),
                 Map.Dags[I].Blocks[J].Lines.size());
     }

@@ -9,7 +9,7 @@
 //
 //   tbtool compile <src.ml> <out.tbo> [--managed] [--name NAME]
 //   tbtool asm <src.tbasm> <out.tbo>
-//   tbtool instrument <in.tbo> <out.tbo> <out.tbmap> [--dag-base N]
+//   tbtool instrument <in.tbo> <out.tbo> <out.tbmap> [--dag-base N] [--stats] [--no-elide]
 //   tbtool disasm <mod.tbo>
 //   tbtool mapinfo <map.tbmap>
 //   tbtool snapinfo <snap.tbsnap>
@@ -69,7 +69,7 @@ int usage() {
       "usage:\n"
       "  tbtool compile <src.ml> <out.tbo> [--managed] [--name NAME]\n"
       "  tbtool asm <src.tbasm> <out.tbo>\n"
-      "  tbtool instrument <in.tbo> <out.tbo> <out.tbmap> [--dag-base N]\n"
+      "  tbtool instrument <in.tbo> <out.tbo> <out.tbmap> [--dag-base N] [--stats] [--no-elide]\n"
       "  tbtool disasm <mod.tbo>\n"
       "  tbtool mapinfo <map.tbmap>\n"
       "  tbtool snapinfo <snap.tbsnap>\n"
@@ -160,6 +160,8 @@ int cmdAsm(ArgList A) {
 
 int cmdInstrument(ArgList A) {
   int64_t Base = A.intValue("--dag-base", 0);
+  bool Stats = A.flag("--stats");
+  bool NoElide = A.flag("--no-elide");
   std::string FErr;
   if (!A.finish(FErr))
     return flagError(FErr);
@@ -173,11 +175,12 @@ int cmdInstrument(ArgList A) {
   }
   InstrumentOptions Opts;
   Opts.DagIdBase = static_cast<uint32_t>(Base);
+  Opts.ElideImpliedBits = !NoElide;
   Module Out;
   MapFile Map;
-  InstrumentStats Stats;
+  InstrumentStats St;
   std::string Error;
-  if (!instrumentModule(Orig, Opts, Out, Map, &Stats, Error)) {
+  if (!instrumentModule(Orig, Opts, Out, Map, &St, Error)) {
     std::fprintf(stderr, "%s\n", Error.c_str());
     return 1;
   }
@@ -185,11 +188,39 @@ int cmdInstrument(ArgList A) {
     std::fprintf(stderr, "cannot write outputs\n");
     return 1;
   }
-  std::printf("instrumented %s: %u DAGs, %u heavy + %u light probes, "
-              "text %+.0f%%, checksum %s\n",
-              Orig.Name.c_str(), Stats.NumDags, Stats.NumHeavyProbes,
-              Stats.NumLightProbes, (Stats.textGrowth() - 1.0) * 100,
-              Out.Checksum.toHex().c_str());
+  if (Stats) {
+    uint32_t PlacedBits = St.NumLightProbes + St.NumElidedProbes;
+    std::printf(
+        "{\n"
+        "  \"module\": \"%s\",\n"
+        "  \"checksum\": \"%s\",\n"
+        "  \"functions\": %u,\n"
+        "  \"blocks\": %u,\n"
+        "  \"dags\": %u,\n"
+        "  \"heavy_probes\": %u,\n"
+        "  \"light_probes\": %u,\n"
+        "  \"elided_probes\": %u,\n"
+        "  \"elided_percent\": %.2f,\n"
+        "  \"merged_headers\": %u,\n"
+        "  \"spills\": %u,\n"
+        "  \"mov_saves\": %u,\n"
+        "  \"orig_code_bytes\": %zu,\n"
+        "  \"new_code_bytes\": %zu,\n"
+        "  \"text_growth\": %.4f\n"
+        "}\n",
+        Orig.Name.c_str(), Out.Checksum.toHex().c_str(), St.NumFunctions,
+        St.NumBlocks, St.NumDags, St.NumHeavyProbes, St.NumLightProbes,
+        St.NumElidedProbes,
+        PlacedBits ? 100.0 * St.NumElidedProbes / PlacedBits : 0.0,
+        St.NumMergedHeaders, St.NumSpills, St.NumMovSaves,
+        St.OrigCodeBytes, St.NewCodeBytes, St.textGrowth());
+    return 0;
+  }
+  std::printf("instrumented %s: %u DAGs, %u heavy + %u light probes "
+              "(%u elided), text %+.0f%%, checksum %s\n",
+              Orig.Name.c_str(), St.NumDags, St.NumHeavyProbes,
+              St.NumLightProbes, St.NumElidedProbes,
+              (St.textGrowth() - 1.0) * 100, Out.Checksum.toHex().c_str());
   return 0;
 }
 
