@@ -1,0 +1,131 @@
+//===- collector/CollectorService.h - Fleet snap ingestion ------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet-facing half of the collector: a sharded ingestion front
+/// that drains TransportEndpoint snap pushes (and any SnapSource) into a
+/// SnapStore. Modeled on the service daemon's async ingest: arriving
+/// images land in bounded per-shard queues (sharded by source machine so
+/// one chatty machine cannot starve the rest), each stamped with a
+/// global arrival sequence; drain() merges the shards back into arrival
+/// order, so the store's contents are a deterministic function of the
+/// arrival stream no matter how the shards interleaved. A full shard
+/// queue drains inline — ingest back-pressure must never drop a fault
+/// snap, the same rule the daemon's spill path enforces.
+///
+/// attachTransport() hooks a TransportEndpoint's delivery handler:
+/// SnapPush frames are enqueued with their source machine id, every
+/// other frame type falls through to the previous handler (which also
+/// keeps running for SnapPush when chaining is on, so a Deployment's
+/// snaps() view stays intact while the collector indexes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_COLLECTOR_COLLECTORSERVICE_H
+#define TRACEBACK_COLLECTOR_COLLECTORSERVICE_H
+
+#include "collector/SnapStore.h"
+#include "support/Metrics.h"
+#include "support/SnapSource.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace traceback {
+
+class TransportEndpoint;
+
+/// Ingestion-front tuning.
+struct CollectorOptions {
+  /// Ingest queue shards; a source machine hashes to shard (id % Shards).
+  unsigned Shards = 4;
+  /// Per-shard queue bound. An enqueue into a full shard drains the
+  /// whole service inline first (deterministic, never drops).
+  size_t QueueCapacity = 256;
+  /// Keep the endpoint's previous handler running for SnapPush frames
+  /// (a Deployment's snaps() view) in addition to collector ingest.
+  bool ChainHandler = true;
+  /// Destination of the "collector.ingest." instrument family
+  /// (null = the process-global registry).
+  MetricsRegistry *Metrics = nullptr;
+};
+
+/// Drains snap pushes into a SnapStore. Also a SnapConsumer, so any
+/// SnapSource (directory, archive, queue) can feed the same store
+/// through the same ordering machinery.
+class CollectorService : public SnapConsumer {
+public:
+  /// \p Store must outlive the service and be open for writing.
+  CollectorService(SnapStore &Store, const CollectorOptions &O = {});
+
+  /// Enqueues one serialized snap image from \p SrcMachineId (0 = a
+  /// local/direct source). Returns false only when the inline-drain
+  /// fallback hit a store error (recorded in lastError()).
+  bool push(std::vector<uint8_t> Image, uint64_t SrcMachineId);
+
+  /// SnapConsumer: serialize-and-push for object-form feeds…
+  bool consume(const SnapFile &Snap, const std::string &Label) override;
+  /// …and verbatim bytes for image-form feeds (the common path).
+  bool consumeImage(const std::vector<uint8_t> &Image,
+                    const std::string &Label) override;
+
+  /// Hooks \p EP's delivery handler (see file comment). The previous
+  /// handler is preserved and restored by detachTransport().
+  void attachTransport(TransportEndpoint &EP);
+  void detachTransport();
+
+  /// Drains every queued image into the store in global arrival order.
+  /// Returns how many snaps were stored (dedup hits included).
+  size_t drain();
+
+  size_t pending() const;
+
+  // --- Stats ---------------------------------------------------------------
+
+  uint64_t received() const { return ReceivedCount; }
+  uint64_t ingested() const { return IngestedCount; }
+  uint64_t errors() const { return ErrorCount; }
+  const std::string &lastError() const { return LastError; }
+  SnapStore &store() { return Store; }
+
+private:
+  struct Item {
+    uint64_t Seq = 0; ///< Global arrival order across all shards.
+    uint64_t SrcMachineId = 0;
+    std::vector<uint8_t> Image;
+  };
+
+  bool ingestOne(const Item &It);
+
+  SnapStore &Store;
+  CollectorOptions Opt;
+  std::vector<std::deque<Item>> Queues;
+  uint64_t NextSeq = 1;
+
+  TransportEndpoint *EP = nullptr;
+  std::function<void(const struct WireFrame &)> PrevHandler;
+
+  uint64_t ReceivedCount = 0;
+  uint64_t IngestedCount = 0;
+  uint64_t ErrorCount = 0;
+  std::string LastError;
+
+  struct Instruments {
+    Counter *Received = nullptr;
+    Counter *Ingested = nullptr;
+    Counter *Errors = nullptr;
+    Counter *InlineDrains = nullptr;
+    Gauge *QueueDepth = nullptr;
+  };
+  Instruments CM;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_COLLECTOR_COLLECTORSERVICE_H

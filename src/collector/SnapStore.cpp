@@ -1,0 +1,843 @@
+//===- collector/SnapStore.cpp - Indexed, queryable snap store ------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collector/SnapStore.h"
+
+#include "distributed/SnapArchive.h"
+#include "triage/Signature.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+
+using namespace traceback;
+
+//===----------------------------------------------------------------------===//
+// TBIX v1 journal encoding
+//===----------------------------------------------------------------------===//
+//
+// Line-oriented, append-only, replayed at open:
+//
+//   TBIX v1
+//   add id=7 shard=2 off=8 bytes=312 ph=<hex16> fp=<hex16> kind=...
+//       machine=... mid=3 proc=... pid=9 ts=4400 reason=1 refs=1
+//       mod=<name>:<hex16> ... mark=<marker> ...   (one line per add)
+//   ref 7
+//   evict 7
+//
+// Values are percent-escaped (space, '%', ':', '=', control bytes) so one
+// token is always one field. A final line without its trailing newline is
+// a torn tail from a crashed collector and is dropped; malformed bytes
+// before that are corruption and fail open().
+
+static const char *IndexHeader = "TBIX v1";
+
+static std::string escapeValue(const std::string &V) {
+  std::string Out;
+  Out.reserve(V.size());
+  static const char *Hex = "0123456789abcdef";
+  for (unsigned char C : V) {
+    if (C <= 0x20 || C == '%' || C == ':' || C == '=' || C == 0x7F) {
+      Out.push_back('%');
+      Out.push_back(Hex[C >> 4]);
+      Out.push_back(Hex[C & 15]);
+    } else {
+      Out.push_back(static_cast<char>(C));
+    }
+  }
+  return Out;
+}
+
+static int hexNibble(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'F')
+    return C - 'A' + 10;
+  return -1;
+}
+
+static bool unescapeValue(const std::string &V, std::string &Out) {
+  Out.clear();
+  Out.reserve(V.size());
+  for (size_t I = 0; I < V.size(); ++I) {
+    if (V[I] != '%') {
+      Out.push_back(V[I]);
+      continue;
+    }
+    if (I + 2 >= V.size())
+      return false;
+    int Hi = hexNibble(V[I + 1]), Lo = hexNibble(V[I + 2]);
+    if (Hi < 0 || Lo < 0)
+      return false;
+    Out.push_back(static_cast<char>((Hi << 4) | Lo));
+    I += 2;
+  }
+  return true;
+}
+
+static bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  Out = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return true;
+}
+
+static bool parseHex64(const std::string &S, uint64_t &Out) {
+  if (S.empty() || S.size() > 16)
+    return false;
+  Out = 0;
+  for (char C : S) {
+    int N = hexNibble(C);
+    if (N < 0)
+      return false;
+    Out = (Out << 4) | static_cast<uint64_t>(N);
+  }
+  return true;
+}
+
+static std::string hex16(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// FNV-1a 64 over raw bytes — the payload-dedup hash. Same algorithm as
+/// triage's signatureHash, which hashes text.
+static uint64_t payloadHash(const std::vector<uint8_t> &Bytes) {
+  uint64_t H = 1469598103934665603ull;
+  for (uint8_t B : Bytes) {
+    H ^= B;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// SnapQuery
+//===----------------------------------------------------------------------===//
+
+SnapQuery &SnapQuery::setModule(const std::string &NameOrHex) {
+  HasModule = true;
+  uint64_t Key = 0;
+  if (NameOrHex.size() == 16 && parseHex64(NameOrHex, Key))
+    ModuleKey = Key; // A checksum key spelled as 16 hex digits.
+  else
+    ModuleKey = signatureHash(NameOrHex);
+  return *this;
+}
+
+SnapQuery &SnapQuery::setMachine(const std::string &NameOrId) {
+  HasMachine = true;
+  uint64_t Id = 0;
+  if (parseU64(NameOrId, Id))
+    MachineKey = Id; // A raw transport machine id.
+  else
+    MachineKey = signatureHash(NameOrId);
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// SnapStore
+//===----------------------------------------------------------------------===//
+
+struct SnapStore::Shard {
+  SnapArchiveWriter W;
+};
+
+SnapStore::SnapStore() = default;
+SnapStore::~SnapStore() { close(); }
+
+std::string SnapStore::shardPath(uint32_t Index) const {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "/shard-%02u.tbar", Index);
+  return Dir + Buf;
+}
+
+std::string SnapStore::indexPath() const { return Dir + "/index.tbx"; }
+
+bool SnapStore::open(const std::string &Directory, const SnapStoreOptions &O,
+                     std::string &Error) {
+  close();
+  Dir = Directory;
+  Opt = O;
+  if (Opt.Shards == 0)
+    Opt.Shards = 1;
+
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    Error = "cannot create store directory: " + Dir;
+    return false;
+  }
+
+  MetricsRegistry &R = Opt.Metrics ? *Opt.Metrics : MetricsRegistry::global();
+  SM.Appends = &R.counter("collector.store.appends");
+  SM.DedupHits = &R.counter("collector.store.dedup_hits");
+  SM.Evictions = &R.counter("collector.store.evictions");
+  SM.Queries = &R.counter("collector.store.queries");
+  SM.PointReads = &R.counter("collector.store.point_reads");
+  SM.LiveEntriesG = &R.gauge("collector.store.live_entries");
+  SM.LiveBytesG = &R.gauge("collector.store.live_bytes");
+
+  if (!replayIndex(Error))
+    return false;
+
+  if (!Opt.ReadOnly) {
+    for (unsigned I = 0; I < Opt.Shards; ++I) {
+      auto S = std::make_unique<Shard>();
+      if (!S->W.open(shardPath(I))) {
+        Error = "cannot open shard: " + shardPath(I);
+        close();
+        return false;
+      }
+      Shards.push_back(std::move(S));
+    }
+    std::FILE *J = std::fopen(indexPath().c_str(), "ab");
+    if (!J) {
+      Error = "cannot open index journal: " + indexPath();
+      close();
+      return false;
+    }
+    Journal = J;
+    // A fresh store starts with the format header line.
+    if (std::ftell(J) == 0 &&
+        std::fprintf(J, "%s\n", IndexHeader) < 0) {
+      Error = "cannot write index header";
+      close();
+      return false;
+    }
+  }
+
+  Open = true;
+  SM.LiveEntriesG->set(static_cast<int64_t>(LiveCount));
+  SM.LiveBytesG->set(static_cast<int64_t>(LiveBytes));
+  return true;
+}
+
+void SnapStore::close() {
+  if (Journal) {
+    std::fclose(static_cast<std::FILE *>(Journal));
+    Journal = nullptr;
+  }
+  Shards.clear(); // Writer destructors close the files.
+  Entries.clear();
+  ById.clear();
+  ByModule.clear();
+  ByKind.clear();
+  ByFingerprint.clear();
+  ByMachine.clear();
+  ByTime.clear();
+  DedupByKey.clear();
+  NextId = 1;
+  LiveCount = 0;
+  LiveBytes = 0;
+  DedupHitCount = 0;
+  EvictionCount = 0;
+  Open = false;
+}
+
+/// Splits \p Line into space-separated tokens.
+static void tokenize(const std::string &Line, std::vector<std::string> &Out) {
+  Out.clear();
+  size_t I = 0;
+  while (I < Line.size()) {
+    while (I < Line.size() && Line[I] == ' ')
+      ++I;
+    size_t Start = I;
+    while (I < Line.size() && Line[I] != ' ')
+      ++I;
+    if (I > Start)
+      Out.push_back(Line.substr(Start, I - Start));
+  }
+}
+
+bool SnapStore::replayIndex(std::string &Error) {
+  std::FILE *F = std::fopen(indexPath().c_str(), "rb");
+  if (!F)
+    return true; // A store with no index yet is a valid empty store.
+
+  // Stream lines through a fixed read buffer — the journal is replayed
+  // without ever holding the whole file, matching the satellite's
+  // stream-don't-read-all discipline.
+  std::string Line;
+  std::vector<std::string> Tok;
+  char Buf[4096];
+  bool SawHeader = false, SawNewline = false, Bad = false;
+  size_t LineNo = 0;
+
+  auto handleLine = [&]() -> bool {
+    ++LineNo;
+    if (!SawHeader) {
+      if (Line != IndexHeader)
+        return false;
+      SawHeader = true;
+      return true;
+    }
+    tokenize(Line, Tok);
+    if (Tok.empty())
+      return true;
+    if (Tok[0] == "ref" || Tok[0] == "evict") {
+      uint64_t Id = 0;
+      if (Tok.size() != 2 || !parseU64(Tok[1], Id))
+        return false;
+      auto It = ById.find(Id);
+      if (It == ById.end())
+        return false;
+      SnapStoreEntry &E = Entries[It->second];
+      if (Tok[0] == "ref")
+        ++E.RefCount;
+      else
+        markDead(E);
+      return true;
+    }
+    if (Tok[0] != "add")
+      return false;
+    SnapStoreEntry E;
+    E.RefCount = 1;
+    for (size_t I = 1; I < Tok.size(); ++I) {
+      size_t Eq = Tok[I].find('=');
+      if (Eq == std::string::npos)
+        return false;
+      std::string Key = Tok[I].substr(0, Eq);
+      std::string Raw = Tok[I].substr(Eq + 1), Val;
+      if (!unescapeValue(Raw, Val))
+        return false;
+      uint64_t U = 0;
+      if (Key == "id") {
+        if (!parseU64(Val, E.Id))
+          return false;
+      } else if (Key == "shard") {
+        if (!parseU64(Val, U))
+          return false;
+        E.Shard = static_cast<uint32_t>(U);
+      } else if (Key == "off") {
+        if (!parseU64(Val, E.Offset))
+          return false;
+      } else if (Key == "bytes") {
+        if (!parseU64(Val, E.ImageBytes))
+          return false;
+      } else if (Key == "ph") {
+        if (!parseHex64(Val, E.PayloadHash))
+          return false;
+      } else if (Key == "fp") {
+        if (!parseHex64(Val, E.Fingerprint))
+          return false;
+      } else if (Key == "kind") {
+        E.Kind = Val;
+      } else if (Key == "machine") {
+        E.MachineName = Val;
+      } else if (Key == "mid") {
+        if (!parseU64(Val, E.MachineId))
+          return false;
+      } else if (Key == "proc") {
+        E.ProcessName = Val;
+      } else if (Key == "pid") {
+        if (!parseU64(Val, E.Pid))
+          return false;
+      } else if (Key == "ts") {
+        if (!parseU64(Val, E.Timestamp))
+          return false;
+      } else if (Key == "reason") {
+        if (!parseU64(Val, U))
+          return false;
+        E.Reason = static_cast<uint16_t>(U);
+      } else if (Key == "refs") {
+        if (!parseU64(Val, E.RefCount) || E.RefCount == 0)
+          return false;
+      } else if (Key == "mod") {
+        // <name>:<hex16 checksum>:<0|1 instrumented>. Split the *raw*
+        // token — escaping turned any ':' inside the name into %3a, so
+        // raw colons are always the separators.
+        size_t C2 = Raw.rfind(':');
+        if (C2 == std::string::npos || C2 == 0)
+          return false;
+        size_t C1 = Raw.rfind(':', C2 - 1);
+        std::string Name;
+        if (C1 == std::string::npos ||
+            !parseHex64(Raw.substr(C1 + 1, C2 - C1 - 1), U) ||
+            !unescapeValue(Raw.substr(0, C1), Name))
+          return false;
+        const std::string Flag = Raw.substr(C2 + 1);
+        if (Flag != "0" && Flag != "1")
+          return false;
+        E.ModuleNames.push_back(std::move(Name));
+        E.ModuleKeys.push_back(U);
+        E.ModuleInstrumented.push_back(Flag == "1");
+      } else if (Key == "mark") {
+        E.Markers.push_back(Val);
+      } else {
+        // Unknown key: tolerated for forward compatibility.
+      }
+    }
+    if (E.Id == 0 || ById.count(E.Id))
+      return false;
+    ById[E.Id] = Entries.size();
+    Entries.push_back(std::move(E));
+    indexEntry(Entries.back());
+    if (Entries.back().Id >= NextId)
+      NextId = Entries.back().Id + 1;
+    return true;
+  };
+
+  for (;;) {
+    size_t Got = std::fread(Buf, 1, sizeof(Buf), F);
+    if (Got == 0)
+      break;
+    for (size_t I = 0; I < Got && !Bad; ++I) {
+      if (Buf[I] == '\n') {
+        SawNewline = true;
+        if (!handleLine())
+          Bad = true;
+        Line.clear();
+      } else {
+        Line.push_back(Buf[I]);
+      }
+    }
+    if (Bad)
+      break;
+  }
+  std::fclose(F);
+  if (Bad) {
+    Error = "malformed index journal at line " + std::to_string(LineNo + 1) +
+            ": " + indexPath();
+    return false;
+  }
+  // A non-empty trailing fragment is a torn final line — dropped, like a
+  // torn TBAR tail. But an index whose very first line never completed is
+  // just an empty store.
+  (void)SawNewline;
+  return true;
+}
+
+bool SnapStore::journalLine(const std::string &Line) {
+  if (!Journal)
+    return false;
+  std::FILE *J = static_cast<std::FILE *>(Journal);
+  return std::fwrite(Line.data(), 1, Line.size(), J) == Line.size() &&
+         std::fputc('\n', J) != EOF && std::fflush(J) == 0;
+}
+
+void SnapStore::indexEntry(const SnapStoreEntry &E) {
+  for (size_t I = 0; I < E.ModuleKeys.size(); ++I) {
+    ByModule[E.ModuleKeys[I]].push_back(E.Id);
+    uint64_t NameKey = signatureHash(E.ModuleNames[I]);
+    if (NameKey != E.ModuleKeys[I])
+      ByModule[NameKey].push_back(E.Id);
+  }
+  ByKind[E.Kind].push_back(E.Id);
+  ByFingerprint[E.Fingerprint].push_back(E.Id);
+  ByMachine[E.MachineId].push_back(E.Id);
+  uint64_t MachKey = signatureHash(E.MachineName);
+  if (MachKey != E.MachineId)
+    ByMachine[MachKey].push_back(E.Id);
+  auto At = std::upper_bound(ByTime.begin(), ByTime.end(),
+                             std::make_pair(E.Timestamp, E.Id));
+  ByTime.insert(At, {E.Timestamp, E.Id});
+  if (!E.Dead) {
+    DedupByKey[{E.Fingerprint, E.PayloadHash}] = E.Id;
+    ++LiveCount;
+    LiveBytes += E.ImageBytes;
+  }
+}
+
+void SnapStore::markDead(SnapStoreEntry &E) {
+  if (E.Dead)
+    return;
+  E.Dead = true;
+  --LiveCount;
+  LiveBytes -= E.ImageBytes;
+  auto It = DedupByKey.find({E.Fingerprint, E.PayloadHash});
+  if (It != DedupByKey.end() && It->second == E.Id)
+    DedupByKey.erase(It);
+}
+
+size_t SnapStore::enforceRetention() {
+  if (Opt.MaxBytes == 0 && Opt.MaxAge == 0)
+    return 0;
+  uint64_t NewestTs = 0;
+  if (Opt.MaxAge != 0) {
+    // Newest live timestamp anchors the age horizon; ByTime's back may be
+    // dead, so walk from the newest end to the first live entry.
+    for (auto It = ByTime.rbegin(); It != ByTime.rend(); ++It) {
+      auto Slot = ById.find(It->second);
+      if (Slot != ById.end() && !Entries[Slot->second].Dead) {
+        NewestTs = It->first;
+        break;
+      }
+    }
+  }
+  size_t Evicted = 0;
+  // Deterministic victim order: oldest timestamp first, lowest id on
+  // ties — exactly ByTime's sort order, front to back.
+  for (const auto &TsId : ByTime) {
+    bool OverBytes = Opt.MaxBytes != 0 && LiveBytes > Opt.MaxBytes;
+    bool OverAge = Opt.MaxAge != 0 && NewestTs > Opt.MaxAge &&
+                   TsId.first < NewestTs - Opt.MaxAge;
+    if (!OverBytes && !OverAge)
+      break;
+    auto Slot = ById.find(TsId.second);
+    if (Slot == ById.end() || Entries[Slot->second].Dead)
+      continue;
+    SnapStoreEntry &E = Entries[Slot->second];
+    markDead(E);
+    journalLine("evict " + std::to_string(E.Id));
+    ++Evicted;
+  }
+  if (Evicted) {
+    EvictionCount += Evicted;
+    SM.Evictions->add(Evicted);
+  }
+  return Evicted;
+}
+
+static std::string addRecord(const SnapStoreEntry &E) {
+  std::string L = "add id=" + std::to_string(E.Id) +
+                  " shard=" + std::to_string(E.Shard) +
+                  " off=" + std::to_string(E.Offset) +
+                  " bytes=" + std::to_string(E.ImageBytes) + " ph=" +
+                  hex16(E.PayloadHash) + " fp=" + hex16(E.Fingerprint) +
+                  " kind=" + escapeValue(E.Kind) +
+                  " machine=" + escapeValue(E.MachineName) +
+                  " mid=" + std::to_string(E.MachineId) +
+                  " proc=" + escapeValue(E.ProcessName) +
+                  " pid=" + std::to_string(E.Pid) +
+                  " ts=" + std::to_string(E.Timestamp) +
+                  " reason=" + std::to_string(E.Reason) +
+                  " refs=" + std::to_string(E.RefCount);
+  for (size_t I = 0; I < E.ModuleNames.size(); ++I)
+    L += " mod=" + escapeValue(E.ModuleNames[I]) + ":" +
+         hex16(E.ModuleKeys[I]) +
+         (E.ModuleInstrumented[I] ? ":1" : ":0");
+  for (const std::string &M : E.Markers)
+    L += " mark=" + escapeValue(M);
+  return L;
+}
+
+bool SnapStore::append(const std::vector<uint8_t> &Image,
+                       uint64_t SrcMachineId, AppendResult &Out,
+                       std::string *Error) {
+  Out = AppendResult();
+  if (!Open || Opt.ReadOnly) {
+    if (Error)
+      *Error = "store is not open for writing";
+    return false;
+  }
+
+  SnapFile Header;
+  if (!SnapFile::deserializeHeader(Image, Header)) {
+    if (Error)
+      *Error = "unparsable snap image";
+    return false;
+  }
+  FaultSignature Sig = extractSignature(Header);
+
+  uint64_t PH = payloadHash(Image);
+  uint64_t FP = Sig.fingerprint();
+
+  SM.Appends->add();
+
+  // Dedup: same fingerprint + same payload bytes → refcount the entry we
+  // already stored.
+  auto Hit = DedupByKey.find({FP, PH});
+  if (Hit != DedupByKey.end()) {
+    SnapStoreEntry &E = Entries[ById[Hit->second]];
+    ++E.RefCount;
+    ++DedupHitCount;
+    SM.DedupHits->add();
+    if (!journalLine("ref " + std::to_string(E.Id))) {
+      if (Error)
+        *Error = "index journal write failed";
+      return false;
+    }
+    Out.Id = E.Id;
+    Out.Deduped = true;
+    return true;
+  }
+
+  SnapStoreEntry E;
+  E.Id = NextId++;
+  E.Shard = static_cast<uint32_t>(PH % Opt.Shards);
+  E.ImageBytes = Image.size();
+  E.PayloadHash = PH;
+  E.Fingerprint = FP;
+  E.Kind = Sig.Kind;
+  E.MachineName = Header.MachineName;
+  E.MachineId = SrcMachineId;
+  E.ProcessName = Header.ProcessName;
+  E.Pid = Header.Pid;
+  E.Timestamp = Header.Timestamp;
+  E.Reason = static_cast<uint16_t>(Header.Reason);
+  for (const SnapModuleInfo &M : Header.Modules) {
+    E.ModuleNames.push_back(M.Name);
+    E.ModuleKeys.push_back(M.Checksum.low64());
+    E.ModuleInstrumented.push_back(M.Instrumented);
+  }
+  E.Markers = Sig.Markers;
+
+  Shard &S = *Shards[E.Shard];
+  E.Offset = S.W.tell();
+  if (!S.W.append(Image) || !S.W.flush()) {
+    if (Error)
+      *Error = "shard append failed: " + shardPath(E.Shard);
+    return false;
+  }
+  if (!journalLine(addRecord(E))) {
+    if (Error)
+      *Error = "index journal write failed";
+    return false;
+  }
+
+  ById[E.Id] = Entries.size();
+  Entries.push_back(std::move(E));
+  indexEntry(Entries.back());
+  Out.Id = Entries.back().Id;
+
+  Out.Evicted = enforceRetention();
+  SM.LiveEntriesG->set(static_cast<int64_t>(LiveCount));
+  SM.LiveBytesG->set(static_cast<int64_t>(LiveBytes));
+  return true;
+}
+
+bool SnapStore::appendSnap(const SnapFile &Snap, uint64_t SrcMachineId,
+                           AppendResult &Out, std::string *Error) {
+  return append(Snap.serialize(), SrcMachineId, Out, Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Query
+//===----------------------------------------------------------------------===//
+
+bool SnapStore::matches(const SnapStoreEntry &E, const SnapQuery &Q) {
+  if (E.Dead)
+    return false;
+  if (Q.HasModule) {
+    bool Any = false;
+    for (size_t I = 0; I < E.ModuleKeys.size() && !Any; ++I)
+      Any = E.ModuleKeys[I] == Q.ModuleKey ||
+            signatureHash(E.ModuleNames[I]) == Q.ModuleKey;
+    if (!Any)
+      return false;
+  }
+  if (!Q.Kind.empty() && E.Kind != Q.Kind)
+    return false;
+  if (Q.HasFingerprint && E.Fingerprint != Q.Fingerprint)
+    return false;
+  if (Q.HasMachine && E.MachineId != Q.MachineKey &&
+      signatureHash(E.MachineName) != Q.MachineKey)
+    return false;
+  if (E.Timestamp < Q.Since || E.Timestamp > Q.Until)
+    return false;
+  return true;
+}
+
+const std::vector<uint64_t> *SnapStore::planPosting(const SnapQuery &Q) const {
+  // A set predicate whose key was never indexed proves the result empty.
+  static const std::vector<uint64_t> Empty;
+  const std::vector<uint64_t> *Best = nullptr;
+  auto consider = [&](const std::vector<uint64_t> *P) {
+    if (!Best || P->size() < Best->size())
+      Best = P;
+  };
+  if (Q.HasFingerprint) {
+    auto It = ByFingerprint.find(Q.Fingerprint);
+    consider(It == ByFingerprint.end() ? &Empty : &It->second);
+  }
+  if (Q.HasModule) {
+    auto It = ByModule.find(Q.ModuleKey);
+    consider(It == ByModule.end() ? &Empty : &It->second);
+  }
+  if (Q.HasMachine) {
+    auto It = ByMachine.find(Q.MachineKey);
+    consider(It == ByMachine.end() ? &Empty : &It->second);
+  }
+  if (!Q.Kind.empty()) {
+    auto It = ByKind.find(Q.Kind);
+    consider(It == ByKind.end() ? &Empty : &It->second);
+  }
+  return Best;
+}
+
+SnapStore::Cursor SnapStore::query(const SnapQuery &Q) const {
+  SM.Queries->add();
+  return Cursor(*this, Q, planPosting(Q));
+}
+
+SnapStore::Cursor SnapStore::scan(const SnapQuery &Q) const {
+  SM.Queries->add();
+  return Cursor(*this, Q, nullptr);
+}
+
+const SnapStoreEntry *SnapStore::Cursor::next() {
+  if (Q.Top != 0 && Returned >= Q.Top)
+    return nullptr;
+  if (Posting) {
+    while (Pos < Posting->size()) {
+      const SnapStoreEntry *E = S.entry((*Posting)[Pos++]);
+      if (E && SnapStore::matches(*E, Q)) {
+        ++Returned;
+        return E;
+      }
+    }
+    return nullptr;
+  }
+  while (Pos < S.Entries.size()) {
+    const SnapStoreEntry *E = &S.Entries[Pos++];
+    if (SnapStore::matches(*E, Q)) {
+      ++Returned;
+      return E;
+    }
+  }
+  return nullptr;
+}
+
+const SnapStoreEntry *SnapStore::entry(uint64_t Id) const {
+  auto It = ById.find(Id);
+  return It == ById.end() ? nullptr : &Entries[It->second];
+}
+
+bool SnapStore::loadImage(const SnapStoreEntry &E,
+                          std::vector<uint8_t> &Out) const {
+  SM.PointReads->add();
+  return SnapArchive::readImageAt(shardPath(E.Shard), E.Offset, E.ImageBytes,
+                                  Out);
+}
+
+bool SnapStore::loadSnap(const SnapStoreEntry &E, SnapFile &Out) const {
+  std::vector<uint8_t> Image;
+  return loadImage(E, Image) && SnapFile::deserialize(Image, Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Compaction
+//===----------------------------------------------------------------------===//
+
+bool SnapStore::compact(std::string *Error) {
+  if (!Open || Opt.ReadOnly) {
+    if (Error)
+      *Error = "store is not open for writing";
+    return false;
+  }
+
+  // Quiesce the writers so the rewrite reads fully-flushed shards.
+  for (auto &S : Shards)
+    S->W.close();
+
+  // Rewrite each shard with only the live entries, in id order (Entries
+  // is ascending by id), into a temp file swapped in atomically. Live
+  // state in = identical bytes out, whatever dead entries sat between.
+  bool Ok = true;
+  std::vector<std::pair<uint64_t, uint64_t>> NewPlacement; // id -> offset
+  for (unsigned SI = 0; SI < Opt.Shards && Ok; ++SI) {
+    std::string Old = shardPath(SI), Tmp = Old + ".tmp";
+    std::remove(Tmp.c_str());
+    SnapArchiveWriter W;
+    Ok = W.open(Tmp);
+    for (const SnapStoreEntry &E : Entries) {
+      if (!Ok)
+        break;
+      if (E.Dead || E.Shard != SI)
+        continue;
+      std::vector<uint8_t> Image;
+      Ok = SnapArchive::readImageAt(Old, E.Offset, E.ImageBytes, Image);
+      if (Ok) {
+        NewPlacement.push_back({E.Id, W.tell()});
+        Ok = W.append(Image);
+      }
+    }
+    Ok = W.close() && Ok;
+    if (Ok)
+      Ok = std::rename(Tmp.c_str(), Old.c_str()) == 0;
+  }
+  if (!Ok) {
+    if (Error)
+      *Error = "shard rewrite failed";
+    // Reopen writers on the (possibly partially rewritten but always
+    // internally consistent) shards so the store stays usable.
+  }
+
+  if (Ok) {
+    for (const auto &IdOff : NewPlacement) {
+      auto Slot = ById.find(IdOff.first);
+      if (Slot != ById.end())
+        Entries[Slot->second].Offset = IdOff.second;
+    }
+
+    // Drop dead entries from memory and rebuild the derived indexes.
+    std::vector<SnapStoreEntry> Live;
+    Live.reserve(LiveCount);
+    for (SnapStoreEntry &E : Entries)
+      if (!E.Dead)
+        Live.push_back(std::move(E));
+    Entries = std::move(Live);
+    ById.clear();
+    ByModule.clear();
+    ByKind.clear();
+    ByFingerprint.clear();
+    ByMachine.clear();
+    ByTime.clear();
+    DedupByKey.clear();
+    LiveCount = 0;
+    LiveBytes = 0;
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      ById[Entries[I].Id] = I;
+      indexEntry(Entries[I]);
+    }
+
+    // Replace the journal with a clean snapshot of the live state.
+    if (Journal) {
+      std::fclose(static_cast<std::FILE *>(Journal));
+      Journal = nullptr;
+    }
+    std::string Tmp = indexPath() + ".tmp";
+    std::FILE *J = std::fopen(Tmp.c_str(), "wb");
+    Ok = J != nullptr;
+    if (Ok) {
+      Ok = std::fprintf(J, "%s\n", IndexHeader) >= 0;
+      for (const SnapStoreEntry &E : Entries) {
+        if (!Ok)
+          break;
+        std::string L = addRecord(E);
+        Ok = std::fwrite(L.data(), 1, L.size(), J) == L.size() &&
+             std::fputc('\n', J) != EOF;
+      }
+      Ok = std::fclose(J) == 0 && Ok;
+    }
+    if (Ok)
+      Ok = std::rename(Tmp.c_str(), indexPath().c_str()) == 0;
+    if (!Ok && Error)
+      *Error = "index snapshot rewrite failed";
+  }
+
+  // Reattach the appenders (journal in append mode picks up the snapshot).
+  for (unsigned SI = 0; SI < Opt.Shards; ++SI)
+    if (!Shards[SI]->W.open(shardPath(SI)))
+      Ok = false;
+  if (!Journal)
+    Journal = std::fopen(indexPath().c_str(), "ab");
+  if (!Journal)
+    Ok = false;
+
+  SM.LiveEntriesG->set(static_cast<int64_t>(LiveCount));
+  SM.LiveBytesG->set(static_cast<int64_t>(LiveBytes));
+  return Ok;
+}
+
+uint64_t SnapStore::totalRefs() const {
+  uint64_t Sum = 0;
+  for (const SnapStoreEntry &E : Entries)
+    if (!E.Dead)
+      Sum += E.RefCount;
+  return Sum;
+}

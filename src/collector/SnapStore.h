@@ -1,0 +1,295 @@
+//===- collector/SnapStore.h - Indexed, queryable snap store ----*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet collector's persistent snap store: the thing an engineer
+/// queries at first-fault time instead of a directory of files loaded
+/// whole into memory. A store is a directory of
+///
+///   shard-NN.tbar   sharded append-only TBAR archives (the payloads)
+///   index.tbx       the persistent content index (TBIX v1 journal)
+///
+/// The index is an append-only, line-oriented journal: `add` records one
+/// ingested snap's metadata (shard/offset/size of the payload plus every
+/// queryable key — module checksums and names, fault kind, triage
+/// signature fingerprint, machine, time), `ref` bumps a dedup refcount
+/// and `evict` tombstones a retention victim. Opening a store replays
+/// the journal (streamed line by line, never read whole); a torn final
+/// line from a crashed collector is dropped, exactly like a torn TBAR
+/// tail. compact() rewrites the shards without dead entries and replaces
+/// the journal with a clean snapshot.
+///
+/// Query evaluation is index-only: each predicate dimension keeps a
+/// posting list (sorted entry ids per key), the planner starts from the
+/// smallest applicable list and filters the residual predicates per
+/// entry. Results stream through a cursor in ascending id order —
+/// payloads are point-read from their shard on demand and the store is
+/// never materialized in memory. scan() runs the same predicates over a
+/// full linear walk of the index; the chaos sweeps assert both paths
+/// return byte-identical results.
+///
+/// Dedup: an image whose (signature fingerprint, payload hash) pair was
+/// seen before is stored once and refcounted. Retention: byte and age
+/// caps evict live entries in deterministic order — oldest timestamp
+/// first, lowest id on ties — so two stores fed the same stream evict
+/// the same victims.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_COLLECTOR_SNAPSTORE_H
+#define TRACEBACK_COLLECTOR_SNAPSTORE_H
+
+#include "runtime/Snap.h"
+#include "support/Metrics.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace traceback {
+
+/// One indexed snap: everything a query can match on, plus where the
+/// payload lives. This is index metadata only — the image itself stays
+/// on disk until loadImage()/loadSnap() point-reads it.
+struct SnapStoreEntry {
+  uint64_t Id = 0;         ///< Monotonic; stable across compaction.
+  uint32_t Shard = 0;      ///< Which shard-NN.tbar holds the payload.
+  uint64_t Offset = 0;     ///< Frame offset within the shard.
+  uint64_t ImageBytes = 0; ///< Serialized image size.
+  uint64_t PayloadHash = 0; ///< FNV-1a 64 of the image bytes.
+  uint64_t Fingerprint = 0; ///< Header-level triage signature fingerprint.
+  std::string Kind;         ///< Signature kind ("fault:<code>@<mod>", ...).
+  std::string MachineName;  ///< Producing machine (from the snap header).
+  uint64_t MachineId = 0;   ///< Transport source machine id (0 = direct).
+  std::string ProcessName;
+  uint64_t Pid = 0;
+  uint64_t Timestamp = 0;   ///< Capture time (simulated cycles).
+  uint16_t Reason = 0;      ///< SnapReason as stored.
+  /// Module names, checksum keys (low 64 bits) and instrumented flags,
+  /// aligned. All modules are indexed; the instrumented subset rebuilds
+  /// the triage signature for query reports.
+  std::vector<std::string> ModuleNames;
+  std::vector<uint64_t> ModuleKeys;
+  std::vector<uint8_t> ModuleInstrumented;
+  /// Degradation markers of the header-level signature.
+  std::vector<std::string> Markers;
+  uint64_t RefCount = 1;    ///< Dedup occurrences folded into this entry.
+  bool Dead = false;        ///< Evicted; payload reclaimed at compact().
+};
+
+/// Composable query predicates. Every unset dimension matches anything;
+/// set dimensions AND together.
+struct SnapQuery {
+  /// Module predicate: a checksum key (low 64 of the MD5) or a name hash
+  /// (signatureHash of the name) — setModule() accepts either spelling.
+  bool HasModule = false;
+  uint64_t ModuleKey = 0;
+  /// Fault-kind predicate (exact signature kind string).
+  std::string Kind;
+  /// Signature fingerprint predicate.
+  bool HasFingerprint = false;
+  uint64_t Fingerprint = 0;
+  /// Machine predicate: name hash or raw machine id (setMachine()).
+  bool HasMachine = false;
+  uint64_t MachineKey = 0;
+  /// Time window [Since, Until], inclusive, on Timestamp.
+  uint64_t Since = 0;
+  uint64_t Until = UINT64_MAX;
+  /// Stop after this many matches (0 = unlimited).
+  size_t Top = 0;
+
+  /// \p NameOrHex: a module name, or a 16-hex-digit checksum key.
+  SnapQuery &setModule(const std::string &NameOrHex);
+  SnapQuery &setKind(const std::string &K) { Kind = K; return *this; }
+  SnapQuery &setFingerprint(uint64_t FP) {
+    HasFingerprint = true;
+    Fingerprint = FP;
+    return *this;
+  }
+  /// \p NameOrId: a machine name, or a decimal machine id.
+  SnapQuery &setMachine(const std::string &NameOrId);
+  SnapQuery &setWindow(uint64_t S, uint64_t U) {
+    Since = S;
+    Until = U;
+    return *this;
+  }
+};
+
+/// Store tuning. Retention caps are enforced at append time.
+struct SnapStoreOptions {
+  /// Payload shard count; an entry lands in shard (PayloadHash % Shards).
+  unsigned Shards = 4;
+  /// Live payload byte cap (0 = unbounded). Exceeding it evicts the
+  /// oldest live entries until the cap holds again.
+  uint64_t MaxBytes = 0;
+  /// Age cap in timestamp units relative to the newest live entry
+  /// (0 = unbounded): entries older than Newest - MaxAge are evicted.
+  uint64_t MaxAge = 0;
+  /// Open for query only: no journal writer, appends fail.
+  bool ReadOnly = false;
+  /// Destination of the "collector.store." instrument family
+  /// (null = the process-global registry).
+  MetricsRegistry *Metrics = nullptr;
+};
+
+/// The indexed, queryable snap store.
+class SnapStore {
+public:
+  SnapStore();
+  ~SnapStore();
+  SnapStore(const SnapStore &) = delete;
+  SnapStore &operator=(const SnapStore &) = delete;
+
+  /// Opens (creating if needed) the store directory and replays the
+  /// index journal. Returns false with \p Error set on malformed index
+  /// data or I/O failure.
+  bool open(const std::string &Dir, const SnapStoreOptions &O,
+            std::string &Error);
+  bool isOpen() const { return Open; }
+  const std::string &directory() const { return Dir; }
+  /// Flushes and closes; the store can be reopened.
+  void close();
+
+  /// What one append did.
+  struct AppendResult {
+    uint64_t Id = 0;     ///< The entry appended to or refcounted.
+    bool Deduped = false;
+    size_t Evicted = 0;  ///< Entries retention evicted as a consequence.
+  };
+
+  /// Ingests one serialized snap image. Parses the header, extracts the
+  /// header-level triage signature (the fingerprint index key), dedups,
+  /// appends the payload to its shard, journals the index record and
+  /// enforces retention. \p SrcMachineId is the transport source (0 when
+  /// the snap arrived by direct delivery). Returns false on I/O failure
+  /// or an unparsable image.
+  bool append(const std::vector<uint8_t> &Image, uint64_t SrcMachineId,
+              AppendResult &Out, std::string *Error = nullptr);
+
+  /// Serializes \p Snap (current format) and appends it.
+  bool appendSnap(const SnapFile &Snap, uint64_t SrcMachineId,
+                  AppendResult &Out, std::string *Error = nullptr);
+
+  // --- Query ---------------------------------------------------------------
+
+  /// Streams matching entries in ascending id order without ever
+  /// materializing the store: next() returns index metadata; payloads
+  /// are fetched per entry via loadImage()/loadSnap().
+  class Cursor {
+  public:
+    /// The next live matching entry, or null when exhausted (or the
+    /// query's Top cap is reached).
+    const SnapStoreEntry *next();
+
+  private:
+    friend class SnapStore;
+    Cursor(const SnapStore &S, SnapQuery Q, const std::vector<uint64_t> *P)
+        : S(S), Q(std::move(Q)), Posting(P) {}
+    const SnapStore &S;
+    SnapQuery Q;
+    /// The planner-chosen posting list; null = walk every entry.
+    const std::vector<uint64_t> *Posting;
+    size_t Pos = 0;
+    size_t Returned = 0;
+  };
+
+  /// Indexed query: starts from the smallest applicable posting list.
+  Cursor query(const SnapQuery &Q) const;
+  /// Full linear scan with identical predicate semantics — the oracle
+  /// the sweeps compare query() against.
+  Cursor scan(const SnapQuery &Q) const;
+
+  /// Entry by id (null when unknown; dead entries are still returned —
+  /// callers filter on Dead when they care).
+  const SnapStoreEntry *entry(uint64_t Id) const;
+
+  /// Point-reads one payload image from its shard.
+  bool loadImage(const SnapStoreEntry &E, std::vector<uint8_t> &Out) const;
+  /// loadImage + deserialize.
+  bool loadSnap(const SnapStoreEntry &E, SnapFile &Out) const;
+
+  // --- Maintenance ---------------------------------------------------------
+
+  /// Rewrites every shard without dead entries and replaces the journal
+  /// with a clean snapshot. Ids, order and live contents are preserved,
+  /// so two stores with equal live state compact to identical bytes.
+  /// Returns false with \p Error on I/O failure.
+  bool compact(std::string *Error = nullptr);
+
+  // --- Stats ---------------------------------------------------------------
+
+  size_t totalEntries() const { return Entries.size(); }
+  size_t liveEntries() const { return LiveCount; }
+  uint64_t liveBytes() const { return LiveBytes; }
+  uint64_t totalRefs() const;
+  uint64_t dedupHits() const { return DedupHitCount; }
+  uint64_t evictions() const { return EvictionCount; }
+  unsigned shardCount() const { return Opt.Shards; }
+
+private:
+  struct Shard;
+
+  std::string shardPath(uint32_t Index) const;
+  std::string indexPath() const;
+  bool replayIndex(std::string &Error);
+  bool journalLine(const std::string &Line);
+  void indexEntry(const SnapStoreEntry &E);
+  void markDead(SnapStoreEntry &E);
+  /// Evicts until the byte/age caps hold. Returns how many were evicted.
+  size_t enforceRetention();
+  /// True when \p E matches every predicate of \p Q.
+  static bool matches(const SnapStoreEntry &E, const SnapQuery &Q);
+  /// Smallest applicable posting list for \p Q (null = none applicable).
+  const std::vector<uint64_t> *planPosting(const SnapQuery &Q) const;
+
+  std::string Dir;
+  SnapStoreOptions Opt;
+  bool Open = false;
+
+  std::vector<SnapStoreEntry> Entries; ///< Ascending id.
+  std::map<uint64_t, size_t> ById;     ///< Id -> slot in Entries.
+  uint64_t NextId = 1;
+
+  // Posting lists (sorted ascending entry ids per key). Dead entries
+  // stay listed; cursors filter them — eviction is O(1) and compaction
+  // rebuilds everything anyway.
+  std::map<uint64_t, std::vector<uint64_t>> ByModule; ///< checksum + name hash
+  std::map<std::string, std::vector<uint64_t>> ByKind;
+  std::map<uint64_t, std::vector<uint64_t>> ByFingerprint;
+  std::map<uint64_t, std::vector<uint64_t>> ByMachine; ///< id + name hash
+  /// (Timestamp, Id), sorted — the age-cap walk and pure-time queries.
+  std::vector<std::pair<uint64_t, uint64_t>> ByTime;
+
+  /// (Fingerprint, PayloadHash) -> live entry id. std::map because
+  /// eviction must erase keys (FlatMap64 is insert/find only).
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> DedupByKey;
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  void *Journal = nullptr; ///< FILE*, append mode.
+
+  size_t LiveCount = 0;
+  uint64_t LiveBytes = 0;
+  uint64_t DedupHitCount = 0;
+  uint64_t EvictionCount = 0;
+
+  struct Instruments {
+    Counter *Appends = nullptr;
+    Counter *DedupHits = nullptr;
+    Counter *Evictions = nullptr;
+    Counter *Queries = nullptr;
+    Counter *PointReads = nullptr;
+    Gauge *LiveEntriesG = nullptr;
+    Gauge *LiveBytesG = nullptr;
+  };
+  Instruments SM;
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_COLLECTOR_SNAPSTORE_H

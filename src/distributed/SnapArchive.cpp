@@ -59,6 +59,21 @@ bool SnapArchiveWriter::append(const std::vector<uint8_t> &Image) {
   return This;
 }
 
+uint64_t SnapArchiveWriter::tell() const {
+  if (!F)
+    return 0;
+  long At = std::ftell(static_cast<std::FILE *>(F));
+  return At < 0 ? 0 : static_cast<uint64_t>(At);
+}
+
+bool SnapArchiveWriter::flush() {
+  if (!F)
+    return false;
+  bool This = std::fflush(static_cast<std::FILE *>(F)) == 0;
+  Ok &= This;
+  return This;
+}
+
 bool SnapArchiveWriter::close() {
   if (!F)
     return Ok;
@@ -160,4 +175,27 @@ bool SnapArchive::extract(const std::string &Path, size_t Index,
     }
   });
   return Ok && Found;
+}
+
+bool SnapArchive::readImageAt(const std::string &Path, uint64_t FrameOffset,
+                              uint64_t ImageBytes, std::vector<uint8_t> &Out) {
+  Out.clear();
+  if (ImageBytes > (1ull << 32))
+    return false; // No entry frame can record more than a u32 size.
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  uint8_t Head[5];
+  bool Ok = std::fseek(F, static_cast<long>(FrameOffset), SEEK_SET) == 0 &&
+            std::fread(Head, 1, 5, F) == 5 && Head[0] == EntryMarker &&
+            getU32(Head + 1) == ImageBytes;
+  if (Ok) {
+    Out.resize(static_cast<size_t>(ImageBytes));
+    Ok = ImageBytes == 0 ||
+         std::fread(Out.data(), 1, Out.size(), F) == Out.size();
+  }
+  std::fclose(F);
+  if (!Ok)
+    Out.clear();
+  return Ok;
 }

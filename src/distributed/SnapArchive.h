@@ -59,6 +59,15 @@ public:
   /// Copies entry \p Index's raw image into \p Image.
   static bool extract(const std::string &Path, size_t Index,
                       std::vector<uint8_t> &Image);
+
+  /// Random-access read of one image whose frame begins at byte
+  /// \p FrameOffset (as returned by SnapArchiveWriter::tell() before the
+  /// append). Validates the entry marker and the recorded size before
+  /// copying \p ImageBytes bytes — an offset pointing into garbage fails
+  /// instead of returning noise. This is the snap store's point-read
+  /// path: one seek, one bounded read, never the whole archive.
+  static bool readImageAt(const std::string &Path, uint64_t FrameOffset,
+                          uint64_t ImageBytes, std::vector<uint8_t> &Out);
 };
 
 /// Keeps the archive open across a batch of appends: one open/close per
@@ -79,6 +88,16 @@ public:
   /// Appends one entry frame. Returns false on I/O failure (the writer
   /// stays open; the entry may be torn, which readers tolerate).
   bool append(const std::vector<uint8_t> &Image);
+
+  /// Current end-of-archive byte offset (where the next entry frame will
+  /// begin) — the value an index stores so readImageAt can seek straight
+  /// to the entry later. Returns 0 when the writer is closed.
+  uint64_t tell() const;
+
+  /// Pushes buffered appends to the file so a concurrent reader (the
+  /// store's point-read path opens its own descriptor) sees them.
+  /// Returns false on I/O failure.
+  bool flush();
 
   /// Flushes and closes. Returns false if any write was lost.
   bool close();

@@ -7,16 +7,46 @@
 #include "reconstruct/Reconstructor.h"
 
 #include "reconstruct/RecordRecovery.h"
+#include "support/Metrics.h"
 #include "support/Text.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 
 using namespace traceback;
 
+namespace {
+
+/// Estimated heap bytes of one registered mapfile: the container
+/// payloads that dominate a parsed map. Deliberately an estimate — the
+/// gauge answers "roughly how much memory do resident stores hold", not
+/// an allocator audit.
+uint64_t mapResidentBytes(const MapFile &M) {
+  uint64_t B = sizeof(MapFile) + M.ModuleName.size();
+  for (const std::string &F : M.Files)
+    B += sizeof(std::string) + F.size();
+  for (const MapDag &D : M.Dags) {
+    B += sizeof(MapDag);
+    for (const MapBlock &Blk : D.Blocks)
+      B += sizeof(MapBlock) + Blk.Succs.size() * sizeof(uint16_t) +
+           Blk.Lines.size() * sizeof(MapLine) + Blk.Function.size();
+  }
+  return B;
+}
+
+} // namespace
+
+void MapFileStore::accountResident(int64_t Delta) {
+  ResidentBytes = static_cast<uint64_t>(
+      static_cast<int64_t>(ResidentBytes) + Delta);
+  MetricsRegistry::global().gauge("store.bytes_resident").add(Delta);
+}
+
 bool MapFileStore::add(MapFile Map, std::string *Warning) {
   uint64_t Key = Map.Checksum.low64();
+  accountResident(static_cast<int64_t>(mapResidentBytes(Map)));
   if (size_t *Slot = Index.find(Key)) {
     // Last add wins: overwrite the existing slot instead of leaving the
     // index pointing at a stale mapfile.
@@ -26,11 +56,36 @@ bool MapFileStore::add(MapFile Map, std::string *Warning) {
                          Map.Checksum.toHex().c_str(),
                          Map.ModuleName.c_str(),
                          Maps[*Slot].ModuleName.c_str());
+    accountResident(-static_cast<int64_t>(mapResidentBytes(Maps[*Slot])));
     Maps[*Slot] = std::move(Map);
     return false;
   }
   Index.insertOrAssign(Key, Maps.size());
   Maps.push_back(std::move(Map));
+  return true;
+}
+
+bool MapFileStore::addFromFile(const std::string &Path,
+                               std::string *Warning) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  // Exact-size buffer, one read: the transient footprint of a bulk load
+  // is one file, not the directory.
+  bool Ok = std::fseek(F, 0, SEEK_END) == 0;
+  long Size = Ok ? std::ftell(F) : -1;
+  Ok = Ok && Size >= 0 && std::fseek(F, 0, SEEK_SET) == 0;
+  std::vector<uint8_t> Bytes;
+  if (Ok) {
+    Bytes.resize(static_cast<size_t>(Size));
+    Ok = Bytes.empty() ||
+         std::fread(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  }
+  std::fclose(F);
+  MapFile Map;
+  if (!Ok || !MapFile::deserialize(Bytes, Map))
+    return false;
+  add(std::move(Map), Warning);
   return true;
 }
 

@@ -47,15 +47,31 @@ public:
   /// true when the checksum was new.
   bool add(MapFile Map, std::string *Warning = nullptr);
 
+  /// Loads one .tbmap directly into the store: the file is read into an
+  /// exact-size buffer, parsed, and the buffer discarded before the next
+  /// file is touched. Bulk gather loops stream through this one file at a
+  /// time instead of materializing a whole directory of byte buffers.
+  /// Returns false (store unchanged) on a read or parse failure.
+  bool addFromFile(const std::string &Path, std::string *Warning = nullptr);
+
   const MapFile *byChecksum(const MD5Digest &Digest) const;
   const MapFile *byKey(uint64_t ChecksumLow64) const;
 
   size_t size() const { return Maps.size(); }
   const std::vector<MapFile> &all() const { return Maps; }
 
+  /// Estimated heap bytes held by the registered mapfiles. Also published
+  /// to the process-global `store.bytes_resident` gauge (shared with
+  /// SignatureStore) so tracer-health snapshots show how much memory the
+  /// always-resident lookup stores cost.
+  uint64_t residentBytes() const { return ResidentBytes; }
+
 private:
+  void accountResident(int64_t Delta);
+
   std::vector<MapFile> Maps;
   FlatMap64<size_t> Index; ///< Checksum low word -> slot in Maps.
+  uint64_t ResidentBytes = 0;
 };
 
 /// Decodes the path a DAG record describes. Returns the DAG-local block

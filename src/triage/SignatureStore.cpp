@@ -6,6 +6,7 @@
 
 #include "triage/SignatureStore.h"
 
+#include "support/Metrics.h"
 #include "support/Text.h"
 
 #include <cstdio>
@@ -73,6 +74,21 @@ uint64_t SignatureStore::totalCount() const {
   return Sum;
 }
 
+uint64_t SignatureStore::residentBytes() const {
+  auto StringsBytes = [](const std::vector<std::string> &V) {
+    uint64_t B = 0;
+    for (const std::string &S : V)
+      B += sizeof(std::string) + S.size();
+    return B;
+  };
+  uint64_t B = 0;
+  for (const SignatureStoreEntry &E : Entries)
+    B += sizeof(SignatureStoreEntry) + E.Sig.Kind.size() +
+         StringsBytes(E.Sig.Modules) + StringsBytes(E.Sig.Markers) +
+         StringsBytes(E.Sig.Path) + StringsBytes(E.Labels);
+  return B;
+}
+
 std::string SignatureStore::serialize() const {
   std::string Out = StoreHeader;
   for (const SignatureStoreEntry &E : Entries)
@@ -80,28 +96,33 @@ std::string SignatureStore::serialize() const {
   return Out;
 }
 
-bool SignatureStore::parse(const std::string &Text, SignatureStore &Out,
-                           std::string &Error) {
-  Out = SignatureStore();
-  if (!startsWith(Text, "TBSIG v1")) {
-    Error = "not a TBSIG v1 signature store";
-    return false;
-  }
-  // Line-by-line state machine over one entry at a time.
+namespace {
+
+/// The store format's line-fed state machine, shared by the in-memory
+/// parse() and the streaming load() so the two readers cannot drift. One
+/// entry's fields at a time is all it holds — feeding a multi-gigabyte
+/// store keeps the transient footprint at one entry.
+struct TbsigLineParser {
+  SignatureStore &Out;
   bool InEntry = false;
   FaultSignature Sig;
   uint64_t Count = 0;
   std::vector<std::string> Labels;
-  size_t LineNo = 0, Pos = 0;
-  while (Pos < Text.size()) {
-    size_t Eol = Text.find('\n', Pos);
-    if (Eol == std::string::npos)
-      Eol = Text.size();
-    std::string Line = Text.substr(Pos, Eol - Pos);
-    Pos = Eol + 1;
+  size_t LineNo = 0;
+
+  explicit TbsigLineParser(SignatureStore &Out) : Out(Out) {}
+
+  bool line(const std::string &Line, std::string &Error) {
     ++LineNo;
-    if (LineNo == 1 || trimString(Line).empty())
-      continue;
+    if (LineNo == 1) {
+      if (!startsWith(Line, "TBSIG v1")) {
+        Error = "not a TBSIG v1 signature store";
+        return false;
+      }
+      return true;
+    }
+    if (trimString(Line).empty())
+      return true;
     size_t Space = Line.find(' ');
     std::string Tag = Line.substr(0, Space);
     std::string Rest =
@@ -117,7 +138,7 @@ bool SignatureStore::parse(const std::string &Text, SignatureStore &Out,
       Labels.clear();
       // The recorded fingerprint is advisory; it is recomputed from the
       // canonical fields at 'end' so a hand-edited store cannot lie.
-      continue;
+      return true;
     }
     if (!InEntry) {
       Error = formatv("line %zu: '%s' outside an entry", LineNo,
@@ -154,13 +175,39 @@ bool SignatureStore::parse(const std::string &Text, SignatureStore &Out,
       Error = formatv("line %zu: unknown tag '%s'", LineNo, Tag.c_str());
       return false;
     }
+    return true;
   }
-  if (InEntry) {
-    Error = "unterminated entry (missing 'end')";
-    return false;
+
+  bool finish(std::string &Error) {
+    if (LineNo == 0) {
+      Error = "not a TBSIG v1 signature store";
+      return false;
+    }
+    if (InEntry) {
+      Error = "unterminated entry (missing 'end')";
+      return false;
+    }
+    Error.clear();
+    return true;
   }
-  Error.clear();
-  return true;
+};
+
+} // namespace
+
+bool SignatureStore::parse(const std::string &Text, SignatureStore &Out,
+                           std::string &Error) {
+  Out = SignatureStore();
+  TbsigLineParser P(Out);
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    if (!P.line(Text.substr(Pos, Eol - Pos), Error))
+      return false;
+    Pos = Eol + 1;
+  }
+  return P.finish(Error);
 }
 
 bool SignatureStore::save(const std::string &Path) const {
@@ -181,13 +228,46 @@ bool SignatureStore::load(const std::string &Path, SignatureStore &Out,
     Error = "cannot open " + Path;
     return false;
   }
-  std::string Text;
+  // Stream the file a chunk at a time through the line parser: the
+  // transient footprint is one buffer plus any partial line carried
+  // across a chunk boundary, never the whole file.
+  Out = SignatureStore();
+  TbsigLineParser P(Out);
+  std::string Carry;
   char Buf[4096];
   size_t N;
-  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
-    Text.append(Buf, N);
+  bool Ok = true;
+  while (Ok && (N = std::fread(Buf, 1, sizeof(Buf), F)) > 0) {
+    size_t Start = 0;
+    for (size_t I = 0; I < N; ++I) {
+      if (Buf[I] != '\n')
+        continue;
+      Carry.append(Buf + Start, I - Start);
+      Start = I + 1;
+      Ok = P.line(Carry, Error);
+      Carry.clear();
+      if (!Ok)
+        break;
+    }
+    if (Ok)
+      Carry.append(Buf + Start, N - Start);
+  }
+  bool ReadOk = !std::ferror(F);
   std::fclose(F);
-  return parse(Text, Out, Error);
+  if (!Ok)
+    return false;
+  if (!ReadOk) {
+    Error = "read error in " + Path;
+    return false;
+  }
+  if (!Carry.empty() && !P.line(Carry, Error))
+    return false;
+  if (!P.finish(Error))
+    return false;
+  MetricsRegistry::global()
+      .gauge("store.bytes_resident")
+      .add(static_cast<int64_t>(Out.residentBytes()));
+  return true;
 }
 
 bool SignatureStore::append(const std::string &Path,

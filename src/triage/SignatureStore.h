@@ -66,6 +66,10 @@ public:
   size_t size() const { return Entries.size(); }
   /// Total occurrences across all entries.
   uint64_t totalCount() const;
+  /// Estimated heap bytes held by the loaded entries. load() publishes
+  /// this to the process-global `store.bytes_resident` gauge (shared
+  /// with MapFileStore).
+  uint64_t residentBytes() const;
 
   std::string serialize() const;
   static bool parse(const std::string &Text, SignatureStore &Out,

@@ -1,0 +1,777 @@
+//===- tests/test_collector.cpp - Fleet snap collector tests --------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// The collector subsystem's suite (ctest -L collector): SnapStore index
+// round-trips across reopen, payload-hash dedup refcounting, deterministic
+// retention eviction, query-predicate combinations against a naive
+// reference filter, SnapSource unification, the store-residency gauge,
+// and the 100-seed ingest-under-network-chaos sweep asserting the indexed
+// query path returns byte-identical results to the linear-scan oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collector/CollectorService.h"
+#include "collector/SnapStore.h"
+#include "core/FileIO.h"
+#include "distributed/SnapArchive.h"
+#include "distributed/Transport.h"
+#include "support/SnapSource.h"
+#include "triage/Signature.h"
+#include "triage/SignatureStore.h"
+#include "vm/FaultInjector.h"
+
+#include "TestHelpers.h"
+
+#include <filesystem>
+#include <set>
+#include <unistd.h>
+
+using namespace traceback;
+using namespace traceback::testing_helpers;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A fresh store directory under the system temp dir (removed first, so
+/// reruns never see a previous run's journal).
+std::string tempStoreDir(const std::string &Tag) {
+  fs::path P = fs::temp_directory_path() /
+               ("tb-collector-" + Tag + "-" + std::to_string(::getpid()));
+  std::error_code EC;
+  fs::remove_all(P, EC);
+  return P.string();
+}
+
+struct TestMod {
+  std::string Name;
+  bool Instrumented = true;
+};
+
+/// Hand-builds a header-complete snap. Module checksums derive from the
+/// name, so equal names collide across snaps exactly like redeployments
+/// of one module do. \p FaultMod names the faulting module (empty =
+/// non-fault snap).
+SnapFile makeSnap(const std::string &Machine, const std::string &Proc,
+                  uint64_t Pid, uint64_t Ts, SnapReason Reason,
+                  const std::vector<TestMod> &Mods,
+                  const std::string &FaultMod = "",
+                  uint16_t FaultCode = 1) {
+  SnapFile S;
+  S.Reason = Reason;
+  S.ProcessName = Proc;
+  S.Pid = Pid;
+  S.MachineName = Machine;
+  S.OsName = "simos";
+  S.Timestamp = Ts;
+  for (const TestMod &M : Mods) {
+    SnapModuleInfo MI;
+    MI.Name = M.Name;
+    MI.Checksum = MD5::hash(M.Name.data(), M.Name.size());
+    MI.Instrumented = M.Instrumented;
+    if (M.Name == FaultMod) {
+      S.FaultModuleKey = MI.Checksum.low64();
+      S.FaultCodeValue = FaultCode;
+    }
+    S.Modules.push_back(std::move(MI));
+  }
+  SnapThreadInfo T;
+  T.ThreadId = 1;
+  S.Threads.push_back(T);
+  return S;
+}
+
+/// The metadata a test remembers per appended snap — the reference the
+/// naive predicate filter below runs against.
+struct Remembered {
+  uint64_t Id = 0;
+  SnapFile Snap;
+  uint64_t SrcMachineId = 0;
+  std::vector<uint8_t> Image;
+};
+
+/// Naive reference filter: re-derives each predicate from first
+/// principles (names, not index keys) so a store-side indexing bug can't
+/// cancel out in the comparison.
+std::vector<uint64_t> naiveFilter(const std::vector<Remembered> &All,
+                                  const std::string &Module,
+                                  const std::string &Kind,
+                                  const std::string &Machine,
+                                  uint64_t Since, uint64_t Until,
+                                  size_t Top) {
+  std::vector<uint64_t> Ids;
+  for (const Remembered &R : All) {
+    if (!Module.empty()) {
+      bool Has = false;
+      for (const SnapModuleInfo &M : R.Snap.Modules)
+        Has |= M.Name == Module;
+      if (!Has)
+        continue;
+    }
+    FaultSignature Sig = extractSignature(R.Snap);
+    if (!Kind.empty() && Sig.Kind != Kind)
+      continue;
+    if (!Machine.empty() && R.Snap.MachineName != Machine)
+      continue;
+    if (R.Snap.Timestamp < Since || R.Snap.Timestamp > Until)
+      continue;
+    Ids.push_back(R.Id);
+    if (Top && Ids.size() == Top)
+      break;
+  }
+  return Ids;
+}
+
+std::vector<uint64_t> cursorIds(SnapStore::Cursor Cur) {
+  std::vector<uint64_t> Ids;
+  while (const SnapStoreEntry *E = Cur.next())
+    Ids.push_back(E->Id);
+  return Ids;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Index round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(SnapStoreTest, IndexRoundTripSurvivesReopen) {
+  std::string Dir = tempStoreDir("roundtrip");
+  std::vector<Remembered> All;
+  SnapStoreOptions O;
+  O.Shards = 3;
+  std::string Err;
+  {
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+    for (int I = 0; I < 12; ++I) {
+      Remembered R;
+      R.Snap = makeSnap(I % 2 ? "alpha" : "beta", "proc", 100 + I,
+                        1000 + I * 10,
+                        I % 3 == 0 ? SnapReason::Unhandled : SnapReason::Api,
+                        {{"m1", true}, {I % 2 ? "m2" : "m3", I % 2 == 0}},
+                        I % 3 == 0 ? "m1" : "");
+      R.Image = R.Snap.serialize();
+      R.SrcMachineId = 7 + I % 2;
+      SnapStore::AppendResult AR;
+      ASSERT_TRUE(St.append(R.Image, R.SrcMachineId, AR, &Err)) << Err;
+      EXPECT_FALSE(AR.Deduped);
+      R.Id = AR.Id;
+      All.push_back(std::move(R));
+    }
+    EXPECT_EQ(St.liveEntries(), 12u);
+  }
+
+  // Reopen: the journal replay must reconstruct every queryable field
+  // and every payload byte.
+  SnapStore St;
+  ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+  EXPECT_EQ(St.totalEntries(), 12u);
+  EXPECT_EQ(St.liveEntries(), 12u);
+  for (const Remembered &R : All) {
+    const SnapStoreEntry *E = St.entry(R.Id);
+    ASSERT_NE(E, nullptr);
+    FaultSignature Sig = extractSignature(R.Snap);
+    EXPECT_EQ(E->Kind, Sig.Kind);
+    EXPECT_EQ(E->Fingerprint, Sig.fingerprint());
+    EXPECT_EQ(E->MachineName, R.Snap.MachineName);
+    EXPECT_EQ(E->MachineId, R.SrcMachineId);
+    EXPECT_EQ(E->ProcessName, R.Snap.ProcessName);
+    EXPECT_EQ(E->Pid, R.Snap.Pid);
+    EXPECT_EQ(E->Timestamp, R.Snap.Timestamp);
+    EXPECT_EQ(E->Reason, static_cast<uint16_t>(R.Snap.Reason));
+    ASSERT_EQ(E->ModuleNames.size(), R.Snap.Modules.size());
+    for (size_t M = 0; M < E->ModuleNames.size(); ++M) {
+      EXPECT_EQ(E->ModuleNames[M], R.Snap.Modules[M].Name);
+      EXPECT_EQ(E->ModuleKeys[M], R.Snap.Modules[M].Checksum.low64());
+      EXPECT_EQ(E->ModuleInstrumented[M] != 0,
+                R.Snap.Modules[M].Instrumented);
+    }
+    std::vector<uint8_t> Img;
+    ASSERT_TRUE(St.loadImage(*E, Img));
+    EXPECT_EQ(Img, R.Image);
+    SnapFile Loaded;
+    ASSERT_TRUE(St.loadSnap(*E, Loaded));
+    EXPECT_EQ(Loaded.ProcessName, R.Snap.ProcessName);
+  }
+}
+
+TEST(SnapStoreTest, ReadOnlyOpenRefusesAppends) {
+  std::string Dir = tempStoreDir("readonly");
+  SnapStoreOptions O;
+  std::string Err;
+  {
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+    SnapStore::AppendResult AR;
+    SnapFile S = makeSnap("alpha", "p", 1, 10, SnapReason::Api, {{"m", true}});
+    ASSERT_TRUE(St.appendSnap(S, 0, AR, &Err)) << Err;
+  }
+  SnapStoreOptions RO;
+  RO.ReadOnly = true;
+  SnapStore St;
+  ASSERT_TRUE(St.open(Dir, RO, Err)) << Err;
+  EXPECT_EQ(St.liveEntries(), 1u);
+  SnapStore::AppendResult AR;
+  SnapFile S2 = makeSnap("alpha", "p", 2, 20, SnapReason::Api, {{"m", true}});
+  EXPECT_FALSE(St.appendSnap(S2, 0, AR, &Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Dedup
+//===----------------------------------------------------------------------===//
+
+TEST(SnapStoreTest, DedupRefcountsAndPersistsAcrossReopen) {
+  std::string Dir = tempStoreDir("dedup");
+  SnapStoreOptions O;
+  std::string Err;
+  SnapFile S = makeSnap("alpha", "app", 42, 500, SnapReason::Unhandled,
+                        {{"mod", true}}, "mod");
+  std::vector<uint8_t> Img = S.serialize();
+  uint64_t FirstId = 0;
+  {
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+    SnapStore::AppendResult R1, R2, R3;
+    ASSERT_TRUE(St.append(Img, 1, R1, &Err)) << Err;
+    ASSERT_TRUE(St.append(Img, 1, R2, &Err)) << Err;
+    ASSERT_TRUE(St.append(Img, 2, R3, &Err)) << Err;
+    EXPECT_FALSE(R1.Deduped);
+    EXPECT_TRUE(R2.Deduped);
+    EXPECT_TRUE(R3.Deduped);
+    EXPECT_EQ(R2.Id, R1.Id);
+    EXPECT_EQ(R3.Id, R1.Id);
+    FirstId = R1.Id;
+    EXPECT_EQ(St.liveEntries(), 1u);
+    EXPECT_EQ(St.dedupHits(), 2u);
+    EXPECT_EQ(St.totalRefs(), 3u);
+
+    // A different payload with the same fingerprint is NOT a dup.
+    SnapFile S2 = S;
+    S2.Timestamp = 501;
+    SnapStore::AppendResult R4;
+    ASSERT_TRUE(St.appendSnap(S2, 1, R4, &Err)) << Err;
+    EXPECT_FALSE(R4.Deduped);
+    EXPECT_NE(R4.Id, FirstId);
+    const SnapStoreEntry *E4 = St.entry(R4.Id);
+    ASSERT_NE(E4, nullptr);
+    EXPECT_EQ(E4->Fingerprint, St.entry(FirstId)->Fingerprint);
+  }
+
+  // The refcount is journaled, not runtime-only state.
+  SnapStore St;
+  ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+  const SnapStoreEntry *E = St.entry(FirstId);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->RefCount, 3u);
+  EXPECT_EQ(St.totalRefs(), 4u);
+
+  // And the dedup key survives replay: the same bytes still fold.
+  SnapStore::AppendResult R5;
+  ASSERT_TRUE(St.append(Img, 3, R5, &Err)) << Err;
+  EXPECT_TRUE(R5.Deduped);
+  EXPECT_EQ(R5.Id, FirstId);
+}
+
+//===----------------------------------------------------------------------===//
+// Retention
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Feeds the deterministic retention stream: timestamps arrive slightly
+/// out of order so "oldest first" is a real sort, not arrival order.
+void feedRetentionStream(SnapStore &St, int Count) {
+  std::string Err;
+  for (int I = 0; I < Count; ++I) {
+    uint64_t Ts = 100 + static_cast<uint64_t>((I * 7) % Count) * 10;
+    SnapFile S = makeSnap(I % 2 ? "alpha" : "beta", "app",
+                          200 + static_cast<uint64_t>(I), Ts,
+                          SnapReason::Unhandled, {{"mod", true}}, "mod");
+    SnapStore::AppendResult R;
+    ASSERT_TRUE(St.append(S.serialize(), 1, R, &Err)) << Err;
+  }
+}
+
+} // namespace
+
+TEST(SnapStoreTest, ByteCapEvictsDeterministically) {
+  // Two stores, one identical stream: the evicted set must be identical,
+  // and oldest-(Timestamp, Id)-first.
+  std::string DirA = tempStoreDir("ret-a"), DirB = tempStoreDir("ret-b");
+  SnapStoreOptions O;
+  O.Shards = 2;
+  O.MaxBytes = 4000; // A handful of these ~300-byte snaps.
+  std::string Err;
+  SnapStore A, B;
+  ASSERT_TRUE(A.open(DirA, O, Err)) << Err;
+  ASSERT_TRUE(B.open(DirB, O, Err)) << Err;
+  feedRetentionStream(A, 30);
+  feedRetentionStream(B, 30);
+  ASSERT_GT(A.evictions(), 0u) << "cap never engaged; shrink MaxBytes";
+  EXPECT_LE(A.liveBytes(), O.MaxBytes);
+  EXPECT_EQ(A.evictions(), B.evictions());
+  ASSERT_EQ(A.totalEntries(), B.totalEntries());
+  for (uint64_t Id = 1; Id <= A.totalEntries(); ++Id) {
+    const SnapStoreEntry *EA = A.entry(Id), *EB = B.entry(Id);
+    ASSERT_NE(EA, nullptr);
+    ASSERT_NE(EB, nullptr);
+    EXPECT_EQ(EA->Dead, EB->Dead) << "id " << Id;
+  }
+
+  // Live entries strictly dominate dead ones in (Timestamp, Id) order
+  // within this monotone-cap stream: eviction took the oldest.
+  std::pair<uint64_t, uint64_t> NewestDead{0, 0};
+  std::pair<uint64_t, uint64_t> OldestLive{UINT64_MAX, UINT64_MAX};
+  for (uint64_t Id = 1; Id <= A.totalEntries(); ++Id) {
+    const SnapStoreEntry *E = A.entry(Id);
+    std::pair<uint64_t, uint64_t> Key{E->Timestamp, E->Id};
+    if (E->Dead)
+      NewestDead = std::max(NewestDead, Key);
+    else
+      OldestLive = std::min(OldestLive, Key);
+  }
+  EXPECT_LT(NewestDead, OldestLive);
+
+  // Equal live state compacts to identical bytes, index included.
+  ASSERT_TRUE(A.compact(&Err)) << Err;
+  ASSERT_TRUE(B.compact(&Err)) << Err;
+  A.close();
+  B.close();
+  for (unsigned I = 0; I < O.Shards; ++I) {
+    std::vector<uint8_t> BytesA, BytesB;
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "/shard-%02u.tbar", I);
+    ASSERT_TRUE(readFileBytes(DirA + Name, BytesA));
+    ASSERT_TRUE(readFileBytes(DirB + Name, BytesB));
+    EXPECT_EQ(BytesA, BytesB) << "shard " << I;
+  }
+  std::string IdxA, IdxB;
+  ASSERT_TRUE(readFileText(DirA + "/index.tbx", IdxA));
+  ASSERT_TRUE(readFileText(DirB + "/index.tbx", IdxB));
+  EXPECT_EQ(IdxA, IdxB);
+}
+
+TEST(SnapStoreTest, AgeCapEvictsRelativeToNewest) {
+  std::string Dir = tempStoreDir("ret-age");
+  SnapStoreOptions O;
+  O.MaxAge = 100;
+  std::string Err;
+  SnapStore St;
+  ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+  SnapStore::AppendResult R;
+  for (uint64_t Ts : {100u, 150u, 190u}) {
+    SnapFile S = makeSnap("alpha", "app", Ts, Ts, SnapReason::Api,
+                          {{"mod", true}});
+    ASSERT_TRUE(St.appendSnap(S, 1, R, &Err)) << Err;
+  }
+  EXPECT_EQ(St.liveEntries(), 3u);
+  // Ts=400 makes everything older than 300 stale.
+  SnapFile S = makeSnap("alpha", "app", 400, 400, SnapReason::Api,
+                        {{"mod", true}});
+  ASSERT_TRUE(St.appendSnap(S, 1, R, &Err)) << Err;
+  EXPECT_EQ(R.Evicted, 3u);
+  EXPECT_EQ(St.liveEntries(), 1u);
+  EXPECT_FALSE(St.entry(4)->Dead);
+
+  // An evicted payload's dedup key is gone: the same bytes store anew.
+  SnapFile Old = makeSnap("alpha", "app", 100, 100, SnapReason::Api,
+                          {{"mod", true}});
+  // (Immediately re-evicted by the age cap, but it must get a fresh id.)
+  ASSERT_TRUE(St.appendSnap(Old, 1, R, &Err)) << Err;
+  EXPECT_FALSE(R.Deduped);
+  EXPECT_EQ(R.Id, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Query predicates
+//===----------------------------------------------------------------------===//
+
+TEST(SnapStoreTest, QueryPredicateCombinationsMatchNaiveFilter) {
+  std::string Dir = tempStoreDir("query");
+  SnapStoreOptions O;
+  O.Shards = 3;
+  std::string Err;
+  SnapStore St;
+  ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+
+  std::vector<Remembered> All;
+  const char *Machines[] = {"alpha", "beta", "gamma"};
+  const char *Mods[] = {"m1", "m2"};
+  for (int I = 0; I < 36; ++I) {
+    Remembered R;
+    bool Fault = I % 3 != 2;
+    R.Snap = makeSnap(Machines[I % 3], "app", 300 + I,
+                      1000 + static_cast<uint64_t>((I * 11) % 36) * 5,
+                      Fault ? SnapReason::Unhandled : SnapReason::Api,
+                      {{Mods[I % 2], true}, {"shared", I % 4 == 0}},
+                      Fault ? Mods[I % 2] : "",
+                      static_cast<uint16_t>(1 + I % 2));
+    R.Image = R.Snap.serialize();
+    R.SrcMachineId = 10 + I % 3;
+    SnapStore::AppendResult AR;
+    ASSERT_TRUE(St.append(R.Image, R.SrcMachineId, AR, &Err)) << Err;
+    R.Id = AR.Id;
+    All.push_back(std::move(R));
+  }
+
+  std::string KindA = extractSignature(All[0].Snap).Kind;
+  struct Case {
+    const char *Name;
+    SnapQuery Q;
+    std::string Module, Kind, Machine;
+    uint64_t Since = 0, Until = UINT64_MAX;
+    size_t Top = 0;
+  };
+  std::vector<Case> Cases;
+  auto AddCase = [&](const char *Name, SnapQuery Q, std::string Module = "",
+                     std::string Kind = "", std::string Machine = "",
+                     uint64_t Since = 0, uint64_t Until = UINT64_MAX,
+                     size_t Top = 0) {
+    Q.Since = Since;
+    Q.Until = Until;
+    Q.Top = Top;
+    Cases.push_back({Name, std::move(Q), std::move(Module), std::move(Kind),
+                     std::move(Machine), Since, Until, Top});
+  };
+  AddCase("all", SnapQuery());
+  AddCase("module", SnapQuery().setModule("m1"), "m1");
+  AddCase("module-rare", SnapQuery().setModule("shared"), "shared");
+  AddCase("kind", SnapQuery().setKind(KindA), "", KindA);
+  AddCase("machine", SnapQuery().setMachine("beta"), "", "", "beta");
+  AddCase("window", SnapQuery(), "", "", "", 1050, 1110);
+  AddCase("module+kind", SnapQuery().setModule("m1").setKind(KindA), "m1",
+          KindA);
+  AddCase("module+machine+window",
+          SnapQuery().setModule("m1").setMachine("alpha"), "m1", "",
+          "alpha", 1000, 1120);
+  AddCase("top", SnapQuery().setModule("m1"), "m1", "", "", 0, UINT64_MAX,
+          4);
+  for (Case &C : Cases) {
+    SCOPED_TRACE(C.Name);
+    std::vector<uint64_t> Expected = naiveFilter(
+        All, C.Module, C.Kind, C.Machine, C.Since, C.Until, C.Top);
+    EXPECT_EQ(cursorIds(St.query(C.Q)), Expected);
+    EXPECT_EQ(cursorIds(St.scan(C.Q)), Expected);
+  }
+
+  // Alternate predicate spellings: checksum-hex module, decimal machine
+  // id, fingerprint.
+  char Hex[17];
+  std::snprintf(Hex, sizeof(Hex), "%016llx",
+                static_cast<unsigned long long>(
+                    MD5::hash("m1", 2).low64()));
+  EXPECT_EQ(cursorIds(St.query(SnapQuery().setModule(Hex))),
+            naiveFilter(All, "m1", "", "", 0, UINT64_MAX, 0));
+  std::vector<uint64_t> ById;
+  for (const Remembered &R : All)
+    if (R.SrcMachineId == 11)
+      ById.push_back(R.Id);
+  EXPECT_EQ(cursorIds(St.query(SnapQuery().setMachine("11"))), ById);
+  uint64_t FP = extractSignature(All[0].Snap).fingerprint();
+  std::vector<uint64_t> ByFp;
+  for (const Remembered &R : All)
+    if (extractSignature(R.Snap).fingerprint() == FP)
+      ByFp.push_back(R.Id);
+  EXPECT_EQ(cursorIds(St.query(SnapQuery().setFingerprint(FP))), ByFp);
+}
+
+//===----------------------------------------------------------------------===//
+// SnapSource unification
+//===----------------------------------------------------------------------===//
+
+TEST(SnapSourceTest, DirectoryArchiveAndQueueFeedIdentically) {
+  // The same three snaps through all three source shapes must produce
+  // stores with identical live content.
+  std::vector<SnapFile> Snaps;
+  for (int I = 0; I < 3; ++I)
+    Snaps.push_back(makeSnap("alpha", "app", 10 + I, 100 + I * 10,
+                             SnapReason::Unhandled, {{"mod", true}}, "mod"));
+
+  std::string SnapDir = tempStoreDir("src-dir");
+  fs::create_directories(SnapDir);
+  for (size_t I = 0; I < Snaps.size(); ++I)
+    ASSERT_TRUE(saveSnap(Snaps[I],
+                         SnapDir + "/snap-" + std::to_string(I) + ".tbsnap"));
+  std::string ArchivePath = tempStoreDir("src-arc") + ".tbar";
+  {
+    SnapArchiveWriter W;
+    ASSERT_TRUE(W.open(ArchivePath));
+    for (const SnapFile &S : Snaps)
+      ASSERT_TRUE(W.append(S.serialize()));
+  }
+  QueueSnapSource Queue;
+  for (const SnapFile &S : Snaps)
+    Queue.pushSnap(S, "pushed");
+
+  DirectorySnapSource DirSrc(SnapDir);
+  ArchiveSnapSource ArcSrc(ArchivePath);
+  EXPECT_EQ(DirSrc.fileCount(), 3u);
+  EXPECT_EQ(ArcSrc.entryCount(), 3u);
+  EXPECT_EQ(Queue.pending(), 3u);
+
+  auto StoreFrom = [&](SnapSource &Src, const std::string &Tag,
+                       std::multiset<std::pair<uint64_t, uint64_t>> &Out) {
+    std::string Dir = tempStoreDir("src-store-" + Tag);
+    SnapStoreOptions O;
+    std::string Err;
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+    CollectorService Svc(St);
+    EXPECT_EQ(Src.feed(Svc), 3u);
+    Svc.drain();
+    EXPECT_EQ(Svc.errors(), 0u);
+    SnapStore::Cursor Cur = St.scan(SnapQuery());
+    while (const SnapStoreEntry *E = Cur.next())
+      Out.insert({E->PayloadHash, E->Fingerprint});
+  };
+  std::multiset<std::pair<uint64_t, uint64_t>> FromDir, FromArc, FromQueue;
+  StoreFrom(DirSrc, "dir", FromDir);
+  StoreFrom(ArcSrc, "arc", FromArc);
+  StoreFrom(Queue, "queue", FromQueue);
+  EXPECT_EQ(FromDir.size(), 3u);
+  EXPECT_EQ(FromDir, FromArc);
+  EXPECT_EQ(FromDir, FromQueue);
+}
+
+//===----------------------------------------------------------------------===//
+// Store residency gauge
+//===----------------------------------------------------------------------===//
+
+TEST(StoreResidencyTest, BytesResidentGaugeTracksLoads) {
+  Gauge &G = MetricsRegistry::global().gauge("store.bytes_resident");
+
+  int64_t Before = G.value();
+  MapFileStore MS;
+  MapFile M;
+  M.ModuleName = "modx";
+  M.Checksum = MD5::hash("modx", 4);
+  M.Files = {"a.ml"};
+  M.Dags.emplace_back();
+  MS.add(M);
+  EXPECT_GT(MS.residentBytes(), 0u);
+  EXPECT_EQ(G.value() - Before, static_cast<int64_t>(MS.residentBytes()));
+
+  // Replacement accounts the old mapfile out, not just the new one in.
+  MapFile M2 = M;
+  M2.Files.push_back("b.ml");
+  MS.add(M2);
+  EXPECT_EQ(G.value() - Before, static_cast<int64_t>(MS.residentBytes()));
+
+  // SignatureStore::load publishes the loaded store's residency.
+  FaultSignature Sig;
+  Sig.Kind = "fault:test@modx";
+  Sig.Modules = {"modx"};
+  SignatureStore SS;
+  SS.add(Sig, "label-1");
+  SS.add(Sig, "label-2");
+  std::string Path = tempStoreDir("resid") + ".tbsig";
+  ASSERT_TRUE(SS.save(Path));
+  int64_t Before2 = G.value();
+  SignatureStore Loaded;
+  std::string Err;
+  ASSERT_TRUE(SignatureStore::load(Path, Loaded, Err)) << Err;
+  EXPECT_EQ(Loaded.size(), 1u);
+  EXPECT_GT(Loaded.residentBytes(), 0u);
+  EXPECT_EQ(G.value() - Before2,
+            static_cast<int64_t>(Loaded.residentBytes()));
+}
+
+//===----------------------------------------------------------------------===//
+// Ingestion ordering
+//===----------------------------------------------------------------------===//
+
+TEST(CollectorServiceTest, DrainStoresInGlobalArrivalOrder) {
+  std::string Dir = tempStoreDir("order");
+  SnapStoreOptions O;
+  std::string Err;
+  SnapStore St;
+  ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+  CollectorOptions CO;
+  CO.Shards = 3; // Interleave sources across shards on purpose.
+  CollectorService Svc(St, CO);
+
+  std::vector<uint64_t> ExpectedPids;
+  for (int I = 0; I < 12; ++I) {
+    SnapFile S = makeSnap("m", "app", 500 + I, 100 + I, SnapReason::Api,
+                          {{"mod", true}});
+    ASSERT_TRUE(Svc.push(S.serialize(), static_cast<uint64_t>(I % 5)));
+    ExpectedPids.push_back(500 + static_cast<uint64_t>(I));
+  }
+  EXPECT_EQ(Svc.pending(), 12u);
+  EXPECT_EQ(Svc.drain(), 12u);
+  EXPECT_EQ(Svc.errors(), 0u);
+
+  // Ids ascend in arrival order, whatever shard each item queued in.
+  std::vector<uint64_t> Pids;
+  SnapStore::Cursor Cur = St.scan(SnapQuery());
+  while (const SnapStoreEntry *E = Cur.next())
+    Pids.push_back(E->Pid);
+  EXPECT_EQ(Pids, ExpectedPids);
+}
+
+//===----------------------------------------------------------------------===//
+// The 100-seed ingest-under-chaos sweep
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *SweepEchoServer = R"(
+fn main() export {
+  srv_register(40);
+  var buf = alloc(64);
+  var lenp = alloc(8);
+  while (1) {
+    var id = rpc_recv(buf, 64, lenp);
+    store(buf, load(buf) * 10);
+    rpc_reply(id, buf, 8);
+  }
+}
+)";
+
+const char *SweepSnapClient = R"(
+fn main() export {
+  var arg = alloc(8);
+  var rep = alloc(1024);
+  store(arg, 4);
+  var status = rpc(40, arg, 8, rep);
+  print(status);
+  print(load(rep));
+  snap(1);
+}
+)";
+
+/// Client on alpha calls the echo server on beta and snaps; everything
+/// travels to the collector machine as SnapPush frames (the scenario of
+/// test_transport's chaos sweep, here with a CollectorService attached).
+struct SweepFleet {
+  MetricsRegistry Reg;
+  Deployment D;
+  Machine *MA, *MB;
+  Process *Client, *Server;
+  uint64_t CollectorId = 0;
+
+  SweepFleet() {
+    D.Metrics = &Reg;
+    MA = D.addMachine("alpha", "winnt");
+    MB = D.addMachine("beta", "solaris", 100000);
+    CollectorId = D.enableNetworkTransport();
+    Client = MA->createProcess("client");
+    Server = MB->createProcess("server");
+  }
+
+  void deployAndRun(const Module &CM, const Module &SM) {
+    std::string Error;
+    ASSERT_NE(D.deploy(*Client, CM, true, Error), nullptr) << Error;
+    ASSERT_NE(D.deploy(*Server, SM, true, Error), nullptr) << Error;
+    Server->start("main");
+    for (int I = 0; I < 10; ++I)
+      D.world().stepSlice();
+    Client->start("main");
+    while (!Client->Exited && D.world().cycles() < 50'000'000)
+      D.world().stepSlice();
+    ASSERT_TRUE(Client->Exited);
+  }
+};
+
+/// Asserts the indexed cursor and the scan oracle return byte-identical
+/// streams for \p Q: same entries, same order, same payload bytes.
+void expectQueryEqualsScan(const SnapStore &St, const SnapQuery &Q,
+                           const char *Tag) {
+  SCOPED_TRACE(Tag);
+  SnapStore::Cursor A = St.query(Q);
+  SnapStore::Cursor B = St.scan(Q);
+  for (;;) {
+    const SnapStoreEntry *EA = A.next();
+    const SnapStoreEntry *EB = B.next();
+    if (!EA || !EB) {
+      EXPECT_EQ(EA, EB) << "cursor lengths differ";
+      return;
+    }
+    ASSERT_EQ(EA->Id, EB->Id);
+    std::vector<uint8_t> ImgA, ImgB;
+    ASSERT_TRUE(St.loadImage(*EA, ImgA));
+    ASSERT_TRUE(St.loadImage(*EB, ImgB));
+    EXPECT_EQ(ImgA, ImgB);
+  }
+}
+
+} // namespace
+
+TEST(CollectorChaosSweepTest, HundredSeedsIndexMatchesLinearScan) {
+  Module CM = compileOrDie(SweepSnapClient, "climod", Technology::Native,
+                           "client.ml");
+  Module SM = compileOrDie(SweepEchoServer, "srvmod", Technology::Native,
+                           "server.ml");
+
+  const int Sweeps = 100;
+  uint64_t Base = testSeed();
+  std::string Dir = tempStoreDir("chaos");
+  size_t TotalIngested = 0;
+  for (int I = 0; I < Sweeps; ++I) {
+    uint64_t Seed = Base + static_cast<uint64_t>(I);
+    SCOPED_TRACE(::testing::Message() << "seed " << Seed);
+    std::error_code EC;
+    fs::remove_all(Dir, EC);
+
+    MetricsRegistry StoreReg;
+    SnapStoreOptions O;
+    O.Shards = 3;
+    O.Metrics = &StoreReg;
+    std::string Err;
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+    CollectorOptions CO;
+    CO.Metrics = &StoreReg;
+    CollectorService Svc(St, CO);
+
+    FaultPlan Plan = FaultPlan::randomNetwork(Seed, /*MaxPacket=*/16,
+                                              /*MaxSlice=*/60);
+    SweepFleet T;
+    FaultInjector FI(Plan, &T.Reg);
+    T.D.world().Injector = &FI;
+    Svc.attachTransport(*T.D.collectorEndpoint());
+    T.deployAndRun(CM, SM);
+    if (::testing::Test::HasFatalFailure())
+      return;
+    ASSERT_TRUE(T.D.pumpNetwork()) << "transport hang under plan:\n"
+                                   << Plan.toText();
+    Svc.drain();
+    Svc.detachTransport();
+    ASSERT_EQ(Svc.errors(), 0u) << Svc.lastError();
+
+    // Chained handling: the deployment's own snaps() view kept working
+    // while the collector indexed; every delivered push was ingested.
+    EXPECT_EQ(Svc.ingested(), T.D.snaps().size());
+    EXPECT_EQ(St.totalRefs(), Svc.ingested());
+    TotalIngested += Svc.ingested();
+
+    // Query-vs-scan equivalence on every predicate dimension this run's
+    // data can exercise.
+    expectQueryEqualsScan(St, SnapQuery(), "all");
+    expectQueryEqualsScan(St, SnapQuery().setMachine("alpha"), "machine");
+    expectQueryEqualsScan(St, SnapQuery().setModule("climod"), "module");
+    uint64_t MinTs = UINT64_MAX, MaxTs = 0;
+    const SnapStoreEntry *First = nullptr;
+    SnapStore::Cursor Cur = St.scan(SnapQuery());
+    while (const SnapStoreEntry *E = Cur.next()) {
+      if (!First)
+        First = E;
+      MinTs = std::min(MinTs, E->Timestamp);
+      MaxTs = std::max(MaxTs, E->Timestamp);
+    }
+    if (First) {
+      expectQueryEqualsScan(St, SnapQuery().setKind(First->Kind), "kind");
+      expectQueryEqualsScan(
+          St, SnapQuery().setFingerprint(First->Fingerprint), "sig");
+      expectQueryEqualsScan(
+          St,
+          SnapQuery().setMachine("alpha").setWindow(
+              MinTs, MinTs + (MaxTs - MinTs) / 2),
+          "machine+window");
+    }
+  }
+  EXPECT_GT(TotalIngested, 0u) << "sweep never delivered a snap";
+  std::printf("[ collector chaos sweep: %d seeds, %zu snaps ingested ]\n",
+              Sweeps, TotalIngested);
+}

@@ -4,6 +4,8 @@
 
 #include "support/Text.h"
 
+#include <cstdio>
+
 namespace traceback {
 namespace tool {
 
@@ -54,6 +56,105 @@ bool ArgList::finish(std::string &Error) {
   for (size_t I = 1; I < Errors.size(); ++I)
     Error += "; " + Errors[I];
   return false;
+}
+
+//===----------------------------------------------------------------------===//
+// CommandRegistry
+//===----------------------------------------------------------------------===//
+
+CommandSpec &CommandRegistry::add(CommandSpec Spec) {
+  Commands.push_back(std::move(Spec));
+  return Commands.back();
+}
+
+const CommandSpec *CommandRegistry::find(const std::string &Name) const {
+  for (const CommandSpec &C : Commands)
+    if (C.Name == Name)
+      return &C;
+  return nullptr;
+}
+
+std::string CommandRegistry::synopsis(const CommandSpec &Spec) const {
+  std::string Out = Tool + " " + Spec.Name;
+  if (!Spec.Operands.empty())
+    Out += " " + Spec.Operands;
+  for (const FlagSpec &F : Spec.Flags) {
+    Out += " [" + F.Name;
+    if (F.takesValue())
+      Out += " " + F.ValueName;
+    Out += "]";
+  }
+  return Out;
+}
+
+std::string CommandRegistry::usageText() const {
+  std::string Out = "usage:\n";
+  for (const CommandSpec &C : Commands)
+    Out += "  " + synopsis(C) + "\n";
+  Out += "  " + Tool + " help [<command>]\n";
+  return Out;
+}
+
+std::string CommandRegistry::helpText(const CommandSpec &Spec) const {
+  std::string Out = synopsis(Spec) + "\n";
+  if (!Spec.Help.empty())
+    Out += "\n  " + Spec.Help + "\n";
+  if (!Spec.Flags.empty()) {
+    Out += "\nflags:\n";
+    size_t Width = 0;
+    std::vector<std::string> Lhs;
+    for (const FlagSpec &F : Spec.Flags) {
+      std::string L = F.Name;
+      if (F.takesValue())
+        L += " " + F.ValueName;
+      Width = L.size() > Width ? L.size() : Width;
+      Lhs.push_back(std::move(L));
+    }
+    for (size_t I = 0; I < Spec.Flags.size(); ++I) {
+      Out += "  " + Lhs[I];
+      Out.append(Width - Lhs[I].size() + 2, ' ');
+      Out += Spec.Flags[I].Help + "\n";
+    }
+  }
+  return Out;
+}
+
+int CommandRegistry::run(const std::string &Name,
+                         std::vector<std::string> Args) const {
+  const CommandSpec *Spec = find(Name);
+  if (!Spec) {
+    std::fprintf(stderr, "%s: unknown command '%s' (see '%s help')\n",
+                 Tool.c_str(), Name.c_str(), Tool.c_str());
+    return 2;
+  }
+  // Spec-driven validation before the handler touches anything: every
+  // subcommand rejects a mistyped flag with the same error shape.
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    if (A.size() < 2 || A[0] != '-' || A[1] != '-')
+      continue;
+    const FlagSpec *F = nullptr;
+    for (const FlagSpec &Candidate : Spec->Flags)
+      if (Candidate.Name == A)
+        F = &Candidate;
+    if (!F) {
+      std::fprintf(stderr, "%s %s: unknown flag %s (see '%s help %s')\n",
+                   Tool.c_str(), Name.c_str(), A.c_str(), Tool.c_str(),
+                   Name.c_str());
+      return 2;
+    }
+    if (F->takesValue()) {
+      if (I + 1 >= Args.size()) {
+        std::fprintf(stderr, "%s %s: %s requires a value %s (see '%s help "
+                     "%s')\n",
+                     Tool.c_str(), Name.c_str(), A.c_str(),
+                     F->ValueName.c_str(), Tool.c_str(), Name.c_str());
+        return 2;
+      }
+      ++I; // The value is consumed by the flag, not scanned as one.
+    }
+  }
+  return Spec->Handler(ArgList(std::move(Args)));
 }
 
 std::string indentJsonBody(const std::string &Json, unsigned Spaces) {

@@ -20,6 +20,7 @@
 #define TRACEBACK_TOOLS_TOOLOPTIONS_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,63 @@ private:
 /// Indents every line of \p Json after the first by \p Spaces — for
 /// embedding one pretty-printed document inside another.
 std::string indentJsonBody(const std::string &Json, unsigned Spaces);
+
+//===----------------------------------------------------------------------===//
+// Declarative command registry
+//===----------------------------------------------------------------------===//
+//
+// ArgList made flag *parsing* uniform; the registry makes the command
+// *surface* declarative. Each subcommand registers its name, synopsis
+// operands, one-line help and flag specs along with its handler, and the
+// driver's usage text, per-command `help <cmd>` pages and unknown-flag
+// rejection are all generated from the same specs — a new subcommand
+// cannot ship with undocumented flags or its own error phrasing.
+
+/// One flag a command accepts.
+struct FlagSpec {
+  std::string Name;      ///< "--jobs"
+  std::string ValueName; ///< "N" when the flag takes a value, else "".
+  std::string Help;      ///< One line for the generated help page.
+
+  bool takesValue() const { return !ValueName.empty(); }
+};
+
+/// One registered subcommand.
+struct CommandSpec {
+  std::string Name;     ///< "triage"
+  std::string Operands; ///< Synopsis operand text: "<snap-dir> [<map>...]".
+  std::string Help;     ///< One-line description for the usage listing.
+  std::vector<FlagSpec> Flags;
+  std::function<int(ArgList)> Handler;
+};
+
+/// The tool's command table: registration, spec-driven argv validation,
+/// and generated usage/help text.
+class CommandRegistry {
+public:
+  explicit CommandRegistry(std::string ToolName) : Tool(std::move(ToolName)) {}
+
+  CommandSpec &add(CommandSpec Spec);
+  const CommandSpec *find(const std::string &Name) const;
+  const std::vector<CommandSpec> &commands() const { return Commands; }
+
+  /// Dispatches \p Name: pre-validates every `--flag` in \p Args against
+  /// the spec (uniform "unknown flag" / "requires a value" errors that
+  /// point at `help <cmd>`), then invokes the handler. Returns 2 for an
+  /// unknown command or a rejected flag.
+  int run(const std::string &Name, std::vector<std::string> Args) const;
+
+  /// The full usage listing: one generated synopsis line per command.
+  std::string usageText() const;
+  /// The generated `help <cmd>` page: synopsis plus one line per flag.
+  std::string helpText(const CommandSpec &Spec) const;
+  /// One command's synopsis line ("tbtool triage <dir> [--jobs N]").
+  std::string synopsis(const CommandSpec &Spec) const;
+
+private:
+  std::string Tool;
+  std::vector<CommandSpec> Commands;
+};
 
 } // namespace tool
 } // namespace traceback

@@ -26,17 +26,30 @@
 //   tbtool triage <snap-dir|archive.tbar> [<map.tbmap>...] [--jobs N]
 //                 [--top N] [--near D] [--store out.tbsig]
 //                 [--diff baseline.tbsig]
+//   tbtool serve --store DIR [--machines N] [--rounds N] [--seed S]
+//                [--chaos] [--shards N] [--max-bytes B] [--max-age T]
+//                [--compact] [--json]
+//   tbtool query <store-dir> [--module M] [--fault KIND] [--sig HEX]
+//                [--machine M] [--since T] [--until T] [--top N]
+//                [--list] [--count] [--scan] [--json]
+//   tbtool help [<command>]
 //
-// Every subcommand parses flags through the shared tool::ArgList, so flag
-// spellings cannot drift and a mistyped --flag is an error instead of a
-// silently ignored positional.
+// Every subcommand is a registration in a declarative CommandRegistry
+// (tools/ToolOptions.h): name, synopsis, flag specs, handler. The usage
+// listing, per-command `help <cmd>` pages and unknown-flag errors are all
+// generated from the same specs, and flag values still parse through the
+// shared tool::ArgList — spellings cannot drift, a mistyped --flag is a
+// uniform error, and a flag cannot ship undocumented.
 //
 //===----------------------------------------------------------------------===//
 
+#include "collector/CollectorService.h"
+#include "collector/SnapStore.h"
 #include "core/DynamicCode.h"
 #include "core/FileIO.h"
 #include "core/Session.h"
 #include "distributed/SnapArchive.h"
+#include "support/SnapSource.h"
 #include "vm/FaultInjector.h"
 #include "isa/Assembler.h"
 #include "isa/Disassembler.h"
@@ -60,34 +73,17 @@
 
 using namespace traceback;
 using tool::ArgList;
+using tool::CommandRegistry;
+using tool::CommandSpec;
 
 namespace {
 
+/// The command table — built once, before main dispatches (definition
+/// after the handlers below).
+CommandRegistry &registry();
+
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage:\n"
-      "  tbtool compile <src.ml> <out.tbo> [--managed] [--name NAME]\n"
-      "  tbtool asm <src.tbasm> <out.tbo>\n"
-      "  tbtool instrument <in.tbo> <out.tbo> <out.tbmap> [--dag-base N] [--stats] [--no-elide]\n"
-      "  tbtool disasm <mod.tbo>\n"
-      "  tbtool mapinfo <map.tbmap>\n"
-      "  tbtool snapinfo <snap.tbsnap>\n"
-      "  tbtool info <snap.tbsnap>\n"
-      "  tbtool archive list <file.tbar>\n"
-      "  tbtool archive extract <file.tbar> <index> <out.tbsnap>\n"
-      "  tbtool reconstruct <snap.tbsnap> <map.tbmap>... [--thread N] "
-      "[--tree] [--jobs N] [--no-cache]\n"
-      "  tbtool reconstruct --batch <dir> [--jobs N] [--no-cache] "
-      "[--render]\n"
-      "  tbtool metrics <snap.tbsnap> [<map.tbmap>...] [--jobs N] "
-      "[--json]\n"
-      "  tbtool run <mod.tbo>... [--entry NAME] [--policy FILE] "
-      "[--snap-dir DIR]\n"
-      "  tbtool inject <mod.tbo>... --seed S [--plan FILE] "
-      "[--entry NAME] [--snap-dir DIR]\n"
-      "  tbtool triage <snap-dir|archive.tbar> [<map.tbmap>...] [--jobs N] "
-      "[--top N] [--near D] [--store out.tbsig] [--diff baseline.tbsig]\n");
+  std::fputs(registry().usageText().c_str(), stderr);
   return 2;
 }
 
@@ -453,16 +449,17 @@ std::vector<std::string> filesWithExtension(const std::string &Dir,
 }
 
 /// Loads every mapfile path into \p Store (duplicate checksums warn).
+/// Streams through the store's own file loader: one file resident at a
+/// time, not the whole directory's bytes.
 bool loadMapsInto(MapFileStore &Store,
                   const std::vector<std::string> &Paths) {
   for (const std::string &Path : Paths) {
-    MapFile Map;
-    if (!loadMapFile(Path, Map)) {
+    std::string Warning;
+    if (!Store.addFromFile(Path, &Warning)) {
       std::fprintf(stderr, "cannot load %s\n", Path.c_str());
       return false;
     }
-    std::string Warning;
-    if (!Store.add(std::move(Map), &Warning))
+    if (!Warning.empty())
       std::fprintf(stderr, "warning: %s\n", Warning.c_str());
   }
   return true;
@@ -473,11 +470,12 @@ bool loadMapsInto(MapFileStore &Store,
 /// is ordered by snap path regardless of completion order.
 int cmdReconstructBatch(const std::string &Dir, int Jobs, bool NoCache,
                         bool Render) {
+  // Snap enumeration goes through the unified source (same sorted view
+  // triage and the collector see); mapfiles are not snaps and keep the
+  // plain extension scan.
+  std::vector<std::string> SnapPaths = DirectorySnapSource(Dir).paths();
   std::error_code EC;
-  std::vector<std::string> SnapPaths = filesWithExtension(Dir, ".tbsnap", EC);
-  std::vector<std::string> MapPaths;
-  if (!EC)
-    MapPaths = filesWithExtension(Dir, ".tbmap", EC);
+  std::vector<std::string> MapPaths = filesWithExtension(Dir, ".tbmap", EC);
   if (EC) {
     std::fprintf(stderr, "cannot read directory %s: %s\n", Dir.c_str(),
                  EC.message().c_str());
@@ -978,51 +976,50 @@ int cmdTriage(ArgList A) {
   const std::string &Input = Pos[0];
   namespace fs = std::filesystem;
 
-  // Gather snaps: archive entries or directory files. Labels name the
-  // member so report readers can find the snap again.
+  // Gather snaps through the unified SnapSource interface — the archive
+  // and directory cases differ only in which source is constructed.
+  // Labels name the member so report readers can find the snap again.
   std::vector<SnapFile> Snaps;
   std::vector<std::string> Labels;
   std::vector<std::string> MapPaths(Pos.begin() + 1, Pos.end());
   bool IsArchive = Input.size() > 5 &&
                    Input.compare(Input.size() - 5, 5, ".tbar") == 0;
+  std::unique_ptr<SnapSource> Source;
   if (IsArchive) {
-    std::vector<SnapArchiveEntry> Entries;
-    if (!SnapArchive::list(Input, Entries)) {
+    auto A = std::make_unique<ArchiveSnapSource>(Input);
+    if (A->entryCount() == 0 && !fs::exists(Input)) {
       std::fprintf(stderr, "cannot read archive %s\n", Input.c_str());
       return 1;
     }
-    for (size_t I = 0; I < Entries.size(); ++I) {
-      std::vector<uint8_t> Image;
-      SnapFile Snap;
-      if (!SnapArchive::extract(Input, I, Image) ||
-          !SnapFile::deserialize(Image, Snap)) {
-        std::fprintf(stderr, "warning: cannot decode archive entry %zu\n", I);
-        continue;
-      }
-      Labels.push_back(formatv("%s[%zu]:%s",
-                               fs::path(Input).filename().string().c_str(), I,
-                               Snap.ProcessName.c_str()));
-      Snaps.push_back(std::move(Snap));
-    }
+    Source = std::move(A);
   } else {
     std::error_code EC;
-    std::vector<std::string> SnapPaths =
-        filesWithExtension(Input, ".tbsnap", EC);
-    if (!EC)
-      for (const std::string &P : filesWithExtension(Input, ".tbmap", EC))
-        MapPaths.push_back(P);
+    for (const std::string &P : filesWithExtension(Input, ".tbmap", EC))
+      MapPaths.push_back(P);
     if (EC) {
       std::fprintf(stderr, "cannot read directory %s: %s\n", Input.c_str(),
                    EC.message().c_str());
       return 1;
     }
-    for (const std::string &P : SnapPaths) {
-      SnapFile Snap;
-      if (!loadSnap(P, Snap)) {
-        std::fprintf(stderr, "warning: cannot load %s\n", P.c_str());
-        continue;
-      }
-      Labels.push_back(fs::path(P).filename().string());
+    Source = std::make_unique<DirectorySnapSource>(Input);
+  }
+  {
+    SnapFile Snap;
+    std::string Label;
+    while (Source->next(Snap, Label)) {
+      // Archive labels carry the entry index; directory labels are the
+      // file path — shorten both to the filename the way reports did.
+      size_t Hash = Label.rfind('#');
+      std::string Entry = Hash == std::string::npos
+                              ? fs::path(Label).filename().string()
+                              : formatv("%s[%s]:%s",
+                                        fs::path(Label.substr(0, Hash))
+                                            .filename()
+                                            .string()
+                                            .c_str(),
+                                        Label.substr(Hash + 1).c_str(),
+                                        Snap.ProcessName.c_str());
+      Labels.push_back(std::move(Entry));
       Snaps.push_back(std::move(Snap));
     }
   }
@@ -1098,38 +1095,480 @@ int cmdTriage(ArgList A) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// serve / query: the fleet collector
+//===----------------------------------------------------------------------===//
+
+// The serve fleet's workload mix: two deterministic crashers, deployed on
+// every machine so the same fault fingerprint recurs fleet-wide (the
+// volume shape the collector's dedup and triage index exist for).
+const char *ServeSegvWorkload = R"(
+fn main() export {
+  var x = 1;
+  var i = 0;
+  while (i < 60) {
+    x = x * 3 + 1;
+    i = i + 1;
+    yield();
+  }
+  var p = 0;
+  print(load(p));
+}
+)";
+
+const char *ServeDivZeroWorkload = R"(
+fn main() export {
+  var x = 7;
+  var i = 0;
+  while (i < 60) {
+    x = x * 5 + 3;
+    i = i + 1;
+    yield();
+  }
+  var z = 0;
+  print(x / z);
+}
+)";
+
+/// `tbtool serve`: runs the collector service against a simulated fleet.
+/// Each round deploys N machines running crashing workloads with network
+/// transport on; their daemons push snaps to the collector machine, whose
+/// endpoint the CollectorService drains into the --store directory.
+/// Every round re-produces the same fault fingerprints, so the store's
+/// signature index folds the whole run into a handful of clusters —
+/// payload-level dedup, by contrast, rarely fires here because each snap
+/// embeds its own wall-clock latency telemetry (see the store tests for
+/// the byte-identical path).
+int cmdServe(ArgList A) {
+  std::string StoreDir = A.value("--store");
+  int64_t Machines = A.intValue("--machines", 3);
+  int64_t Rounds = A.intValue("--rounds", 2);
+  uint64_t Seed = A.seed();
+  bool Chaos = A.flag("--chaos");
+  int64_t Shards = A.intValue("--shards", 4);
+  int64_t MaxBytes = A.intValue("--max-bytes", 0);
+  int64_t MaxAge = A.intValue("--max-age", 0);
+  bool Compact = A.flag("--compact");
+  bool Json = A.json();
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  if (!A.positional().empty() || StoreDir.empty() || Machines < 1 ||
+      Rounds < 1 || Shards < 1 || MaxBytes < 0 || MaxAge < 0)
+    return usage();
+
+  // The collector's own instruments live in a private registry: snaps
+  // embed the producing process's global telemetry, so letting store
+  // counters leak into the global registry would perturb every snap's
+  // bytes (and with them payload-hash dedup across serve invocations).
+  MetricsRegistry CollectorMetrics;
+  SnapStore Store;
+  SnapStoreOptions SO;
+  SO.Shards = static_cast<unsigned>(Shards);
+  SO.MaxBytes = static_cast<uint64_t>(MaxBytes);
+  SO.MaxAge = static_cast<uint64_t>(MaxAge);
+  SO.Metrics = &CollectorMetrics;
+  std::string Error;
+  if (!Store.open(StoreDir, SO, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+  CollectorOptions CO;
+  CO.Metrics = &CollectorMetrics;
+  CollectorService Service(Store, CO);
+
+  struct ServeApp {
+    const char *Name;
+    const char *Source;
+  };
+  const ServeApp Apps[2] = {{"appa", ServeSegvWorkload},
+                            {"appb", ServeDivZeroWorkload}};
+  Module Mods[2];
+  for (int I = 0; I < 2; ++I)
+    if (!minilang::compileMiniLang(Apps[I].Source, Apps[I].Name,
+                                   Apps[I].Name, Technology::Native,
+                                   Mods[I], Error)) {
+      std::fprintf(stderr, "internal workload: %s\n", Error.c_str());
+      return 1;
+    }
+
+  size_t PartitionedRounds = 0;
+  for (int64_t Round = 0; Round < Rounds; ++Round) {
+    Deployment D;
+    // Fresh per-round telemetry: snaps embed their deployment's metrics,
+    // so sharing a registry across rounds would bloat round N's snaps
+    // with round N-1's accumulated counters.
+    MetricsRegistry RoundMetrics;
+    D.Metrics = &RoundMetrics;
+    D.enableNetworkTransport();
+    Service.attachTransport(*D.collectorEndpoint());
+
+    FaultPlan Plan = FaultPlan::randomNetwork(
+        Seed ^ (0x5eedull * static_cast<uint64_t>(Round + 1)),
+        /*MaxPacket=*/16, /*MaxSlice=*/60);
+    FaultInjector FI(Plan);
+    if (Chaos)
+      D.world().Injector = &FI;
+
+    bool DeployFailed = false;
+    for (int64_t MI = 0; MI < Machines && !DeployFailed; ++MI) {
+      Machine *M = D.addMachine(formatv("fleet%02lld",
+                                        static_cast<long long>(MI)));
+      for (const Module &Mod : Mods) {
+        Process *P = M->createProcess(Mod.Name);
+        if (!D.deploy(*P, Mod, /*Instrument=*/true, Error) ||
+            !P->start("main")) {
+          std::fprintf(stderr, "deploy %s on %s: %s\n", Mod.Name.c_str(),
+                       M->Name.c_str(), Error.c_str());
+          DeployFailed = true;
+          break;
+        }
+      }
+    }
+    if (DeployFailed) {
+      Service.detachTransport();
+      return 1;
+    }
+
+    D.world().run();
+    bool Quiet = D.pumpNetwork();
+    Service.drain();
+    Service.detachTransport();
+    if (Chaos) {
+      D.world().Injector = nullptr;
+      if (!Quiet || !D.collectorEndpoint()->unreachablePeers().empty())
+        ++PartitionedRounds;
+    }
+  }
+
+  if (Compact && !Store.compact(&Error)) {
+    std::fprintf(stderr, "compact: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (Json) {
+    std::printf("{\n"
+                "  \"schema\": \"traceback-tbtool-serve-v1\",\n"
+                "  \"store\": \"%s\",\n"
+                "  \"rounds\": %lld,\n"
+                "  \"machines\": %lld,\n"
+                "  \"chaos\": %s,\n"
+                "  \"partitioned_rounds\": %zu,\n"
+                "  \"received\": %llu,\n"
+                "  \"ingested\": %llu,\n"
+                "  \"dedup_hits\": %llu,\n"
+                "  \"evictions\": %llu,\n"
+                "  \"live_entries\": %zu,\n"
+                "  \"live_bytes\": %llu,\n"
+                "  \"errors\": %llu\n"
+                "}\n",
+                StoreDir.c_str(), static_cast<long long>(Rounds),
+                static_cast<long long>(Machines), Chaos ? "true" : "false",
+                PartitionedRounds,
+                static_cast<unsigned long long>(Service.received()),
+                static_cast<unsigned long long>(Service.ingested()),
+                static_cast<unsigned long long>(Store.dedupHits()),
+                static_cast<unsigned long long>(Store.evictions()),
+                Store.liveEntries(),
+                static_cast<unsigned long long>(Store.liveBytes()),
+                static_cast<unsigned long long>(Service.errors()));
+  } else {
+    std::printf("served %lld round(s) x %lld machine(s)%s -> %s\n",
+                static_cast<long long>(Rounds),
+                static_cast<long long>(Machines),
+                Chaos ? " under network chaos" : "", StoreDir.c_str());
+    std::printf("received %llu snap push(es): %llu stored, %llu dedup "
+                "hit(s), %llu eviction(s), %llu error(s)\n",
+                static_cast<unsigned long long>(Service.received()),
+                static_cast<unsigned long long>(Service.ingested()),
+                static_cast<unsigned long long>(Store.dedupHits()),
+                static_cast<unsigned long long>(Store.evictions()),
+                static_cast<unsigned long long>(Service.errors()));
+    std::printf("store: %zu live entries, %llu live bytes, %u shard(s)%s\n",
+                Store.liveEntries(),
+                static_cast<unsigned long long>(Store.liveBytes()),
+                Store.shardCount(), Compact ? ", compacted" : "");
+    if (PartitionedRounds)
+      std::printf("note: %zu round(s) ended partitioned — unreachable "
+                  "peers' snaps are absent\n",
+                  PartitionedRounds);
+  }
+  return Service.errors() ? 1 : 0;
+}
+
+/// Rebuilds the header-level triage signature a store entry was indexed
+/// under (same fields extractSignature(SnapFile) fills).
+FaultSignature entrySignature(const SnapStoreEntry &E) {
+  FaultSignature Sig;
+  Sig.Kind = E.Kind;
+  for (size_t I = 0; I < E.ModuleNames.size(); ++I)
+    if (E.ModuleInstrumented[I])
+      Sig.Modules.push_back(E.ModuleNames[I]);
+  std::sort(Sig.Modules.begin(), Sig.Modules.end());
+  Sig.Modules.erase(std::unique(Sig.Modules.begin(), Sig.Modules.end()),
+                    Sig.Modules.end());
+  Sig.Markers = E.Markers;
+  return Sig;
+}
+
+/// `tbtool query`: composable-predicate queries over a snap store,
+/// emitting the same ranked report triage produces (or --list/--count
+/// views). --scan forces the linear-scan oracle path instead of the
+/// index — results must be identical; the flag exists so operators can
+/// cross-check a store whose index they distrust.
+int cmdQuery(ArgList A) {
+  std::string ModuleStr = A.value("--module");
+  std::string Fault = A.value("--fault");
+  std::string SigHex = A.value("--sig");
+  std::string MachineStr = A.value("--machine");
+  int64_t Since = A.intValue("--since", 0);
+  int64_t Until = A.intValue("--until", -1);
+  int64_t Top = A.intValue("--top", 20);
+  bool List = A.flag("--list");
+  bool CountOnly = A.flag("--count");
+  bool UseScan = A.flag("--scan");
+  bool Json = A.json();
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+  if (Pos.size() != 1 || Top < 0 || Since < 0)
+    return usage();
+
+  SnapStore Store;
+  SnapStoreOptions SO;
+  SO.ReadOnly = true;
+  std::string Error;
+  if (!Store.open(Pos[0], SO, Error)) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    return 1;
+  }
+
+  SnapQuery Q;
+  if (!ModuleStr.empty())
+    Q.setModule(ModuleStr);
+  if (!Fault.empty())
+    Q.setKind(Fault);
+  if (!SigHex.empty()) {
+    char *End = nullptr;
+    uint64_t FP = std::strtoull(SigHex.c_str(), &End, 16);
+    if (SigHex.empty() || *End != '\0') {
+      std::fprintf(stderr, "--sig: '%s' is not a hex fingerprint\n",
+                   SigHex.c_str());
+      return 2;
+    }
+    Q.setFingerprint(FP);
+  }
+  if (!MachineStr.empty())
+    Q.setMachine(MachineStr);
+  Q.Since = static_cast<uint64_t>(Since);
+  Q.Until = Until < 0 ? UINT64_MAX : static_cast<uint64_t>(Until);
+  // --top caps listed entries; counts and the report always see every
+  // match (the report applies TopN to clusters, not matches).
+  if (List && !CountOnly)
+    Q.Top = static_cast<size_t>(Top);
+
+  SnapStore::Cursor Cur = UseScan ? Store.scan(Q) : Store.query(Q);
+
+  if (List || CountOnly) {
+    size_t Entries = 0;
+    uint64_t Occurrences = 0;
+    if (Json && List)
+      std::printf("[\n");
+    bool First = true;
+    while (const SnapStoreEntry *E = Cur.next()) {
+      ++Entries;
+      Occurrences += E->RefCount;
+      if (!List)
+        continue;
+      if (Json) {
+        std::printf("%s  {\"id\": %llu, \"kind\": \"%s\", \"machine\": "
+                    "\"%s\", \"process\": \"%s\", \"ts\": %llu, \"sig\": "
+                    "\"%016llx\", \"refs\": %llu, \"bytes\": %llu}",
+                    First ? "" : ",\n",
+                    static_cast<unsigned long long>(E->Id), E->Kind.c_str(),
+                    E->MachineName.c_str(), E->ProcessName.c_str(),
+                    static_cast<unsigned long long>(E->Timestamp),
+                    static_cast<unsigned long long>(E->Fingerprint),
+                    static_cast<unsigned long long>(E->RefCount),
+                    static_cast<unsigned long long>(E->ImageBytes));
+        First = false;
+      } else {
+        std::printf("id %-5llu %-28s %-10s %-6s ts=%-8llu sig=%016llx "
+                    "refs=%llu\n",
+                    static_cast<unsigned long long>(E->Id), E->Kind.c_str(),
+                    E->MachineName.c_str(), E->ProcessName.c_str(),
+                    static_cast<unsigned long long>(E->Timestamp),
+                    static_cast<unsigned long long>(E->Fingerprint),
+                    static_cast<unsigned long long>(E->RefCount));
+      }
+    }
+    if (Json && List)
+      std::printf("%s]\n", First ? "" : "\n");
+    if (Json && CountOnly)
+      std::printf("{\"entries\": %zu, \"occurrences\": %llu}\n", Entries,
+                  static_cast<unsigned long long>(Occurrences));
+    else if (!Json)
+      std::printf("%zu entr%s, %llu occurrence(s)\n", Entries,
+                  Entries == 1 ? "y" : "ies",
+                  static_cast<unsigned long long>(Occurrences));
+    return 0;
+  }
+
+  // Default view: the triage report, built from index metadata alone —
+  // each entry contributes its header-level signature once per folded
+  // occurrence, so counts rank by real fleet volume, not dedup shape.
+  SignatureClusterer Clusterer{ClusterOptions()};
+  size_t Entries = 0;
+  while (const SnapStoreEntry *E = Cur.next()) {
+    ++Entries;
+    FaultSignature Sig = entrySignature(*E);
+    std::string Label = formatv("id%llu@%s",
+                                static_cast<unsigned long long>(E->Id),
+                                E->MachineName.c_str());
+    for (uint64_t R = 0; R < E->RefCount; ++R)
+      Clusterer.add(Sig, Label);
+  }
+  if (Entries == 0) {
+    std::printf("no matching snaps\n");
+    return 0;
+  }
+  std::fputs(renderTriageReport(Clusterer, nullptr,
+                                static_cast<size_t>(Top))
+                 .c_str(),
+             stdout);
+  std::printf("%zu matching entr%s of %zu live in %s\n", Entries,
+              Entries == 1 ? "y" : "ies", Store.liveEntries(),
+              Pos[0].c_str());
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Command table
+//===----------------------------------------------------------------------===//
+
+CommandRegistry &registry() {
+  static CommandRegistry R = [] {
+    CommandRegistry Reg("tbtool");
+    Reg.add({"compile", "<src.ml> <out.tbo>",
+             "Compile a MiniLang source file to a .tbo module.",
+             {{"--managed", "", "emit a managed-technology module"},
+              {"--name", "NAME", "module name (default: source basename)"}},
+             cmdCompile});
+    Reg.add({"asm", "<src.tbasm> <out.tbo>",
+             "Assemble TB-ISA source to a .tbo module.", {}, cmdAsm});
+    Reg.add({"instrument", "<in.tbo> <out.tbo> <out.tbmap>",
+             "Insert trace probes and emit the module's mapfile.",
+             {{"--dag-base", "N", "first DAG id to assign"},
+              {"--stats", "", "print instrumentation stats as JSON"},
+              {"--no-elide", "", "disable dominance-based probe elision"}},
+             cmdInstrument});
+    Reg.add({"disasm", "<mod.tbo>", "Disassemble a module.", {}, cmdDisasm});
+    Reg.add({"mapinfo", "<map.tbmap>", "Summarize a mapfile.", {},
+             cmdMapInfo});
+    Reg.add({"snapinfo", "<snap.tbsnap>",
+             "Describe a snap's header, modules and buffers.", {},
+             cmdSnapInfo});
+    Reg.add({"info", "<snap.tbsnap>",
+             "Per-section wire cost of a serialized snap.", {}, cmdInfo});
+    Reg.add({"archive", "list <file.tbar> | extract <file.tbar> <index> "
+             "<out.tbsnap>",
+             "List or extract entries of a snap archive.", {}, cmdArchive});
+    Reg.add({"reconstruct", "<snap.tbsnap> <map.tbmap>...",
+             "Reconstruct control flow from a snap (or a directory with "
+             "--batch).",
+             {{"--thread", "N", "render only this thread"},
+              {"--tree", "", "render call trees instead of flat traces"},
+              {"--jobs", "N", "worker threads"},
+              {"--no-cache", "", "disable the DAG-path decode cache"},
+              {"--batch", "DIR", "reconstruct every .tbsnap in DIR"},
+              {"--render", "", "batch mode: write .trace.txt per snap"}},
+             cmdReconstruct});
+    Reg.add({"metrics", "<snap.tbsnap> [<map.tbmap>...]",
+             "Tracer-health JSON: embedded telemetry + reconstruction "
+             "cost.",
+             {{"--jobs", "N", "worker threads"},
+              {"--json", "", "accepted for uniformity (output is JSON)"}},
+             cmdMetrics});
+    Reg.add({"run", "<mod.tbo>...",
+             "Deploy modules in a simulated process and run to completion.",
+             {{"--entry", "NAME", "entry symbol (default main)"},
+              {"--policy", "FILE", "runtime policy file"},
+              {"--snap-dir", "DIR", "where snaps/mapfiles are written"},
+              {"--no-instrument", "", "load modules untraced"}},
+             cmdRun});
+    Reg.add({"inject", "<mod.tbo>...",
+             "Run under a seeded fault plan and verify recovered traces "
+             "against the golden run.",
+             {{"--seed", "S", "fault-plan seed"},
+              {"--plan", "FILE", "replay a saved fault plan"},
+              {"--entry", "NAME", "entry symbol (default main)"},
+              {"--snap-dir", "DIR", "persist surviving snaps/mapfiles"}},
+             cmdInject});
+    Reg.add({"triage", "<snap-dir|archive.tbar> [<map.tbmap>...]",
+             "Cluster snaps by fault signature and print the ranked "
+             "report.",
+             {{"--jobs", "N", "worker threads"},
+              {"--top", "N", "clusters shown (default 20)"},
+              {"--near", "D", "near-tier path edit distance"},
+              {"--store", "FILE", "write signatures to a .tbsig store"},
+              {"--diff", "FILE", "diff against a baseline .tbsig (exit 3 "
+               "on regression)"}},
+             cmdTriage});
+    Reg.add({"serve", "",
+             "Run the fleet collector against a simulated crashing fleet, "
+             "ingesting snap pushes into an indexed store.",
+             {{"--store", "DIR", "snap store directory (required)"},
+              {"--machines", "N", "fleet size per round (default 3)"},
+              {"--rounds", "N", "deployment rounds (default 2)"},
+              {"--seed", "S", "chaos seed"},
+              {"--chaos", "", "inject seeded network faults"},
+              {"--shards", "N", "store payload shards (default 4)"},
+              {"--max-bytes", "B", "retention: live payload byte cap"},
+              {"--max-age", "T", "retention: age cap in timestamp units"},
+              {"--compact", "", "compact the store after ingest"},
+              {"--json", "", "print the summary as JSON"}},
+             cmdServe});
+    Reg.add({"query", "<store-dir>",
+             "Query a snap store with composable predicates; emits the "
+             "triage report format.",
+             {{"--module", "M", "module name or 16-hex checksum key"},
+              {"--fault", "KIND", "fault kind (e.g. fault:segv@appa)"},
+              {"--sig", "HEX", "signature fingerprint"},
+              {"--machine", "M", "machine name or transport id"},
+              {"--since", "T", "window start timestamp (inclusive)"},
+              {"--until", "T", "window end timestamp (inclusive)"},
+              {"--top", "N", "clusters (report) or entries (--list) shown"},
+              {"--list", "", "list matching entries instead of the report"},
+              {"--count", "", "print only match counts"},
+              {"--scan", "", "use the linear-scan oracle instead of the "
+               "index"},
+              {"--json", "", "JSON output for --list"}},
+             cmdQuery});
+    return Reg;
+  }();
+  return R;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   if (argc < 2)
     return usage();
   std::string Cmd = argv[1];
-  ArgList Args(std::vector<std::string>(argv + 2, argv + argc));
-  if (Cmd == "compile")
-    return cmdCompile(std::move(Args));
-  if (Cmd == "asm")
-    return cmdAsm(std::move(Args));
-  if (Cmd == "instrument")
-    return cmdInstrument(std::move(Args));
-  if (Cmd == "disasm")
-    return cmdDisasm(std::move(Args));
-  if (Cmd == "mapinfo")
-    return cmdMapInfo(std::move(Args));
-  if (Cmd == "snapinfo")
-    return cmdSnapInfo(std::move(Args));
-  if (Cmd == "info")
-    return cmdInfo(std::move(Args));
-  if (Cmd == "archive")
-    return cmdArchive(std::move(Args));
-  if (Cmd == "reconstruct")
-    return cmdReconstruct(std::move(Args));
-  if (Cmd == "metrics")
-    return cmdMetrics(std::move(Args));
-  if (Cmd == "run")
-    return cmdRun(std::move(Args));
-  if (Cmd == "inject")
-    return cmdInject(std::move(Args));
-  if (Cmd == "triage")
-    return cmdTriage(std::move(Args));
-  return usage();
+  std::vector<std::string> Args(argv + 2, argv + argc);
+  if (Cmd == "help" || Cmd == "--help" || Cmd == "-h") {
+    if (Args.empty()) {
+      std::fputs(registry().usageText().c_str(), stdout);
+      return 0;
+    }
+    if (const tool::CommandSpec *Spec = registry().find(Args[0])) {
+      std::fputs(registry().helpText(*Spec).c_str(), stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "tbtool help: unknown command '%s'\n",
+                 Args[0].c_str());
+    return 2;
+  }
+  return registry().run(Cmd, std::move(Args));
 }
