@@ -113,6 +113,204 @@ double percentile(std::vector<double> &Sorted, double P) {
   return Sorted[I];
 }
 
+/// Open-latency at depth: the paged TBIX v2 checkpoint against full v1
+/// journal replay, over the same synthesized index. The journal is
+/// written directly (header + add lines) — open cost depends only on
+/// the index, payload shards are never touched by open or by
+/// metadata-only queries — so this scales to millions of entries
+/// without minutes of ingest. Gates (enforced even in smoke mode, with
+/// a smoke-sized threshold): paged open must beat full replay by the
+/// floor factor, and the paged index's resident bytes must stay under
+/// the page-cache cap after queries have walked it.
+std::string runOpenLatencyBench() {
+  const uint64_t N = smokeMode() ? 20'000 : 1'000'000;
+  const double MinSpeedup = smokeMode() ? 2.0 : 20.0;
+  const size_t CacheCap = 2u << 20;
+
+  std::string Dir = benchStoreDir() + "-open";
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  {
+    std::FILE *J = std::fopen((Dir + "/index.tbx").c_str(), "wb");
+    if (!J) {
+      std::fprintf(stderr, "bench: cannot write synthetic journal\n");
+      std::abort();
+    }
+    std::fprintf(J, "TBIX v1\n");
+    static const char *Machines[] = {"web01", "web02", "web03",
+                                     "db01",  "cache01", "cache02"};
+    static const char *Mods[] = {"httpd", "authsvc", "cachelib", "dbcore"};
+    uint64_t ModKeys[4];
+    for (unsigned M = 0; M < 4; ++M)
+      ModKeys[M] = MD5::hash(Mods[M], std::strlen(Mods[M])).low64();
+    uint64_t Rng = 0xbe5eed0123456789ull;
+    for (uint64_t I = 0; I < N; ++I) {
+      uint64_t R = nextRand(Rng);
+      unsigned M0 = R % 4, M1 = (M0 + 1) % 4;
+      // ~1000 distinct fingerprints: realistic posting-list depth.
+      uint64_t Fp = 0x9e3779b97f4a7c15ull * (1 + (R >> 8) % 1000);
+      uint64_t Ph = 0x2545F4914F6CDD1Dull * (I + 1);
+      std::fprintf(J,
+                   "add id=%llu shard=%u off=%llu bytes=4000 ph=%016llx "
+                   "fp=%016llx kind=fault%u@%s machine=%s mid=%llu "
+                   "proc=app pid=%llu ts=%llu reason=1 refs=1 "
+                   "mod=%s:%016llx:1 mod=%s:%016llx:1\n",
+                   static_cast<unsigned long long>(I + 1),
+                   static_cast<unsigned>(R % 4),
+                   static_cast<unsigned long long>(I * 4096),
+                   static_cast<unsigned long long>(Ph),
+                   static_cast<unsigned long long>(Fp), M0, Mods[M0],
+                   Machines[R % 6],
+                   static_cast<unsigned long long>(1 + R % 6),
+                   static_cast<unsigned long long>(1000 + I),
+                   static_cast<unsigned long long>(1'000'000 + I * 10),
+                   Mods[M0], static_cast<unsigned long long>(ModKeys[M0]),
+                   Mods[M1], static_cast<unsigned long long>(ModKeys[M1]));
+    }
+    if (std::fclose(J) != 0)
+      std::abort();
+  }
+
+  auto openStore = [&](SnapStore &St, bool Paged, bool ReadOnly,
+                       MetricsRegistry &Reg) {
+    SnapStoreOptions O;
+    O.Paged = Paged;
+    O.ReadOnly = ReadOnly;
+    O.PageCacheBytes = CacheCap;
+    O.Metrics = &Reg;
+    std::string Err;
+    if (!St.open(Dir, O, Err)) {
+      std::fprintf(stderr, "bench: open failed: %s\n", Err.c_str());
+      std::abort();
+    }
+  };
+
+  // 1. Full v1 replay, read-only (no checkpoint exists yet).
+  double UnpagedMs = 0;
+  {
+    MetricsRegistry Reg;
+    SnapStore St;
+    auto T0 = std::chrono::steady_clock::now();
+    openStore(St, /*Paged=*/false, /*ReadOnly=*/true, Reg);
+    auto T1 = std::chrono::steady_clock::now();
+    UnpagedMs = std::chrono::duration<double, std::milli>(T1 - T0).count();
+    if (St.liveEntries() != N)
+      std::abort();
+    St.close();
+  }
+
+  // 2. Build the checkpoint (a writable open + close — untimed
+  //    maintenance, reported for scale).
+  double CheckpointMs = 0;
+  {
+    MetricsRegistry Reg;
+    SnapStore St;
+    openStore(St, /*Paged=*/false, /*ReadOnly=*/false, Reg);
+    auto T0 = std::chrono::steady_clock::now();
+    St.close(); // Dirty unpaged open → writes index.tbx2.
+    auto T1 = std::chrono::steady_clock::now();
+    CheckpointMs = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  }
+
+  // 3. Paged open: checkpoint validation + zero-length tail replay.
+  MetricsRegistry Reg;
+  SnapStore St;
+  auto T0 = std::chrono::steady_clock::now();
+  openStore(St, /*Paged=*/true, /*ReadOnly=*/true, Reg);
+  auto T1 = std::chrono::steady_clock::now();
+  double PagedMs = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  if (!St.openedPaged()) {
+    std::fprintf(stderr, "bench: paged open fell back to journal replay\n");
+    std::abort();
+  }
+  if (St.liveEntries() != N)
+    std::abort();
+
+  // Walk queries through the page cache so the resident ceiling is
+  // tested against a warmed, evicting cache, not an empty one.
+  double QueryMs = 0;
+  uint64_t Rows = 0;
+  {
+    std::vector<SnapQuery> Mix;
+    Mix.push_back(SnapQuery().setModule("httpd"));
+    Mix.push_back(SnapQuery().setMachine("db01"));
+    Mix.push_back(
+        SnapQuery().setFingerprint(0x9e3779b97f4a7c15ull * 500));
+    for (SnapQuery &Q : Mix)
+      Q.Top = 2000;
+    auto Q0 = std::chrono::steady_clock::now();
+    for (const SnapQuery &Q : Mix) {
+      SnapStore::Cursor Cur = St.query(Q);
+      while (Cur.next())
+        ++Rows;
+    }
+    auto Q1 = std::chrono::steady_clock::now();
+    QueryMs = std::chrono::duration<double, std::milli>(Q1 - Q0).count();
+  }
+
+  uint64_t Resident = St.pageCacheResidentBytes();
+  uint64_t Hits = Reg.counter("collector.store.page.hits").value();
+  uint64_t Misses = Reg.counter("collector.store.page.misses").value();
+  uint64_t Evictions = Reg.counter("collector.store.page.evictions").value();
+  double Speedup = PagedMs > 0 ? UnpagedMs / PagedMs : 0;
+  St.close();
+  fs::remove_all(Dir, EC);
+
+  std::printf("Open latency at depth (%llu index entries)\n",
+              static_cast<unsigned long long>(N));
+  printRule();
+  std::printf("open: v1 full replay    %10.1f ms\n", UnpagedMs);
+  std::printf("open: v2 paged          %10.1f ms   (%.1fx faster; "
+              "checkpoint build %.1f ms)\n",
+              PagedMs, Speedup, CheckpointMs);
+  std::printf("paged queries           %10.1f ms   (%llu rows, %llu hit / "
+              "%llu miss / %llu evict)\n",
+              QueryMs, static_cast<unsigned long long>(Rows),
+              static_cast<unsigned long long>(Hits),
+              static_cast<unsigned long long>(Misses),
+              static_cast<unsigned long long>(Evictions));
+  std::printf("resident index bytes    %10llu      (cap %zu)\n",
+              static_cast<unsigned long long>(Resident), CacheCap);
+  printRule();
+
+  std::string J;
+  J += formatv("  \"open_index_entries\": %llu,\n",
+               static_cast<unsigned long long>(N));
+  J += formatv("  \"open_unpaged_ms\": %.3f,\n", UnpagedMs);
+  J += formatv("  \"open_paged_ms\": %.3f,\n", PagedMs);
+  J += formatv("  \"open_speedup\": %.2f,\n", Speedup);
+  J += formatv("  \"checkpoint_build_ms\": %.3f,\n", CheckpointMs);
+  J += formatv("  \"paged_query_ms\": %.3f,\n", QueryMs);
+  J += formatv("  \"page_hits\": %llu,\n",
+               static_cast<unsigned long long>(Hits));
+  J += formatv("  \"page_misses\": %llu,\n",
+               static_cast<unsigned long long>(Misses));
+  J += formatv("  \"page_evictions\": %llu,\n",
+               static_cast<unsigned long long>(Evictions));
+  J += formatv("  \"resident_bytes\": %llu,\n",
+               static_cast<unsigned long long>(Resident));
+  J += formatv("  \"page_cache_cap\": %zu,\n", CacheCap);
+  J += formatv("  \"gate_open_speedup\": %.1f,\n", MinSpeedup);
+
+  // These two gates hold in smoke mode too: both sides of the ratio see
+  // the same machine load, and the resident bound is a hard invariant.
+  if (Speedup < MinSpeedup) {
+    std::fprintf(stderr,
+                 "collector bench: paged open speedup %.2fx below the "
+                 "%.1fx floor — regression\n",
+                 Speedup, MinSpeedup);
+    std::exit(1);
+  }
+  if (Resident > CacheCap) {
+    std::fprintf(stderr,
+                 "collector bench: resident index bytes %llu exceed the "
+                 "%zu page-cache cap — regression\n",
+                 static_cast<unsigned long long>(Resident), CacheCap);
+    std::exit(1);
+  }
+  return J;
+}
+
 void printCollectorBench() {
   const uint64_t Snaps = smokeMode() ? 2000 : 120'000;
   const uint64_t QueryReps = smokeMode() ? 20 : 200;
@@ -246,6 +444,8 @@ void printCollectorBench() {
               static_cast<unsigned long long>(St.liveBytes()));
   printRule();
 
+  std::string OpenJ = runOpenLatencyBench();
+
   std::string J = "{\n  \"bench\": \"collector\",\n";
   J += formatv("  \"snaps\": %llu,\n",
                static_cast<unsigned long long>(Snaps));
@@ -259,6 +459,7 @@ void printCollectorBench() {
   J += formatv("  \"query_p50_ms\": %.3f,\n", P50);
   J += formatv("  \"query_p99_ms\": %.3f,\n", P99);
   J += formatv("  \"scan_ms\": %.3f,\n", ScanMs);
+  J += OpenJ;
   J += formatv("  \"gate_snaps_per_sec\": %.0f,\n", MinSnapsPerSec);
   J += formatv("  \"gate_query_p99_ms\": %.0f,\n", MaxQueryP99Ms);
   J += formatv("  \"gates_enforced\": %s\n", smokeMode() ? "false" : "true");

@@ -6,7 +6,9 @@
 
 #include "collector/SnapStore.h"
 
+#include "collector/PagedIndex.h"
 #include "distributed/SnapArchive.h"
+#include "support/ThreadPool.h"
 #include "triage/Signature.h"
 
 #include <algorithm>
@@ -33,6 +35,12 @@ using namespace traceback;
 // token is always one field. A final line without its trailing newline is
 // a torn tail from a crashed collector and is dropped; malformed bytes
 // before that are corruption and fail open().
+//
+// The journal is the complete history of the store — the TBIX v2
+// checkpoint (collector/PagedIndex.h) never truncates it, it only records
+// how many journal bytes it folds in. A paged open seeks past that prefix
+// and replays just the tail; any doubt about the checkpoint falls back to
+// replaying the whole journal from byte zero.
 
 static const char *IndexHeader = "TBIX v1";
 
@@ -167,6 +175,8 @@ std::string SnapStore::shardPath(uint32_t Index) const {
 
 std::string SnapStore::indexPath() const { return Dir + "/index.tbx"; }
 
+std::string SnapStore::checkpointPath() const { return Dir + "/index.tbx2"; }
+
 bool SnapStore::open(const std::string &Directory, const SnapStoreOptions &O,
                      std::string &Error) {
   close();
@@ -191,8 +201,33 @@ bool SnapStore::open(const std::string &Directory, const SnapStoreOptions &O,
   SM.LiveEntriesG = &R.gauge("collector.store.live_entries");
   SM.LiveBytesG = &R.gauge("collector.store.live_bytes");
 
+  // Try the TBIX v2 checkpoint first. Any validation failure returns
+  // null and we fall back to replaying the whole journal — the journal
+  // is the complete history, so the fallback is always correct.
+  if (Opt.Paged) {
+    PageCacheInstruments PCI;
+    PCI.Hits = &R.counter("collector.store.page.hits");
+    PCI.Misses = &R.counter("collector.store.page.misses");
+    PCI.Evictions = &R.counter("collector.store.page.evictions");
+    PCI.Resident = &R.gauge("store.bytes_resident");
+    std::string Why;
+    Ck = PagedIndexReader::open(checkpointPath(), indexPath(),
+                                Opt.PageCacheBytes, PCI, Why);
+    if (Ck) {
+      NextId = Ck->nextId();
+      LiveCount = static_cast<size_t>(Ck->liveCount());
+      LiveBytes = Ck->liveBytes();
+      CkRefsLive = Ck->liveRefs();
+    }
+  }
+
   if (!replayIndex(Error))
     return false;
+
+  // An open that could not use a checkpoint is dirty by definition: a
+  // close() should leave one behind for the next open. A paged open is
+  // clean until something is journaled.
+  Dirty = Ck == nullptr;
 
   if (!Opt.ReadOnly) {
     for (unsigned I = 0; I < Opt.Shards; ++I) {
@@ -227,6 +262,11 @@ bool SnapStore::open(const std::string &Directory, const SnapStoreOptions &O,
 }
 
 void SnapStore::close() {
+  if (Open && !Opt.ReadOnly && Dirty) {
+    if (Journal)
+      std::fflush(static_cast<std::FILE *>(Journal));
+    writeCheckpoint();
+  }
   if (Journal) {
     std::fclose(static_cast<std::FILE *>(Journal));
     Journal = nullptr;
@@ -240,6 +280,13 @@ void SnapStore::close() {
   ByMachine.clear();
   ByTime.clear();
   DedupByKey.clear();
+  Ck.reset();
+  DeadCk.clear();
+  RefDeltaCk.clear();
+  CkRefsLive = 0;
+  CkEntryCache.clear();
+  CkEntryCacheOrder.clear();
+  Dirty = false;
   NextId = 1;
   LiveCount = 0;
   LiveBytes = 0;
@@ -277,6 +324,18 @@ bool SnapStore::replayIndex(std::string &Error) {
   bool SawHeader = false, SawNewline = false, Bad = false;
   size_t LineNo = 0;
 
+  // A paged open replays only the tail appended after the checkpoint.
+  // The covered prefix ends at a line boundary (the checkpoint hashed a
+  // fully flushed journal), so seeking lands at the start of a record.
+  if (Ck) {
+    if (std::fseek(F, static_cast<long>(Ck->journalBytes()), SEEK_SET) != 0) {
+      std::fclose(F);
+      Error = "cannot seek to index journal tail: " + indexPath();
+      return false;
+    }
+    SawHeader = true;
+  }
+
   auto handleLine = [&]() -> bool {
     ++LineNo;
     if (!SawHeader) {
@@ -293,8 +352,12 @@ bool SnapStore::replayIndex(std::string &Error) {
       if (Tok.size() != 2 || !parseU64(Tok[1], Id))
         return false;
       auto It = ById.find(Id);
-      if (It == ById.end())
+      if (It == ById.end()) {
+        // Not a tail entry — a checkpoint entry the tail mutated.
+        if (Ck)
+          return Tok[0] == "ref" ? ckApplyRef(Id) : ckApplyEvict(Id);
         return false;
+      }
       SnapStoreEntry &E = Entries[It->second];
       if (Tok[0] == "ref")
         ++E.RefCount;
@@ -383,6 +446,8 @@ bool SnapStore::replayIndex(std::string &Error) {
     }
     if (E.Id == 0 || ById.count(E.Id))
       return false;
+    if (Ck && (E.Id < Ck->nextId() || Ck->hasEntry(E.Id)))
+      return false; // Tail ids must all exceed checkpoint ids.
     ById[E.Id] = Entries.size();
     Entries.push_back(std::move(E));
     indexEntry(Entries.back());
@@ -425,8 +490,11 @@ bool SnapStore::journalLine(const std::string &Line) {
   if (!Journal)
     return false;
   std::FILE *J = static_cast<std::FILE *>(Journal);
-  return std::fwrite(Line.data(), 1, Line.size(), J) == Line.size() &&
-         std::fputc('\n', J) != EOF && std::fflush(J) == 0;
+  if (std::fwrite(Line.data(), 1, Line.size(), J) != Line.size() ||
+      std::fputc('\n', J) == EOF || std::fflush(J) != 0)
+    return false;
+  Dirty = true;
+  return true;
 }
 
 void SnapStore::indexEntry(const SnapStoreEntry &E) {
@@ -446,7 +514,7 @@ void SnapStore::indexEntry(const SnapStoreEntry &E) {
                              std::make_pair(E.Timestamp, E.Id));
   ByTime.insert(At, {E.Timestamp, E.Id});
   if (!E.Dead) {
-    DedupByKey[{E.Fingerprint, E.PayloadHash}] = E.Id;
+    DedupByKey.insertOrAssign(DedupKey{E.Fingerprint, E.PayloadHash}, E.Id);
     ++LiveCount;
     LiveBytes += E.ImageBytes;
   }
@@ -458,42 +526,147 @@ void SnapStore::markDead(SnapStoreEntry &E) {
   E.Dead = true;
   --LiveCount;
   LiveBytes -= E.ImageBytes;
-  auto It = DedupByKey.find({E.Fingerprint, E.PayloadHash});
-  if (It != DedupByKey.end() && It->second == E.Id)
-    DedupByKey.erase(It);
+  dedupTombstone(E.Fingerprint, E.PayloadHash, E.Id);
+}
+
+void SnapStore::dedupTombstone(uint64_t Fp, uint64_t Ph, uint64_t DyingId) {
+  DedupKey K{Fp, Ph};
+  if (uint64_t *V = DedupByKey.find(K)) {
+    if (*V == DyingId)
+      *V = 0; // Tombstone: FlatMap has no erase; 0 is never a valid id.
+    return;
+  }
+  // No tail mapping: the dying entry may still be reachable through the
+  // checkpoint's dedup table. A tombstone in the tail map shadows it.
+  if (Ck) {
+    uint64_t CkId = 0;
+    if (Ck->findDedup(Fp, Ph, CkId) && CkId == DyingId)
+      DedupByKey.insertOrAssign(K, 0);
+  }
+}
+
+void SnapStore::applyCkAdjust(SnapStoreEntry &E) const {
+  auto It = RefDeltaCk.find(E.Id);
+  if (It != RefDeltaCk.end())
+    E.RefCount += It->second;
+  if (DeadCk.count(E.Id))
+    E.Dead = true;
+}
+
+bool SnapStore::readCkEntry(uint64_t Id, SnapStoreEntry &Out) const {
+  if (!Ck || !Ck->entryById(Id, Out))
+    return false;
+  applyCkAdjust(Out);
+  return true;
+}
+
+bool SnapStore::readCkEntryAt(uint64_t Idx, SnapStoreEntry &Out) const {
+  if (!Ck || !Ck->entryByIndex(Idx, Out))
+    return false;
+  applyCkAdjust(Out);
+  return true;
+}
+
+void SnapStore::ckMarkDead(const SnapStoreEntry &E) {
+  if (E.Dead || DeadCk.count(E.Id))
+    return;
+  DeadCk.insert(E.Id);
+  --LiveCount;
+  LiveBytes -= E.ImageBytes;
+  CkRefsLive -= E.RefCount; // E is adjusted: deltas already folded in.
+  dedupTombstone(E.Fingerprint, E.PayloadHash, E.Id);
+  CkEntryCache.erase(E.Id);
+}
+
+bool SnapStore::ckApplyRef(uint64_t Id) {
+  SnapStoreEntry E;
+  if (!readCkEntry(Id, E))
+    return false;
+  ++RefDeltaCk[Id];
+  if (!E.Dead)
+    ++CkRefsLive;
+  CkEntryCache.erase(Id);
+  return true;
+}
+
+bool SnapStore::ckApplyEvict(uint64_t Id) {
+  SnapStoreEntry E;
+  if (!readCkEntry(Id, E))
+    return false;
+  if (!E.Dead)
+    ckMarkDead(E);
+  return true;
 }
 
 size_t SnapStore::enforceRetention() {
   if (Opt.MaxBytes == 0 && Opt.MaxAge == 0)
     return 0;
+  // The checkpoint's time table and the tail's ByTime are each sorted by
+  // (timestamp, id); a two-pointer merge walks the union in exactly the
+  // order the unpaged store would, so victims come out identical.
+  uint64_t CkN = Ck ? Ck->timeCount() : 0;
+  auto ckTime = [&](uint64_t I) {
+    uint64_t Ts = 0, Id = 0;
+    Ck->timeAt(I, Ts, Id);
+    return std::make_pair(Ts, Id);
+  };
+  SnapStoreEntry Tmp;
   uint64_t NewestTs = 0;
   if (Opt.MaxAge != 0) {
-    // Newest live timestamp anchors the age horizon; ByTime's back may be
-    // dead, so walk from the newest end to the first live entry.
-    for (auto It = ByTime.rbegin(); It != ByTime.rend(); ++It) {
-      auto Slot = ById.find(It->second);
-      if (Slot != ById.end() && !Entries[Slot->second].Dead) {
-        NewestTs = It->first;
-        break;
+    // Newest live timestamp anchors the age horizon; the newest end may
+    // be dead, so walk backwards to the first live entry.
+    size_t TI = ByTime.size();
+    uint64_t CI = CkN;
+    while (TI > 0 || CI > 0) {
+      bool TakeTail = TI > 0 && (CI == 0 || ByTime[TI - 1] >= ckTime(CI - 1));
+      if (TakeTail) {
+        --TI;
+        auto Slot = ById.find(ByTime[TI].second);
+        if (Slot != ById.end() && !Entries[Slot->second].Dead) {
+          NewestTs = ByTime[TI].first;
+          break;
+        }
+      } else {
+        --CI;
+        auto P = ckTime(CI);
+        if (readCkEntry(P.second, Tmp) && !Tmp.Dead) {
+          NewestTs = P.first;
+          break;
+        }
       }
     }
   }
   size_t Evicted = 0;
   // Deterministic victim order: oldest timestamp first, lowest id on
-  // ties — exactly ByTime's sort order, front to back.
-  for (const auto &TsId : ByTime) {
+  // ties — the merged (timestamp, id) order, front to back.
+  size_t TI = 0;
+  uint64_t CI = 0;
+  while (TI < ByTime.size() || CI < CkN) {
+    bool TakeTail = TI < ByTime.size() && (CI >= CkN || ByTime[TI] < ckTime(CI));
+    std::pair<uint64_t, uint64_t> TsId = TakeTail ? ByTime[TI] : ckTime(CI);
     bool OverBytes = Opt.MaxBytes != 0 && LiveBytes > Opt.MaxBytes;
     bool OverAge = Opt.MaxAge != 0 && NewestTs > Opt.MaxAge &&
                    TsId.first < NewestTs - Opt.MaxAge;
     if (!OverBytes && !OverAge)
       break;
-    auto Slot = ById.find(TsId.second);
-    if (Slot == ById.end() || Entries[Slot->second].Dead)
-      continue;
-    SnapStoreEntry &E = Entries[Slot->second];
-    markDead(E);
-    journalLine("evict " + std::to_string(E.Id));
-    ++Evicted;
+    if (TakeTail) {
+      ++TI;
+      auto Slot = ById.find(TsId.second);
+      if (Slot == ById.end() || Entries[Slot->second].Dead)
+        continue;
+      SnapStoreEntry &E = Entries[Slot->second];
+      markDead(E);
+      journalLine("evict " + std::to_string(E.Id));
+      ++Evicted;
+    } else {
+      ++CI;
+      if (DeadCk.count(TsId.second) || !readCkEntry(TsId.second, Tmp) ||
+          Tmp.Dead)
+        continue;
+      ckMarkDead(Tmp);
+      journalLine("evict " + std::to_string(Tmp.Id));
+      ++Evicted;
+    }
   }
   if (Evicted) {
     EvictionCount += Evicted;
@@ -549,19 +722,36 @@ bool SnapStore::append(const std::vector<uint8_t> &Image,
   SM.Appends->add();
 
   // Dedup: same fingerprint + same payload bytes → refcount the entry we
-  // already stored.
-  auto Hit = DedupByKey.find({FP, PH});
-  if (Hit != DedupByKey.end()) {
-    SnapStoreEntry &E = Entries[ById[Hit->second]];
-    ++E.RefCount;
+  // already stored. The tail map answers first (a 0 tombstone means the
+  // key's holder died — including a holder only the checkpoint's table
+  // knows about); otherwise the checkpoint's dedup table is probed.
+  DedupKey K{FP, PH};
+  uint64_t HitId = 0;
+  if (const uint64_t *V = DedupByKey.find(K)) {
+    HitId = *V;
+  } else if (Ck) {
+    uint64_t CkId = 0;
+    if (Ck->findDedup(FP, PH, CkId) && !DeadCk.count(CkId))
+      HitId = CkId;
+  }
+  if (HitId != 0) {
+    auto Slot = ById.find(HitId);
+    if (Slot != ById.end()) {
+      ++Entries[Slot->second].RefCount;
+    } else {
+      // A checkpoint entry: record the bump as a delta on top of it.
+      ++RefDeltaCk[HitId];
+      ++CkRefsLive;
+      CkEntryCache.erase(HitId);
+    }
     ++DedupHitCount;
     SM.DedupHits->add();
-    if (!journalLine("ref " + std::to_string(E.Id))) {
+    if (!journalLine("ref " + std::to_string(HitId))) {
       if (Error)
         *Error = "index journal write failed";
       return false;
     }
-    Out.Id = E.Id;
+    Out.Id = HitId;
     Out.Deduped = true;
     return true;
   }
@@ -642,46 +832,191 @@ bool SnapStore::matches(const SnapStoreEntry &E, const SnapQuery &Q) {
   return true;
 }
 
-const std::vector<uint64_t> *SnapStore::planPosting(const SnapQuery &Q) const {
-  // A set predicate whose key was never indexed proves the result empty.
+SnapStore::QueryPlan SnapStore::planQuery(const SnapQuery &Q) const {
+  // A set predicate whose key was never indexed proves the result empty
+  // for that half (checkpoint or tail). Candidate count = checkpoint
+  // posting + tail posting; the smallest total wins, first dimension on
+  // ties — the same deterministic choice order as the tail-only planner.
   static const std::vector<uint64_t> Empty;
-  const std::vector<uint64_t> *Best = nullptr;
-  auto consider = [&](const std::vector<uint64_t> *P) {
-    if (!Best || P->size() < Best->size())
-      Best = P;
+  QueryPlan Best;
+  uint64_t BestTotal = 0;
+  auto offer = [&](bool HasCk, uint64_t CkOff, uint64_t CkCount,
+                   const std::vector<uint64_t> *Tail) {
+    uint64_t Total = CkCount + Tail->size();
+    if (!Best.Planned || Total < BestTotal) {
+      Best.Planned = true;
+      Best.HasCkPost = HasCk;
+      Best.CkPostOff = CkOff;
+      Best.CkPostCount = CkCount;
+      Best.Tail = Tail;
+      BestTotal = Total;
+    }
+  };
+  auto dim = [&](TbixDim D, uint64_t Key, const std::vector<uint64_t> *Tail) {
+    bool HasCk = false;
+    uint64_t Off = 0, Count = 0;
+    if (Ck) {
+      PagedIndexReader::PostingRef PR;
+      if (Ck->findPosting(D, Key, PR)) {
+        HasCk = true;
+        Off = PR.Off;
+        Count = PR.Count;
+      }
+    }
+    offer(HasCk, Off, Count, Tail);
   };
   if (Q.HasFingerprint) {
     auto It = ByFingerprint.find(Q.Fingerprint);
-    consider(It == ByFingerprint.end() ? &Empty : &It->second);
+    dim(TbixDim::Fingerprint, Q.Fingerprint,
+        It == ByFingerprint.end() ? &Empty : &It->second);
   }
   if (Q.HasModule) {
     auto It = ByModule.find(Q.ModuleKey);
-    consider(It == ByModule.end() ? &Empty : &It->second);
+    dim(TbixDim::Module, Q.ModuleKey,
+        It == ByModule.end() ? &Empty : &It->second);
   }
   if (Q.HasMachine) {
     auto It = ByMachine.find(Q.MachineKey);
-    consider(It == ByMachine.end() ? &Empty : &It->second);
+    dim(TbixDim::Machine, Q.MachineKey,
+        It == ByMachine.end() ? &Empty : &It->second);
   }
   if (!Q.Kind.empty()) {
     auto It = ByKind.find(Q.Kind);
-    consider(It == ByKind.end() ? &Empty : &It->second);
+    dim(TbixDim::Kind, signatureHash(Q.Kind),
+        It == ByKind.end() ? &Empty : &It->second);
   }
   return Best;
 }
 
 SnapStore::Cursor SnapStore::query(const SnapQuery &Q) const {
   SM.Queries->add();
-  return Cursor(*this, Q, planPosting(Q));
+  Cursor C(*this, Q);
+  QueryPlan P = planQuery(Q);
+  if (P.Planned) {
+    C.CkStage = P.HasCkPost;
+    C.CkPosting = true;
+    C.CkPostOff = P.CkPostOff;
+    C.CkPostCount = P.CkPostCount;
+    C.Posting = P.Tail;
+  } else {
+    C.CkStage = Ck != nullptr;
+    C.Posting = nullptr;
+  }
+  return C;
 }
 
 SnapStore::Cursor SnapStore::scan(const SnapQuery &Q) const {
   SM.Queries->add();
-  return Cursor(*this, Q, nullptr);
+  Cursor C(*this, Q);
+  C.CkStage = Ck != nullptr;
+  C.Posting = nullptr;
+  return C;
+}
+
+std::vector<uint64_t> SnapStore::queryIds(const SnapQuery &Q,
+                                          ThreadPool *Pool) const {
+  SM.Queries->add();
+  QueryPlan P = planQuery(Q);
+
+  // Candidate ids, ascending: checkpoint ids all precede tail ids.
+  std::vector<uint64_t> Cand;
+  if (P.Planned) {
+    Cand.reserve(P.CkPostCount + P.Tail->size());
+    if (P.HasCkPost) {
+      PagedIndexReader::PostingRef PR{P.CkPostOff, P.CkPostCount};
+      for (uint64_t I = 0; I < P.CkPostCount; ++I)
+        Cand.push_back(Ck->postingIdAt(PR, I));
+    }
+    Cand.insert(Cand.end(), P.Tail->begin(), P.Tail->end());
+  } else {
+    uint64_t CkN = Ck ? Ck->entryCount() : 0;
+    Cand.reserve(CkN + Entries.size());
+    for (uint64_t I = 0; I < CkN; ++I)
+      Cand.push_back(Ck->entryIdAt(I));
+    for (const SnapStoreEntry &E : Entries)
+      Cand.push_back(E.Id);
+  }
+
+  // Shard the residual filter; per-chunk results concatenate in chunk
+  // order, so the output is the candidate order regardless of how the
+  // pool schedules the chunks.
+  const size_t ChunkSize = 2048;
+  size_t NChunks = (Cand.size() + ChunkSize - 1) / ChunkSize;
+  std::vector<std::vector<uint64_t>> Parts(NChunks);
+  parallelForIndex(Pool, NChunks, [&](size_t CI) {
+    SnapStoreEntry Scratch;
+    size_t Begin = CI * ChunkSize;
+    size_t End = std::min(Begin + ChunkSize, Cand.size());
+    std::vector<uint64_t> &Hits = Parts[CI];
+    for (size_t I = Begin; I < End; ++I) {
+      uint64_t Id = Cand[I];
+      const SnapStoreEntry *E = nullptr;
+      auto It = ById.find(Id);
+      if (It != ById.end())
+        E = &Entries[It->second];
+      else if (readCkEntry(Id, Scratch))
+        E = &Scratch;
+      if (E && matches(*E, Q))
+        Hits.push_back(Id);
+    }
+  });
+
+  std::vector<uint64_t> Ids;
+  for (const std::vector<uint64_t> &Part : Parts)
+    Ids.insert(Ids.end(), Part.begin(), Part.end());
+  if (Q.Top != 0 && Ids.size() > Q.Top)
+    Ids.resize(Q.Top);
+  return Ids;
+}
+
+SnapStore::Cursor SnapStore::query(const SnapQuery &Q, ThreadPool *Pool) const {
+  Cursor C(*this, Q);
+  C.UseOwned = true;
+  C.Owned = queryIds(Q, Pool);
+  return C;
 }
 
 const SnapStoreEntry *SnapStore::Cursor::next() {
   if (Q.Top != 0 && Returned >= Q.Top)
     return nullptr;
+  if (UseOwned) {
+    // Ids were pre-filtered by queryIds(); just resolve each to storage.
+    while (OwnedPos < Owned.size()) {
+      uint64_t Id = Owned[OwnedPos++];
+      const SnapStoreEntry *E = nullptr;
+      auto It = S.ById.find(Id);
+      if (It != S.ById.end())
+        E = &S.Entries[It->second];
+      else if (S.readCkEntry(Id, Scratch))
+        E = &Scratch;
+      if (E) {
+        ++Returned;
+        return E;
+      }
+    }
+    return nullptr;
+  }
+  while (CkStage) {
+    bool Have = false;
+    if (CkPosting) {
+      if (CkPos >= CkPostCount) {
+        CkStage = false;
+        break;
+      }
+      PagedIndexReader::PostingRef PR{CkPostOff, CkPostCount};
+      Have = S.readCkEntry(S.Ck->postingIdAt(PR, CkPos++), Scratch);
+    } else {
+      if (CkPos >= S.Ck->entryCount()) {
+        CkStage = false;
+        break;
+      }
+      Have = S.readCkEntryAt(CkPos++, Scratch);
+    }
+    if (Have && SnapStore::matches(Scratch, Q)) {
+      ++Returned;
+      return &Scratch;
+    }
+  }
   if (Posting) {
     while (Pos < Posting->size()) {
       const SnapStoreEntry *E = S.entry((*Posting)[Pos++]);
@@ -702,9 +1037,65 @@ const SnapStoreEntry *SnapStore::Cursor::next() {
   return nullptr;
 }
 
+SnapStore::TimeCursor SnapStore::timeQuery(const SnapQuery &Q) const {
+  SM.Queries->add();
+  return TimeCursor(*this, Q);
+}
+
+const SnapStoreEntry *SnapStore::TimeCursor::next() {
+  if (Q.Top != 0 && Returned >= Q.Top)
+    return nullptr;
+  uint64_t CkN = S.Ck ? S.Ck->timeCount() : 0;
+  while (CkPos < CkN || TailPos < S.ByTime.size()) {
+    // Two-pointer merge of the checkpoint time table and the tail's
+    // ByTime — both sorted by (timestamp, id), ids disjoint.
+    bool TakeCk = false;
+    uint64_t CTs = 0, CId = 0;
+    if (CkPos < CkN) {
+      S.Ck->timeAt(CkPos, CTs, CId);
+      TakeCk = TailPos >= S.ByTime.size() ||
+               std::make_pair(CTs, CId) < S.ByTime[TailPos];
+    }
+    const SnapStoreEntry *E = nullptr;
+    if (TakeCk) {
+      ++CkPos;
+      if (S.readCkEntry(CId, Scratch))
+        E = &Scratch;
+    } else {
+      uint64_t Id = S.ByTime[TailPos++].second;
+      auto It = S.ById.find(Id);
+      if (It != S.ById.end())
+        E = &S.Entries[It->second];
+    }
+    if (E && SnapStore::matches(*E, Q)) {
+      ++Returned;
+      return E;
+    }
+  }
+  return nullptr;
+}
+
 const SnapStoreEntry *SnapStore::entry(uint64_t Id) const {
   auto It = ById.find(Id);
-  return It == ById.end() ? nullptr : &Entries[It->second];
+  if (It != ById.end())
+    return &Entries[It->second];
+  if (!Ck)
+    return nullptr;
+  auto CIt = CkEntryCache.find(Id);
+  if (CIt != CkEntryCache.end())
+    return CIt->second.get();
+  auto E = std::make_unique<SnapStoreEntry>();
+  if (!readCkEntry(Id, *E))
+    return nullptr;
+  // Bounded FIFO: entry() pointers stay valid for ~64 further lookups.
+  if (CkEntryCacheOrder.size() >= 64) {
+    CkEntryCache.erase(CkEntryCacheOrder.front());
+    CkEntryCacheOrder.erase(CkEntryCacheOrder.begin());
+  }
+  const SnapStoreEntry *Ret = E.get();
+  CkEntryCacheOrder.push_back(Id);
+  CkEntryCache[Id] = std::move(E);
+  return Ret;
 }
 
 bool SnapStore::loadImage(const SnapStoreEntry &E,
@@ -720,8 +1111,118 @@ bool SnapStore::loadSnap(const SnapStoreEntry &E, SnapFile &Out) const {
 }
 
 //===----------------------------------------------------------------------===//
-// Compaction
+// Compaction and checkpointing
 //===----------------------------------------------------------------------===//
+
+bool SnapStore::materializeFromCheckpoint(std::string *Error) {
+  if (!Ck)
+    return true;
+  std::vector<SnapStoreEntry> All;
+  All.reserve(static_cast<size_t>(Ck->entryCount()) + Entries.size());
+  for (uint64_t I = 0, N = Ck->entryCount(); I < N; ++I) {
+    SnapStoreEntry E;
+    if (!readCkEntryAt(I, E)) {
+      if (Error)
+        *Error = "checkpoint entry read failed";
+      return false;
+    }
+    All.push_back(std::move(E));
+  }
+  for (SnapStoreEntry &E : Entries)
+    All.push_back(std::move(E));
+  Entries = std::move(All);
+  Ck.reset();
+  DeadCk.clear();
+  RefDeltaCk.clear();
+  CkRefsLive = 0;
+  CkEntryCache.clear();
+  CkEntryCacheOrder.clear();
+  ById.clear();
+  ByModule.clear();
+  ByKind.clear();
+  ByFingerprint.clear();
+  ByMachine.clear();
+  ByTime.clear();
+  DedupByKey.clear();
+  LiveCount = 0;
+  LiveBytes = 0;
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    ById[Entries[I].Id] = I;
+    indexEntry(Entries[I]);
+  }
+  return true;
+}
+
+bool SnapStore::writeCheckpoint() {
+  if (Opt.ReadOnly)
+    return false;
+  PagedIndexHeaderInfo H;
+  H.NextId = NextId;
+  H.LiveCount = LiveCount;
+  H.LiveBytes = LiveBytes;
+  H.LiveRefs = totalRefs();
+
+  // Journal coverage: the checkpoint names the journal prefix it folds
+  // in — its length plus FNV windows over the first and last 4 KiB. A
+  // journal that later shrinks or diverges (compact crash, truncation)
+  // fails these checks at open and the checkpoint is ignored.
+  {
+    std::FILE *J = std::fopen(indexPath().c_str(), "rb");
+    if (!J)
+      return false;
+    bool JOk = std::fseek(J, 0, SEEK_END) == 0;
+    long Sz = JOk ? std::ftell(J) : -1;
+    JOk = JOk && Sz >= 0;
+    if (JOk) {
+      H.JournalBytes = static_cast<uint64_t>(Sz);
+      size_t WLen =
+          static_cast<size_t>(std::min<uint64_t>(H.JournalBytes, TbixPageSize));
+      if (WLen) {
+        std::vector<uint8_t> WBuf(WLen);
+        JOk = std::fseek(J, 0, SEEK_SET) == 0 &&
+              std::fread(WBuf.data(), 1, WLen, J) == WLen;
+        if (JOk)
+          H.JournalHeadHash = fnv1a64(WBuf.data(), WLen);
+        if (JOk) {
+          JOk = std::fseek(J, static_cast<long>(H.JournalBytes - WLen),
+                           SEEK_SET) == 0 &&
+                std::fread(WBuf.data(), 1, WLen, J) == WLen;
+          if (JOk)
+            H.JournalTailHash = fnv1a64(WBuf.data(), WLen);
+        }
+      }
+    }
+    std::fclose(J);
+    if (!JOk)
+      return false;
+  }
+
+  // Stream entries in ascending id order: checkpoint entries (with the
+  // tail's refcount/eviction deltas folded in) first, then the tail.
+  uint64_t CkN = Ck ? Ck->entryCount() : 0;
+  uint64_t CkI = 0;
+  size_t TailI = 0;
+  bool ReadFail = false;
+  auto NextE = [&](SnapStoreEntry &Out) -> bool {
+    if (CkI < CkN) {
+      if (!readCkEntryAt(CkI++, Out)) {
+        ReadFail = true;
+        return false;
+      }
+      return true;
+    }
+    if (TailI < Entries.size()) {
+      Out = Entries[TailI++];
+      return true;
+    }
+    return false;
+  };
+  std::string CkErr;
+  bool Ok = writePagedIndex(checkpointPath(), H, NextE, CkErr) && !ReadFail;
+  if (!Ok)
+    std::remove(checkpointPath().c_str());
+  return Ok;
+}
 
 bool SnapStore::compact(std::string *Error) {
   if (!Open || Opt.ReadOnly) {
@@ -729,6 +1230,14 @@ bool SnapStore::compact(std::string *Error) {
       *Error = "store is not open for writing";
     return false;
   }
+
+  // Compaction is the O(n) maintenance pass: fold the checkpoint into
+  // memory first so the rewrite below sees plain in-memory state.
+  if (Ck && !materializeFromCheckpoint(Error))
+    return false;
+  // The journal is about to be replaced; any existing checkpoint goes
+  // stale either way.
+  Dirty = true;
 
   // Quiesce the writers so the rewrite reads fully-flushed shards.
   for (auto &S : Shards)
@@ -829,15 +1338,33 @@ bool SnapStore::compact(std::string *Error) {
   if (!Journal)
     Ok = false;
 
+  // A fresh checkpoint over the compacted journal; failure just leaves
+  // the store dirty so close() retries (the checkpoint is an
+  // accelerator — a paged open without one falls back to replay).
+  if (Ok && writeCheckpoint())
+    Dirty = false;
+
   SM.LiveEntriesG->set(static_cast<int64_t>(LiveCount));
   SM.LiveBytesG->set(static_cast<int64_t>(LiveBytes));
   return Ok;
 }
 
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+size_t SnapStore::totalEntries() const {
+  return (Ck ? static_cast<size_t>(Ck->entryCount()) : 0) + Entries.size();
+}
+
 uint64_t SnapStore::totalRefs() const {
-  uint64_t Sum = 0;
+  uint64_t Sum = CkRefsLive;
   for (const SnapStoreEntry &E : Entries)
     if (!E.Dead)
       Sum += E.RefCount;
   return Sum;
+}
+
+size_t SnapStore::pageCacheResidentBytes() const {
+  return Ck ? Ck->residentBytes() : 0;
 }

@@ -11,16 +11,25 @@
 ///
 ///   shard-NN.tbar   sharded append-only TBAR archives (the payloads)
 ///   index.tbx       the persistent content index (TBIX v1 journal)
+///   index.tbx2      paged TBIX v2 index checkpoint (optional accelerator)
 ///
-/// The index is an append-only, line-oriented journal: `add` records one
+/// The index journal is append-only and line-oriented: `add` records one
 /// ingested snap's metadata (shard/offset/size of the payload plus every
 /// queryable key — module checksums and names, fault kind, triage
 /// signature fingerprint, machine, time), `ref` bumps a dedup refcount
-/// and `evict` tombstones a retention victim. Opening a store replays
-/// the journal (streamed line by line, never read whole); a torn final
-/// line from a crashed collector is dropped, exactly like a torn TBAR
-/// tail. compact() rewrites the shards without dead entries and replaces
-/// the journal with a clean snapshot.
+/// and `evict` tombstones a retention victim. The journal is the
+/// complete, crash-consistent history; a torn final line from a crashed
+/// collector is dropped, exactly like a torn TBAR tail.
+///
+/// Opening a store replays the journal — unless a valid TBIX v2
+/// checkpoint is present (see collector/PagedIndex.h), in which case
+/// open validates the checkpoint's page checksums with one streaming
+/// pass and replays only the journal tail appended after it. Checkpoint
+/// entries are then read on demand through a bounded LRU page cache, so
+/// resident index memory stays flat however large the store grows. A
+/// corrupt, torn or stale checkpoint is ignored and open degrades to
+/// full journal replay — never to wrong results. close() and compact()
+/// write a fresh checkpoint.
 ///
 /// Query evaluation is index-only: each predicate dimension keeps a
 /// posting list (sorted entry ids per key), the planner starts from the
@@ -29,7 +38,11 @@
 /// payloads are point-read from their shard on demand and the store is
 /// never materialized in memory. scan() runs the same predicates over a
 /// full linear walk of the index; the chaos sweeps assert both paths
-/// return byte-identical results.
+/// return byte-identical results. query(Q, Pool) shards the residual
+/// filtering across a thread pool and merges per-chunk results in index
+/// order, so the parallel path is deterministic too. timeQuery() streams
+/// matches in (Timestamp, Id) order — the per-store leg of tbtool's
+/// multi-store fan-in merge.
 ///
 /// Dedup: an image whose (signature fingerprint, payload hash) pair was
 /// seen before is stored once and refcounted. Retention: byte and age
@@ -43,16 +56,21 @@
 #define TRACEBACK_COLLECTOR_SNAPSTORE_H
 
 #include "runtime/Snap.h"
+#include "support/FlatMap.h"
 #include "support/Metrics.h"
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace traceback {
+
+class PagedIndexReader;
+class ThreadPool;
 
 /// One indexed snap: everything a query can match on, plus where the
 /// payload lives. This is index metadata only — the image itself stays
@@ -131,8 +149,16 @@ struct SnapStoreOptions {
   /// Age cap in timestamp units relative to the newest live entry
   /// (0 = unbounded): entries older than Newest - MaxAge are evicted.
   uint64_t MaxAge = 0;
-  /// Open for query only: no journal writer, appends fail.
+  /// Open for query only: no journal writer, appends fail, and close()
+  /// writes no checkpoint.
   bool ReadOnly = false;
+  /// Use the TBIX v2 checkpoint at open when one is present and valid.
+  /// false forces full journal replay; checkpoints are still written at
+  /// close()/compact() so a later paged open can use them.
+  bool Paged = true;
+  /// Checkpoint page-cache cap in bytes (the resident-memory bound of a
+  /// paged store's index). Clamped to at least two pages.
+  size_t PageCacheBytes = 2u << 20;
   /// Destination of the "collector.store." instrument family
   /// (null = the process-global registry).
   MetricsRegistry *Metrics = nullptr;
@@ -146,14 +172,19 @@ public:
   SnapStore(const SnapStore &) = delete;
   SnapStore &operator=(const SnapStore &) = delete;
 
-  /// Opens (creating if needed) the store directory and replays the
-  /// index journal. Returns false with \p Error set on malformed index
-  /// data or I/O failure.
+  /// Opens (creating if needed) the store directory and loads the index
+  /// — checkpoint + journal tail when paged, full journal replay
+  /// otherwise. Returns false with \p Error set on malformed index data
+  /// or I/O failure.
   bool open(const std::string &Dir, const SnapStoreOptions &O,
             std::string &Error);
   bool isOpen() const { return Open; }
   const std::string &directory() const { return Dir; }
-  /// Flushes and closes; the store can be reopened.
+  /// True when this open used a valid TBIX v2 checkpoint (index entries
+  /// are paged from disk on demand).
+  bool openedPaged() const { return Ck != nullptr; }
+  /// Writes a fresh checkpoint (writable, dirty stores), flushes and
+  /// closes; the store can be reopened.
   void close();
 
   /// What one append did.
@@ -184,29 +215,76 @@ public:
   class Cursor {
   public:
     /// The next live matching entry, or null when exhausted (or the
-    /// query's Top cap is reached).
+    /// query's Top cap is reached). On paged stores the pointer may
+    /// reference cursor-owned scratch storage: it stays valid until the
+    /// following next() call.
     const SnapStoreEntry *next();
 
   private:
     friend class SnapStore;
-    Cursor(const SnapStore &S, SnapQuery Q, const std::vector<uint64_t> *P)
-        : S(S), Q(std::move(Q)), Posting(P) {}
+    Cursor(const SnapStore &S, SnapQuery Q) : S(S), Q(std::move(Q)) {}
     const SnapStore &S;
     SnapQuery Q;
-    /// The planner-chosen posting list; null = walk every entry.
-    const std::vector<uint64_t> *Posting;
+    /// Owned-id mode (parallel query): matching ids precomputed by
+    /// queryIds(), streamed back through the cursor interface.
+    bool UseOwned = false;
+    std::vector<uint64_t> Owned;
+    size_t OwnedPos = 0;
+    /// Stage 1 (paged stores): checkpoint entries — either one posting
+    /// list (byte offset + id count into the checkpoint) or a full
+    /// directory walk. Checkpoint ids all precede tail ids, so the two
+    /// stages concatenate into ascending id order.
+    bool CkStage = false;
+    bool CkPosting = false;
+    uint64_t CkPostOff = 0, CkPostCount = 0;
+    uint64_t CkPos = 0;
+    /// Stage 2: the in-memory tail. Null posting = walk every entry.
+    const std::vector<uint64_t> *Posting = nullptr;
     size_t Pos = 0;
+    /// Decode target for checkpoint entries.
+    SnapStoreEntry Scratch;
     size_t Returned = 0;
   };
 
   /// Indexed query: starts from the smallest applicable posting list.
   Cursor query(const SnapQuery &Q) const;
+  /// Parallel indexed query: shards the residual filtering over \p Pool
+  /// (null or single-index falls back to inline execution) and returns a
+  /// cursor over the precomputed matches. Result order is byte-identical
+  /// to query()/scan() — per-chunk results merge in index order.
+  Cursor query(const SnapQuery &Q, ThreadPool *Pool) const;
+  /// The parallel filter itself: matching entry ids, ascending.
+  std::vector<uint64_t> queryIds(const SnapQuery &Q, ThreadPool *Pool) const;
   /// Full linear scan with identical predicate semantics — the oracle
   /// the sweeps compare query() against.
   Cursor scan(const SnapQuery &Q) const;
 
+  /// Streams matching entries in global (Timestamp, Id) ascending order
+  /// by merging the checkpoint's time table with the tail's — the
+  /// per-store leg of a multi-store fan-in merge.
+  class TimeCursor {
+  public:
+    /// Next match in (Timestamp, Id) order; pointer valid until the
+    /// following next() call.
+    const SnapStoreEntry *next();
+
+  private:
+    friend class SnapStore;
+    TimeCursor(const SnapStore &S, SnapQuery Q) : S(S), Q(std::move(Q)) {}
+    const SnapStore &S;
+    SnapQuery Q;
+    uint64_t CkPos = 0; ///< Checkpoint time-table index.
+    size_t TailPos = 0; ///< Tail ByTime index.
+    SnapStoreEntry Scratch;
+    size_t Returned = 0;
+  };
+  TimeCursor timeQuery(const SnapQuery &Q) const;
+
   /// Entry by id (null when unknown; dead entries are still returned —
-  /// callers filter on Dead when they care).
+  /// callers filter on Dead when they care). On paged stores checkpoint
+  /// entries decode into a small bounded cache: the pointer stays valid
+  /// for the next ~64 entry() lookups or until the store mutates,
+  /// whichever comes first.
   const SnapStoreEntry *entry(uint64_t Id) const;
 
   /// Point-reads one payload image from its shard.
@@ -216,42 +294,78 @@ public:
 
   // --- Maintenance ---------------------------------------------------------
 
-  /// Rewrites every shard without dead entries and replaces the journal
-  /// with a clean snapshot. Ids, order and live contents are preserved,
-  /// so two stores with equal live state compact to identical bytes.
+  /// Rewrites every shard without dead entries, replaces the journal
+  /// with a clean snapshot and writes a fresh checkpoint. Ids, order and
+  /// live contents are preserved, so two stores with equal live state
+  /// compact to identical bytes. Paged stores materialize the checkpoint
+  /// into memory first (compaction is the O(n) maintenance operation).
   /// Returns false with \p Error on I/O failure.
   bool compact(std::string *Error = nullptr);
 
   // --- Stats ---------------------------------------------------------------
 
-  size_t totalEntries() const { return Entries.size(); }
+  size_t totalEntries() const;
   size_t liveEntries() const { return LiveCount; }
   uint64_t liveBytes() const { return LiveBytes; }
   uint64_t totalRefs() const;
   uint64_t dedupHits() const { return DedupHitCount; }
   uint64_t evictions() const { return EvictionCount; }
   unsigned shardCount() const { return Opt.Shards; }
+  /// Bytes the checkpoint page cache holds right now (0 when unpaged) —
+  /// the index's resident footprint, bounded by PageCacheBytes.
+  size_t pageCacheResidentBytes() const;
 
 private:
   struct Shard;
 
+  /// What the query planner chose for one query.
+  struct QueryPlan {
+    bool Planned = false; ///< A set dimension picked a posting pair.
+    bool HasCkPost = false;
+    uint64_t CkPostOff = 0, CkPostCount = 0;
+    const std::vector<uint64_t> *Tail = nullptr;
+  };
+
   std::string shardPath(uint32_t Index) const;
   std::string indexPath() const;
+  std::string checkpointPath() const;
   bool replayIndex(std::string &Error);
   bool journalLine(const std::string &Line);
   void indexEntry(const SnapStoreEntry &E);
   void markDead(SnapStoreEntry &E);
+  /// Tombstones the dedup mapping for \p Key when it points at the dying
+  /// entry — including a mapping only the checkpoint's table knows.
+  void dedupTombstone(uint64_t Fp, uint64_t Ph, uint64_t DyingId);
+  /// Checkpoint-entry accessors: decode + post-checkpoint adjustments
+  /// (refcount deltas, eviction tombstones).
+  void applyCkAdjust(SnapStoreEntry &E) const;
+  bool readCkEntry(uint64_t Id, SnapStoreEntry &Out) const;
+  bool readCkEntryAt(uint64_t Idx, SnapStoreEntry &Out) const;
+  /// Marks live checkpoint entry \p E (already adjusted) dead.
+  void ckMarkDead(const SnapStoreEntry &E);
+  /// Replay handlers for tail `ref`/`evict` records naming checkpoint
+  /// entries.
+  bool ckApplyRef(uint64_t Id);
+  bool ckApplyEvict(uint64_t Id);
+  /// Folds checkpoint + tail into plain in-memory state (paged stores
+  /// only) — the first step of compact().
+  bool materializeFromCheckpoint(std::string *Error);
+  /// Writes a fresh TBIX v2 checkpoint covering the current journal.
+  bool writeCheckpoint();
   /// Evicts until the byte/age caps hold. Returns how many were evicted.
   size_t enforceRetention();
   /// True when \p E matches every predicate of \p Q.
   static bool matches(const SnapStoreEntry &E, const SnapQuery &Q);
-  /// Smallest applicable posting list for \p Q (null = none applicable).
-  const std::vector<uint64_t> *planPosting(const SnapQuery &Q) const;
+  /// Smallest applicable posting pair for \p Q across checkpoint + tail.
+  QueryPlan planQuery(const SnapQuery &Q) const;
 
   std::string Dir;
   SnapStoreOptions Opt;
   bool Open = false;
 
+  // The in-memory index. In unpaged mode this is the whole store; in
+  // paged mode it is only the tail — entries appended after the
+  // checkpoint (their ids all exceed the checkpoint's).
   std::vector<SnapStoreEntry> Entries; ///< Ascending id.
   std::map<uint64_t, size_t> ById;     ///< Id -> slot in Entries.
   uint64_t NextId = 1;
@@ -266,9 +380,35 @@ private:
   /// (Timestamp, Id), sorted — the age-cap walk and pure-time queries.
   std::vector<std::pair<uint64_t, uint64_t>> ByTime;
 
-  /// (Fingerprint, PayloadHash) -> live entry id. std::map because
-  /// eviction must erase keys (FlatMap64 is insert/find only).
-  std::map<std::pair<uint64_t, uint64_t>, uint64_t> DedupByKey;
+  /// (Fingerprint, PayloadHash) -> live entry id, open-addressed. Ids
+  /// start at 1, so value 0 is the erase tombstone (FlatMap has no
+  /// erase) — and in paged mode a tombstone also shadows the checkpoint
+  /// dedup table, recording "this key's holder died after checkpoint".
+  struct DedupKey {
+    uint64_t Fp = 0, Ph = 0;
+    bool operator==(const DedupKey &O) const {
+      return Fp == O.Fp && Ph == O.Ph;
+    }
+  };
+  struct DedupKeyHasher {
+    uint64_t operator()(const DedupKey &K) const {
+      return hashCombine(hashU64(K.Fp), hashU64(K.Ph));
+    }
+  };
+  FlatMap<DedupKey, uint64_t, DedupKeyHasher> DedupByKey;
+
+  // Paged-mode state: the validated checkpoint reader plus the deltas
+  // the journal tail applied on top of it.
+  std::unique_ptr<PagedIndexReader> Ck;
+  std::set<uint64_t> DeadCk;                ///< Ck entries evicted post-ck.
+  std::map<uint64_t, uint64_t> RefDeltaCk;  ///< Post-ck refcount bumps.
+  uint64_t CkRefsLive = 0; ///< Live refs held by checkpoint entries.
+  /// Bounded decode cache backing entry() for checkpoint ids.
+  mutable std::map<uint64_t, std::unique_ptr<SnapStoreEntry>> CkEntryCache;
+  mutable std::vector<uint64_t> CkEntryCacheOrder; ///< FIFO eviction.
+  /// Anything journaled since open (close() skips the checkpoint
+  /// rewrite when the existing one is still current).
+  bool Dirty = false;
 
   std::vector<std::unique_ptr<Shard>> Shards;
   void *Journal = nullptr; ///< FILE*, append mode.

@@ -79,6 +79,17 @@ public:
     return true;
   }
 
+  /// Visits every occupied slot as Fn(key, value). Iteration order is
+  /// the probe-table order — callers that need a deterministic order
+  /// collect and sort. Values whose type reserves a tombstone sentinel
+  /// (the snap store's dedup index stores 0 for "erased") are visited
+  /// too; the caller filters.
+  template <typename F> void forEach(F Fn) const {
+    for (const Slot &S : Slots)
+      if (S.Used)
+        Fn(S.Key, S.Value);
+  }
+
   /// Pointer to the value for \p Key, or nullptr. Invalidated by any
   /// insert that triggers growth.
   V *find(const K &Key) {

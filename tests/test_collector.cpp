@@ -17,12 +17,14 @@
 #include "distributed/SnapArchive.h"
 #include "distributed/Transport.h"
 #include "support/SnapSource.h"
+#include "support/ThreadPool.h"
 #include "triage/Signature.h"
 #include "triage/SignatureStore.h"
 #include "vm/FaultInjector.h"
 
 #include "TestHelpers.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <set>
 #include <unistd.h>
@@ -477,6 +479,354 @@ TEST(SnapStoreTest, QueryPredicateCombinationsMatchNaiveFilter) {
 }
 
 //===----------------------------------------------------------------------===//
+// Paged checkpoint (TBIX v2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Populates \p St with a varied stream: three machines, two fault
+/// modules, scrambled timestamps, plus periodic exact-duplicate appends
+/// so the checkpoint's dedup table carries real refcounts.
+void feedPagedStream(SnapStore &St, int Count, uint64_t TsBase = 1000) {
+  std::string Err;
+  const char *Machines[] = {"alpha", "beta", "gamma"};
+  const char *Mods[] = {"m1", "m2"};
+  for (int I = 0; I < Count; ++I) {
+    SnapFile S = makeSnap(Machines[I % 3], "app", 700 + I,
+                          TsBase + static_cast<uint64_t>((I * 13) % Count) * 5,
+                          I % 4 == 3 ? SnapReason::Api : SnapReason::Unhandled,
+                          {{Mods[I % 2], true}, {"shared", true}},
+                          I % 4 == 3 ? "" : Mods[I % 2],
+                          static_cast<uint16_t>(1 + I % 3));
+    std::vector<uint8_t> Img = S.serialize();
+    SnapStore::AppendResult R;
+    ASSERT_TRUE(St.append(Img, 1 + I % 3, R, &Err)) << Err;
+    if (I % 5 == 0) { // Exact duplicate: folds into a refcount bump.
+      ASSERT_TRUE(St.append(Img, 1 + I % 3, R, &Err)) << Err;
+    }
+  }
+}
+
+/// The predicate mix every paged/parallel equivalence check runs.
+std::vector<SnapQuery> pagedQueryMix() {
+  std::vector<SnapQuery> Qs = {SnapQuery(),
+                               SnapQuery().setModule("m1"),
+                               SnapQuery().setModule("shared"),
+                               SnapQuery().setMachine("beta"),
+                               SnapQuery().setWindow(1020, 1140),
+                               SnapQuery().setModule("m2").setMachine("gamma")};
+  SnapQuery TopQ = SnapQuery().setModule("m1");
+  TopQ.Top = 5;
+  Qs.push_back(TopQ);
+  return Qs;
+}
+
+/// Asserts indexed query, scan oracle and (when \p Pool) the parallel
+/// path agree on ids for the whole predicate mix.
+void expectPagedQueriesConsistent(const SnapStore &St, ThreadPool *Pool,
+                                  const char *Tag) {
+  SCOPED_TRACE(Tag);
+  size_t Case = 0;
+  for (const SnapQuery &Q : pagedQueryMix()) {
+    SCOPED_TRACE(::testing::Message() << "query " << Case++);
+    std::vector<uint64_t> Expected = cursorIds(St.scan(Q));
+    EXPECT_EQ(cursorIds(St.query(Q)), Expected);
+    if (Pool) {
+      EXPECT_EQ(St.queryIds(Q, Pool), Expected);
+      EXPECT_EQ(cursorIds(St.query(Q, Pool)), Expected);
+    }
+  }
+}
+
+} // namespace
+
+TEST(PagedStoreTest, PagedOpenMatchesUnpagedAcrossReopen) {
+  std::string Dir = tempStoreDir("paged-roundtrip");
+  SnapStoreOptions O;
+  O.Shards = 2;
+  std::string Err;
+  {
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+    feedPagedStream(St, 40);
+    // First open of a fresh directory has no checkpoint to load.
+    EXPECT_FALSE(St.openedPaged());
+  } // close() writes index.tbx2.
+  ASSERT_TRUE(fs::exists(fs::path(Dir) / "index.tbx2"));
+
+  SnapStoreOptions Paged = O;
+  Paged.ReadOnly = true;
+  SnapStoreOptions Unpaged = Paged;
+  Unpaged.Paged = false;
+  {
+    SnapStore P, U;
+    ASSERT_TRUE(P.open(Dir, Paged, Err)) << Err;
+    ASSERT_TRUE(U.open(Dir, Unpaged, Err)) << Err;
+    EXPECT_TRUE(P.openedPaged());
+    EXPECT_FALSE(U.openedPaged());
+    ASSERT_EQ(P.totalEntries(), U.totalEntries());
+    EXPECT_EQ(P.liveEntries(), U.liveEntries());
+    EXPECT_EQ(P.liveBytes(), U.liveBytes());
+    EXPECT_EQ(P.totalRefs(), U.totalRefs());
+    expectPagedQueriesConsistent(P, nullptr, "paged");
+    expectPagedQueriesConsistent(U, nullptr, "unpaged");
+    for (uint64_t Id = 1; Id <= U.totalEntries(); ++Id) {
+      const SnapStoreEntry *EU = U.entry(Id);
+      ASSERT_NE(EU, nullptr);
+      SnapStoreEntry EC = *EU; // Copy: P.entry() reuses a decode cache.
+      const SnapStoreEntry *EP = P.entry(Id);
+      ASSERT_NE(EP, nullptr) << "id " << Id;
+      EXPECT_EQ(EP->Kind, EC.Kind);
+      EXPECT_EQ(EP->Fingerprint, EC.Fingerprint);
+      EXPECT_EQ(EP->MachineName, EC.MachineName);
+      EXPECT_EQ(EP->Timestamp, EC.Timestamp);
+      EXPECT_EQ(EP->RefCount, EC.RefCount);
+      EXPECT_EQ(EP->ModuleNames, EC.ModuleNames);
+      std::vector<uint8_t> ImgP, ImgU;
+      ASSERT_TRUE(P.loadImage(*EP, ImgP));
+      ASSERT_TRUE(U.loadImage(EC, ImgU));
+      EXPECT_EQ(ImgP, ImgU);
+    }
+  }
+
+  // A writable paged open appends past the checkpoint (journal tail),
+  // dedups against checkpoint entries, and the next close re-checkpoints.
+  {
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+    EXPECT_TRUE(St.openedPaged());
+    uint64_t Before = St.totalEntries();
+    feedPagedStream(St, 12, /*TsBase=*/1010);
+    EXPECT_GT(St.totalEntries(), Before);
+    expectPagedQueriesConsistent(St, nullptr, "paged+tail");
+  }
+  SnapStore Re;
+  ASSERT_TRUE(Re.open(Dir, Paged, Err)) << Err;
+  EXPECT_TRUE(Re.openedPaged());
+  expectPagedQueriesConsistent(Re, nullptr, "re-checkpointed");
+}
+
+TEST(PagedStoreTest, CorruptCheckpointFallsBackToJournalReplay) {
+  std::string Dir = tempStoreDir("paged-corrupt");
+  SnapStoreOptions O;
+  std::string Err;
+  {
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+    feedPagedStream(St, 60);
+  }
+  std::string CkPath = (fs::path(Dir) / "index.tbx2").string();
+  std::string JnPath = (fs::path(Dir) / "index.tbx").string();
+  std::vector<uint8_t> PristineCk, PristineJn;
+  ASSERT_TRUE(readFileBytes(CkPath, PristineCk));
+  ASSERT_TRUE(readFileBytes(JnPath, PristineJn));
+  ASSERT_GT(PristineCk.size(), 8192u);
+
+  // The expected answers, from an untouched unpaged open.
+  SnapStoreOptions RO = O;
+  RO.ReadOnly = true;
+  SnapStoreOptions UnpagedRO = RO;
+  UnpagedRO.Paged = false;
+  std::vector<std::vector<uint64_t>> Expected;
+  {
+    SnapStore Oracle;
+    ASSERT_TRUE(Oracle.open(Dir, UnpagedRO, Err)) << Err;
+    for (const SnapQuery &Q : pagedQueryMix())
+      Expected.push_back(cursorIds(Oracle.scan(Q)));
+  }
+
+  auto ExpectDegradedButCorrect = [&](const char *Tag) {
+    SCOPED_TRACE(Tag);
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, RO, Err)) << Err;
+    EXPECT_FALSE(St.openedPaged());
+    size_t Case = 0;
+    for (const SnapQuery &Q : pagedQueryMix()) {
+      SCOPED_TRACE(::testing::Message() << "query " << Case);
+      EXPECT_EQ(cursorIds(St.query(Q)), Expected[Case]);
+      EXPECT_EQ(cursorIds(St.scan(Q)), Expected[Case]);
+      ++Case;
+    }
+  };
+
+  {
+    // Single bit flip mid-file: some data page's checksum breaks.
+    std::vector<uint8_t> Ck = PristineCk;
+    Ck[Ck.size() / 2] ^= 0x10;
+    ASSERT_TRUE(writeFileBytes(CkPath, Ck));
+    ExpectDegradedButCorrect("bit-flip");
+  }
+  {
+    // Torn write: the checkpoint ends mid-region.
+    std::vector<uint8_t> Ck = PristineCk;
+    Ck.resize(Ck.size() * 3 / 5);
+    ASSERT_TRUE(writeFileBytes(CkPath, Ck));
+    ExpectDegradedButCorrect("truncated");
+  }
+  {
+    // Zeroed header fields: the header hash rejects page 0 itself.
+    std::vector<uint8_t> Ck = PristineCk;
+    std::fill(Ck.begin() + 8, Ck.begin() + 40, uint8_t(0));
+    ASSERT_TRUE(writeFileBytes(CkPath, Ck));
+    ExpectDegradedButCorrect("zeroed-header");
+  }
+  {
+    // Journal shorter than the checkpoint's coverage: the checkpoint is
+    // internally consistent but describes a journal that no longer
+    // exists, so it must be ignored. (The replayed truncated journal
+    // simply drops its torn final line — query and scan still agree.)
+    ASSERT_TRUE(writeFileBytes(CkPath, PristineCk));
+    std::vector<uint8_t> Jn = PristineJn;
+    Jn.resize(Jn.size() - 37);
+    ASSERT_TRUE(writeFileBytes(JnPath, Jn));
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, RO, Err)) << Err;
+    EXPECT_FALSE(St.openedPaged());
+    for (const SnapQuery &Q : pagedQueryMix())
+      EXPECT_EQ(cursorIds(St.query(Q)), cursorIds(St.scan(Q)));
+    ASSERT_TRUE(writeFileBytes(JnPath, PristineJn));
+  }
+
+  // Pristine bytes restored: the paged path works again.
+  ASSERT_TRUE(writeFileBytes(CkPath, PristineCk));
+  SnapStore St;
+  ASSERT_TRUE(St.open(Dir, RO, Err)) << Err;
+  EXPECT_TRUE(St.openedPaged());
+  expectPagedQueriesConsistent(St, nullptr, "restored");
+}
+
+TEST(PagedStoreTest, ParallelQueryMatchesSerialAndScan) {
+  std::string Dir = tempStoreDir("paged-parallel");
+  SnapStoreOptions O;
+  O.Shards = 3;
+  std::string Err;
+  ThreadPool Pool(4);
+  {
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+    feedPagedStream(St, 150);
+    expectPagedQueriesConsistent(St, &Pool, "unpaged-writable");
+  }
+  // Same equivalence when candidates split across checkpoint and tail.
+  SnapStore St;
+  ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+  ASSERT_TRUE(St.openedPaged());
+  feedPagedStream(St, 30, /*TsBase=*/1005);
+  expectPagedQueriesConsistent(St, &Pool, "paged+tail");
+}
+
+TEST(PagedStoreTest, TimeCursorStreamsGlobalTimeOrderAcrossStores) {
+  // Two stores with deliberately interleaved timestamps; each per-store
+  // TimeCursor leg must stream (Timestamp, Id) ascending, and the k-way
+  // merge tbtool runs over the legs must see every entry exactly once.
+  std::string DirA = tempStoreDir("fanin-a"), DirB = tempStoreDir("fanin-b");
+  SnapStoreOptions O;
+  std::string Err;
+  SnapStore A, B;
+  ASSERT_TRUE(A.open(DirA, O, Err)) << Err;
+  ASSERT_TRUE(B.open(DirB, O, Err)) << Err;
+  feedPagedStream(A, 25, /*TsBase=*/1000);
+  feedPagedStream(B, 25, /*TsBase=*/1002); // Offset: strict interleave.
+
+  // Reopen A paged and grow a tail whose timestamps land *inside* the
+  // checkpoint's range, so the cursor really merges the two stages.
+  A.close();
+  ASSERT_TRUE(A.open(DirA, O, Err)) << Err;
+  ASSERT_TRUE(A.openedPaged());
+  feedPagedStream(A, 10, /*TsBase=*/1001);
+
+  auto Drain = [](const SnapStore &St, const SnapQuery &Q) {
+    std::vector<std::pair<uint64_t, uint64_t>> Out;
+    SnapStore::TimeCursor Cur = St.timeQuery(Q);
+    while (const SnapStoreEntry *E = Cur.next())
+      Out.push_back({E->Timestamp, E->Id});
+    return Out;
+  };
+  for (const SnapQuery &Q : pagedQueryMix()) {
+    // Each leg must equal the oracle: scan matches re-sorted by
+    // (Timestamp, Id), with Top applied in *time* order.
+    for (const SnapStore *St : {&A, &B}) {
+      std::vector<std::pair<uint64_t, uint64_t>> Leg = Drain(*St, Q);
+      EXPECT_TRUE(std::is_sorted(Leg.begin(), Leg.end()));
+      SnapQuery Unlimited = Q;
+      Unlimited.Top = 0;
+      std::vector<std::pair<uint64_t, uint64_t>> Want;
+      SnapStore::Cursor Cur = St->scan(Unlimited);
+      while (const SnapStoreEntry *E = Cur.next())
+        Want.push_back({E->Timestamp, E->Id});
+      std::sort(Want.begin(), Want.end());
+      if (Q.Top && Want.size() > Q.Top)
+        Want.resize(Q.Top);
+      EXPECT_EQ(Leg, Want);
+    }
+  }
+
+  // The fan-in merge itself (the tbtool loop in miniature): pick the
+  // smallest (ts, id) head each round.
+  SnapQuery All;
+  SnapStore::TimeCursor Legs[2] = {A.timeQuery(All), B.timeQuery(All)};
+  const SnapStoreEntry *Heads[2] = {Legs[0].next(), Legs[1].next()};
+  std::vector<std::pair<uint64_t, uint64_t>> Merged;
+  size_t FromA = 0, FromB = 0;
+  for (;;) {
+    int Pick = -1;
+    for (int I = 0; I < 2; ++I) {
+      if (!Heads[I])
+        continue;
+      if (Pick < 0 ||
+          std::make_pair(Heads[I]->Timestamp, Heads[I]->Id) <
+              std::make_pair(Heads[Pick]->Timestamp, Heads[Pick]->Id))
+        Pick = I;
+    }
+    if (Pick < 0)
+      break;
+    Merged.push_back({Heads[Pick]->Timestamp, Heads[Pick]->Id});
+    (Pick == 0 ? FromA : FromB)++;
+    Heads[Pick] = Legs[Pick].next();
+  }
+  EXPECT_TRUE(std::is_sorted(Merged.begin(), Merged.end(),
+                             [](const auto &L, const auto &R) {
+                               return L.first < R.first;
+                             }));
+  EXPECT_EQ(FromA, cursorIds(A.scan(All)).size());
+  EXPECT_EQ(FromB, cursorIds(B.scan(All)).size());
+  EXPECT_GT(FromA, 0u);
+  EXPECT_GT(FromB, 0u);
+}
+
+TEST(PagedStoreTest, PageCacheBoundsResidentBytesAndCounts) {
+  std::string Dir = tempStoreDir("paged-cache");
+  MetricsRegistry Reg;
+  SnapStoreOptions O;
+  O.Metrics = &Reg;
+  std::string Err;
+  {
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+    feedPagedStream(St, 300);
+  }
+  // A cap of four pages against a checkpoint dozens of pages long: a
+  // full walk must hit, miss and evict, while residency never exceeds
+  // the cap.
+  SnapStoreOptions Tiny = O;
+  Tiny.ReadOnly = true;
+  Tiny.PageCacheBytes = 4 * 4096;
+  SnapStore St;
+  ASSERT_TRUE(St.open(Dir, Tiny, Err)) << Err;
+  ASSERT_TRUE(St.openedPaged());
+  expectPagedQueriesConsistent(St, nullptr, "tiny-cache");
+  Counter &Hits = Reg.counter("collector.store.page.hits");
+  Counter &Misses = Reg.counter("collector.store.page.misses");
+  Counter &Evictions = Reg.counter("collector.store.page.evictions");
+  EXPECT_GT(Hits.value(), 0u);
+  EXPECT_GT(Misses.value(), 0u);
+  EXPECT_GT(Evictions.value(), 0u);
+  EXPECT_LE(St.pageCacheResidentBytes(), Tiny.PageCacheBytes);
+  EXPECT_EQ(static_cast<size_t>(Reg.gauge("store.bytes_resident").value()),
+            St.pageCacheResidentBytes());
+}
+
+//===----------------------------------------------------------------------===//
 // SnapSource unification
 //===----------------------------------------------------------------------===//
 
@@ -708,6 +1058,7 @@ TEST(CollectorChaosSweepTest, HundredSeedsIndexMatchesLinearScan) {
   uint64_t Base = testSeed();
   std::string Dir = tempStoreDir("chaos");
   size_t TotalIngested = 0;
+  ThreadPool Pool(4); // Shared by every seed's parallel-query check.
   for (int I = 0; I < Sweeps; ++I) {
     uint64_t Seed = Base + static_cast<uint64_t>(I);
     SCOPED_TRACE(::testing::Message() << "seed " << Seed);
@@ -770,6 +1121,22 @@ TEST(CollectorChaosSweepTest, HundredSeedsIndexMatchesLinearScan) {
               MinTs, MinTs + (MaxTs - MinTs) / 2),
           "machine+window");
     }
+
+    // Reopen the same store through the TBIX v2 checkpoint on even
+    // seeds and via full journal replay on odd ones: the equivalence
+    // must be open-path-independent, serial or parallel.
+    St.close(); // Writes the checkpoint.
+    SnapStoreOptions RO = O;
+    RO.ReadOnly = true;
+    RO.Paged = I % 2 == 0;
+    SnapStore Re;
+    ASSERT_TRUE(Re.open(Dir, RO, Err)) << Err;
+    EXPECT_EQ(Re.openedPaged(), RO.Paged);
+    expectQueryEqualsScan(Re, SnapQuery(), "reopen-all");
+    expectQueryEqualsScan(Re, SnapQuery().setMachine("alpha"),
+                          "reopen-machine");
+    for (const SnapQuery &Q : {SnapQuery(), SnapQuery().setModule("climod")})
+      EXPECT_EQ(Re.queryIds(Q, &Pool), cursorIds(Re.scan(Q)));
   }
   EXPECT_GT(TotalIngested, 0u) << "sweep never delivered a snap";
   std::printf("[ collector chaos sweep: %d seeds, %zu snaps ingested ]\n",

@@ -34,6 +34,24 @@ std::string ArgList::value(const std::string &Name,
   return Default;
 }
 
+std::vector<std::string> ArgList::valueList(const std::string &Name) {
+  std::vector<std::string> Out;
+  for (auto It = Args.begin(); It != Args.end();) {
+    if (*It != Name) {
+      ++It;
+      continue;
+    }
+    if (It + 1 == Args.end()) {
+      Errors.push_back(Name + " requires a value");
+      Args.erase(It);
+      break;
+    }
+    Out.push_back(*(It + 1));
+    It = Args.erase(It, It + 2);
+  }
+  return Out;
+}
+
 int64_t ArgList::intValue(const std::string &Name, int64_t Default) {
   std::string V = value(Name, "");
   if (V.empty())
@@ -83,6 +101,8 @@ std::string CommandRegistry::synopsis(const CommandSpec &Spec) const {
     if (F.takesValue())
       Out += " " + F.ValueName;
     Out += "]";
+    if (F.Repeat)
+      Out += "...";
   }
   return Out;
 }

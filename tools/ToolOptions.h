@@ -37,6 +37,10 @@ public:
   /// Consumes `Name <value>` if present; returns the value or \p Default.
   std::string value(const std::string &Name, const std::string &Default = "");
 
+  /// Consumes every `Name <value>` occurrence, in argv order — for
+  /// repeatable flags like `query --store A --store B`.
+  std::vector<std::string> valueList(const std::string &Name);
+
   /// Like value(), parsed as an integer. A present-but-unparsable value
   /// is recorded as an error for finish() to report.
   int64_t intValue(const std::string &Name, int64_t Default);
@@ -84,6 +88,7 @@ struct FlagSpec {
   std::string Name;      ///< "--jobs"
   std::string ValueName; ///< "N" when the flag takes a value, else "".
   std::string Help;      ///< One line for the generated help page.
+  bool Repeat = false;   ///< May appear multiple times ("[--store DIR]...").
 
   bool takesValue() const { return !ValueName.empty(); }
 };

@@ -68,6 +68,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -1311,19 +1312,24 @@ FaultSignature entrySignature(const SnapStoreEntry &E) {
   return Sig;
 }
 
-/// `tbtool query`: composable-predicate queries over a snap store,
-/// emitting the same ranked report triage produces (or --list/--count
-/// views). --scan forces the linear-scan oracle path instead of the
-/// index — results must be identical; the flag exists so operators can
-/// cross-check a store whose index they distrust.
+/// `tbtool query`: composable-predicate queries over one or more snap
+/// stores, emitting the same ranked report triage produces (or
+/// --list/--count views). --scan forces the linear-scan oracle path
+/// instead of the index — results must be identical; the flag exists so
+/// operators can cross-check a store whose index they distrust. With
+/// repeated --store flags, matches stream through a k-way merge of
+/// per-store time cursors in global (timestamp, id, store) order — no
+/// store is ever materialized.
 int cmdQuery(ArgList A) {
   std::string ModuleStr = A.value("--module");
   std::string Fault = A.value("--fault");
   std::string SigHex = A.value("--sig");
   std::string MachineStr = A.value("--machine");
+  std::vector<std::string> StoreDirs = A.valueList("--store");
   int64_t Since = A.intValue("--since", 0);
   int64_t Until = A.intValue("--until", -1);
   int64_t Top = A.intValue("--top", 20);
+  int Jobs = A.jobs();
   bool List = A.flag("--list");
   bool CountOnly = A.flag("--count");
   bool UseScan = A.flag("--scan");
@@ -1331,17 +1337,23 @@ int cmdQuery(ArgList A) {
   std::string FErr;
   if (!A.finish(FErr))
     return flagError(FErr);
-  const std::vector<std::string> &Pos = A.positional();
-  if (Pos.size() != 1 || Top < 0 || Since < 0)
+  // The positional store-dir spelling predates --store; both work.
+  for (const std::string &P : A.positional())
+    StoreDirs.push_back(P);
+  if (StoreDirs.empty() || Top < 0 || Since < 0 || Jobs < 0)
     return usage();
 
-  SnapStore Store;
-  SnapStoreOptions SO;
-  SO.ReadOnly = true;
-  std::string Error;
-  if (!Store.open(Pos[0], SO, Error)) {
-    std::fprintf(stderr, "%s\n", Error.c_str());
-    return 1;
+  std::vector<std::unique_ptr<SnapStore>> Stores;
+  for (const std::string &Dir : StoreDirs) {
+    auto S = std::make_unique<SnapStore>();
+    SnapStoreOptions SO;
+    SO.ReadOnly = true;
+    std::string Error;
+    if (!S->open(Dir, SO, Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 1;
+    }
+    Stores.push_back(std::move(S));
   }
 
   SnapQuery Q;
@@ -1364,11 +1376,59 @@ int cmdQuery(ArgList A) {
   Q.Since = static_cast<uint64_t>(Since);
   Q.Until = Until < 0 ? UINT64_MAX : static_cast<uint64_t>(Until);
   // --top caps listed entries; counts and the report always see every
-  // match (the report applies TopN to clusters, not matches).
-  if (List && !CountOnly)
-    Q.Top = static_cast<size_t>(Top);
+  // match (the report applies TopN to clusters, not matches). The cap is
+  // applied by the consumer below, not the per-store query, so a
+  // multi-store merge caps the *merged* stream.
+  size_t ListCap = (List && !CountOnly) ? static_cast<size_t>(Top) : 0;
 
-  SnapStore::Cursor Cur = UseScan ? Store.scan(Q) : Store.query(Q);
+  // Streams every match as Fn(entry, store index); Fn returning false
+  // stops the stream. One store keeps the classic ascending-id cursor
+  // (and gains --jobs parallelism); several stores fan in through a
+  // k-way merge of time cursors in (timestamp, id, store) order.
+  auto forEachMatch =
+      [&](const std::function<bool(const SnapStoreEntry &, size_t)> &Fn) {
+        if (Stores.size() == 1) {
+          SnapStore &St = *Stores[0];
+          std::unique_ptr<ThreadPool> Pool;
+          auto makeCursor = [&]() -> SnapStore::Cursor {
+            if (UseScan)
+              return St.scan(Q);
+            if (Jobs != 1) {
+              Pool = std::make_unique<ThreadPool>(ThreadPool::resolveJobs(Jobs));
+              return St.query(Q, Pool.get());
+            }
+            return St.query(Q);
+          };
+          SnapStore::Cursor Cur = makeCursor();
+          while (const SnapStoreEntry *E = Cur.next())
+            if (!Fn(*E, 0))
+              return;
+          return;
+        }
+        std::vector<SnapStore::TimeCursor> Legs;
+        Legs.reserve(Stores.size());
+        for (auto &St : Stores)
+          Legs.push_back(St->timeQuery(Q));
+        std::vector<const SnapStoreEntry *> Heads(Legs.size());
+        for (size_t I = 0; I < Legs.size(); ++I)
+          Heads[I] = Legs[I].next();
+        for (;;) {
+          size_t Best = Legs.size();
+          for (size_t I = 0; I < Legs.size(); ++I) {
+            if (!Heads[I])
+              continue;
+            if (Best == Legs.size() ||
+                std::make_pair(Heads[I]->Timestamp, Heads[I]->Id) <
+                    std::make_pair(Heads[Best]->Timestamp, Heads[Best]->Id))
+              Best = I;
+          }
+          if (Best == Legs.size())
+            break;
+          if (!Fn(*Heads[Best], Best))
+            return;
+          Heads[Best] = Legs[Best].next();
+        }
+      };
 
   if (List || CountOnly) {
     size_t Entries = 0;
@@ -1376,33 +1436,39 @@ int cmdQuery(ArgList A) {
     if (Json && List)
       std::printf("[\n");
     bool First = true;
-    while (const SnapStoreEntry *E = Cur.next()) {
+    forEachMatch([&](const SnapStoreEntry &E, size_t StoreIdx) {
       ++Entries;
-      Occurrences += E->RefCount;
+      Occurrences += E.RefCount;
       if (!List)
-        continue;
+        return true;
       if (Json) {
         std::printf("%s  {\"id\": %llu, \"kind\": \"%s\", \"machine\": "
                     "\"%s\", \"process\": \"%s\", \"ts\": %llu, \"sig\": "
-                    "\"%016llx\", \"refs\": %llu, \"bytes\": %llu}",
+                    "\"%016llx\", \"refs\": %llu, \"bytes\": %llu, "
+                    "\"store\": \"%s\"}",
                     First ? "" : ",\n",
-                    static_cast<unsigned long long>(E->Id), E->Kind.c_str(),
-                    E->MachineName.c_str(), E->ProcessName.c_str(),
-                    static_cast<unsigned long long>(E->Timestamp),
-                    static_cast<unsigned long long>(E->Fingerprint),
-                    static_cast<unsigned long long>(E->RefCount),
-                    static_cast<unsigned long long>(E->ImageBytes));
+                    static_cast<unsigned long long>(E.Id), E.Kind.c_str(),
+                    E.MachineName.c_str(), E.ProcessName.c_str(),
+                    static_cast<unsigned long long>(E.Timestamp),
+                    static_cast<unsigned long long>(E.Fingerprint),
+                    static_cast<unsigned long long>(E.RefCount),
+                    static_cast<unsigned long long>(E.ImageBytes),
+                    StoreDirs[StoreIdx].c_str());
         First = false;
       } else {
         std::printf("id %-5llu %-28s %-10s %-6s ts=%-8llu sig=%016llx "
-                    "refs=%llu\n",
-                    static_cast<unsigned long long>(E->Id), E->Kind.c_str(),
-                    E->MachineName.c_str(), E->ProcessName.c_str(),
-                    static_cast<unsigned long long>(E->Timestamp),
-                    static_cast<unsigned long long>(E->Fingerprint),
-                    static_cast<unsigned long long>(E->RefCount));
+                    "refs=%llu",
+                    static_cast<unsigned long long>(E.Id), E.Kind.c_str(),
+                    E.MachineName.c_str(), E.ProcessName.c_str(),
+                    static_cast<unsigned long long>(E.Timestamp),
+                    static_cast<unsigned long long>(E.Fingerprint),
+                    static_cast<unsigned long long>(E.RefCount));
+        if (Stores.size() > 1)
+          std::printf(" store=%s", StoreDirs[StoreIdx].c_str());
+        std::printf("\n");
       }
-    }
+      return ListCap == 0 || Entries < ListCap;
+    });
     if (Json && List)
       std::printf("%s]\n", First ? "" : "\n");
     if (Json && CountOnly)
@@ -1420,15 +1486,16 @@ int cmdQuery(ArgList A) {
   // occurrence, so counts rank by real fleet volume, not dedup shape.
   SignatureClusterer Clusterer{ClusterOptions()};
   size_t Entries = 0;
-  while (const SnapStoreEntry *E = Cur.next()) {
+  forEachMatch([&](const SnapStoreEntry &E, size_t) {
     ++Entries;
-    FaultSignature Sig = entrySignature(*E);
+    FaultSignature Sig = entrySignature(E);
     std::string Label = formatv("id%llu@%s",
-                                static_cast<unsigned long long>(E->Id),
-                                E->MachineName.c_str());
-    for (uint64_t R = 0; R < E->RefCount; ++R)
+                                static_cast<unsigned long long>(E.Id),
+                                E.MachineName.c_str());
+    for (uint64_t R = 0; R < E.RefCount; ++R)
       Clusterer.add(Sig, Label);
-  }
+    return true;
+  });
   if (Entries == 0) {
     std::printf("no matching snaps\n");
     return 0;
@@ -1437,9 +1504,14 @@ int cmdQuery(ArgList A) {
                                 static_cast<size_t>(Top))
                  .c_str(),
              stdout);
+  size_t Live = 0;
+  std::string Where;
+  for (size_t I = 0; I < Stores.size(); ++I) {
+    Live += Stores[I]->liveEntries();
+    Where += (I ? ", " : "") + StoreDirs[I];
+  }
   std::printf("%zu matching entr%s of %zu live in %s\n", Entries,
-              Entries == 1 ? "y" : "ies", Store.liveEntries(),
-              Pos[0].c_str());
+              Entries == 1 ? "y" : "ies", Live, Where.c_str());
   return 0;
 }
 
@@ -1529,10 +1601,12 @@ CommandRegistry &registry() {
               {"--compact", "", "compact the store after ingest"},
               {"--json", "", "print the summary as JSON"}},
              cmdServe});
-    Reg.add({"query", "<store-dir>",
-             "Query a snap store with composable predicates; emits the "
-             "triage report format.",
-             {{"--module", "M", "module name or 16-hex checksum key"},
+    Reg.add({"query", "[<store-dir>]",
+             "Query one or more snap stores with composable predicates; "
+             "emits the triage report format. Several --store flags fan "
+             "in through a streaming (timestamp, id) merge.",
+             {{"--store", "DIR", "snap store to query (repeatable)", true},
+              {"--module", "M", "module name or 16-hex checksum key"},
               {"--fault", "KIND", "fault kind (e.g. fault:segv@appa)"},
               {"--sig", "HEX", "signature fingerprint"},
               {"--machine", "M", "machine name or transport id"},
@@ -1543,7 +1617,9 @@ CommandRegistry &registry() {
               {"--count", "", "print only match counts"},
               {"--scan", "", "use the linear-scan oracle instead of the "
                "index"},
-              {"--json", "", "JSON output for --list"}},
+              {"--jobs", "N", "parallel query worker threads (one store)"},
+              {"--json", "", "JSON output for --list (rows carry their "
+               "source store)"}},
              cmdQuery});
     return Reg;
   }();
