@@ -7,6 +7,7 @@
 #include "core/Session.h"
 
 #include "isa/Assembler.h"
+#include "vm/Scribe.h"
 #include "vm/Syscalls.h"
 
 #include <cassert>
@@ -151,6 +152,10 @@ LoadedModule *Deployment::deploy(Process &P, const Module &Orig,
                                  bool Instrument,
                                  const InstrumentOptions &Opts,
                                  std::string &Error) {
+  // Record the pre-instrumentation module: replay re-deploys from the
+  // original image with the same options, reproducing layout exactly.
+  if (W.Scribe)
+    W.Scribe->onDeploy(P, Orig, Instrument, Opts);
   if (!Instrument)
     return P.loadModule(Orig, Error);
 

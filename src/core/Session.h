@@ -93,6 +93,9 @@ public:
 
   /// The collector machine's endpoint (null until network mode is on).
   TransportEndpoint *collectorEndpoint() { return CollectorEP.get(); }
+  /// The dedicated collector machine (null until network mode is on) —
+  /// lets replay tell the collector apart when rebuilding a topology.
+  Machine *collectorMachine() { return CollectorM; }
   /// The endpoint of \p M's daemon, or the collector's (null if neither).
   TransportEndpoint *endpointFor(Machine &M);
 

@@ -7,12 +7,21 @@
 #include "distributed/ServiceDaemon.h"
 
 #include "distributed/SnapArchive.h"
+#include "support/Text.h"
 #include "triage/SignatureStore.h"
 #include "vm/World.h"
 
 #include <algorithm>
+#include <fstream>
 
 using namespace traceback;
+
+std::string traceback::execLogSidecarName(const SnapFile &S) {
+  return formatv("snap-p%llu-r%llu-t%llu.tblog",
+                 static_cast<unsigned long long>(S.Pid),
+                 static_cast<unsigned long long>(S.RuntimeId),
+                 static_cast<unsigned long long>(S.Timestamp));
+}
 
 ServiceDaemon::ServiceDaemon(Machine &M, SnapSink *Downstream,
                              MetricsRegistry *Metrics)
@@ -32,6 +41,7 @@ ServiceDaemon::ServiceDaemon(Machine &M, SnapSink *Downstream,
   DM.IngestDrains = &Reg.counter("daemon.ingest.drains");
   DM.IngestArchived = &Reg.counter("daemon.ingest.archived");
   DM.TriageTagged = &Reg.counter("daemon.triage.tagged");
+  DM.LogSidecars = &Reg.counter("daemon.ingest.log_sidecars");
   DM.IngestQueueDepth = &Reg.gauge("daemon.ingest.queue_depth");
   DM.NetSnapPushes = &Reg.counter("daemon.net.snap_pushes");
   DM.NetSnapsReceived = &Reg.counter("daemon.net.snaps_received");
@@ -203,6 +213,18 @@ void ServiceDaemon::deliver(const std::shared_ptr<const SnapFile> &Snap,
     if (Writer ? Writer->append(*Image)
                : SnapArchive::append(Ingest.ArchivePath, *Image))
       DM.IngestArchived->add();
+  }
+  // Execution-log sidecar: the snap's embedded .tblog, standalone, so
+  // replay tooling can pick it up without deserializing the snap image.
+  if (!Ingest.LogDir.empty() && !Snap->ExecLog.empty()) {
+    std::string Path = Ingest.LogDir + "/" + execLogSidecarName(*Snap);
+    std::ofstream F(Path, std::ios::binary | std::ios::trunc);
+    if (F) {
+      F.write(reinterpret_cast<const char *>(Snap->ExecLog.data()),
+              static_cast<std::streamsize>(Snap->ExecLog.size()));
+      if (F.good())
+        DM.LogSidecars->add();
+    }
   }
   // Triage tagging: a header-level signature (no reconstruction at the
   // daemon — there are no mapfiles here) appended beside the archive.

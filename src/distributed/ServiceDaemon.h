@@ -80,6 +80,12 @@ public:
     /// set and markers but no path — enough to index the archive by fault
     /// and to seed `tbtool triage --diff` baselines.
     std::string SignaturePath;
+    /// When set, every delivered snap that carries an embedded execution
+    /// log (RtPolicy::RecordExecution) also gets a standalone ".tblog"
+    /// sidecar written into this directory, named by
+    /// execLogSidecarName() — `tbtool replay` finds it from the snap's
+    /// header alone.
+    std::string LogDir;
   };
 
   void configureIngest(const IngestOptions &O) { Ingest = O; }
@@ -263,6 +269,7 @@ private:
     Counter *IngestDrains = nullptr;
     Counter *IngestArchived = nullptr;
     Counter *TriageTagged = nullptr;
+    Counter *LogSidecars = nullptr;
     Gauge *IngestQueueDepth = nullptr;
     // Network-mode family ("daemon.net.*"; the endpoint owns the
     // frame-level counters, these are the daemon-protocol ones).
@@ -276,6 +283,11 @@ private:
   };
   Instruments DM;
 };
+
+/// Name of the ".tblog" sidecar IngestOptions::LogDir archives for a
+/// snap: derived from header fields only (pid, runtime id, timestamp), so
+/// any tool holding a snap can locate its execution log.
+std::string execLogSidecarName(const SnapFile &S);
 
 /// Pumps every daemon's transport endpoint (plus any extra endpoints —
 /// typically the collector machine's), advancing idle world time between

@@ -1,0 +1,90 @@
+//===- replay/Recorder.h - Execution recording scribe -----------*- C++ -*-===//
+//
+// Part of the TraceBack reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `ExecutionRecorder`: the record-mode ExecutionScribe. Attached to a
+/// Deployment before setup, it captures the world's genesis (topology,
+/// deployed modules, services, initial threads) lazily at the first
+/// scheduling decision, then appends every nondeterministic decision to a
+/// bounded ring of log entries — recording cost stays O(window), like the
+/// trace buffers themselves. Snap captures anchor the stream: when the
+/// runtime asks (RtPolicy::RecordExecution), the recorder serializes the
+/// log-so-far into the snap, so every recorded snap carries exactly the
+/// history that leads to it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRACEBACK_REPLAY_RECORDER_H
+#define TRACEBACK_REPLAY_RECORDER_H
+
+#include "replay/ExecutionLog.h"
+#include "vm/Scribe.h"
+
+#include <deque>
+
+namespace traceback {
+
+class Deployment;
+
+class ExecutionRecorder : public ExecutionScribe {
+public:
+  /// \p Window bounds retained entries (ring retention; 0 = unbounded).
+  explicit ExecutionRecorder(uint32_t Window = 0) : Window(Window) {}
+
+  /// Hooks this recorder into \p D's world. Call before deploying modules
+  /// — deploy records are captured through the scribe hook.
+  void attach(Deployment &D);
+
+  /// The log as of now: genesis plus the retained entry window. Intact
+  /// (serializes with a valid END section).
+  ExecutionLog snapshot() const;
+
+  /// snapshot().serialize() — the bytes embedded into snaps / written to
+  /// .tblog sidecars.
+  std::vector<uint8_t> serialized() const { return snapshot().serialize(); }
+
+  /// Total entries recorded, including those dropped by the ring.
+  uint64_t recordedEntries() const { return Dropped + Ring.size(); }
+
+  /// Stable FNV hash of a scheduler candidate set — lets replay verify it
+  /// is choosing among the same threads before enforcing a pick.
+  static uint64_t candidateHash(const std::vector<SliceCandidate> &Cands);
+
+  // --- ExecutionScribe (record & echo) ------------------------------------
+
+  size_t onSchedulePick(uint64_t Slice,
+                        const std::vector<SliceCandidate> &Cands,
+                        size_t Default) override;
+  uint64_t onRand(uint64_t Pid, uint64_t Tid, uint64_t Value) override;
+  unsigned onWireDelivery(unsigned Count) override;
+  NetFaultAction onNetSend(uint64_t Src, uint64_t Dst,
+                           NetFaultAction Action) override;
+  void onFaultFired(size_t Index, const std::string &Note) override;
+  void onSnapAnchor(uint64_t Pid, uint8_t Reason, uint16_t Detail,
+                    uint64_t Slice, std::vector<uint8_t> *LogOut) override;
+  void onDeploy(Process &P, const Module &Orig, bool Instrument,
+                const InstrumentOptions &Opts) override;
+
+private:
+  void push(LogEntry E);
+  void captureGenesis();
+
+  Deployment *D = nullptr;
+  uint32_t Window = 0;
+  bool GenesisDone = false;
+
+  /// META + GENESIS under construction (Deploys accrue as they happen).
+  ExecutionLog Base;
+  /// The retained event window (chronological).
+  std::deque<LogEntry> Ring;
+  uint64_t Dropped = 0;
+  /// Next per-kind ordinal, indexed by LogEntryKind.
+  uint64_t NextOrd[8] = {};
+};
+
+} // namespace traceback
+
+#endif // TRACEBACK_REPLAY_RECORDER_H

@@ -88,6 +88,12 @@ bool RtPolicy::parse(const std::string &Text, RtPolicy &Out,
       Out.UseLogicalClock = true;
     } else if (D == "capture_memory") {
       Out.CaptureMemory = true;
+    } else if (D == "record_execution") {
+      Out.RecordExecution = true;
+    } else if (D == "record_window") {
+      if (!NumArg(1, V) || V < 0)
+        return Fail("record_window needs a count");
+      Out.RecordWindow = static_cast<uint32_t>(V);
     } else if (D == "timestamp_interval") {
       if (!NumArg(1, V) || V < 0)
         return Fail("timestamp_interval needs a count");
@@ -126,6 +132,10 @@ std::string RtPolicy::toText() const {
     S += "logical_clock\n";
   if (CaptureMemory)
     S += "capture_memory\n";
+  if (RecordExecution)
+    S += "record_execution\n";
+  if (RecordWindow != 0)
+    S += formatv("record_window %u\n", RecordWindow);
   S += formatv("suppress_repeats %u\n", SuppressRepeats);
   S += formatv("timestamp_interval %u\n", TimestampInterval);
   if (TimestampBatch != 0)

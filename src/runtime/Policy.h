@@ -85,6 +85,20 @@ struct RtPolicy {
   /// page neighborhood.
   bool CaptureMemory = false;
 
+  /// Record the execution's nondeterministic inputs (scheduler picks,
+  /// SysRand draws, wire deliveries, network fault actions, fault
+  /// firings) into an ExecutionLog and embed it in every snap, making the
+  /// snap a re-executable test case (`tbtool replay`). Requires an
+  /// ExecutionRecorder attached to the world; the flag only controls
+  /// whether snaps ask for an embedded log.
+  bool RecordExecution = false;
+
+  /// Ring cap on retained execution-log entries (0 = unbounded). Like the
+  /// trace buffers, recording cost stays O(window): older entries are
+  /// dropped from the head and replay of a windowed log begins enforcing
+  /// only once the retained suffix starts.
+  uint32_t RecordWindow = 0;
+
   /// Parses the policy text; unknown directives are diagnosed. Returns
   /// false and sets \p Error on the first malformed line.
   static bool parse(const std::string &Text, RtPolicy &Out,

@@ -12,6 +12,7 @@
 #include "support/Text.h"
 #include "vm/FaultInjector.h"
 #include "vm/Machine.h"
+#include "vm/Scribe.h"
 #include "vm/World.h"
 
 #include <algorithm>
@@ -812,6 +813,15 @@ TracebackRuntime::takeSnapShared(SnapReason Reason, uint16_t Detail) {
   syncMetrics();
   MetricsSnapshot Health = Reg.snapshot();
   S.setTelemetry(Health);
+
+  // Anchor this capture in the execution record and, when recording is
+  // on, embed the log so the snap becomes a re-executable test case. The
+  // anchor entry is appended before serialization, so the embedded log
+  // ends at exactly this capture point.
+  if (ExecutionScribe *Sc = P.Host->Owner->Scribe)
+    Sc->onSnapAnchor(P.Pid, static_cast<uint8_t>(Reason), Detail,
+                     P.Host->Owner->slices(),
+                     Policy.RecordExecution ? &S.ExecLog : nullptr);
 
   if (Sink) {
     // Always deliver through the shared-pointer entry point; its default

@@ -61,6 +61,7 @@ enum SnapSection : uint8_t {
   SecThreads = 4,
   SecMemory = 5,
   SecTelemetry = 6,
+  SecExecLog = 7,
 };
 
 const char *sectionName(uint8_t Id) {
@@ -77,6 +78,8 @@ const char *sectionName(uint8_t Id) {
     return "memory";
   case SecTelemetry:
     return "telemetry";
+  case SecExecLog:
+    return "execlog";
   }
   return "unknown";
 }
@@ -420,7 +423,7 @@ static bool parseSections(const std::vector<uint8_t> &Bytes, ByteReader &R,
       return false;
     const uint8_t *Sec = Bytes.data() + R.position();
     bool Skip = HeaderOnly && (Id == SecBuffers || Id == SecMemory ||
-                               Id == SecTelemetry);
+                               Id == SecTelemetry || Id == SecExecLog);
     if (Skip) {
       Payload += Raw;
     } else {
@@ -450,6 +453,9 @@ static bool parseSections(const std::vector<uint8_t> &Bytes, ByteReader &R,
       case SecTelemetry:
         if (!readTelemetrySection(SR, Out))
           return false;
+        break;
+      case SecExecLog:
+        Out.ExecLog = SR.readBlob();
         break;
       default:
         Parsed = false; // Unknown section: skip its payload.
@@ -490,7 +496,9 @@ size_t SnapFile::serializeTo(std::vector<uint8_t> &Out) const {
   ByteWriter W(Out);
   W.writeU32(SnapMagic);
   W.writeU32(SnapVersion);
-  W.writeU8(6); // Section count.
+  // Section count. The execlog section exists only when a log was
+  // embedded, so recording-off snaps stay byte-identical to older builds.
+  W.writeU8(ExecLog.empty() ? 6 : 7);
 
   size_t At = beginSection(Out, SecHeader);
   writeScalarFields(W, *this);
@@ -542,6 +550,15 @@ size_t SnapFile::serializeTo(std::vector<uint8_t> &Out) const {
   for (uint32_t Word : Telemetry)
     W.writeU32(Word);
   endSection(Out, At, 0);
+
+  // The embedded execution log is already a self-framed .tblog image —
+  // store its bytes verbatim.
+  if (!ExecLog.empty()) {
+    At = beginSection(Out, SecExecLog);
+    W.writeVarU64(ExecLog.size());
+    Out.insert(Out.end(), ExecLog.begin(), ExecLog.end());
+    endSection(Out, At, 0);
+  }
 
   return Out.size() - Start;
 }

@@ -138,6 +138,14 @@ struct SnapFile {
   void setTelemetry(const MetricsSnapshot &Snapshot);
   bool telemetry(MetricsSnapshot &Out) const;
 
+  /// A serialized ExecutionLog (replay/ExecutionLog.h) captured at this
+  /// snap's anchor point when RtPolicy::RecordExecution is on — the
+  /// nondeterministic inputs needed to re-execute the world to this exact
+  /// snap (`tbtool replay`). Empty when recording was off; the section is
+  /// only written when non-empty, so recording-off snaps are byte-
+  /// identical to pre-replay builds.
+  std::vector<uint8_t> ExecLog;
+
   /// Serializes in the current format (v4: size-prefixed sections whose
   /// buffer/memory/telemetry payloads are compressed by support/SnapCodec),
   /// appending to \p Out — the zero-copy streaming writer. \p Out is

@@ -42,6 +42,8 @@ public:
   }
 
   int64_t offset() const { return Offset; }
+  uint64_t rateNum() const { return RateNum; }
+  uint64_t rateDen() const { return RateDen; }
 
 private:
   int64_t Offset = 0;

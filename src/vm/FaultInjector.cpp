@@ -10,6 +10,7 @@
 #include "runtime/TraceRecord.h"
 #include "support/Text.h"
 #include "vm/Fault.h"
+#include "vm/Scribe.h"
 #include "vm/World.h"
 
 #include <cstdlib>
@@ -254,6 +255,8 @@ void FaultInjector::markFired(size_t Index, const std::string &Note) {
   FaultKind Kind = Plan.Events[Index].Kind;
   FiredKinds.push_back(Kind);
   Reg.counter(std::string("inject.fired.") + faultKindName(Kind)).add();
+  if (Scribe)
+    Scribe->onFaultFired(Index, Note);
 }
 
 void FaultInjector::onSliceBoundary(World &W) {

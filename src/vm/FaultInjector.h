@@ -35,6 +35,7 @@ namespace traceback {
 
 class World;
 struct SnapFile;
+class ExecutionScribe;
 
 /// What the fabric should do with one datagram send (World::netSend asks
 /// the injector for this per packet).
@@ -118,6 +119,11 @@ public:
   /// Fired faults are counted per class as "inject.fired.<kind-name>" in
   /// \p Metrics (null = the process-global registry).
   explicit FaultInjector(FaultPlan P, MetricsRegistry *Metrics = nullptr);
+
+  /// When non-null, notified of every fault firing (markFired). The World
+  /// re-points this to its own scribe each slice, so record/replay sees
+  /// firings without the injector knowing about either mode. Not owned.
+  ExecutionScribe *Scribe = nullptr;
 
   // --- Injection points ---------------------------------------------------
 

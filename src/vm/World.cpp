@@ -8,12 +8,15 @@
 
 #include "support/Text.h"
 #include "vm/FaultInjector.h"
+#include "vm/Scribe.h"
 #include "vm/Syscalls.h"
 
 #include <algorithm>
 #include <cassert>
 
 using namespace traceback;
+
+ExecutionScribe::~ExecutionScribe() = default;
 
 // ----------------------------------------------------------------------------
 // Small satellites.
@@ -130,6 +133,8 @@ unsigned World::netSend(uint64_t Src, uint64_t Dst,
   NetFaultAction Action;
   if (Injector)
     Action = Injector->onNetSend(Src, Dst);
+  if (Scribe)
+    Action = Scribe->onNetSend(Src, Dst, Action);
   if (Action.Copies == 0)
     return 0;
 
@@ -218,8 +223,13 @@ bool World::stepSlice() {
   // Fault injection happens at slice boundaries so a (workload, plan)
   // pair replays identically: the injector sees the same world state at
   // the same slice ordinal every run.
-  if (Injector)
+  if (Injector) {
+    // The injector reports firings through the attached scribe (record /
+    // replay verification). Re-point every slice: either may be attached
+    // after the other.
+    Injector->Scribe = Scribe;
     Injector->onSliceBoundary(*this);
+  }
   for (int Attempt = 0; Attempt < 2; ++Attempt) {
     struct Cand {
       Machine *M;
@@ -250,7 +260,17 @@ bool World::stepSlice() {
     }
 
     if (!Cands.empty()) {
-      Cand &C = Cands[ScheduleCursor++ % Cands.size()];
+      size_t Pick = ScheduleCursor++ % Cands.size();
+      if (Scribe) {
+        std::vector<SliceCandidate> View;
+        View.reserve(Cands.size());
+        for (const Cand &C : Cands)
+          View.push_back({C.M->Id, C.P->Pid, C.T->Id});
+        Pick = Scribe->onSchedulePick(SliceCount, View, Pick);
+        if (Pick >= Cands.size())
+          Pick = 0;
+      }
+      Cand &C = Cands[Pick];
       runQuantum(*C.M, *C.P, *C.T);
       return true;
     }
@@ -833,6 +853,8 @@ void World::doSyscall(Machine &M, Process &P, Thread &T, uint16_t No) {
     return;
   case SysRand:
     R[0] = P.Rand.next();
+    if (Scribe)
+      R[0] = Scribe->onRand(P.Pid, T.Id, R[0]);
     return;
   case SysThreadSpawn: {
     Thread *NT = P.spawnThread(R[0], R[1]);
@@ -1024,6 +1046,8 @@ void World::rpcDeliverToServer(Process &P, Thread &T, uint64_t ReqId) {
   // logical thread) or duplicate it. Count every delivery — attached
   // runtime or not — so wire ordinals stay deterministic.
   unsigned Deliveries = Injector ? Injector->wireDeliveryCount() : 1;
+  if (Scribe)
+    Deliveries = Scribe->onWireDelivery(Deliveries);
   // The callee runtime binds the logical thread and records CallRecv.
   if (LoadedModule *LM = P.moduleForPC(T.PC))
     if (RuntimeHooks *RT = P.runtimeForTech(LM->Mod.Tech))

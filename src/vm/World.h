@@ -35,6 +35,7 @@
 namespace traceback {
 
 class FaultInjector;
+class ExecutionScribe;
 
 /// An in-flight RPC.
 struct RpcRequest {
@@ -82,6 +83,9 @@ public:
   /// Registers \p P as the handler process for \p Service.
   void registerService(uint32_t Service, Process *P);
 
+  /// The registered RPC service table (replay records and rebuilds it).
+  const std::map<uint32_t, Process *> &services() const { return Services; }
+
   // --- Execution ----------------------------------------------------------
 
   enum class RunResult {
@@ -111,6 +115,12 @@ public:
   /// When non-null, consulted at every slice boundary, wire delivery and
   /// snap capture. Not owned.
   FaultInjector *Injector = nullptr;
+
+  /// When non-null, observes (record mode) or arbitrates (replay mode)
+  /// every nondeterministic decision: scheduler picks, SysRand draws,
+  /// wire-delivery counts, network fault actions. See vm/Scribe.h. Not
+  /// owned.
+  ExecutionScribe *Scribe = nullptr;
 
   /// Queues an asynchronous signal for \p P (delivered to its first live
   /// thread at the next slice boundary). SigKill is a hard kill: no hooks.

@@ -16,6 +16,8 @@
 #include "core/FileIO.h"
 #include "distributed/SnapArchive.h"
 #include "distributed/Transport.h"
+#include "replay/Recorder.h"
+#include "replay/ReplayDriver.h"
 #include "support/SnapSource.h"
 #include "support/ThreadPool.h"
 #include "triage/Signature.h"
@@ -604,6 +606,102 @@ TEST(PagedStoreTest, PagedOpenMatchesUnpagedAcrossReopen) {
   ASSERT_TRUE(Re.open(Dir, Paged, Err)) << Err;
   EXPECT_TRUE(Re.openedPaged());
   expectPagedQueriesConsistent(Re, nullptr, "re-checkpointed");
+}
+
+// Snaps ingested with embedded execution logs keep their logs through
+// store close/reopen — paged and unpaged alike — and a store-resident
+// snap replays end-to-end by id (the library half of
+// `tbtool replay --store <dir> --id <n>`).
+TEST(PagedStoreTest, ExecLogRoundTripsAndReplaysFromStore) {
+  const char *Workload = R"(
+fn main() export {
+  var x = 1;
+  var i = 0;
+  while (i < 80) {
+    x = x * 3 + (rand() & 7);
+    x = x % 1000003;
+    i = i + 1;
+    yield();
+  }
+  snap(1);
+  print(x);
+}
+)";
+  // Two recorded snaps: a clean snap(1) anchor and a kill post-mortem.
+  std::vector<std::vector<uint8_t>> Images;
+  {
+    SingleProcess S;
+    S.D.Policy.RecordExecution = true;
+    ExecutionRecorder Rec;
+    Rec.attach(S.D);
+    ASSERT_EQ(S.runModule(compileOrDie(Workload), /*Instrument=*/true),
+              World::RunResult::AllExited);
+    ASSERT_FALSE(S.D.snaps().empty());
+    ASSERT_FALSE(S.D.snaps().front().ExecLog.empty());
+    Images.push_back(S.D.snaps().front().serialize());
+  }
+  {
+    SingleProcess S;
+    S.D.Policy.RecordExecution = true;
+    ExecutionRecorder Rec;
+    Rec.attach(S.D);
+    FaultPlan Plan;
+    Plan.Seed = testSeed() ^ 0x88;
+    Plan.Events.push_back({FaultKind::KillProcess, 60, 0});
+    FaultInjector FI(Plan);
+    S.D.world().Injector = &FI;
+    S.runModule(compileOrDie(Workload), true);
+    ASSERT_TRUE(S.P->HardKilled);
+    auto PM = S.D.daemonFor(*S.M)->collectPostMortem(*S.P);
+    ASSERT_EQ(PM.size(), 1u);
+    ASSERT_FALSE(PM[0]->ExecLog.empty());
+    Images.push_back(PM[0]->serialize());
+  }
+
+  std::string Dir = tempStoreDir("execlog");
+  SnapStoreOptions O;
+  std::string Err;
+  std::vector<uint64_t> Ids;
+  {
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, O, Err)) << Err;
+    for (const std::vector<uint8_t> &Img : Images) {
+      SnapStore::AppendResult AR;
+      ASSERT_TRUE(St.append(Img, /*SrcMachineId=*/1, AR, &Err)) << Err;
+      EXPECT_FALSE(AR.Deduped);
+      Ids.push_back(AR.Id);
+    }
+  } // close() writes the paged checkpoint.
+
+  SnapStoreOptions Paged = O;
+  Paged.ReadOnly = true;
+  SnapStoreOptions Unpaged = Paged;
+  Unpaged.Paged = false;
+  for (bool UsePaged : {false, true}) {
+    const char *Mode = UsePaged ? "paged" : "unpaged";
+    SnapStore St;
+    ASSERT_TRUE(St.open(Dir, UsePaged ? Paged : Unpaged, Err))
+        << Mode << ": " << Err;
+    EXPECT_EQ(St.openedPaged(), UsePaged);
+    for (size_t I = 0; I < Ids.size(); ++I) {
+      const SnapStoreEntry *E = St.entry(Ids[I]);
+      ASSERT_NE(E, nullptr) << Mode << " id " << Ids[I];
+      SnapFile Loaded;
+      ASSERT_TRUE(St.loadSnap(*E, Loaded)) << Mode << " id " << Ids[I];
+      SnapFile Orig;
+      ASSERT_TRUE(SnapFile::deserialize(Images[I], Orig));
+      ASSERT_FALSE(Loaded.ExecLog.empty()) << Mode << " id " << Ids[I];
+      EXPECT_EQ(Loaded.ExecLog, Orig.ExecLog) << Mode << " id " << Ids[I];
+
+      ExecutionLog Log;
+      ASSERT_TRUE(ExecutionLog::deserialize(Loaded.ExecLog, Log))
+          << Mode << " id " << Ids[I];
+      ReplayVerdict V = verifyReplay(Loaded, Log);
+      EXPECT_TRUE(V.Ok) << Mode << " id " << Ids[I] << "\n" << V.render();
+      EXPECT_TRUE(V.SnapMatched) << Mode << " id " << Ids[I];
+      EXPECT_TRUE(V.TraceIdentical) << Mode << " id " << Ids[I];
+    }
+  }
 }
 
 TEST(PagedStoreTest, CorruptCheckpointFallsBackToJournalReplay) {

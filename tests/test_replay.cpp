@@ -1,0 +1,493 @@
+//===- tests/test_replay.cpp - Record-and-replay self-checks --------------===//
+//
+// Part of the TraceBack reproduction project.
+//
+// The replay subsystem's suite (ctest -L replay). The headline is the
+// 200-seed chaos sweep: every snap recorded under a random kill replays
+// to the same fault with a byte-identical reconstructed trace and zero
+// divergences — the replay-divergence check doubles as a continuous
+// correctness oracle for the reconstruction pipeline. The negative paths
+// perturb one recorded input, one schedule decision and one trace word,
+// and assert the detector pinpoints the FIRST divergent event, never a
+// later cascade. The divergence report rendering is pinned by
+// tests/golden/replay_divergence.txt (TRACEBACK_REGEN_GOLDEN=1 to
+// regenerate after an intentional change).
+//
+// Every seed is replayable: TRACEBACK_TEST_SEED=<seed> reruns a failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "core/FileIO.h"
+#include "replay/Recorder.h"
+#include "replay/ReplayDriver.h"
+#include "vm/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace traceback;
+using namespace traceback::testing_helpers;
+
+namespace {
+
+/// Two yield-looping threads drawing SysRand — scheduling and guest
+/// inputs both nondeterministic, the shapes the recorder must pin down.
+const char *RandTwoThreadWorkload = R"(
+fn worker(a) {
+  var x = a;
+  var j = 0;
+  while (j < 120) {
+    x = x * 5 + (rand() & 7);
+    x = x % 999983;
+    j = j + 1;
+    yield();
+  }
+  return x;
+}
+fn main() export {
+  spawn(addr_of(worker), 7);
+  var y = 2;
+  var i = 0;
+  while (i < 100) {
+    y = y * 7 + (rand() & 3);
+    y = y % 1000033;
+    i = i + 1;
+    yield();
+  }
+  print(y);
+}
+)";
+
+/// Single thread whose control flow BRANCHES on rand(): perturbing one
+/// recorded draw must change the line sequence itself, and the snap(1) at
+/// the end anchors the log for verifyReplay.
+const char *RandBranchSnapWorkload = R"(
+fn main() export {
+  var x = 1;
+  var r = 0;
+  var i = 0;
+  while (i < 60) {
+    r = rand();
+    if (r & 1) { x = x * 3 + 1; } else { x = x + 7; }
+    x = x % 1000003;
+    i = i + 1;
+    yield();
+  }
+  snap(1);
+  print(x);
+}
+)";
+
+/// Two threads plus an end-of-run anchor: the golden divergence fixture
+/// and the windowed-recording test both want multi-candidate schedule
+/// slices leading to a snap.
+const char *TwoThreadSnapWorkload = R"(
+fn worker(a) {
+  var x = a;
+  var j = 0;
+  while (j < 90) {
+    x = x * 5 + (rand() & 7);
+    x = x % 999983;
+    j = j + 1;
+    yield();
+  }
+  return x;
+}
+fn main() export {
+  spawn(addr_of(worker), 3);
+  var y = 2;
+  var i = 0;
+  while (i < 70) {
+    y = y * 7 + 1;
+    y = y % 1000033;
+    i = i + 1;
+    yield();
+  }
+  snap(2);
+  print(y);
+}
+)";
+
+/// A recording single-process world: policy flag + scribe hooked up
+/// before anything is deployed.
+struct RecordedProcess : SingleProcess {
+  ExecutionRecorder Rec;
+
+  explicit RecordedProcess(uint32_t Window = 0) : Rec(Window) {
+    D.Policy.RecordExecution = true;
+    D.Policy.RecordWindow = Window;
+    Rec.attach(D);
+  }
+};
+
+/// Flips one recorded schedule decision (the first multi-candidate pick
+/// at or after \p MinIndex) to a different in-range candidate. Returns
+/// the chronological index of the perturbed entry, or SIZE_MAX.
+size_t perturbSchedulePick(ExecutionLog &Log, size_t MinIndex) {
+  for (size_t I = MinIndex; I < Log.Entries.size(); ++I) {
+    LogEntry &E = Log.Entries[I];
+    if (E.Kind != LogEntryKind::Sched)
+      continue;
+    uint64_t CandCount = E.B >> 32;
+    if (CandCount < 2)
+      continue;
+    uint64_t Pick = E.B & 0xffffffffu;
+    E.B = (CandCount << 32) | ((Pick + 1) % CandCount);
+    return I;
+  }
+  return SIZE_MAX;
+}
+
+/// Flips the low bit of one recorded rand() value at or after
+/// \p MinIndex. Returns the chronological index, or SIZE_MAX.
+size_t perturbRandValue(ExecutionLog &Log, size_t MinIndex) {
+  for (size_t I = MinIndex; I < Log.Entries.size(); ++I) {
+    LogEntry &E = Log.Entries[I];
+    if (E.Kind != LogEntryKind::Rand)
+      continue;
+    E.C ^= 1;
+    return I;
+  }
+  return SIZE_MAX;
+}
+
+size_t countEntries(const ExecutionLog &Log, LogEntryKind K) {
+  size_t N = 0;
+  for (const LogEntry &E : Log.Entries)
+    N += E.Kind == K;
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Log format: serialize/deserialize identity, truncation tolerance.
+//===----------------------------------------------------------------------===//
+
+TEST(ExecutionLogTest, SerializeDeserializeIsIdentity) {
+  RecordedProcess S;
+  FaultPlan Plan;
+  Plan.Seed = testSeed() ^ 0x11;
+  Plan.Events.push_back({FaultKind::KillProcess, 150, 0});
+  FaultInjector FI(Plan);
+  S.D.world().Injector = &FI;
+  S.runModule(compileOrDie(RandTwoThreadWorkload), /*Instrument=*/true);
+  ASSERT_TRUE(S.P->HardKilled);
+  ASSERT_EQ(S.D.daemonFor(*S.M)->collectPostMortem(*S.P).size(), 1u);
+
+  ExecutionLog L1 = S.Rec.snapshot();
+  ASSERT_GT(L1.Entries.size(), 100u);
+  EXPECT_GT(countEntries(L1, LogEntryKind::Rand), 10u);
+  EXPECT_EQ(countEntries(L1, LogEntryKind::Fired), 1u);
+  EXPECT_EQ(countEntries(L1, LogEntryKind::Anchor), 1u);
+
+  std::vector<uint8_t> Bytes = L1.serialize();
+  ExecutionLog L2;
+  ASSERT_TRUE(ExecutionLog::deserialize(Bytes, L2));
+  EXPECT_FALSE(L2.Truncated);
+  EXPECT_EQ(L2.PolicyText, L1.PolicyText);
+  EXPECT_EQ(L2.PlanText, L1.PlanText);
+  EXPECT_FALSE(L2.PlanText.empty());
+  EXPECT_EQ(L2.Quantum, L1.Quantum);
+  EXPECT_EQ(L2.NetEnabled, L1.NetEnabled);
+  EXPECT_EQ(L2.WindowCap, L1.WindowCap);
+  EXPECT_EQ(L2.DroppedHead, L1.DroppedHead);
+  ASSERT_EQ(L2.Machines.size(), L1.Machines.size());
+  EXPECT_EQ(L2.Machines[0].Name, L1.Machines[0].Name);
+  ASSERT_EQ(L2.Processes.size(), L1.Processes.size());
+  EXPECT_EQ(L2.Processes[0].Pid, L1.Processes[0].Pid);
+  ASSERT_EQ(L2.Deploys.size(), L1.Deploys.size());
+  EXPECT_EQ(L2.Deploys[0].Image, L1.Deploys[0].Image);
+  ASSERT_EQ(L2.Threads.size(), L1.Threads.size());
+  ASSERT_EQ(L2.Entries.size(), L1.Entries.size());
+  for (size_t I = 0; I < L1.Entries.size(); ++I) {
+    const LogEntry &A = L1.Entries[I], &B = L2.Entries[I];
+    ASSERT_EQ(B.Kind, A.Kind) << "entry " << I;
+    EXPECT_EQ(B.Ordinal, A.Ordinal) << "entry " << I;
+    EXPECT_EQ(B.A, A.A);
+    EXPECT_EQ(B.B, A.B);
+    EXPECT_EQ(B.C, A.C);
+    EXPECT_EQ(B.D, A.D);
+    EXPECT_EQ(B.E, A.E);
+    EXPECT_EQ(B.Note, A.Note);
+  }
+
+  // Byte truncation anywhere inside EVENTS loses exactly a chronological
+  // suffix: the recovered entries are an elementwise prefix.
+  int Recovered = 0;
+  for (size_t Cut = Bytes.size() - 9; Cut > Bytes.size() / 2;
+       Cut -= Bytes.size() / 16) {
+    std::vector<uint8_t> Torn(Bytes.begin(), Bytes.begin() + Cut);
+    ExecutionLog LT;
+    if (!ExecutionLog::deserialize(Torn, LT))
+      continue; // Cut landed inside META/GENESIS: nothing to rebuild.
+    ++Recovered;
+    EXPECT_TRUE(LT.Truncated) << "cut " << Cut;
+    ASSERT_LE(LT.Entries.size(), L1.Entries.size());
+    for (size_t I = 0; I < LT.Entries.size(); ++I) {
+      EXPECT_EQ(LT.Entries[I].Kind, L1.Entries[I].Kind) << "cut " << Cut;
+      EXPECT_EQ(LT.Entries[I].Ordinal, L1.Entries[I].Ordinal);
+    }
+  }
+  EXPECT_GT(Recovered, 2) << "truncation sweep never hit the event stream";
+}
+
+TEST(ExecutionLogTest, RingWindowKeepsTailAndCountsDrops) {
+  RecordedProcess S(/*Window=*/48);
+  ASSERT_EQ(S.runModule(compileOrDie(TwoThreadSnapWorkload), true),
+            World::RunResult::AllExited);
+  ExecutionLog L = S.Rec.snapshot();
+  EXPECT_EQ(L.WindowCap, 48u);
+  EXPECT_EQ(L.Entries.size(), 48u);
+  EXPECT_GT(L.DroppedHead, 0u);
+  EXPECT_EQ(L.totalEntries(), S.Rec.recordedEntries());
+  // Ordinals within one kind stay strictly increasing across the window.
+  uint64_t LastSched = 0;
+  bool Seen = false;
+  for (const LogEntry &E : L.Entries)
+    if (E.Kind == LogEntryKind::Sched) {
+      if (Seen) {
+        EXPECT_GT(E.Ordinal, LastSched);
+      }
+      LastSched = E.Ordinal;
+      Seen = true;
+    }
+  EXPECT_TRUE(Seen);
+}
+
+//===----------------------------------------------------------------------===//
+// The headline: 200-seed record/replay chaos sweep.
+//===----------------------------------------------------------------------===//
+
+TEST(ReplaySweepTest, TwoHundredSeedKillSweepReplaysIdentically) {
+  // Fault-free pass to size the kill window.
+  uint64_t TotalSlices = 0;
+  {
+    SingleProcess S;
+    ASSERT_EQ(S.runModule(compileOrDie(RandTwoThreadWorkload), true),
+              World::RunResult::AllExited);
+    TotalSlices = S.D.world().slices();
+  }
+  ASSERT_GT(TotalSlices, 10u);
+
+  Rng Seeds(testSeed() ^ 0x9e91);
+  const int NumSeeds = 200;
+  int Replayed = 0;
+  for (int Run = 0; Run < NumSeeds; ++Run) {
+    uint64_t Seed = Seeds.next();
+    Rng R(Seed);
+    FaultPlan Plan;
+    Plan.Seed = Seed;
+    // Cap at TotalSlices-2: the injector's boundary at the last world
+    // slice runs after the process already exited, so a kill armed there
+    // could never land.
+    Plan.Events.push_back(
+        {FaultKind::KillProcess, 1 + R.below(TotalSlices - 2), 0});
+
+    RecordedProcess S;
+    FaultInjector FI(Plan);
+    S.D.world().Injector = &FI;
+    S.runModule(compileOrDie(RandTwoThreadWorkload), true);
+    ASSERT_TRUE(S.P->HardKilled)
+        << "seed " << Seed << ": kill at slice " << Plan.Events[0].Trigger
+        << " did not land (fault-free slices " << TotalSlices
+        << ", faulted run slices " << S.D.world().slices() << ")";
+    auto PM = S.D.daemonFor(*S.M)->collectPostMortem(*S.P);
+    ASSERT_EQ(PM.size(), 1u) << "seed " << Seed;
+
+    // Full wire round trip first: the embedded log must survive snap
+    // serialization like every other section.
+    std::vector<uint8_t> Wire = PM[0]->serialize();
+    SnapFile Snap;
+    ASSERT_TRUE(SnapFile::deserialize(Wire, Snap)) << "seed " << Seed;
+    ASSERT_FALSE(Snap.ExecLog.empty()) << "seed " << Seed;
+
+    ExecutionLog Log;
+    ASSERT_TRUE(ExecutionLog::deserialize(Snap.ExecLog, Log))
+        << "seed " << Seed;
+    EXPECT_FALSE(Log.Truncated);
+    EXPECT_EQ(countEntries(Log, LogEntryKind::Fired), 1u)
+        << "seed " << Seed << ": the kill firing must be in the log";
+
+    ReplayVerdict V = verifyReplay(Snap, Log);
+    ASSERT_TRUE(V.Ok) << "seed " << Seed << " (kill slice "
+                      << Plan.Events[0].Trigger
+                      << "): replay diverged — rerun with "
+                         "TRACEBACK_TEST_SEED\n"
+                      << V.render();
+    EXPECT_TRUE(V.SnapMatched) << "seed " << Seed;
+    EXPECT_TRUE(V.TraceIdentical) << "seed " << Seed;
+    EXPECT_TRUE(V.Divergences.empty()) << "seed " << Seed;
+    ++Replayed;
+  }
+  EXPECT_EQ(Replayed, NumSeeds);
+}
+
+//===----------------------------------------------------------------------===//
+// Windowed recording: pre-window slices pass through, the tail enforces.
+//===----------------------------------------------------------------------===//
+
+TEST(ReplayTest, WindowedRecordingStillReplaysToTheAnchor) {
+  RecordedProcess S(/*Window=*/64);
+  ASSERT_EQ(S.runModule(compileOrDie(TwoThreadSnapWorkload), true),
+            World::RunResult::AllExited);
+  ASSERT_FALSE(S.D.snaps().empty());
+  const SnapFile &Snap = S.D.snaps().front();
+  ASSERT_FALSE(Snap.ExecLog.empty());
+  ExecutionLog Log;
+  ASSERT_TRUE(ExecutionLog::deserialize(Snap.ExecLog, Log));
+  ASSERT_GT(Log.DroppedHead, 0u) << "window never filled — test is vacuous";
+
+  ReplayVerdict V = verifyReplay(Snap, Log);
+  EXPECT_TRUE(V.Ok) << V.render();
+  EXPECT_TRUE(V.SnapMatched);
+  EXPECT_TRUE(V.TraceIdentical);
+}
+
+TEST(ReplayTest, ToLimitStopsEnforcementEarly) {
+  RecordedProcess S;
+  ASSERT_EQ(S.runModule(compileOrDie(TwoThreadSnapWorkload), true),
+            World::RunResult::AllExited);
+  ASSERT_FALSE(S.D.snaps().empty());
+  ExecutionLog Log;
+  ASSERT_TRUE(ExecutionLog::deserialize(S.D.snaps().front().ExecLog, Log));
+  uint64_t Half = Log.totalEntries() / 2;
+  ASSERT_GT(Half, 10u);
+
+  ReplayDriver Drv(Log);
+  std::string Error;
+  ASSERT_TRUE(Drv.build(Error)) << Error;
+  EXPECT_TRUE(Drv.run(/*ToEvent=*/Half));
+  EXPECT_LE(Drv.enforcer().consumed(), Half);
+  EXPECT_TRUE(Drv.enforcer().divergences().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Negative paths: one perturbation, first divergent event pinpointed.
+//===----------------------------------------------------------------------===//
+
+TEST(ReplayDivergenceTest, PerturbedSchedulePickIsPinpointed) {
+  RecordedProcess S;
+  ASSERT_EQ(S.runModule(compileOrDie(TwoThreadSnapWorkload), true),
+            World::RunResult::AllExited);
+  ASSERT_FALSE(S.D.snaps().empty());
+  const SnapFile &Snap = S.D.snaps().front();
+  ExecutionLog Log;
+  ASSERT_TRUE(ExecutionLog::deserialize(Snap.ExecLog, Log));
+
+  size_t At = perturbSchedulePick(Log, Log.Entries.size() / 3);
+  ASSERT_NE(At, SIZE_MAX) << "no multi-candidate pick to perturb";
+
+  ReplayVerdict V = verifyReplay(Snap, Log);
+  EXPECT_FALSE(V.Ok);
+  ASSERT_FALSE(V.Divergences.empty());
+  // The FIRST reported divergence is the perturbed decision itself — not
+  // any of the cascade the wrong pick causes downstream.
+  EXPECT_EQ(V.Divergences[0].EventIndex, Log.DroppedHead + At);
+  EXPECT_EQ(V.Divergences[0].K, Divergence::Kind::SchedulePick)
+      << divergenceKindName(V.Divergences[0].K);
+}
+
+TEST(ReplayDivergenceTest, PerturbedRandInputDivergesDownstreamOnly) {
+  RecordedProcess S;
+  ASSERT_EQ(S.runModule(compileOrDie(RandBranchSnapWorkload), true),
+            World::RunResult::AllExited);
+  ASSERT_FALSE(S.D.snaps().empty());
+  const SnapFile &Snap = S.D.snaps().front();
+  ExecutionLog Log;
+  ASSERT_TRUE(ExecutionLog::deserialize(Snap.ExecLog, Log));
+
+  size_t At = perturbRandValue(Log, Log.Entries.size() / 3);
+  ASSERT_NE(At, SIZE_MAX) << "no rand draw to perturb";
+
+  ReplayVerdict V = verifyReplay(Snap, Log);
+  EXPECT_FALSE(V.Ok);
+  ASSERT_FALSE(V.Divergences.empty());
+  // The forged input is delivered verbatim (its context still matches),
+  // so every enforcer-observed divergence is strictly AFTER it: the
+  // effect shows downstream, the report never points before the cause.
+  for (const Divergence &D : V.Divergences)
+    if (D.K != Divergence::Kind::TraceEvent) {
+      EXPECT_GT(D.EventIndex, Log.DroppedHead + At)
+          << divergenceKindName(D.K) << ": " << D.Detail;
+    }
+  // The detector reports at most ONE trace divergence for the thread —
+  // the first differing line, not the cascade behind it.
+  size_t TraceDivs = 0;
+  for (const Divergence &D : V.Divergences)
+    TraceDivs += D.K == Divergence::Kind::TraceEvent;
+  EXPECT_LE(TraceDivs, 1u);
+}
+
+TEST(ReplayDivergenceTest, PerturbedTraceWordReportsFirstEventOnly) {
+  RecordedProcess S;
+  ASSERT_EQ(S.runModule(compileOrDie(RandBranchSnapWorkload), true),
+            World::RunResult::AllExited);
+  ASSERT_FALSE(S.D.snaps().empty());
+  ReconstructedTrace Original = S.D.reconstruct(S.D.snaps().front());
+  ASSERT_FALSE(Original.Threads.empty());
+  ASSERT_GT(Original.Threads[0].Events.size(), 20u);
+
+  // Corrupt TWO events of the replayed copy; only the FIRST may be
+  // reported for that thread.
+  ReconstructedTrace Perturbed = Original;
+  size_t First = Perturbed.Threads[0].Events.size() / 2;
+  size_t Second = First + 5;
+  ASSERT_LT(Second, Perturbed.Threads[0].Events.size());
+  Perturbed.Threads[0].Events[First].Line += 1;
+  Perturbed.Threads[0].Events[Second].Line += 3;
+
+  std::vector<Divergence> Divs;
+  ASSERT_EQ(DivergenceDetector::compare(Original, Perturbed, Divs), 1u);
+  ASSERT_EQ(Divs.size(), 1u);
+  EXPECT_EQ(Divs[0].K, Divergence::Kind::TraceEvent);
+  EXPECT_EQ(Divs[0].EventIndex, First);
+  EXPECT_NE(Divs[0].Detail.find("thread 1"), std::string::npos)
+      << Divs[0].Detail;
+
+  // Sanity: identical traces produce no divergence and identical bytes.
+  Divs.clear();
+  EXPECT_EQ(DivergenceDetector::compare(Original, Original, Divs), 0u);
+  EXPECT_EQ(DivergenceDetector::renderCanonical(Original),
+            DivergenceDetector::renderCanonical(Original));
+  EXPECT_NE(DivergenceDetector::renderCanonical(Original),
+            DivergenceDetector::renderCanonical(Perturbed));
+}
+
+//===----------------------------------------------------------------------===//
+// Golden rendering of a divergence report.
+//===----------------------------------------------------------------------===//
+
+TEST(ReplayGoldenTest, DivergenceReportMatchesGoldenFixture) {
+  // Entirely deterministic — fixed workload, no injector, and a fixed
+  // perturbation — so the report is stable regardless of the test seed.
+  const std::string Path =
+      std::string(TB_TESTS_DIR) + "/golden/replay_divergence.txt";
+
+  RecordedProcess S;
+  ASSERT_EQ(S.runModule(compileOrDie(TwoThreadSnapWorkload), true),
+            World::RunResult::AllExited);
+  ASSERT_FALSE(S.D.snaps().empty());
+  const SnapFile &Snap = S.D.snaps().front();
+  ExecutionLog Log;
+  ASSERT_TRUE(ExecutionLog::deserialize(Snap.ExecLog, Log));
+  size_t At = perturbSchedulePick(Log, Log.Entries.size() / 3);
+  ASSERT_NE(At, SIZE_MAX);
+
+  ReplayVerdict V = verifyReplay(Snap, Log);
+  ASSERT_FALSE(V.Ok);
+  std::string Report = V.render();
+
+  if (std::getenv("TRACEBACK_REGEN_GOLDEN")) {
+    ASSERT_TRUE(writeFileText(Path, Report)) << Path;
+    GTEST_SKIP() << "regenerated golden fixture " << Path;
+  }
+  std::string Expected;
+  ASSERT_TRUE(readFileText(Path, Expected))
+      << "missing fixture " << Path
+      << " — regenerate with TRACEBACK_REGEN_GOLDEN=1";
+  EXPECT_EQ(Report, Expected)
+      << "divergence report rendering drifted from the golden fixture";
+}

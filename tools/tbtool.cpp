@@ -55,6 +55,8 @@
 #include "isa/Disassembler.h"
 #include "lang/CodeGen.h"
 #include "reconstruct/Views.h"
+#include "replay/Recorder.h"
+#include "replay/ReplayDriver.h"
 #include "support/Metrics.h"
 #include "triage/Clusterer.h"
 #include "support/Text.h"
@@ -810,6 +812,8 @@ int cmdInject(ArgList A) {
   uint64_t Seed = A.seed();
   std::string PlanPath = A.value("--plan");
   std::string SnapDir = A.value("--snap-dir");
+  bool Record = A.flag("--record");
+  int64_t RecordWindow = A.intValue("--record-window", 0);
   std::string FErr;
   if (!A.finish(FErr))
     return flagError(FErr);
@@ -870,6 +874,17 @@ int cmdInject(ArgList A) {
 
   // Fault pass: identical deployment with the injector attached.
   Deployment D;
+  // Record-and-replay: the recorder scribe must be attached before the
+  // deploys so module images land in the log's genesis, and the policy
+  // must ask for embedded logs before runtimes are created.
+  ExecutionRecorder Recorder(static_cast<uint32_t>(
+      RecordWindow < 0 ? 0 : RecordWindow));
+  if (Record) {
+    D.Policy.RecordExecution = true;
+    D.Policy.RecordWindow =
+        static_cast<uint32_t>(RecordWindow < 0 ? 0 : RecordWindow);
+    Recorder.attach(D);
+  }
   Machine *Host = D.addMachine("tbtool-host");
   Process *P = Host->createProcess("app");
   std::string Error;
@@ -928,6 +943,15 @@ int cmdInject(ArgList A) {
           formatv("%s/%s.tbmap", SnapDir.c_str(), Map.ModuleName.c_str());
       if (saveMapFile(Map, Path))
         std::printf("wrote %s\n", Path.c_str());
+    }
+    if (Record) {
+      // Snaps embed the log up to their own anchor; run.tblog is the full
+      // recording including any post-anchor tail.
+      std::string Path = SnapDir + "/run.tblog";
+      if (writeFileBytes(Path, Recorder.serialized()))
+        std::printf("wrote %s (%llu recorded events)\n", Path.c_str(),
+                    static_cast<unsigned long long>(
+                        Recorder.recordedEntries()));
     }
   }
 
@@ -1146,6 +1170,7 @@ int cmdServe(ArgList A) {
   int64_t Rounds = A.intValue("--rounds", 2);
   uint64_t Seed = A.seed();
   bool Chaos = A.flag("--chaos");
+  bool Record = A.flag("--record");
   int64_t Shards = A.intValue("--shards", 4);
   int64_t MaxBytes = A.intValue("--max-bytes", 0);
   int64_t MaxAge = A.intValue("--max-age", 0);
@@ -1201,6 +1226,15 @@ int cmdServe(ArgList A) {
     // with round N-1's accumulated counters.
     MetricsRegistry RoundMetrics;
     D.Metrics = &RoundMetrics;
+    // One recorder per round: every snap pushed to the store embeds the
+    // round's execution log, and each daemon archives a .tblog sidecar
+    // into the store directory for `tbtool replay --store`.
+    std::unique_ptr<ExecutionRecorder> Recorder;
+    if (Record) {
+      D.Policy.RecordExecution = true;
+      Recorder.reset(new ExecutionRecorder());
+      Recorder->attach(D);
+    }
     D.enableNetworkTransport();
     Service.attachTransport(*D.collectorEndpoint());
 
@@ -1230,6 +1264,13 @@ int cmdServe(ArgList A) {
       Service.detachTransport();
       return 1;
     }
+    if (Record)
+      for (const auto &M : D.world().Machines)
+        if (ServiceDaemon *Dm = D.daemonFor(*M)) {
+          ServiceDaemon::IngestOptions IO = Dm->ingestOptions();
+          IO.LogDir = StoreDir;
+          Dm->configureIngest(IO);
+        }
 
     D.world().run();
     bool Quiet = D.pumpNetwork();
@@ -1295,6 +1336,100 @@ int cmdServe(ArgList A) {
                   PartitionedRounds);
   }
   return Service.errors() ? 1 : 0;
+}
+
+/// `tbtool replay`: snap-anchored record-and-replay. Loads a snap (file
+/// or store-resident by id), finds its execution log (--log, the snap's
+/// embedded log, or the .tblog sidecar next to it), rebuilds the recorded
+/// world and re-executes it under the replay enforcer, then self-checks:
+/// the replayed anchor snap must exist and its reconstructed trace must
+/// be byte-identical to the original's. --verify turns a failed check
+/// into exit 3 (sweepable, like inject).
+int cmdReplay(ArgList A) {
+  std::string LogPath = A.value("--log");
+  std::string StoreDir = A.value("--store");
+  int64_t Id = A.intValue("--id", 0);
+  bool Verify = A.flag("--verify");
+  int64_t ToEvent = A.intValue("--to", 0);
+  std::string FErr;
+  if (!A.finish(FErr))
+    return flagError(FErr);
+  const std::vector<std::string> &Pos = A.positional();
+
+  SnapFile Snap;
+  std::string SnapDirPath = "."; // Where a sidecar would sit.
+  if (!StoreDir.empty()) {
+    if (Id <= 0 || !Pos.empty())
+      return usage();
+    MetricsRegistry StoreMetrics;
+    SnapStore Store;
+    SnapStoreOptions SO;
+    SO.Metrics = &StoreMetrics;
+    std::string Error;
+    if (!Store.open(StoreDir, SO, Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
+      return 1;
+    }
+    const SnapStoreEntry *E = Store.entry(static_cast<uint64_t>(Id));
+    if (!E || E->Dead) {
+      std::fprintf(stderr, "no live entry %lld in %s\n",
+                   static_cast<long long>(Id), StoreDir.c_str());
+      return 1;
+    }
+    if (!Store.loadSnap(*E, Snap)) {
+      std::fprintf(stderr, "cannot load payload of entry %lld\n",
+                   static_cast<long long>(Id));
+      return 1;
+    }
+    SnapDirPath = StoreDir;
+  } else {
+    if (Pos.size() != 1)
+      return usage();
+    if (!loadSnap(Pos[0], Snap)) {
+      std::fprintf(stderr, "cannot load %s\n", Pos[0].c_str());
+      return 1;
+    }
+    std::filesystem::path P(Pos[0]);
+    if (P.has_parent_path())
+      SnapDirPath = P.parent_path().string();
+  }
+
+  std::vector<uint8_t> LogBytes;
+  if (!LogPath.empty()) {
+    if (!readFileBytes(LogPath, LogBytes)) {
+      std::fprintf(stderr, "cannot read %s\n", LogPath.c_str());
+      return 1;
+    }
+  } else if (!Snap.ExecLog.empty()) {
+    LogBytes = Snap.ExecLog;
+  } else {
+    std::string Side = SnapDirPath + "/" + execLogSidecarName(Snap);
+    if (!readFileBytes(Side, LogBytes)) {
+      std::fprintf(stderr,
+                   "snap has no embedded execution log and no sidecar at "
+                   "%s\n(record one with `tbtool inject --record` or "
+                   "`tbtool serve --record`)\n",
+                   Side.c_str());
+      return 1;
+    }
+  }
+
+  ExecutionLog Log;
+  if (!ExecutionLog::deserialize(LogBytes, Log)) {
+    std::fprintf(stderr, "execution log does not parse (not a .tblog, or "
+                         "its genesis was cut off)\n");
+    return 1;
+  }
+  std::printf("log: %llu event(s), %llu dropped by the ring window%s\n",
+              static_cast<unsigned long long>(Log.totalEntries()),
+              static_cast<unsigned long long>(Log.DroppedHead),
+              Log.Truncated ? " — TRUNCATED (prefix replay)" : "");
+
+  ReplayVerdict V = verifyReplay(Snap, Log, static_cast<uint64_t>(ToEvent));
+  std::fputs(V.render().c_str(), stdout);
+  if (!V.Error.empty())
+    return 1;
+  return Verify && !V.Ok ? 3 : 0;
 }
 
 /// Rebuilds the header-level triage signature a store entry was indexed
@@ -1575,7 +1710,11 @@ CommandRegistry &registry() {
              {{"--seed", "S", "fault-plan seed"},
               {"--plan", "FILE", "replay a saved fault plan"},
               {"--entry", "NAME", "entry symbol (default main)"},
-              {"--snap-dir", "DIR", "persist surviving snaps/mapfiles"}},
+              {"--snap-dir", "DIR", "persist surviving snaps/mapfiles"},
+              {"--record", "", "record execution; snaps embed a replayable "
+               ".tblog"},
+              {"--record-window", "N", "ring-bound retained log entries "
+               "(0 = unbounded)"}},
              cmdInject});
     Reg.add({"triage", "<snap-dir|archive.tbar> [<map.tbmap>...]",
              "Cluster snaps by fault signature and print the ranked "
@@ -1595,12 +1734,27 @@ CommandRegistry &registry() {
               {"--rounds", "N", "deployment rounds (default 2)"},
               {"--seed", "S", "chaos seed"},
               {"--chaos", "", "inject seeded network faults"},
+              {"--record", "", "record each round; snaps embed logs and "
+               ".tblog sidecars land in the store dir"},
               {"--shards", "N", "store payload shards (default 4)"},
               {"--max-bytes", "B", "retention: live payload byte cap"},
               {"--max-age", "T", "retention: age cap in timestamp units"},
               {"--compact", "", "compact the store after ingest"},
               {"--json", "", "print the summary as JSON"}},
              cmdServe});
+    Reg.add({"replay", "<snap.tbsnap>",
+             "Re-execute a recorded run from its execution log and "
+             "self-check the replayed trace against the snap's.",
+             {{"--log", "FILE", "explicit .tblog (default: embedded log, "
+               "then sidecar)"},
+              {"--store", "DIR", "replay a store-resident snap (with "
+               "--id)"},
+              {"--id", "N", "store entry id"},
+              {"--verify", "", "exit 3 unless the replay is divergence-"
+               "free and byte-identical"},
+              {"--to", "N", "stop enforcing after log event N (partial "
+               "replay)"}},
+             cmdReplay});
     Reg.add({"query", "[<store-dir>]",
              "Query one or more snap stores with composable predicates; "
              "emits the triage report format. Several --store flags fan "
